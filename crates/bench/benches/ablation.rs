@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! update suppression, annealing vs exhaustive search, topology family,
+//! and modelled-vs-negligible RP overhead `H(k)`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridscale_core::{config_for, CaseId, Preset};
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{SimTemplate, TopologySpec};
+use gridscale_rms::RmsKind;
+use std::hint::black_box;
+
+fn small_template(kind: RmsKind, mutate: impl FnOnce(&mut gridscale_gridsim::GridConfig)) -> SimTemplate {
+    let mut cfg = config_for(kind, CaseId::NetworkSize, 2, Preset::Quick, 5);
+    cfg.workload.duration = SimTime::from_ticks(12_000);
+    cfg.drain = SimTime::from_ticks(10_000);
+    mutate(&mut cfg);
+    SimTemplate::new(&cfg)
+}
+
+/// Suppression on (paper behaviour) vs off: how much scheduler work does
+/// the "update might be suppressed" optimization save?
+fn bench_suppression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/suppression");
+    g.sample_size(10);
+    let on = small_template(RmsKind::Central, |_| {});
+    let off = small_template(RmsKind::Central, |cfg| cfg.thresholds.suppress_delta = 0.0);
+    g.bench_function("on", |b| {
+        b.iter(|| {
+            let mut p = RmsKind::Central.build();
+            black_box(on.run(on.config().enablers, p.as_mut()))
+        })
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            let mut p = RmsKind::Central.build();
+            black_box(off.run(off.config().enablers, p.as_mut()))
+        })
+    });
+    g.finish();
+}
+
+/// Topology-family sensitivity of the Case-1 experiment substrate.
+fn bench_topology_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/topology");
+    g.sample_size(10);
+    for (name, spec) in [
+        ("barabasi_albert", TopologySpec::BarabasiAlbert { m: 2 }),
+        ("waxman", TopologySpec::Waxman { alpha: 0.25, beta: 0.4 }),
+        ("transit_stub", TopologySpec::TransitStub),
+    ] {
+        let t = small_template(RmsKind::Lowest, |cfg| cfg.topology = spec);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = RmsKind::Lowest.build();
+                black_box(t.run(t.config().enablers, p.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Modelled RP overhead vs the paper's "H(k) negligible" assumption.
+fn bench_h_modelled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/rp_overhead");
+    g.sample_size(10);
+    let negligible = small_template(RmsKind::Lowest, |cfg| cfg.costs.rp_job_control = 0.0);
+    let modelled = small_template(RmsKind::Lowest, |cfg| cfg.costs.rp_job_control = 2.0);
+    g.bench_function("negligible", |b| {
+        b.iter(|| {
+            let mut p = RmsKind::Lowest.build();
+            black_box(negligible.run(negligible.config().enablers, p.as_mut()))
+        })
+    });
+    g.bench_function("modelled", |b| {
+        b.iter(|| {
+            let mut p = RmsKind::Lowest.build();
+            black_box(modelled.run(modelled.config().enablers, p.as_mut()))
+        })
+    });
+    g.finish();
+}
+
+/// Annealing vs exhaustive grid search over one enabler dimension: the SA
+/// tuner must be much cheaper than scanning the τ grid while finding a
+/// comparable optimum (checked in tests; timed here).
+fn bench_anneal_vs_grid(c: &mut Criterion) {
+    use gridscale_core::anneal::{anneal, AnnealConfig};
+    let mut g = c.benchmark_group("ablation/tuning");
+    g.sample_size(10);
+    let template = small_template(RmsKind::SenderInit, |_| {});
+    let taus = [50u64, 100, 200, 400, 800, 1600, 3200];
+    let eval = |tau: u64| {
+        let mut e = template.config().enablers;
+        e.update_interval = tau;
+        let mut p = RmsKind::SenderInit.build();
+        template.run(e, p.as_mut()).g_overhead
+    };
+    g.bench_function("grid_search_tau", |b| {
+        b.iter(|| {
+            let best = taus
+                .iter()
+                .map(|&t| (eval(t), t))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            black_box(best)
+        })
+    });
+    g.bench_function("simulated_annealing_tau", |b| {
+        b.iter(|| {
+            let r = anneal(
+                3usize,
+                |&i, rng| {
+                    if i == 0 {
+                        1
+                    } else if i + 1 >= taus.len() {
+                        i - 1
+                    } else if rng.chance(0.5) {
+                        i + 1
+                    } else {
+                        i - 1
+                    }
+                },
+                |&i| eval(taus[i]),
+                &AnnealConfig {
+                    iterations: 5,
+                    ..AnnealConfig::default()
+                },
+            );
+            black_box(r.best_energy)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suppression,
+    bench_topology_family,
+    bench_h_modelled,
+    bench_anneal_vs_grid
+);
+criterion_main!(benches);

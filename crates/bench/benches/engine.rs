@@ -1,0 +1,106 @@
+//! Microbenchmarks of the simulation substrates: event queue, routing,
+//! workload generation, and a full small simulation per RMS model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gridscale_core::{config_for, CaseId, Preset};
+use gridscale_desim::{EventQueue, SimRng, SimTime};
+use gridscale_gridsim::{run_simulation, SimTemplate};
+use gridscale_rms::RmsKind;
+use gridscale_topology::generate::{self, LinkParams};
+use gridscale_topology::RoutingTable;
+use gridscale_workload::{generate as gen_workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("desim/event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.int_range(0, 1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ticks(t), i as u32);
+            }
+            let mut sum = 0u64;
+            while let Some(ev) = q.pop() {
+                sum = sum.wrapping_add(ev.event as u64);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    for &n in &[100usize, 300, 1000] {
+        g.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter_batched(
+                || SimRng::new(7),
+                |mut rng| generate::barabasi_albert(n, 2, LinkParams::default(), &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("routing_build", n), &n, |b, &n| {
+            let mut rng = SimRng::new(7);
+            let graph = generate::barabasi_albert(n, 2, LinkParams::default(), &mut rng);
+            b.iter(|| RoutingTable::build(black_box(&graph)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("workload/generate_20k_jobs", |b| {
+        let cfg = WorkloadConfig {
+            arrival_rate: 0.1,
+            duration: SimTime::from_ticks(200_000),
+            ..WorkloadConfig::default()
+        };
+        b.iter_batched(
+            || SimRng::new(3),
+            |mut rng| gen_workload(&cfg, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation_per_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gridsim/full_sim_240n");
+    g.sample_size(10);
+    for kind in RmsKind::ALL {
+        let mut cfg = config_for(kind, CaseId::NetworkSize, 2, Preset::Quick, 5);
+        cfg.workload.duration = SimTime::from_ticks(15_000);
+        cfg.drain = SimTime::from_ticks(10_000);
+        let template = SimTemplate::new(&cfg);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut policy = kind.build();
+                black_box(template.run(cfg.enablers, policy.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_template_vs_fresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gridsim/setup");
+    g.sample_size(10);
+    let cfg = config_for(RmsKind::Lowest, CaseId::NetworkSize, 2, Preset::Quick, 5);
+    g.bench_function("template_build", |b| b.iter(|| SimTemplate::new(black_box(&cfg))));
+    g.bench_function("fresh_run_total", |b| {
+        b.iter(|| {
+            let mut policy = RmsKind::Lowest.build();
+            black_box(run_simulation(&cfg, policy.as_mut()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_topology,
+    bench_workload,
+    bench_simulation_per_model,
+    bench_template_vs_fresh
+);
+criterion_main!(benches);

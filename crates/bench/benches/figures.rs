@@ -1,0 +1,119 @@
+//! One Criterion bench per paper table and figure.
+//!
+//! Each figure bench runs a reduced-size version of the exact pipeline the
+//! `figures` binary uses for the full regeneration (same code path:
+//! `resolve_e0` → `tune_point` → rendering), so regressions in any
+//! experiment's cost show up here. The table benches time the parameter
+//! -table rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridscale_bench::render;
+use gridscale_core::{
+    resolve_e0, tune_point, AnnealConfig, CaseId, MeasureOptions, Preset,
+};
+use gridscale_desim::SimTime;
+use gridscale_rms::RmsKind;
+use std::hint::black_box;
+
+/// Reduced measurement options shared by the figure benches.
+fn bench_opts() -> MeasureOptions {
+    MeasureOptions {
+        ks: vec![1, 2],
+        preset: Preset::Quick,
+        anneal: AnnealConfig {
+            iterations: 4,
+            ..AnnealConfig::default()
+        },
+        duration_override: Some(SimTime::from_ticks(6_000)),
+        drain_override: Some(SimTime::from_ticks(6_000)),
+        threads: 1,
+        ..MeasureOptions::default()
+    }
+}
+
+/// One tuned point of the given case — the unit of work behind each
+/// G(k)-figure.
+fn tune_one(case: CaseId, kind: RmsKind) {
+    let opts = bench_opts();
+    let e0 = resolve_e0(kind, case, &opts);
+    let p = tune_point(kind, case, 2, e0, &opts);
+    black_box(p);
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| b.iter(|| black_box(render::table1())));
+    for case in CaseId::ALL {
+        c.bench_function(&format!("table{}/render", case.number() + 1), |b| {
+            b.iter(|| black_box(render::case_table(case)))
+        });
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_network_size");
+    g.sample_size(10);
+    g.bench_function("tune_point/LOWEST", |b| {
+        b.iter(|| tune_one(CaseId::NetworkSize, RmsKind::Lowest))
+    });
+    g.bench_function("tune_point/CENTRAL", |b| {
+        b.iter(|| tune_one(CaseId::NetworkSize, RmsKind::Central))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_service_rate");
+    g.sample_size(10);
+    g.bench_function("tune_point/CENTRAL", |b| {
+        b.iter(|| tune_one(CaseId::ServiceRate, RmsKind::Central))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_estimators");
+    g.sample_size(10);
+    g.bench_function("tune_point/AUCTION", |b| {
+        b.iter(|| tune_one(CaseId::Estimators, RmsKind::Auction))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_lp");
+    g.sample_size(10);
+    g.bench_function("tune_point/RESERVE", |b| {
+        b.iter(|| tune_one(CaseId::Lp, RmsKind::Reserve))
+    });
+    g.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    // Figures 6 and 7 read throughput / response series off the Case-3
+    // measurement; the unit of work is the same tuned point plus series
+    // extraction and rendering.
+    let mut g = c.benchmark_group("fig6_fig7_throughput_response");
+    g.sample_size(10);
+    g.bench_function("tune_and_render/Sy-I", |b| {
+        b.iter(|| {
+            let opts = bench_opts();
+            let kind = RmsKind::Symmetric;
+            let case = CaseId::Estimators;
+            let e0 = resolve_e0(kind, case, &opts);
+            let p = tune_point(kind, case, 2, e0, &opts);
+            black_box((p.report.throughput, p.report.mean_response))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6_fig7
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Calibration probe: where does the base operating point sit?
+//!
+//! The paper holds `E(k0) ∈ [0.38, 0.42]`. Our cost model must make that
+//! band *reachable* (see `OverheadCosts::overhead_weight`); this module
+//! runs every model at selected scales with default enablers and reports
+//! efficiency, success rate, and RMS bottleneck utilization, so the weight
+//! can be re-derived if the cost constants change.
+
+use gridscale_core::{config_for, CaseId, Preset};
+use gridscale_gridsim::{run_simulation, SimReport};
+use gridscale_rms::RmsKind;
+use serde::Serialize;
+
+/// One calibration observation.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalPoint {
+    /// Model name.
+    pub kind: String,
+    /// Scale factor.
+    pub k: u32,
+    /// Efficiency with default enablers.
+    pub efficiency: f64,
+    /// Success rate among trace jobs.
+    pub success_rate: f64,
+    /// Busiest scheduler's busy fraction.
+    pub bottleneck: f64,
+    /// Mean resource utilization.
+    pub rp_utilization: f64,
+    /// Raw (unweighted) G busy time.
+    pub g_busy_raw: f64,
+    /// Weighted G.
+    pub g: f64,
+    /// F.
+    pub f: f64,
+    /// Mean response time.
+    pub mean_response: f64,
+}
+
+impl CalPoint {
+    fn from_report(kind: RmsKind, k: u32, r: &SimReport) -> CalPoint {
+        CalPoint {
+            kind: kind.name().to_string(),
+            k,
+            efficiency: r.efficiency,
+            success_rate: r.success_rate(),
+            bottleneck: r.bottleneck_utilization(),
+            rp_utilization: r.resource_utilization,
+            g_busy_raw: r.g_busy_raw,
+            g: r.g_overhead,
+            f: r.f_work,
+            mean_response: r.mean_response,
+        }
+    }
+}
+
+/// Runs the probe for one case over the given models and scales with
+/// default enablers.
+pub fn probe(case: CaseId, kinds: &[RmsKind], ks: &[u32], preset: Preset, seed: u64) -> Vec<CalPoint> {
+    let mut out = Vec::new();
+    for &kind in kinds {
+        for &k in ks {
+            let cfg = config_for(kind, case, k, preset, seed);
+            let mut policy = kind.build();
+            let r = run_simulation(&cfg, policy.as_mut());
+            out.push(CalPoint::from_report(kind, k, &r));
+        }
+    }
+    out
+}
+
+/// Sweeps the update interval τ for one `(model, case, k)` with everything
+/// else at defaults — exposes the efficiency-vs-overhead frontier the
+/// annealer walks.
+pub fn probe_tau(kind: RmsKind, case: CaseId, k: u32, preset: Preset, seed: u64) -> Vec<(u64, CalPoint)> {
+    let cfg = config_for(kind, case, k, preset, seed);
+    let template = gridscale_gridsim::SimTemplate::new(&cfg);
+    let mut out = Vec::new();
+    for tau in [50u64, 100, 200, 400, 800, 1600, 3200, 6400, 12800] {
+        let mut e = cfg.enablers;
+        e.update_interval = tau;
+        let mut policy = kind.build();
+        let r = template.run(e, policy.as_mut());
+        out.push((tau, CalPoint::from_report(kind, k, &r)));
+    }
+    out
+}
+
+/// Formats probe output as an aligned text table.
+pub fn format_table(points: &[CalPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<8} {:>2} {:>7} {:>7} {:>7} {:>7} {:>12} {:>12} {:>9}\n",
+        "model", "k", "E", "succ", "bneck", "rp_u", "G_raw", "G", "resp"
+    ));
+    for p in points {
+        s.push_str(&format!(
+            "{:<8} {:>2} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>12.0} {:>12.0} {:>9.0}\n",
+            p.kind,
+            p.k,
+            p.efficiency,
+            p.success_rate,
+            p.bottleneck,
+            p.rp_utilization,
+            p.g_busy_raw,
+            p.g,
+            p.mean_response
+        ));
+    }
+    s
+}

@@ -1,0 +1,182 @@
+//! Terminal line charts for the figure series.
+//!
+//! The paper presents its results as multi-series line plots; this module
+//! renders the same series as compact ASCII charts so `figures --chart`
+//! output can be eyeballed against the paper without leaving the terminal.
+
+/// Chart geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartSpec {
+    /// Plot-area width in columns.
+    pub width: usize,
+    /// Plot-area height in rows.
+    pub height: usize,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            width: 60,
+            height: 16,
+        }
+    }
+}
+
+/// Marker glyphs assigned to series in order.
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Renders multiple `(name, [(x, y)])` series into one ASCII chart with a
+/// shared linear scale, a y-axis gutter, and a legend.
+///
+/// Overlapping points keep the earlier series' glyph. Empty input renders
+/// an empty-chart notice.
+pub fn render(title: &str, series: &[(String, Vec<(u32, f64)>)], spec: ChartSpec) -> String {
+    assert!(spec.width >= 8 && spec.height >= 4);
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, y)| (x as f64, y)))
+        .collect();
+    if points.is_empty() {
+        return format!("{title}\n  (no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // Anchor the y-axis at zero when the data is nonnegative — overhead
+    // curves read better from the origin.
+    if y_min > 0.0 && y_min < 0.5 * y_max {
+        y_min = 0.0;
+    }
+
+    let mut grid = vec![vec![' '; spec.width]; spec.height];
+    let col = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min)) * (spec.width - 1) as f64).round() as usize
+    };
+    let row = |y: f64| -> usize {
+        let r = ((y - y_min) / (y_max - y_min)) * (spec.height - 1) as f64;
+        spec.height - 1 - r.round() as usize
+    };
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        // Linear interpolation between consecutive points for a connected
+        // look.
+        for w in pts.windows(2) {
+            let (x0, y0) = (w[0].0 as f64, w[0].1);
+            let (x1, y1) = (w[1].0 as f64, w[1].1);
+            let steps = (col(x1).abs_diff(col(x0))).max(1);
+            for s in 0..=steps {
+                let t = s as f64 / steps as f64;
+                let c = col(x0 + (x1 - x0) * t);
+                let r = row(y0 + (y1 - y0) * t);
+                if grid[r][c] == ' ' {
+                    grid[r][c] = mark;
+                }
+            }
+        }
+        if pts.len() == 1 {
+            let (x, y) = (pts[0].0 as f64, pts[0].1);
+            let (r, c) = (row(y), col(x));
+            if grid[r][c] == ' ' {
+                grid[r][c] = mark;
+            }
+        }
+    }
+
+    let mut out = format!("{title}\n");
+    for (i, line) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.3e}")
+        } else if i == spec.height - 1 {
+            format!("{y_min:>10.3e}")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&format!("{label} |{}\n", line.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{} +{}\n{} {:<8.0}{:>width$.0}\n",
+        " ".repeat(10),
+        "-".repeat(spec.width),
+        " ".repeat(10),
+        x_min,
+        x_max,
+        width = spec.width - 8
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", MARKS[i % MARKS.len()], name))
+        .collect();
+    out.push_str(&format!("{} {}\n", " ".repeat(10), legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChartSpec {
+        ChartSpec {
+            width: 40,
+            height: 10,
+        }
+    }
+
+    #[test]
+    fn renders_axes_legend_and_marks() {
+        let series = vec![
+            ("UP".to_string(), vec![(1, 1.0), (2, 2.0), (3, 3.0)]),
+            ("FLAT".to_string(), vec![(1, 2.0), (2, 2.0), (3, 2.0)]),
+        ];
+        let c = render("test chart", &series, spec());
+        assert!(c.contains("test chart"));
+        assert!(c.contains("* UP"));
+        assert!(c.contains("o FLAT"));
+        assert!(c.contains('|') && c.contains('+'));
+        assert!(c.contains('*') && c.contains('o'));
+    }
+
+    #[test]
+    fn monotone_series_fills_both_corners() {
+        let series = vec![("X".to_string(), vec![(1, 0.0), (10, 100.0)])];
+        let c = render("t", &series, spec());
+        let rows: Vec<&str> = c.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 10);
+        // Highest value appears on the top plot row, lowest on the bottom.
+        assert!(rows.first().unwrap().contains('*'));
+        assert!(rows.last().unwrap().contains('*'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let c = render("nothing", &[], spec());
+        assert!(c.contains("no data"));
+        let c2 = render("empty series", &[("A".into(), vec![])], spec());
+        assert!(c2.contains("no data"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let series = vec![("P".to_string(), vec![(3, 5.0)])];
+        let c = render("t", &series, spec());
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let series = vec![("C".to_string(), vec![(1, 7.0), (2, 7.0)])];
+        let c = render("t", &series, spec());
+        assert!(c.contains('*'));
+    }
+}

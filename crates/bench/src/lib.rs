@@ -1,0 +1,24 @@
+//! # gridscale-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper (see `DESIGN.md` §4 for the experiment index):
+//!
+//! * Tables 1–5 — the common-variable and per-case parameter tables;
+//! * Figure 2 — `G(k)` under Case 1 (network-size scaling);
+//! * Figure 3 — `G(k)` under Case 2 (service-rate scaling);
+//! * Figure 4 — `G(k)` under Case 3 (estimator scaling);
+//! * Figure 5 — `G(k)` under Case 4 (`L_p` scaling);
+//! * Figures 6–7 — throughput and mean response time under Case 3.
+//!
+//! The `figures` binary drives full regenerations (`cargo run --release
+//! -p gridscale-bench --bin figures -- all`); the Criterion benches under
+//! `benches/` exercise one reduced version of each experiment path.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod chart;
+pub mod render;
+pub mod runner;
+
+pub use runner::{run_case, CaseOutput, RunProfile};

@@ -1,0 +1,86 @@
+//! Full experiment execution per scaling case.
+
+use gridscale_core::measure::measure_all;
+use gridscale_core::{AnnealConfig, CaseId, MeasureOptions, Preset, ScalabilityCurve};
+use gridscale_desim::SimTime;
+use gridscale_rms::RmsKind;
+use serde::{Deserialize, Serialize};
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunProfile {
+    /// Minutes-fast shape check: tiny horizons, k ∈ {1,2,3}, few SA steps.
+    Smoke,
+    /// The default: Quick preset, k = 1..6, moderate annealing.
+    Quick,
+    /// The paper's sizes (1000-node fixed networks).
+    Paper,
+}
+
+impl RunProfile {
+    /// Materializes measurement options for this profile.
+    pub fn options(self, seed: u64) -> MeasureOptions {
+        match self {
+            RunProfile::Smoke => MeasureOptions {
+                ks: vec![1, 2, 3],
+                preset: Preset::Quick,
+                anneal: AnnealConfig {
+                    iterations: 10,
+                    ..AnnealConfig::default()
+                },
+                duration_override: Some(SimTime::from_ticks(12_000)),
+                drain_override: Some(SimTime::from_ticks(12_000)),
+                seed,
+                ..MeasureOptions::default()
+            },
+            RunProfile::Quick => MeasureOptions {
+                ks: (1..=6).collect(),
+                preset: Preset::Quick,
+                anneal: AnnealConfig {
+                    iterations: 40,
+                    ..AnnealConfig::default()
+                },
+                seed,
+                ..MeasureOptions::default()
+            },
+            RunProfile::Paper => MeasureOptions {
+                ks: (1..=6).collect(),
+                preset: Preset::Paper,
+                anneal: AnnealConfig {
+                    iterations: 48,
+                    ..AnnealConfig::default()
+                },
+                seed,
+                ..MeasureOptions::default()
+            },
+        }
+    }
+}
+
+/// The measured curves of one case for all seven models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseOutput {
+    /// Which case was run.
+    pub case: CaseId,
+    /// One curve per model, in [`RmsKind::ALL`] order.
+    pub curves: Vec<ScalabilityCurve>,
+}
+
+/// Runs the full four-step measurement of `case` for all seven RMS models.
+pub fn run_case(case: CaseId, profile: RunProfile, seed: u64) -> CaseOutput {
+    let opts = profile.options(seed);
+    let curves = measure_all(&RmsKind::ALL, case, &opts);
+    CaseOutput { case, curves }
+}
+
+/// Runs `case` for a subset of models (used by the Criterion benches).
+pub fn run_case_subset(
+    case: CaseId,
+    kinds: &[RmsKind],
+    profile: RunProfile,
+    seed: u64,
+) -> CaseOutput {
+    let opts = profile.options(seed);
+    let curves = measure_all(kinds, case, &opts);
+    CaseOutput { case, curves }
+}

@@ -1,0 +1,230 @@
+//! Simulated annealing over discrete parameter grids.
+//!
+//! The paper (§3.2, Step 3) tunes the scaling enablers with "a simulated
+//! annealing search … to determine the set of scaling enablers such that
+//! overhead `G(k)` is minimum at scale factor `k`" (citing van Laarhoven
+//! \[2\], Ingber \[12\], Bilbro & Snyder \[5\]). This module implements the
+//! classic Metropolis/geometric-cooling variant over an abstract discrete
+//! state space; `measure` instantiates it with enabler grids and a
+//! penalized overhead objective.
+
+use gridscale_desim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Annealing hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Total candidate evaluations (including the initial state).
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial energy scale; the
+    /// effective `T0` is `t0_fraction × max(|E(init)|, 1e-9)`.
+    pub t0_fraction: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed for the proposal chain.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 48,
+            t0_fraction: 0.3,
+            cooling: 0.9,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Outcome of one annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult<S> {
+    /// The lowest-energy state visited.
+    pub best: S,
+    /// Its energy.
+    pub best_energy: f64,
+    /// Number of *distinct* states evaluated (cache misses) — with an
+    /// expensive simulator objective this is the real cost measure.
+    pub evaluations: usize,
+    /// Energy trajectory of accepted states, for convergence diagnostics.
+    pub trajectory: Vec<f64>,
+}
+
+/// Minimizes `energy` over the state graph induced by `neighbor`, starting
+/// from `init`.
+///
+/// Energies are memoized per state (states are compared by `Eq + Hash`),
+/// so revisits during the walk are free — important when one evaluation is
+/// a full Grid simulation. The walk itself is deterministic for a given
+/// `(init, cfg.seed)`.
+pub fn anneal<S, N, E>(init: S, mut neighbor: N, mut energy: E, cfg: &AnnealConfig) -> AnnealResult<S>
+where
+    S: Clone + Eq + Hash,
+    N: FnMut(&S, &mut SimRng) -> S,
+    E: FnMut(&S) -> f64,
+{
+    assert!(cfg.iterations >= 1);
+    assert!(cfg.cooling > 0.0 && cfg.cooling < 1.0);
+    let mut rng = SimRng::new(cfg.seed);
+    let mut cache: HashMap<S, f64> = HashMap::new();
+    let mut misses = 0usize;
+
+    let mut eval = |s: &S, cache: &mut HashMap<S, f64>, misses: &mut usize| -> f64 {
+        if let Some(&e) = cache.get(s) {
+            return e;
+        }
+        let e = energy(s);
+        cache.insert(s.clone(), e);
+        *misses += 1;
+        e
+    };
+
+    let mut current = init;
+    let mut current_e = eval(&current, &mut cache, &mut misses);
+    let mut best = current.clone();
+    let mut best_e = current_e;
+    let mut trajectory = vec![current_e];
+    let mut temp = cfg.t0_fraction * current_e.abs().max(1e-9);
+
+    for _ in 1..cfg.iterations {
+        let cand = neighbor(&current, &mut rng);
+        let cand_e = eval(&cand, &mut cache, &mut misses);
+        let accept = cand_e <= current_e || {
+            let p = ((current_e - cand_e) / temp.max(1e-12)).exp();
+            rng.chance(p)
+        };
+        if accept {
+            current = cand;
+            current_e = cand_e;
+            trajectory.push(current_e);
+            if current_e < best_e {
+                best = current.clone();
+                best_e = current_e;
+            }
+        }
+        temp *= cfg.cooling;
+    }
+
+    AnnealResult {
+        best,
+        best_energy: best_e,
+        evaluations: misses,
+        trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D convex landscape: minimum at 37 on a 0..100 grid.
+    fn quadratic(x: &i64) -> f64 {
+        let d = (*x - 37) as f64;
+        d * d
+    }
+
+    fn step(x: &i64, rng: &mut SimRng) -> i64 {
+        let d = if rng.chance(0.5) { 1 } else { -1 };
+        (x + d).clamp(0, 100)
+    }
+
+    #[test]
+    fn finds_global_minimum_of_convex_landscape() {
+        let cfg = AnnealConfig {
+            iterations: 400,
+            ..AnnealConfig::default()
+        };
+        let r = anneal(90i64, step, quadratic, &cfg);
+        assert_eq!(r.best, 37, "energy {}", r.best_energy);
+        assert_eq!(r.best_energy, 0.0);
+    }
+
+    #[test]
+    fn escapes_local_minimum() {
+        // Double well: local min at 10 (E=5), global at 80 (E=0), with a
+        // barrier of +8 between them.
+        let well = |x: &i64| -> f64 {
+            let x = *x as f64;
+            let local = 5.0 + (x - 10.0).abs() / 7.0;
+            let global = (x - 80.0).abs() / 2.0;
+            let mut e = local.min(global);
+            if (30.0..60.0).contains(&x) {
+                e += 8.0; // the barrier between the wells
+            }
+            e
+        };
+        // Strided proposals let the chain hop over the barrier region.
+        let stride = |x: &i64, rng: &mut SimRng| -> i64 {
+            let d = rng.int_range(1, 10) as i64;
+            let d = if rng.chance(0.5) { d } else { -d };
+            (x + d).clamp(0, 100)
+        };
+        let cfg = AnnealConfig {
+            iterations: 2000,
+            t0_fraction: 4.0,
+            cooling: 0.998,
+            seed: 11,
+        };
+        let r = anneal(10i64, stride, well, &cfg);
+        assert!(
+            r.best >= 70,
+            "stuck at {} (E={}) instead of crossing the barrier",
+            r.best,
+            r.best_energy
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = AnnealConfig::default();
+        let a = anneal(90i64, step, quadratic, &cfg);
+        let b = anneal(90i64, step, quadratic, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn memoization_bounds_evaluations() {
+        let mut calls = 0usize;
+        let cfg = AnnealConfig {
+            iterations: 500,
+            ..AnnealConfig::default()
+        };
+        let r = anneal(
+            50i64,
+            step,
+            |x: &i64| {
+                calls += 1;
+                quadratic(x)
+            },
+            &cfg,
+        );
+        assert_eq!(calls, r.evaluations, "objective called once per state");
+        assert!(
+            r.evaluations <= 101,
+            "at most one evaluation per grid point, got {}",
+            r.evaluations
+        );
+    }
+
+    #[test]
+    fn trajectory_starts_at_initial_energy() {
+        let r = anneal(90i64, step, quadratic, &AnnealConfig::default());
+        assert_eq!(r.trajectory[0], quadratic(&90));
+        assert!(r.best_energy <= r.trajectory[0]);
+    }
+
+    #[test]
+    fn single_iteration_returns_init() {
+        let cfg = AnnealConfig {
+            iterations: 1,
+            ..AnnealConfig::default()
+        };
+        let r = anneal(42i64, step, quadratic, &cfg);
+        assert_eq!(r.best, 42);
+        assert_eq!(r.evaluations, 1);
+    }
+}

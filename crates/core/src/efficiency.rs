@@ -1,0 +1,226 @@
+//! The managed-system performance model and the isoefficiency metric
+//! (paper §2.2–2.3).
+//!
+//! At scale `k`, let `F(k)` be the useful work delivered by the managee
+//! (RP), `G(k)` the overhead of the manager (RMS), and `H(k)` the RP's own
+//! overhead. Overall efficiency:
+//!
+//! ```text
+//! E(k) = F(k) / (F(k) + G(k) + H(k))
+//! ```
+//!
+//! Writing `W = F(k0)`, `O_RMS = G(k0)`, `O_RP = H(k0)` and the
+//! normalizations `f(k) = F(k)/W`, `g(k) = G(k)/O_RMS`, `h(k) = H(k)/O_RP`,
+//! the isoefficiency requirement `E(k) = E(k0) = 1/α` reduces to the
+//! paper's Eq. (1):
+//!
+//! ```text
+//! f(k) = c·g(k) + c'·h(k),   c = O_RMS/((α−1)W),   c' = O_RP/((α−1)W)
+//! ```
+//!
+//! and, since the RP always incurs *some* cost, the scalability condition
+//! of Eq. (2): `f(k) > c·g(k)` — useful work must grow at least as fast as
+//! (scaled) RMS overhead. **The scalability of the RMS at scale `k` is the
+//! slope of the minimum-cost `G(k)`** (paper's Definition, §2.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Raw `(F, G, H)` measurements normalized against the base scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedPoint {
+    /// Scale factor `k`.
+    pub k: f64,
+    /// `f(k) = F(k)/F(k0)`.
+    pub f: f64,
+    /// `g(k) = G(k)/G(k0)`.
+    pub g: f64,
+    /// `h(k) = H(k)/H(k0)` (0 when `H(k0) = 0`).
+    pub h: f64,
+}
+
+/// The isoefficiency model anchored at a base configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsoefficiencyModel {
+    /// Target efficiency `E(k0) = 1/α`, in `(0, 1)`.
+    pub e0: f64,
+    /// Base useful work `W = F(k0)`.
+    pub w: f64,
+    /// Base RMS overhead `O_RMS = G(k0)`.
+    pub o_rms: f64,
+    /// Base RP overhead `O_RP = H(k0)`.
+    pub o_rp: f64,
+}
+
+impl IsoefficiencyModel {
+    /// Builds the model from base-scale measurements and the chosen target
+    /// efficiency. Panics unless `0 < e0 < 1`, `w > 0`, and overheads are
+    /// nonnegative.
+    pub fn new(e0: f64, w: f64, o_rms: f64, o_rp: f64) -> Self {
+        assert!(e0 > 0.0 && e0 < 1.0, "E0 must be in (0,1), got {e0}");
+        assert!(w > 0.0, "base useful work must be positive");
+        assert!(o_rms >= 0.0 && o_rp >= 0.0);
+        IsoefficiencyModel { e0, w, o_rms, o_rp }
+    }
+
+    /// `α = 1/E0`.
+    pub fn alpha(&self) -> f64 {
+        1.0 / self.e0
+    }
+
+    /// The constant `c = O_RMS / ((α−1) W)` of Eq. (1).
+    pub fn c(&self) -> f64 {
+        self.o_rms / ((self.alpha() - 1.0) * self.w)
+    }
+
+    /// The constant `c' = O_RP / ((α−1) W)` of Eq. (1).
+    pub fn c_prime(&self) -> f64 {
+        self.o_rp / ((self.alpha() - 1.0) * self.w)
+    }
+
+    /// Efficiency from raw measurements: `E = F/(F+G+H)`; 0 if `F ≤ 0`.
+    pub fn efficiency(f_raw: f64, g_raw: f64, h_raw: f64) -> f64 {
+        if f_raw <= 0.0 {
+            0.0
+        } else {
+            f_raw / (f_raw + g_raw + h_raw)
+        }
+    }
+
+    /// Normalizes a raw `(F, G, H)` measurement against the base.
+    pub fn normalize(&self, k: f64, f_raw: f64, g_raw: f64, h_raw: f64) -> NormalizedPoint {
+        NormalizedPoint {
+            k,
+            f: f_raw / self.w,
+            g: if self.o_rms > 0.0 { g_raw / self.o_rms } else { 0.0 },
+            h: if self.o_rp > 0.0 { h_raw / self.o_rp } else { 0.0 },
+        }
+    }
+
+    /// Residual of Eq. (1): `f(k) − c·g(k) − c'·h(k)`. Zero (within
+    /// measurement noise) when the scaled system is exactly isoefficient
+    /// with the base.
+    pub fn eq1_residual(&self, p: &NormalizedPoint) -> f64 {
+        p.f - self.c() * p.g - self.c_prime() * p.h
+    }
+
+    /// The scalability condition of Eq. (2): `f(k) > c·g(k)`.
+    pub fn condition_holds(&self, p: &NormalizedPoint) -> bool {
+        p.f > self.c() * p.g
+    }
+
+    /// The `g(k)` that would keep the system exactly isoefficient for a
+    /// given `f(k)` and `h(k)` — the "budget" the RMS overhead must stay
+    /// under.
+    pub fn isoefficient_g(&self, f: f64, h: f64) -> f64 {
+        (f - self.c_prime() * h) / self.c()
+    }
+}
+
+/// Discrete slope series of a curve `y(k)`: `(y_i − y_{i−1}) / (k_i −
+/// k_{i−1})` for consecutive points. This is the paper's scalability
+/// measure applied to `G(k)` ("the scalability of the RMS at scale `k` is
+/// measured by the slope of `G(k)`").
+pub fn slopes(points: &[(f64, f64)]) -> Vec<f64> {
+    points
+        .windows(2)
+        .map(|w| {
+            let dk = w[1].0 - w[0].0;
+            debug_assert!(dk != 0.0, "duplicate scale factors");
+            (w[1].1 - w[0].1) / dk
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IsoefficiencyModel {
+        // E0 = 0.4 → α = 2.5; W = 1000, O_RMS = 1200, O_RP = 300.
+        // Check: E(k0) = 1000/(1000+1200+300) = 0.4 exactly.
+        IsoefficiencyModel::new(0.4, 1000.0, 1200.0, 300.0)
+    }
+
+    #[test]
+    fn base_point_is_exactly_isoefficient() {
+        let m = model();
+        let p = m.normalize(1.0, 1000.0, 1200.0, 300.0);
+        assert_eq!((p.f, p.g, p.h), (1.0, 1.0, 1.0));
+        assert!(m.eq1_residual(&p).abs() < 1e-12);
+        assert_eq!(
+            IsoefficiencyModel::efficiency(1000.0, 1200.0, 300.0),
+            0.4
+        );
+    }
+
+    #[test]
+    fn constants_match_derivation() {
+        let m = model();
+        // α − 1 = 1.5; c = 1200/(1.5·1000) = 0.8; c' = 300/1500 = 0.2.
+        assert!((m.alpha() - 2.5).abs() < 1e-12);
+        assert!((m.c() - 0.8).abs() < 1e-12);
+        assert!((m.c_prime() - 0.2).abs() < 1e-12);
+        // Eq. (1) with these constants: f = 0.8 g + 0.2 h holds at base.
+        assert!((0.8_f64 + 0.2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_detects_unscalable_growth() {
+        let m = model();
+        // Work doubled but overhead tripled: 2 > 0.8·3 = 2.4 is false.
+        let bad = m.normalize(2.0, 2000.0, 3600.0, 600.0);
+        assert!(!m.condition_holds(&bad));
+        // Overhead only doubled: 2 > 1.6 holds.
+        let good = m.normalize(2.0, 2000.0, 2400.0, 600.0);
+        assert!(m.condition_holds(&good));
+    }
+
+    #[test]
+    fn isoefficient_budget_roundtrip() {
+        let m = model();
+        let g_budget = m.isoefficient_g(2.0, 2.0);
+        // f = c·g + c'·h exactly at the budget.
+        assert!((2.0 - (m.c() * g_budget + m.c_prime() * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_via_eq1_matches_direct() {
+        let m = model();
+        // Construct a scaled point exactly on the Eq.(1) plane and verify
+        // the raw efficiency equals E0.
+        let f = 3.0;
+        let h = 2.0;
+        let g = m.isoefficient_g(f, h);
+        let e = IsoefficiencyModel::efficiency(f * m.w, g * m.o_rms, h * m.o_rp);
+        assert!((e - m.e0).abs() < 1e-12, "derivation must be consistent: {e}");
+    }
+
+    #[test]
+    fn zero_base_overheads_normalize_to_zero() {
+        let m = IsoefficiencyModel::new(0.5, 10.0, 0.0, 0.0);
+        let p = m.normalize(2.0, 20.0, 5.0, 5.0);
+        assert_eq!(p.g, 0.0);
+        assert_eq!(p.h, 0.0);
+    }
+
+    #[test]
+    fn efficiency_guards() {
+        assert_eq!(IsoefficiencyModel::efficiency(0.0, 10.0, 1.0), 0.0);
+        assert_eq!(IsoefficiencyModel::efficiency(-5.0, 10.0, 1.0), 0.0);
+        assert_eq!(IsoefficiencyModel::efficiency(10.0, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_e0() {
+        IsoefficiencyModel::new(1.5, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn slope_series() {
+        let pts = [(1.0, 10.0), (2.0, 14.0), (4.0, 14.0), (5.0, 8.0)];
+        let s = slopes(&pts);
+        assert_eq!(s, vec![4.0, 0.0, -6.0]);
+        assert!(slopes(&pts[..1]).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! The Jogalekar–Woodside scalability metric — the paper's main
+//! quantitative-direct comparison point (its reference \[14\]).
+//!
+//! Jogalekar & Woodside (*Evaluating the Scalability of Distributed
+//! Systems*, IEEE TPDS 11(6), 2000) measure the **whole system's**
+//! scalability through its *productivity*
+//!
+//! ```text
+//! P(k) = λ(k) · f(k) / C(k)
+//! ```
+//!
+//! where `λ(k)` is delivered throughput, `f(k)` a value-per-job function
+//! that decays with response time, and `C(k)` the running cost of the
+//! configuration. The scalability from scale `k1` to `k2` is the
+//! productivity ratio `ψ = P(k2)/P(k1)`; a system is scalable over a path
+//! if `ψ` stays near (or above) 1.
+//!
+//! The paper argues this whole-system view cannot isolate *which
+//! component* limits scalability — its own metric targets the RMS alone by
+//! tracking minimum overhead at constant efficiency. Implementing both
+//! makes that §4 comparison executable: see
+//! `examples/compare_metrics.rs`.
+
+use crate::measure::ScalabilityCurve;
+use gridscale_gridsim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the productivity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductivityModel {
+    /// Response-time target `T`; the per-job value is `1/(1 + resp/T)`
+    /// (Jogalekar–Woodside use any decreasing value curve — this is their
+    /// worked example's hyperbolic form).
+    pub target_response: f64,
+    /// Cost per network node per tick (machines + links dominate Grid
+    /// running cost; any constant cancels in ψ ratios).
+    pub cost_per_node: f64,
+    /// ψ threshold under which the step is called unscalable (their paper
+    /// suggests tolerating small degradations; 0.8 is customary).
+    pub psi_threshold: f64,
+}
+
+impl Default for ProductivityModel {
+    fn default() -> Self {
+        ProductivityModel {
+            target_response: 2_000.0,
+            cost_per_node: 1.0,
+            psi_threshold: 0.8,
+        }
+    }
+}
+
+impl ProductivityModel {
+    /// Per-job value `f` for a mean response time.
+    pub fn value(&self, mean_response: f64) -> f64 {
+        1.0 / (1.0 + mean_response.max(0.0) / self.target_response)
+    }
+
+    /// Productivity `P = λ · f / C` of one measured report.
+    pub fn productivity(&self, report: &SimReport) -> f64 {
+        let lambda = report.throughput;
+        let f = self.value(report.mean_response);
+        let c = self.cost_per_node * report.nodes.max(1) as f64;
+        lambda * f / c
+    }
+
+    /// Scalability `ψ(k1 → k2) = P(k2)/P(k1)`.
+    pub fn psi(&self, base: &SimReport, scaled: &SimReport) -> f64 {
+        let p1 = self.productivity(base);
+        if p1 <= 0.0 {
+            return 0.0;
+        }
+        self.productivity(scaled) / p1
+    }
+
+    /// Evaluates a measured curve: `(k, P(k), ψ(k0 → k))` per point.
+    pub fn evaluate(&self, curve: &ScalabilityCurve) -> Vec<PsiPoint> {
+        let Some(base) = curve.points.first() else {
+            return Vec::new();
+        };
+        let p0 = self.productivity(&base.report).max(1e-300);
+        curve
+            .points
+            .iter()
+            .map(|p| {
+                let prod = self.productivity(&p.report);
+                PsiPoint {
+                    k: p.k,
+                    productivity: prod,
+                    psi: prod / p0,
+                }
+            })
+            .collect()
+    }
+
+    /// Largest `k` whose cumulative ψ stays at or above the threshold
+    /// (`None` if the first scaled point already violates it).
+    pub fn scalable_through(&self, curve: &ScalabilityCurve) -> Option<u32> {
+        let pts = self.evaluate(curve);
+        let mut through = None;
+        for p in pts.iter().skip(1) {
+            if p.psi >= self.psi_threshold {
+                through = Some(p.k);
+            } else {
+                break;
+            }
+        }
+        through
+    }
+}
+
+/// One evaluated point of the Jogalekar–Woodside curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsiPoint {
+    /// Scale factor.
+    pub k: u32,
+    /// Productivity `P(k)`.
+    pub productivity: f64,
+    /// `ψ(k0 → k) = P(k)/P(k0)`.
+    pub psi: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::CaseId;
+    use crate::measure::CurvePoint;
+    use gridscale_gridsim::Enablers;
+    use gridscale_rms::RmsKind;
+
+    fn report(throughput: f64, resp: f64, nodes: usize) -> SimReport {
+        SimReport {
+            throughput,
+            mean_response: resp,
+            nodes,
+            ..SimReport::default()
+        }
+    }
+
+    fn point(k: u32, r: SimReport) -> CurvePoint {
+        CurvePoint {
+            k,
+            g: 1.0,
+            f: 1.0,
+            h: 0.0,
+            efficiency: 0.4,
+            feasible: true,
+            enablers: Enablers::default(),
+            evaluations: 1,
+            replications: 1,
+            report: r,
+        }
+    }
+
+    fn curve(points: Vec<CurvePoint>) -> ScalabilityCurve {
+        ScalabilityCurve {
+            kind: RmsKind::Central,
+            case: CaseId::NetworkSize,
+            e0: 0.4,
+            points,
+        }
+    }
+
+    #[test]
+    fn value_decays_with_response() {
+        let m = ProductivityModel::default();
+        assert!(m.value(0.0) > m.value(1_000.0));
+        assert!(m.value(1_000.0) > m.value(10_000.0));
+        assert!((m.value(m.target_response) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn productivity_scales_as_expected() {
+        let m = ProductivityModel::default();
+        // Double throughput at double cost, same response ⇒ same P.
+        let a = report(0.1, 1_000.0, 100);
+        let b = report(0.2, 1_000.0, 200);
+        assert!((m.productivity(&a) - m.productivity(&b)).abs() < 1e-12);
+        // Slower responses at the same throughput/cost ⇒ lower P.
+        let c = report(0.1, 8_000.0, 100);
+        assert!(m.productivity(&c) < m.productivity(&a));
+    }
+
+    #[test]
+    fn psi_of_identity_is_one() {
+        let m = ProductivityModel::default();
+        let a = report(0.1, 1_000.0, 100);
+        assert!((m.psi(&a, &a.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_linear_scaling_keeps_psi_at_one() {
+        let m = ProductivityModel::default();
+        let c = curve(vec![
+            point(1, report(0.1, 1_000.0, 100)),
+            point(2, report(0.2, 1_000.0, 200)),
+            point(4, report(0.4, 1_000.0, 400)),
+        ]);
+        let pts = m.evaluate(&c);
+        assert!(pts.iter().all(|p| (p.psi - 1.0).abs() < 1e-9));
+        assert_eq!(m.scalable_through(&c), Some(4));
+    }
+
+    #[test]
+    fn saturation_collapses_psi() {
+        let m = ProductivityModel::default();
+        // Throughput stops following cost, response explodes — the CENTRAL
+        // saturation signature.
+        let c = curve(vec![
+            point(1, report(0.10, 1_500.0, 100)),
+            point(2, report(0.19, 1_900.0, 200)),
+            point(4, report(0.20, 20_000.0, 400)),
+        ]);
+        let pts = m.evaluate(&c);
+        assert!(pts[1].psi > 0.8, "k=2 still fine: {}", pts[1].psi);
+        assert!(pts[2].psi < 0.3, "k=4 collapse: {}", pts[2].psi);
+        assert_eq!(m.scalable_through(&c), Some(2));
+    }
+
+    #[test]
+    fn zero_productivity_base_is_guarded() {
+        let m = ProductivityModel::default();
+        let dead = report(0.0, 1_000.0, 100);
+        let live = report(0.1, 1_000.0, 100);
+        assert_eq!(m.psi(&dead, &live), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gridscale-core
+//!
+//! The paper's primary contribution: a **quantitative, direct scalability
+//! metric for resource management systems** and the measurement procedure
+//! around it (Mitra, Maheswaran, Ali — IPDPS 2005, §2–§3.2).
+//!
+//! * [`efficiency`] — the managed-system performance model: efficiency
+//!   `E(k) = F/(F+G+H)`, the normalized `f, g, h` curves, the
+//!   isoefficiency constants `c, c'` of Eq. (1), and the scalability
+//!   condition `f(k) > c·g(k)` of Eq. (2).
+//! * [`cases`] — the four experimental scaling strategies of Tables 2–5
+//!   (network size, service rate, estimator count, `L_p`) with their
+//!   scaling-variable application and tunable enabler spaces.
+//! * [`scenario`] — base-configuration construction per RMS model and
+//!   scale factor (CENTRAL keeps one scheduler; distributed RMSs grow with
+//!   the RP, as in Table 2's "RMS increases proportionately with RP").
+//! * [`mod@anneal`] — the simulated-annealing search the paper uses (§3.2,
+//!   Step 3) to find the enabler setting minimizing `G(k)` subject to the
+//!   isoefficiency band.
+//! * [`measure`] — the four-step measurement procedure (Fig. 1) producing
+//!   per-scale curves and slopes.
+//! * [`sweep`] — deterministic parallel execution of `(model, k)` grids
+//!   over scoped threads.
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod cases;
+pub mod efficiency;
+pub mod jogalekar;
+pub mod measure;
+pub mod scenario;
+pub mod sensitivity;
+pub mod sweep;
+
+pub use anneal::{anneal, AnnealConfig, AnnealResult};
+pub use cases::{CaseId, EnablerSpace, ScalingCase};
+pub use efficiency::{IsoefficiencyModel, NormalizedPoint};
+pub use jogalekar::{ProductivityModel, PsiPoint};
+pub use measure::{
+    measure_all, measure_rms, resolve_e0, tune_point, CurvePoint, E0Mode, MeasureOptions,
+    ScalabilityCurve, ScalabilityVerdict,
+};
+pub use scenario::{config_for, expected_resources, Preset};

@@ -1,0 +1,555 @@
+//! The four-step scalability measurement procedure (paper §3.2, Fig. 1).
+//!
+//! 1. **Choose** a feasible target efficiency `E0` to hold constant.
+//! 2. **Scale** the RMS or the RP along the case's scaling variables.
+//! 3. **Tune** the scaling enablers with simulated annealing so the
+//!    overall efficiency stays at `E0` while `G(k)` is minimized.
+//! 4. **Compute** the scalability of the RMS from the slope of `G(k)`.
+
+use crate::anneal::{anneal, AnnealConfig};
+use crate::cases::CaseId;
+use crate::efficiency::{slopes, IsoefficiencyModel, NormalizedPoint};
+use crate::scenario::{config_for, Preset};
+use crate::sweep::{default_threads, parallel_map};
+use gridscale_desim::{SimRng, SimTime};
+use gridscale_gridsim::{Enablers, SimReport, SimTemplate};
+use gridscale_rms::RmsKind;
+use serde::{Deserialize, Serialize};
+
+/// How the target efficiency `E0` of Step 1 is chosen.
+///
+/// The paper's derivation defines isoefficiency as `E(k) = E(k0)` — hold
+/// the *base system's own* efficiency while scaling — and reports that its
+/// experiments kept `E(k0) ∈ [0.38, 0.42]` (a property of its particular
+/// overhead cost accounting). [`E0Mode::AutoBase`] follows the definition
+/// directly: each `(model, case)` measures its base configuration at
+/// default enablers and holds that value. [`E0Mode::Fixed`] reproduces the
+/// fixed-band variant with a configurable target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum E0Mode {
+    /// Use [`MeasureOptions::e0`] for every model.
+    Fixed,
+    /// `E0 = E(k0)` measured per model at default enablers (the paper's
+    /// definition; the default).
+    AutoBase,
+}
+
+/// Options controlling one measurement run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasureOptions {
+    /// How `E0` is chosen (Step 1).
+    pub e0_mode: E0Mode,
+    /// Target efficiency when `e0_mode` is [`E0Mode::Fixed`] (paper band
+    /// center: 0.40).
+    pub e0: f64,
+    /// Half-width of the isoefficiency band around `E0`.
+    pub tolerance: f64,
+    /// Scale factors to measure (the paper plots `k = 1..6`).
+    pub ks: Vec<u32>,
+    /// Experiment sizing preset.
+    pub preset: Preset,
+    /// Annealing hyper-parameters (Step 3).
+    pub anneal: AnnealConfig,
+    /// Master seed; every `(model, case, k)` point derives its own stream.
+    pub seed: u64,
+    /// Worker threads for the sweep (`0` = auto).
+    pub threads: usize,
+    /// Optional override of the arrival window (smoke tests).
+    pub duration_override: Option<SimTime>,
+    /// Optional override of the drain window (smoke tests).
+    pub drain_override: Option<SimTime>,
+    /// Independent replications of the final (tuned) measurement; the
+    /// reported `F/G/H/E` are means over replicates with distinct
+    /// topology/workload seeds. Annealing itself always runs on the first
+    /// replicate. Must be ≥ 1.
+    pub replications: usize,
+    /// Overrides the overhead cost model (sensitivity analysis); `None`
+    /// uses the calibrated defaults.
+    pub cost_override: Option<gridscale_gridsim::OverheadCosts>,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            e0_mode: E0Mode::AutoBase,
+            e0: 0.40,
+            tolerance: 0.02,
+            ks: (1..=6).collect(),
+            preset: Preset::Quick,
+            anneal: AnnealConfig::default(),
+            seed: 0x15_0EFF,
+            threads: 0,
+            duration_override: None,
+            drain_override: None,
+            replications: 1,
+            cost_override: None,
+        }
+    }
+}
+
+/// One measured point of a scalability curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Scale factor.
+    pub k: u32,
+    /// Minimum-cost RMS overhead `G(k)` found by the tuner.
+    pub g: f64,
+    /// Useful work `F(k)` at that setting.
+    pub f: f64,
+    /// RP overhead `H(k)`.
+    pub h: f64,
+    /// Achieved efficiency.
+    pub efficiency: f64,
+    /// Whether the efficiency landed inside the isoefficiency band.
+    pub feasible: bool,
+    /// The enabler setting the annealer chose.
+    pub enablers: Enablers,
+    /// Distinct enabler settings the annealer simulated.
+    pub evaluations: usize,
+    /// Number of replications averaged into `g/f/h/efficiency`.
+    pub replications: usize,
+    /// The full report of the first replicate at the chosen setting.
+    pub report: SimReport,
+}
+
+/// Scalability verdict per the paper's Eq. (2) condition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityVerdict {
+    /// Eq. (2) check `f(k) > c·g(k)` at each measured `k > k0`.
+    pub condition: Vec<(u32, bool)>,
+    /// The margin `f(k) − c·g(k)` behind each check, in normalized units
+    /// (one unit = the base system's useful work). Values near zero mean
+    /// the boolean is within measurement noise.
+    pub margins: Vec<(u32, f64)>,
+    /// Largest `k` such that the condition holds at every scale `≤ k`
+    /// (`None` if it fails immediately after base).
+    pub scalable_through: Option<u32>,
+}
+
+/// The measured `G(k)` curve for one `(model, case)` pair, with the
+/// derived isoefficiency quantities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalabilityCurve {
+    /// The RMS model measured.
+    pub kind: RmsKind,
+    /// The scaling strategy followed.
+    pub case: CaseId,
+    /// Target efficiency used.
+    pub e0: f64,
+    /// Points in ascending `k`.
+    pub points: Vec<CurvePoint>,
+}
+
+impl ScalabilityCurve {
+    /// `(k, G(k))` pairs.
+    pub fn g_curve(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.k as f64, p.g)).collect()
+    }
+
+    /// Discrete slopes of `G(k)` — the paper's scalability measure.
+    pub fn g_slopes(&self) -> Vec<f64> {
+        slopes(&self.g_curve())
+    }
+
+    /// Normalized `f/g/h` against the first (base) point.
+    pub fn normalized(&self) -> Vec<NormalizedPoint> {
+        let Some(_base) = self.points.first() else {
+            return Vec::new();
+        };
+        let model = self.model();
+        self.points
+            .iter()
+            .map(|p| model.normalize(p.k as f64, p.f, p.g, p.h))
+            .collect()
+    }
+
+    /// The isoefficiency model anchored at this curve's base point.
+    pub fn model(&self) -> IsoefficiencyModel {
+        let base = self.points.first().expect("curve has a base point");
+        IsoefficiencyModel::new(self.e0, base.f.max(1e-9), base.g.max(1e-9), base.h)
+    }
+
+    /// Eq. (2) verdict over the curve.
+    pub fn verdict(&self) -> ScalabilityVerdict {
+        let model = self.model();
+        let norm = self.normalized();
+        let condition: Vec<(u32, bool)> = norm
+            .iter()
+            .skip(1)
+            .map(|p| (p.k as u32, model.condition_holds(p)))
+            .collect();
+        let margins: Vec<(u32, f64)> = norm
+            .iter()
+            .skip(1)
+            .map(|p| (p.k as u32, p.f - model.c() * p.g))
+            .collect();
+        let mut through = None;
+        for &(k, ok) in &condition {
+            if ok {
+                through = Some(k);
+            } else {
+                break;
+            }
+        }
+        ScalabilityVerdict {
+            condition,
+            margins,
+            scalable_through: through,
+        }
+    }
+}
+
+/// Derives a per-point seed from the master seed and the point identity.
+fn point_seed(master: u64, kind: RmsKind, case: CaseId, k: u32) -> u64 {
+    let tag = (kind as u64) << 40 | (case.number() as u64) << 32 | k as u64;
+    SimRng::new(master).fork(tag).seed()
+}
+
+/// Builds the (override-applied) configuration for one point.
+fn point_config(kind: RmsKind, case: CaseId, k: u32, opts: &MeasureOptions) -> gridscale_gridsim::GridConfig {
+    let seed = point_seed(opts.seed, kind, case, k);
+    let mut cfg = config_for(kind, case, k, opts.preset, seed);
+    if let Some(d) = opts.duration_override {
+        cfg.workload.duration = d;
+    }
+    if let Some(d) = opts.drain_override {
+        cfg.drain = d;
+    }
+    if let Some(costs) = opts.cost_override {
+        cfg.costs = costs;
+    }
+    cfg
+}
+
+/// Step 1: resolve the target efficiency `E0` for `(kind, case)`.
+///
+/// In [`E0Mode::AutoBase`] this measures the base configuration (smallest
+/// `k` in `opts.ks`) at default enablers — the deployment-time operating
+/// point whose efficiency the scaled system must maintain.
+pub fn resolve_e0(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> f64 {
+    match opts.e0_mode {
+        E0Mode::Fixed => opts.e0,
+        E0Mode::AutoBase => {
+            let k0 = *opts.ks.iter().min().expect("ks nonempty");
+            let cfg = point_config(kind, case, k0, opts);
+            let mut policy = kind.build();
+            let r = gridscale_gridsim::run_simulation(&cfg, policy.as_mut());
+            r.efficiency.clamp(0.05, 0.95)
+        }
+    }
+}
+
+/// Tunes one `(model, case, k)` point: Step 3 of the procedure.
+///
+/// Simulated annealing walks the case's enabler grid; the energy of a
+/// setting is its measured `G(k)`, inflated multiplicatively when the
+/// measured efficiency leaves the `E0 ± tolerance` band — so feasible
+/// settings always dominate infeasible ones of similar overhead, while
+/// infeasible ones still rank by violation (needed when the band is
+/// unreachable, e.g. a saturated CENTRAL at large `k`).
+pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOptions) -> CurvePoint {
+    let seed = point_seed(opts.seed, kind, case, k);
+    let cfg = point_config(kind, case, k, opts);
+    let template = SimTemplate::new(&cfg);
+    let space = case.case().enabler_space;
+    let base_enablers = cfg.enablers;
+
+    let energy = |idx: &[usize; 4]| -> f64 {
+        let enablers = space.realize(idx, &base_enablers);
+        let mut policy = kind.build();
+        let report = template.run(enablers, policy.as_mut());
+        let violation = ((report.efficiency - e0).abs() - opts.tolerance).max(0.0);
+        report.g_overhead.max(1e-9) * (1.0 + 25.0 * violation / opts.tolerance)
+    };
+
+    let neighbor = |idx: &[usize; 4], rng: &mut SimRng| -> [usize; 4] {
+        let mut out = *idx;
+        // Step ±1 along one tunable dimension.
+        let tunable: Vec<usize> = (0..4).filter(|&d| space.len(d) > 1).collect();
+        if tunable.is_empty() {
+            return out;
+        }
+        let d = tunable[rng.index(tunable.len())];
+        let len = space.len(d);
+        let cur = out[d];
+        out[d] = if cur == 0 {
+            1
+        } else if cur + 1 >= len {
+            cur - 1
+        } else if rng.chance(0.5) {
+            cur + 1
+        } else {
+            cur - 1
+        };
+        out
+    };
+
+    let mut acfg = opts.anneal;
+    acfg.seed = seed ^ 0xA11EA1;
+    let result = anneal(space.start_index(&base_enablers), neighbor, energy, &acfg);
+
+    // Re-run the winning setting to obtain its full report, replicated
+    // over independent topology/workload seeds when requested.
+    assert!(opts.replications >= 1, "need at least one replication");
+    let enablers = space.realize(&result.best, &base_enablers);
+    let mut policy = kind.build();
+    let report = template.run(enablers, policy.as_mut());
+    let (mut g_sum, mut f_sum, mut h_sum) =
+        (report.g_overhead, report.f_work, report.h_overhead);
+    for i in 1..opts.replications {
+        let mut rep_cfg = cfg.clone();
+        rep_cfg.seed = SimRng::new(seed).fork(1000 + i as u64).seed();
+        let rep_template = SimTemplate::new(&rep_cfg);
+        let mut rep_policy = kind.build();
+        let r = rep_template.run(enablers, rep_policy.as_mut());
+        g_sum += r.g_overhead;
+        f_sum += r.f_work;
+        h_sum += r.h_overhead;
+    }
+    let n = opts.replications as f64;
+    let (g, f, h) = (g_sum / n, f_sum / n, h_sum / n);
+    let efficiency = crate::efficiency::IsoefficiencyModel::efficiency(f, g, h);
+    let feasible = (efficiency - e0).abs() <= opts.tolerance;
+    CurvePoint {
+        k,
+        g,
+        f,
+        h,
+        efficiency,
+        feasible,
+        enablers,
+        evaluations: result.evaluations,
+        replications: opts.replications,
+        report,
+    }
+}
+
+/// Measures the full scalability curve of one RMS model along one case —
+/// the complete four-step procedure. Points are tuned in parallel.
+pub fn measure_rms(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> ScalabilityCurve {
+    assert!(!opts.ks.is_empty(), "need at least one scale factor");
+    let threads = if opts.threads == 0 {
+        default_threads(opts.ks.len())
+    } else {
+        opts.threads
+    };
+    let e0 = resolve_e0(kind, case, opts);
+    let mut points = parallel_map(&opts.ks, threads, |&k| tune_point(kind, case, k, e0, opts));
+    points.sort_by_key(|p| p.k);
+    ScalabilityCurve {
+        kind,
+        case,
+        e0,
+        points,
+    }
+}
+
+/// Measures several models along one case, parallelizing over every
+/// `(model, k)` point.
+pub fn measure_all(kinds: &[RmsKind], case: CaseId, opts: &MeasureOptions) -> Vec<ScalabilityCurve> {
+    let threads = if opts.threads == 0 {
+        default_threads(kinds.len() * opts.ks.len())
+    } else {
+        opts.threads
+    };
+    // Step 1 per model (parallel): resolve each model's target efficiency.
+    let e0s = parallel_map(kinds, threads, |&kind| resolve_e0(kind, case, opts));
+    let jobs: Vec<(RmsKind, f64, u32)> = kinds
+        .iter()
+        .zip(&e0s)
+        .flat_map(|(&kind, &e0)| opts.ks.iter().map(move |&k| (kind, e0, k)))
+        .collect();
+    let points = parallel_map(&jobs, threads, |&(kind, e0, k)| {
+        tune_point(kind, case, k, e0, opts)
+    });
+    kinds
+        .iter()
+        .zip(&e0s)
+        .map(|(&kind, &e0)| {
+            let mut pts: Vec<CurvePoint> = jobs
+                .iter()
+                .zip(points.iter())
+                .filter(|((jk, _, _), _)| *jk == kind)
+                .map(|(_, p)| p.clone())
+                .collect();
+            pts.sort_by_key(|p| p.k);
+            ScalabilityCurve {
+                kind,
+                case,
+                e0,
+                points: pts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-sized options: tiny horizons, two scales, few SA iterations.
+    fn smoke_opts() -> MeasureOptions {
+        MeasureOptions {
+            ks: vec![1, 2],
+            anneal: AnnealConfig {
+                iterations: 5,
+                ..AnnealConfig::default()
+            },
+            duration_override: Some(SimTime::from_ticks(8_000)),
+            drain_override: Some(SimTime::from_ticks(10_000)),
+            threads: 2,
+            ..MeasureOptions::default()
+        }
+    }
+
+    #[test]
+    fn measure_produces_sorted_feasibility_annotated_points() {
+        let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts());
+        assert_eq!(curve.points.len(), 2);
+        assert_eq!(curve.points[0].k, 1);
+        assert_eq!(curve.points[1].k, 2);
+        for p in &curve.points {
+            assert!(p.g > 0.0, "k={}: G must be positive", p.k);
+            assert!(p.f > 0.0, "k={}: F must be positive", p.k);
+            assert!(p.evaluations >= 1);
+            assert!(p.report.completed > 0);
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let opts = smoke_opts();
+        let a = measure_rms(RmsKind::Central, CaseId::ServiceRate, &opts);
+        let b = measure_rms(RmsKind::Central, CaseId::ServiceRate, &opts);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.g, pb.g);
+            assert_eq!(pa.enablers, pb.enablers);
+            assert_eq!(pa.efficiency, pb.efficiency);
+        }
+    }
+
+    #[test]
+    fn curve_derivations_work() {
+        let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts());
+        let slopes = curve.g_slopes();
+        assert_eq!(slopes.len(), 1);
+        let norm = curve.normalized();
+        assert_eq!(norm[0].f, 1.0);
+        assert_eq!(norm[0].g, 1.0);
+        let verdict = curve.verdict();
+        assert_eq!(verdict.condition.len(), 1);
+    }
+
+    #[test]
+    fn measure_all_groups_by_kind() {
+        let curves = measure_all(
+            &[RmsKind::Central, RmsKind::Lowest],
+            CaseId::NetworkSize,
+            &smoke_opts(),
+        );
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].kind, RmsKind::Central);
+        assert_eq!(curves[1].kind, RmsKind::Lowest);
+        assert!(curves.iter().all(|c| c.points.len() == 2));
+    }
+
+    #[test]
+    fn point_seeds_differ_across_identity() {
+        let a = point_seed(1, RmsKind::Central, CaseId::NetworkSize, 1);
+        let b = point_seed(1, RmsKind::Central, CaseId::NetworkSize, 2);
+        let c = point_seed(1, RmsKind::Lowest, CaseId::NetworkSize, 1);
+        let d = point_seed(1, RmsKind::Central, CaseId::ServiceRate, 1);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_curve() {
+        let curve = measure_rms(RmsKind::Central, CaseId::NetworkSize, &smoke_opts());
+        let s = serde_json::to_string(&curve).unwrap();
+        let back: ScalabilityCurve = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.points.len(), curve.points.len());
+        assert_eq!(back.points[0].g, curve.points[0].g);
+    }
+}
+
+#[cfg(test)]
+mod verdict_tests {
+    use super::*;
+    use gridscale_gridsim::{Enablers, SimReport};
+
+    fn point(k: u32, g: f64, f: f64) -> CurvePoint {
+        CurvePoint {
+            k,
+            g,
+            f,
+            h: 0.0,
+            efficiency: 0.4,
+            feasible: true,
+            enablers: Enablers::default(),
+            evaluations: 1,
+            replications: 1,
+            report: SimReport::default(),
+        }
+    }
+
+    fn curve(points: Vec<CurvePoint>) -> ScalabilityCurve {
+        ScalabilityCurve {
+            kind: RmsKind::Lowest,
+            case: CaseId::NetworkSize,
+            e0: 0.4,
+            points,
+        }
+    }
+
+    #[test]
+    fn perfectly_linear_growth_is_scalable() {
+        // g(k) = f(k) = k: condition f > c·g with c = g0/((α−1)f0)…
+        // with E0 = 0.4 and base (f=10, g=15): c = 15/(1.5·10) = 1.
+        // f(k) > g(k) fails at equality; make f slightly faster.
+        let c = curve(vec![
+            point(1, 15.0, 10.0),
+            point(2, 28.0, 21.0),
+            point(3, 40.0, 32.0),
+        ]);
+        let v = c.verdict();
+        assert_eq!(v.scalable_through, Some(3));
+        assert!(v.condition.iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn overhead_explosion_fails_from_first_violation() {
+        let c = curve(vec![
+            point(1, 15.0, 10.0),
+            point(2, 28.0, 21.0), // fine
+            point(3, 90.0, 30.0), // g ×6 vs f ×3: fails (6 > 3)
+            point(4, 60.0, 45.0), // passes again (g 4 < f 4.5), but the prefix broke
+        ]);
+        let v = c.verdict();
+        assert_eq!(v.scalable_through, Some(2));
+        assert_eq!(
+            v.condition.iter().map(|(_, ok)| *ok).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn immediate_failure_reports_none() {
+        let c = curve(vec![point(1, 15.0, 10.0), point(2, 60.0, 12.0)]);
+        assert_eq!(c.verdict().scalable_through, None);
+    }
+
+    #[test]
+    fn g_curve_and_slopes_align() {
+        let c = curve(vec![point(1, 10.0, 1.0), point(3, 30.0, 3.0), point(6, 30.0, 6.0)]);
+        assert_eq!(c.g_curve(), vec![(1.0, 10.0), (3.0, 30.0), (6.0, 30.0)]);
+        assert_eq!(c.g_slopes(), vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_base_is_unity() {
+        let c = curve(vec![point(1, 15.0, 10.0), point(2, 30.0, 20.0)]);
+        let n = c.normalized();
+        assert_eq!((n[0].f, n[0].g), (1.0, 1.0));
+        assert_eq!((n[1].f, n[1].g), (2.0, 2.0));
+    }
+}

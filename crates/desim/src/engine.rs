@@ -1,0 +1,228 @@
+//! The event-loop driver.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation model.
+///
+/// The engine pops the earliest event from the queue and calls
+/// [`World::handle`]; the model reacts by mutating its own state and
+/// scheduling further events. This is the classic event-oriented DES
+/// world-view (the same one the paper's Parsec model uses, minus Parsec's
+/// optimistic parallelism, which the paper does not rely on).
+pub trait World {
+    /// The model-defined event payload type.
+    type Event;
+
+    /// Processes one event occurring at time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Called once when the run finishes (horizon reached or queue drained).
+    /// Default: no-op. Models use this to close time-weighted statistics.
+    fn finish(&mut self, _now: SimTime) {}
+}
+
+/// Why a call to [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget (`max_events`) was exhausted — a runaway-model guard.
+    EventBudgetExhausted,
+}
+
+/// The simulation engine: owns the clock and the future-event list.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    max_events: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an effectively unlimited event
+    /// budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events processed across the engine's
+    /// lifetime. Exceeding the cap stops the run with
+    /// [`RunOutcome::EventBudgetExhausted`] — a guard against models that
+    /// schedule unboundedly (e.g. a zero-delay message loop).
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Mutable access to the event queue, e.g. to seed initial events.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Shared access to the event queue.
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Runs until the queue drains, the clock passes `horizon`, or the event
+    /// budget is exhausted. Events stamped exactly at `horizon` are still
+    /// processed; later ones are left pending.
+    pub fn run_until<W>(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome
+    where
+        W: World<Event = E>,
+    {
+        let outcome = loop {
+            let Some(at) = self.queue.peek_time() else {
+                break RunOutcome::Drained;
+            };
+            if at > horizon {
+                break RunOutcome::HorizonReached;
+            }
+            if self.processed >= self.max_events {
+                break RunOutcome::EventBudgetExhausted;
+            }
+            // Unwrap is fine: peek_time just returned Some.
+            let ev = self.queue.pop().expect("event vanished between peek and pop");
+            debug_assert!(ev.at >= self.now, "event queue must be time-ordered");
+            self.now = ev.at;
+            self.processed += 1;
+            world.handle(self.now, ev.event, &mut self.queue);
+        };
+        let end = match outcome {
+            RunOutcome::HorizonReached => horizon,
+            _ => self.now,
+        };
+        self.now = end;
+        world.finish(end);
+        outcome
+    }
+
+    /// Runs until the queue drains (or the event budget is exhausted).
+    pub fn run_to_completion<W>(&mut self, world: &mut W) -> RunOutcome
+    where
+        W: World<Event = E>,
+    {
+        self.run_until(world, SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        fired: Vec<u64>,
+        finished_at: Option<SimTime>,
+        respawn: bool,
+    }
+
+    impl World for Counter {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+            self.fired.push(ev);
+            if self.respawn {
+                q.schedule(now + SimTime::from_ticks(10), ev + 1);
+            }
+        }
+        fn finish(&mut self, now: SimTime) {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn world(respawn: bool) -> Counter {
+        Counter {
+            fired: vec![],
+            finished_at: None,
+            respawn,
+        }
+    }
+
+    #[test]
+    fn drains_when_no_respawn() {
+        let mut w = world(false);
+        let mut e = Engine::new();
+        e.queue_mut().schedule(SimTime::from_ticks(5), 1);
+        e.queue_mut().schedule(SimTime::from_ticks(2), 0);
+        let outcome = e.run_until(&mut w, SimTime::from_ticks(100));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(w.fired, vec![0, 1]);
+        assert_eq!(e.now(), SimTime::from_ticks(5), "clock stops at last event");
+        assert_eq!(e.processed(), 2);
+    }
+
+    #[test]
+    fn horizon_stops_infinite_chain() {
+        let mut w = world(true);
+        let mut e = Engine::new();
+        e.queue_mut().schedule(SimTime::ZERO, 0);
+        let outcome = e.run_until(&mut w, SimTime::from_ticks(35));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Events at t = 0, 10, 20, 30 fire; t = 40 is pending.
+        assert_eq!(w.fired, vec![0, 1, 2, 3]);
+        assert_eq!(e.queue().len(), 1);
+        assert_eq!(e.now(), SimTime::from_ticks(35), "clock advances to horizon");
+        assert_eq!(w.finished_at, Some(SimTime::from_ticks(35)));
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_is_processed() {
+        let mut w = world(false);
+        let mut e = Engine::new();
+        e.queue_mut().schedule(SimTime::from_ticks(50), 9);
+        e.run_until(&mut w, SimTime::from_ticks(50));
+        assert_eq!(w.fired, vec![9]);
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let mut w = world(true);
+        let mut e = Engine::new().with_event_budget(5);
+        e.queue_mut().schedule(SimTime::ZERO, 0);
+        let outcome = e.run_to_completion(&mut w);
+        assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
+        assert_eq!(w.fired.len(), 5);
+    }
+
+    #[test]
+    fn finish_called_on_drain() {
+        let mut w = world(false);
+        let mut e = Engine::new();
+        e.queue_mut().schedule(SimTime::from_ticks(3), 1);
+        e.run_to_completion(&mut w);
+        assert_eq!(w.finished_at, Some(SimTime::from_ticks(3)));
+    }
+
+    #[test]
+    fn empty_queue_finishes_immediately() {
+        let mut w = world(false);
+        let mut e: Engine<u64> = Engine::new();
+        let outcome = e.run_until(&mut w, SimTime::from_ticks(10));
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert!(w.fired.is_empty());
+        assert_eq!(w.finished_at, Some(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,359 @@
+//! Seeded randomness and the distributions the simulator needs.
+//!
+//! Only `rand`'s RNG core is used; the distributions (exponential,
+//! log-normal, Weibull, bounded Pareto, Zipf) are implemented here via
+//! inverse-CDF / Box–Muller so the dependency footprint stays at the
+//! offline-approved set.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random number generator for simulations.
+///
+/// Every simulation run is a pure function of `(model, seed)`; `SimRng`
+/// wraps [`StdRng`] so seeds are explicit and the distribution helpers used
+/// across the workspace live in one place.
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").field("seed", &self.seed).finish()
+    }
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator; `stream` distinguishes
+    /// subsystems (workload, topology, annealing, …) so adding draws to one
+    /// subsystem does not perturb another.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix64-style mix of (seed, stream) into a fresh seed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. `lo` must be `< hi`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    ///
+    /// Used for Poisson inter-arrival times.
+    #[inline]
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        // Inverse CDF; 1 - U avoids ln(0).
+        -(1.0 - self.uniform01()).ln() / rate
+    }
+
+    /// Standard normal draw (Box–Muller, one value per call).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.uniform01(); // (0, 1]
+        let u2 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Log-normal draw: `exp(N(mu, sigma))`.
+    ///
+    /// The Cirne–Berman supercomputer workload model fits job execution
+    /// times with heavy-tailed distributions of this family.
+    #[inline]
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        debug_assert!(sigma >= 0.0);
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Log-uniform draw in `[lo, hi)`: uniform in log-space, so each decade
+    /// is equally likely. `0 < lo < hi` required.
+    pub fn log_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo > 0.0 && lo < hi);
+        (self.uniform(lo.ln(), hi.ln())).exp()
+    }
+
+    /// Weibull draw with shape `k` and scale `lambda` (inverse CDF).
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        debug_assert!(shape > 0.0 && scale > 0.0);
+        let u = 1.0 - self.uniform01();
+        scale * (-u.ln()).powf(1.0 / shape)
+    }
+
+    /// Bounded Pareto draw on `[lo, hi]` with tail index `alpha`.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && lo < hi);
+        let u = self.uniform01();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Zipf draw over ranks `1..=n` with exponent `s`, by inversion over the
+    /// precomputed normalizer (O(log n) per draw after O(n) table build is
+    /// avoided; this uses rejection-free linear scan only for small `n`,
+    /// otherwise approximate inversion).
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // Exact linear inversion; n in this workspace is at most a few
+        // thousand (cluster counts), so O(n) worst case is acceptable and
+        // exactness keeps property tests simple.
+        let h: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+        let mut u = self.uniform01() * h;
+        for i in 1..=n {
+            u -= (i as f64).powf(-s);
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        n
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `0..n` (floyd-style sampling when
+    /// `k << n`, shuffle otherwise). `k` is clamped to `n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 3 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            // Rejection sampling with a small set; fine for k << n.
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let c = self.index(n);
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(mut f: impl FnMut(&mut SimRng) -> f64, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let xs: Vec<f64> = (0..50).map(|_| a.uniform01()).collect();
+        let ys: Vec<f64> = (0..50).map(|_| b.uniform01()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let xs: Vec<u64> = (0..10).map(|_| a.int_range(0, u64::MAX - 1)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.int_range(0, u64::MAX - 1)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_stable() {
+        let root = SimRng::new(7);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let mut c1_again = root.fork(0);
+        assert_eq!(c1.uniform01(), c1_again.uniform01());
+        assert_ne!(c1.uniform01(), c2.uniform01());
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let m = mean_of(|r| r.exponential(0.5), 40_000, 9);
+        assert!((m - 2.0).abs() < 0.1, "mean {m} should be near 2");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+        let m = mean_of(|r| r.uniform(2.0, 5.0), 40_000, 4);
+        assert!((m - 3.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let m = mean_of(|r| r.normal(10.0, 3.0), 40_000, 11);
+        assert!((m - 10.0).abs() < 0.1);
+        let mut rng = SimRng::new(12);
+        let var = {
+            let xs: Vec<f64> = (0..40_000).map(|_| rng.normal(0.0, 3.0)).collect();
+            let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / xs.len() as f64
+        };
+        assert!((var - 9.0).abs() < 0.5, "variance {var} should be near 9");
+    }
+
+    #[test]
+    fn log_normal_positive_and_median() {
+        let mut rng = SimRng::new(5);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| rng.log_normal(3.0, 1.0)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        // Median of lognormal is exp(mu).
+        assert!((median - 3f64.exp()).abs() / 3f64.exp() < 0.1);
+    }
+
+    #[test]
+    fn log_uniform_within_bounds() {
+        let mut rng = SimRng::new(6);
+        for _ in 0..1000 {
+            let x = rng.log_uniform(10.0, 1000.0);
+            assert!((10.0..1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        // Weibull(k=1, λ) has mean λ.
+        let m = mean_of(|r| r.weibull(1.0, 4.0), 40_000, 8);
+        assert!((m - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn bounded_pareto_within_bounds() {
+        let mut rng = SimRng::new(10);
+        for _ in 0..2000 {
+            let x = rng.bounded_pareto(1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_most_common() {
+        let mut rng = SimRng::new(13);
+        let mut counts = [0usize; 6];
+        for _ in 0..20_000 {
+            let r = rng.zipf(5, 1.0);
+            assert!((1..=5).contains(&r));
+            counts[r] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[3]);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(14);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SimRng::new(15);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "shuffle is a permutation");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_clamped() {
+        let mut rng = SimRng::new(16);
+        let s = rng.sample_indices(100, 10);
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10, "indices must be distinct");
+        assert!(s.iter().all(|&i| i < 100));
+
+        assert_eq!(rng.sample_indices(3, 10).len(), 3, "k clamps to n");
+        assert!(rng.sample_indices(5, 0).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! Online statistics for simulation outputs.
+//!
+//! All accumulators are single-pass and allocation-free (except the
+//! histogram's fixed bin vector), so they can sit on hot event-handling
+//! paths.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// combination), enabling per-shard accumulation in parallel sweeps.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal, e.g. queue
+/// length or resource load over simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    started: bool,
+    start_time: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an accumulator; the signal is undefined until the first
+    /// [`TimeWeighted::record`].
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            started: false,
+            start_time: SimTime::ZERO,
+        }
+    }
+
+    /// Records that the signal takes value `value` from time `now` onward.
+    /// Times must be nondecreasing.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if self.started {
+            debug_assert!(now >= self.last_time, "time went backwards");
+            let dt = (now - self.last_time).as_f64();
+            self.weighted_sum += self.last_value * dt;
+        } else {
+            self.started = true;
+            self.start_time = now;
+        }
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// Closes the signal at `end` and returns the time-weighted mean over
+    /// `[first_record, end]`. Returns 0 if nothing was recorded or the
+    /// window is empty.
+    pub fn mean_until(&self, end: SimTime) -> f64 {
+        if !self.started || end <= self.start_time {
+            return 0.0;
+        }
+        let tail = (end - self.last_time).as_f64() * self.last_value;
+        let span = (end - self.start_time).as_f64();
+        (self.weighted_sum + tail) / span
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// A fixed-width-bin histogram over `[0, max)` with an overflow bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` bins of width `bin_width`; values `>= bins * bin_width` land
+    /// in the overflow bin.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            bin_width,
+            bins: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation (negative values clamp into bin 0).
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.bins[0] += 1;
+            return;
+        }
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Count of observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bin midpoints; overflow
+    /// reports the lower edge of the overflow region. `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 0.5) * self.bin_width);
+            }
+        }
+        Some(self.bins.len() as f64 * self.bin_width)
+    }
+}
+
+/// A monotone event counter with a rate helper.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Count per unit time over `span` (0 for an empty span).
+    pub fn rate(&self, span: SimTime) -> f64 {
+        if span.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / span.as_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn welford_basics() {
+        let mut w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..33] {
+            a.push(x);
+        }
+        for &x in &xs[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(3.0);
+        let b = Welford::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_piecewise() {
+        let mut tw = TimeWeighted::new();
+        tw.record(t(0), 1.0); // value 1 on [0, 10)
+        tw.record(t(10), 3.0); // value 3 on [10, 20)
+        assert_eq!(tw.current(), 3.0);
+        // Mean over [0, 20) = (1*10 + 3*10)/20 = 2.
+        assert!((tw.mean_until(t(20)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_starts_at_first_record() {
+        let mut tw = TimeWeighted::new();
+        tw.record(t(100), 4.0);
+        assert!((tw.mean_until(t(200)) - 4.0).abs() < 1e-12);
+        assert_eq!(tw.mean_until(t(100)), 0.0, "empty window");
+        assert_eq!(TimeWeighted::new().mean_until(t(50)), 0.0, "no records");
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(10.0, 5);
+        for x in [0.0, 5.0, 9.99, 10.0, 49.0, 50.0, 1e9, -3.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bin(0), 4); // 0, 5, 9.99, and clamped -3
+        assert_eq!(h.bin(1), 1); // 10
+        assert_eq!(h.bin(4), 1); // 49
+        assert_eq!(h.overflow(), 2); // 50, 1e9
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 49.5).abs() <= 1.0);
+        assert_eq!(Histogram::new(1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert!((c.rate(t(5)) - 2.0).abs() < 1e-12);
+        assert_eq!(c.rate(SimTime::ZERO), 0.0);
+    }
+}

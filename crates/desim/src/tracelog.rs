@@ -1,0 +1,193 @@
+//! A bounded event trace for simulation debugging.
+//!
+//! Recording every event of a multi-million-event run is infeasible;
+//! recording the *most recent* window usually suffices to diagnose a
+//! mis-scheduled message or a runaway loop. [`TraceLog`] is a fixed-
+//! capacity ring of timestamped entries with cheap filtering — models can
+//! embed one and dump it on an assertion failure.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry<T> {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Monotone sequence number across the log's lifetime.
+    pub seq: u64,
+    /// The recorded payload.
+    pub data: T,
+}
+
+/// A fixed-capacity ring buffer of timestamped trace entries.
+#[derive(Debug, Clone)]
+pub struct TraceLog<T> {
+    entries: VecDeque<TraceEntry<T>>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl<T> TraceLog<T> {
+    /// A log keeping the most recent `capacity` entries (must be > 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace log needs capacity");
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Records an entry, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, data: T) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            seq: self.recorded,
+            data,
+        });
+        self.recorded += 1;
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry<T>> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Number of entries dropped off the front so far.
+    pub fn evicted(&self) -> u64 {
+        self.recorded - self.entries.len() as u64
+    }
+
+    /// Retained entries within `[from, to]` inclusive, oldest first.
+    pub fn between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEntry<T>> {
+        self.entries
+            .iter()
+            .filter(move |e| e.at >= from && e.at <= to)
+    }
+
+    /// Retained entries matching a predicate, oldest first.
+    pub fn matching<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a TraceEntry<T>>
+    where
+        F: Fn(&T) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |e| pred(&e.data))
+    }
+
+    /// Clears retained entries (lifetime counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<T: fmt::Display> TraceLog<T> {
+    /// Formats the retained window as one line per entry.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.evicted() > 0 {
+            out.push_str(&format!("… {} earlier entries evicted …\n", self.evicted()));
+        }
+        for e in &self.entries {
+            out.push_str(&format!("[{} #{}] {}\n", e.at, e.seq, e.data));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn filled(cap: usize, n: u64) -> TraceLog<String> {
+        let mut log = TraceLog::new(cap);
+        for i in 0..n {
+            log.record(t(i * 10), format!("ev{i}"));
+        }
+        log
+    }
+
+    #[test]
+    fn retains_most_recent_window() {
+        let log = filled(3, 10);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.evicted(), 7);
+        let kept: Vec<&str> = log.entries().map(|e| e.data.as_str()).collect();
+        assert_eq!(kept, vec!["ev7", "ev8", "ev9"]);
+        assert_eq!(log.entries().next().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let log = filled(10, 4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn time_window_filter() {
+        let log = filled(100, 10);
+        let mid: Vec<u64> = log.between(t(30), t(60)).map(|e| e.at.ticks()).collect();
+        assert_eq!(mid, vec![30, 40, 50, 60]);
+        assert_eq!(log.between(t(1000), t(2000)).count(), 0);
+    }
+
+    #[test]
+    fn predicate_filter() {
+        let log = filled(100, 10);
+        let evens: Vec<&str> = log
+            .matching(|d| d.trim_start_matches("ev").parse::<u64>().unwrap() % 2 == 0)
+            .map(|e| e.data.as_str())
+            .collect();
+        assert_eq!(evens.len(), 5);
+        assert_eq!(evens[0], "ev0");
+    }
+
+    #[test]
+    fn dump_mentions_evictions() {
+        let log = filled(2, 5);
+        let d = log.dump();
+        assert!(d.contains("3 earlier entries evicted"));
+        assert!(d.contains("ev4"));
+        let fresh = filled(10, 2);
+        assert!(!fresh.dump().contains("evicted"));
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counts() {
+        let mut log = filled(5, 5);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.evicted(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        TraceLog::<u32>::new(0);
+    }
+}

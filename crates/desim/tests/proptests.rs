@@ -1,0 +1,112 @@
+//! Property-based tests for the DES kernel.
+
+use gridscale_desim::stats::{Histogram, Welford};
+use gridscale_desim::{Engine, EventQueue, SimRng, SimTime, World};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue is a stable priority queue: pops come out sorted by time,
+    /// and equal-time events preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.at, ev.event));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Merged Welford accumulators agree with a single-pass accumulator
+    /// regardless of the split point.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-5 * (1.0 + whole.variance()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Histogram quantiles are monotone in q and total mass is conserved.
+    #[test]
+    fn histogram_quantiles_monotone(xs in prop::collection::vec(0.0f64..500.0, 1..300)) {
+        let mut h = Histogram::new(10.0, 40);
+        for &x in &xs { h.push(x); }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let q25 = h.quantile(0.25).unwrap();
+        let q50 = h.quantile(0.50).unwrap();
+        let q95 = h.quantile(0.95).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q95);
+    }
+
+    /// SimTime arithmetic: associativity of addition and the saturating
+    /// subtraction identity max(a-b, 0).
+    #[test]
+    fn simtime_arithmetic(a in 0u64..u64::MAX/4, b in 0u64..u64::MAX/4, c in 0u64..u64::MAX/4) {
+        let (ta, tb, tc) = (SimTime::from_ticks(a), SimTime::from_ticks(b), SimTime::from_ticks(c));
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert_eq!((ta - tb).ticks(), a.saturating_sub(b));
+        prop_assert_eq!(ta.max(tb).ticks(), a.max(b));
+    }
+
+    /// Engine delivery honors an arbitrary set of one-shot events.
+    #[test]
+    fn engine_delivers_everything_before_horizon(times in prop::collection::vec(0u64..5000, 1..100)) {
+        struct Collect(Vec<u64>);
+        impl World for Collect {
+            type Event = u64;
+            fn handle(&mut self, now: SimTime, ev: u64, _q: &mut EventQueue<u64>) {
+                assert_eq!(now.ticks(), ev);
+                self.0.push(ev);
+            }
+        }
+        let mut w = Collect(Vec::new());
+        let mut e = Engine::new();
+        for &t in &times {
+            e.queue_mut().schedule(SimTime::from_ticks(t), t);
+        }
+        e.run_until(&mut w, SimTime::from_ticks(5000));
+        prop_assert_eq!(w.0.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(w.0, sorted);
+    }
+
+    /// The RNG's distributions stay within their support.
+    #[test]
+    fn distributions_respect_support(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.uniform01() < 1.0);
+            prop_assert!(rng.exponential(0.1) >= 0.0);
+            prop_assert!(rng.log_normal(2.0, 0.5) > 0.0);
+            let w = rng.weibull(2.0, 3.0);
+            prop_assert!(w >= 0.0);
+            let bp = rng.bounded_pareto(1.2, 5.0, 50.0);
+            prop_assert!((5.0..=50.0).contains(&bp));
+            let z = rng.zipf(10, 1.2);
+            prop_assert!((1..=10).contains(&z));
+        }
+    }
+}

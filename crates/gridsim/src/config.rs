@@ -1,0 +1,322 @@
+//! Simulation configuration: topology, costs, thresholds, and the
+//! paper's scaling enablers.
+
+use gridscale_desim::SimTime;
+use gridscale_workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic topology family to generate (Mercator substitutes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Barabási–Albert preferential attachment with `m` links per node —
+    /// the default (power-law degrees, like Mercator router maps).
+    BarabasiAlbert {
+        /// Links added per new node.
+        m: usize,
+    },
+    /// Waxman random geometric graph.
+    Waxman {
+        /// Locality parameter (larger ⇒ longer links likelier).
+        alpha: f64,
+        /// Overall link density.
+        beta: f64,
+    },
+    /// Transit-stub hierarchy with fixed shape ratios; node count is
+    /// matched approximately.
+    TransitStub,
+    /// A ring — tiny deterministic baseline for tests.
+    Ring,
+    /// A star with the scheduler at the hub — tiny baseline for tests.
+    Star,
+}
+
+/// The *scaling enablers* (paper §2.2, Tables 2–5): the tuning knobs the
+/// simulated-annealing search adjusts to keep efficiency constant at
+/// minimum RMS overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Enablers {
+    /// Status-update interval τ in ticks ("Status update interval").
+    pub update_interval: u64,
+    /// `L_p` — number of remote schedulers polled/probed ("Neighborhood set
+    /// size"). In Case 4 this becomes the scaling *variable* instead.
+    pub neighborhood: usize,
+    /// Multiplier on all link propagation delays ("Network link delay").
+    pub link_delay_factor: f64,
+    /// Interval for resource volunteering / periodic policy checks in
+    /// ticks ("Interval for resource volunteering", Case 4; drives R-I /
+    /// RESERVE / Sy-I advertisement timers).
+    pub volunteer_interval: u64,
+}
+
+impl Default for Enablers {
+    fn default() -> Self {
+        Enablers {
+            update_interval: 400,
+            neighborhood: 3,
+            link_delay_factor: 1.0,
+            volunteer_interval: 800,
+        }
+    }
+}
+
+/// Service-time constants (ticks) for RMS work items; the accumulated busy
+/// time of schedulers and estimators under these costs is exactly the
+/// paper's `G(k)` ("the overall time spent by the schedulers for
+/// scheduling, receiving, and processing updates").
+///
+/// Defaults are calibrated so the paper's base operating point
+/// `E(k0) ∈ [0.38, 0.42]` is reachable (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadCosts {
+    /// Receiving a job submission at a scheduler.
+    pub recv_job: f64,
+    /// Fixed part of one scheduling decision.
+    pub decision_base: f64,
+    /// Per-candidate part of a decision (scanning one resource's state);
+    /// this is what makes a centralized least-loaded scan O(N).
+    pub decision_per_candidate: f64,
+    /// Processing one status update (scheduler or estimator).
+    pub update: f64,
+    /// Fixed cost of an estimator flushing one batch.
+    pub batch_fixed: f64,
+    /// Per-item cost of a scheduler ingesting a batched update.
+    pub batch_per_item: f64,
+    /// Processing one inter-scheduler policy message (poll, bid,
+    /// reservation, advertisement, …).
+    pub policy_msg: f64,
+    /// Issuing a dispatch/transfer.
+    pub dispatch: f64,
+    /// A periodic policy self-check (R-I RUS scan etc.).
+    pub timer_check: f64,
+    /// RP-side job-control overhead per job execution (contributes to
+    /// `H(k)`, which the paper assumes small).
+    pub rp_job_control: f64,
+    /// Accounting weight converting RMS busy ticks into the paper's
+    /// overhead cost units: `G = overhead_weight × busy time`.
+    ///
+    /// The queueing behaviour of schedulers (decision latency, saturation)
+    /// is driven by the *raw* busy times above; the weight only rescales
+    /// the `G` that enters the efficiency `E = F/(F+G+H)`. It is the
+    /// degree of freedom that places the base operating point inside the
+    /// paper's `E(k0) ∈ [0.38, 0.42]` band — the isoefficiency constants
+    /// `c, c'` of Eq. (1) absorb it, so relative scalability results are
+    /// unaffected. See DESIGN.md §2.
+    pub overhead_weight: f64,
+}
+
+impl Default for OverheadCosts {
+    fn default() -> Self {
+        OverheadCosts {
+            recv_job: 0.3,
+            decision_base: 1.0,
+            decision_per_candidate: 0.002,
+            update: 0.3,
+            batch_fixed: 0.5,
+            batch_per_item: 0.05,
+            policy_msg: 0.6,
+            dispatch: 0.2,
+            timer_check: 0.3,
+            rp_job_control: 0.5,
+            overhead_weight: 120.0,
+        }
+    }
+}
+
+/// The paper's policy thresholds (Table 1 and §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// `T_CPU`: jobs with execution time ≤ this are LOCAL (Table 1: 700).
+    pub t_cpu: SimTime,
+    /// `T_l`: threshold load at a scheduler (Table 1: 0.5, in mean jobs
+    /// per resource).
+    pub t_l: f64,
+    /// `δ`: R-I per-resource utilization threshold below which a resource
+    /// is advertised.
+    pub delta: f64,
+    /// `ψ`: S-I tolerance when comparing approximate turnaround times.
+    pub psi: f64,
+    /// How long an AUCTION accumulates bids ("a small interval").
+    pub auction_window: SimTime,
+    /// Minimum load change for a resource to send a (non-suppressed)
+    /// status update, in jobs.
+    pub suppress_delta: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            t_cpu: SimTime::from_ticks(700),
+            t_l: 0.5,
+            delta: 0.5,
+            psi: 50.0,
+            auction_window: SimTime::from_ticks(100),
+            suppress_delta: 0.5,
+        }
+    }
+}
+
+/// Full configuration of one Grid simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Total network size (paper: `sizeof[RMS] + sizeof[RP]`).
+    pub nodes: usize,
+    /// Number of schedulers (1 for CENTRAL; one per cluster otherwise).
+    pub schedulers: usize,
+    /// Number of status estimators (0 ⇒ resources update schedulers
+    /// directly; Case 3 scales this).
+    pub estimators: usize,
+    /// Fraction of non-RMS nodes that are resources (rest are routers).
+    pub resource_fraction: f64,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Resource service rate in demand-ticks per tick (Case 2 scales this).
+    pub service_rate: f64,
+    /// The workload to generate and replay.
+    pub workload: WorkloadConfig,
+    /// RMS work-item costs.
+    pub costs: OverheadCosts,
+    /// Scaling enablers (the annealer mutates these).
+    pub enablers: Enablers,
+    /// Policy thresholds.
+    pub thresholds: Thresholds,
+    /// Middleware service time per message (S-I/R-I/Sy-I family), ticks.
+    pub middleware_service: f64,
+    /// Probability per parent slot that a job depends on an earlier job
+    /// (paper future-work item (b); `0.0` — the paper's evaluated setting —
+    /// disables precedence entirely).
+    pub dag_edge_prob: f64,
+    /// Maximum number of parents drawn per job when `dag_edge_prob > 0`.
+    pub dag_max_parents: u32,
+    /// Data-management cost charged to `H` per dependency edge whose
+    /// producer completed in a different cluster than the consumer's
+    /// submission cluster (same-cluster edges cost 20% of this).
+    pub dag_data_cost: f64,
+    /// Extra simulated time after the last arrival for jobs to drain.
+    pub drain: SimTime,
+    /// Master seed; topology, workload, and policy randomness fork from it.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            nodes: 170,
+            schedulers: 8,
+            estimators: 0,
+            resource_fraction: 0.85,
+            topology: TopologySpec::BarabasiAlbert { m: 2 },
+            service_rate: 1.0,
+            workload: WorkloadConfig::default(),
+            costs: OverheadCosts::default(),
+            enablers: Enablers::default(),
+            thresholds: Thresholds::default(),
+            middleware_service: 0.5,
+            dag_edge_prob: 0.0,
+            dag_max_parents: 2,
+            dag_data_cost: 5.0,
+            drain: SimTime::from_ticks(40_000),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl GridConfig {
+    /// Simulation horizon: arrivals stop at `workload.duration`, execution
+    /// drains for `drain` more ticks.
+    pub fn horizon(&self) -> SimTime {
+        self.workload.duration + self.drain
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schedulers == 0 {
+            return Err("at least one scheduler is required".into());
+        }
+        if self.schedulers + self.estimators >= self.nodes {
+            return Err(format!(
+                "{} RMS nodes do not fit in a {}-node network",
+                self.schedulers + self.estimators,
+                self.nodes
+            ));
+        }
+        if self.service_rate <= 0.0 {
+            return Err("service rate must be positive".into());
+        }
+        if self.enablers.update_interval == 0 || self.enablers.volunteer_interval == 0 {
+            return Err("enabler intervals must be nonzero".into());
+        }
+        if self.enablers.link_delay_factor <= 0.0 {
+            return Err("link delay factor must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.resource_fraction) {
+            return Err("resource fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.dag_edge_prob) {
+            return Err("dag edge probability must be in [0,1]".into());
+        }
+        if self.dag_data_cost < 0.0 {
+            return Err("dag data cost must be nonnegative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(GridConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn horizon_includes_drain() {
+        let c = GridConfig::default();
+        assert_eq!(c.horizon(), c.workload.duration + c.drain);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let base = GridConfig::default();
+        let mut c = base.clone();
+        c.schedulers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.schedulers = 200;
+        assert!(c.validate().is_err(), "RMS larger than network");
+
+        let mut c = base.clone();
+        c.service_rate = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.enablers.update_interval = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.enablers.link_delay_factor = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.resource_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = GridConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: GridConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn paper_table1_defaults() {
+        let t = Thresholds::default();
+        assert_eq!(t.t_cpu, SimTime::from_ticks(700));
+        assert!((t.t_l - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! # gridscale-gridsim
+//!
+//! The managed-Grid simulation model of the paper's §3.1, built on
+//! [`gridscale_desim`]:
+//!
+//! * a **resource pool (RP)** — the *managee*: homogeneous resources with
+//!   finite service rate executing a synthetic workload FIFO;
+//! * a **resource management system (RMS)** — the *manager*: per-cluster
+//!   schedulers (and, for Case 3, status *estimators*) modelled as
+//!   single-server FIFO queues whose busy time **is** the RMS overhead
+//!   `G(k)`;
+//! * **status dissemination** — resources push periodic load updates
+//!   (interval τ, with change-suppression as in the paper: "an update might
+//!   be suppressed"), optionally via estimators that batch-forward;
+//! * **message transport** — every message is routed over the topology and
+//!   delayed by propagation (scaled by the link-delay enabler) plus
+//!   transmission, with an optional middleware queueing stage for the
+//!   S-I/R-I/Sy-I family;
+//! * **accounting** — useful work `F` (service demand of jobs that finish
+//!   within their `U_b` benefit deadline), RMS overhead `G` (scheduler +
+//!   estimator busy time), RP overhead `H` (per-job control cost), and the
+//!   efficiency `E = F/(F+G+H)`.
+//!
+//! RMS *policies* (CENTRAL, LOWEST, … — crate `gridscale-rms`) plug in via
+//! the [`Policy`] trait; this crate is policy-agnostic machinery.
+
+#![warn(missing_docs)]
+
+mod config;
+mod msg;
+mod policy;
+mod report;
+mod sim;
+pub mod timeline;
+mod view;
+
+pub use config::{Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
+pub use msg::{Msg, PolicyMsg};
+pub use policy::{LocalOnly, Policy};
+pub use report::SimReport;
+pub use sim::{run_simulation, Ctx, GridEvent, GridSim, SimTemplate, WorkItem};
+pub use timeline::{Sample, Timeline};
+pub use view::{ClusterView, ResourceView};

@@ -1,0 +1,280 @@
+//! The message vocabulary of the Grid.
+//!
+//! The seven RMS models of the paper exchange a fixed set of message kinds
+//! (polls, reservations, auction invitations/bids, volunteering
+//! advertisements, demand handshakes); they are enumerated centrally so the
+//! transport layer can size and count them uniformly.
+
+use gridscale_desim::SimTime;
+use gridscale_workload::Job;
+use serde::{Deserialize, Serialize};
+
+/// Inter-scheduler policy traffic. `from` is always the *cluster index* of
+/// the sending scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyMsg {
+    /// LOWEST/S-I: ask a remote scheduler for its status on behalf of a
+    /// held job (`token` keys the sender's pending-job table).
+    Poll {
+        /// Sender cluster.
+        from: u32,
+        /// Correlation token into the sender's pending table.
+        token: u64,
+        /// Service demand of the job being placed (lets the remote compute
+        /// an expected run time).
+        job_exec: SimTime,
+    },
+    /// Reply to [`PolicyMsg::Poll`].
+    PollReply {
+        /// Replying cluster.
+        from: u32,
+        /// Echoed correlation token.
+        token: u64,
+        /// Mean load (jobs per resource) of the replier's cluster.
+        avg_load: f64,
+        /// Approximate waiting time at the replier (AWT).
+        awt: f64,
+        /// Expected run time of the offered job there (ERT).
+        ert: f64,
+        /// Resource utilization status (busy fraction) of the cluster.
+        rus: f64,
+    },
+    /// RESERVE: an under-loaded scheduler registers a reservation.
+    Reserve {
+        /// Advertising (under-loaded) cluster.
+        from: u32,
+    },
+    /// RESERVE: cancel previously registered reservations.
+    ReserveCancel {
+        /// Cluster whose reservations are withdrawn.
+        from: u32,
+    },
+    /// RESERVE: probe the reservation holder before transferring (`token`
+    /// keys the prober's pending job).
+    ReserveProbe {
+        /// Probing cluster.
+        from: u32,
+        /// Correlation token.
+        token: u64,
+    },
+    /// RESERVE: probe answer with the holder's current mean load.
+    ReserveProbeReply {
+        /// Replying cluster.
+        from: u32,
+        /// Echoed token.
+        token: u64,
+        /// Mean load of the replier.
+        avg_load: f64,
+        /// Whether the replier will accept the job.
+        accept: bool,
+    },
+    /// AUCTION: invitation to bid for work from an under-loaded cluster.
+    AuctionInvite {
+        /// Auctioning (under-loaded) cluster.
+        from: u32,
+        /// Auction identifier, unique per auctioneer.
+        auction: u64,
+    },
+    /// AUCTION: a bid from an over-loaded cluster.
+    Bid {
+        /// Bidding cluster.
+        from: u32,
+        /// Auction being bid on.
+        auction: u64,
+        /// Bidder's mean load (the auctioneer picks the highest).
+        avg_load: f64,
+    },
+    /// AUCTION: the auctioneer awards the winner the right to shed one job.
+    AuctionAward {
+        /// Auctioneer cluster (job recipient).
+        from: u32,
+        /// Auction id.
+        auction: u64,
+    },
+    /// R-I / Sy-I: a periodic advertisement that `from` has spare capacity.
+    Volunteer {
+        /// Advertising cluster.
+        from: u32,
+        /// Advertiser's resource-utilization status.
+        rus: f64,
+    },
+    /// R-I: the loaded side sends the resource demands of its
+    /// head-of-queue job to a volunteer.
+    DemandRequest {
+        /// Requesting (loaded) cluster.
+        from: u32,
+        /// Correlation token.
+        token: u64,
+        /// Demand of the head-of-queue job.
+        job_exec: SimTime,
+    },
+    /// R-I: volunteer answers with its approximate turnaround time and RUS.
+    DemandReply {
+        /// Replying (volunteer) cluster.
+        from: u32,
+        /// Echoed token.
+        token: u64,
+        /// Approximate turnaround time (AWT + ERT) for the offered job.
+        att: f64,
+        /// Replier's utilization.
+        rus: f64,
+    },
+    /// HIER (extension): a child scheduler reports its cluster load to the
+    /// super-scheduler.
+    LoadReport {
+        /// Reporting child cluster.
+        from: u32,
+        /// Its mean load (jobs per resource).
+        avg_load: f64,
+    },
+    /// HIER (extension): a child asks the super-scheduler to place a job.
+    PlaceRequest {
+        /// Requesting child cluster.
+        from: u32,
+        /// Correlation token into the child's pending table.
+        token: u64,
+        /// Demand of the held job.
+        job_exec: SimTime,
+    },
+    /// HIER (extension): the super-scheduler's placement decision.
+    PlaceReply {
+        /// The super-scheduler's cluster.
+        from: u32,
+        /// Echoed token.
+        token: u64,
+        /// Cluster that should run the job.
+        target: u32,
+    },
+}
+
+impl PolicyMsg {
+    /// Transmission size in payload units (control messages are small and
+    /// uniform; used for the bandwidth term of the transport delay).
+    pub fn size(&self) -> f64 {
+        1.0
+    }
+
+    /// The sender's cluster index.
+    pub fn from_cluster(&self) -> u32 {
+        match *self {
+            PolicyMsg::Poll { from, .. }
+            | PolicyMsg::PollReply { from, .. }
+            | PolicyMsg::Reserve { from }
+            | PolicyMsg::ReserveCancel { from }
+            | PolicyMsg::ReserveProbe { from, .. }
+            | PolicyMsg::ReserveProbeReply { from, .. }
+            | PolicyMsg::AuctionInvite { from, .. }
+            | PolicyMsg::Bid { from, .. }
+            | PolicyMsg::AuctionAward { from, .. }
+            | PolicyMsg::Volunteer { from, .. }
+            | PolicyMsg::DemandRequest { from, .. }
+            | PolicyMsg::DemandReply { from, .. }
+            | PolicyMsg::LoadReport { from, .. }
+            | PolicyMsg::PlaceRequest { from, .. }
+            | PolicyMsg::PlaceReply { from, .. } => from,
+        }
+    }
+}
+
+/// Everything that travels over the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Resource → estimator/scheduler: current load (jobs in system).
+    StatusUpdate {
+        /// Reporting resource (dense resource index).
+        res: u32,
+        /// Jobs in system at the resource.
+        load: f64,
+    },
+    /// Estimator → scheduler: batched updates for one cluster.
+    StatusBatch {
+        /// `(resource index, load)` pairs.
+        updates: Vec<(u32, f64)>,
+    },
+    /// Scheduler → resource: run this job here.
+    Dispatch {
+        /// The job to execute.
+        job: Job,
+    },
+    /// Scheduler → scheduler: the job migrates to the receiving cluster,
+    /// which schedules it locally on arrival.
+    Transfer {
+        /// The migrating job.
+        job: Job,
+    },
+    /// Submission host → scheduler: a new job enters the system.
+    Submit {
+        /// The newly arrived job.
+        job: Job,
+    },
+    /// Scheduler → resource: hand one queued (not yet started) job back for
+    /// migration to `to_cluster`. Implements the job-shedding step of
+    /// AUCTION awards and R-I placements; if the resource's queue is empty
+    /// by the time the recall arrives, nothing happens (the auction
+    /// fizzles).
+    Recall {
+        /// Cluster that will receive the recalled job.
+        to_cluster: u32,
+    },
+    /// Inter-scheduler policy traffic.
+    Policy(PolicyMsg),
+}
+
+impl Msg {
+    /// Transmission size in payload units. Job-carrying messages are an
+    /// order of magnitude heavier than control traffic; batches scale with
+    /// their content.
+    pub fn size(&self) -> f64 {
+        match self {
+            Msg::StatusUpdate { .. } | Msg::Recall { .. } => 1.0,
+            Msg::StatusBatch { updates } => 1.0 + updates.len() as f64 * 0.5,
+            Msg::Dispatch { .. } | Msg::Transfer { .. } | Msg::Submit { .. } => 10.0,
+            Msg::Policy(p) => p.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_msg_from_cluster_extraction() {
+        let msgs = [PolicyMsg::Poll {
+                from: 3,
+                token: 1,
+                job_exec: SimTime::from_ticks(10),
+            },
+            PolicyMsg::Reserve { from: 3 },
+            PolicyMsg::Bid {
+                from: 3,
+                auction: 9,
+                avg_load: 1.0,
+            },
+            PolicyMsg::Volunteer { from: 3, rus: 0.1 }];
+        assert!(msgs.iter().all(|m| m.from_cluster() == 3));
+    }
+
+    #[test]
+    fn sizes_reflect_payload() {
+        let small = Msg::StatusUpdate { res: 0, load: 1.0 };
+        let batch = Msg::StatusBatch {
+            updates: vec![(0, 1.0); 8],
+        };
+        let job = Msg::Submit {
+            job: gridscale_workload::Job {
+                id: 0,
+                arrival: SimTime::ZERO,
+                exec_time: SimTime::from_ticks(5),
+                requested_time: SimTime::from_ticks(10),
+                partition_size: 1,
+                cancelable: false,
+                benefit_factor: 2.0,
+                submit_point: 0,
+            },
+        };
+        assert!(small.size() < batch.size());
+        assert!(small.size() < job.size());
+        assert!((batch.size() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! The RMS policy interface.
+//!
+//! A [`Policy`] is the decision-making brain of the RMS; the simulator
+//! invokes it whenever a scheduler *processes* a work item (job arrival,
+//! status update, policy message, timer). All actions flow back through
+//! [`Ctx`], which charges the acting scheduler's overhead account and
+//! injects the resulting messages into the network — so a policy cannot
+//! act without paying for it.
+
+use crate::msg::PolicyMsg;
+use crate::sim::Ctx;
+use gridscale_workload::Job;
+
+/// One resource-management policy (CENTRAL, LOWEST, RESERVE, AUCTION, S-I,
+/// R-I, Sy-I — implemented in the `gridscale-rms` crate).
+///
+/// Callbacks receive the *cluster index* of the scheduler doing the work.
+/// Policies keep their own state (pending-job tables, reservation lists,
+/// auction books, …); the simulator owns the ground truth.
+pub trait Policy {
+    /// Display name (matches the paper's model names).
+    fn name(&self) -> &'static str;
+
+    /// True for the S-I/R-I/Sy-I family, whose inter-scheduler traffic
+    /// passes through the Grid middleware queue (paper §3.3: "model the
+    /// Grid middleware using a simple queue with infinite capacity and
+    /// finite but small service time").
+    fn uses_middleware(&self) -> bool {
+        false
+    }
+
+    /// Called once at time zero; typically arms periodic timers via
+    /// [`Ctx::set_timer`].
+    fn init(&mut self, _ctx: &mut Ctx) {}
+
+    /// A LOCAL job (exec ≤ `T_CPU`) was received. Default: least-loaded
+    /// resource of the local cluster — the behaviour every model in the
+    /// paper shares for LOCAL arrivals.
+    fn on_local_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        ctx.dispatch_least_loaded(cluster, job);
+    }
+
+    /// A REMOTE job (exec > `T_CPU`) was received; this is where the seven
+    /// models differ.
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job);
+
+    /// A job transferred from another cluster arrived here. Default:
+    /// schedule locally on the least-loaded resource.
+    fn on_transfer_in(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        ctx.dispatch_least_loaded(cluster, job);
+    }
+
+    /// An inter-scheduler policy message was processed at `cluster`.
+    fn on_policy_msg(&mut self, _ctx: &mut Ctx, _cluster: usize, _msg: PolicyMsg) {}
+
+    /// A status update for `res_pos` (position within `cluster`) was
+    /// processed; the view has already been refreshed. AUCTION uses this
+    /// to notice idle resources.
+    fn on_update(&mut self, _ctx: &mut Ctx, _cluster: usize, _res_pos: usize, _load: f64) {}
+
+    /// A timer armed with [`Ctx::set_timer`] fired at `cluster` with its
+    /// `tag`.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _cluster: usize, _tag: u64) {}
+}
+
+/// A trivially minimal policy: every job — LOCAL or REMOTE — goes to the
+/// least-loaded local resource, with no inter-scheduler traffic at all.
+///
+/// Useful as a baseline and in machinery tests; with a single scheduler it
+/// coincides with the paper's CENTRAL model.
+#[derive(Debug, Default)]
+pub struct LocalOnly;
+
+impl Policy for LocalOnly {
+    fn name(&self) -> &'static str {
+        "LOCAL-ONLY"
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        ctx.dispatch_least_loaded(cluster, job);
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulation outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a single Grid simulation run reports.
+///
+/// `F`, `G`, `H` follow the paper's performance model (§2.2–2.3):
+/// * `f_work` — useful work: summed service demand of jobs that completed
+///   within their `U_b` benefit deadline;
+/// * `g_overhead` — RMS overhead: weighted busy time of all schedulers and
+///   estimators ("time spent … scheduling, receiving, and processing
+///   updates");
+/// * `h_overhead` — RP overhead: job-control cost on the resource side
+///   (the paper treats this as negligible; we model it smally).
+///
+/// `efficiency` is `E = F / (F + G + H)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Useful work `F` (demand-ticks of deadline-meeting jobs).
+    pub f_work: f64,
+    /// RMS overhead `G` (weighted busy ticks).
+    pub g_overhead: f64,
+    /// RP overhead `H`.
+    pub h_overhead: f64,
+    /// `E = F/(F+G+H)`; 0 when no useful work was delivered.
+    pub efficiency: f64,
+
+    /// Jobs in the generated trace.
+    pub jobs_total: u64,
+    /// Jobs that finished execution before the horizon.
+    pub completed: u64,
+    /// Completed jobs that met their benefit deadline.
+    pub succeeded: u64,
+    /// Completed jobs that missed their benefit deadline.
+    pub deadline_missed: u64,
+    /// Jobs still queued/running/in flight at the horizon.
+    pub unfinished: u64,
+
+    /// Completed jobs per tick (the paper's Fig. 6 throughput).
+    pub throughput: f64,
+    /// Deadline-meeting jobs per tick.
+    pub goodput: f64,
+    /// Mean response time of completed jobs (ticks; Fig. 7).
+    pub mean_response: f64,
+    /// 95th-percentile response time (ticks, histogram estimate).
+    pub p95_response: f64,
+
+    /// Status updates actually sent by resources.
+    pub updates_sent: u64,
+    /// Updates suppressed at the source (change below threshold).
+    pub updates_suppressed: u64,
+    /// Estimator batches forwarded to schedulers.
+    pub batches: u64,
+    /// Inter-scheduler policy messages delivered.
+    pub policy_msgs: u64,
+    /// Jobs migrated between clusters.
+    pub transfers: u64,
+    /// Dispatches of jobs to resources.
+    pub dispatches: u64,
+    /// Dependency-gated jobs whose release was delayed past their nominal
+    /// arrival (0 unless the precedence extension is enabled).
+    pub dag_deferred: u64,
+
+    /// Raw (unweighted) RMS busy time, for utilization diagnostics.
+    pub g_busy_raw: f64,
+    /// Busiest single scheduler's raw busy time (bottleneck indicator).
+    pub g_busy_max_scheduler: f64,
+    /// Mean resource utilization (busy fraction over the horizon).
+    pub resource_utilization: f64,
+    /// Simulated horizon in ticks.
+    pub horizon_ticks: u64,
+    /// Network size of the configuration (`sizeof[RMS] + sizeof[RP]`) —
+    /// the cost basis for throughput-per-cost metrics.
+    pub nodes: usize,
+}
+
+impl SimReport {
+    /// Success ratio among all trace jobs.
+    pub fn success_rate(&self) -> f64 {
+        if self.jobs_total == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / self.jobs_total as f64
+        }
+    }
+
+    /// Busy fraction of the single busiest scheduler — near 1.0 means the
+    /// RMS has a saturation bottleneck (the CENTRAL failure mode).
+    pub fn bottleneck_utilization(&self) -> f64 {
+        if self.horizon_ticks == 0 {
+            0.0
+        } else {
+            self.g_busy_max_scheduler / self.horizon_ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let r = SimReport {
+            jobs_total: 100,
+            succeeded: 40,
+            g_busy_max_scheduler: 500.0,
+            horizon_ticks: 1000,
+            ..SimReport::default()
+        };
+        assert!((r.success_rate() - 0.4).abs() < 1e-12);
+        assert!((r.bottleneck_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = SimReport::default();
+        assert_eq!(r.success_rate(), 0.0);
+        assert_eq!(r.bottleneck_utilization(), 0.0);
+    }
+}

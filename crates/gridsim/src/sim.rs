@@ -1,0 +1,1220 @@
+//! The Grid simulator: event handling, transport, servers, accounting.
+
+use crate::config::{Enablers, GridConfig, Thresholds, TopologySpec};
+use crate::msg::{Msg, PolicyMsg};
+use crate::policy::Policy;
+use crate::report::SimReport;
+use crate::timeline::{Sample, Timeline};
+use crate::view::ClusterView;
+use gridscale_desim::stats::{Histogram, Welford};
+use gridscale_desim::{Engine, EventQueue, SimRng, SimTime, World};
+use gridscale_topology::generate::{self, LinkParams};
+use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
+use gridscale_workload::{generate as gen_workload, Job, JobClass};
+use std::collections::VecDeque;
+
+/// Base link bandwidth used for the transmission-delay term (payload units
+/// per tick), matching [`LinkParams::default`].
+const BASE_BANDWIDTH: f64 = 100.0;
+
+/// Guard against runaway models: no single run may process more events.
+const EVENT_BUDGET: u64 = 200_000_000;
+
+/// A unit of RMS work queued at a scheduler's single-server queue.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// A freshly submitted job: receive + make a scheduling decision.
+    Job(Job),
+    /// A job transferred in from another cluster.
+    TransferIn(Job),
+    /// A direct status update from a resource (global resource index).
+    Update {
+        /// Reporting resource.
+        res: u32,
+        /// Reported jobs-in-system.
+        load: f64,
+    },
+    /// A batched set of updates relayed by an estimator.
+    Batch(Vec<(u32, f64)>),
+    /// An inter-scheduler policy message.
+    Policy(PolicyMsg),
+    /// A policy timer armed via [`Ctx::set_timer`].
+    Timer(u64),
+}
+
+/// The simulator's event alphabet.
+#[derive(Debug, Clone)]
+pub enum GridEvent {
+    /// The `i`-th trace job arrives at its submission host.
+    Arrival(u32),
+    /// A network message reaches its destination node.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: Msg,
+    },
+    /// The running job at a resource completes.
+    Finish {
+        /// Global resource index.
+        res: u32,
+    },
+    /// A resource's periodic status-update timer fires.
+    UpdateTick {
+        /// Global resource index.
+        res: u32,
+    },
+    /// An estimator's batch-forward timer fires.
+    EstFlush {
+        /// Estimator index.
+        est: u32,
+    },
+    /// A scheduler finishes processing a work item (its effects happen now).
+    SchedWork {
+        /// Cluster index of the scheduler.
+        sched: u32,
+        /// The item processed.
+        item: WorkItem,
+        /// Service time of the item, charged to `G` on completion — work
+        /// still queued when the horizon ends is never charged, so a
+        /// saturated scheduler's `G` is bounded by wall-clock busy time.
+        cost: f64,
+    },
+    /// A policy timer fires (it is then queued as scheduler work).
+    PolicyTimer {
+        /// Cluster index.
+        cluster: u32,
+        /// Policy-defined tag.
+        tag: u64,
+    },
+    /// The timeline recorder samples system state.
+    Sample,
+}
+
+struct ResState {
+    node: NodeId,
+    cluster: u32,
+    pos: u32,
+    queue: VecDeque<Job>,
+    running: Option<Job>,
+    last_sent_load: f64,
+    busy: f64,
+}
+
+impl ResState {
+    fn load(&self) -> f64 {
+        self.queue.len() as f64 + if self.running.is_some() { 1.0 } else { 0.0 }
+    }
+}
+
+struct SchedState {
+    node: NodeId,
+    view: ClusterView,
+    /// Global resource indices by cluster position.
+    members: Vec<u32>,
+    /// Work-server availability, fractional ticks.
+    next_free: f64,
+}
+
+struct EstState {
+    node: NodeId,
+    next_free: f64,
+    /// Buffered updates per destination cluster.
+    buffer: Vec<Vec<(u32, f64)>>,
+}
+
+struct Accounting {
+    f_work: f64,
+    h_overhead: f64,
+    g_sched: Vec<f64>,
+    g_est: Vec<f64>,
+    completed: u64,
+    succeeded: u64,
+    deadline_missed: u64,
+    updates_sent: u64,
+    updates_suppressed: u64,
+    batches: u64,
+    policy_msgs: u64,
+    transfers: u64,
+    dispatches: u64,
+    dag_deferred: u64,
+    response: Welford,
+    response_hist: Histogram,
+}
+
+impl Accounting {
+    fn new(n_sched: usize, n_est: usize) -> Self {
+        Accounting {
+            f_work: 0.0,
+            h_overhead: 0.0,
+            g_sched: vec![0.0; n_sched],
+            g_est: vec![0.0; n_est],
+            completed: 0,
+            succeeded: 0,
+            deadline_missed: 0,
+            updates_sent: 0,
+            updates_suppressed: 0,
+            batches: 0,
+            policy_msgs: 0,
+            transfers: 0,
+            dispatches: 0,
+            dag_deferred: 0,
+            response: Welford::new(),
+            response_hist: Histogram::new(100.0, 4000),
+        }
+    }
+}
+
+/// The enabler-independent world of one configuration: topology, routing,
+/// grid map, and workload trace.
+///
+/// Building these dominates setup cost (routing is `O(V·E log V)`, ~50 ms
+/// at 1000 nodes) and none of it depends on the scaling *enablers* — only
+/// on the scaling *variables*. The annealer therefore builds one template
+/// per `(model, k)` point and runs dozens of enabler settings against it.
+pub struct SimTemplate {
+    cfg: GridConfig,
+    shared: std::sync::Arc<SharedWorld>,
+}
+
+pub(crate) struct SharedWorld {
+    rt: RoutingTable,
+    map: GridMap,
+    trace: Vec<Job>,
+    /// Precedence constraints (paper future-work (b)); `None` reproduces
+    /// the paper's evaluated setting (independent jobs).
+    dag: Option<gridscale_workload::DependencyGraph>,
+}
+
+impl SimTemplate {
+    /// Builds the world for `cfg` (topology, routing tables, grid map,
+    /// workload trace).
+    pub fn new(cfg: &GridConfig) -> SimTemplate {
+        cfg.validate().expect("invalid GridConfig");
+        let root = SimRng::new(cfg.seed);
+        let mut topo_rng = root.fork(1);
+        let mut wl_rng = root.fork(2);
+
+        let lp = LinkParams::default();
+        let n = cfg.nodes;
+        let graph: Graph = match cfg.topology {
+            TopologySpec::BarabasiAlbert { m } => {
+                generate::barabasi_albert(n, m, lp, &mut topo_rng)
+            }
+            TopologySpec::Waxman { alpha, beta } => {
+                generate::waxman(n, alpha, beta, lp, &mut topo_rng)
+            }
+            TopologySpec::TransitStub => {
+                // Shape ratios: ~10% transit nodes, stubs of ~8.
+                let transits = (n / 64).max(1);
+                let transit_size = 4;
+                let stub_size = 8;
+                let stubs_per_transit =
+                    ((n - transits * transit_size) / (transits * stub_size)).max(1);
+                generate::transit_stub(
+                    transits,
+                    transit_size,
+                    stubs_per_transit,
+                    stub_size,
+                    lp,
+                    &mut topo_rng,
+                )
+            }
+            TopologySpec::Ring => generate::ring(n, lp),
+            TopologySpec::Star => generate::star(n, lp),
+        };
+        let rt = RoutingTable::build(&graph);
+        let map = GridMap::build(
+            &graph,
+            &rt,
+            cfg.schedulers,
+            cfg.estimators,
+            cfg.resource_fraction,
+        );
+        let mut wl_cfg = cfg.workload.clone();
+        wl_cfg.submit_points = map.cluster_count() as u32;
+        let trace = gen_workload(&wl_cfg, &mut wl_rng).jobs().to_vec();
+        let dag = (cfg.dag_edge_prob > 0.0).then(|| {
+            let mut dag_rng = root.fork(4);
+            gridscale_workload::DependencyGraph::random(
+                trace.len(),
+                cfg.dag_edge_prob,
+                cfg.dag_max_parents,
+                &mut dag_rng,
+            )
+        });
+        SimTemplate {
+            cfg: cfg.clone(),
+            shared: std::sync::Arc::new(SharedWorld { rt, map, trace, dag }),
+        }
+    }
+
+    /// The configuration the template was built for.
+    pub fn config(&self) -> &GridConfig {
+        &self.cfg
+    }
+
+    /// Number of jobs in the pre-generated trace.
+    pub fn trace_len(&self) -> usize {
+        self.shared.trace.len()
+    }
+
+    /// Runs one simulation with `enablers` substituted into the template's
+    /// configuration. The world (topology, routing, trace) is shared, so
+    /// results across enabler settings are directly comparable.
+    pub fn run(&self, enablers: crate::config::Enablers, policy: &mut dyn Policy) -> SimReport {
+        self.run_inner(enablers, policy, None).0
+    }
+
+    /// Like [`SimTemplate::run`], but also records a [`Timeline`] sampled
+    /// every `sample_interval` ticks.
+    pub fn run_with_timeline(
+        &self,
+        enablers: crate::config::Enablers,
+        policy: &mut dyn Policy,
+        sample_interval: u64,
+    ) -> (SimReport, Timeline) {
+        let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval));
+        (report, tl.expect("timeline requested"))
+    }
+
+    fn run_inner(
+        &self,
+        enablers: crate::config::Enablers,
+        policy: &mut dyn Policy,
+        sample_interval: Option<u64>,
+    ) -> (SimReport, Option<Timeline>) {
+        let mut cfg = self.cfg.clone();
+        cfg.enablers = enablers;
+        cfg.validate().expect("invalid enablers");
+        let mut core = SimCore::new(cfg, self.shared.clone());
+        core.use_middleware = policy.uses_middleware();
+        let mut engine: Engine<GridEvent> = Engine::new().with_event_budget(EVENT_BUDGET);
+        core.bootstrap(engine.queue_mut());
+        if let Some(interval) = sample_interval {
+            core.timeline = Some(Timeline::new(interval));
+            engine
+                .queue_mut()
+                .schedule(SimTime::from_ticks(interval), GridEvent::Sample);
+        }
+        {
+            let mut ctx = Ctx {
+                core: &mut core,
+                queue: engine.queue_mut(),
+                now: SimTime::ZERO,
+            };
+            policy.init(&mut ctx);
+        }
+        let horizon = core.cfg.horizon();
+        let mut sim = GridSim { core, policy };
+        engine.run_until(&mut sim, horizon);
+        let name = sim.policy.name();
+        let report = sim.core.report(name, horizon);
+        (report, sim.core.timeline.take())
+    }
+}
+
+/// All simulator state except the policy (which is borrowed per event so
+/// that policy callbacks can mutably access both).
+pub struct SimCore {
+    cfg: GridConfig,
+    shared: std::sync::Arc<SharedWorld>,
+    rng: SimRng,
+    resources: Vec<ResState>,
+    scheds: Vec<SchedState>,
+    ests: Vec<EstState>,
+    /// NodeId → resource index (`u32::MAX` if none).
+    res_at_node: Vec<u32>,
+    /// NodeId → scheduler (cluster) index.
+    sched_at_node: Vec<u32>,
+    /// NodeId → estimator index.
+    est_at_node: Vec<u32>,
+    mw_next_free: f64,
+    use_middleware: bool,
+    token_counter: u64,
+    mean_demand: f64,
+    /// Per-job countdown of unmet dependencies (empty when no DAG).
+    remaining_parents: Vec<u32>,
+    /// Optional time-series recorder.
+    timeline: Option<Timeline>,
+    acct: Accounting,
+}
+
+/// The [`World`] adapter: simulator core plus the policy under test.
+pub struct GridSim<'p> {
+    core: SimCore,
+    policy: &'p mut dyn Policy,
+}
+
+impl World for GridSim<'_> {
+    type Event = GridEvent;
+    fn handle(&mut self, now: SimTime, ev: GridEvent, queue: &mut EventQueue<GridEvent>) {
+        self.core.handle(now, ev, queue, self.policy);
+    }
+}
+
+/// The policy-facing API: queries about the acting scheduler's (stale)
+/// knowledge plus cost-charged actions. See [`Policy`].
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    queue: &'a mut EventQueue<GridEvent>,
+    now: SimTime,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of clusters (= schedulers).
+    pub fn clusters(&self) -> usize {
+        self.core.scheds.len()
+    }
+
+    /// Resources in cluster `c`.
+    pub fn cluster_size(&self, c: usize) -> usize {
+        self.core.scheds[c].members.len()
+    }
+
+    /// The scheduler's (stale) view of its cluster.
+    pub fn view(&self, c: usize) -> &ClusterView {
+        &self.core.scheds[c].view
+    }
+
+    /// Believed mean load (jobs per resource) of cluster `c`.
+    pub fn avg_load(&self, c: usize) -> f64 {
+        self.core.scheds[c].view.avg_load()
+    }
+
+    /// Believed busy fraction (RUS) of cluster `c`.
+    pub fn rus(&self, c: usize) -> f64 {
+        self.core.scheds[c].view.rus()
+    }
+
+    /// Approximate waiting time for a new arrival in cluster `c`.
+    pub fn awt(&self, c: usize) -> f64 {
+        self.core.scheds[c]
+            .view
+            .awt(self.core.mean_demand, self.core.cfg.service_rate)
+    }
+
+    /// Expected run time of a job with demand `exec` on this Grid's
+    /// (homogeneous) resources.
+    pub fn ert(&self, exec: SimTime) -> f64 {
+        exec.as_f64() / self.core.cfg.service_rate
+    }
+
+    /// The analytic mean service demand of the workload (the schedulers'
+    /// demand estimate).
+    pub fn mean_demand(&self) -> f64 {
+        self.core.mean_demand
+    }
+
+    /// Resource service rate.
+    pub fn service_rate(&self) -> f64 {
+        self.core.cfg.service_rate
+    }
+
+    /// The active scaling enablers.
+    pub fn enablers(&self) -> Enablers {
+        self.core.cfg.enablers
+    }
+
+    /// The policy thresholds (Table 1).
+    pub fn thresholds(&self) -> Thresholds {
+        self.core.cfg.thresholds
+    }
+
+    /// A fresh correlation token for pending-reply tables.
+    pub fn next_token(&mut self) -> u64 {
+        self.core.token_counter += 1;
+        self.core.token_counter
+    }
+
+    /// The simulation's policy-stream RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rng
+    }
+
+    /// `n` distinct random clusters other than `c` (fewer if the Grid has
+    /// fewer peers).
+    pub fn random_remotes(&mut self, c: usize, n: usize) -> Vec<usize> {
+        let total = self.core.scheds.len();
+        if total <= 1 {
+            return Vec::new();
+        }
+        let picks = self.core.rng.sample_indices(total - 1, n.min(total - 1));
+        picks
+            .into_iter()
+            .map(|i| if i >= c { i + 1 } else { i })
+            .collect()
+    }
+
+    /// Dispatches `job` to the resource at `pos` of cluster `c`: charges
+    /// the dispatch cost, optimistically bumps the view, and sends the job
+    /// over the network.
+    pub fn dispatch_local(&mut self, c: usize, pos: usize, job: Job) {
+        let cost = self.core.cfg.costs.dispatch;
+        self.core.charge_sched(c, cost);
+        self.core.scheds[c].view.bump(pos, 1.0);
+        self.core.acct.dispatches += 1;
+        let res = self.core.scheds[c].members[pos];
+        let from = self.core.scheds[c].node;
+        let to = self.core.resources[res as usize].node;
+        self.core
+            .send_net(self.now, from, to, Msg::Dispatch { job }, false, self.queue);
+    }
+
+    /// Dispatches to the believed least-loaded resource of cluster `c`.
+    pub fn dispatch_least_loaded(&mut self, c: usize, job: Job) {
+        let pos = self.core.scheds[c]
+            .view
+            .least_loaded()
+            .expect("clusters are never empty (GridMap guarantee)");
+        self.dispatch_local(c, pos, job);
+    }
+
+    /// Transfers `job` from cluster `from` to cluster `to`; the receiving
+    /// scheduler will process it as [`WorkItem::TransferIn`].
+    pub fn transfer(&mut self, from: usize, to: usize, job: Job) {
+        debug_assert_ne!(from, to, "transfer to self");
+        let cost = self.core.cfg.costs.dispatch;
+        self.core.charge_sched(from, cost);
+        self.core.acct.transfers += 1;
+        let f = self.core.scheds[from].node;
+        let t = self.core.scheds[to].node;
+        let mw = self.core.use_middleware;
+        self.core
+            .send_net(self.now, f, t, Msg::Transfer { job }, mw, self.queue);
+    }
+
+    /// Sends a policy message from cluster `from` to cluster `to`
+    /// (middleware-routed for the S-I/R-I/Sy-I family).
+    pub fn send_policy(&mut self, from: usize, to: usize, msg: PolicyMsg) {
+        debug_assert_ne!(from, to, "policy message to self");
+        let cost = self.core.cfg.costs.dispatch;
+        self.core.charge_sched(from, cost);
+        let f = self.core.scheds[from].node;
+        let t = self.core.scheds[to].node;
+        let mw = self.core.use_middleware;
+        self.core
+            .send_net(self.now, f, t, Msg::Policy(msg), mw, self.queue);
+    }
+
+    /// Asks the resource at `pos` of cluster `c` to hand one queued job
+    /// back for migration to `to_cluster` (no-op at the resource if its
+    /// queue is empty by then).
+    pub fn recall(&mut self, c: usize, pos: usize, to_cluster: usize) {
+        let cost = self.core.cfg.costs.dispatch;
+        self.core.charge_sched(c, cost);
+        self.core.scheds[c].view.bump(pos, -1.0);
+        let res = self.core.scheds[c].members[pos];
+        let from = self.core.scheds[c].node;
+        let to = self.core.resources[res as usize].node;
+        self.core.send_net(
+            self.now,
+            from,
+            to,
+            Msg::Recall {
+                to_cluster: to_cluster as u32,
+            },
+            false,
+            self.queue,
+        );
+    }
+
+    /// Arms a policy timer at cluster `c`, `delay` ticks from now; it will
+    /// surface as [`Policy::on_timer`] with `tag` after passing through the
+    /// scheduler's work queue.
+    pub fn set_timer(&mut self, c: usize, delay: SimTime, tag: u64) {
+        self.queue.schedule(
+            self.now + delay,
+            GridEvent::PolicyTimer {
+                cluster: c as u32,
+                tag,
+            },
+        );
+    }
+}
+
+impl SimCore {
+    fn new(cfg: GridConfig, shared: std::sync::Arc<SharedWorld>) -> SimCore {
+        let root = SimRng::new(cfg.seed);
+        let sim_rng = root.fork(3);
+        let map = &shared.map;
+        let n = cfg.nodes;
+
+        // Dense resource indexing, cluster-major so positions are stable.
+        let mut resources = Vec::new();
+        let mut res_at_node = vec![u32::MAX; n];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); map.cluster_count()];
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..map.cluster_count() {
+            for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
+                let idx = resources.len() as u32;
+                res_at_node[node as usize] = idx;
+                members[ci].push(idx);
+                resources.push(ResState {
+                    node,
+                    cluster: ci as u32,
+                    pos: pos as u32,
+                    queue: VecDeque::new(),
+                    running: None,
+                    last_sent_load: 0.0,
+                    busy: 0.0,
+                });
+            }
+        }
+
+        let mut sched_at_node = vec![u32::MAX; n];
+        let scheds: Vec<SchedState> = (0..map.cluster_count())
+            .map(|ci| {
+                let node = map.cluster_scheduler(ci);
+                sched_at_node[node as usize] = ci as u32;
+                SchedState {
+                    node,
+                    view: ClusterView::new(members[ci].len()),
+                    members: std::mem::take(&mut members[ci]),
+                    next_free: 0.0,
+                }
+            })
+            .collect();
+
+        let mut est_at_node = vec![u32::MAX; n];
+        let ests: Vec<EstState> = map
+            .estimators()
+            .iter()
+            .enumerate()
+            .map(|(ei, &node)| {
+                est_at_node[node as usize] = ei as u32;
+                EstState {
+                    node,
+                    next_free: 0.0,
+                    buffer: vec![Vec::new(); map.cluster_count()],
+                }
+            })
+            .collect();
+
+        let mean_demand = cfg.workload.exec_time.mean();
+        let n_sched = scheds.len();
+        let n_est = ests.len();
+        let remaining_parents = shared
+            .dag
+            .as_ref()
+            .map(|d| d.parent_counts())
+            .unwrap_or_default();
+        SimCore {
+            cfg,
+            shared,
+            rng: sim_rng,
+            resources,
+            scheds,
+            ests,
+            res_at_node,
+            sched_at_node,
+            est_at_node,
+            mw_next_free: 0.0,
+            use_middleware: false,
+            token_counter: 0,
+            mean_demand,
+            remaining_parents,
+            timeline: None,
+            acct: Accounting::new(n_sched, n_est),
+        }
+    }
+
+    /// Seeds arrivals, update ticks, and estimator flush timers.
+    fn bootstrap(&mut self, queue: &mut EventQueue<GridEvent>) {
+        match self.shared.dag.as_ref() {
+            None => {
+                for (i, job) in self.shared.trace.iter().enumerate() {
+                    queue.schedule(job.arrival, GridEvent::Arrival(i as u32));
+                }
+            }
+            Some(dag) => {
+                // Only dependency roots arrive on schedule; the rest are
+                // released as their parents complete.
+                for j in dag.roots() {
+                    queue.schedule(
+                        self.shared.trace[j as usize].arrival,
+                        GridEvent::Arrival(j as u32),
+                    );
+                }
+            }
+        }
+        let tau = self.cfg.enablers.update_interval;
+        for r in 0..self.resources.len() {
+            let stagger = self.rng.int_range(1, tau.max(1));
+            queue.schedule(
+                SimTime::from_ticks(stagger),
+                GridEvent::UpdateTick { res: r as u32 },
+            );
+        }
+        let flush = self.flush_interval();
+        for e in 0..self.ests.len() {
+            let stagger = self.rng.int_range(1, flush.max(1));
+            queue.schedule(
+                SimTime::from_ticks(stagger),
+                GridEvent::EstFlush { est: e as u32 },
+            );
+        }
+    }
+
+    fn flush_interval(&self) -> u64 {
+        (self.cfg.enablers.update_interval / 2).max(1)
+    }
+
+    fn charge_sched(&mut self, c: usize, cost: f64) {
+        self.acct.g_sched[c] += cost;
+        self.scheds[c].next_free += cost;
+    }
+
+    /// Network (and optionally middleware) transport of one message.
+    fn send_net(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+        via_middleware: bool,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let size = msg.size();
+        let (lat, hops) = if from == to {
+            (0.0, 0.0)
+        } else {
+            let lat = self
+                .shared
+                .rt
+                .latency(from, to)
+                .expect("generated topologies are connected") as f64;
+            let hops = self.shared.rt.hops(from, to).unwrap_or(1) as f64;
+            (lat, hops)
+        };
+        let prop = lat * self.cfg.enablers.link_delay_factor;
+        let trans = hops.max(1.0) * size / BASE_BANDWIDTH;
+        let mut depart = now.as_f64();
+        if via_middleware {
+            // "A simple queue with infinite capacity and finite but small
+            // service time" (paper §3.3).
+            let start = depart.max(self.mw_next_free);
+            depart = start + self.cfg.middleware_service;
+            self.mw_next_free = depart;
+        }
+        let arrive = SimTime::from_f64((depart + prop + trans).max(now.as_f64() + 1.0));
+        queue.schedule(arrive, GridEvent::Deliver { to, msg });
+    }
+
+    /// Enqueues a work item at scheduler `c`'s single-server queue; the
+    /// item's effects occur when the server finishes it.
+    fn enqueue_sched_work(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        item: WorkItem,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let costs = &self.cfg.costs;
+        let members = self.scheds[c].members.len() as f64;
+        let cost = match &item {
+            WorkItem::Job(_) | WorkItem::TransferIn(_) => {
+                costs.recv_job + costs.decision_base + costs.decision_per_candidate * members
+            }
+            WorkItem::Update { .. } => costs.update,
+            WorkItem::Batch(v) => costs.batch_fixed + costs.batch_per_item * v.len() as f64,
+            WorkItem::Policy(_) => costs.policy_msg,
+            WorkItem::Timer(_) => costs.timer_check,
+        };
+        let s = &mut self.scheds[c];
+        let start = now.as_f64().max(s.next_free);
+        let done = start + cost;
+        s.next_free = done;
+        queue.schedule(
+            SimTime::from_f64(done),
+            GridEvent::SchedWork {
+                sched: c as u32,
+                item,
+                cost,
+            },
+        );
+    }
+
+    fn start_job(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
+        let dur = SimTime::from_f64((job.exec_time.as_f64() / self.cfg.service_rate).max(1.0));
+        self.resources[r].busy += dur.as_f64();
+        self.resources[r].running = Some(job);
+        queue.schedule(now + dur, GridEvent::Finish { res: r as u32 });
+    }
+
+    fn res_enqueue(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
+        self.acct.h_overhead += self.cfg.costs.rp_job_control;
+        if self.resources[r].running.is_none() {
+            self.start_job(now, r, job, queue);
+        } else {
+            self.resources[r].queue.push_back(job);
+        }
+    }
+
+    fn complete_job(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        cluster: usize,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let response = (now - job.arrival).as_f64();
+        self.acct.completed += 1;
+        self.acct.response.push(response);
+        self.acct.response_hist.push(response);
+        if job.meets_deadline(now) {
+            self.acct.succeeded += 1;
+            self.acct.f_work += job.exec_time.as_f64();
+        } else {
+            self.acct.deadline_missed += 1;
+        }
+        // Precedence extension (paper future-work (b)): releasing children
+        // charges the data-management cost of each dependency edge to H —
+        // cheap when producer and consumer share a cluster.
+        let shared = self.shared.clone();
+        if let Some(dag) = shared.dag.as_ref() {
+            for &c in dag.children(job.id) {
+                let child = &shared.trace[c as usize];
+                let child_cluster = (child.submit_point as usize) % self.scheds.len();
+                let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
+                self.acct.h_overhead += factor * self.cfg.dag_data_cost;
+                let rp = &mut self.remaining_parents[c as usize];
+                debug_assert!(*rp > 0, "child released twice");
+                *rp -= 1;
+                if *rp == 0 {
+                    let at = child.arrival.max(now);
+                    if at > child.arrival {
+                        self.acct.dag_deferred += 1;
+                    }
+                    queue.schedule(at, GridEvent::Arrival(c));
+                }
+            }
+        }
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        ev: GridEvent,
+        queue: &mut EventQueue<GridEvent>,
+        policy: &mut dyn Policy,
+    ) {
+        match ev {
+            GridEvent::Arrival(i) => {
+                let mut job = self.shared.trace[i as usize];
+                // For dependency-released jobs the effective arrival is the
+                // release instant; for independent jobs this is a no-op.
+                job.arrival = now;
+                let c = (job.submit_point as usize) % self.scheds.len();
+                // The submission host is a random resource of the arrival
+                // cluster; the submit message pays the network distance to
+                // the coordinating scheduler.
+                let members = &self.scheds[c].members;
+                let host = members[self.rng.index(members.len())];
+                let from = self.resources[host as usize].node;
+                let to = self.scheds[c].node;
+                self.send_net(now, from, to, Msg::Submit { job }, false, queue);
+            }
+
+            GridEvent::Deliver { to, msg } => self.deliver(now, to, msg, queue),
+
+            GridEvent::Finish { res } => {
+                let r = res as usize;
+                let job = self.resources[r]
+                    .running
+                    .take()
+                    .expect("Finish without a running job");
+                let cluster = self.resources[r].cluster as usize;
+                self.complete_job(now, job, cluster, queue);
+                if let Some(next) = self.resources[r].queue.pop_front() {
+                    self.start_job(now, r, next, queue);
+                }
+            }
+
+            GridEvent::UpdateTick { res } => {
+                let r = res as usize;
+                let load = self.resources[r].load();
+                let delta = (load - self.resources[r].last_sent_load).abs();
+                if delta >= self.cfg.thresholds.suppress_delta {
+                    self.resources[r].last_sent_load = load;
+                    self.acct.updates_sent += 1;
+                    let rnode = self.resources[r].node;
+                    let dest = match self.shared.map.estimator_for(rnode) {
+                        Some(e) => e,
+                        None => self.scheds[self.resources[r].cluster as usize].node,
+                    };
+                    self.send_net(now, rnode, dest, Msg::StatusUpdate { res, load }, false, queue);
+                } else {
+                    self.acct.updates_suppressed += 1;
+                }
+                let tau = self.cfg.enablers.update_interval;
+                queue.schedule(now + SimTime::from_ticks(tau), GridEvent::UpdateTick { res });
+            }
+
+            GridEvent::EstFlush { est } => {
+                let e = est as usize;
+                for ci in 0..self.scheds.len() {
+                    if self.ests[e].buffer[ci].is_empty() {
+                        continue;
+                    }
+                    let updates = std::mem::take(&mut self.ests[e].buffer[ci]);
+                    self.acct.g_est[e] += self.cfg.costs.batch_fixed;
+                    self.ests[e].next_free =
+                        now.as_f64().max(self.ests[e].next_free) + self.cfg.costs.batch_fixed;
+                    self.acct.batches += 1;
+                    let from = self.ests[e].node;
+                    let to = self.scheds[ci].node;
+                    self.send_net(now, from, to, Msg::StatusBatch { updates }, false, queue);
+                }
+                let flush = self.flush_interval();
+                queue.schedule(now + SimTime::from_ticks(flush), GridEvent::EstFlush { est });
+            }
+
+            GridEvent::PolicyTimer { cluster, tag } => {
+                self.enqueue_sched_work(now, cluster as usize, WorkItem::Timer(tag), queue);
+            }
+
+            GridEvent::Sample => {
+                if let Some(tl) = self.timeline.as_mut() {
+                    let loads: Vec<f64> = self.resources.iter().map(|r| r.load()).collect();
+                    let n = loads.len().max(1) as f64;
+                    let mean_load = loads.iter().sum::<f64>() / n;
+                    let max_load = loads.iter().copied().fold(0.0, f64::max);
+                    let rms_backlog = self
+                        .scheds
+                        .iter()
+                        .map(|sc| (sc.next_free - now.as_f64()).max(0.0))
+                        .fold(0.0, f64::max);
+                    let g_busy_so_far: f64 = self
+                        .acct
+                        .g_sched
+                        .iter()
+                        .chain(self.acct.g_est.iter())
+                        .sum();
+                    tl.push(Sample {
+                        at: now,
+                        mean_load,
+                        max_load,
+                        rms_backlog,
+                        f_so_far: self.acct.f_work,
+                        g_busy_so_far,
+                        completed: self.acct.completed,
+                    });
+                    let interval = tl.interval();
+                    queue.schedule(now + SimTime::from_ticks(interval), GridEvent::Sample);
+                }
+            }
+
+            GridEvent::SchedWork { sched, item, cost } => {
+                let c = sched as usize;
+                self.acct.g_sched[c] += cost;
+                match item {
+                    WorkItem::Job(job) => {
+                        let class = job.class(self.cfg.thresholds.t_cpu);
+                        let mut ctx = Ctx { core: self, queue, now };
+                        match class {
+                            JobClass::Local => policy.on_local_job(&mut ctx, c, job),
+                            JobClass::Remote => policy.on_remote_job(&mut ctx, c, job),
+                        }
+                    }
+                    WorkItem::TransferIn(job) => {
+                        let mut ctx = Ctx { core: self, queue, now };
+                        policy.on_transfer_in(&mut ctx, c, job);
+                    }
+                    WorkItem::Update { res, load } => {
+                        self.apply_update(now, c, res, load, queue, policy);
+                    }
+                    WorkItem::Batch(updates) => {
+                        for (res, load) in updates {
+                            self.apply_update(now, c, res, load, queue, policy);
+                        }
+                    }
+                    WorkItem::Policy(msg) => {
+                        let mut ctx = Ctx { core: self, queue, now };
+                        policy.on_policy_msg(&mut ctx, c, msg);
+                    }
+                    WorkItem::Timer(tag) => {
+                        let mut ctx = Ctx { core: self, queue, now };
+                        policy.on_timer(&mut ctx, c, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_update(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        res: u32,
+        load: f64,
+        queue: &mut EventQueue<GridEvent>,
+        policy: &mut dyn Policy,
+    ) {
+        let r = &self.resources[res as usize];
+        // Guard against misrouted updates (cluster mismatch cannot happen
+        // by construction, but stay defensive).
+        if r.cluster as usize != c {
+            return;
+        }
+        let pos = r.pos as usize;
+        self.scheds[c].view.apply_update(pos, load, now);
+        let mut ctx = Ctx { core: self, queue, now };
+        policy.on_update(&mut ctx, c, pos, load);
+    }
+
+    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, queue: &mut EventQueue<GridEvent>) {
+        match msg {
+            Msg::Dispatch { job } => {
+                let r = self.res_at_node[to as usize];
+                debug_assert_ne!(r, u32::MAX, "Dispatch to a non-resource node");
+                self.res_enqueue(now, r as usize, job, queue);
+            }
+            Msg::Recall { to_cluster } => {
+                let r = self.res_at_node[to as usize];
+                debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
+                if let Some(job) = self.resources[r as usize].queue.pop_back() {
+                    self.acct.transfers += 1;
+                    let from = self.resources[r as usize].node;
+                    let dest = self.scheds[to_cluster as usize].node;
+                    self.send_net(now, from, dest, Msg::Transfer { job }, false, queue);
+                }
+            }
+            Msg::StatusUpdate { res, load } => {
+                let e = self.est_at_node[to as usize];
+                if e != u32::MAX {
+                    // Estimator ingest: charge its server, buffer for the
+                    // resource's cluster.
+                    let cost = self.cfg.costs.update;
+                    self.acct.g_est[e as usize] += cost;
+                    let est = &mut self.ests[e as usize];
+                    est.next_free = now.as_f64().max(est.next_free) + cost;
+                    let ci = self.resources[res as usize].cluster as usize;
+                    est.buffer[ci].push((res, load));
+                } else {
+                    let c = self.sched_at_node[to as usize];
+                    debug_assert_ne!(c, u32::MAX, "update to a non-RMS node");
+                    self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, queue);
+                }
+            }
+            Msg::StatusBatch { updates } => {
+                let c = self.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), queue);
+            }
+            Msg::Submit { job } => {
+                let c = self.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), queue);
+            }
+            Msg::Transfer { job } => {
+                let c = self.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), queue);
+            }
+            Msg::Policy(pmsg) => {
+                let c = self.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.acct.policy_msgs += 1;
+                self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), queue);
+            }
+        }
+    }
+
+    fn report(&self, policy: &str, horizon: SimTime) -> SimReport {
+        let a = &self.acct;
+        let g_busy_raw: f64 = a.g_sched.iter().chain(a.g_est.iter()).sum();
+        let g = g_busy_raw * self.cfg.costs.overhead_weight;
+        let h = a.h_overhead;
+        let f = a.f_work;
+        let efficiency = if f > 0.0 { f / (f + g + h) } else { 0.0 };
+        let ht = horizon.as_f64();
+        let res_busy: f64 = self.resources.iter().map(|r| r.busy).sum();
+        SimReport {
+            policy: policy.to_string(),
+            f_work: f,
+            g_overhead: g,
+            h_overhead: h,
+            efficiency,
+            jobs_total: self.shared.trace.len() as u64,
+            completed: a.completed,
+            succeeded: a.succeeded,
+            deadline_missed: a.deadline_missed,
+            unfinished: self.shared.trace.len() as u64 - a.completed,
+            throughput: a.completed as f64 / ht,
+            goodput: a.succeeded as f64 / ht,
+            mean_response: a.response.mean(),
+            p95_response: a.response_hist.quantile(0.95).unwrap_or(0.0),
+            updates_sent: a.updates_sent,
+            updates_suppressed: a.updates_suppressed,
+            batches: a.batches,
+            policy_msgs: a.policy_msgs,
+            transfers: a.transfers,
+            dispatches: a.dispatches,
+            dag_deferred: a.dag_deferred,
+            g_busy_raw,
+            g_busy_max_scheduler: a.g_sched.iter().copied().fold(0.0, f64::max),
+            resource_utilization: if self.resources.is_empty() {
+                0.0
+            } else {
+                res_busy / (self.resources.len() as f64 * ht)
+            },
+            horizon_ticks: horizon.ticks(),
+            nodes: self.cfg.nodes,
+        }
+    }
+}
+
+/// Runs one complete Grid simulation of `policy` under `cfg` and returns
+/// the measured report.
+///
+/// The run is a pure function of `(cfg, policy)` — identical inputs give
+/// identical reports.
+pub fn run_simulation(cfg: &GridConfig, policy: &mut dyn Policy) -> SimReport {
+    SimTemplate::new(cfg).run(cfg.enablers, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LocalOnly;
+    use gridscale_workload::WorkloadConfig;
+
+    /// A small, fast configuration for machinery tests.
+    fn small_cfg() -> GridConfig {
+        GridConfig {
+            nodes: 40,
+            schedulers: 3,
+            estimators: 0,
+            workload: WorkloadConfig {
+                arrival_rate: 0.02,
+                duration: SimTime::from_ticks(20_000),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(30_000),
+            ..GridConfig::default()
+        }
+    }
+
+    #[test]
+    fn local_only_completes_jobs() {
+        let cfg = small_cfg();
+        let mut p = LocalOnly;
+        let r = run_simulation(&cfg, &mut p);
+        assert!(r.jobs_total > 200, "trace has jobs ({})", r.jobs_total);
+        assert!(
+            r.completed as f64 >= 0.95 * r.jobs_total as f64,
+            "most jobs complete: {}/{}",
+            r.completed,
+            r.jobs_total
+        );
+        assert!(r.succeeded > 0);
+        assert_eq!(r.completed, r.succeeded + r.deadline_missed);
+        assert_eq!(r.jobs_total, r.completed + r.unfinished);
+        assert!(r.f_work > 0.0);
+        assert!(r.g_overhead > 0.0);
+        assert!(r.efficiency > 0.0 && r.efficiency < 1.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = small_cfg();
+        let a = run_simulation(&cfg, &mut LocalOnly);
+        let b = run_simulation(&cfg, &mut LocalOnly);
+        assert_eq!(a.f_work, b.f_work);
+        assert_eq!(a.g_overhead, b.g_overhead);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.updates_sent, b.updates_sent);
+        assert_eq!(a.mean_response, b.mean_response);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = cfg.seed + 1;
+        let a = run_simulation(&cfg, &mut LocalOnly);
+        let b = run_simulation(&cfg2, &mut LocalOnly);
+        assert_ne!(a.f_work, b.f_work);
+    }
+
+    #[test]
+    fn updates_flow_and_suppression_works() {
+        let cfg = small_cfg();
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        assert!(r.updates_sent > 0, "resources report status");
+        assert!(
+            r.updates_suppressed > 0,
+            "idle resources suppress unchanged loads"
+        );
+        assert_eq!(r.batches, 0, "no estimators configured");
+    }
+
+    #[test]
+    fn estimators_batch_updates() {
+        let mut cfg = small_cfg();
+        cfg.estimators = 2;
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        assert!(r.batches > 0, "estimators forward batches");
+        assert!(r.updates_sent > 0);
+    }
+
+    #[test]
+    fn longer_update_interval_reduces_overhead() {
+        let mut fast = small_cfg();
+        fast.enablers.update_interval = 50;
+        let mut slow = small_cfg();
+        slow.enablers.update_interval = 2000;
+        let rf = run_simulation(&fast, &mut LocalOnly);
+        let rs = run_simulation(&slow, &mut LocalOnly);
+        assert!(
+            rf.g_overhead > rs.g_overhead,
+            "τ=50 ⇒ G {} should exceed τ=2000 ⇒ G {}",
+            rf.g_overhead,
+            rs.g_overhead
+        );
+        assert!(rf.updates_sent > rs.updates_sent);
+    }
+
+    #[test]
+    fn saturated_rp_misses_deadlines() {
+        let mut cfg = small_cfg();
+        cfg.workload.arrival_rate = 0.2; // far beyond RP capacity
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        assert!(
+            r.deadline_missed + r.unfinished > r.succeeded,
+            "overload must hurt: ok={} missed={} unfinished={}",
+            r.succeeded,
+            r.deadline_missed,
+            r.unfinished
+        );
+    }
+
+    #[test]
+    fn central_shape_single_scheduler() {
+        let mut cfg = small_cfg();
+        cfg.schedulers = 1;
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        assert!(r.completed > 0);
+        assert!(
+            (r.g_busy_max_scheduler - r.g_busy_raw).abs() < 1e-9,
+            "all overhead on the single scheduler"
+        );
+    }
+
+    #[test]
+    fn report_invariants() {
+        let r = run_simulation(&small_cfg(), &mut LocalOnly);
+        assert!(r.resource_utilization > 0.0 && r.resource_utilization < 1.0);
+        assert!(r.mean_response > 0.0);
+        assert!(r.p95_response >= r.mean_response * 0.5);
+        assert!(r.throughput >= r.goodput);
+        assert!(r.g_busy_max_scheduler <= r.g_busy_raw + 1e-9);
+        assert!(r.bottleneck_utilization() < 1.05);
+    }
+}

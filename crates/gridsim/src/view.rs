@@ -1,0 +1,201 @@
+//! The scheduler's (stale) view of its cluster.
+
+use gridscale_desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What a scheduler believes about one of its resources, as of the last
+/// status update (plus optimistic increments for its own dispatches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceView {
+    /// Believed jobs-in-system.
+    pub load: f64,
+    /// When the last *update* (not optimistic bump) arrived.
+    pub updated_at: SimTime,
+}
+
+impl Default for ResourceView {
+    fn default() -> Self {
+        ResourceView {
+            load: 0.0,
+            updated_at: SimTime::ZERO,
+        }
+    }
+}
+
+/// A scheduler's view of the cluster it coordinates.
+///
+/// Indexed by *position within the cluster* (0..cluster size); the
+/// simulator maps global resource indices to positions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterView {
+    views: Vec<ResourceView>,
+}
+
+impl ClusterView {
+    /// A view over `n` resources, all initially believed idle.
+    pub fn new(n: usize) -> Self {
+        ClusterView {
+            views: vec![ResourceView::default(); n],
+        }
+    }
+
+    /// Number of resources in the cluster.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True for a (degenerate) empty cluster.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Records an authoritative status update.
+    pub fn apply_update(&mut self, pos: usize, load: f64, now: SimTime) {
+        self.views[pos] = ResourceView {
+            load,
+            updated_at: now,
+        };
+    }
+
+    /// Optimistically accounts for a dispatch the scheduler just issued
+    /// (the real update will overwrite this later). Prevents the
+    /// herd-to-the-idlest pathology between updates.
+    pub fn bump(&mut self, pos: usize, delta: f64) {
+        self.views[pos].load = (self.views[pos].load + delta).max(0.0);
+    }
+
+    /// The believed state of one resource.
+    pub fn get(&self, pos: usize) -> ResourceView {
+        self.views[pos]
+    }
+
+    /// Position of the least-loaded resource (ties → lowest position);
+    /// `None` for an empty cluster.
+    pub fn least_loaded(&self) -> Option<usize> {
+        self.views
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.load.partial_cmp(&b.load).unwrap())
+            .map(|(i, _)| i)
+    }
+
+    /// Mean believed load (jobs per resource); 0 for an empty cluster.
+    pub fn avg_load(&self) -> f64 {
+        if self.views.is_empty() {
+            0.0
+        } else {
+            self.views.iter().map(|v| v.load).sum::<f64>() / self.views.len() as f64
+        }
+    }
+
+    /// Believed busy fraction: share of resources with load ≥ 1 (the
+    /// paper's RUS, *resource utilization status*).
+    pub fn rus(&self) -> f64 {
+        if self.views.is_empty() {
+            0.0
+        } else {
+            self.views.iter().filter(|v| v.load >= 1.0).count() as f64 / self.views.len() as f64
+        }
+    }
+
+    /// Approximate waiting time (AWT) for a new arrival, assuming the
+    /// least-loaded resource is picked: believed queued jobs there times
+    /// the mean demand estimate, divided by the service rate.
+    pub fn awt(&self, mean_demand: f64, service_rate: f64) -> f64 {
+        match self.least_loaded() {
+            Some(p) => self.views[p].load * mean_demand / service_rate,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Positions believed idle (load < `threshold`).
+    pub fn idle_positions(&self, threshold: f64) -> impl Iterator<Item = usize> + '_ {
+        self.views
+            .iter()
+            .enumerate()
+            .filter(move |(_, v)| v.load < threshold)
+            .map(|(i, _)| i)
+    }
+
+    /// Position of the most-loaded resource, if any.
+    pub fn most_loaded(&self) -> Option<usize> {
+        self.views
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.load.partial_cmp(&b.load).unwrap())
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn updates_and_least_loaded() {
+        let mut v = ClusterView::new(3);
+        v.apply_update(0, 2.0, t(10));
+        v.apply_update(1, 0.5, t(10));
+        v.apply_update(2, 1.0, t(12));
+        assert_eq!(v.least_loaded(), Some(1));
+        assert_eq!(v.most_loaded(), Some(0));
+        assert!((v.avg_load() - (3.5 / 3.0)).abs() < 1e-12);
+        assert_eq!(v.get(2).updated_at, t(12));
+    }
+
+    #[test]
+    fn ties_break_to_lowest_position() {
+        let v = ClusterView::new(4);
+        assert_eq!(v.least_loaded(), Some(0));
+    }
+
+    #[test]
+    fn bump_clamps_at_zero() {
+        let mut v = ClusterView::new(1);
+        v.bump(0, 1.0);
+        assert_eq!(v.get(0).load, 1.0);
+        v.bump(0, -5.0);
+        assert_eq!(v.get(0).load, 0.0);
+    }
+
+    #[test]
+    fn rus_counts_busy_fraction() {
+        let mut v = ClusterView::new(4);
+        v.apply_update(0, 1.0, t(1));
+        v.apply_update(1, 2.5, t(1));
+        assert!((v.rus() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn awt_uses_least_loaded() {
+        let mut v = ClusterView::new(2);
+        v.apply_update(0, 4.0, t(1));
+        v.apply_update(1, 1.0, t(1));
+        // least loaded has 1 job; mean demand 100; rate 2 ⇒ AWT 50.
+        assert!((v.awt(100.0, 2.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_degenerates() {
+        let v = ClusterView::new(0);
+        assert!(v.is_empty());
+        assert_eq!(v.least_loaded(), None);
+        assert_eq!(v.avg_load(), 0.0);
+        assert_eq!(v.rus(), 0.0);
+        assert!(v.awt(1.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn idle_positions_filter() {
+        let mut v = ClusterView::new(3);
+        v.apply_update(0, 0.0, t(1));
+        v.apply_update(1, 1.0, t(1));
+        v.apply_update(2, 0.2, t(1));
+        let idle: Vec<usize> = v.idle_positions(0.5).collect();
+        assert_eq!(idle, vec![0, 2]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Behavioural tests of the Grid machinery: transport, middleware,
+//! enabler effects, and accounting responses.
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{
+    run_simulation, Ctx, GridConfig, LocalOnly, Policy, PolicyMsg, SimTemplate,
+};
+use gridscale_workload::{Job, WorkloadConfig};
+
+fn base_cfg() -> GridConfig {
+    GridConfig {
+        nodes: 60,
+        schedulers: 4,
+        workload: WorkloadConfig {
+            arrival_rate: 0.025,
+            duration: SimTime::from_ticks(20_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(25_000),
+        seed: 99,
+        ..GridConfig::default()
+    }
+}
+
+/// A policy that ships every REMOTE job to the next cluster round-robin —
+/// exercises transfers and (optionally) the middleware path.
+struct ShipEverything {
+    via_mw: bool,
+}
+
+impl Policy for ShipEverything {
+    fn name(&self) -> &'static str {
+        "SHIP"
+    }
+    fn uses_middleware(&self) -> bool {
+        self.via_mw
+    }
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        let n = ctx.clusters();
+        if n > 1 {
+            ctx.transfer(cluster, (cluster + 1) % n, job);
+        } else {
+            ctx.dispatch_least_loaded(cluster, job);
+        }
+    }
+}
+
+#[test]
+fn transfers_are_counted_and_jobs_complete() {
+    let r = run_simulation(&base_cfg(), &mut ShipEverything { via_mw: false });
+    assert!(r.transfers > 0, "every REMOTE job transfers");
+    assert!(r.completed as f64 > 0.9 * r.jobs_total as f64);
+}
+
+#[test]
+fn middleware_adds_latency() {
+    let mut cfg = base_cfg();
+    cfg.middleware_service = 0.0;
+    let fast = run_simulation(&cfg, &mut ShipEverything { via_mw: true });
+    cfg.middleware_service = 40.0; // deliberately sluggish middleware
+    let slow = run_simulation(&cfg, &mut ShipEverything { via_mw: true });
+    assert!(
+        slow.mean_response > fast.mean_response,
+        "middleware service {} vs {} must slow responses",
+        slow.mean_response,
+        fast.mean_response
+    );
+}
+
+#[test]
+fn link_delay_enabler_slows_responses() {
+    // Job migration makes every job traverse scheduler-to-scheduler paths,
+    // so the propagation term dominates queueing noise.
+    let cfg = base_cfg();
+    let template = SimTemplate::new(&cfg);
+    let mut fast_en = cfg.enablers;
+    fast_en.link_delay_factor = 0.5;
+    let mut slow_en = cfg.enablers;
+    slow_en.link_delay_factor = 16.0;
+    let fast = template.run(fast_en, &mut ShipEverything { via_mw: false });
+    let slow = template.run(slow_en, &mut ShipEverything { via_mw: false });
+    assert!(
+        slow.mean_response > fast.mean_response + 50.0,
+        "32x longer links must raise response times ({} vs {})",
+        slow.mean_response,
+        fast.mean_response
+    );
+    assert!(slow.succeeded < fast.succeeded, "and hurt deadlines");
+}
+
+#[test]
+fn suppression_reduces_update_traffic() {
+    let cfg = base_cfg();
+    let template = SimTemplate::new(&cfg);
+    let with = template.run(cfg.enablers, &mut LocalOnly);
+    let mut cfg2 = cfg.clone();
+    cfg2.thresholds.suppress_delta = 0.0;
+    let template2 = SimTemplate::new(&cfg2);
+    let without = template2.run(cfg2.enablers, &mut LocalOnly);
+    assert_eq!(without.updates_suppressed, 0);
+    assert!(
+        with.updates_sent < without.updates_sent,
+        "suppression must cut update volume ({} vs {})",
+        with.updates_sent,
+        without.updates_sent
+    );
+    assert!(with.g_overhead < without.g_overhead);
+}
+
+#[test]
+fn estimator_count_changes_batch_granularity() {
+    let mut cfg1 = base_cfg();
+    cfg1.estimators = 1;
+    let mut cfg4 = base_cfg();
+    cfg4.estimators = 6;
+    let r1 = run_simulation(&cfg1, &mut LocalOnly);
+    let r4 = run_simulation(&cfg4, &mut LocalOnly);
+    assert!(r1.batches > 0 && r4.batches > 0);
+    // More estimators ⇒ updates split across more (smaller) batches.
+    assert!(
+        r4.batches > r1.batches,
+        "6 estimators ({}) should flush more batches than 1 ({})",
+        r4.batches,
+        r1.batches
+    );
+}
+
+#[test]
+fn recall_round_trips_a_job() {
+    /// Dispatches everything locally, but once per update recalls a queued
+    /// job toward cluster 0 — exercising the Recall → Transfer → TransferIn
+    /// path end to end.
+    struct Recaller {
+        fired: bool,
+    }
+    impl Policy for Recaller {
+        fn name(&self) -> &'static str {
+            "RECALLER"
+        }
+        fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+            ctx.dispatch_least_loaded(cluster, job);
+        }
+        fn on_update(&mut self, ctx: &mut Ctx, cluster: usize, pos: usize, load: f64) {
+            if !self.fired && cluster != 0 && load >= 2.0 {
+                self.fired = true;
+                ctx.recall(cluster, pos, 0);
+            }
+        }
+    }
+    let mut cfg = base_cfg();
+    cfg.workload.arrival_rate = 0.06; // enough queueing for a recall target
+    let r = run_simulation(&cfg, &mut Recaller { fired: false });
+    assert!(
+        r.transfers >= 1,
+        "the recalled job must migrate as a transfer"
+    );
+    assert!(r.completed as f64 > 0.9 * r.jobs_total as f64);
+}
+
+#[test]
+fn policy_messages_travel_between_schedulers() {
+    /// Sends one Volunteer from cluster 1 to cluster 0 at init; asserts the
+    /// delivery is observed by the peer.
+    struct OneShot {
+        seen: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl Policy for OneShot {
+        fn name(&self) -> &'static str {
+            "ONESHOT"
+        }
+        fn init(&mut self, ctx: &mut Ctx) {
+            if ctx.clusters() > 1 {
+                ctx.send_policy(1, 0, PolicyMsg::Volunteer { from: 1, rus: 0.1 });
+            }
+        }
+        fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+            ctx.dispatch_least_loaded(cluster, job);
+        }
+        fn on_policy_msg(&mut self, _ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+            assert_eq!(cluster, 0);
+            assert!(matches!(msg, PolicyMsg::Volunteer { from: 1, .. }));
+            self.seen.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    let seen = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut p = OneShot { seen: seen.clone() };
+    let r = run_simulation(&base_cfg(), &mut p);
+    assert!(seen.load(std::sync::atomic::Ordering::Relaxed), "message delivered");
+    assert_eq!(r.policy_msgs, 1);
+}
+
+#[test]
+fn tighter_updates_improve_view_accuracy_and_success() {
+    // With more frequent (less stale) updates, placement quality and thus
+    // deadline success should not get worse, at higher G.
+    let mut cfg = base_cfg();
+    cfg.workload.arrival_rate = 0.05;
+    let template = SimTemplate::new(&cfg);
+    let mut tight = cfg.enablers;
+    tight.update_interval = 50;
+    let mut loose = cfg.enablers;
+    loose.update_interval = 6400;
+    let rt = template.run(tight, &mut LocalOnly);
+    let rl = template.run(loose, &mut LocalOnly);
+    assert!(rt.succeeded > rl.succeeded, "{} vs {}", rt.succeeded, rl.succeeded);
+    assert!(rt.updates_sent > rl.updates_sent);
+}
+
+mod dag {
+    use super::*;
+
+    fn dag_cfg(edge_prob: f64, data_cost: f64) -> GridConfig {
+        let mut cfg = base_cfg();
+        cfg.dag_edge_prob = edge_prob;
+        cfg.dag_data_cost = data_cost;
+        cfg
+    }
+
+    #[test]
+    fn precedence_defers_releases_and_conserves_jobs() {
+        let with = run_simulation(&dag_cfg(0.5, 5.0), &mut LocalOnly);
+        let without = run_simulation(&dag_cfg(0.0, 5.0), &mut LocalOnly);
+        assert_eq!(without.dag_deferred, 0, "no DAG, no deferral");
+        assert!(with.dag_deferred > 0, "dependencies must gate some releases");
+        assert_eq!(with.jobs_total, with.completed + with.unfinished);
+        assert!(
+            with.completed as f64 > 0.9 * with.jobs_total as f64,
+            "chains still drain: {}/{}",
+            with.completed,
+            with.jobs_total
+        );
+    }
+
+    #[test]
+    fn data_movement_charges_h() {
+        let cheap = run_simulation(&dag_cfg(0.5, 0.0), &mut LocalOnly);
+        let costly = run_simulation(&dag_cfg(0.5, 20.0), &mut LocalOnly);
+        assert!(
+            costly.h_overhead > cheap.h_overhead + 100.0,
+            "H must carry the data-dependency cost: {} vs {}",
+            costly.h_overhead,
+            cheap.h_overhead
+        );
+        // Same trace and DAG, so the release structure is identical.
+        assert_eq!(cheap.dag_deferred, costly.dag_deferred);
+        // And efficiency must fall as H rises (F identical dynamics).
+        assert!(costly.efficiency < cheap.efficiency);
+    }
+
+    #[test]
+    fn dag_runs_are_deterministic() {
+        let a = run_simulation(&dag_cfg(0.4, 5.0), &mut LocalOnly);
+        let b = run_simulation(&dag_cfg(0.4, 5.0), &mut LocalOnly);
+        assert_eq!(a.f_work, b.f_work);
+        assert_eq!(a.dag_deferred, b.dag_deferred);
+        assert_eq!(a.h_overhead, b.h_overhead);
+    }
+
+    #[test]
+    fn deeper_dags_defer_more() {
+        let shallow = run_simulation(&dag_cfg(0.15, 5.0), &mut LocalOnly);
+        let deep = run_simulation(&dag_cfg(0.9, 5.0), &mut LocalOnly);
+        assert!(
+            deep.dag_deferred > shallow.dag_deferred,
+            "deep {} vs shallow {}",
+            deep.dag_deferred,
+            shallow.dag_deferred
+        );
+        // Deferred release lengthens makespan pressure near the horizon,
+        // so completion cannot improve.
+        assert!(deep.completed <= shallow.completed + shallow.jobs_total / 20);
+    }
+}
+
+mod timeline {
+    use super::*;
+
+    #[test]
+    fn timeline_samples_track_the_run() {
+        let cfg = base_cfg();
+        let template = SimTemplate::new(&cfg);
+        let (report, tl) = template.run_with_timeline(cfg.enablers, &mut LocalOnly, 1_000);
+        assert!(tl.len() > 30, "samples every 1k ticks over 45k horizon");
+        // Cumulative signals are monotone.
+        let f: Vec<f64> = tl.samples().iter().map(|s| s.f_so_far).collect();
+        assert!(f.windows(2).all(|w| w[0] <= w[1]));
+        let g: Vec<f64> = tl.samples().iter().map(|s| s.g_busy_so_far).collect();
+        assert!(g.windows(2).all(|w| w[0] <= w[1]));
+        // The last sample's totals approach the final report.
+        let last = tl.samples().last().unwrap();
+        assert!(last.completed <= report.completed);
+        assert!(last.f_so_far <= report.f_work + 1e-9);
+        assert!(last.completed as f64 >= 0.9 * report.completed as f64);
+    }
+
+    #[test]
+    fn timeline_exposes_saturation() {
+        // A deliberately overloaded single scheduler: backlog must grow
+        // over time instead of hovering near zero.
+        let mut cfg = base_cfg();
+        cfg.schedulers = 1;
+        cfg.costs.decision_base = 40.0; // far beyond the arrival budget
+        let template = SimTemplate::new(&cfg);
+        let (_, tl) = template.run_with_timeline(cfg.enablers, &mut LocalOnly, 2_000);
+        let first = tl.samples()[1].rms_backlog;
+        let peak = tl.peak(|s| s.rms_backlog).unwrap().1;
+        assert!(
+            peak > first + 1_000.0,
+            "backlog must diverge under overload: first {first}, peak {peak}"
+        );
+    }
+
+    #[test]
+    fn plain_run_records_nothing() {
+        let cfg = base_cfg();
+        let template = SimTemplate::new(&cfg);
+        // Just exercises that the no-timeline path still works identically.
+        let a = template.run(cfg.enablers, &mut LocalOnly);
+        let (b, _) = template.run_with_timeline(cfg.enablers, &mut LocalOnly, 5_000);
+        assert_eq!(a.f_work, b.f_work, "sampling must not perturb results");
+        assert_eq!(a.completed, b.completed);
+    }
+}

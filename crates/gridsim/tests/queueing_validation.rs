@@ -1,0 +1,133 @@
+//! Validation against closed-form queueing theory.
+//!
+//! A Grid with one cluster and one resource is an M/G/1 queue plus a
+//! constant transport/decision offset. These tests pin the simulator's
+//! waiting times against the Pollaczek–Khinchine formula:
+//!
+//! ```text
+//! W_q = λ E[S²] / (2 (1 − ρ))        (M/G/1)
+//!       = ρ/(μ−λ)                     (exponential service, M/M/1)
+//!       = ρ s / (2 (1−ρ))             (deterministic service, M/D/1)
+//! ```
+//!
+//! The constant offset (submission latency, decision service, dispatch
+//! latency) is eliminated by differencing a near-idle run, so the checks
+//! are exact up to sampling error.
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{run_simulation, GridConfig, LocalOnly, TopologySpec};
+use gridscale_workload::{ExecTimeModel, WorkloadConfig};
+
+/// One-resource Grid: ring of 3 nodes, 1 scheduler, 1 resource.
+fn single_server_cfg(exec: ExecTimeModel, rate: f64, seed: u64) -> GridConfig {
+    GridConfig {
+        nodes: 3,
+        schedulers: 1,
+        estimators: 0,
+        resource_fraction: 0.5, // ceil(2 × 0.5) = 1 resource
+        topology: TopologySpec::Ring,
+        workload: WorkloadConfig {
+            arrival_rate: rate,
+            duration: SimTime::from_ticks(3_000_000),
+            exec_time: exec,
+            // Wide deadlines: completions must not be censored.
+            benefit_range: (500.0, 500.0),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(400_000),
+        seed,
+        ..GridConfig::default()
+    }
+}
+
+/// Mean response of the single-server Grid at `rate`, averaged over seeds.
+fn mean_response(exec: ExecTimeModel, rate: f64) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0.0;
+    for seed in [11u64, 22, 33] {
+        let cfg = single_server_cfg(exec, rate, seed);
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        assert!(
+            r.unfinished as f64 <= 0.01 * r.jobs_total as f64,
+            "system must be stable: {} unfinished of {}",
+            r.unfinished,
+            r.jobs_total
+        );
+        total += r.mean_response * r.completed as f64;
+        n += r.completed as f64;
+    }
+    total / n
+}
+
+#[test]
+fn mm1_waiting_time_matches_theory() {
+    // Service: exponential, mean s = 100 ⇒ μ = 0.01.
+    let s = 100.0;
+    let exec = ExecTimeModel::Exponential { mean: s };
+    let lam_lo = 0.0005; // ρ = 0.05
+    let lam_hi = 0.007; // ρ = 0.7
+    let wq = |lam: f64| {
+        let rho = lam * s;
+        rho / (1.0 / s - lam)
+    };
+    let sim_delta = mean_response(exec, lam_hi) - mean_response(exec, lam_lo);
+    let theory_delta = wq(lam_hi) - wq(lam_lo);
+    let rel = (sim_delta - theory_delta).abs() / theory_delta;
+    assert!(
+        rel < 0.12,
+        "M/M/1 W_q difference: sim {sim_delta:.1} vs theory {theory_delta:.1} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn md1_waiting_time_matches_theory() {
+    // Deterministic service s = 100: W_q = ρ s / (2 (1 − ρ)).
+    let s = 100.0;
+    let exec = ExecTimeModel::Constant { ticks: s };
+    let lam_lo = 0.0005;
+    let lam_hi = 0.007;
+    let wq = |lam: f64| {
+        let rho = lam * s;
+        rho * s / (2.0 * (1.0 - rho))
+    };
+    let sim_delta = mean_response(exec, lam_hi) - mean_response(exec, lam_lo);
+    let theory_delta = wq(lam_hi) - wq(lam_lo);
+    let rel = (sim_delta - theory_delta).abs() / theory_delta;
+    assert!(
+        rel < 0.12,
+        "M/D/1 W_q difference: sim {sim_delta:.1} vs theory {theory_delta:.1} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn deterministic_service_halves_mm1_queueing() {
+    // Classic P-K consequence: at equal ρ, M/D/1 queueing is half of
+    // M/M/1. Differenced the same way to cancel constant offsets.
+    let s = 100.0;
+    let lam = 0.007; // ρ = 0.7
+    let lam0 = 0.0005;
+    let dm = mean_response(ExecTimeModel::Exponential { mean: s }, lam)
+        - mean_response(ExecTimeModel::Exponential { mean: s }, lam0);
+    let dd = mean_response(ExecTimeModel::Constant { ticks: s }, lam)
+        - mean_response(ExecTimeModel::Constant { ticks: s }, lam0);
+    let ratio = dd / dm;
+    assert!(
+        (0.38..0.62).contains(&ratio),
+        "M/D/1 / M/M/1 queueing ratio should be ~0.5, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn utilization_matches_offered_load() {
+    // ρ reported by the simulator equals λ·s within sampling error.
+    let cfg = single_server_cfg(ExecTimeModel::Constant { ticks: 100.0 }, 0.006, 7);
+    let r = run_simulation(&cfg, &mut LocalOnly);
+    // Utilization is measured over the full horizon, which includes the
+    // idle drain window after arrivals stop.
+    let expect = 0.6 * cfg.workload.duration.as_f64() / cfg.horizon().as_f64();
+    assert!(
+        (r.resource_utilization - expect).abs() < 0.04,
+        "utilization {:.3} should be ~{expect:.3}",
+        r.resource_utilization
+    );
+}

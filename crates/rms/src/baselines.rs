@@ -1,0 +1,189 @@
+//! Classic load-sharing baselines (extension).
+//!
+//! Zhou's trace-driven study — the source of LOWEST and RESERVE — measures
+//! its policies against the textbook baselines of Eager, Lazowska &
+//! Zahorjan: blind **RANDOM** placement and **THRESHOLD** probing. They
+//! are cheap yardsticks for the scalability framework: RANDOM has zero
+//! status traffic and no placement intelligence; THRESHOLD pays one probe
+//! at a time only when the local cluster looks loaded.
+
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+use std::collections::HashMap;
+
+/// RANDOM: every REMOTE job goes to a uniformly random cluster (possibly
+/// its own), with no state consulted at all. The floor for placement
+/// quality and the floor for RMS overhead.
+#[derive(Debug, Default)]
+pub struct RandomPlacement;
+
+impl Policy for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        let n = ctx.clusters();
+        let target = ctx.rng().index(n);
+        if target == cluster {
+            ctx.dispatch_least_loaded(cluster, job);
+        } else {
+            ctx.transfer(cluster, target, job);
+        }
+    }
+}
+
+/// THRESHOLD (Eager et al.): if the local cluster's mean load is at or
+/// below `T_l`, place locally; otherwise probe one random peer and
+/// transfer only if the peer admits being below threshold, falling back
+/// to local placement after a failed probe.
+#[derive(Debug, Default)]
+pub struct Threshold {
+    /// Held jobs awaiting their single probe answer.
+    pending: HashMap<u64, Job>,
+}
+
+impl Policy for Threshold {
+    fn name(&self) -> &'static str {
+        "THRESHOLD"
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        if ctx.avg_load(cluster) <= ctx.thresholds().t_l {
+            ctx.dispatch_least_loaded(cluster, job);
+            return;
+        }
+        let peers = ctx.random_remotes(cluster, 1);
+        let Some(&peer) = peers.first() else {
+            ctx.dispatch_least_loaded(cluster, job);
+            return;
+        };
+        let token = ctx.next_token();
+        self.pending.insert(token, job);
+        // Reuse the reservation-probe handshake: it carries exactly the
+        // "are you below threshold" question THRESHOLD asks.
+        ctx.send_policy(
+            cluster,
+            peer,
+            PolicyMsg::ReserveProbe {
+                from: cluster as u32,
+                token,
+            },
+        );
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        match msg {
+            PolicyMsg::ReserveProbe { from, token } => {
+                let accept = ctx.avg_load(cluster) <= ctx.thresholds().t_l;
+                ctx.send_policy(
+                    cluster,
+                    from as usize,
+                    PolicyMsg::ReserveProbeReply {
+                        from: cluster as u32,
+                        token,
+                        avg_load: ctx.avg_load(cluster),
+                        accept,
+                    },
+                );
+            }
+            PolicyMsg::ReserveProbeReply {
+                from,
+                token,
+                accept,
+                ..
+            } => {
+                if let Some(job) = self.pending.remove(&token) {
+                    if accept {
+                        ctx.transfer(cluster, from as usize, job);
+                    } else {
+                        ctx.dispatch_least_loaded(cluster, job);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridscale_desim::SimTime;
+    use gridscale_gridsim::{run_simulation, GridConfig};
+    use gridscale_workload::WorkloadConfig;
+
+    fn cfg() -> GridConfig {
+        GridConfig {
+            nodes: 60,
+            schedulers: 5,
+            workload: WorkloadConfig {
+                arrival_rate: 0.03,
+                duration: SimTime::from_ticks(25_000),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(30_000),
+            seed: 0xFACE,
+            ..GridConfig::default()
+        }
+    }
+
+    #[test]
+    fn random_transfers_most_remote_jobs_with_zero_probes() {
+        let r = run_simulation(&cfg(), &mut RandomPlacement);
+        assert!(r.completed as f64 > 0.9 * r.jobs_total as f64);
+        assert_eq!(r.policy_msgs, 0, "RANDOM never consults anyone");
+        // ~4/5 of REMOTE jobs land on another cluster.
+        assert!(r.transfers > 0);
+    }
+
+    #[test]
+    fn threshold_probes_at_most_once_per_remote_job() {
+        let mut cfg = cfg();
+        cfg.workload.arrival_rate = 0.05; // enough load to trip T_l
+        let mut p = Threshold::default();
+        let r = run_simulation(&cfg, &mut p);
+        assert!(r.completed as f64 > 0.9 * r.jobs_total as f64);
+        assert!(r.policy_msgs > 0, "loaded clusters must probe");
+        // Each probe is a request/reply pair; at most one pair per job.
+        assert!(
+            r.policy_msgs <= 2 * r.jobs_total,
+            "{} messages for {} jobs",
+            r.policy_msgs,
+            r.jobs_total
+        );
+    }
+
+    #[test]
+    fn informed_lowest_beats_random_on_success() {
+        let mut cfg = cfg();
+        // ~80% utilization: enough contention for placement quality to
+        // matter, but below saturation (where nothing helps).
+        cfg.workload.arrival_rate = 0.035;
+        let rand = run_simulation(&cfg, &mut RandomPlacement);
+        let mut lw = crate::Lowest::default();
+        let low = run_simulation(&cfg, &mut lw);
+        assert!(
+            low.mean_response < rand.mean_response,
+            "informed polling ({:.0}) must respond faster than blind random ({:.0})",
+            low.mean_response,
+            rand.mean_response
+        );
+        assert!(
+            low.success_rate() + 0.02 >= rand.success_rate(),
+            "and not lose on success: {:.3} vs {:.3}",
+            low.success_rate(),
+            rand.success_rate()
+        );
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let a = run_simulation(&cfg(), &mut RandomPlacement);
+        let b = run_simulation(&cfg(), &mut RandomPlacement);
+        assert_eq!(a.f_work, b.f_work);
+        let c = run_simulation(&cfg(), &mut Threshold::default());
+        let d = run_simulation(&cfg(), &mut Threshold::default());
+        assert_eq!(c.policy_msgs, d.policy_msgs);
+    }
+}

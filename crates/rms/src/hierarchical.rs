@@ -1,0 +1,151 @@
+//! HIER: a two-level scheduler hierarchy (extension).
+//!
+//! The paper's future-work item (a) asks for "strategies to apply this
+//! framework to complex RMS architectures". This model is the canonical
+//! next step beyond the seven flat designs: cluster 0's scheduler acts as
+//! a **super-scheduler** that aggregates periodic load reports from every
+//! child scheduler and answers placement requests, so a REMOTE job costs a
+//! two-message consultation regardless of Grid size — trading LOWEST's
+//! `O(L_p)` per-job polling for a potential central hot-spot that is far
+//! lighter than CENTRAL's (it handles per-*job* control messages, not
+//! per-resource status updates).
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+use std::collections::HashMap;
+
+/// Timer tag for the periodic load report.
+const TAG_REPORT: u64 = 3;
+
+/// The super-scheduler's cluster index.
+const SUPER: usize = 0;
+
+/// Two-level hierarchical RMS (see module docs).
+#[derive(Debug, Default)]
+pub struct Hierarchical {
+    /// Super-scheduler's view: last reported mean load per cluster.
+    loads: Vec<f64>,
+    /// Jobs held at children awaiting a placement decision.
+    pending: HashMap<u64, Job>,
+}
+
+impl Hierarchical {
+    fn ensure(&mut self, clusters: usize) {
+        if self.loads.len() < clusters {
+            self.loads.resize(clusters, 0.0);
+        }
+    }
+
+    /// Super-side placement rule: least reported load, ties to the lowest
+    /// cluster index.
+    fn best_cluster(&self) -> usize {
+        self.loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(SUPER)
+    }
+}
+
+impl Policy for Hierarchical {
+    fn name(&self) -> &'static str {
+        "HIER"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        let n = ctx.clusters();
+        self.ensure(n);
+        let period = ctx.enablers().volunteer_interval;
+        for c in 0..n {
+            if c == SUPER {
+                continue;
+            }
+            let phase = ctx.rng().int_range(1, period.max(1));
+            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_REPORT);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {
+        if tag != TAG_REPORT || cluster == SUPER {
+            return;
+        }
+        ctx.send_policy(
+            cluster,
+            SUPER,
+            PolicyMsg::LoadReport {
+                from: cluster as u32,
+                avg_load: ctx.avg_load(cluster),
+            },
+        );
+        let period = ctx.enablers().volunteer_interval;
+        ctx.set_timer(cluster, SimTime::from_ticks(period), TAG_REPORT);
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        self.ensure(ctx.clusters());
+        if cluster == SUPER {
+            // The super-scheduler places directly from its table.
+            self.loads[SUPER] = ctx.avg_load(SUPER);
+            let target = self.best_cluster();
+            self.loads[target] += 1.0 / ctx.cluster_size(target).max(1) as f64;
+            if target == SUPER {
+                ctx.dispatch_least_loaded(SUPER, job);
+            } else {
+                ctx.transfer(SUPER, target, job);
+            }
+            return;
+        }
+        let token = ctx.next_token();
+        self.pending.insert(token, job);
+        ctx.send_policy(
+            cluster,
+            SUPER,
+            PolicyMsg::PlaceRequest {
+                from: cluster as u32,
+                token,
+                job_exec: job.exec_time,
+            },
+        );
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        self.ensure(ctx.clusters());
+        match msg {
+            PolicyMsg::LoadReport { from, avg_load } => {
+                debug_assert_eq!(cluster, SUPER, "reports go to the super-scheduler");
+                self.loads[from as usize] = avg_load;
+            }
+            PolicyMsg::PlaceRequest { from, token, .. } => {
+                debug_assert_eq!(cluster, SUPER);
+                // The super's own cluster state is first-hand.
+                self.loads[SUPER] = ctx.avg_load(SUPER);
+                let target = self.best_cluster();
+                // Optimistic bump so bursts spread instead of herding at
+                // the coldest cluster between reports.
+                self.loads[target] += 1.0 / ctx.cluster_size(target).max(1) as f64;
+                ctx.send_policy(
+                    SUPER,
+                    from as usize,
+                    PolicyMsg::PlaceReply {
+                        from: SUPER as u32,
+                        token,
+                        target: target as u32,
+                    },
+                );
+            }
+            PolicyMsg::PlaceReply { token, target, .. } => {
+                if let Some(job) = self.pending.remove(&token) {
+                    let target = target as usize;
+                    if target == cluster {
+                        ctx.dispatch_least_loaded(cluster, job);
+                    } else {
+                        ctx.transfer(cluster, target, job);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

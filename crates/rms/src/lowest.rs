@@ -1,0 +1,65 @@
+//! LOWEST: random polling of `L_p` peers, transfer to the least loaded.
+
+use crate::polling::{PlacementRule, PollPlacer};
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+
+/// The paper's LOWEST model (after Zhou's trace-driven load-balancing
+/// study):
+///
+/// > "The RMS consists of multiple schedulers with each receiving periodic
+/// > updates from non-overlapping clusters of resources. On a LOCAL job
+/// > arrival, a scheduler will schedule it on the least loaded resource in
+/// > its cluster. On a REMOTE job arrival, a scheduler will poll a set of
+/// > randomly selected `L_p` remote schedulers. The job is transferred for
+/// > execution to a remote scheduler with the least loaded resources."
+///
+/// LOCAL arrivals use the default least-loaded-local rule; REMOTE arrivals
+/// go through the shared [`PollPlacer`] with the
+/// [`PlacementRule::LeastLoaded`] decision.
+#[derive(Debug)]
+pub struct Lowest {
+    placer: PollPlacer,
+}
+
+impl Default for Lowest {
+    fn default() -> Self {
+        Lowest {
+            placer: PollPlacer::new(PlacementRule::LeastLoaded),
+        }
+    }
+}
+
+impl Policy for Lowest {
+    fn name(&self) -> &'static str {
+        "LOWEST"
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        self.placer.start(ctx, cluster, job);
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        match msg {
+            PolicyMsg::Poll {
+                from,
+                token,
+                job_exec,
+            } => PollPlacer::answer_poll(ctx, cluster, from, token, job_exec),
+            PolicyMsg::PollReply {
+                from,
+                token,
+                avg_load,
+                awt,
+                ert,
+                rus,
+            } => {
+                self.placer
+                    .on_reply(ctx, token, from, avg_load, awt, ert, rus);
+            }
+            // LOWEST ignores reservation/auction/volunteer traffic (none is
+            // ever sent to it, but stay robust).
+            _ => {}
+        }
+    }
+}

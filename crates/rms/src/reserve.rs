@@ -1,0 +1,161 @@
+//! RESERVE: under-loaded schedulers register reservations at peers.
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+use std::collections::HashMap;
+
+/// Timer tag for the periodic load self-check.
+const TAG_CHECK: u64 = 1;
+
+/// The paper's RESERVE model (after Zhou):
+///
+/// > "Here the schedulers are arranged as in LOWEST. When average cluster
+/// > load for a local cluster for a scheduler `S_a` falls below threshold
+/// > `T_l`, then `S_a` advertises to register reservations at `L_p` remote
+/// > schedulers. On a REMOTE job arrival, a scheduler will examine the
+/// > average load of its local cluster. If it is above `T_l`, it probes the
+/// > remote scheduler that made the most recent reservation. The job is
+/// > sent to the remote scheduler if the loading there is below a given
+/// > threshold. Otherwise, the reservations are cancelled."
+///
+/// The load self-check runs on the *volunteer-interval* enabler timer (the
+/// knob Case 4 tunes); reservations at each scheduler are kept as a
+/// recency stack.
+#[derive(Debug, Default)]
+pub struct Reserve {
+    /// Per cluster: reservation stack (holder clusters, most recent last).
+    reservations: Vec<Vec<usize>>,
+    /// Per cluster: where we currently hold reservations (to send cancels).
+    advertised_to: Vec<Vec<usize>>,
+    /// Jobs held while probing, keyed by token (value: job + probed holder).
+    pending: HashMap<u64, (Job, usize)>,
+}
+
+impl Reserve {
+    fn ensure(&mut self, clusters: usize) {
+        if self.reservations.len() < clusters {
+            self.reservations.resize_with(clusters, Vec::new);
+            self.advertised_to.resize_with(clusters, Vec::new);
+        }
+    }
+}
+
+impl Policy for Reserve {
+    fn name(&self) -> &'static str {
+        "RESERVE"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        let n = ctx.clusters();
+        self.ensure(n);
+        let period = ctx.enablers().volunteer_interval;
+        for c in 0..n {
+            // Staggered so all schedulers don't self-check simultaneously.
+            let phase = ctx.rng().int_range(1, period.max(1));
+            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_CHECK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {
+        if tag != TAG_CHECK {
+            return;
+        }
+        self.ensure(ctx.clusters());
+        let t_l = ctx.thresholds().t_l;
+        let avg = ctx.avg_load(cluster);
+        let lp = ctx.enablers().neighborhood;
+        if avg < t_l && self.advertised_to[cluster].is_empty() {
+            let peers = ctx.random_remotes(cluster, lp);
+            for &p in &peers {
+                ctx.send_policy(
+                    cluster,
+                    p,
+                    PolicyMsg::Reserve {
+                        from: cluster as u32,
+                    },
+                );
+            }
+            self.advertised_to[cluster] = peers;
+        } else if avg >= t_l && !self.advertised_to[cluster].is_empty() {
+            let peers = std::mem::take(&mut self.advertised_to[cluster]);
+            for p in peers {
+                ctx.send_policy(
+                    cluster,
+                    p,
+                    PolicyMsg::ReserveCancel {
+                        from: cluster as u32,
+                    },
+                );
+            }
+        }
+        let period = ctx.enablers().volunteer_interval;
+        ctx.set_timer(cluster, SimTime::from_ticks(period), TAG_CHECK);
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        self.ensure(ctx.clusters());
+        let t_l = ctx.thresholds().t_l;
+        if ctx.avg_load(cluster) > t_l {
+            if let Some(&holder) = self.reservations[cluster].last() {
+                let token = ctx.next_token();
+                self.pending.insert(token, (job, holder));
+                ctx.send_policy(
+                    cluster,
+                    holder,
+                    PolicyMsg::ReserveProbe {
+                        from: cluster as u32,
+                        token,
+                    },
+                );
+                return;
+            }
+        }
+        ctx.dispatch_least_loaded(cluster, job);
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        self.ensure(ctx.clusters());
+        match msg {
+            PolicyMsg::Reserve { from } => {
+                let f = from as usize;
+                self.reservations[cluster].retain(|&h| h != f);
+                self.reservations[cluster].push(f);
+            }
+            PolicyMsg::ReserveCancel { from } => {
+                self.reservations[cluster].retain(|&h| h != from as usize);
+            }
+            PolicyMsg::ReserveProbe { from, token } => {
+                let accept = ctx.avg_load(cluster) < ctx.thresholds().t_l;
+                ctx.send_policy(
+                    cluster,
+                    from as usize,
+                    PolicyMsg::ReserveProbeReply {
+                        from: cluster as u32,
+                        token,
+                        avg_load: ctx.avg_load(cluster),
+                        accept,
+                    },
+                );
+            }
+            PolicyMsg::ReserveProbeReply {
+                from,
+                token,
+                accept,
+                ..
+            } => {
+                if let Some((job, holder)) = self.pending.remove(&token) {
+                    debug_assert_eq!(holder, from as usize);
+                    if accept {
+                        ctx.transfer(cluster, holder, job);
+                    } else {
+                        // "Otherwise, the reservations are cancelled."
+                        self.reservations[cluster].retain(|&h| h != holder);
+                        ctx.dispatch_least_loaded(cluster, job);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! R-I: receiver-initiated volunteering through Grid middleware.
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+use std::collections::HashMap;
+
+/// Timer tag for the periodic RUS self-check.
+const TAG_RUS_CHECK: u64 = 2;
+
+/// The paper's R-I model (after Shan et al.):
+///
+/// > "Periodically, a scheduler `S_x` checks RUS for the resources in its
+/// > cluster. If the RUS for a resource in its cluster is below threshold
+/// > `δ`, `S_x` decides to execute remote jobs and informs at most `L_p`
+/// > remote schedulers. A remote scheduler `S_y`, receiving `S_x`'s
+/// > intention will send `S_x` the resource demands for the first job in
+/// > its wait queue. When `S_x` replies back with its ATT and RUS, `S_y`
+/// > uses this information to compute TC at local and remote sites and
+/// > schedule the job accordingly."
+///
+/// The periodic check runs on the *volunteer-interval* enabler. The loaded
+/// side (`S_y`) approximates its head-of-queue job's demand with the
+/// workload's mean (schedulers do not track per-resource queue contents),
+/// and when the volunteer's turnaround beats the local estimate by more
+/// than the tolerance `ψ`, it recalls one queued job from its most loaded
+/// resource and migrates it. REMOTE arrivals place locally — migration is
+/// purely receiver-driven.
+#[derive(Debug, Default)]
+pub struct ReceiverInit {
+    /// Pending demand handshakes at the loaded side: token → volunteer.
+    pending: HashMap<u64, usize>,
+}
+
+impl Policy for ReceiverInit {
+    fn name(&self) -> &'static str {
+        "R-I"
+    }
+
+    fn uses_middleware(&self) -> bool {
+        true
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        let n = ctx.clusters();
+        let period = ctx.enablers().volunteer_interval;
+        for c in 0..n {
+            let phase = ctx.rng().int_range(1, period.max(1));
+            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_RUS_CHECK);
+        }
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        // Receiver-initiated: the arrival itself places locally.
+        ctx.dispatch_least_loaded(cluster, job);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {
+        if tag != TAG_RUS_CHECK {
+            return;
+        }
+        let delta = ctx.thresholds().delta;
+        let has_idle = ctx.view(cluster).idle_positions(delta).next().is_some();
+        if has_idle {
+            let lp = ctx.enablers().neighborhood;
+            let rus = ctx.rus(cluster);
+            for p in ctx.random_remotes(cluster, lp) {
+                ctx.send_policy(
+                    cluster,
+                    p,
+                    PolicyMsg::Volunteer {
+                        from: cluster as u32,
+                        rus,
+                    },
+                );
+            }
+        }
+        let period = ctx.enablers().volunteer_interval;
+        ctx.set_timer(cluster, SimTime::from_ticks(period), TAG_RUS_CHECK);
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        match msg {
+            PolicyMsg::Volunteer { from, .. }
+                // We are S_y. Only loaded clusters respond to intentions.
+                if ctx.avg_load(cluster) > ctx.thresholds().t_l => {
+                    let token = ctx.next_token();
+                    self.pending.insert(token, from as usize);
+                    let demand = SimTime::from_f64(ctx.mean_demand());
+                    ctx.send_policy(
+                        cluster,
+                        from as usize,
+                        PolicyMsg::DemandRequest {
+                            from: cluster as u32,
+                            token,
+                            job_exec: demand,
+                        },
+                    );
+                }
+            PolicyMsg::DemandRequest {
+                from,
+                token,
+                job_exec,
+            } => {
+                // We are S_x (the volunteer): answer with our ATT and RUS.
+                let att = ctx.awt(cluster) + ctx.ert(job_exec);
+                let rus = ctx.rus(cluster);
+                ctx.send_policy(
+                    cluster,
+                    from as usize,
+                    PolicyMsg::DemandReply {
+                        from: cluster as u32,
+                        token,
+                        att,
+                        rus,
+                    },
+                );
+            }
+            PolicyMsg::DemandReply { from, token, att, .. } => {
+                // We are S_y again: compare turnaround costs and migrate
+                // one queued job if the volunteer clearly wins.
+                let Some(volunteer) = self.pending.remove(&token) else {
+                    return;
+                };
+                debug_assert_eq!(volunteer, from as usize);
+                let local_att = ctx.awt(cluster) + ctx.mean_demand() / ctx.service_rate();
+                if att + ctx.thresholds().psi < local_att {
+                    let t_l = ctx.thresholds().t_l;
+                    if let Some(pos) = ctx.view(cluster).most_loaded() {
+                        if ctx.view(cluster).get(pos).load > t_l {
+                            ctx.recall(cluster, pos, volunteer);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

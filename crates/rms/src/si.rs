@@ -1,0 +1,73 @@
+//! S-I: sender-initiated superscheduling through Grid middleware.
+
+use crate::polling::{PlacementRule, PollPlacer};
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+
+/// The paper's S-I model (after Shan, Oliker & Biswas's job
+/// superscheduler):
+///
+/// > "PUSH type RMS. … a set of autonomous local schedulers communicate
+/// > with each other through a Grid middleware. … On a REMOTE job arrival,
+/// > a scheduler polls `L_p` remote schedulers. The remote schedulers
+/// > respond with approximate waiting time (AWT), expected run time (ERT)
+/// > for the particular job and resource utilization status (RUS) for the
+/// > resources in their cluster. Based on the collected information, the
+/// > polling scheduler calculates the potential turnaround cost (TC) at
+/// > local cluster and each remote cluster. To compute the optimal TC,
+/// > first the minimum approximate turnaround time ATT is calculated as
+/// > the sum of the AWT and ERT. If the minimum ATT is within a small
+/// > tolerance ψ for multiple schedulers, the scheduler with smallest RUS
+/// > is chosen to accept the job."
+///
+/// Identical state machine to LOWEST but with the turnaround-cost decision
+/// rule and all inter-scheduler traffic passing the middleware queue
+/// ([`Policy::uses_middleware`]).
+#[derive(Debug)]
+pub struct SenderInit {
+    placer: PollPlacer,
+}
+
+impl Default for SenderInit {
+    fn default() -> Self {
+        SenderInit {
+            placer: PollPlacer::new(PlacementRule::TurnaroundCost),
+        }
+    }
+}
+
+impl Policy for SenderInit {
+    fn name(&self) -> &'static str {
+        "S-I"
+    }
+
+    fn uses_middleware(&self) -> bool {
+        true
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        self.placer.start(ctx, cluster, job);
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        match msg {
+            PolicyMsg::Poll {
+                from,
+                token,
+                job_exec,
+            } => PollPlacer::answer_poll(ctx, cluster, from, token, job_exec),
+            PolicyMsg::PollReply {
+                from,
+                token,
+                avg_load,
+                awt,
+                ert,
+                rus,
+            } => {
+                self.placer
+                    .on_reply(ctx, token, from, avg_load, awt, ert, rus);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Sy-I: symmetric combination of S-I and R-I.
+
+use crate::polling::{PlacementRule, PollPlacer};
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+
+/// Timer tag for the periodic RUS self-check (shared with R-I semantics).
+const TAG_RUS_CHECK: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Advert {
+    from: usize,
+    rus: f64,
+    at: SimTime,
+}
+
+/// The paper's Sy-I model (after Shan et al.):
+///
+/// > "This combines S-I and R-I. As in R-I, each scheduler will advertise
+/// > its own underutilized resources periodically. Based on this
+/// > information a scheduler with a new job will schedule the job locally
+/// > or send it to the advertising scheduler. However, if a new job
+/// > arrives at a scheduler which has received no advertisements, it will
+/// > use the S-I approach to schedule the job."
+///
+/// Advertisements are kept per cluster with their arrival time; they stay
+/// valid for two volunteer intervals. A REMOTE arrival with a fresh
+/// advertisement transfers straight to the most recent advertiser (if it
+/// looked under-utilized); otherwise the S-I poll flow runs.
+#[derive(Debug)]
+pub struct Symmetric {
+    placer: PollPlacer,
+    adverts: Vec<Vec<Advert>>,
+}
+
+impl Default for Symmetric {
+    fn default() -> Self {
+        Symmetric {
+            placer: PollPlacer::new(PlacementRule::TurnaroundCost),
+            adverts: Vec::new(),
+        }
+    }
+}
+
+impl Symmetric {
+    fn ensure(&mut self, clusters: usize) {
+        if self.adverts.len() < clusters {
+            self.adverts.resize_with(clusters, Vec::new);
+        }
+    }
+
+    /// Drops stale advertisements and returns the most recent fresh one.
+    fn fresh_advert(&mut self, cluster: usize, now: SimTime, ttl: SimTime) -> Option<Advert> {
+        let list = &mut self.adverts[cluster];
+        list.retain(|a| now - a.at <= ttl);
+        list.last().copied()
+    }
+}
+
+impl Policy for Symmetric {
+    fn name(&self) -> &'static str {
+        "Sy-I"
+    }
+
+    fn uses_middleware(&self) -> bool {
+        true
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        let n = ctx.clusters();
+        self.ensure(n);
+        let period = ctx.enablers().volunteer_interval;
+        for c in 0..n {
+            let phase = ctx.rng().int_range(1, period.max(1));
+            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_RUS_CHECK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {
+        if tag != TAG_RUS_CHECK {
+            return;
+        }
+        // R-I half: advertise under-utilization periodically.
+        let delta = ctx.thresholds().delta;
+        let has_idle = ctx.view(cluster).idle_positions(delta).next().is_some();
+        if has_idle {
+            let lp = ctx.enablers().neighborhood;
+            let rus = ctx.rus(cluster);
+            for p in ctx.random_remotes(cluster, lp) {
+                ctx.send_policy(
+                    cluster,
+                    p,
+                    PolicyMsg::Volunteer {
+                        from: cluster as u32,
+                        rus,
+                    },
+                );
+            }
+        }
+        let period = ctx.enablers().volunteer_interval;
+        ctx.set_timer(cluster, SimTime::from_ticks(period), TAG_RUS_CHECK);
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        self.ensure(ctx.clusters());
+        let ttl = SimTime::from_ticks(ctx.enablers().volunteer_interval * 2);
+        let now = ctx.now();
+        if let Some(ad) = self.fresh_advert(cluster, now, ttl) {
+            // Schedule locally or at the advertiser, whichever looks less
+            // utilized.
+            if ad.rus < ctx.rus(cluster) && ad.from != cluster {
+                // Consume the advertisement we are acting on.
+                self.adverts[cluster].pop();
+                ctx.transfer(cluster, ad.from, job);
+            } else {
+                ctx.dispatch_least_loaded(cluster, job);
+            }
+            return;
+        }
+        // No advertisements: S-I fallback.
+        self.placer.start(ctx, cluster, job);
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        self.ensure(ctx.clusters());
+        match msg {
+            PolicyMsg::Volunteer { from, rus } => {
+                let f = from as usize;
+                self.adverts[cluster].retain(|a| a.from != f);
+                self.adverts[cluster].push(Advert {
+                    from: f,
+                    rus,
+                    at: ctx.now(),
+                });
+            }
+            PolicyMsg::Poll {
+                from,
+                token,
+                job_exec,
+            } => PollPlacer::answer_poll(ctx, cluster, from, token, job_exec),
+            PolicyMsg::PollReply {
+                from,
+                token,
+                avg_load,
+                awt,
+                ert,
+                rus,
+            } => {
+                self.placer
+                    .on_reply(ctx, token, from, avg_load, awt, ert, rus);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Behavioural tests running each RMS policy on small Grids.
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{run_simulation, GridConfig, SimReport};
+use gridscale_rms::RmsKind;
+use gridscale_workload::WorkloadConfig;
+
+/// A small, quick configuration exercising both LOCAL and REMOTE paths.
+fn small_cfg(kind: RmsKind) -> GridConfig {
+    GridConfig {
+        nodes: 60,
+        schedulers: if kind.is_centralized() { 1 } else { 5 },
+        estimators: 0,
+        workload: WorkloadConfig {
+            arrival_rate: 0.03,
+            duration: SimTime::from_ticks(30_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(40_000),
+        seed: 0xBEEF,
+        ..GridConfig::default()
+    }
+}
+
+fn run(kind: RmsKind) -> SimReport {
+    let mut policy = kind.build();
+    run_simulation(&small_cfg(kind), policy.as_mut())
+}
+
+#[test]
+fn every_policy_completes_most_jobs() {
+    for kind in RmsKind::ALL {
+        let r = run(kind);
+        assert!(r.jobs_total > 300, "{kind}: trace too small");
+        let frac = r.completed as f64 / r.jobs_total as f64;
+        assert!(
+            frac > 0.9,
+            "{kind}: only {}/{} jobs completed",
+            r.completed,
+            r.jobs_total
+        );
+        assert!(r.succeeded > 0, "{kind}: nothing met its deadline");
+        assert!(r.efficiency > 0.0 && r.efficiency < 1.0, "{kind}: E = {}", r.efficiency);
+    }
+}
+
+#[test]
+fn every_policy_is_deterministic() {
+    for kind in RmsKind::ALL {
+        let a = run(kind);
+        let b = run(kind);
+        assert_eq!(a.f_work, b.f_work, "{kind}: F differs between runs");
+        assert_eq!(a.g_overhead, b.g_overhead, "{kind}: G differs");
+        assert_eq!(a.completed, b.completed, "{kind}: completions differ");
+        assert_eq!(a.transfers, b.transfers, "{kind}: transfers differ");
+        assert_eq!(a.policy_msgs, b.policy_msgs, "{kind}: messages differ");
+    }
+}
+
+#[test]
+fn distributed_models_exchange_policy_traffic() {
+    for kind in [
+        RmsKind::Lowest,
+        RmsKind::Reserve,
+        RmsKind::Auction,
+        RmsKind::SenderInit,
+        RmsKind::ReceiverInit,
+        RmsKind::Symmetric,
+    ] {
+        let r = run(kind);
+        assert!(
+            r.policy_msgs > 0,
+            "{kind}: a distributed model must talk to peers"
+        );
+    }
+}
+
+#[test]
+fn central_has_no_policy_traffic_or_transfers() {
+    let r = run(RmsKind::Central);
+    assert_eq!(r.policy_msgs, 0);
+    assert_eq!(r.transfers, 0);
+}
+
+#[test]
+fn polling_models_transfer_jobs() {
+    // LOWEST and S-I migrate REMOTE jobs when a peer looks lighter; with
+    // random arrivals over 5 clusters imbalance always occurs.
+    for kind in [RmsKind::Lowest, RmsKind::SenderInit] {
+        let r = run(kind);
+        assert!(r.transfers > 0, "{kind}: never migrated any job");
+    }
+}
+
+#[test]
+fn middleware_family_flag() {
+    for kind in RmsKind::ALL {
+        let p = kind.build();
+        assert_eq!(p.uses_middleware(), kind.uses_middleware(), "{kind}");
+    }
+}
+
+#[test]
+fn remote_heavy_workload_survives() {
+    // All-REMOTE jobs (exec > T_CPU) force every model through its remote
+    // path; everything must still complete and succeed somewhat.
+    for kind in RmsKind::ALL {
+        let mut cfg = small_cfg(kind);
+        cfg.workload.exec_time = gridscale_workload::ExecTimeModel::LogUniform {
+            lo: 800.0,
+            hi: 4000.0,
+        };
+        cfg.workload.arrival_rate = 0.02;
+        let mut policy = kind.build();
+        let r = run_simulation(&cfg, policy.as_mut());
+        let frac = r.completed as f64 / r.jobs_total as f64;
+        assert!(frac > 0.85, "{kind}: remote-heavy completion {frac}");
+    }
+}
+
+#[test]
+fn local_only_workload_never_transfers() {
+    // All-LOCAL jobs (exec ≤ T_CPU) must be placed in-cluster by every
+    // model: no transfers, no polls for the poll-based models.
+    for kind in RmsKind::ALL {
+        let mut cfg = small_cfg(kind);
+        cfg.workload.exec_time = gridscale_workload::ExecTimeModel::LogUniform {
+            lo: 50.0,
+            hi: 600.0,
+        };
+        let mut policy = kind.build();
+        let r = run_simulation(&cfg, policy.as_mut());
+        if matches!(kind, RmsKind::Lowest | RmsKind::SenderInit) {
+            assert_eq!(r.transfers, 0, "{kind}: LOCAL jobs must stay local");
+        }
+        assert!(r.completed > 0, "{kind}");
+    }
+}
+
+#[test]
+fn more_neighbours_mean_more_poll_traffic() {
+    let mut cfg1 = small_cfg(RmsKind::Lowest);
+    cfg1.enablers.neighborhood = 1;
+    let mut cfg4 = small_cfg(RmsKind::Lowest);
+    cfg4.enablers.neighborhood = 4;
+    let mut p1 = RmsKind::Lowest.build();
+    let mut p4 = RmsKind::Lowest.build();
+    let r1 = run_simulation(&cfg1, p1.as_mut());
+    let r4 = run_simulation(&cfg4, p4.as_mut());
+    assert!(
+        r4.policy_msgs > 2 * r1.policy_msgs,
+        "L_p=4 ({}) should far exceed L_p=1 ({})",
+        r4.policy_msgs,
+        r1.policy_msgs
+    );
+}
+
+#[test]
+fn estimators_work_with_policies() {
+    for kind in [RmsKind::Central, RmsKind::Auction, RmsKind::Symmetric] {
+        let mut cfg = small_cfg(kind);
+        cfg.estimators = 2;
+        let mut policy = kind.build();
+        let r = run_simulation(&cfg, policy.as_mut());
+        assert!(r.batches > 0, "{kind}: estimators must forward batches");
+        assert!(r.completed > 0, "{kind}");
+    }
+}
+
+mod hierarchical_extension {
+    use super::*;
+
+    #[test]
+    fn hierarchy_completes_jobs_and_consults_the_super() {
+        let kind = RmsKind::Hierarchical;
+        let r = run(kind);
+        let frac = r.completed as f64 / r.jobs_total as f64;
+        assert!(frac > 0.9, "completion {frac}");
+        assert!(r.policy_msgs > 0, "load reports + placement consultations");
+        assert!(r.transfers > 0, "the super spreads load across clusters");
+    }
+
+    #[test]
+    fn hierarchy_is_deterministic() {
+        let a = run(RmsKind::Hierarchical);
+        let b = run(RmsKind::Hierarchical);
+        assert_eq!(a.f_work, b.f_work);
+        assert_eq!(a.policy_msgs, b.policy_msgs);
+    }
+
+    #[test]
+    fn hierarchy_consults_in_o1_messages_per_job() {
+        // Per REMOTE job: request + reply (+ periodic reports); LOWEST
+        // costs 2·L_p per REMOTE job. At L_p = 4 the hierarchy must be
+        // much leaner per job.
+        let mut cfg = small_cfg(RmsKind::Hierarchical);
+        cfg.enablers.neighborhood = 4;
+        let mut ph = RmsKind::Hierarchical.build();
+        let h = run_simulation(&cfg, ph.as_mut());
+        let mut cfg_l = small_cfg(RmsKind::Lowest);
+        cfg_l.enablers.neighborhood = 4;
+        let mut pl = RmsKind::Lowest.build();
+        let l = run_simulation(&cfg_l, pl.as_mut());
+        let per_h = h.policy_msgs as f64 / h.jobs_total as f64;
+        let per_l = l.policy_msgs as f64 / l.jobs_total as f64;
+        assert!(
+            per_h < 0.7 * per_l,
+            "HIER {per_h:.2} msgs/job should undercut LOWEST {per_l:.2} at L_p=4"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Undirected weighted graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`Graph`].
+pub type NodeId = u32;
+
+/// One direction of an undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Far endpoint.
+    pub to: NodeId,
+    /// Propagation latency in simulation ticks.
+    pub latency: u64,
+    /// Bandwidth in payload units per tick (used for transmission delay).
+    pub bandwidth: f64,
+}
+
+/// An undirected graph with per-link latency and bandwidth.
+///
+/// Stored as a forward adjacency list; each undirected link appears once in
+/// each endpoint's list. Node indices are dense `0..n`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<Link>>,
+    link_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            link_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Appends an isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as NodeId
+    }
+
+    /// Adds an undirected link. Panics if either endpoint is out of range or
+    /// `a == b`. Parallel links are rejected (returns `false`) so that
+    /// generators can retry without checking first.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, latency: u64, bandwidth: f64) -> bool {
+        assert!(a != b, "self-loops are not allowed");
+        assert!((a as usize) < self.adj.len() && (b as usize) < self.adj.len());
+        if self.has_link(a, b) {
+            return false;
+        }
+        self.adj[a as usize].push(Link {
+            to: b,
+            latency,
+            bandwidth,
+        });
+        self.adj[b as usize].push(Link {
+            to: a,
+            latency,
+            bandwidth,
+        });
+        self.link_count += 1;
+        true
+    }
+
+    /// True if `a` and `b` are directly linked.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a as usize].iter().any(|l| l.to == b)
+    }
+
+    /// Neighbors (with link attributes) of `n`.
+    pub fn neighbors(&self, n: NodeId) -> &[Link] {
+        &self.adj[n as usize]
+    }
+
+    /// Degree of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n as usize].len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.adj.len() as NodeId
+    }
+
+    /// Multiplies every link latency by `factor`, rounding, with a floor of
+    /// one tick. This implements the paper's "network link delay" scaling
+    /// enabler.
+    pub fn scale_latencies(&mut self, factor: f64) {
+        assert!(factor > 0.0);
+        for links in &mut self.adj {
+            for l in links {
+                l.latency = ((l.latency as f64 * factor).round() as u64).max(1);
+            }
+        }
+    }
+
+    /// Returns the connected components as lists of node ids.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            seen[start] = true;
+            stack.push(start as NodeId);
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for l in &self.adj[v as usize] {
+                    if !seen[l.to as usize] {
+                        seen[l.to as usize] = true;
+                        stack.push(l.to);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// True if the graph is connected (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Mean node degree (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.link_count as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Degree distribution: `dist[d]` = number of nodes with degree `d`.
+    pub fn degree_distribution(&self) -> Vec<usize> {
+        let max_d = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let mut dist = vec![0usize; max_d + 1];
+        for links in &self.adj {
+            dist[links.len()] += 1;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_link(0, 1, 5, 1.0);
+        g.add_link(1, 2, 7, 1.0);
+        g.add_link(2, 0, 9, 1.0);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 3);
+        assert!(g.has_link(0, 1) && g.has_link(1, 0));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_links_rejected() {
+        let mut g = Graph::with_nodes(2);
+        assert!(g.add_link(0, 1, 1, 1.0));
+        assert!(!g.add_link(0, 1, 2, 2.0));
+        assert!(!g.add_link(1, 0, 2, 2.0));
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_link(1, 1, 1, 1.0);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = Graph::with_nodes(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a, b), (0, 1));
+        g.add_link(a, b, 3, 1.0);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::with_nodes(5);
+        g.add_link(0, 1, 1, 1.0);
+        g.add_link(2, 3, 1, 1.0);
+        let mut comps = g.components();
+        comps.iter_mut().for_each(|c| c.sort_unstable());
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!g.is_connected());
+        g.add_link(1, 2, 1, 1.0);
+        g.add_link(3, 4, 1, 1.0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn latency_scaling_floors_at_one() {
+        let mut g = triangle();
+        g.scale_latencies(0.01);
+        for n in 0..3u32 {
+            for l in g.neighbors(n) {
+                assert_eq!(l.latency, 1);
+            }
+        }
+        g.scale_latencies(10.0);
+        assert!(g.neighbors(0).iter().all(|l| l.latency == 10));
+    }
+
+    #[test]
+    fn degree_distribution_counts() {
+        let mut g = Graph::with_nodes(4);
+        g.add_link(0, 1, 1, 1.0);
+        g.add_link(0, 2, 1, 1.0);
+        g.add_link(0, 3, 1, 1.0);
+        let d = g.degree_distribution();
+        assert_eq!(d, vec![0, 3, 0, 1]); // three leaves, one hub of degree 3
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::with_nodes(0);
+        assert!(g.is_connected());
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.degree_distribution(), vec![0]);
+    }
+}
+
+impl Graph {
+    /// Renders the graph in Graphviz DOT format (undirected), with link
+    /// latencies as edge labels — handy for eyeballing small generated
+    /// topologies (`dot -Tsvg`).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("graph {name} {{\n  node [shape=circle];\n");
+        for v in self.nodes() {
+            out.push_str(&format!("  n{v};\n"));
+        }
+        for v in self.nodes() {
+            for l in self.neighbors(v) {
+                if v < l.to {
+                    out.push_str(&format!("  n{v} -- n{} [label=\"{}\"];\n", l.to, l.latency));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_lists_each_edge_once() {
+        let mut g = Graph::with_nodes(3);
+        g.add_link(0, 1, 5, 1.0);
+        g.add_link(1, 2, 7, 1.0);
+        let dot = g.to_dot("t");
+        assert!(dot.starts_with("graph t {"));
+        assert_eq!(dot.matches(" -- ").count(), 2, "one line per undirected edge");
+        assert!(dot.contains("n0 -- n1 [label=\"5\"]"));
+        assert!(dot.contains("n1 -- n2 [label=\"7\"]"));
+        assert!(!dot.contains("n1 -- n0"), "no reverse duplicates");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_empty_graph_is_valid() {
+        let g = Graph::with_nodes(0);
+        let dot = g.to_dot("empty");
+        assert!(dot.contains("graph empty {"));
+        assert!(!dot.contains(" -- "));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gridscale-topology
+//!
+//! Network topology generation and routing for the gridscale Grid simulator.
+//!
+//! The paper extracts router-level Internet topologies from the **Mercator**
+//! topology mapper and maps routers, schedulers, and resources onto them,
+//! routing messages with an **OSPF-like** algorithm. Mercator maps are not
+//! redistributable, so this crate substitutes synthetic generators that
+//! reproduce the two properties the simulation is sensitive to:
+//!
+//! * **power-law degree distribution** — Barabási–Albert preferential
+//!   attachment ([`generate::barabasi_albert`]);
+//! * **geographic locality / hierarchy** — Waxman random graphs
+//!   ([`generate::waxman`]) and transit-stub hierarchies
+//!   ([`generate::transit_stub`]).
+//!
+//! Routing is link-state shortest-path ([`RoutingTable`]), i.e. exactly what
+//! OSPF computes; the simulator only consumes per-pair latency and hop
+//! counts, which are identical under any correct SPF implementation.
+//!
+//! [`GridMap`] performs the paper's "map elements such as routers,
+//! schedulers, and resources to obtain Grid topologies" step: scheduler and
+//! estimator roles are placed at the best-connected nodes and every resource
+//! is assigned to its nearest scheduler, giving the non-overlapping clusters
+//! the paper requires.
+
+#![warn(missing_docs)]
+
+pub mod generate;
+mod graph;
+mod map;
+pub mod metrics;
+mod routing;
+
+pub use graph::{Graph, Link, NodeId};
+pub use map::{GridMap, NodeRole};
+pub use metrics::GraphMetrics;
+pub use routing::RoutingTable;

@@ -1,0 +1,349 @@
+//! Mapping Grid elements onto a network topology.
+//!
+//! The paper: *"To these topologies, we map elements such as routers,
+//! schedulers, and resources to obtain Grid topologies. … The set of
+//! resources are separated into non-overlapping clusters and each cluster is
+//! coordinated by a scheduler."* (§3.1) and, for Case 3, *"Estimators are
+//! the RMS nodes which receive the status updates from RP resources and
+//! distribute to the scheduling decision makers."* (Fig. 4 caption).
+
+use crate::graph::{Graph, NodeId};
+use crate::routing::RoutingTable;
+use serde::{Deserialize, Serialize};
+
+/// The function a topology node plays in the Grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Pure message forwarder.
+    Router,
+    /// An RMS scheduling decision maker; coordinates one resource cluster.
+    Scheduler,
+    /// An RMS status-update fan-in node (Case 3 scaling variable).
+    Estimator,
+    /// A managee (RP) compute resource.
+    Resource,
+}
+
+/// A Grid topology: node roles, scheduler clusters, and estimator
+/// assignments layered over a [`Graph`] and its [`RoutingTable`].
+#[derive(Debug, Clone)]
+pub struct GridMap {
+    roles: Vec<NodeRole>,
+    schedulers: Vec<NodeId>,
+    estimators: Vec<NodeId>,
+    resources: Vec<NodeId>,
+    /// Per-node cluster index (`u32::MAX` where not applicable). Schedulers
+    /// belong to their own cluster; resources to their coordinator's.
+    cluster_idx: Vec<u32>,
+    /// Per-node assigned estimator (`NodeId::MAX` = none / not a resource).
+    estimator_of: Vec<NodeId>,
+    /// Resources of each cluster, indexed by cluster index.
+    clusters: Vec<Vec<NodeId>>,
+}
+
+impl GridMap {
+    /// Builds a Grid map.
+    ///
+    /// * `n_schedulers` scheduler roles and `n_estimators` estimator roles
+    ///   are placed on the best-connected nodes (degree-descending, ties by
+    ///   id — deterministic), schedulers first. Placing coordinators at hubs
+    ///   mirrors how Grid deployments co-locate middleware with
+    ///   well-provisioned sites.
+    /// * A `resource_fraction` of the remaining nodes (rounded up, in id
+    ///   order) become resources; the rest are plain routers.
+    /// * Every resource joins the cluster of its minimum-latency scheduler,
+    ///   and is assigned its minimum-latency estimator (if any exist).
+    ///
+    /// Panics if `n_schedulers == 0` or the roles don't fit in the graph.
+    pub fn build(
+        g: &Graph,
+        rt: &RoutingTable,
+        n_schedulers: usize,
+        n_estimators: usize,
+        resource_fraction: f64,
+    ) -> Self {
+        let n = g.node_count();
+        assert!(n_schedulers >= 1, "at least one scheduler required");
+        assert!(
+            n_schedulers + n_estimators < n,
+            "not enough nodes for {n_schedulers} schedulers + {n_estimators} estimators"
+        );
+        assert!((0.0..=1.0).contains(&resource_fraction));
+
+        // Degree-descending placement order.
+        let mut by_degree: Vec<NodeId> = (0..n as NodeId).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+        let mut roles = vec![NodeRole::Router; n];
+        let schedulers: Vec<NodeId> = by_degree[..n_schedulers].to_vec();
+        for &s in &schedulers {
+            roles[s as usize] = NodeRole::Scheduler;
+        }
+        let estimators: Vec<NodeId> =
+            by_degree[n_schedulers..n_schedulers + n_estimators].to_vec();
+        for &e in &estimators {
+            roles[e as usize] = NodeRole::Estimator;
+        }
+
+        let remaining: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| roles[v as usize] == NodeRole::Router)
+            .collect();
+        let n_resources = ((remaining.len() as f64) * resource_fraction).ceil() as usize;
+        let resources: Vec<NodeId> = remaining[..n_resources.min(remaining.len())].to_vec();
+        for &r in &resources {
+            roles[r as usize] = NodeRole::Resource;
+        }
+
+        let mut cluster_idx = vec![u32::MAX; n];
+        let mut clusters = vec![Vec::new(); n_schedulers];
+        for (ci, &s) in schedulers.iter().enumerate() {
+            cluster_idx[s as usize] = ci as u32;
+        }
+        for &r in &resources {
+            let coord = rt
+                .nearest(r, &schedulers)
+                .expect("graph must be connected so every resource reaches a scheduler");
+            let ci = schedulers.iter().position(|&s| s == coord).unwrap();
+            cluster_idx[r as usize] = ci as u32;
+            clusters[ci].push(r);
+        }
+
+        // Guarantee every cluster coordinates at least one resource: the
+        // RMS policies all assume a scheduler has somewhere to place LOCAL
+        // jobs. Nearest-scheduler assignment can leave a poorly placed
+        // scheduler empty; steal, for each empty cluster, the resource
+        // closest to its scheduler from a cluster that can spare one.
+        if resources.len() >= n_schedulers {
+            for ci in 0..n_schedulers {
+                if !clusters[ci].is_empty() {
+                    continue;
+                }
+                let sched = schedulers[ci];
+                let victim = resources
+                    .iter()
+                    .copied()
+                    .filter(|&r| clusters[cluster_idx[r as usize] as usize].len() > 1)
+                    .min_by_key(|&r| (rt.latency(r, sched).unwrap_or(u64::MAX), r))
+                    .expect("some cluster has more than one resource");
+                let old = cluster_idx[victim as usize] as usize;
+                clusters[old].retain(|&r| r != victim);
+                clusters[ci].push(victim);
+                cluster_idx[victim as usize] = ci as u32;
+            }
+        }
+
+        let mut estimator_of = vec![NodeId::MAX; n];
+        if !estimators.is_empty() {
+            for &r in &resources {
+                let e = rt
+                    .nearest(r, &estimators)
+                    .expect("graph must be connected");
+                estimator_of[r as usize] = e;
+            }
+        }
+
+        GridMap {
+            roles,
+            schedulers,
+            estimators,
+            resources,
+            cluster_idx,
+            estimator_of,
+            clusters,
+        }
+    }
+
+    /// Role of node `v`.
+    pub fn role(&self, v: NodeId) -> NodeRole {
+        self.roles[v as usize]
+    }
+
+    /// All scheduler node ids, in placement order.
+    pub fn schedulers(&self) -> &[NodeId] {
+        &self.schedulers
+    }
+
+    /// All estimator node ids, in placement order.
+    pub fn estimators(&self) -> &[NodeId] {
+        &self.estimators
+    }
+
+    /// All resource node ids, in id order.
+    pub fn resources(&self) -> &[NodeId] {
+        &self.resources
+    }
+
+    /// Number of clusters (== number of schedulers).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster index of a scheduler or resource, `None` for routers and
+    /// estimators.
+    pub fn cluster_index(&self, v: NodeId) -> Option<usize> {
+        let c = self.cluster_idx[v as usize];
+        (c != u32::MAX).then_some(c as usize)
+    }
+
+    /// The resources coordinated by cluster `ci`.
+    pub fn cluster_resources(&self, ci: usize) -> &[NodeId] {
+        &self.clusters[ci]
+    }
+
+    /// The scheduler coordinating cluster `ci`.
+    pub fn cluster_scheduler(&self, ci: usize) -> NodeId {
+        self.schedulers[ci]
+    }
+
+    /// The scheduler coordinating resource `r`.
+    pub fn scheduler_of(&self, r: NodeId) -> NodeId {
+        let ci = self.cluster_index(r).expect("not a clustered node");
+        self.schedulers[ci]
+    }
+
+    /// The estimator assigned to resource `r`, `None` if the RMS runs
+    /// without estimators (updates then flow directly to schedulers).
+    pub fn estimator_for(&self, r: NodeId) -> Option<NodeId> {
+        let e = self.estimator_of[r as usize];
+        (e != NodeId::MAX).then_some(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, LinkParams};
+    use gridscale_desim::SimRng;
+
+    fn sample(n_sched: usize, n_est: usize) -> (Graph, RoutingTable, GridMap) {
+        let mut rng = SimRng::new(42);
+        let g = generate::barabasi_albert(120, 2, LinkParams::default(), &mut rng);
+        let rt = RoutingTable::build(&g);
+        let m = GridMap::build(&g, &rt, n_sched, n_est, 0.9);
+        (g, rt, m)
+    }
+
+    #[test]
+    fn role_partition_is_complete_and_disjoint() {
+        let (g, _, m) = sample(5, 3);
+        let mut counts = [0usize; 4];
+        for v in g.nodes() {
+            let i = match m.role(v) {
+                NodeRole::Router => 0,
+                NodeRole::Scheduler => 1,
+                NodeRole::Estimator => 2,
+                NodeRole::Resource => 3,
+            };
+            counts[i] += 1;
+        }
+        assert_eq!(counts[1], 5);
+        assert_eq!(counts[2], 3);
+        assert_eq!(counts[3], m.resources().len());
+        assert_eq!(counts.iter().sum::<usize>(), 120);
+        // 90% of the 112 non-RMS nodes, rounded up.
+        assert_eq!(m.resources().len(), (112f64 * 0.9).ceil() as usize);
+    }
+
+    #[test]
+    fn schedulers_placed_at_hubs() {
+        let (g, _, m) = sample(4, 0);
+        let min_sched_deg = m.schedulers().iter().map(|&s| g.degree(s)).min().unwrap();
+        let max_res_deg = m.resources().iter().map(|&r| g.degree(r)).max().unwrap();
+        assert!(
+            min_sched_deg >= max_res_deg.min(min_sched_deg),
+            "schedulers occupy the top-degree nodes"
+        );
+        // The single highest-degree node must be a scheduler.
+        let hub = g.nodes().max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v))).unwrap();
+        assert_eq!(m.role(hub), NodeRole::Scheduler);
+    }
+
+    #[test]
+    fn clusters_are_a_partition_of_resources() {
+        let (_, _, m) = sample(6, 0);
+        let mut seen: Vec<NodeId> = Vec::new();
+        for ci in 0..m.cluster_count() {
+            for &r in m.cluster_resources(ci) {
+                assert_eq!(m.cluster_index(r), Some(ci));
+                assert_eq!(m.scheduler_of(r), m.cluster_scheduler(ci));
+                seen.push(r);
+            }
+        }
+        seen.sort_unstable();
+        let mut expect = m.resources().to_vec();
+        expect.sort_unstable();
+        assert_eq!(seen, expect, "non-overlapping and exhaustive");
+    }
+
+    #[test]
+    fn resources_join_nearest_scheduler() {
+        let (_, rt, m) = sample(5, 0);
+        for &r in m.resources() {
+            let coord = m.scheduler_of(r);
+            let d_coord = rt.latency(r, coord).unwrap();
+            for &s in m.schedulers() {
+                assert!(d_coord <= rt.latency(r, s).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_assignment_nearest_or_absent() {
+        let (_, rt, m) = sample(4, 3);
+        for &r in m.resources() {
+            let e = m.estimator_for(r).expect("estimators exist");
+            let de = rt.latency(r, e).unwrap();
+            for &other in m.estimators() {
+                assert!(de <= rt.latency(r, other).unwrap());
+            }
+        }
+        let (_, _, m0) = sample(4, 0);
+        assert!(m0.resources().iter().all(|&r| m0.estimator_for(r).is_none()));
+    }
+
+    #[test]
+    fn single_scheduler_owns_everything() {
+        let (_, _, m) = sample(1, 0);
+        assert_eq!(m.cluster_count(), 1);
+        assert_eq!(m.cluster_resources(0).len(), m.resources().len());
+    }
+
+    #[test]
+    fn deterministic_under_same_inputs() {
+        let (_, _, a) = sample(5, 2);
+        let (_, _, b) = sample(5, 2);
+        assert_eq!(a.schedulers(), b.schedulers());
+        assert_eq!(a.estimators(), b.estimators());
+        assert_eq!(a.resources(), b.resources());
+    }
+
+    #[test]
+    fn no_cluster_left_empty() {
+        // Many schedulers relative to resources stresses the rebalancing.
+        let mut rng = SimRng::new(9);
+        let g = generate::barabasi_albert(60, 2, LinkParams::default(), &mut rng);
+        let rt = RoutingTable::build(&g);
+        let m = GridMap::build(&g, &rt, 20, 0, 0.9);
+        for ci in 0..m.cluster_count() {
+            assert!(
+                !m.cluster_resources(ci).is_empty(),
+                "cluster {ci} has no resources"
+            );
+        }
+        // Partition still exhaustive after rebalancing.
+        let total: usize = (0..m.cluster_count())
+            .map(|ci| m.cluster_resources(ci).len())
+            .sum();
+        assert_eq!(total, m.resources().len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_schedulers_panics() {
+        let mut rng = SimRng::new(1);
+        let g = generate::ring(10, LinkParams::default());
+        let rt = RoutingTable::build(&g);
+        let _ = GridMap::build(&g, &rt, 0, 0, 1.0);
+        let _ = rng.uniform01();
+    }
+}

@@ -1,0 +1,219 @@
+//! Structural metrics of generated topologies.
+//!
+//! Used by the topology-family ablation to verify that the synthetic
+//! Mercator substitutes actually exhibit the structural properties the
+//! substitution argument (DESIGN.md §2) relies on: heavy-tailed degrees
+//! for Barabási–Albert, locality/clustering for Waxman, small diameter
+//! for transit-stub hierarchies.
+
+use crate::graph::{Graph, NodeId};
+use crate::routing::RoutingTable;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a topology's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Nodes.
+    pub nodes: usize,
+    /// Undirected links.
+    pub links: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (transitivity): `3·triangles /
+    /// connected triples`.
+    pub clustering: f64,
+    /// Diameter in hops (exact, via the routing tables).
+    pub hop_diameter: u32,
+    /// Mean shortest-path hop count over reachable pairs.
+    pub mean_hops: f64,
+    /// Maximum-likelihood power-law exponent fitted to degrees ≥ `k_min`
+    /// (Clauset–Shalizi–Newman discrete approximation); `None` when too
+    /// few qualifying nodes exist.
+    pub powerlaw_alpha: Option<f64>,
+}
+
+/// Computes all metrics for a graph (builds a routing table internally if
+/// one is not supplied).
+pub fn analyze(g: &Graph, rt: Option<&RoutingTable>) -> GraphMetrics {
+    let owned;
+    let rt = match rt {
+        Some(rt) => rt,
+        None => {
+            owned = RoutingTable::build(g);
+            &owned
+        }
+    };
+    let n = g.node_count();
+
+    let mut max_degree = 0usize;
+    for v in g.nodes() {
+        max_degree = max_degree.max(g.degree(v));
+    }
+
+    GraphMetrics {
+        nodes: n,
+        links: g.link_count(),
+        mean_degree: g.mean_degree(),
+        max_degree,
+        clustering: clustering_coefficient(g),
+        hop_diameter: hop_diameter(g, rt),
+        mean_hops: mean_hops(g, rt),
+        powerlaw_alpha: powerlaw_alpha(g, 2),
+    }
+}
+
+/// Global clustering coefficient: `3 × triangles / triples`.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0u64;
+    let mut triples = 0u64;
+    for v in g.nodes() {
+        let d = g.degree(v) as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        let nbrs: Vec<NodeId> = g.neighbors(v).iter().map(|l| l.to).collect();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if g.has_link(nbrs[i], nbrs[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Exact hop diameter over reachable pairs (0 for trivial graphs).
+pub fn hop_diameter(g: &Graph, rt: &RoutingTable) -> u32 {
+    let n = g.node_count() as NodeId;
+    let mut best = 0u32;
+    for s in 0..n {
+        for t in (s + 1)..n {
+            if let Some(h) = rt.hops(s, t) {
+                best = best.max(h as u32);
+            }
+        }
+    }
+    best
+}
+
+/// Mean hop count over reachable ordered pairs.
+pub fn mean_hops(g: &Graph, rt: &RoutingTable) -> f64 {
+    let n = g.node_count() as NodeId;
+    let mut sum = 0u64;
+    let mut cnt = 0u64;
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                if let Some(h) = rt.hops(s, t) {
+                    sum += h as u64;
+                    cnt += 1;
+                }
+            }
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Discrete power-law exponent MLE: `α = 1 + n / Σ ln(d_i / (k_min − ½))`
+/// over degrees `≥ k_min`. Returns `None` with fewer than 10 samples.
+pub fn powerlaw_alpha(g: &Graph, k_min: usize) -> Option<f64> {
+    let degs: Vec<f64> = g
+        .nodes()
+        .map(|v| g.degree(v) as f64)
+        .filter(|&d| d >= k_min as f64)
+        .collect();
+    if degs.len() < 10 {
+        return None;
+    }
+    let denom: f64 = degs
+        .iter()
+        .map(|&d| (d / (k_min as f64 - 0.5)).ln())
+        .sum();
+    Some(1.0 + degs.len() as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, LinkParams};
+    use gridscale_desim::SimRng;
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = generate::full_mesh(3, LinkParams::default());
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = generate::star(6, LinkParams::default());
+        assert_eq!(clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn ring_metrics_are_exact() {
+        let g = generate::ring(8, LinkParams::default());
+        let rt = RoutingTable::build(&g);
+        assert_eq!(hop_diameter(&g, &rt), 4);
+        // Mean hops on C8: (1+1+2+2+3+3+4)/7 = 16/7.
+        assert!((mean_hops(&g, &rt) - 16.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ba_degrees_fit_a_plausible_power_law() {
+        let mut rng = SimRng::new(5);
+        let g = generate::barabasi_albert(800, 2, LinkParams::default(), &mut rng);
+        let alpha = powerlaw_alpha(&g, 3).expect("enough hubs");
+        // BA theory: α → 3 for large n; MLE over a finite sample lands in
+        // a broad band around it.
+        assert!(
+            (2.0..4.2).contains(&alpha),
+            "BA power-law exponent {alpha} out of band"
+        );
+    }
+
+    #[test]
+    fn analyze_is_consistent() {
+        let mut rng = SimRng::new(9);
+        let g = generate::waxman(60, 0.3, 0.4, LinkParams::default(), &mut rng);
+        let m = analyze(&g, None);
+        assert_eq!(m.nodes, 60);
+        assert_eq!(m.links, g.link_count());
+        assert!(m.mean_degree > 0.0);
+        assert!(m.max_degree >= m.mean_degree as usize);
+        assert!(m.hop_diameter >= 1);
+        assert!(m.mean_hops >= 1.0);
+        assert!((0.0..=1.0).contains(&m.clustering));
+    }
+
+    #[test]
+    fn transit_stub_has_smaller_diameter_than_ring() {
+        let mut rng = SimRng::new(11);
+        let ts = generate::transit_stub(3, 4, 2, 8, LinkParams::default(), &mut rng);
+        let ring = generate::ring(ts.node_count(), LinkParams::default());
+        let mts = analyze(&ts, None);
+        let mring = analyze(&ring, None);
+        assert!(
+            mts.hop_diameter < mring.hop_diameter / 2,
+            "hierarchy {} vs ring {}",
+            mts.hop_diameter,
+            mring.hop_diameter
+        );
+    }
+
+    #[test]
+    fn powerlaw_requires_enough_samples() {
+        let g = generate::ring(5, LinkParams::default());
+        assert_eq!(powerlaw_alpha(&g, 3), None);
+    }
+}

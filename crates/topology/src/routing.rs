@@ -1,0 +1,287 @@
+//! Link-state shortest-path routing (the OSPF substitute).
+//!
+//! OSPF floods link state and has every router run Dijkstra; the observable
+//! result is that each message follows a minimum-latency path. We compute
+//! the same thing directly: an all-pairs table of latency, hop count, and
+//! first hop, built by one Dijkstra per source.
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const UNREACHABLE: u64 = u64::MAX;
+
+/// All-pairs shortest-path routing state for one [`Graph`].
+///
+/// Row-major `n × n` tables; memory is `~13 n²` bytes, i.e. ~14 MB for the
+/// paper's 1000-node networks.
+pub struct RoutingTable {
+    n: usize,
+    /// Minimum total latency, `UNREACHABLE` if disconnected.
+    dist: Vec<u64>,
+    /// Hop count along the minimum-latency path.
+    hops: Vec<u16>,
+    /// First hop from `src` toward `dst`; `src` itself on the diagonal.
+    first: Vec<NodeId>,
+}
+
+impl RoutingTable {
+    /// Runs Dijkstra from every source. Ties between equal-latency paths are
+    /// broken toward fewer hops, then lower node id — deterministically.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut hops = vec![u16::MAX; n * n];
+        let mut first = vec![NodeId::MAX; n * n];
+
+        let mut heap: BinaryHeap<Reverse<(u64, u16, NodeId)>> = BinaryHeap::new();
+        for src in 0..n {
+            let row = src * n;
+            let d = &mut dist[row..row + n];
+            let h = &mut hops[row..row + n];
+            let f = &mut first[row..row + n];
+            d[src] = 0;
+            h[src] = 0;
+            f[src] = src as NodeId;
+            heap.clear();
+            heap.push(Reverse((0, 0, src as NodeId)));
+            while let Some(Reverse((du, hu, u))) = heap.pop() {
+                if du > d[u as usize] || (du == d[u as usize] && hu > h[u as usize]) {
+                    continue; // stale entry
+                }
+                for l in g.neighbors(u) {
+                    let v = l.to as usize;
+                    let dv = du.saturating_add(l.latency);
+                    let hv = hu.saturating_add(1);
+                    let better =
+                        dv < d[v] || (dv == d[v] && hv < h[v]);
+                    if better {
+                        d[v] = dv;
+                        h[v] = hv;
+                        f[v] = if u as usize == src { l.to } else { f[u as usize] };
+                        heap.push(Reverse((dv, hv, l.to)));
+                    }
+                }
+            }
+        }
+        RoutingTable {
+            n,
+            dist,
+            hops,
+            first,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, src: NodeId, dst: NodeId) -> usize {
+        debug_assert!((src as usize) < self.n && (dst as usize) < self.n);
+        src as usize * self.n + dst as usize
+    }
+
+    /// Number of nodes the table was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Minimum path latency in ticks, `None` if unreachable.
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let d = self.dist[self.idx(src, dst)];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Hop count along the routed path, `None` if unreachable.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u16> {
+        let h = self.hops[self.idx(src, dst)];
+        (h != u16::MAX).then_some(h)
+    }
+
+    /// The neighbor of `src` that routes toward `dst` (`src` if `src == dst`),
+    /// `None` if unreachable.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let f = self.first[self.idx(src, dst)];
+        (f != NodeId::MAX).then_some(f)
+    }
+
+    /// Materializes the full routed path `src → … → dst` (inclusive).
+    /// Returns `None` if unreachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.latency(src, dst)?;
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+            if path.len() > self.n {
+                return None; // defensive: inconsistent table
+            }
+        }
+        Some(path)
+    }
+
+    /// Among `candidates`, the one with least latency from `src` (ties →
+    /// lowest id). `None` if no candidate is reachable.
+    pub fn nearest(&self, src: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .filter_map(|c| self.latency(src, c).map(|d| (d, c)))
+            .min()
+            .map(|(_, c)| c)
+    }
+
+    /// Mean latency over all ordered reachable pairs (excluding the
+    /// diagonal); a summary statistic used by topology ablations.
+    pub fn mean_pair_latency(&self) -> f64 {
+        let mut sum = 0u128;
+        let mut cnt = 0u64;
+        for s in 0..self.n {
+            for t in 0..self.n {
+                if s != t {
+                    let d = self.dist[s * self.n + t];
+                    if d != UNREACHABLE {
+                        sum += d as u128;
+                        cnt += 1;
+                    }
+                }
+            }
+        }
+        if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, LinkParams};
+    use gridscale_desim::SimRng;
+
+    /// Line 0-1-2-3 with latencies 1, 2, 3.
+    fn line() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_link(0, 1, 1, 1.0);
+        g.add_link(1, 2, 2, 1.0);
+        g.add_link(2, 3, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn line_distances_and_hops() {
+        let rt = RoutingTable::build(&line());
+        assert_eq!(rt.latency(0, 3), Some(6));
+        assert_eq!(rt.hops(0, 3), Some(3));
+        assert_eq!(rt.latency(3, 0), Some(6), "symmetric");
+        assert_eq!(rt.latency(2, 2), Some(0));
+        assert_eq!(rt.hops(2, 2), Some(0));
+    }
+
+    #[test]
+    fn next_hop_and_path() {
+        let rt = RoutingTable::build(&line());
+        assert_eq!(rt.next_hop(0, 3), Some(1));
+        assert_eq!(rt.next_hop(3, 0), Some(2));
+        assert_eq!(rt.next_hop(1, 1), Some(1));
+        assert_eq!(rt.path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(rt.path(2, 0), Some(vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn picks_lower_latency_over_fewer_hops() {
+        // 0-2 direct costs 10; 0-1-2 costs 2+2=4.
+        let mut g = Graph::with_nodes(3);
+        g.add_link(0, 2, 10, 1.0);
+        g.add_link(0, 1, 2, 1.0);
+        g.add_link(1, 2, 2, 1.0);
+        let rt = RoutingTable::build(&g);
+        assert_eq!(rt.latency(0, 2), Some(4));
+        assert_eq!(rt.hops(0, 2), Some(2));
+        assert_eq!(rt.path(0, 2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn equal_latency_prefers_fewer_hops() {
+        // 0-3 via 1: 2+2=4 (2 hops); via direct link: 4 (1 hop).
+        let mut g = Graph::with_nodes(4);
+        g.add_link(0, 1, 2, 1.0);
+        g.add_link(1, 3, 2, 1.0);
+        g.add_link(0, 3, 4, 1.0);
+        let rt = RoutingTable::build(&g);
+        assert_eq!(rt.latency(0, 3), Some(4));
+        assert_eq!(rt.hops(0, 3), Some(1));
+        assert_eq!(rt.path(0, 3), Some(vec![0, 3]));
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_link(0, 1, 1, 1.0);
+        let rt = RoutingTable::build(&g);
+        assert_eq!(rt.latency(0, 2), None);
+        assert_eq!(rt.hops(0, 2), None);
+        assert_eq!(rt.next_hop(0, 2), None);
+        assert_eq!(rt.path(0, 2), None);
+        assert_eq!(rt.latency(0, 1), Some(1));
+    }
+
+    #[test]
+    fn nearest_candidate() {
+        let rt = RoutingTable::build(&line());
+        assert_eq!(rt.nearest(0, &[2, 3]), Some(2));
+        assert_eq!(rt.nearest(3, &[0, 1]), Some(1));
+        assert_eq!(rt.nearest(0, &[]), None);
+        assert_eq!(rt.nearest(0, &[0]), Some(0));
+    }
+
+    #[test]
+    fn path_latency_matches_table_on_random_graph() {
+        let mut rng = SimRng::new(99);
+        let g = generate::barabasi_albert(80, 2, LinkParams::default(), &mut rng);
+        let rt = RoutingTable::build(&g);
+        for (s, t) in [(0u32, 79u32), (5, 50), (12, 13), (70, 3)] {
+            let path = rt.path(s, t).expect("BA graph is connected");
+            let mut total = 0u64;
+            for w in path.windows(2) {
+                let l = g
+                    .neighbors(w[0])
+                    .iter()
+                    .find(|l| l.to == w[1])
+                    .expect("path edges exist");
+                total += l.latency;
+            }
+            assert_eq!(Some(total), rt.latency(s, t));
+            assert_eq!(rt.hops(s, t), Some((path.len() - 1) as u16));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut rng = SimRng::new(5);
+        let g = generate::waxman(40, 0.3, 0.4, LinkParams::default(), &mut rng);
+        let rt = RoutingTable::build(&g);
+        for a in 0..40u32 {
+            for b in 0..40u32 {
+                for c in [0u32, 7, 19] {
+                    let (ab, ac, cb) = (
+                        rt.latency(a, b).unwrap(),
+                        rt.latency(a, c).unwrap(),
+                        rt.latency(c, b).unwrap(),
+                    );
+                    assert!(ab <= ac + cb, "triangle violated {a}->{b} via {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_pair_latency_simple() {
+        let mut g = Graph::with_nodes(2);
+        g.add_link(0, 1, 7, 1.0);
+        let rt = RoutingTable::build(&g);
+        assert!((rt.mean_pair_latency() - 7.0).abs() < 1e-12);
+        let empty = RoutingTable::build(&Graph::with_nodes(1));
+        assert_eq!(empty.mean_pair_latency(), 0.0);
+    }
+}

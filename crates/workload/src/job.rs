@@ -1,0 +1,128 @@
+//! The job record.
+
+use gridscale_desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier.
+pub type JobId = u64;
+
+/// LOCAL/REMOTE classification (paper §3.1): jobs short enough to finish
+/// quickly should run at (or near) their submission point; long jobs are
+/// candidates for remote execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobClass {
+    /// `exec_time <= T_CPU`: must execute locally or close to the
+    /// submission point.
+    Local,
+    /// `exec_time > T_CPU`: suitable for remote execution.
+    Remote,
+}
+
+/// One job of the synthetic moldable workload.
+///
+/// Mirrors the paper's characterization with the paper's own restrictions
+/// baked in: `partition_size` is always 1 and `cancelable` always false in
+/// generated traces, but both fields are kept so traces remain
+/// forward-compatible with the paper's full model (its future-work item).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id, dense from 0 within a trace.
+    pub id: JobId,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Service demand in ticks at unit service rate. A resource with
+    /// service rate `s` completes the job in `exec_time / s` ticks.
+    pub exec_time: SimTime,
+    /// User-supplied upper bound on `exec_time` (requested time); always
+    /// `>= exec_time` in generated traces.
+    pub requested_time: SimTime,
+    /// Number of processors (always 1, per the paper).
+    pub partition_size: u32,
+    /// Whether the job may be cancelled (always false, per the paper).
+    pub cancelable: bool,
+    /// The benefit factor `u ∈ [2, 5]`: the job is successful iff its
+    /// response time (completion − arrival) is at most `u · exec_time`.
+    pub benefit_factor: f64,
+    /// Index of the submission point (cluster) where the job arrives.
+    pub submit_point: u32,
+}
+
+impl Job {
+    /// LOCAL/REMOTE classification against the `T_CPU` threshold.
+    #[inline]
+    pub fn class(&self, t_cpu: SimTime) -> JobClass {
+        if self.exec_time <= t_cpu {
+            JobClass::Local
+        } else {
+            JobClass::Remote
+        }
+    }
+
+    /// Maximum response time for the job to count as successful:
+    /// `U_b = benefit_factor × exec_time`.
+    #[inline]
+    pub fn benefit_deadline(&self) -> SimTime {
+        SimTime::from_f64(self.benefit_factor * self.exec_time.as_f64())
+    }
+
+    /// Absolute completion deadline: `arrival + U_b`.
+    #[inline]
+    pub fn absolute_deadline(&self) -> SimTime {
+        self.arrival + self.benefit_deadline()
+    }
+
+    /// True if completing at `t` meets the benefit deadline.
+    #[inline]
+    pub fn meets_deadline(&self, completion: SimTime) -> bool {
+        completion <= self.absolute_deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(exec: u64, u: f64) -> Job {
+        Job {
+            id: 0,
+            arrival: SimTime::from_ticks(100),
+            exec_time: SimTime::from_ticks(exec),
+            requested_time: SimTime::from_ticks(exec * 2),
+            partition_size: 1,
+            cancelable: false,
+            benefit_factor: u,
+            submit_point: 0,
+        }
+    }
+
+    #[test]
+    fn classification_against_t_cpu() {
+        let t_cpu = SimTime::from_ticks(700);
+        assert_eq!(job(700, 2.0).class(t_cpu), JobClass::Local, "boundary is LOCAL");
+        assert_eq!(job(699, 2.0).class(t_cpu), JobClass::Local);
+        assert_eq!(job(701, 2.0).class(t_cpu), JobClass::Remote);
+    }
+
+    #[test]
+    fn benefit_deadline_math() {
+        let j = job(100, 3.0);
+        assert_eq!(j.benefit_deadline(), SimTime::from_ticks(300));
+        assert_eq!(j.absolute_deadline(), SimTime::from_ticks(400));
+        assert!(j.meets_deadline(SimTime::from_ticks(400)), "boundary succeeds");
+        assert!(!j.meets_deadline(SimTime::from_ticks(401)));
+    }
+
+    #[test]
+    fn fractional_benefit_factor_rounds() {
+        let j = job(100, 2.5);
+        assert_eq!(j.benefit_deadline(), SimTime::from_ticks(250));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = job(123, 4.5);
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(j, back);
+    }
+}

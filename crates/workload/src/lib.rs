@@ -1,0 +1,41 @@
+//! # gridscale-workload
+//!
+//! Synthetic Grid workloads modelled on the parallel **moldable** workloads
+//! of supercomputing environments (Cirne & Berman [22, 23] in the paper's
+//! bibliography).
+//!
+//! The paper characterizes a job by *arrival instant, partition size,
+//! execution time, requested time (an upper bound on execution time), and
+//! job cancellation possibility*, then fixes **partition size = 1** and
+//! **zero cancellation probability** (§3.1). Jobs are classified LOCAL if
+//! their execution time is at most `T_CPU = 700` time units and REMOTE
+//! otherwise (Table 1), and an execution is *successful* only if it
+//! completes within the user-benefit deadline `U_b = u · exec_time` with
+//! `u ~ U[2, 5]` (Table 1).
+//!
+//! This crate provides:
+//! * [`Job`] — the job record with LOCAL/REMOTE classification and the
+//!   benefit deadline;
+//! * [`ExecTimeModel`] — the service-demand distributions (log-uniform
+//!   default straddling `T_CPU`, plus log-normal / bounded-Pareto /
+//!   constant variants for ablations);
+//! * [`WorkloadConfig`] / [`generate`] — Poisson arrival streams over a set
+//!   of submission points;
+//! * [`JobTrace`] — a sorted, replayable trace with summary statistics and
+//!   serde round-tripping.
+
+#![warn(missing_docs)]
+
+mod dag;
+mod job;
+mod model;
+pub mod stats;
+pub mod swf;
+mod trace;
+
+pub use dag::DependencyGraph;
+pub use stats::{analyze as analyze_trace, DistSummary, TraceStats};
+pub use swf::{parse_swf, to_swf, SwfError, SwfOptions};
+pub use job::{Job, JobClass, JobId};
+pub use model::{generate, ExecTimeModel, WorkloadConfig};
+pub use trace::{JobTrace, TraceSummary};

@@ -1,0 +1,340 @@
+//! Workload generation.
+
+use crate::job::Job;
+use crate::trace::JobTrace;
+use gridscale_desim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Service-demand (execution-time) distribution.
+///
+/// The default is log-uniform over `[50, 5000]` ticks: execution times in
+/// supercomputer workloads span orders of magnitude with roughly uniform
+/// log-density (Cirne–Berman), and this range straddles the paper's
+/// `T_CPU = 700` threshold so the generated stream mixes LOCAL (~57%) and
+/// REMOTE (~43%) jobs — both RMS code paths get exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecTimeModel {
+    /// Uniform in log-space over `[lo, hi)` ticks.
+    LogUniform {
+        /// Lower bound (ticks), exclusive of zero.
+        lo: f64,
+        /// Upper bound (ticks).
+        hi: f64,
+    },
+    /// `exp(N(mu, sigma))` ticks.
+    LogNormal {
+        /// Mean of the underlying normal (log-ticks).
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Bounded Pareto with tail index `alpha` on `[lo, hi]` ticks — the
+    /// heavy-tail ablation.
+    BoundedPareto {
+        /// Tail index.
+        alpha: f64,
+        /// Lower bound (ticks).
+        lo: f64,
+        /// Upper bound (ticks).
+        hi: f64,
+    },
+    /// Exponential with the given mean — the memoryless M/M/· validation
+    /// case (not observed in supercomputer logs, but the right null model
+    /// for queueing-theory checks).
+    Exponential {
+        /// Mean demand (ticks).
+        mean: f64,
+    },
+    /// Every job demands exactly `ticks` — degenerate case for tests.
+    Constant {
+        /// The fixed demand.
+        ticks: f64,
+    },
+}
+
+impl Default for ExecTimeModel {
+    fn default() -> Self {
+        ExecTimeModel::LogUniform { lo: 50.0, hi: 5000.0 }
+    }
+}
+
+impl ExecTimeModel {
+    /// Analytic mean of the distribution (ticks) — schedulers use this as
+    /// their demand estimate when computing approximate waiting times.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ExecTimeModel::LogUniform { lo, hi } => (hi - lo) / (hi / lo).ln(),
+            ExecTimeModel::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            ExecTimeModel::BoundedPareto { alpha, lo, hi } => {
+                if (alpha - 1.0).abs() < 1e-9 {
+                    // α → 1 limit of the closed form below.
+                    lo * (hi / lo).ln() / (1.0 - lo / hi)
+                } else {
+                    // E[X] = α L^α (L^{1-α} − H^{1-α}) / ((α−1)(1 − (L/H)^α)).
+                    alpha * lo.powf(alpha) * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha))
+                        / ((alpha - 1.0) * (1.0 - (lo / hi).powf(alpha)))
+                }
+            }
+            ExecTimeModel::Exponential { mean } => mean,
+            ExecTimeModel::Constant { ticks } => ticks,
+        }
+    }
+
+    /// Draws one service demand (at least 1 tick).
+    pub fn draw(&self, rng: &mut SimRng) -> SimTime {
+        let t = match *self {
+            ExecTimeModel::LogUniform { lo, hi } => rng.log_uniform(lo, hi),
+            ExecTimeModel::LogNormal { mu, sigma } => rng.log_normal(mu, sigma),
+            ExecTimeModel::BoundedPareto { alpha, lo, hi } => rng.bounded_pareto(alpha, lo, hi),
+            ExecTimeModel::Exponential { mean } => rng.exponential(1.0 / mean),
+            ExecTimeModel::Constant { ticks } => ticks,
+        };
+        SimTime::from_f64(t.max(1.0))
+    }
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Aggregate arrival rate in jobs per tick across all submission
+    /// points. This is the paper's "Workload (number of jobs arriving per
+    /// unit time)" scaling variable.
+    pub arrival_rate: f64,
+    /// Arrivals are generated on `[0, duration)`.
+    pub duration: SimTime,
+    /// Service-demand distribution.
+    pub exec_time: ExecTimeModel,
+    /// Requested time is `exec_time × factor`, factor uniform in this range
+    /// (users over-estimate; `[1.2, 3.0]` is typical of supercomputer logs).
+    pub overestimate: (f64, f64),
+    /// Benefit factor `u` range; the paper's Table 1 gives `[2, 5]`.
+    pub benefit_range: (f64, f64),
+    /// Number of submission points (clusters); each arrival picks one
+    /// uniformly at random.
+    pub submit_points: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            arrival_rate: 0.09,
+            duration: SimTime::from_ticks(200_000),
+            exec_time: ExecTimeModel::default(),
+            overestimate: (1.2, 3.0),
+            benefit_range: (2.0, 5.0),
+            submit_points: 1,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Returns a copy with the arrival rate multiplied by `k` — the
+    /// "workload scaled in the same proportion as the scaling variable"
+    /// step used in every experimental case.
+    pub fn scaled_rate(&self, k: f64) -> WorkloadConfig {
+        let mut c = self.clone();
+        c.arrival_rate = self.arrival_rate * k;
+        c
+    }
+
+    /// Expected number of jobs in a generated trace.
+    pub fn expected_jobs(&self) -> f64 {
+        self.arrival_rate * self.duration.as_f64()
+    }
+}
+
+/// Generates a Poisson arrival stream under `cfg`.
+///
+/// Inter-arrival gaps are exponential with rate `cfg.arrival_rate`; each
+/// job draws its demand, over-estimation factor, benefit factor, and
+/// submission point independently. The result is sorted by arrival time and
+/// ids are dense from 0.
+pub fn generate(cfg: &WorkloadConfig, rng: &mut SimRng) -> JobTrace {
+    assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(cfg.submit_points > 0, "need at least one submission point");
+    assert!(cfg.overestimate.0 >= 1.0 && cfg.overestimate.0 <= cfg.overestimate.1);
+    assert!(cfg.benefit_range.0 > 0.0 && cfg.benefit_range.0 <= cfg.benefit_range.1);
+
+    let mut jobs = Vec::with_capacity(cfg.expected_jobs() as usize + 16);
+    let mut t = 0.0f64;
+    let mut id = 0;
+    loop {
+        t += rng.exponential(cfg.arrival_rate);
+        // Compare the *rounded* arrival against the window: from_f64 rounds
+        // to the nearest tick, so a fractional time just under the horizon
+        // must not round up into (or past) it.
+        if SimTime::from_f64(t) >= cfg.duration {
+            break;
+        }
+
+        let exec = cfg.exec_time.draw(rng);
+        let over = if cfg.overestimate.0 == cfg.overestimate.1 {
+            cfg.overestimate.0
+        } else {
+            rng.uniform(cfg.overestimate.0, cfg.overestimate.1)
+        };
+        let benefit = if cfg.benefit_range.0 == cfg.benefit_range.1 {
+            cfg.benefit_range.0
+        } else {
+            rng.uniform(cfg.benefit_range.0, cfg.benefit_range.1)
+        };
+        jobs.push(Job {
+            id,
+            arrival: SimTime::from_f64(t),
+            exec_time: exec,
+            requested_time: SimTime::from_f64(exec.as_f64() * over),
+            partition_size: 1,
+            cancelable: false,
+            benefit_factor: benefit,
+            submit_point: rng.index(cfg.submit_points as usize) as u32,
+        });
+        id += 1;
+    }
+    JobTrace::from_sorted(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(cfg: &WorkloadConfig, seed: u64) -> JobTrace {
+        generate(cfg, &mut SimRng::new(seed))
+    }
+
+    #[test]
+    fn job_count_near_expectation() {
+        let cfg = WorkloadConfig::default();
+        let trace = gen(&cfg, 1);
+        let expect = cfg.expected_jobs();
+        let n = trace.len() as f64;
+        assert!(
+            (n - expect).abs() < 4.0 * expect.sqrt(),
+            "count {n} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_window() {
+        let cfg = WorkloadConfig::default();
+        let trace = gen(&cfg, 2);
+        let jobs = trace.jobs();
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(jobs.iter().all(|j| j.arrival < cfg.duration));
+        assert!(jobs.iter().all(|j| j.exec_time.ticks() >= 1));
+    }
+
+    #[test]
+    fn ids_dense_from_zero() {
+        let trace = gen(&WorkloadConfig::default(), 3);
+        for (i, j) in trace.jobs().iter().enumerate() {
+            assert_eq!(j.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn paper_restrictions_hold() {
+        let trace = gen(&WorkloadConfig::default(), 4);
+        assert!(trace.jobs().iter().all(|j| j.partition_size == 1));
+        assert!(trace.jobs().iter().all(|j| !j.cancelable));
+        assert!(trace
+            .jobs()
+            .iter()
+            .all(|j| (2.0..=5.0).contains(&j.benefit_factor)));
+        assert!(trace.jobs().iter().all(|j| j.requested_time >= j.exec_time));
+    }
+
+    #[test]
+    fn default_model_mixes_local_and_remote() {
+        let trace = gen(&WorkloadConfig::default(), 5);
+        let t_cpu = SimTime::from_ticks(700);
+        let local = trace.local_count(t_cpu);
+        let total = trace.len() as u64;
+        let frac = local as f64 / total as f64;
+        // Analytic fraction for log-uniform [50, 5000]: ln(700/50)/ln(100) ≈ 0.573.
+        assert!((0.50..0.65).contains(&frac), "local fraction {frac}");
+    }
+
+    #[test]
+    fn scaled_rate_scales_counts() {
+        let base = WorkloadConfig {
+            duration: SimTime::from_ticks(100_000),
+            ..WorkloadConfig::default()
+        };
+        let n1 = gen(&base, 6).len() as f64;
+        let n3 = gen(&base.scaled_rate(3.0), 6).len() as f64;
+        assert!((n3 / n1 - 3.0).abs() < 0.25, "ratio {}", n3 / n1);
+    }
+
+    #[test]
+    fn submit_points_all_used() {
+        let cfg = WorkloadConfig {
+            submit_points: 8,
+            ..WorkloadConfig::default()
+        };
+        let trace = gen(&cfg, 7);
+        let mut seen = [false; 8];
+        for j in trace.jobs() {
+            assert!(j.submit_point < 8);
+            seen[j.submit_point as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every submission point receives jobs");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(gen(&cfg, 42).jobs(), gen(&cfg, 42).jobs());
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let cfg = WorkloadConfig {
+            exec_time: ExecTimeModel::Constant { ticks: 500.0 },
+            ..WorkloadConfig::default()
+        };
+        let trace = gen(&cfg, 8);
+        assert!(trace
+            .jobs()
+            .iter()
+            .all(|j| j.exec_time == SimTime::from_ticks(500)));
+    }
+
+    #[test]
+    fn analytic_means_match_empirical() {
+        let models = [
+            ExecTimeModel::LogUniform { lo: 50.0, hi: 5000.0 },
+            ExecTimeModel::LogNormal { mu: 5.0, sigma: 0.8 },
+            ExecTimeModel::BoundedPareto { alpha: 1.5, lo: 50.0, hi: 5000.0 },
+            ExecTimeModel::Exponential { mean: 640.0 },
+            ExecTimeModel::Constant { ticks: 321.0 },
+        ];
+        let mut rng = SimRng::new(77);
+        for m in models {
+            let n = 60_000;
+            let emp: f64 =
+                (0..n).map(|_| m.draw(&mut rng).as_f64()).sum::<f64>() / n as f64;
+            let ana = m.mean();
+            assert!(
+                (emp - ana).abs() / ana < 0.05,
+                "{m:?}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_alpha_one_limit() {
+        let near = ExecTimeModel::BoundedPareto { alpha: 1.0 + 1e-10, lo: 10.0, hi: 100.0 };
+        let at = ExecTimeModel::BoundedPareto { alpha: 1.0, lo: 10.0, hi: 100.0 };
+        assert!((near.mean() - at.mean()).abs() / at.mean() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let cfg = WorkloadConfig {
+            arrival_rate: 0.0,
+            ..WorkloadConfig::default()
+        };
+        gen(&cfg, 9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Trace analysis: the statistics workload papers report.
+//!
+//! Supports validating imported SWF traces against the synthetic model
+//! (demand percentiles, arrival burstiness) and characterizing generated
+//! workloads for experiment write-ups.
+
+use crate::trace::JobTrace;
+use gridscale_desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of one nonnegative quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Coefficient of variation (std/mean; 0 if degenerate).
+    pub cv: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarizes a sample (empty input gives all zeros).
+    pub fn of(values: &[f64]) -> DistSummary {
+        if values.is_empty() {
+            return DistSummary {
+                count: 0,
+                mean: 0.0,
+                cv: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut xs = values.to_vec();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let q = |p: f64| xs[(((n - 1) as f64) * p).round() as usize];
+        DistSummary {
+            count: n,
+            mean,
+            cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            min: xs[0],
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            max: xs[n - 1],
+        }
+    }
+}
+
+/// Full characterization of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Service-demand distribution (ticks).
+    pub demand: DistSummary,
+    /// Inter-arrival gap distribution (ticks). For a Poisson stream the CV
+    /// is ≈ 1.
+    pub interarrival: DistSummary,
+    /// Requested-time over-estimation factors (`requested / exec`).
+    pub overestimate: DistSummary,
+    /// Index of dispersion of arrival counts over windows (variance/mean
+    /// of per-window counts; ≈ 1 for Poisson, > 1 bursty).
+    pub dispersion: f64,
+    /// LOCAL share at `T_CPU = 700`.
+    pub local_fraction: f64,
+}
+
+/// Computes [`TraceStats`] with the given window for the dispersion index.
+pub fn analyze(trace: &JobTrace, window: SimTime) -> TraceStats {
+    assert!(window.ticks() > 0);
+    let jobs = trace.jobs();
+    let demand: Vec<f64> = jobs.iter().map(|j| j.exec_time.as_f64()).collect();
+    let gaps: Vec<f64> = jobs
+        .windows(2)
+        .map(|w| (w[1].arrival - w[0].arrival).as_f64())
+        .collect();
+    let over: Vec<f64> = jobs
+        .iter()
+        .filter(|j| j.exec_time.ticks() > 0)
+        .map(|j| j.requested_time.as_f64() / j.exec_time.as_f64())
+        .collect();
+
+    let dispersion = if jobs.len() < 2 {
+        0.0
+    } else {
+        let span = jobs.last().unwrap().arrival.ticks() + 1;
+        let bins = span.div_ceil(window.ticks()).max(1) as usize;
+        let mut counts = vec![0.0f64; bins];
+        for j in jobs {
+            counts[(j.arrival.ticks() / window.ticks()) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / bins as f64;
+            var / mean
+        }
+    };
+
+    let t_cpu = SimTime::from_ticks(700);
+    let local_fraction = if jobs.is_empty() {
+        0.0
+    } else {
+        trace.local_count(t_cpu) as f64 / jobs.len() as f64
+    };
+
+    TraceStats {
+        demand: DistSummary::of(&demand),
+        interarrival: DistSummary::of(&gaps),
+        overestimate: DistSummary::of(&over),
+        dispersion,
+        local_fraction,
+    }
+}
+
+/// Maximum-likelihood log-normal fit of a positive sample: returns
+/// `(mu, sigma)` of the underlying normal, the parameters to hand to
+/// [`crate::ExecTimeModel::LogNormal`] to re-synthesize a trace shaped
+/// like an imported one. `None` for fewer than 2 positive values.
+pub fn fit_lognormal(values: &[f64]) -> Option<(f64, f64)> {
+    let logs: Vec<f64> = values.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
+    Some((mu, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{generate, ExecTimeModel, WorkloadConfig};
+    use gridscale_desim::SimRng;
+
+    fn poisson_trace(rate: f64, seed: u64) -> JobTrace {
+        let cfg = WorkloadConfig {
+            arrival_rate: rate,
+            duration: SimTime::from_ticks(300_000),
+            ..WorkloadConfig::default()
+        };
+        generate(&cfg, &mut SimRng::new(seed))
+    }
+
+    #[test]
+    fn dist_summary_of_known_sample() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = DistSummary::of(&xs);
+        assert_eq!(d.count, 100);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 100.0);
+        assert!((d.p50 - 50.0).abs() <= 1.0);
+        assert!((d.p90 - 90.0).abs() <= 1.0);
+        let empty = DistSummary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn poisson_streams_have_unit_cv_and_dispersion() {
+        let t = poisson_trace(0.05, 1);
+        let s = analyze(&t, SimTime::from_ticks(2_000));
+        assert!(
+            (s.interarrival.cv - 1.0).abs() < 0.1,
+            "exponential gaps: CV {:.3}",
+            s.interarrival.cv
+        );
+        assert!(
+            (0.7..1.4).contains(&s.dispersion),
+            "Poisson dispersion {:.3}",
+            s.dispersion
+        );
+    }
+
+    #[test]
+    fn demand_stats_match_the_model() {
+        let t = poisson_trace(0.05, 2);
+        let s = analyze(&t, SimTime::from_ticks(2_000));
+        let analytic = ExecTimeModel::default().mean();
+        assert!(
+            (s.demand.mean - analytic).abs() / analytic < 0.06,
+            "mean demand {:.0} vs analytic {:.0}",
+            s.demand.mean,
+            analytic
+        );
+        // Log-uniform over [50, 5000): support respected, heavy spread.
+        assert!(s.demand.min >= 50.0 && s.demand.max < 5_000.5);
+        assert!(s.demand.cv > 0.5);
+        // Overestimation factors live in the configured [1.2, 3.0].
+        assert!(s.overestimate.min >= 1.2 - 1e-9 && s.overestimate.max <= 3.0 + 0.05);
+    }
+
+    #[test]
+    fn local_fraction_matches_trace_summary() {
+        let t = poisson_trace(0.05, 3);
+        let s = analyze(&t, SimTime::from_ticks(2_000));
+        let expect = t.local_count(SimTime::from_ticks(700)) as f64 / t.len() as f64;
+        assert!((s.local_fraction - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let mut rng = SimRng::new(9);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.log_normal(4.0, 0.7)).collect();
+        let (mu, sigma) = fit_lognormal(&xs).unwrap();
+        assert!((mu - 4.0).abs() < 0.02, "mu {mu}");
+        assert!((sigma - 0.7).abs() < 0.02, "sigma {sigma}");
+        // Round trip: a trace generated from the fit has the right mean.
+        let model = ExecTimeModel::LogNormal { mu, sigma };
+        let emp: f64 = (0..20_000).map(|_| model.draw(&mut rng).as_f64()).sum::<f64>() / 20_000.0;
+        let analytic = (4.0f64 + 0.49 / 2.0).exp();
+        assert!((emp - analytic).abs() / analytic < 0.05);
+    }
+
+    #[test]
+    fn lognormal_fit_guards_degenerate_input() {
+        assert_eq!(fit_lognormal(&[]), None);
+        assert_eq!(fit_lognormal(&[5.0]), None);
+        assert_eq!(fit_lognormal(&[-1.0, 0.0]), None);
+        assert!(fit_lognormal(&[2.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn degenerate_traces_do_not_panic() {
+        let empty = JobTrace::default();
+        let s = analyze(&empty, SimTime::from_ticks(100));
+        assert_eq!(s.demand.count, 0);
+        assert_eq!(s.dispersion, 0.0);
+        assert_eq!(s.local_fraction, 0.0);
+    }
+}

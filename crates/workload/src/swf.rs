@@ -1,0 +1,270 @@
+//! Standard Workload Format (SWF) import/export.
+//!
+//! SWF is the archive format of the Parallel Workloads Archive — the same
+//! supercomputer logs (SDSC SP2, CTC, …) the Cirne–Berman model the paper
+//! cites was fitted to. Supporting it lets gridscale replay *real* traces
+//! through the Grid simulator instead of (or alongside) synthetic ones.
+//!
+//! An SWF record is one line of 18 whitespace-separated fields; `;` lines
+//! are header comments. The fields this simulator consumes:
+//!
+//! | # | field | use here |
+//! |---|---|---|
+//! | 1 | job number        | preserved order (ids re-densified) |
+//! | 2 | submit time (s)   | arrival, scaled by `tick_per_second` |
+//! | 4 | run time (s)      | execution demand |
+//! | 5 | processors used   | partition size (paper restricts to 1) |
+//! | 9 | requested time (s)| requested time (falls back to run time) |
+//! | 11| status            | only completed (=1) jobs are imported |
+//!
+//! Fields the model doesn't define (benefit factor, submission point) are
+//! drawn per job from the provided [`SwfOptions`], exactly as the
+//! synthetic generator would.
+
+use crate::job::Job;
+use crate::trace::JobTrace;
+use gridscale_desim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Import options for SWF traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwfOptions {
+    /// Simulation ticks per SWF second.
+    pub ticks_per_second: f64,
+    /// Benefit factor range (paper Table 1: `[2, 5]`).
+    pub benefit_range: (f64, f64),
+    /// Number of submission points to scatter jobs over.
+    pub submit_points: u32,
+    /// Keep only jobs with `run time > 0` and completed status. SWF uses
+    /// status 1 for completed; anything else is cancelled/failed.
+    pub completed_only: bool,
+    /// Import at most this many jobs (0 = unlimited).
+    pub max_jobs: usize,
+}
+
+impl Default for SwfOptions {
+    fn default() -> Self {
+        SwfOptions {
+            ticks_per_second: 1.0,
+            benefit_range: (2.0, 5.0),
+            submit_points: 1,
+            completed_only: true,
+            max_jobs: 0,
+        }
+    }
+}
+
+/// A problem encountered while parsing SWF text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parses SWF text into a [`JobTrace`].
+///
+/// Malformed data lines are errors; unknown header comments are ignored.
+/// The result is sorted by arrival with dense ids (SWF guarantees neither).
+pub fn parse_swf(text: &str, opts: &SwfOptions, rng: &mut SimRng) -> Result<JobTrace, SwfError> {
+    assert!(opts.ticks_per_second > 0.0);
+    assert!(opts.submit_points > 0);
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 11 {
+            return Err(SwfError {
+                line: lineno + 1,
+                message: format!("expected ≥11 fields, found {}", fields.len()),
+            });
+        }
+        let num = |i: usize| -> Result<f64, SwfError> {
+            fields[i].parse::<f64>().map_err(|_| SwfError {
+                line: lineno + 1,
+                message: format!("field {} ('{}') is not numeric", i + 1, fields[i]),
+            })
+        };
+        let submit = num(1)?;
+        let run_time = num(3)?;
+        let procs = num(4)?;
+        let requested = num(8)?;
+        let status = num(10)? as i64;
+
+        if opts.completed_only && status != 1 {
+            continue;
+        }
+        if run_time <= 0.0 {
+            continue;
+        }
+        let exec = SimTime::from_f64((run_time * opts.ticks_per_second).max(1.0));
+        let req = if requested > 0.0 {
+            SimTime::from_f64(requested * opts.ticks_per_second)
+        } else {
+            exec
+        };
+        let benefit = if opts.benefit_range.0 >= opts.benefit_range.1 {
+            opts.benefit_range.0
+        } else {
+            rng.uniform(opts.benefit_range.0, opts.benefit_range.1)
+        };
+        jobs.push(Job {
+            id: jobs.len() as u64,
+            arrival: SimTime::from_f64((submit.max(0.0)) * opts.ticks_per_second),
+            exec_time: exec,
+            requested_time: req.max(exec),
+            partition_size: (procs.max(1.0)) as u32,
+            cancelable: false,
+            benefit_factor: benefit,
+            submit_point: rng.index(opts.submit_points as usize) as u32,
+        });
+        if opts.max_jobs > 0 && jobs.len() >= opts.max_jobs {
+            break;
+        }
+    }
+    Ok(JobTrace::from_unsorted(jobs))
+}
+
+/// Serializes a trace as SWF text (18 fields, `-1` for unknown columns),
+/// with a short header documenting the unit conversion.
+pub fn to_swf(trace: &JobTrace, ticks_per_second: f64) -> String {
+    assert!(ticks_per_second > 0.0);
+    let mut out = String::new();
+    out.push_str("; SWF exported by gridscale\n");
+    out.push_str(&format!("; UnitsPerSecond: {ticks_per_second}\n"));
+    for j in trace.jobs() {
+        let sec = |t: SimTime| (t.as_f64() / ticks_per_second).round() as i64;
+        out.push_str(&format!(
+            "{} {} -1 {} {} -1 -1 {} {} -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+            j.id + 1,
+            sec(j.arrival),
+            sec(j.exec_time),
+            j.partition_size,
+            j.partition_size,
+            sec(j.requested_time),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{generate, WorkloadConfig};
+
+    const SAMPLE: &str = "\
+; SDSC-like sample header
+; MaxJobs: 5
+1 10 -1 300 1 -1 -1 1 600 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 20 -1 500 4 -1 -1 4 900 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 30 -1 100 1 -1 -1 1 150 -1 0 -1 -1 -1 -1 -1 -1 -1
+4  5 -1 250 1 -1 -1 1 300 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_completed_jobs_sorted_with_dense_ids() {
+        let mut rng = SimRng::new(1);
+        let t = parse_swf(SAMPLE, &SwfOptions::default(), &mut rng).unwrap();
+        // Job 3 (status 0) is dropped; job 4 (submit 5) sorts first.
+        assert_eq!(t.len(), 3);
+        let arr: Vec<u64> = t.jobs().iter().map(|j| j.arrival.ticks()).collect();
+        assert_eq!(arr, vec![5, 10, 20]);
+        let ids: Vec<u64> = t.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(t.jobs()[0].exec_time.ticks(), 250);
+        assert_eq!(t.jobs()[2].partition_size, 4);
+        assert_eq!(t.jobs()[1].requested_time.ticks(), 600);
+    }
+
+    #[test]
+    fn keeps_failed_jobs_when_asked() {
+        let mut rng = SimRng::new(1);
+        let opts = SwfOptions {
+            completed_only: false,
+            ..SwfOptions::default()
+        };
+        let t = parse_swf(SAMPLE, &opts, &mut rng).unwrap();
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn tick_scaling_applies() {
+        let mut rng = SimRng::new(1);
+        let opts = SwfOptions {
+            ticks_per_second: 10.0,
+            ..SwfOptions::default()
+        };
+        let t = parse_swf(SAMPLE, &opts, &mut rng).unwrap();
+        assert_eq!(t.jobs()[0].arrival.ticks(), 50);
+        assert_eq!(t.jobs()[0].exec_time.ticks(), 2500);
+    }
+
+    #[test]
+    fn max_jobs_caps_import() {
+        let mut rng = SimRng::new(1);
+        let opts = SwfOptions {
+            max_jobs: 2,
+            ..SwfOptions::default()
+        };
+        let t = parse_swf(SAMPLE, &opts, &mut rng).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let bad = "; header\n1 10 -1 nonsense 1 -1 -1 1 600 -1 1\n";
+        let mut rng = SimRng::new(1);
+        let err = parse_swf(bad, &SwfOptions::default(), &mut rng).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("not numeric"));
+
+        let short = "1 10 3\n";
+        let err = parse_swf(short, &SwfOptions::default(), &mut rng).unwrap_err();
+        assert!(err.message.contains("fields"));
+    }
+
+    #[test]
+    fn roundtrip_through_swf_preserves_the_trace_shape() {
+        let cfg = WorkloadConfig {
+            arrival_rate: 0.05,
+            duration: SimTime::from_ticks(10_000),
+            ..WorkloadConfig::default()
+        };
+        let original = generate(&cfg, &mut SimRng::new(3));
+        let text = to_swf(&original, 1.0);
+        let opts = SwfOptions {
+            benefit_range: (3.0, 3.0),
+            ..SwfOptions::default()
+        };
+        let back = parse_swf(&text, &opts, &mut SimRng::new(4)).unwrap();
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.jobs().iter().zip(back.jobs()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.exec_time, b.exec_time);
+            assert_eq!(a.partition_size, b.partition_size);
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        let mut rng = SimRng::new(1);
+        assert!(parse_swf("", &SwfOptions::default(), &mut rng)
+            .unwrap()
+            .is_empty());
+        assert!(parse_swf("; nothing\n;\n", &SwfOptions::default(), &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Replayable job traces.
+
+use crate::job::{Job, JobClass};
+use gridscale_desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A workload trace: jobs sorted by arrival time with dense ids.
+///
+/// Traces are the interface between the workload generator and the Grid
+/// simulator: the simulator schedules one arrival event per trace entry.
+/// They serialize with serde so experiments can be archived and replayed.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobTrace {
+    jobs: Vec<Job>,
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of jobs.
+    pub count: usize,
+    /// Total service demand (ticks at unit rate).
+    pub total_demand: SimTime,
+    /// Mean service demand.
+    pub mean_demand: f64,
+    /// Jobs classified LOCAL at the given `T_CPU`.
+    pub local: u64,
+    /// Jobs classified REMOTE at the given `T_CPU`.
+    pub remote: u64,
+    /// Arrival span (last arrival − first arrival).
+    pub span: SimTime,
+}
+
+impl JobTrace {
+    /// Wraps a pre-sorted job list. Panics (debug) if unsorted.
+    pub fn from_sorted(jobs: Vec<Job>) -> Self {
+        debug_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        JobTrace { jobs }
+    }
+
+    /// Builds a trace from unsorted jobs, sorting by `(arrival, id)` and
+    /// re-assigning dense ids in that order.
+    pub fn from_unsorted(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| (j.arrival, j.id));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        JobTrace { jobs }
+    }
+
+    /// The jobs, in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Count of jobs LOCAL at threshold `t_cpu`.
+    pub fn local_count(&self, t_cpu: SimTime) -> u64 {
+        self.jobs
+            .iter()
+            .filter(|j| j.class(t_cpu) == JobClass::Local)
+            .count() as u64
+    }
+
+    /// Total service demand across all jobs.
+    pub fn total_demand(&self) -> SimTime {
+        self.jobs.iter().map(|j| j.exec_time).sum()
+    }
+
+    /// Summary statistics at threshold `t_cpu`.
+    pub fn summary(&self, t_cpu: SimTime) -> TraceSummary {
+        let count = self.jobs.len();
+        let total_demand = self.total_demand();
+        let local = self.local_count(t_cpu);
+        let span = match (self.jobs.first(), self.jobs.last()) {
+            (Some(f), Some(l)) => l.arrival - f.arrival,
+            _ => SimTime::ZERO,
+        };
+        TraceSummary {
+            count,
+            total_demand,
+            mean_demand: if count == 0 {
+                0.0
+            } else {
+                total_demand.as_f64() / count as f64
+            },
+            local,
+            remote: count as u64 - local,
+            span,
+        }
+    }
+
+    /// Merges two traces into one (re-sorted, ids re-densified) — used to
+    /// combine per-cluster streams.
+    pub fn merge(mut self, other: JobTrace) -> JobTrace {
+        self.jobs.extend(other.jobs);
+        JobTrace::from_unsorted(self.jobs)
+    }
+
+    /// Keeps only jobs arriving before `cutoff` (exclusive).
+    pub fn truncate_at(&mut self, cutoff: SimTime) {
+        let keep = self.jobs.partition_point(|j| j.arrival < cutoff);
+        self.jobs.truncate(keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u64, arrival: u64, exec: u64) -> Job {
+        Job {
+            id,
+            arrival: SimTime::from_ticks(arrival),
+            exec_time: SimTime::from_ticks(exec),
+            requested_time: SimTime::from_ticks(exec * 2),
+            partition_size: 1,
+            cancelable: false,
+            benefit_factor: 3.0,
+            submit_point: 0,
+        }
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_renumbers() {
+        let t = JobTrace::from_unsorted(vec![mk(9, 30, 10), mk(3, 10, 20), mk(7, 20, 30)]);
+        let arr: Vec<u64> = t.jobs().iter().map(|j| j.arrival.ticks()).collect();
+        assert_eq!(arr, vec![10, 20, 30]);
+        let ids: Vec<u64> = t.jobs().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn summary_math() {
+        let t = JobTrace::from_unsorted(vec![mk(0, 0, 100), mk(1, 50, 900), mk(2, 100, 500)]);
+        let s = t.summary(SimTime::from_ticks(700));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_demand, SimTime::from_ticks(1500));
+        assert!((s.mean_demand - 500.0).abs() < 1e-12);
+        assert_eq!(s.local, 2);
+        assert_eq!(s.remote, 1);
+        assert_eq!(s.span, SimTime::from_ticks(100));
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let t = JobTrace::default();
+        assert!(t.is_empty());
+        let s = t.summary(SimTime::from_ticks(700));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_demand, 0.0);
+        assert_eq!(s.span, SimTime::ZERO);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = JobTrace::from_unsorted(vec![mk(0, 10, 1), mk(1, 30, 1)]);
+        let b = JobTrace::from_unsorted(vec![mk(0, 20, 1), mk(1, 40, 1)]);
+        let m = a.merge(b);
+        let arr: Vec<u64> = m.jobs().iter().map(|j| j.arrival.ticks()).collect();
+        assert_eq!(arr, vec![10, 20, 30, 40]);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn truncate_at_cutoff() {
+        let mut t = JobTrace::from_unsorted(vec![mk(0, 10, 1), mk(1, 20, 1), mk(2, 30, 1)]);
+        t.truncate_at(SimTime::from_ticks(20));
+        assert_eq!(t.len(), 1, "cutoff is exclusive");
+        assert_eq!(t.jobs()[0].arrival.ticks(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = JobTrace::from_unsorted(vec![mk(0, 5, 10), mk(1, 6, 20)]);
+        let s = serde_json::to_string(&t).unwrap();
+        let back: JobTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

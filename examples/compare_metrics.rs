@@ -1,0 +1,72 @@
+//! Executable version of the paper's §4 comparison: its **isoefficiency
+//! RMS metric** against the **Jogalekar–Woodside productivity metric**
+//! ([14]) on the same measured data.
+//!
+//! The paper's point: J-W measures the *whole system* — productivity can
+//! stay healthy while a single component (the RMS) burns an ever-larger
+//! share of resources, and conversely a component-level bottleneck is hard
+//! to attribute. The isoefficiency-of-G(k) metric isolates the manager.
+//!
+//! ```text
+//! cargo run --release --example compare_metrics
+//! ```
+
+use gridscale::core::jogalekar::ProductivityModel;
+use gridscale::prelude::*;
+
+fn main() {
+    let opts = MeasureOptions {
+        ks: vec![1, 2, 3, 4],
+        anneal: AnnealConfig {
+            iterations: 24,
+            ..AnnealConfig::default()
+        },
+        duration_override: Some(SimTime::from_ticks(25_000)),
+        drain_override: Some(SimTime::from_ticks(20_000)),
+        ..MeasureOptions::default()
+    };
+    let jw = ProductivityModel::default();
+
+    println!("Case 1 (network-size scaling), both metrics on the same runs\n");
+    println!(
+        "{:<8} {:>22} {:>26}",
+        "model", "isoefficiency (paper)", "Jogalekar-Woodside [14]"
+    );
+    println!(
+        "{:<8} {:>22} {:>26}",
+        "", "scalable through k", "psi(k) curve / through k"
+    );
+
+    for kind in [RmsKind::Central, RmsKind::Lowest, RmsKind::Reserve] {
+        let curve = measure_rms(kind, CaseId::NetworkSize, &opts);
+        let iso = curve
+            .verdict()
+            .scalable_through
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "-".into());
+        let psi: Vec<String> = jw
+            .evaluate(&curve)
+            .iter()
+            .map(|p| format!("{:.2}", p.psi))
+            .collect();
+        let jw_through = jw
+            .scalable_through(&curve)
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<8} {:>22} {:>20} / {}",
+            kind.name(),
+            iso,
+            psi.join(" "),
+            jw_through
+        );
+    }
+
+    println!(
+        "\nReading: psi tracks delivered throughput per cost, so it stays\n\
+         near 1 while the RP keeps absorbing work — even as the manager's\n\
+         minimum overhead G(k) grows superlinearly. The isoefficiency view\n\
+         flags the RMS bottleneck earlier and attributes it to the manager,\n\
+         which is exactly the paper's argument for a component-level metric."
+    );
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a Grid, run one RMS model, read the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gridscale::prelude::*;
+
+fn main() {
+    // A mid-sized Grid: ~145 resources in 8 clusters on a power-law
+    // topology, moldable workload at ~62% resource utilization.
+    let cfg = GridConfig {
+        nodes: 170,
+        schedulers: 8,
+        workload: WorkloadConfig {
+            arrival_rate: 0.08,
+            duration: SimTime::from_ticks(60_000),
+            ..WorkloadConfig::default()
+        },
+        seed: 2005,
+        ..GridConfig::default()
+    };
+
+    println!("simulating {} nodes / {} clusters…\n", cfg.nodes, cfg.schedulers);
+
+    let mut policy = RmsKind::Lowest.build();
+    let r = run_simulation(&cfg, policy.as_mut());
+
+    println!("policy          : {}", r.policy);
+    println!("jobs            : {} total, {} completed, {} unfinished", r.jobs_total, r.completed, r.unfinished);
+    println!("deadline success: {} ({:.1}%)", r.succeeded, 100.0 * r.success_rate());
+    println!("mean response   : {:.0} ticks (p95 {:.0})", r.mean_response, r.p95_response);
+    println!("throughput      : {:.4} jobs/tick", r.throughput);
+    println!();
+    println!("F (useful work) : {:.3e}", r.f_work);
+    println!("G (RMS overhead): {:.3e}", r.g_overhead);
+    println!("H (RP overhead) : {:.3e}", r.h_overhead);
+    println!("efficiency E    : {:.3}", r.efficiency);
+    println!();
+    println!("status updates  : {} sent, {} suppressed", r.updates_sent, r.updates_suppressed);
+    println!("policy messages : {}", r.policy_msgs);
+    println!("job transfers   : {}", r.transfers);
+    println!("RMS bottleneck  : {:.1}% busy (max scheduler)", 100.0 * r.bottleneck_utilization());
+}

@@ -1,0 +1,104 @@
+//! Watch the simulated-annealing enabler tuner work (paper §3.2, Step 3).
+//!
+//! Sweeps the status-update interval τ by hand to expose the
+//! efficiency/overhead frontier, then lets the annealer find the
+//! minimum-overhead setting that holds the base efficiency.
+//!
+//! ```text
+//! cargo run --release --example tune_enablers
+//! ```
+
+use gridscale::core::anneal::anneal;
+use gridscale::prelude::*;
+
+fn main() {
+    let kind = RmsKind::SenderInit;
+    let cfg = config_for(kind, CaseId::NetworkSize, 2, Preset::Quick, 11);
+    let template = SimTemplate::new(&cfg);
+
+    println!("model {}, {} nodes, {} jobs\n", kind.name(), cfg.nodes, template.trace_len());
+
+    // Manual τ sweep: the frontier the annealer walks.
+    println!("manual tau sweep (L_p = {}):", cfg.enablers.neighborhood);
+    println!("{:>6} {:>8} {:>8} {:>12}", "tau", "E", "succ%", "G");
+    for tau in [50u64, 200, 800, 3200] {
+        let mut e = cfg.enablers;
+        e.update_interval = tau;
+        let mut policy = kind.build();
+        let r = template.run(e, policy.as_mut());
+        println!(
+            "{:>6} {:>8.3} {:>8.1} {:>12.3e}",
+            tau,
+            r.efficiency,
+            100.0 * r.success_rate(),
+            r.g_overhead
+        );
+    }
+
+    // The annealer: minimize G subject to E staying at the default-enabler
+    // operating point (isoefficiency).
+    let mut base_policy = kind.build();
+    let base = template.run(cfg.enablers, base_policy.as_mut());
+    let e0 = base.efficiency;
+    let tol = 0.02;
+    println!("\ntarget: hold E = {e0:.3} ± {tol} at minimum G\n");
+
+    let space = CaseId::NetworkSize.case().enabler_space;
+    let base_enablers = cfg.enablers;
+    let energy = |idx: &[usize; 4]| -> f64 {
+        let enablers = space.realize(idx, &base_enablers);
+        let mut policy = kind.build();
+        let r = template.run(enablers, policy.as_mut());
+        let violation = ((r.efficiency - e0).abs() - tol).max(0.0);
+        r.g_overhead * (1.0 + 25.0 * violation / tol)
+    };
+    let neighbor = |idx: &[usize; 4], rng: &mut SimRng| -> [usize; 4] {
+        let mut out = *idx;
+        let d = rng.index(3); // tau, L_p, link delay are tunable in Case 1
+        let len = space.len(d);
+        out[d] = match out[d] {
+            0 => 1,
+            c if c + 1 >= len => c - 1,
+            c => {
+                if rng.chance(0.5) {
+                    c + 1
+                } else {
+                    c - 1
+                }
+            }
+        };
+        out
+    };
+    let result = anneal(
+        space.start_index(&base_enablers),
+        neighbor,
+        energy,
+        &AnnealConfig {
+            iterations: 40,
+            ..AnnealConfig::default()
+        },
+    );
+
+    let best = space.realize(&result.best, &base_enablers);
+    let mut policy = kind.build();
+    let tuned = template.run(best, policy.as_mut());
+    println!("annealer evaluated {} distinct settings", result.evaluations);
+    println!(
+        "accepted-energy trajectory: {:?}",
+        result
+            .trajectory
+            .iter()
+            .map(|e| format!("{e:.2e}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "\nbest enablers: tau = {}, L_p = {}, link delay x{}",
+        best.update_interval, best.neighborhood, best.link_delay_factor
+    );
+    println!(
+        "default: G = {:.3e}, E = {:.3}   tuned: G = {:.3e}, E = {:.3}",
+        base.g_overhead, base.efficiency, tuned.g_overhead, tuned.efficiency
+    );
+    let saved = 100.0 * (1.0 - tuned.g_overhead / base.g_overhead);
+    println!("overhead saved while holding efficiency: {saved:.1}%");
+}

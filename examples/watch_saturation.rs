@@ -1,0 +1,58 @@
+//! Watch a CENTRAL scheduler saturate, live.
+//!
+//! Uses the timeline recorder to sample the RMS backlog (how far the
+//! busiest scheduler's work queue is committed beyond "now") while the
+//! service-rate scaling of Case 2 pushes ever more jobs through a single
+//! manager — the paper's Figure 3 failure mode, seen from the inside.
+//!
+//! ```text
+//! cargo run --release --example watch_saturation
+//! ```
+
+use gridscale::prelude::*;
+
+fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            let i = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[i.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() {
+    println!("RMS backlog over time under service-rate scaling (Case 2)\n");
+    for (kind, k) in [
+        (RmsKind::Central, 1u32),
+        (RmsKind::Central, 4),
+        (RmsKind::Central, 6),
+        (RmsKind::Lowest, 6),
+    ] {
+        let mut cfg = config_for(kind, CaseId::ServiceRate, k, Preset::Quick, 21);
+        cfg.workload.duration = SimTime::from_ticks(30_000);
+        cfg.drain = SimTime::from_ticks(15_000);
+        let template = SimTemplate::new(&cfg);
+        let mut policy = kind.build();
+        let (report, tl) = template.run_with_timeline(cfg.enablers, policy.as_mut(), 1_000);
+        let compact = tl.downsample(45);
+        let backlog: Vec<f64> = compact.samples().iter().map(|s| s.rms_backlog).collect();
+        let (peak_at, peak) = tl.peak(|s| s.rms_backlog).unwrap_or((0, 0.0));
+        println!(
+            "{:<8} k={}  {}  peak {:>8.0} ticks @t={}  succ {:>5.1}%",
+            kind.name(),
+            k,
+            sparkline(&backlog),
+            peak,
+            peak_at,
+            100.0 * report.success_rate(),
+        );
+    }
+    println!(
+        "\nCENTRAL's backlog diverges as k grows (its one scheduler commits\n\
+         work faster than it can retire it) while LOWEST's stays flat at the\n\
+         same scale — the inside view of the paper's Figure 3 crossover."
+    );
+}

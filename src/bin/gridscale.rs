@@ -1,0 +1,263 @@
+//! The `gridscale` command-line interface.
+//!
+//! ```text
+//! gridscale run     --model LOWEST [--nodes 170] [--schedulers 8] [--rate 0.08]
+//!                   [--duration 60000] [--seed 7] [--estimators 0] [--json]
+//! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
+//!                   [--iters 40] [--seed 7] [--json]
+//! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
+//! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
+//! gridscale models
+//! ```
+//!
+//! `run` simulates one configuration; `measure` executes the paper's full
+//! four-step scalability procedure; `trace` generates (optionally SWF)
+//! workloads; `topo` generates a topology and prints its structural
+//! metrics; `models` lists the RMS models.
+
+use gridscale::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let val = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_string());
+            if val != "true" {
+                i += 1;
+            }
+            out.insert(key.to_string(), val);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            exit(2);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: cannot parse '{v}'");
+            exit(2);
+        }),
+    }
+}
+
+fn model_of(flags: &HashMap<String, String>) -> RmsKind {
+    let name = flags.get("model").map(String::as_str).unwrap_or("LOWEST");
+    RmsKind::from_name(name).unwrap_or_else(|| {
+        eprintln!("unknown model '{name}'; try `gridscale models`");
+        exit(2);
+    })
+}
+
+fn cmd_models() {
+    println!("paper models:");
+    for k in RmsKind::ALL {
+        println!(
+            "  {:<8} {}",
+            k.name(),
+            if k.uses_middleware() {
+                "(middleware family)"
+            } else if k.is_centralized() {
+                "(centralized)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("extensions:\n  HIER     (two-level scheduler hierarchy)");
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let kind = model_of(&flags);
+    let nodes = get(&flags, "nodes", 170usize);
+    let schedulers = get(
+        &flags,
+        "schedulers",
+        if kind.is_centralized() { 1 } else { (nodes / 16).max(2) },
+    );
+    let cfg = GridConfig {
+        nodes,
+        schedulers,
+        estimators: get(&flags, "estimators", 0usize),
+        workload: WorkloadConfig {
+            arrival_rate: get(&flags, "rate", 0.08),
+            duration: SimTime::from_ticks(get(&flags, "duration", 60_000u64)),
+            ..WorkloadConfig::default()
+        },
+        seed: get(&flags, "seed", 7u64),
+        dag_edge_prob: get(&flags, "dag", 0.0),
+        ..GridConfig::default()
+    };
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        exit(2);
+    }
+    let mut policy = kind.build();
+    let r = run_simulation(&cfg, policy.as_mut());
+    if flags.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&r).unwrap());
+        return;
+    }
+    println!("{} on {} nodes / {} clusters", r.policy, nodes, schedulers);
+    println!(
+        "jobs {} | completed {} | success {:.1}% | resp {:.0} (p95 {:.0})",
+        r.jobs_total,
+        r.completed,
+        100.0 * r.success_rate(),
+        r.mean_response,
+        r.p95_response
+    );
+    println!(
+        "F {:.3e} | G {:.3e} | H {:.3e} | E {:.3} | bottleneck {:.1}%",
+        r.f_work,
+        r.g_overhead,
+        r.h_overhead,
+        r.efficiency,
+        100.0 * r.bottleneck_utilization()
+    );
+}
+
+fn cmd_measure(flags: HashMap<String, String>) {
+    let kind = model_of(&flags);
+    let case = match get(&flags, "case", 1u32) {
+        1 => CaseId::NetworkSize,
+        2 => CaseId::ServiceRate,
+        3 => CaseId::Estimators,
+        4 => CaseId::Lp,
+        other => {
+            eprintln!("--case must be 1..4, got {other}");
+            exit(2);
+        }
+    };
+    let preset = if flags.contains_key("paper") {
+        Preset::Paper
+    } else {
+        Preset::Quick
+    };
+    let kmax = get(&flags, "kmax", 6u32).max(1);
+    let opts = MeasureOptions {
+        ks: (1..=kmax).collect(),
+        preset,
+        anneal: AnnealConfig {
+            iterations: get(&flags, "iters", 40usize),
+            ..AnnealConfig::default()
+        },
+        seed: get(&flags, "seed", 0x15_0EFFu64),
+        replications: get(&flags, "replications", 1usize),
+        ..MeasureOptions::default()
+    };
+    let curve = measure_rms(kind, case, &opts);
+    if flags.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&curve).unwrap());
+        return;
+    }
+    println!(
+        "{} — case {} ({:?}), E0 = {:.3}",
+        kind.name(),
+        case.number(),
+        preset,
+        curve.e0
+    );
+    println!("{:>3} {:>12} {:>8} {:>8} {:>7} {:>5}", "k", "G(k)", "g(k)", "f(k)", "E", "band");
+    for (p, n) in curve.points.iter().zip(curve.normalized()) {
+        println!(
+            "{:>3} {:>12.4e} {:>8.2} {:>8.2} {:>7.3} {:>5}",
+            p.k,
+            p.g,
+            n.g,
+            n.f,
+            p.efficiency,
+            if p.feasible { "in" } else { "OUT" }
+        );
+    }
+    let v = curve.verdict();
+    println!(
+        "Eq.(2) margins: {:?}",
+        v.margins
+            .iter()
+            .map(|(k, m)| format!("k={k}:{m:+.2}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "scalable through k = {}",
+        v.scalable_through
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+}
+
+fn cmd_trace(flags: HashMap<String, String>) {
+    let cfg = WorkloadConfig {
+        arrival_rate: get(&flags, "rate", 0.05),
+        duration: SimTime::from_ticks(get(&flags, "duration", 20_000u64)),
+        submit_points: get(&flags, "points", 1u32),
+        ..WorkloadConfig::default()
+    };
+    let mut rng = SimRng::new(get(&flags, "seed", 7u64));
+    let trace = gridscale::workload::generate(&cfg, &mut rng);
+    if flags.contains_key("swf") {
+        print!("{}", gridscale::workload::to_swf(&trace, 1.0));
+        return;
+    }
+    let s = trace.summary(SimTime::from_ticks(700));
+    println!(
+        "{} jobs | {} LOCAL / {} REMOTE | mean demand {:.0} ticks | span {}",
+        s.count, s.local, s.remote, s.mean_demand, s.span
+    );
+}
+
+fn cmd_topo(flags: HashMap<String, String>) {
+    let nodes = get(&flags, "nodes", 300usize);
+    let mut rng = SimRng::new(get(&flags, "seed", 7u64));
+    let lp = generate::LinkParams::default();
+    let kind = flags.get("kind").map(String::as_str).unwrap_or("ba");
+    let g = match kind {
+        "ba" => generate::barabasi_albert(nodes, 2, lp, &mut rng),
+        "waxman" => generate::waxman(nodes, 0.25, 0.4, lp, &mut rng),
+        "ts" => {
+            // Same shape ratios the simulator uses: ~10% transit, stubs of 8.
+            let transits = (nodes / 64).max(1);
+            let spt = ((nodes.saturating_sub(transits * 4)) / (transits * 8)).max(1);
+            generate::transit_stub(transits, 4, spt, 8, lp, &mut rng)
+        }
+        other => {
+            eprintln!("--kind must be ba|waxman|ts, got {other}");
+            exit(2);
+        }
+    };
+    let m = gridscale::topology::metrics::analyze(&g, None);
+    println!("{}", serde_json::to_string_pretty(&m).unwrap());
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: gridscale <run|measure|trace|topo|models> [flags]");
+        exit(2);
+    }
+    let cmd = args.remove(0);
+    let flags = parse_flags(&args);
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "measure" => cmd_measure(flags),
+        "trace" => cmd_trace(flags),
+        "topo" => cmd_topo(flags),
+        "models" => cmd_models(),
+        other => {
+            eprintln!("unknown command {other}");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! # gridscale
+//!
+//! A reproduction of **“Measuring Scalability of Resource Management
+//! Systems”** (A. Mitra, M. Maheswaran, S. Ali — IPDPS 2005): an
+//! isoefficiency-based scalability metric for the resource-management
+//! component of managed distributed systems, evaluated by discrete-event
+//! simulation of seven Grid RMS models.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`desim`] | deterministic discrete-event simulation kernel |
+//! | [`topology`] | Internet-like topology generation + link-state routing |
+//! | [`workload`] | synthetic moldable supercomputer workloads |
+//! | [`gridsim`] | the managed-Grid model (resources, schedulers, estimators) |
+//! | [`rms`] | the seven RMS policies (CENTRAL, LOWEST, …, Sy-I) |
+//! | [`core`] | the scalability metric and measurement procedure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridscale::prelude::*;
+//!
+//! // A small Grid: 60 nodes, 5 scheduler clusters, default workload.
+//! let cfg = GridConfig {
+//!     nodes: 60,
+//!     schedulers: 5,
+//!     workload: WorkloadConfig {
+//!         arrival_rate: 0.02,
+//!         duration: SimTime::from_ticks(10_000),
+//!         ..WorkloadConfig::default()
+//!     },
+//!     ..GridConfig::default()
+//! };
+//!
+//! // Run the LOWEST policy (Zhou's random-polling load balancer).
+//! let mut policy = RmsKind::Lowest.build();
+//! let report = run_simulation(&cfg, policy.as_mut());
+//! assert!(report.completed > 0);
+//! assert!(report.efficiency > 0.0 && report.efficiency < 1.0);
+//! ```
+//!
+//! ## Measuring scalability
+//!
+//! The paper's four-step procedure is one call:
+//!
+//! ```no_run
+//! use gridscale::prelude::*;
+//!
+//! let opts = MeasureOptions::default();                  // k = 1..6
+//! let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &opts);
+//! println!("G(k) slopes: {:?}", curve.g_slopes());       // the metric
+//! println!("verdict: {:?}", curve.verdict().scalable_through);
+//! ```
+
+pub use gridscale_core as core;
+pub use gridscale_desim as desim;
+pub use gridscale_gridsim as gridsim;
+pub use gridscale_rms as rms;
+pub use gridscale_topology as topology;
+pub use gridscale_workload as workload;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use gridscale_core::jogalekar::ProductivityModel;
+    pub use gridscale_core::sensitivity::{cost_sensitivity, verdict_stability};
+    pub use gridscale_core::{
+        anneal, config_for, measure_all, measure_rms, resolve_e0, tune_point, AnnealConfig,
+        CaseId, CurvePoint, E0Mode, IsoefficiencyModel, MeasureOptions, Preset, ScalabilityCurve,
+        ScalabilityVerdict,
+    };
+    pub use gridscale_desim::{SimRng, SimTime};
+    pub use gridscale_gridsim::{
+        run_simulation, Ctx, Enablers, GridConfig, OverheadCosts, Policy, SimReport, SimTemplate,
+        Thresholds, Timeline, TopologySpec,
+    };
+    pub use gridscale_rms::RmsKind;
+    pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};
+    pub use gridscale_workload::{
+        analyze_trace, DependencyGraph, ExecTimeModel, Job, JobClass, JobTrace, TraceStats,
+        WorkloadConfig,
+    };
+}

@@ -1,0 +1,134 @@
+//! Cross-crate end-to-end tests: the full pipeline from topology through
+//! the measurement procedure.
+
+use gridscale::prelude::*;
+
+fn smoke_opts(ks: Vec<u32>) -> MeasureOptions {
+    MeasureOptions {
+        ks,
+        anneal: AnnealConfig {
+            iterations: 6,
+            ..AnnealConfig::default()
+        },
+        duration_override: Some(SimTime::from_ticks(10_000)),
+        drain_override: Some(SimTime::from_ticks(10_000)),
+        threads: 2,
+        ..MeasureOptions::default()
+    }
+}
+
+#[test]
+fn full_procedure_for_every_model_and_case() {
+    // Every (model, case) pair completes the four-step procedure and
+    // produces internally consistent points.
+    for case in CaseId::ALL {
+        for kind in [RmsKind::Central, RmsKind::Auction, RmsKind::Symmetric] {
+            let curve = measure_rms(kind, case, &smoke_opts(vec![1, 2]));
+            assert_eq!(curve.points.len(), 2, "{kind} {case:?}");
+            for p in &curve.points {
+                assert!(p.g > 0.0 && p.f > 0.0, "{kind} {case:?} k={}", p.k);
+                assert!(
+                    (0.0..=1.0).contains(&p.efficiency),
+                    "{kind} {case:?}: E = {}",
+                    p.efficiency
+                );
+                assert_eq!(
+                    p.report.jobs_total,
+                    p.report.completed + p.report.unfinished,
+                    "job conservation"
+                );
+            }
+            // E0 was resolved from the base point, so the base point should
+            // be close to it (same config, default-adjacent enablers).
+            assert!(curve.e0 > 0.0 && curve.e0 < 1.0);
+        }
+    }
+}
+
+#[test]
+fn auto_base_e0_differs_per_model() {
+    let opts = smoke_opts(vec![1]);
+    let e_central = resolve_e0(RmsKind::Central, CaseId::NetworkSize, &opts);
+    let e_auction = resolve_e0(RmsKind::Auction, CaseId::NetworkSize, &opts);
+    // CENTRAL spends far less on coordination than AUCTION at base scale.
+    assert!(
+        e_central > e_auction,
+        "CENTRAL E0 {e_central} should exceed AUCTION E0 {e_auction}"
+    );
+}
+
+#[test]
+fn fixed_e0_mode_uses_the_requested_target() {
+    let mut opts = smoke_opts(vec![1]);
+    opts.e0_mode = E0Mode::Fixed;
+    opts.e0 = 0.40;
+    let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &opts);
+    assert_eq!(curve.e0, 0.40);
+}
+
+#[test]
+fn workload_scales_with_k_in_every_case() {
+    // "For all experiments the workload was scaled in the same proportion
+    // as the scaling variable."
+    for case in CaseId::ALL {
+        let c1 = config_for(RmsKind::Lowest, case, 1, Preset::Quick, 3);
+        let c4 = config_for(RmsKind::Lowest, case, 4, Preset::Quick, 3);
+        let ratio = c4.workload.arrival_rate / c1.workload.arrival_rate;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "{case:?}: workload ratio {ratio} not ∝ k"
+        );
+    }
+}
+
+#[test]
+fn isoefficiency_constants_close_the_loop() {
+    // Build a model from a real measured base point and verify that the
+    // raw-unit identity E = F/(F+G+H) and the normalized Eq.(1) agree.
+    let opts = smoke_opts(vec![1, 2]);
+    let curve = measure_rms(RmsKind::Lowest, CaseId::ServiceRate, &opts);
+    let base = &curve.points[0];
+    let e_direct = IsoefficiencyModel::efficiency(base.f, base.g, base.h);
+    assert!((e_direct - base.efficiency).abs() < 1e-9);
+
+    let model = IsoefficiencyModel::new(base.efficiency.clamp(0.01, 0.99), base.f, base.g, base.h);
+    let p = model.normalize(1.0, base.f, base.g, base.h);
+    assert!(
+        model.eq1_residual(&p).abs() < 1e-6,
+        "base point must satisfy Eq.(1) exactly: residual {}",
+        model.eq1_residual(&p)
+    );
+}
+
+#[test]
+fn template_reuse_equals_fresh_runs() {
+    // The annealer's template optimization must not change results.
+    let cfg = config_for(RmsKind::SenderInit, CaseId::NetworkSize, 2, Preset::Quick, 5);
+    let template = SimTemplate::new(&cfg);
+    let mut p1 = RmsKind::SenderInit.build();
+    let via_template = template.run(cfg.enablers, p1.as_mut());
+    let mut p2 = RmsKind::SenderInit.build();
+    let fresh = run_simulation(&cfg, p2.as_mut());
+    assert_eq!(via_template.f_work, fresh.f_work);
+    assert_eq!(via_template.g_overhead, fresh.g_overhead);
+    assert_eq!(via_template.completed, fresh.completed);
+}
+
+#[test]
+fn grid_roles_consistent_with_config() {
+    use gridscale::topology::NodeRole;
+    let cfg = config_for(RmsKind::Lowest, CaseId::Estimators, 2, Preset::Quick, 9);
+    let rng = &mut SimRng::new(cfg.seed).fork(1);
+    let g = generate::barabasi_albert(cfg.nodes, 2, generate::LinkParams::default(), rng);
+    let rt = RoutingTable::build(&g);
+    let map = GridMap::build(&g, &rt, cfg.schedulers, cfg.estimators, cfg.resource_fraction);
+    assert_eq!(map.schedulers().len(), cfg.schedulers);
+    assert_eq!(map.estimators().len(), cfg.estimators);
+    let mut role_counts = 0;
+    for v in g.nodes() {
+        if matches!(map.role(v), NodeRole::Scheduler | NodeRole::Estimator) {
+            role_counts += 1;
+        }
+    }
+    assert_eq!(role_counts, cfg.schedulers + cfg.estimators);
+}

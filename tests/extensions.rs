@@ -1,0 +1,139 @@
+//! Facade-level tests of the extensions: everything reachable through
+//! `gridscale::prelude` works together.
+
+use gridscale::prelude::*;
+
+fn quick_opts() -> MeasureOptions {
+    MeasureOptions {
+        ks: vec![1, 2],
+        anneal: AnnealConfig {
+            iterations: 4,
+            ..AnnealConfig::default()
+        },
+        duration_override: Some(SimTime::from_ticks(8_000)),
+        drain_override: Some(SimTime::from_ticks(8_000)),
+        threads: 2,
+        ..MeasureOptions::default()
+    }
+}
+
+#[test]
+fn jogalekar_metric_evaluates_measured_curves() {
+    let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &quick_opts());
+    let jw = ProductivityModel::default();
+    let pts = jw.evaluate(&curve);
+    assert_eq!(pts.len(), curve.points.len());
+    assert!((pts[0].psi - 1.0).abs() < 1e-9, "base ψ is 1 by definition");
+    assert!(pts.iter().all(|p| p.productivity > 0.0));
+}
+
+#[test]
+fn extended_model_set_measures_like_the_paper_set() {
+    // The hierarchical extension goes through the same four-step
+    // procedure untouched.
+    let curve = measure_rms(RmsKind::Hierarchical, CaseId::NetworkSize, &quick_opts());
+    assert_eq!(curve.points.len(), 2);
+    assert!(curve.points.iter().all(|p| p.g > 0.0 && p.f > 0.0));
+}
+
+#[test]
+fn baseline_policies_run_under_the_facade() {
+    use gridscale::rms::{RandomPlacement, Threshold};
+    let cfg = GridConfig {
+        nodes: 60,
+        schedulers: 5,
+        workload: WorkloadConfig {
+            arrival_rate: 0.02,
+            duration: SimTime::from_ticks(10_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(15_000),
+        ..GridConfig::default()
+    };
+    let r = run_simulation(&cfg, &mut RandomPlacement);
+    assert!(r.completed > 0);
+    let t = run_simulation(&cfg, &mut Threshold::default());
+    assert!(t.completed > 0);
+}
+
+#[test]
+fn replications_tighten_the_final_measurement() {
+    let mut opts = quick_opts();
+    opts.replications = 3;
+    let curve = measure_rms(RmsKind::Central, CaseId::ServiceRate, &opts);
+    assert!(curve.points.iter().all(|p| p.replications == 3));
+    // Averaged F/G/H still satisfy the efficiency identity.
+    for p in &curve.points {
+        let e = IsoefficiencyModel::efficiency(p.f, p.g, p.h);
+        assert!((e - p.efficiency).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn cost_override_changes_measured_overhead() {
+    let base = measure_rms(RmsKind::Central, CaseId::NetworkSize, &quick_opts());
+    let mut heavy_opts = quick_opts();
+    let mut costs = OverheadCosts::default();
+    costs.decision_base *= 4.0;
+    heavy_opts.cost_override = Some(costs);
+    let heavy = measure_rms(RmsKind::Central, CaseId::NetworkSize, &heavy_opts);
+    assert!(
+        heavy.points[0].report.g_busy_raw > base.points[0].report.g_busy_raw,
+        "4x decision cost must raise raw RMS busy time"
+    );
+}
+
+#[test]
+fn sensitivity_summary_is_computable_end_to_end() {
+    let mut opts = quick_opts();
+    opts.anneal.iterations = 3;
+    let rows = cost_sensitivity(RmsKind::Lowest, CaseId::NetworkSize, &opts, &[2.0]);
+    assert!(rows.len() > 1);
+    let stability = verdict_stability(&rows);
+    assert!((0.0..=1.0).contains(&stability));
+}
+
+#[test]
+fn trace_analysis_via_facade() {
+    let cfg = WorkloadConfig {
+        arrival_rate: 0.05,
+        duration: SimTime::from_ticks(50_000),
+        ..WorkloadConfig::default()
+    };
+    let trace = gridscale::workload::generate(&cfg, &mut SimRng::new(5));
+    let stats: TraceStats = analyze_trace(&trace, SimTime::from_ticks(1_000));
+    assert!((stats.interarrival.cv - 1.0).abs() < 0.15, "Poisson CV");
+    assert!(stats.local_fraction > 0.4 && stats.local_fraction < 0.7);
+}
+
+#[test]
+fn dag_workloads_flow_through_measurement_configs() {
+    let mut cfg = config_for(RmsKind::Lowest, CaseId::NetworkSize, 1, Preset::Quick, 3);
+    cfg.workload.duration = SimTime::from_ticks(8_000);
+    cfg.drain = SimTime::from_ticks(10_000);
+    cfg.dag_edge_prob = 0.4;
+    let mut p = RmsKind::Lowest.build();
+    let r = run_simulation(&cfg, p.as_mut());
+    assert!(r.dag_deferred > 0);
+    assert!(r.h_overhead > 0.0);
+}
+
+#[test]
+fn timeline_is_accessible_from_prelude() {
+    let cfg = GridConfig {
+        nodes: 50,
+        schedulers: 4,
+        workload: WorkloadConfig {
+            arrival_rate: 0.02,
+            duration: SimTime::from_ticks(8_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(8_000),
+        ..GridConfig::default()
+    };
+    let template = SimTemplate::new(&cfg);
+    let mut p = RmsKind::Lowest.build();
+    let (_, tl): (SimReport, Timeline) =
+        template.run_with_timeline(cfg.enablers, p.as_mut(), 1_000);
+    assert!(!tl.is_empty());
+}

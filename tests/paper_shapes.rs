@@ -1,0 +1,135 @@
+//! Shape tests: the qualitative results the paper reports must emerge
+//! from the simulator at default enablers (no annealing — these run the
+//! raw configurations deterministically, so thresholds are stable).
+
+use gridscale::prelude::*;
+
+fn run(kind: RmsKind, case: CaseId, k: u32) -> SimReport {
+    let mut cfg = config_for(kind, case, k, Preset::Quick, 0xFEED);
+    // Trim horizons for test speed; shapes are scale-free enough.
+    cfg.workload.duration = SimTime::from_ticks(20_000);
+    cfg.drain = SimTime::from_ticks(20_000);
+    let mut policy = kind.build();
+    run_simulation(&cfg, policy.as_mut())
+}
+
+#[test]
+fn central_is_cheaper_than_polling_models_at_base() {
+    // Paper Fig. 2: "At base scale, k = 1, the distributed models all
+    // incur substantially large overhead than the CENTRAL model."
+    let central = run(RmsKind::Central, CaseId::NetworkSize, 1);
+    for kind in [
+        RmsKind::Lowest,
+        RmsKind::Auction,
+        RmsKind::SenderInit,
+        RmsKind::Symmetric,
+    ] {
+        let r = run(kind, CaseId::NetworkSize, 1);
+        assert!(
+            r.g_overhead > central.g_overhead,
+            "{kind}: G {:.3e} should exceed CENTRAL's {:.3e} at k=1",
+            r.g_overhead,
+            central.g_overhead
+        );
+    }
+}
+
+#[test]
+fn central_saturates_under_service_rate_scaling() {
+    // Paper Fig. 3: CENTRAL is fine at small k but "at k = 6 it is the
+    // least scalable RMS" — in our queueing model its single scheduler
+    // saturates outright while LOWEST's stay nearly idle.
+    let c1 = run(RmsKind::Central, CaseId::ServiceRate, 1);
+    let c6 = run(RmsKind::Central, CaseId::ServiceRate, 6);
+    let l6 = run(RmsKind::Lowest, CaseId::ServiceRate, 6);
+    assert!(
+        c6.bottleneck_utilization() > 0.85,
+        "CENTRAL k=6 bottleneck {:.2}",
+        c6.bottleneck_utilization()
+    );
+    assert!(
+        c1.bottleneck_utilization() < 0.5,
+        "CENTRAL k=1 is comfortable: {:.2}",
+        c1.bottleneck_utilization()
+    );
+    assert!(
+        l6.bottleneck_utilization() < 0.4,
+        "LOWEST never bottlenecks: {:.2}",
+        l6.bottleneck_utilization()
+    );
+    assert!(
+        c6.mean_response > 2.0 * c1.mean_response,
+        "saturation shows in response times ({:.0} vs {:.0})",
+        c6.mean_response,
+        c1.mean_response
+    );
+}
+
+#[test]
+fn central_overhead_grows_superlinearly_with_pool_size() {
+    // The per-candidate decision cost makes CENTRAL's per-job overhead
+    // grow with N, so G(k)/k must increase; LOWEST's clusters stay
+    // constant-size so its per-job overhead stays near-flat.
+    let c1 = run(RmsKind::Central, CaseId::NetworkSize, 1);
+    let c5 = run(RmsKind::Central, CaseId::NetworkSize, 5);
+    let central_ratio = (c5.g_overhead / c5.jobs_total as f64)
+        / (c1.g_overhead / c1.jobs_total as f64);
+    assert!(
+        central_ratio > 1.1,
+        "CENTRAL per-job G must grow with scale: ratio {central_ratio:.3}"
+    );
+}
+
+#[test]
+fn polling_traffic_scales_with_lp() {
+    // Paper Fig. 5: the PULL models' overhead is driven by L_p.
+    let l1 = run(RmsKind::Lowest, CaseId::Lp, 1);
+    let l5 = run(RmsKind::Lowest, CaseId::Lp, 5);
+    let per_job_1 = l1.policy_msgs as f64 / l1.jobs_total as f64;
+    let per_job_5 = l5.policy_msgs as f64 / l5.jobs_total as f64;
+    assert!(
+        per_job_5 > 3.0 * per_job_1,
+        "L_p=5 per-job poll traffic {per_job_5:.2} vs L_p=1 {per_job_1:.2}"
+    );
+}
+
+#[test]
+fn hybrids_volunteer_rather_than_poll_at_high_lp() {
+    // Sy-I's advertisement channel substitutes for polling: at the same
+    // high L_p its per-job policy traffic stays below S-I's pure polling.
+    let syi = run(RmsKind::Symmetric, CaseId::Lp, 5);
+    let si = run(RmsKind::SenderInit, CaseId::Lp, 5);
+    let per_syi = syi.policy_msgs as f64 / syi.jobs_total as f64;
+    let per_si = si.policy_msgs as f64 / si.jobs_total as f64;
+    assert!(
+        per_syi < per_si,
+        "Sy-I {per_syi:.2} should poll less than S-I {per_si:.2} at L_p=5"
+    );
+}
+
+#[test]
+fn throughput_rises_with_workload_until_capacity() {
+    // Paper Fig. 6 premise: under estimator scaling the workload grows ∝ k
+    // and throughput follows while the RP still has headroom.
+    let k1 = run(RmsKind::Lowest, CaseId::Estimators, 1);
+    let k4 = run(RmsKind::Lowest, CaseId::Estimators, 4);
+    assert!(
+        k4.throughput > 2.5 * k1.throughput,
+        "throughput {:.4} vs {:.4}",
+        k4.throughput,
+        k1.throughput
+    );
+}
+
+#[test]
+fn response_time_degrades_with_load_on_fixed_rp() {
+    // Paper Fig. 7: response times grow as the fixed RP fills up.
+    let k1 = run(RmsKind::Auction, CaseId::Estimators, 1);
+    let k6 = run(RmsKind::Auction, CaseId::Estimators, 6);
+    assert!(
+        k6.mean_response > k1.mean_response,
+        "{:.0} vs {:.0}",
+        k6.mean_response,
+        k1.mean_response
+    );
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the simulation stack.
+//!
+//! Rather than checking single configurations, these drive randomized
+//! small Grids through every policy and assert the invariants that must
+//! hold for *any* configuration: conservation of jobs, accounting
+//! consistency, efficiency bounds, and routing metrics.
+
+use gridscale::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small but varied grid + workload configuration.
+fn arb_config() -> impl Strategy<Value = GridConfig> {
+    (
+        30usize..90,           // nodes
+        1usize..6,             // schedulers
+        0usize..3,             // estimators
+        0.005f64..0.04,        // arrival rate
+        50u64..1200,           // update interval
+        1usize..5,             // neighborhood
+        any::<u64>(),          // seed
+    )
+        .prop_map(
+            |(nodes, schedulers, estimators, rate, tau, lp, seed)| GridConfig {
+                nodes,
+                schedulers,
+                estimators,
+                workload: WorkloadConfig {
+                    arrival_rate: rate,
+                    duration: SimTime::from_ticks(6_000),
+                    ..WorkloadConfig::default()
+                },
+                enablers: Enablers {
+                    update_interval: tau,
+                    neighborhood: lp,
+                    ..Enablers::default()
+                },
+                drain: SimTime::from_ticks(8_000),
+                seed,
+                ..GridConfig::default()
+            },
+        )
+        .prop_filter("RMS must fit in the network", |c| {
+            c.schedulers + c.estimators + 4 < c.nodes
+        })
+}
+
+/// Picks one of the seven policies from an index.
+fn kind_of(i: usize) -> RmsKind {
+    RmsKind::ALL[i % RmsKind::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn report_invariants_hold_for_any_config(cfg in arb_config(), ki in 0usize..7) {
+        let kind = kind_of(ki);
+        let mut policy = kind.build();
+        let r = run_simulation(&cfg, policy.as_mut());
+
+        // Job conservation.
+        prop_assert_eq!(r.jobs_total, r.completed + r.unfinished);
+        prop_assert_eq!(r.completed, r.succeeded + r.deadline_missed);
+
+        // Accounting sanity.
+        prop_assert!(r.f_work >= 0.0);
+        prop_assert!(r.g_overhead >= 0.0);
+        prop_assert!(r.h_overhead >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.efficiency), "E = {}", r.efficiency);
+        prop_assert!(r.g_busy_max_scheduler <= r.g_busy_raw + 1e-9);
+
+        // Useful work cannot exceed the total demand of succeeded jobs'
+        // upper bound (all trace demand).
+        prop_assert!(r.goodput <= r.throughput + 1e-12);
+
+        // Rates are consistent with counts.
+        let ht = r.horizon_ticks as f64;
+        prop_assert!((r.throughput - r.completed as f64 / ht).abs() < 1e-9);
+    }
+
+    #[test]
+    fn success_implies_completion_weighted_work(cfg in arb_config()) {
+        let mut policy = RmsKind::Lowest.build();
+        let r = run_simulation(&cfg, policy.as_mut());
+        if r.succeeded == 0 {
+            prop_assert_eq!(r.f_work, 0.0);
+        } else {
+            // Every successful job contributes at least 1 tick of demand.
+            prop_assert!(r.f_work >= r.succeeded as f64);
+        }
+    }
+
+    #[test]
+    fn efficiency_definition_is_internally_consistent(cfg in arb_config(), ki in 0usize..7) {
+        let mut policy = kind_of(ki).build();
+        let r = run_simulation(&cfg, policy.as_mut());
+        let expect = IsoefficiencyModel::efficiency(r.f_work, r.g_overhead, r.h_overhead);
+        prop_assert!((r.efficiency - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_is_metric_on_random_topologies(
+        n in 10usize..60,
+        seed in any::<u64>(),
+        ba in proptest::bool::ANY,
+    ) {
+        let lp = generate::LinkParams::default();
+        let mut rng = SimRng::new(seed);
+        let g = if ba && n > 3 {
+            generate::barabasi_albert(n, 2, lp, &mut rng)
+        } else {
+            generate::waxman(n, 0.3, 0.4, lp, &mut rng)
+        };
+        let rt = RoutingTable::build(&g);
+        // Connected generators ⇒ total reachability; symmetry; identity.
+        for s in 0..n as u32 {
+            prop_assert_eq!(rt.latency(s, s), Some(0));
+        }
+        let probes = [(0u32, (n - 1) as u32), (1u32.min(n as u32 - 1), (n / 2) as u32)];
+        for (a, b) in probes {
+            let ab = rt.latency(a, b);
+            let ba_lat = rt.latency(b, a);
+            prop_assert_eq!(ab, ba_lat, "undirected graph ⇒ symmetric metric");
+            prop_assert!(ab.is_some(), "generators produce connected graphs");
+            // Path endpoints and length agree with the tables.
+            let path = rt.path(a, b).unwrap();
+            prop_assert_eq!(path.first(), Some(&a));
+            prop_assert_eq!(path.last(), Some(&b));
+            prop_assert_eq!(path.len() as u16 - 1, rt.hops(a, b).unwrap());
+        }
+    }
+
+    #[test]
+    fn workload_respects_paper_restrictions(
+        rate in 0.005f64..0.1,
+        seed in any::<u64>(),
+        lo in 20.0f64..200.0,
+        spread in 2.0f64..40.0,
+    ) {
+        let cfg = WorkloadConfig {
+            arrival_rate: rate,
+            duration: SimTime::from_ticks(20_000),
+            exec_time: ExecTimeModel::LogUniform { lo, hi: lo * spread },
+            ..WorkloadConfig::default()
+        };
+        let trace = gridscale::workload::generate(&cfg, &mut SimRng::new(seed));
+        for j in trace.jobs() {
+            prop_assert_eq!(j.partition_size, 1);
+            prop_assert!(!j.cancelable);
+            prop_assert!(j.requested_time >= j.exec_time);
+            prop_assert!((2.0..=5.0).contains(&j.benefit_factor));
+            prop_assert!(j.arrival < cfg.duration);
+        }
+        // Sorted by arrival with dense ids.
+        let jobs = trace.jobs();
+        prop_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        prop_assert!(jobs.iter().enumerate().all(|(i, j)| j.id == i as u64));
+    }
+}
