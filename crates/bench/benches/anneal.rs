@@ -1,0 +1,143 @@
+//! Benchmarks of the parallel tuning stack: sequential vs batched
+//! speculative annealing (cheap and expensive objectives) and the packed
+//! single-integer heap key against a tuple-keyed baseline queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridscale_core::{anneal, anneal_batch, AnnealConfig, BatchAnnealConfig};
+use gridscale_desim::{EventQueue, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// A convex objective over a 1-D grid — negligible per-evaluation cost, so
+/// the bench isolates the annealer's own bookkeeping overhead.
+fn cheap_energy(x: &i64) -> f64 {
+    let d = (*x - 137) as f64;
+    d * d
+}
+
+/// The same landscape with an artificial compute load standing in for a
+/// full Grid simulation — the regime the speculative batch targets, where
+/// concurrent evaluation pays for the discarded speculation.
+fn expensive_energy(x: &i64) -> f64 {
+    let mut acc = (*x as f64).abs() + 1.0;
+    for i in 1..4_000u32 {
+        acc = (acc + i as f64).sqrt() + 1.0;
+    }
+    cheap_energy(x) + (acc - acc.floor()) * 1e-12
+}
+
+fn step(x: &i64, rng: &mut SimRng) -> i64 {
+    let d = if rng.chance(0.5) { 1 } else { -1 };
+    (x + d).clamp(0, 400)
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let base = AnnealConfig {
+        iterations: 256,
+        seed: 17,
+        ..AnnealConfig::default()
+    };
+
+    let mut g = c.benchmark_group("anneal/cheap_energy");
+    g.bench_function("sequential", |b| {
+        b.iter(|| anneal(black_box(390i64), step, cheap_energy, &base))
+    });
+    for &batch in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("batched", batch), &batch, |b, &batch| {
+            let cfg = BatchAnnealConfig {
+                base,
+                batch,
+                threads: 1,
+            };
+            b.iter(|| anneal_batch(black_box(&[390i64]), step, cheap_energy, &cfg))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("anneal/expensive_energy");
+    g.sample_size(20);
+    g.bench_function("sequential", |b| {
+        b.iter(|| anneal(black_box(390i64), step, expensive_energy, &base))
+    });
+    for &(batch, threads) in &[(4usize, 1usize), (4, 4), (8, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("batched", format!("b{batch}t{threads}")),
+            &(batch, threads),
+            |b, &(batch, threads)| {
+                let cfg = BatchAnnealConfig {
+                    base,
+                    batch,
+                    threads,
+                };
+                b.iter(|| anneal_batch(black_box(&[390i64]), step, expensive_energy, &cfg))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Reference queue with the pre-optimization representation: a `(time,
+/// seq)` tuple key compared lexicographically — what `EventQueue` used
+/// before packing both into one `u128`.
+struct TupleKeyQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    next_seq: u64,
+}
+
+impl TupleKeyQueue {
+    fn new(cap: usize) -> Self {
+        TupleKeyQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: u64, event: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, event)));
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        self.heap.pop().map(|Reverse((_, _, e))| e)
+    }
+}
+
+fn bench_queue_keys(c: &mut Criterion) {
+    const N: usize = 50_000;
+    let mut rng = SimRng::new(5);
+    let times: Vec<u64> = (0..N).map(|_| rng.int_range(0, 1_000_000)).collect();
+
+    let mut g = c.benchmark_group("desim/queue_key");
+    g.bench_function("packed_u128", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(N);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ticks(t), i as u32);
+            }
+            let mut sum = 0u64;
+            while let Some(ev) = q.pop() {
+                sum = sum.wrapping_add(ev.event as u64);
+            }
+            black_box(sum)
+        })
+    });
+    g.bench_function("tuple_baseline", |b| {
+        b.iter(|| {
+            let mut q = TupleKeyQueue::new(N);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i as u32);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e as u64);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_anneal, bench_queue_keys);
+criterion_main!(benches);

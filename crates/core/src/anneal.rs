@@ -5,9 +5,12 @@
 //! overhead `G(k)` is minimum at scale factor `k`" (citing van Laarhoven
 //! \[2\], Ingber \[12\], Bilbro & Snyder \[5\]). This module implements the
 //! classic Metropolis/geometric-cooling variant over an abstract discrete
-//! state space; `measure` instantiates it with enabler grids and a
-//! penalized overhead objective.
+//! state space — plus a *batched speculative* variant ([`anneal_batch`])
+//! that evaluates several proposals concurrently per temperature round —
+//! and `measure` instantiates them with enabler grids and a penalized
+//! overhead objective.
 
+use crate::sweep::EnergyPool;
 use gridscale_desim::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -38,6 +41,32 @@ impl Default for AnnealConfig {
     }
 }
 
+/// Hyper-parameters of the batched speculative annealer.
+///
+/// `batch = 1, threads = 1` is the degenerate case that walks the exact
+/// same kind of sequential Metropolis chain as [`anneal`]; larger batches
+/// speculate that upcoming proposals will be rejected (overwhelmingly the
+/// common case once the chain cools) and evaluate them concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchAnnealConfig {
+    /// The sequential-chain hyper-parameters (budget, cooling, seed).
+    pub base: AnnealConfig,
+    /// Speculative proposals per temperature round.
+    pub batch: usize,
+    /// Worker threads for concurrent energy evaluation.
+    pub threads: usize,
+}
+
+impl Default for BatchAnnealConfig {
+    fn default() -> Self {
+        BatchAnnealConfig {
+            base: AnnealConfig::default(),
+            batch: 4,
+            threads: 1,
+        }
+    }
+}
+
 /// Outcome of one annealing run.
 #[derive(Debug, Clone)]
 pub struct AnnealResult<S> {
@@ -50,6 +79,18 @@ pub struct AnnealResult<S> {
     pub evaluations: usize,
     /// Energy trajectory of accepted states, for convergence diagnostics.
     pub trajectory: Vec<f64>,
+    /// Cumulative candidates consumed (including the initial state) at the
+    /// moment each `trajectory` entry was accepted — so diagnostics see the
+    /// true cost of each improvement, rejected proposals included.
+    pub trajectory_evals: Vec<usize>,
+    /// Proposals the Metropolis rule rejected.
+    pub rejected: usize,
+    /// Sequential evaluation rounds executed. [`anneal`] performs one round
+    /// per candidate (`rounds == iterations`); [`anneal_batch`] evaluates up
+    /// to `batch` candidates per round, so `rounds` — the wall-clock-
+    /// critical quantity when one evaluation is a full simulation — shrinks
+    /// by up to the batch factor.
+    pub rounds: usize,
 }
 
 /// Minimizes `energy` over the state graph induced by `neighbor`, starting
@@ -86,9 +127,11 @@ where
     let mut best = current.clone();
     let mut best_e = current_e;
     let mut trajectory = vec![current_e];
+    let mut trajectory_evals = vec![1];
+    let mut rejected = 0usize;
     let mut temp = cfg.t0_fraction * current_e.abs().max(1e-9);
 
-    for _ in 1..cfg.iterations {
+    for i in 1..cfg.iterations {
         let cand = neighbor(&current, &mut rng);
         let cand_e = eval(&cand, &mut cache, &mut misses);
         let accept = cand_e <= current_e || {
@@ -99,10 +142,13 @@ where
             current = cand;
             current_e = cand_e;
             trajectory.push(current_e);
+            trajectory_evals.push(i + 1);
             if current_e < best_e {
                 best = current.clone();
                 best_e = current_e;
             }
+        } else {
+            rejected += 1;
         }
         temp *= cfg.cooling;
     }
@@ -112,6 +158,152 @@ where
         best_energy: best_e,
         evaluations: misses,
         trajectory,
+        trajectory_evals,
+        rejected,
+        rounds: cfg.iterations,
+    }
+}
+
+/// Batched speculative annealing: at each temperature round, propose up to
+/// `cfg.batch` neighbor candidates of the current state (each from its own
+/// deterministic RNG fork), evaluate the distinct un-memoized ones
+/// **concurrently** on an [`EnergyPool`], then apply the Metropolis rule
+/// sequentially over the batch in proposal order. The first accepted
+/// candidate becomes the new current state and the rest of the round's
+/// speculation is discarded (their energies stay memoized, so re-proposing
+/// them later is free).
+///
+/// `inits` seeds the chain with one or more starting states — the cross-
+/// scale warm-start hook: pass `[default_start, warm_start]` and the chain
+/// begins from whichever is better, while `best` covers both. At least one
+/// init is required.
+///
+/// Determinism contract: for fixed `(inits, cfg.base.seed, cfg.batch)` the
+/// result is bit-identical regardless of `cfg.threads`, because proposals
+/// and acceptance decisions are made on the sequential control thread and
+/// `energy` must be a pure function. The budget `cfg.base.iterations`
+/// bounds consumed candidates (speculative evaluations discarded by an
+/// early acceptance are charged to the round that issued them).
+pub fn anneal_batch<S, N, E>(
+    inits: &[S],
+    mut neighbor: N,
+    energy: E,
+    cfg: &BatchAnnealConfig,
+) -> AnnealResult<S>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    N: FnMut(&S, &mut SimRng) -> S,
+    E: Fn(&S) -> f64 + Sync,
+{
+    assert!(!inits.is_empty(), "need at least one initial state");
+    assert!(cfg.base.iterations >= 1);
+    assert!(cfg.base.cooling > 0.0 && cfg.base.cooling < 1.0);
+    assert!(cfg.batch >= 1);
+    let batch = cfg.batch;
+    let pool = EnergyPool::new(cfg.threads);
+    let root = SimRng::new(cfg.base.seed);
+
+    let mut cache: HashMap<S, f64> = HashMap::new();
+    let mut misses = 0usize;
+
+    // Evaluates every state in `states` not yet memoized, concurrently,
+    // and memoizes the results. Duplicate proposals within one round are
+    // deduplicated before hitting the pool.
+    let ensure_cached = |states: &[S], cache: &mut HashMap<S, f64>, misses: &mut usize| {
+        let mut missing: Vec<S> = Vec::new();
+        for s in states {
+            if !cache.contains_key(s) && !missing.contains(s) {
+                missing.push(s.clone());
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let energies = pool.map(&missing, |s| energy(s));
+        *misses += missing.len();
+        for (s, e) in missing.into_iter().zip(energies) {
+            cache.insert(s, e);
+        }
+    };
+
+    // Round 0: evaluate all seeds concurrently; the chain starts from the
+    // best of them (ties favor the earliest, i.e. the canonical start).
+    ensure_cached(inits, &mut cache, &mut misses);
+    let mut current = inits[0].clone();
+    let mut current_e = cache[&current];
+    for s in &inits[1..] {
+        let e = cache[s];
+        if e < current_e {
+            current = s.clone();
+            current_e = e;
+        }
+    }
+    let mut best = current.clone();
+    let mut best_e = current_e;
+    let mut consumed = inits.len();
+    let mut rounds = 1usize;
+    let mut rejected = 0usize;
+    let mut trajectory = vec![current_e];
+    let mut trajectory_evals = vec![consumed];
+    let mut temp = cfg.base.t0_fraction * current_e.abs().max(1e-9);
+    // Global proposal-slot counter: slot `i` always forks RNG stream `i`
+    // from the root, so the chain is a pure function of (inits, seed,
+    // batch) no matter how rounds shake out.
+    let mut slot: u64 = 0;
+
+    while consumed < cfg.base.iterations {
+        let b = batch.min(cfg.base.iterations - consumed);
+        // Speculative proposal phase: all `b` candidates step from the
+        // *same* current state (the speculation is that the earlier ones
+        // get rejected).
+        let mut cands: Vec<S> = Vec::with_capacity(b);
+        let mut rngs: Vec<SimRng> = Vec::with_capacity(b);
+        for j in 0..b {
+            let mut r = root.fork(slot + j as u64);
+            cands.push(neighbor(&current, &mut r));
+            rngs.push(r);
+        }
+        ensure_cached(&cands, &mut cache, &mut misses);
+        // Decision phase: sequential Metropolis scan in proposal order.
+        // Candidate j sees the temperature it would have seen in a
+        // sequential chain, `temp · cooling^j`.
+        let mut t_j = temp;
+        for (j, (cand, rng)) in cands.iter().zip(rngs.iter_mut()).enumerate() {
+            let cand_e = cache[cand];
+            let accept = cand_e <= current_e || {
+                let p = ((current_e - cand_e) / t_j.max(1e-12)).exp();
+                rng.chance(p)
+            };
+            if accept {
+                current = cand.clone();
+                current_e = cand_e;
+                trajectory.push(current_e);
+                trajectory_evals.push(consumed + j + 1);
+                if current_e < best_e {
+                    best = current.clone();
+                    best_e = current_e;
+                }
+                break;
+            }
+            rejected += 1;
+            t_j *= cfg.base.cooling;
+        }
+        // The whole round is charged to the budget and the cooling
+        // schedule, whether or not the speculation tail was used.
+        consumed += b;
+        temp *= cfg.base.cooling.powi(b as i32);
+        slot += b as u64;
+        rounds += 1;
+    }
+
+    AnnealResult {
+        best,
+        best_energy: best_e,
+        evaluations: misses,
+        trajectory,
+        trajectory_evals,
+        rejected,
+        rounds,
     }
 }
 
@@ -183,7 +375,9 @@ mod tests {
         let b = anneal(90i64, step, quadratic, &cfg);
         assert_eq!(a.best, b.best);
         assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.trajectory_evals, b.trajectory_evals);
         assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.rejected, b.rejected);
     }
 
     #[test]
@@ -226,5 +420,136 @@ mod tests {
         let r = anneal(42i64, step, quadratic, &cfg);
         assert_eq!(r.best, 42);
         assert_eq!(r.evaluations, 1);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.rejected, 0);
+    }
+
+    #[test]
+    fn rejected_plus_accepted_accounts_for_every_candidate() {
+        let cfg = AnnealConfig {
+            iterations: 300,
+            ..AnnealConfig::default()
+        };
+        let r = anneal(90i64, step, quadratic, &cfg);
+        // Every non-initial candidate is either accepted (one trajectory
+        // entry each) or rejected.
+        assert_eq!(
+            (r.trajectory.len() - 1) + r.rejected,
+            cfg.iterations - 1,
+            "candidate accounting"
+        );
+        assert_eq!(r.trajectory.len(), r.trajectory_evals.len());
+        assert!(
+            r.trajectory_evals.windows(2).all(|w| w[0] < w[1]),
+            "evaluation counts at accepted steps strictly increase"
+        );
+        assert!(*r.trajectory_evals.last().unwrap() <= cfg.iterations);
+    }
+
+    // ---- batched speculative annealer ----
+
+    fn batch_cfg(batch: usize, threads: usize, iterations: usize, seed: u64) -> BatchAnnealConfig {
+        BatchAnnealConfig {
+            base: AnnealConfig {
+                iterations,
+                seed,
+                ..AnnealConfig::default()
+            },
+            batch,
+            threads,
+        }
+    }
+
+    #[test]
+    fn batched_finds_global_minimum_of_convex_landscape() {
+        let cfg = batch_cfg(4, 2, 400, 0x5EED);
+        let r = anneal_batch(&[90i64], step, quadratic, &cfg);
+        assert_eq!(r.best, 37, "energy {}", r.best_energy);
+        assert_eq!(r.best_energy, 0.0);
+    }
+
+    #[test]
+    fn batched_is_thread_invariant_bit_for_bit() {
+        for batch in [1usize, 2, 4, 7] {
+            let a = anneal_batch(&[90i64], step, quadratic, &batch_cfg(batch, 1, 200, 7));
+            let b = anneal_batch(&[90i64], step, quadratic, &batch_cfg(batch, 8, 200, 7));
+            assert_eq!(a.best, b.best, "batch={batch}");
+            assert_eq!(a.best_energy, b.best_energy);
+            assert_eq!(a.trajectory, b.trajectory);
+            assert_eq!(a.trajectory_evals, b.trajectory_evals);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn batched_rerun_is_bit_identical() {
+        let cfg = batch_cfg(4, 4, 160, 99);
+        let a = anneal_batch(&[80i64], step, quadratic, &cfg);
+        let b = anneal_batch(&[80i64], step, quadratic, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.trajectory_evals, b.trajectory_evals);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn batching_shrinks_sequential_rounds() {
+        let seq = anneal_batch(&[90i64], step, quadratic, &batch_cfg(1, 1, 100, 3));
+        let par = anneal_batch(&[90i64], step, quadratic, &batch_cfg(4, 4, 100, 3));
+        assert_eq!(seq.rounds, 100, "batch=1 rounds once per candidate");
+        assert!(
+            par.rounds <= 1 + 100usize.div_ceil(4),
+            "batch=4 must compress rounds, got {}",
+            par.rounds
+        );
+        assert!(par.rounds < seq.rounds);
+    }
+
+    #[test]
+    fn multiple_inits_start_from_the_best_seed() {
+        // 90 is far from the optimum, 38 is adjacent: the chain must start
+        // at 38 and `best` must never exceed its energy.
+        let cfg = batch_cfg(2, 1, 12, 5);
+        let r = anneal_batch(&[90i64, 38], step, quadratic, &cfg);
+        assert!(r.best_energy <= quadratic(&38));
+        assert_eq!(r.trajectory[0], quadratic(&38), "chain starts at best seed");
+        assert_eq!(r.trajectory_evals[0], 2, "both seeds charged to budget");
+    }
+
+    #[test]
+    fn warm_start_never_worse_than_cold_within_same_budget() {
+        // The wave-schedule invariant `measure` relies on: seeding the
+        // chain with the cold run's best (plus the canonical start) can
+        // never end with a higher best energy.
+        for seed in 0..25u64 {
+            for &init in &[0i64, 55, 100] {
+                let cold = anneal_batch(&[init], step, quadratic, &batch_cfg(4, 2, 16, seed));
+                let warm = anneal_batch(
+                    &[init, cold.best],
+                    step,
+                    quadratic,
+                    &batch_cfg(4, 2, 16, seed),
+                );
+                assert!(
+                    warm.best_energy <= cold.best_energy,
+                    "seed {seed} init {init}: warm {} > cold {}",
+                    warm.best_energy,
+                    cold.best_energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_budget_accounting() {
+        let cfg = batch_cfg(4, 2, 18, 21);
+        let r = anneal_batch(&[90i64], step, quadratic, &cfg);
+        // 1 init + ceil(17/4) = 5 speculation rounds + the seed round.
+        assert_eq!(r.rounds, 1 + 17usize.div_ceil(4));
+        assert!(*r.trajectory_evals.last().unwrap() <= 18);
+        assert!(r.evaluations <= 18, "evaluations bounded by the budget");
     }
 }

@@ -33,12 +33,14 @@ pub mod scenario;
 pub mod sensitivity;
 pub mod sweep;
 
-pub use anneal::{anneal, AnnealConfig, AnnealResult};
+pub use anneal::{anneal, anneal_batch, AnnealConfig, AnnealResult, BatchAnnealConfig};
 pub use cases::{CaseId, EnablerSpace, ScalingCase};
 pub use efficiency::{IsoefficiencyModel, NormalizedPoint};
 pub use jogalekar::{ProductivityModel, PsiPoint};
 pub use measure::{
-    measure_all, measure_rms, resolve_e0, tune_point, CurvePoint, E0Mode, MeasureOptions,
-    ScalabilityCurve, ScalabilityVerdict,
+    measure_all, measure_all_with_bench, measure_rms, measure_rms_with_bench, resolve_e0,
+    tune_point, CurvePoint, E0Mode, MeasureOptions, PointBench, ScalabilityCurve,
+    ScalabilityVerdict, TuningBench,
 };
 pub use scenario::{config_for, expected_resources, Preset};
+pub use sweep::EnergyPool;

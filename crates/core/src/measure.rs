@@ -5,8 +5,16 @@
 //! 3. **Tune** the scaling enablers with simulated annealing so the
 //!    overall efficiency stays at `E0` while `G(k)` is minimized.
 //! 4. **Compute** the scalability of the RMS from the slope of `G(k)`.
+//!
+//! Step 3 — where every energy evaluation is a full Grid simulation — is
+//! the hot path of the whole repository. It is parallelized on two levels:
+//! batched speculative annealing ([`crate::anneal::anneal_batch`]) inside
+//! each point, and a *wave schedule* across points: every `(model, case)`
+//! tunes its scale factors in ascending-`k` order so each anneal can warm-
+//! start from the best enabler setting of the nearest smaller `k`, while
+//! the models of a wave run concurrently.
 
-use crate::anneal::{anneal, AnnealConfig};
+use crate::anneal::{anneal_batch, AnnealConfig, BatchAnnealConfig};
 use crate::cases::CaseId;
 use crate::efficiency::{slopes, IsoefficiencyModel, NormalizedPoint};
 use crate::scenario::{config_for, Preset};
@@ -14,7 +22,10 @@ use crate::sweep::{default_threads, parallel_map};
 use gridscale_desim::{SimRng, SimTime};
 use gridscale_gridsim::{Enablers, SimReport, SimTemplate};
 use gridscale_rms::RmsKind;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// How the target efficiency `E0` of Step 1 is chosen.
 ///
@@ -34,6 +45,14 @@ pub enum E0Mode {
     AutoBase,
 }
 
+fn default_batch() -> usize {
+    4
+}
+
+fn default_warm_start() -> bool {
+    true
+}
+
 /// Options controlling one measurement run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MeasureOptions {
@@ -50,6 +69,15 @@ pub struct MeasureOptions {
     pub preset: Preset,
     /// Annealing hyper-parameters (Step 3).
     pub anneal: AnnealConfig,
+    /// Speculative proposals evaluated concurrently per annealing round
+    /// (`1` = the classic sequential Metropolis chain).
+    #[serde(default = "default_batch")]
+    pub batch: usize,
+    /// Seed each point's anneal from the best enabler setting of the
+    /// nearest smaller `k` (cross-scale warm start). The warm seed rides
+    /// alongside the canonical start, so it can only improve the search.
+    #[serde(default = "default_warm_start")]
+    pub warm_start: bool,
     /// Master seed; every `(model, case, k)` point derives its own stream.
     pub seed: u64,
     /// Worker threads for the sweep (`0` = auto).
@@ -77,6 +105,8 @@ impl Default for MeasureOptions {
             ks: (1..=6).collect(),
             preset: Preset::Quick,
             anneal: AnnealConfig::default(),
+            batch: default_batch(),
+            warm_start: default_warm_start(),
             seed: 0x15_0EFF,
             threads: 0,
             duration_override: None,
@@ -110,6 +140,54 @@ pub struct CurvePoint {
     pub replications: usize,
     /// The full report of the first replicate at the chosen setting.
     pub report: SimReport,
+}
+
+/// Tuning-cost telemetry for one `(model, case, k)` point — the raw
+/// material of `BENCH_tuning.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointBench {
+    /// The RMS model tuned.
+    pub kind: RmsKind,
+    /// The scaling case.
+    pub case: CaseId,
+    /// Scale factor.
+    pub k: u32,
+    /// Wall-clock time of the whole point (template build + search +
+    /// replications), milliseconds.
+    pub wall_ms: f64,
+    /// Distinct enabler settings simulated by the search.
+    pub evaluations: usize,
+    /// Sequential evaluation rounds the search needed (each round runs up
+    /// to [`MeasureOptions::batch`] simulations concurrently).
+    pub rounds: usize,
+    /// The candidate budget the search was given
+    /// ([`AnnealConfig::iterations`]).
+    pub iterations_budget: usize,
+    /// Whether this point was warm-started from a smaller `k`.
+    pub warm_started: bool,
+    /// Best (penalized) energy found.
+    pub best_energy: f64,
+}
+
+/// Tuning telemetry for a whole measurement run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TuningBench {
+    /// One entry per tuned `(model, case, k)` point, in tuning order
+    /// (ascending-`k` waves, models in input order within each wave).
+    pub points: Vec<PointBench>,
+}
+
+impl TuningBench {
+    /// Total wall-clock milliseconds across all points (sum of per-point
+    /// times, i.e. CPU-ish cost — concurrent points overlap in real time).
+    pub fn total_wall_ms(&self) -> f64 {
+        self.points.iter().map(|p| p.wall_ms).sum()
+    }
+
+    /// Total distinct simulations run by the tuner.
+    pub fn total_evaluations(&self) -> usize {
+        self.points.iter().map(|p| p.evaluations).sum()
+    }
 }
 
 /// Scalability verdict per the paper's Eq. (2) condition.
@@ -239,27 +317,54 @@ pub fn resolve_e0(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> f64 {
     }
 }
 
+/// The full outcome of tuning one point: the measured curve point, the
+/// best enabler index (the warm seed for the next-larger `k`), and the
+/// tuning-cost telemetry.
+struct TunedPoint {
+    point: CurvePoint,
+    best_idx: [usize; 4],
+    bench: PointBench,
+}
+
 /// Tunes one `(model, case, k)` point: Step 3 of the procedure.
 ///
-/// Simulated annealing walks the case's enabler grid; the energy of a
-/// setting is its measured `G(k)`, inflated multiplicatively when the
+/// Batched speculative annealing walks the case's enabler grid; the energy
+/// of a setting is its measured `G(k)`, inflated multiplicatively when the
 /// measured efficiency leaves the `E0 ± tolerance` band — so feasible
 /// settings always dominate infeasible ones of similar overhead, while
 /// infeasible ones still rank by violation (needed when the band is
 /// unreachable, e.g. a saturated CENTRAL at large `k`).
-pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOptions) -> CurvePoint {
+///
+/// Every simulated setting's full report is memoized, and the winning
+/// setting's report is taken from that memo — the tuner never simulates
+/// the same `(point, enablers)` twice, including the final measurement.
+fn tune_point_inner(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    e0: f64,
+    warm: Option<[usize; 4]>,
+    threads: usize,
+    opts: &MeasureOptions,
+) -> TunedPoint {
+    let started = Instant::now();
     let seed = point_seed(opts.seed, kind, case, k);
     let cfg = point_config(kind, case, k, opts);
     let template = SimTemplate::new(&cfg);
     let space = case.case().enabler_space;
     let base_enablers = cfg.enablers;
 
+    // Every evaluation's full report is kept so the winner's measurement
+    // is a lookup, not a re-simulation.
+    let reports: Mutex<HashMap<[usize; 4], SimReport>> = Mutex::new(HashMap::new());
     let energy = |idx: &[usize; 4]| -> f64 {
         let enablers = space.realize(idx, &base_enablers);
         let mut policy = kind.build();
         let report = template.run(enablers, policy.as_mut());
         let violation = ((report.efficiency - e0).abs() - opts.tolerance).max(0.0);
-        report.g_overhead.max(1e-9) * (1.0 + 25.0 * violation / opts.tolerance)
+        let e = report.g_overhead.max(1e-9) * (1.0 + 25.0 * violation / opts.tolerance);
+        reports.lock().insert(*idx, report);
+        e
     };
 
     let neighbor = |idx: &[usize; 4], rng: &mut SimRng| -> [usize; 4] {
@@ -286,14 +391,29 @@ pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOp
 
     let mut acfg = opts.anneal;
     acfg.seed = seed ^ 0xA11EA1;
-    let result = anneal(space.start_index(&base_enablers), neighbor, energy, &acfg);
+    // The canonical start always seeds the chain; a warm start from the
+    // nearest smaller k rides alongside so it can only help.
+    let mut inits = vec![space.start_index(&base_enablers)];
+    if let Some(w) = warm {
+        if !inits.contains(&w) {
+            inits.push(w);
+        }
+    }
+    let bcfg = BatchAnnealConfig {
+        base: acfg,
+        batch: opts.batch.max(1),
+        threads: threads.max(1),
+    };
+    let result = anneal_batch(&inits, neighbor, energy, &bcfg);
 
-    // Re-run the winning setting to obtain its full report, replicated
-    // over independent topology/workload seeds when requested.
+    // The winning setting's report comes straight from the evaluation
+    // memo; only extra replications (distinct seeds) simulate again.
     assert!(opts.replications >= 1, "need at least one replication");
     let enablers = space.realize(&result.best, &base_enablers);
-    let mut policy = kind.build();
-    let report = template.run(enablers, policy.as_mut());
+    let report = reports
+        .into_inner()
+        .remove(&result.best)
+        .expect("the best state was evaluated during the search");
     let (mut g_sum, mut f_sum, mut h_sum) =
         (report.g_overhead, report.f_work, report.h_overhead);
     for i in 1..opts.replications {
@@ -310,77 +430,131 @@ pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOp
     let (g, f, h) = (g_sum / n, f_sum / n, h_sum / n);
     let efficiency = crate::efficiency::IsoefficiencyModel::efficiency(f, g, h);
     let feasible = (efficiency - e0).abs() <= opts.tolerance;
-    CurvePoint {
+    let bench = PointBench {
+        kind,
+        case,
         k,
-        g,
-        f,
-        h,
-        efficiency,
-        feasible,
-        enablers,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
         evaluations: result.evaluations,
-        replications: opts.replications,
-        report,
+        rounds: result.rounds,
+        iterations_budget: opts.anneal.iterations,
+        warm_started: warm.is_some(),
+        best_energy: result.best_energy,
+    };
+    TunedPoint {
+        point: CurvePoint {
+            k,
+            g,
+            f,
+            h,
+            efficiency,
+            feasible,
+            enablers,
+            evaluations: result.evaluations,
+            replications: opts.replications,
+            report,
+        },
+        best_idx: result.best,
+        bench,
     }
+}
+
+/// Tunes one `(model, case, k)` point in isolation (no warm start) — the
+/// single-point entry kept for ad-hoc probes and benchmarks; sweeps go
+/// through [`measure_rms`]/[`measure_all`], which add the cross-scale
+/// warm-start wave schedule.
+pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOptions) -> CurvePoint {
+    let threads = if opts.threads == 0 {
+        default_threads(opts.batch.max(1))
+    } else {
+        opts.threads
+    };
+    tune_point_inner(kind, case, k, e0, None, threads, opts).point
 }
 
 /// Measures the full scalability curve of one RMS model along one case —
-/// the complete four-step procedure. Points are tuned in parallel.
+/// the complete four-step procedure.
 pub fn measure_rms(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> ScalabilityCurve {
-    assert!(!opts.ks.is_empty(), "need at least one scale factor");
-    let threads = if opts.threads == 0 {
-        default_threads(opts.ks.len())
-    } else {
-        opts.threads
-    };
-    let e0 = resolve_e0(kind, case, opts);
-    let mut points = parallel_map(&opts.ks, threads, |&k| tune_point(kind, case, k, e0, opts));
-    points.sort_by_key(|p| p.k);
-    ScalabilityCurve {
-        kind,
-        case,
-        e0,
-        points,
-    }
+    measure_rms_with_bench(kind, case, opts).0
 }
 
-/// Measures several models along one case, parallelizing over every
-/// `(model, k)` point.
+/// [`measure_rms`] plus the per-point tuning telemetry.
+pub fn measure_rms_with_bench(
+    kind: RmsKind,
+    case: CaseId,
+    opts: &MeasureOptions,
+) -> (ScalabilityCurve, TuningBench) {
+    let (mut curves, bench) = measure_all_with_bench(&[kind], case, opts);
+    (curves.pop().expect("one model measured"), bench)
+}
+
+/// Measures several models along one case.
 pub fn measure_all(kinds: &[RmsKind], case: CaseId, opts: &MeasureOptions) -> Vec<ScalabilityCurve> {
+    measure_all_with_bench(kinds, case, opts).0
+}
+
+/// Measures several models along one case on the two-level schedule:
+/// ascending-`k` *waves* × models. Within a wave every model's point is
+/// tuned concurrently, and inside each point the batched annealer runs its
+/// speculative evaluations concurrently; across waves, each point warm-
+/// starts from the best enabler setting the same model found at the
+/// nearest smaller `k` (when [`MeasureOptions::warm_start`] is set).
+///
+/// Results are bit-identical for any `threads` setting at a fixed seed:
+/// waves are a sequential dependency chain, model order within a wave is
+/// the input order, and the annealer itself is thread-invariant.
+pub fn measure_all_with_bench(
+    kinds: &[RmsKind],
+    case: CaseId,
+    opts: &MeasureOptions,
+) -> (Vec<ScalabilityCurve>, TuningBench) {
+    assert!(!opts.ks.is_empty(), "need at least one scale factor");
     let threads = if opts.threads == 0 {
-        default_threads(kinds.len() * opts.ks.len())
+        default_threads(kinds.len().max(1) * opts.batch.max(1))
     } else {
         opts.threads
     };
+    // Split the worker budget across the two levels: models within a wave
+    // on the outside, speculative annealing batches on the inside.
+    let outer = threads.min(kinds.len().max(1)).max(1);
+    let inner = (threads / outer).max(1);
+
     // Step 1 per model (parallel): resolve each model's target efficiency.
-    let e0s = parallel_map(kinds, threads, |&kind| resolve_e0(kind, case, opts));
-    let jobs: Vec<(RmsKind, f64, u32)> = kinds
+    let e0s = parallel_map(kinds, threads.max(1), |&kind| resolve_e0(kind, case, opts));
+
+    // Ascending-k waves so warm seeds always come from a smaller scale.
+    let mut ks = opts.ks.clone();
+    ks.sort_unstable();
+
+    let mut curves: Vec<ScalabilityCurve> = kinds
         .iter()
         .zip(&e0s)
-        .flat_map(|(&kind, &e0)| opts.ks.iter().map(move |&k| (kind, e0, k)))
-        .collect();
-    let points = parallel_map(&jobs, threads, |&(kind, e0, k)| {
-        tune_point(kind, case, k, e0, opts)
-    });
-    kinds
-        .iter()
-        .zip(&e0s)
-        .map(|(&kind, &e0)| {
-            let mut pts: Vec<CurvePoint> = jobs
-                .iter()
-                .zip(points.iter())
-                .filter(|((jk, _, _), _)| *jk == kind)
-                .map(|(_, p)| p.clone())
-                .collect();
-            pts.sort_by_key(|p| p.k);
-            ScalabilityCurve {
-                kind,
-                case,
-                e0,
-                points: pts,
-            }
+        .map(|(&kind, &e0)| ScalabilityCurve {
+            kind,
+            case,
+            e0,
+            points: Vec::with_capacity(ks.len()),
         })
-        .collect()
+        .collect();
+    let mut warm: Vec<Option<[usize; 4]>> = vec![None; kinds.len()];
+    let mut bench = TuningBench::default();
+
+    let model_ids: Vec<usize> = (0..kinds.len()).collect();
+    for &k in &ks {
+        let tuned = parallel_map(&model_ids, outer, |&mi| {
+            tune_point_inner(kinds[mi], case, k, e0s[mi], warm[mi], inner, opts)
+        });
+        // Single pass, moving each point into its model's curve — grouping
+        // is O(points), no re-scans, no clones.
+        for (mi, t) in tuned.into_iter().enumerate() {
+            if opts.warm_start {
+                warm[mi] = Some(t.best_idx);
+            }
+            bench.points.push(t.bench);
+            curves[mi].points.push(t.point);
+        }
+    }
+    (curves, bench)
 }
 
 #[cfg(test)]
@@ -429,6 +603,21 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_curves() {
+        let mut seq = smoke_opts();
+        seq.threads = 1;
+        let mut par = smoke_opts();
+        par.threads = 8;
+        let a = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &seq);
+        let b = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &par);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "threads=1 and threads=8 must agree bit-for-bit"
+        );
+    }
+
+    #[test]
     fn curve_derivations_work() {
         let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts());
         let slopes = curve.g_slopes();
@@ -454,6 +643,38 @@ mod tests {
     }
 
     #[test]
+    fn bench_telemetry_tracks_every_point() {
+        let opts = smoke_opts();
+        let (curves, bench) = measure_all_with_bench(
+            &[RmsKind::Central, RmsKind::Lowest],
+            CaseId::NetworkSize,
+            &opts,
+        );
+        assert_eq!(bench.points.len(), 2 * opts.ks.len());
+        for pb in &bench.points {
+            assert!(pb.wall_ms >= 0.0);
+            assert!(pb.evaluations >= 1);
+            assert_eq!(pb.iterations_budget, opts.anneal.iterations);
+            assert!(
+                pb.rounds < pb.iterations_budget,
+                "batch={} must compress rounds below the budget ({} !< {})",
+                opts.batch,
+                pb.rounds,
+                pb.iterations_budget
+            );
+        }
+        // Waves: k=1 points are cold, k=2 points are warm-started.
+        assert!(bench.points.iter().filter(|p| p.k == 1).all(|p| !p.warm_started));
+        assert!(bench.points.iter().filter(|p| p.k == 2).all(|p| p.warm_started));
+        assert!(curves.iter().all(|c| c.points.len() == 2));
+        // Telemetry serializes (the CLI writes it to BENCH_tuning.json).
+        let s = serde_json::to_string(&bench).unwrap();
+        let back: TuningBench = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.points.len(), bench.points.len());
+        assert_eq!(back.total_evaluations(), bench.total_evaluations());
+    }
+
+    #[test]
     fn point_seeds_differ_across_identity() {
         let a = point_seed(1, RmsKind::Central, CaseId::NetworkSize, 1);
         let b = point_seed(1, RmsKind::Central, CaseId::NetworkSize, 2);
@@ -469,6 +690,19 @@ mod tests {
         let back: ScalabilityCurve = serde_json::from_str(&s).unwrap();
         assert_eq!(back.points.len(), curve.points.len());
         assert_eq!(back.points[0].g, curve.points[0].g);
+    }
+
+    #[test]
+    fn options_deserialize_without_new_fields() {
+        // Pre-wave-schedule option files (no batch/warm_start keys) still
+        // load, with the new knobs at their defaults.
+        let mut v = serde_json::to_value(MeasureOptions::default()).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("batch");
+        obj.remove("warm_start");
+        let opts: MeasureOptions = serde_json::from_value(v).unwrap();
+        assert_eq!(opts.batch, default_batch());
+        assert!(opts.warm_start);
     }
 }
 

@@ -52,6 +52,43 @@ where
         .collect()
 }
 
+/// A fixed-width evaluation pool for expensive, pure objective functions.
+///
+/// This is the concurrency handle the batched annealer holds: it pins the
+/// worker count once so every evaluation round uses the same width, and it
+/// guarantees input-order results (via [`parallel_map`]) so the caller's
+/// decision logic is independent of scheduling — the foundation of the
+/// `threads=1 ≡ threads=N` determinism contract.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyPool {
+    threads: usize,
+}
+
+impl EnergyPool {
+    /// Creates a pool with `threads` workers (`0` is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        EnergyPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f` over `items` concurrently, returning results in input
+    /// order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        parallel_map(items, self.threads, f)
+    }
+}
+
 /// A sensible worker count for sweeps: the machine's available parallelism
 /// capped at `cap`.
 pub fn default_threads(cap: usize) -> usize {
@@ -101,6 +138,18 @@ mod tests {
         let items: Vec<usize> = (0..500).collect();
         let out = parallel_map(&items, 16, |&x| x);
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn energy_pool_maps_in_order_and_clamps_width() {
+        let pool = EnergyPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let wide = EnergyPool::new(8);
+        let items: Vec<i64> = (0..40).collect();
+        assert_eq!(
+            wide.map(&items, |&x| x * 3),
+            items.iter().map(|x| x * 3).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Creates an engine around an existing queue — typically one recycled
+    /// via [`EventQueue::reset`] so its heap allocation survives across
+    /// runs. The clock and counters start from zero as in [`Engine::new`].
+    pub fn from_queue(queue: EventQueue<E>) -> Self {
+        Engine {
+            queue,
+            now: SimTime::ZERO,
+            processed: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Consumes the engine and returns its queue, so the caller can pool
+    /// the allocation for a later [`Engine::from_queue`].
+    pub fn into_queue(self) -> EventQueue<E> {
+        self.queue
+    }
+
     /// Caps the total number of events processed across the engine's
     /// lifetime. Exceeding the cap stops the run with
     /// [`RunOutcome::EventBudgetExhausted`] — a guard against models that
@@ -214,6 +232,22 @@ mod tests {
         e.queue_mut().schedule(SimTime::from_ticks(3), 1);
         e.run_to_completion(&mut w);
         assert_eq!(w.finished_at, Some(SimTime::from_ticks(3)));
+    }
+
+    #[test]
+    fn recycled_queue_runs_identically() {
+        let run = |mut e: Engine<u64>| -> (Vec<u64>, EventQueue<u64>) {
+            let mut w = world(false);
+            e.queue_mut().schedule(SimTime::from_ticks(5), 1);
+            e.queue_mut().schedule(SimTime::from_ticks(2), 0);
+            e.run_until(&mut w, SimTime::from_ticks(100));
+            (w.fired, e.into_queue())
+        };
+        let (fresh, q) = run(Engine::new());
+        let mut q = q;
+        q.reset();
+        let (recycled, _) = run(Engine::from_queue(q));
+        assert_eq!(fresh, recycled);
     }
 
     #[test]

@@ -17,13 +17,30 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-/// Heap entry ordered so that `BinaryHeap` (a max-heap) pops the *earliest*
-/// `(at, seq)` pair first.
-struct Entry<E>(ScheduledEvent<E>);
+/// Heap entry with `(at, seq)` packed into one `u128` so the hot heap
+/// sift compares a single integer instead of a lexicographic tuple.
+///
+/// `key = (at << 64) | seq`: because both halves are unsigned and occupy
+/// disjoint bit ranges, numeric order on `key` equals lexicographic order
+/// on `(at, seq)`.
+struct Entry<E> {
+    key: u128,
+    event: E,
+}
+
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.ticks() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack_at(key: u128) -> SimTime {
+    SimTime::from_ticks((key >> 64) as u64)
+}
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.at == other.0.at && self.0.seq == other.0.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -36,8 +53,8 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: smallest (at, seq) is the heap maximum.
-        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+        // Reversed: smallest key is the heap maximum.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -50,6 +67,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,6 +83,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             scheduled_total: 0,
+            peak_len: 0,
         }
     }
 
@@ -74,6 +93,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             scheduled_total: 0,
+            peak_len: 0,
         }
     }
 
@@ -82,17 +102,47 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry(ScheduledEvent { at, seq, event }));
+        self.heap.push(Entry {
+            key: pack(at, seq),
+            event,
+        });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
+    }
+
+    /// Schedules a batch of events, reserving capacity for all of them up
+    /// front. Delivery order within the batch follows iteration order (the
+    /// usual FIFO tie-break), exactly as if each was scheduled one by one.
+    pub fn schedule_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.heap.reserve(lower);
+        for (at, event) in events {
+            self.schedule(at, event);
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap.pop().map(|e| e.0)
+        self.heap.pop().map(|e| ScheduledEvent {
+            at: unpack_at(e.key),
+            seq: e.key as u64,
+            event: e.event,
+        })
     }
 
     /// The delivery time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.0.at)
+        self.heap.peek().map(|e| unpack_at(e.key))
     }
 
     /// Number of pending events.
@@ -110,9 +160,28 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// The largest number of simultaneously pending events seen so far —
+    /// the capacity a future run of the same model actually needs (a much
+    /// tighter pre-reserve hint than [`EventQueue::scheduled_total`]).
+    /// Survives [`EventQueue::reset`] so recycled queues keep the hint.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
     /// Drops all pending events (the schedule counter is retained).
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Empties the queue and resets the sequence and schedule counters,
+    /// retaining the heap allocation (and the [`EventQueue::peak_len`]
+    /// hint). This is the recycle entry point: a reset queue behaves
+    /// exactly like a freshly constructed one, so reusing allocations
+    /// across simulation runs cannot change results.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.scheduled_total = 0;
     }
 }
 
@@ -181,5 +250,77 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2, "clear keeps the lifetime counter");
+    }
+
+    #[test]
+    fn packed_key_preserves_extreme_times_and_seqs() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, "last");
+        q.schedule(t(0), "first");
+        q.schedule(t(u64::MAX - 1), "penultimate");
+        let a = q.pop().unwrap();
+        assert_eq!((a.at, a.event), (t(0), "first"));
+        let b = q.pop().unwrap();
+        assert_eq!((b.at, b.event), (t(u64::MAX - 1), "penultimate"));
+        let c = q.pop().unwrap();
+        assert_eq!((c.at, c.event), (SimTime::MAX, "last"));
+    }
+
+    #[test]
+    fn pop_reports_sequence_numbers() {
+        let mut q = EventQueue::new();
+        q.schedule(t(9), "x");
+        q.schedule(t(4), "y");
+        assert_eq!(q.pop().unwrap().seq, 1, "y was scheduled second");
+        assert_eq!(q.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let events = [(t(5), "e5"), (t(1), "e1"), (t(5), "e5b")];
+        for &(at, ev) in &events {
+            a.schedule(at, ev);
+        }
+        b.schedule_batch(events.iter().copied());
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (x, y) => {
+                    let x = x.expect("same length");
+                    let y = y.expect("same length");
+                    assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+                }
+            }
+        }
+        assert_eq!(b.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn reset_recycles_like_new() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(t(100 - i), i);
+        }
+        assert_eq!(q.peak_len(), 50);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.peak_len(), 50, "reset keeps the capacity hint");
+        // Behaves exactly like a fresh queue: seq restarts at zero.
+        q.schedule(t(3), 7u64);
+        let ev = q.pop().unwrap();
+        assert_eq!((ev.at, ev.seq, ev.event), (t(3), 0, 7u64));
+    }
+
+    #[test]
+    fn reserve_only_grows_capacity() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.reserve(128);
+        q.schedule(t(1), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, 1);
     }
 }

@@ -175,6 +175,12 @@ impl Accounting {
 pub struct SimTemplate {
     cfg: GridConfig,
     shared: std::sync::Arc<SharedWorld>,
+    /// Recycled event queues: runs return their (reset) queue here so the
+    /// next run reuses the heap allocation instead of growing a fresh one.
+    queue_pool: std::sync::Mutex<Vec<EventQueue<GridEvent>>>,
+    /// Peak queue length observed by completed runs — the pre-reserve hint
+    /// for the next run of this (structurally identical) world.
+    cap_hint: std::sync::atomic::AtomicUsize,
 }
 
 pub(crate) struct SharedWorld {
@@ -246,6 +252,8 @@ impl SimTemplate {
         SimTemplate {
             cfg: cfg.clone(),
             shared: std::sync::Arc::new(SharedWorld { rt, map, trace, dag }),
+            queue_pool: std::sync::Mutex::new(Vec::new()),
+            cap_hint: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -289,7 +297,19 @@ impl SimTemplate {
         cfg.validate().expect("invalid enablers");
         let mut core = SimCore::new(cfg, self.shared.clone());
         core.use_middleware = policy.uses_middleware();
-        let mut engine: Engine<GridEvent> = Engine::new().with_event_budget(EVENT_BUDGET);
+        // Check out a recycled queue (or make a fresh one) and pre-reserve
+        // the peak occupancy the previous run of this world observed, so
+        // the heap never regrows mid-simulation. A reset queue behaves
+        // exactly like a new one, keeping runs bit-reproducible.
+        let mut queue = self
+            .queue_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        queue.reset();
+        queue.reserve(self.cap_hint.load(std::sync::atomic::Ordering::Relaxed));
+        let mut engine: Engine<GridEvent> = Engine::from_queue(queue).with_event_budget(EVENT_BUDGET);
         core.bootstrap(engine.queue_mut());
         if let Some(interval) = sample_interval {
             core.timeline = Some(Timeline::new(interval));
@@ -310,6 +330,14 @@ impl SimTemplate {
         engine.run_until(&mut sim, horizon);
         let name = sim.policy.name();
         let report = sim.core.report(name, horizon);
+        // Recycle the queue allocation and refresh the capacity hint.
+        let queue = engine.into_queue();
+        self.cap_hint
+            .fetch_max(queue.peak_len(), std::sync::atomic::Ordering::Relaxed);
+        self.queue_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(queue);
         (report, sim.core.timeline.take())
     }
 }
@@ -628,9 +656,15 @@ impl SimCore {
     fn bootstrap(&mut self, queue: &mut EventQueue<GridEvent>) {
         match self.shared.dag.as_ref() {
             None => {
-                for (i, job) in self.shared.trace.iter().enumerate() {
-                    queue.schedule(job.arrival, GridEvent::Arrival(i as u32));
-                }
+                // One bulk reservation for the whole trace instead of
+                // growing the heap arrival by arrival.
+                queue.schedule_batch(
+                    self.shared
+                        .trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, job)| (job.arrival, GridEvent::Arrival(i as u32))),
+                );
             }
             Some(dag) => {
                 // Only dependency roots arrive on schedule; the rest are
@@ -1205,6 +1239,33 @@ mod tests {
             (r.g_busy_max_scheduler - r.g_busy_raw).abs() < 1e-9,
             "all overhead on the single scheduler"
         );
+    }
+
+    #[test]
+    fn template_reruns_recycle_queues_without_changing_results() {
+        let cfg = small_cfg();
+        let template = SimTemplate::new(&cfg);
+        // First run populates the pool and the capacity hint...
+        let a = template.run(cfg.enablers, &mut LocalOnly);
+        let hint = template
+            .cap_hint
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(hint > 0, "a completed run records its peak queue length");
+        assert_eq!(
+            template
+                .queue_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+            1,
+            "the run's queue returns to the pool"
+        );
+        // ...and the recycled second run is bit-identical.
+        let b = template.run(cfg.enablers, &mut LocalOnly);
+        assert_eq!(a.f_work, b.f_work);
+        assert_eq!(a.g_overhead, b.g_overhead);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_response, b.mean_response);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! gridscale run     --model LOWEST [--nodes 170] [--schedulers 8] [--rate 0.08]
 //!                   [--duration 60000] [--seed 7] [--estimators 0] [--json]
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
-//!                   [--iters 40] [--seed 7] [--json]
+//!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
+//!                   [--no-warm] [--bench-out BENCH_tuning.json] [--json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
@@ -156,9 +157,25 @@ fn cmd_measure(flags: HashMap<String, String>) {
         },
         seed: get(&flags, "seed", 0x15_0EFFu64),
         replications: get(&flags, "replications", 1usize),
+        threads: get(&flags, "threads", 0usize),
+        batch: get(&flags, "batch", 4usize).max(1),
+        warm_start: !flags.contains_key("no-warm"),
         ..MeasureOptions::default()
     };
-    let curve = measure_rms(kind, case, &opts);
+    let (curve, bench) = measure_rms_with_bench(kind, case, &opts);
+    let bench_path = flags
+        .get("bench-out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tuning.json".to_string());
+    match std::fs::write(&bench_path, serde_json::to_string_pretty(&bench).unwrap()) {
+        Ok(()) => eprintln!(
+            "tuning bench → {bench_path}: {} points, {} simulations, {:.0} ms total",
+            bench.points.len(),
+            bench.total_evaluations(),
+            bench.total_wall_ms()
+        ),
+        Err(e) => eprintln!("cannot write {bench_path}: {e}"),
+    }
     if flags.contains_key("json") {
         println!("{}", serde_json::to_string_pretty(&curve).unwrap());
         return;

@@ -66,9 +66,10 @@ pub mod prelude {
     pub use gridscale_core::jogalekar::ProductivityModel;
     pub use gridscale_core::sensitivity::{cost_sensitivity, verdict_stability};
     pub use gridscale_core::{
-        anneal, config_for, measure_all, measure_rms, resolve_e0, tune_point, AnnealConfig,
-        CaseId, CurvePoint, E0Mode, IsoefficiencyModel, MeasureOptions, Preset, ScalabilityCurve,
-        ScalabilityVerdict,
+        anneal, anneal_batch, config_for, measure_all, measure_all_with_bench, measure_rms,
+        measure_rms_with_bench, resolve_e0, tune_point, AnnealConfig, BatchAnnealConfig, CaseId,
+        CurvePoint, E0Mode, EnergyPool, IsoefficiencyModel, MeasureOptions, PointBench, Preset,
+        ScalabilityCurve, ScalabilityVerdict, TuningBench,
     };
     pub use gridscale_desim::{SimRng, SimTime};
     pub use gridscale_gridsim::{

@@ -1,0 +1,125 @@
+//! The parallel tuning stack end to end: batched speculative annealing,
+//! thread-count invariance of whole measurements, and the cross-scale
+//! warm-start guarantee.
+
+use gridscale::prelude::*;
+use proptest::prelude::*;
+
+/// Smoke-sized measurement: two scales, short horizons, tiny SA budget —
+/// exercises the full template/anneal/replication pipeline in seconds.
+fn smoke_opts(threads: usize, batch: usize) -> MeasureOptions {
+    MeasureOptions {
+        ks: vec![1, 2],
+        anneal: AnnealConfig {
+            iterations: 6,
+            ..AnnealConfig::default()
+        },
+        batch,
+        threads,
+        duration_override: Some(SimTime::from_ticks(8_000)),
+        drain_override: Some(SimTime::from_ticks(10_000)),
+        ..MeasureOptions::default()
+    }
+}
+
+#[test]
+fn measured_curves_are_thread_invariant() {
+    let a = measure_rms(
+        RmsKind::Lowest,
+        CaseId::NetworkSize,
+        &smoke_opts(1, 4),
+    );
+    let b = measure_rms(
+        RmsKind::Lowest,
+        CaseId::NetworkSize,
+        &smoke_opts(8, 4),
+    );
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "ScalabilityCurve must be bit-identical for threads=1 and threads=8"
+    );
+}
+
+#[test]
+fn batched_measurement_rerun_is_bit_identical() {
+    let opts = smoke_opts(4, 4);
+    let (a, bench_a) = measure_rms_with_bench(RmsKind::Central, CaseId::ServiceRate, &opts);
+    let (b, bench_b) = measure_rms_with_bench(RmsKind::Central, CaseId::ServiceRate, &opts);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "batch=4 measurement must be reproducible bit-for-bit"
+    );
+    // Telemetry (minus wall-clock noise) is reproducible too.
+    let strip = |t: &TuningBench| -> Vec<(u32, usize, usize, bool)> {
+        t.points
+            .iter()
+            .map(|p| (p.k, p.evaluations, p.rounds, p.warm_started))
+            .collect()
+    };
+    assert_eq!(strip(&bench_a), strip(&bench_b));
+}
+
+#[test]
+fn batching_compresses_sequential_rounds_of_a_real_measurement() {
+    let (_, bench) = measure_rms_with_bench(
+        RmsKind::Lowest,
+        CaseId::NetworkSize,
+        &smoke_opts(4, 4),
+    );
+    for p in &bench.points {
+        assert!(
+            p.rounds < p.iterations_budget,
+            "k={}: batch=4 must need fewer sequential rounds ({}) than the \
+             candidate budget ({})",
+            p.k,
+            p.rounds,
+            p.iterations_budget
+        );
+        assert!(p.evaluations >= 1);
+        assert!(p.wall_ms >= 0.0);
+    }
+    assert!(
+        bench.points.iter().any(|p| p.warm_started),
+        "the k=2 wave warm-starts from k=1"
+    );
+}
+
+proptest! {
+    /// The warm-start guarantee, by construction: seeding a second search
+    /// with the first search's winner can never end worse than the first
+    /// search, at the same candidate budget — for any seed, start, and
+    /// batch width.
+    #[test]
+    fn warm_start_never_worse_than_cold(
+        seed in 0u64..5_000,
+        init in -60i64..60,
+        batch in 1usize..6,
+    ) {
+        let energy = |&x: &i64| ((x - 7) * (x - 7)) as f64;
+        let neighbor = |&x: &i64, rng: &mut SimRng| {
+            if rng.chance(0.5) { x + 1 } else { x - 1 }
+        };
+        let cfg = BatchAnnealConfig {
+            base: AnnealConfig {
+                iterations: 30,
+                seed,
+                ..AnnealConfig::default()
+            },
+            batch,
+            threads: 1,
+        };
+        let cold = anneal_batch(&[init], neighbor, energy, &cfg);
+        let warm = anneal_batch(&[init, cold.best], neighbor, energy, &cfg);
+        prop_assert!(
+            warm.best_energy <= cold.best_energy,
+            "warm ({}) must not exceed cold ({})",
+            warm.best_energy,
+            cold.best_energy
+        );
+        // Both searches respect the same budget.
+        prop_assert!(cold.evaluations <= cfg.base.iterations.max(1));
+        prop_assert!(warm.evaluations <= cfg.base.iterations.max(2));
+    }
+}
