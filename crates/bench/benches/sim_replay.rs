@@ -1,0 +1,68 @@
+//! Replay benchmark: clone-per-run world rebuilding vs zero-clone
+//! shared-template replay of the same simulation point.
+//!
+//! The annealer evaluates dozens of enabler settings per `(model, k)`
+//! point. The baseline here does what a naive driver would — rebuild the
+//! world (topology, routing tables, grid map, workload trace) for every
+//! run via `run_simulation`. The replay arm reuses one [`SimTemplate`]:
+//! the world is `Arc`-shared and the event queue + hot-state arena are
+//! recycled, so each run only pays for event processing. Throughput is
+//! reported in events/sec (criterion `Elements` = DES events per run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{run_simulation, GridConfig, SimTemplate};
+use gridscale_rms::RmsKind;
+use gridscale_workload::WorkloadConfig;
+use std::hint::black_box;
+
+/// One scaled simulation point: `k` multiplies the pool size and the
+/// offered load together, as in the paper's Case 1 sweep.
+fn point(k: usize) -> GridConfig {
+    let nodes = 20 * k;
+    GridConfig {
+        nodes,
+        schedulers: (nodes / 10).max(2),
+        estimators: 0,
+        workload: WorkloadConfig {
+            arrival_rate: 0.012 * k as f64,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed: 0xBEEF + k as u64,
+        ..GridConfig::default()
+    }
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_replay");
+    g.sample_size(10);
+    for &k in &[1usize, 4, 16] {
+        let cfg = point(k);
+        let template = SimTemplate::new(&cfg);
+        // Warm-up run: fixes the events-per-run denominator (identical for
+        // both arms — reports are bit-identical) and primes the pools.
+        let events = template
+            .run(cfg.enablers, RmsKind::Lowest.build().as_mut())
+            .events_processed;
+        g.throughput(Throughput::Elements(events));
+
+        g.bench_with_input(BenchmarkId::new("clone_per_run", k), &k, |b, _| {
+            b.iter(|| {
+                let mut p = RmsKind::Lowest.build();
+                black_box(run_simulation(black_box(&cfg), p.as_mut()))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("shared_template_replay", k), &k, |b, _| {
+            b.iter(|| {
+                let mut p = RmsKind::Lowest.build();
+                black_box(template.run(black_box(cfg.enablers), p.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -81,6 +81,12 @@ impl Welford {
         (self.n > 0).then_some(self.max)
     }
 
+    /// Resets to the empty state so a pooled accumulator can be reused
+    /// across simulation runs without reallocating.
+    pub fn reset(&mut self) {
+        *self = Welford::new();
+    }
+
     /// Merges another accumulator into this one (Chan et al. parallel
     /// combination), enabling per-shard accumulation in parallel sweeps.
     pub fn merge(&mut self, other: &Welford) {
@@ -186,6 +192,14 @@ impl Histogram {
             overflow: 0,
             total: 0,
         }
+    }
+
+    /// Zeroes all counts while keeping the bin vector's allocation, so a
+    /// pooled histogram can be recycled across simulation runs.
+    pub fn reset(&mut self) {
+        self.bins.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.total = 0;
     }
 
     /// Adds one observation (negative values clamp into bin 0).
@@ -328,6 +342,33 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn welford_reset_clears_state() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(5.0);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.min(), None);
+        w.push(2.0);
+        assert_eq!(w.mean(), 2.0);
+    }
+
+    #[test]
+    fn histogram_reset_keeps_shape() {
+        let mut h = Histogram::new(10.0, 5);
+        for x in [1.0, 25.0, 1e9] {
+            h.push(x);
+        }
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!((0..5).map(|i| h.bin(i)).sum::<u64>(), 0);
+        h.push(25.0);
+        assert_eq!(h.bin(2), 1);
     }
 
     #[test]

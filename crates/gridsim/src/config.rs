@@ -59,6 +59,21 @@ impl Default for Enablers {
     }
 }
 
+impl Enablers {
+    /// Validates the enabler overlay on its own, so per-run replays that
+    /// swap only the enablers (keeping the rest of the `GridConfig`
+    /// `Arc`-shared) need not clone and revalidate the whole config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.update_interval == 0 || self.volunteer_interval == 0 {
+            return Err("enabler intervals must be nonzero".into());
+        }
+        if self.link_delay_factor <= 0.0 {
+            return Err("link delay factor must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// Service-time constants (ticks) for RMS work items; the accumulated busy
 /// time of schedulers and estimators under these costs is exactly the
 /// paper's `G(k)` ("the overall time spent by the schedulers for
@@ -243,12 +258,7 @@ impl GridConfig {
         if self.service_rate <= 0.0 {
             return Err("service rate must be positive".into());
         }
-        if self.enablers.update_interval == 0 || self.enablers.volunteer_interval == 0 {
-            return Err("enabler intervals must be nonzero".into());
-        }
-        if self.enablers.link_delay_factor <= 0.0 {
-            return Err("link delay factor must be positive".into());
-        }
+        self.enablers.validate()?;
         if !(0.0..=1.0).contains(&self.resource_fraction) {
             return Err("resource fraction must be in [0,1]".into());
         }
@@ -303,6 +313,16 @@ mod tests {
         let mut c = base;
         c.resource_fraction = 1.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn enabler_validation_standalone() {
+        assert_eq!(Enablers::default().validate(), Ok(()));
+        let bad = Enablers {
+            volunteer_interval: 0,
+            ..Enablers::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub use config::{Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
 pub use msg::{Msg, PolicyMsg};
 pub use policy::{LocalOnly, Policy};
 pub use report::SimReport;
-pub use sim::{run_simulation, Ctx, GridEvent, GridSim, SimTemplate, WorkItem};
+pub use sim::{run_simulation, Ctx, GridEvent, GridSim, ReplayStats, SimTemplate, WorkItem};
 pub use timeline::{Sample, Timeline};
 pub use view::{ClusterView, ResourceView};

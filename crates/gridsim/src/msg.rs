@@ -240,7 +240,8 @@ mod tests {
 
     #[test]
     fn policy_msg_from_cluster_extraction() {
-        let msgs = [PolicyMsg::Poll {
+        let msgs = [
+            PolicyMsg::Poll {
                 from: 3,
                 token: 1,
                 job_exec: SimTime::from_ticks(10),
@@ -251,7 +252,8 @@ mod tests {
                 auction: 9,
                 avg_load: 1.0,
             },
-            PolicyMsg::Volunteer { from: 3, rus: 0.1 }];
+            PolicyMsg::Volunteer { from: 3, rus: 0.1 },
+        ];
         assert!(msgs.iter().all(|m| m.from_cluster() == 3));
     }
 

@@ -74,6 +74,17 @@ pub struct SimReport {
     /// Network size of the configuration (`sizeof[RMS] + sizeof[RP]`) —
     /// the cost basis for throughput-per-cost metrics.
     pub nodes: usize,
+
+    /// Discrete events the DES engine processed during the run. Fully
+    /// determined by `(config, enablers, policy)`, so it is part of the
+    /// bit-identical report contract; it is also the numerator of the
+    /// events/sec replay benchmark.
+    #[serde(default)]
+    pub events_processed: u64,
+    /// Network messages injected (status updates, batches, policy
+    /// messages, dispatches, transfers — everything that crossed a link).
+    #[serde(default)]
+    pub msgs_sent: u64,
 }
 
 impl SimReport {

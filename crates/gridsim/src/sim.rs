@@ -1,4 +1,23 @@
 //! The Grid simulator: event handling, transport, servers, accounting.
+//!
+//! # Memory layout (zero-clone replay)
+//!
+//! Repeated runs of one `(model, k)` point at different enabler settings
+//! share everything immutable and recycle everything mutable:
+//!
+//! * [`SharedWorld`] — `Arc`-shared immutables: topology routing, grid
+//!   map, workload trace, dependency graph, and the [`Layout`]
+//!   (struct-of-arrays node/cluster/position tables plus ranked-neighbor
+//!   tables). Built once per [`SimTemplate`], never copied per run.
+//! * [`HotState`] — the per-run mutable scratch arena: resource queues,
+//!   cluster views, server availability, accounting. Checked out of a
+//!   pool on `run`, wiped with `reset`, and returned afterwards, so a
+//!   replay allocates (almost) nothing.
+//! * [`Enablers`] — the only per-run configuration, carried as a small
+//!   `Copy` overlay instead of cloning the whole `GridConfig`.
+//!
+//! A reset pooled run is bit-identical to a cold one; see
+//! `run_cold_matches_pooled_run` below and `tests/golden_report.rs`.
 
 use crate::config::{Enablers, GridConfig, Thresholds, TopologySpec};
 use crate::msg::{Msg, PolicyMsg};
@@ -11,7 +30,10 @@ use gridscale_desim::{Engine, EventQueue, SimRng, SimTime, World};
 use gridscale_topology::generate::{self, LinkParams};
 use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
 use gridscale_workload::{generate as gen_workload, Job, JobClass};
+use serde::Serialize;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Base link bandwidth used for the transmission-delay term (payload units
 /// per tick), matching [`LinkParams::default`].
@@ -91,36 +113,105 @@ pub enum GridEvent {
     Sample,
 }
 
-struct ResState {
-    node: NodeId,
-    cluster: u32,
-    pos: u32,
-    queue: VecDeque<Job>,
-    running: Option<Job>,
-    last_sent_load: f64,
-    busy: f64,
+/// Immutable struct-of-arrays placement tables: where every resource,
+/// scheduler, and estimator lives, and how nodes map back to them.
+/// Derived once from the `GridMap` + `RoutingTable` per template; all
+/// per-run mutable companions live in [`HotState`], indexed identically.
+struct Layout {
+    /// Resource index → its network node.
+    res_node: Vec<NodeId>,
+    /// Resource index → owning cluster.
+    res_cluster: Vec<u32>,
+    /// Resource index → position within its cluster.
+    res_pos: Vec<u32>,
+    /// Cluster → global resource indices by cluster position.
+    members: Vec<Vec<u32>>,
+    /// Cluster → its scheduler's node.
+    sched_node: Vec<NodeId>,
+    /// Estimator index → its node.
+    est_node: Vec<NodeId>,
+    /// NodeId → resource index (`u32::MAX` if none).
+    res_at_node: Vec<u32>,
+    /// NodeId → scheduler (cluster) index.
+    sched_at_node: Vec<u32>,
+    /// NodeId → estimator index.
+    est_at_node: Vec<u32>,
+    /// Cluster → all peer clusters ranked by scheduler-to-scheduler
+    /// network latency (ties → lower cluster id). Lets nearest-style
+    /// peer lookups read a table instead of re-scanning candidates.
+    ranked_peers: Vec<Vec<u32>>,
 }
 
-impl ResState {
-    fn load(&self) -> f64 {
-        self.queue.len() as f64 + if self.running.is_some() { 1.0 } else { 0.0 }
+impl Layout {
+    fn build(map: &GridMap, rt: &RoutingTable, n_nodes: usize) -> Layout {
+        let n_clusters = map.cluster_count();
+        let mut res_node = Vec::new();
+        let mut res_cluster = Vec::new();
+        let mut res_pos = Vec::new();
+        let mut res_at_node = vec![u32::MAX; n_nodes];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..n_clusters {
+            for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
+                let idx = res_node.len() as u32;
+                res_at_node[node as usize] = idx;
+                members[ci].push(idx);
+                res_node.push(node);
+                res_cluster.push(ci as u32);
+                res_pos.push(pos as u32);
+            }
+        }
+
+        let mut sched_at_node = vec![u32::MAX; n_nodes];
+        let sched_node: Vec<NodeId> = (0..n_clusters)
+            .map(|ci| {
+                let node = map.cluster_scheduler(ci);
+                sched_at_node[node as usize] = ci as u32;
+                node
+            })
+            .collect();
+
+        let mut est_at_node = vec![u32::MAX; n_nodes];
+        let est_node: Vec<NodeId> = map
+            .estimators()
+            .iter()
+            .enumerate()
+            .map(|(ei, &node)| {
+                est_at_node[node as usize] = ei as u32;
+                node
+            })
+            .collect();
+
+        let ranked_peers: Vec<Vec<u32>> = (0..n_clusters)
+            .map(|ci| {
+                let from = sched_node[ci];
+                let mut peers: Vec<u32> = (0..n_clusters as u32)
+                    .filter(|&cj| cj as usize != ci)
+                    .collect();
+                peers.sort_by_key(|&cj| {
+                    (
+                        rt.latency(from, sched_node[cj as usize])
+                            .unwrap_or(u64::MAX),
+                        cj,
+                    )
+                });
+                peers
+            })
+            .collect();
+
+        Layout {
+            res_node,
+            res_cluster,
+            res_pos,
+            members,
+            sched_node,
+            est_node,
+            res_at_node,
+            sched_at_node,
+            est_at_node,
+            ranked_peers,
+        }
     }
-}
-
-struct SchedState {
-    node: NodeId,
-    view: ClusterView,
-    /// Global resource indices by cluster position.
-    members: Vec<u32>,
-    /// Work-server availability, fractional ticks.
-    next_free: f64,
-}
-
-struct EstState {
-    node: NodeId,
-    next_free: f64,
-    /// Buffered updates per destination cluster.
-    buffer: Vec<Vec<(u32, f64)>>,
 }
 
 struct Accounting {
@@ -138,6 +229,7 @@ struct Accounting {
     transfers: u64,
     dispatches: u64,
     dag_deferred: u64,
+    msgs_sent: u64,
     response: Welford,
     response_hist: Histogram,
 }
@@ -159,28 +251,170 @@ impl Accounting {
             transfers: 0,
             dispatches: 0,
             dag_deferred: 0,
+            msgs_sent: 0,
             response: Welford::new(),
             response_hist: Histogram::new(100.0, 4000),
         }
     }
+
+    /// Zeroes every tally in place (vector lengths and the histogram's
+    /// bins are structural and kept), restoring the `new` state exactly.
+    fn reset(&mut self) {
+        self.f_work = 0.0;
+        self.h_overhead = 0.0;
+        self.g_sched.iter_mut().for_each(|g| *g = 0.0);
+        self.g_est.iter_mut().for_each(|g| *g = 0.0);
+        self.completed = 0;
+        self.succeeded = 0;
+        self.deadline_missed = 0;
+        self.updates_sent = 0;
+        self.updates_suppressed = 0;
+        self.batches = 0;
+        self.policy_msgs = 0;
+        self.transfers = 0;
+        self.dispatches = 0;
+        self.dag_deferred = 0;
+        self.msgs_sent = 0;
+        self.response.reset();
+        self.response_hist.reset();
+    }
+}
+
+/// The per-run mutable scratch arena, struct-of-arrays and indexed
+/// identically to [`Layout`]. Pooled on the [`SimTemplate`]: `reset`
+/// restores the pristine state while keeping every allocation, which is
+/// what makes replays (almost) allocation-free.
+struct HotState {
+    /// Resource index → queued jobs.
+    res_queue: Vec<VecDeque<Job>>,
+    /// Resource index → the running job, if any.
+    res_running: Vec<Option<Job>>,
+    /// Resource index → load value of its last non-suppressed update.
+    res_last_sent: Vec<f64>,
+    /// Resource index → accumulated busy ticks.
+    res_busy: Vec<f64>,
+    /// Cluster → the scheduler's (stale) view.
+    views: Vec<ClusterView>,
+    /// Cluster → scheduler work-server availability, fractional ticks.
+    sched_next_free: Vec<f64>,
+    /// Estimator → server availability.
+    est_next_free: Vec<f64>,
+    /// Estimator → buffered updates per destination cluster.
+    est_buffer: Vec<Vec<Vec<(u32, f64)>>>,
+    /// Per-job countdown of unmet dependencies (empty when no DAG).
+    remaining_parents: Vec<u32>,
+    acct: Accounting,
+}
+
+impl HotState {
+    fn new(shared: &SharedWorld) -> HotState {
+        let nr = shared.layout.res_node.len();
+        let nc = shared.layout.members.len();
+        let ne = shared.layout.est_node.len();
+        HotState {
+            res_queue: (0..nr).map(|_| VecDeque::new()).collect(),
+            res_running: vec![None; nr],
+            res_last_sent: vec![0.0; nr],
+            res_busy: vec![0.0; nr],
+            views: shared
+                .layout
+                .members
+                .iter()
+                .map(|m| ClusterView::new(m.len()))
+                .collect(),
+            sched_next_free: vec![0.0; nc],
+            est_next_free: vec![0.0; ne],
+            est_buffer: (0..ne).map(|_| vec![Vec::new(); nc]).collect(),
+            remaining_parents: shared.parent_counts.clone(),
+            acct: Accounting::new(nc, ne),
+        }
+    }
+
+    /// Restores the pristine post-`new` state, keeping allocations.
+    fn reset(&mut self, shared: &SharedWorld) {
+        self.res_queue.iter_mut().for_each(|q| q.clear());
+        self.res_running.iter_mut().for_each(|r| *r = None);
+        self.res_last_sent.iter_mut().for_each(|x| *x = 0.0);
+        self.res_busy.iter_mut().for_each(|x| *x = 0.0);
+        self.views.iter_mut().for_each(|v| v.reset_idle());
+        self.sched_next_free.iter_mut().for_each(|x| *x = 0.0);
+        self.est_next_free.iter_mut().for_each(|x| *x = 0.0);
+        for per_cluster in &mut self.est_buffer {
+            per_cluster.iter_mut().for_each(|b| b.clear());
+        }
+        self.remaining_parents.clone_from(&shared.parent_counts);
+        self.acct.reset();
+    }
+
+    /// Approximate resident bytes of this scratch arena (capacity-based;
+    /// telemetry only, not part of any report).
+    fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let job = size_of::<Job>();
+        let mut b = self.res_queue.capacity() * size_of::<VecDeque<Job>>();
+        b += self
+            .res_queue
+            .iter()
+            .map(|q| q.capacity() * job)
+            .sum::<usize>();
+        b += self.res_running.capacity() * size_of::<Option<Job>>();
+        b += (self.res_last_sent.capacity() + self.res_busy.capacity()) * 8;
+        // Per view entry: load (8) + updated_at (8) + two u32 tournament
+        // trees of 2n slots (16).
+        b += self.views.iter().map(|v| v.len() * 32).sum::<usize>();
+        b += (self.sched_next_free.capacity() + self.est_next_free.capacity()) * 8;
+        b += self
+            .est_buffer
+            .iter()
+            .flat_map(|per| per.iter())
+            .map(|v| v.capacity() * size_of::<(u32, f64)>())
+            .sum::<usize>();
+        b += self.remaining_parents.capacity() * 4;
+        b as u64
+    }
 }
 
 /// The enabler-independent world of one configuration: topology, routing,
-/// grid map, and workload trace.
+/// grid map, workload trace, and placement layout.
 ///
 /// Building these dominates setup cost (routing is `O(V·E log V)`, ~50 ms
 /// at 1000 nodes) and none of it depends on the scaling *enablers* — only
 /// on the scaling *variables*. The annealer therefore builds one template
 /// per `(model, k)` point and runs dozens of enabler settings against it.
 pub struct SimTemplate {
-    cfg: GridConfig,
-    shared: std::sync::Arc<SharedWorld>,
+    cfg: Arc<GridConfig>,
+    shared: Arc<SharedWorld>,
     /// Recycled event queues: runs return their (reset) queue here so the
     /// next run reuses the heap allocation instead of growing a fresh one.
-    queue_pool: std::sync::Mutex<Vec<EventQueue<GridEvent>>>,
+    queue_pool: Mutex<Vec<EventQueue<GridEvent>>>,
+    /// Recycled [`HotState`] scratch arenas, wiped between runs.
+    scratch_pool: Mutex<Vec<HotState>>,
     /// Peak queue length observed by completed runs — the pre-reserve hint
     /// for the next run of this (structurally identical) world.
-    cap_hint: std::sync::atomic::AtomicUsize,
+    cap_hint: AtomicUsize,
+    /// Completed runs through this template (pooled or cold).
+    runs_total: AtomicU64,
+    /// Runs that reused a pooled scratch arena instead of allocating one.
+    scratch_reused: AtomicU64,
+}
+
+/// Pool/arena telemetry of one [`SimTemplate`]. Lives here — not in
+/// [`SimReport`] — because first-run and replay values necessarily differ,
+/// and reports must stay bit-identical across replays.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ReplayStats {
+    /// Completed runs through this template.
+    pub runs: u64,
+    /// Runs that checked a recycled scratch arena out of the pool.
+    pub scratch_reused: u64,
+    /// Event queues currently parked in the pool.
+    pub pooled_queues: usize,
+    /// Scratch arenas currently parked in the pool.
+    pub pooled_scratch: usize,
+    /// Pre-reserve hint (peak event-queue length seen so far).
+    pub queue_cap_hint: usize,
+    /// Approximate resident bytes of pooled scratch arenas.
+    pub scratch_bytes: u64,
 }
 
 pub(crate) struct SharedWorld {
@@ -190,11 +424,17 @@ pub(crate) struct SharedWorld {
     /// Precedence constraints (paper future-work (b)); `None` reproduces
     /// the paper's evaluated setting (independent jobs).
     dag: Option<gridscale_workload::DependencyGraph>,
+    layout: Layout,
+    /// Per-job dependency in-degree (empty when no DAG); the pristine
+    /// value `HotState::remaining_parents` is reset from.
+    parent_counts: Vec<u32>,
+    /// Analytic mean service demand of the workload.
+    mean_demand: f64,
 }
 
 impl SimTemplate {
     /// Builds the world for `cfg` (topology, routing tables, grid map,
-    /// workload trace).
+    /// workload trace, layout).
     pub fn new(cfg: &GridConfig) -> SimTemplate {
         cfg.validate().expect("invalid GridConfig");
         let root = SimRng::new(cfg.seed);
@@ -249,11 +489,25 @@ impl SimTemplate {
                 &mut dag_rng,
             )
         });
+        let layout = Layout::build(&map, &rt, n);
+        let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
+        let mean_demand = cfg.workload.exec_time.mean();
         SimTemplate {
-            cfg: cfg.clone(),
-            shared: std::sync::Arc::new(SharedWorld { rt, map, trace, dag }),
-            queue_pool: std::sync::Mutex::new(Vec::new()),
-            cap_hint: std::sync::atomic::AtomicUsize::new(0),
+            cfg: Arc::new(cfg.clone()),
+            shared: Arc::new(SharedWorld {
+                rt,
+                map,
+                trace,
+                dag,
+                layout,
+                parent_counts,
+                mean_demand,
+            }),
+            queue_pool: Mutex::new(Vec::new()),
+            scratch_pool: Mutex::new(Vec::new()),
+            cap_hint: AtomicUsize::new(0),
+            runs_total: AtomicU64::new(0),
+            scratch_reused: AtomicU64::new(0),
         }
     }
 
@@ -267,49 +521,94 @@ impl SimTemplate {
         self.shared.trace.len()
     }
 
+    /// Pool/arena telemetry for this template (see [`ReplayStats`]).
+    pub fn replay_stats(&self) -> ReplayStats {
+        let queues = self.queue_pool.lock().unwrap_or_else(|e| e.into_inner());
+        let scratch = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+        ReplayStats {
+            runs: self.runs_total.load(Ordering::Relaxed),
+            scratch_reused: self.scratch_reused.load(Ordering::Relaxed),
+            pooled_queues: queues.len(),
+            pooled_scratch: scratch.len(),
+            queue_cap_hint: self.cap_hint.load(Ordering::Relaxed),
+            scratch_bytes: scratch.iter().map(|h| h.approx_bytes()).sum(),
+        }
+    }
+
     /// Runs one simulation with `enablers` substituted into the template's
     /// configuration. The world (topology, routing, trace) is shared, so
     /// results across enabler settings are directly comparable.
-    pub fn run(&self, enablers: crate::config::Enablers, policy: &mut dyn Policy) -> SimReport {
-        self.run_inner(enablers, policy, None).0
+    pub fn run(&self, enablers: Enablers, policy: &mut dyn Policy) -> SimReport {
+        self.run_inner(enablers, policy, None, true).0
+    }
+
+    /// Reference path that bypasses both pools: fresh event queue, fresh
+    /// scratch arena, no capacity hints. Produces byte-identical reports
+    /// to [`SimTemplate::run`] — the oracle the golden-report tests and
+    /// the `sim_replay` bench lean on.
+    pub fn run_cold(&self, enablers: Enablers, policy: &mut dyn Policy) -> SimReport {
+        self.run_inner(enablers, policy, None, false).0
     }
 
     /// Like [`SimTemplate::run`], but also records a [`Timeline`] sampled
     /// every `sample_interval` ticks.
     pub fn run_with_timeline(
         &self,
-        enablers: crate::config::Enablers,
+        enablers: Enablers,
         policy: &mut dyn Policy,
         sample_interval: u64,
     ) -> (SimReport, Timeline) {
-        let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval));
+        let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval), true);
         (report, tl.expect("timeline requested"))
     }
 
     fn run_inner(
         &self,
-        enablers: crate::config::Enablers,
+        enablers: Enablers,
         policy: &mut dyn Policy,
         sample_interval: Option<u64>,
+        pooled: bool,
     ) -> (SimReport, Option<Timeline>) {
-        let mut cfg = self.cfg.clone();
-        cfg.enablers = enablers;
-        cfg.validate().expect("invalid enablers");
-        let mut core = SimCore::new(cfg, self.shared.clone());
+        enablers.validate().expect("invalid enablers");
+        // Check out a recycled scratch arena (or build a fresh one). A
+        // reset arena is indistinguishable from a new one, keeping runs
+        // bit-reproducible.
+        let checked_out = if pooled {
+            self.scratch_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop()
+        } else {
+            None
+        };
+        let hot = match checked_out {
+            Some(mut h) => {
+                h.reset(&self.shared);
+                self.scratch_reused.fetch_add(1, Ordering::Relaxed);
+                h
+            }
+            None => HotState::new(&self.shared),
+        };
+        let mut core = SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
         core.use_middleware = policy.uses_middleware();
-        // Check out a recycled queue (or make a fresh one) and pre-reserve
-        // the peak occupancy the previous run of this world observed, so
-        // the heap never regrows mid-simulation. A reset queue behaves
-        // exactly like a new one, keeping runs bit-reproducible.
-        let mut queue = self
-            .queue_pool
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
+        // Same treatment for the event queue, pre-reserved to the peak
+        // occupancy the previous run of this world observed so the heap
+        // never regrows mid-simulation.
+        let mut queue: EventQueue<GridEvent> = if pooled {
+            self.queue_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop()
+                .unwrap_or_default()
+        } else {
+            EventQueue::new()
+        };
         queue.reset();
-        queue.reserve(self.cap_hint.load(std::sync::atomic::Ordering::Relaxed));
-        let mut engine: Engine<GridEvent> = Engine::from_queue(queue).with_event_budget(EVENT_BUDGET);
+        if pooled {
+            queue.reserve(self.cap_hint.load(Ordering::Relaxed));
+        }
+        let mut engine: Engine<GridEvent> =
+            Engine::from_queue(queue).with_event_budget(EVENT_BUDGET);
         core.bootstrap(engine.queue_mut());
         if let Some(interval) = sample_interval {
             core.timeline = Some(Timeline::new(interval));
@@ -328,44 +627,43 @@ impl SimTemplate {
         let horizon = core.cfg.horizon();
         let mut sim = GridSim { core, policy };
         engine.run_until(&mut sim, horizon);
+        let events_processed = engine.processed();
         let name = sim.policy.name();
-        let report = sim.core.report(name, horizon);
-        // Recycle the queue allocation and refresh the capacity hint.
+        let report = sim.core.report(name, horizon, events_processed);
+        let GridSim { mut core, .. } = sim;
+        let timeline = core.timeline.take();
         let queue = engine.into_queue();
-        self.cap_hint
-            .fetch_max(queue.peak_len(), std::sync::atomic::Ordering::Relaxed);
-        self.queue_pool
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(queue);
-        (report, sim.core.timeline.take())
+        self.runs_total.fetch_add(1, Ordering::Relaxed);
+        if pooled {
+            // Recycle both allocations and refresh the capacity hint.
+            self.cap_hint.fetch_max(queue.peak_len(), Ordering::Relaxed);
+            self.queue_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(queue);
+            self.scratch_pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(core.hot);
+        }
+        (report, timeline)
     }
 }
 
 /// All simulator state except the policy (which is borrowed per event so
 /// that policy callbacks can mutably access both).
 pub struct SimCore {
-    cfg: GridConfig,
-    shared: std::sync::Arc<SharedWorld>,
+    cfg: Arc<GridConfig>,
+    /// The per-run enabler overlay; read instead of `cfg.enablers`.
+    enablers: Enablers,
+    shared: Arc<SharedWorld>,
     rng: SimRng,
-    resources: Vec<ResState>,
-    scheds: Vec<SchedState>,
-    ests: Vec<EstState>,
-    /// NodeId → resource index (`u32::MAX` if none).
-    res_at_node: Vec<u32>,
-    /// NodeId → scheduler (cluster) index.
-    sched_at_node: Vec<u32>,
-    /// NodeId → estimator index.
-    est_at_node: Vec<u32>,
+    hot: HotState,
     mw_next_free: f64,
     use_middleware: bool,
     token_counter: u64,
-    mean_demand: f64,
-    /// Per-job countdown of unmet dependencies (empty when no DAG).
-    remaining_parents: Vec<u32>,
     /// Optional time-series recorder.
     timeline: Option<Timeline>,
-    acct: Accounting,
 }
 
 /// The [`World`] adapter: simulator core plus the policy under test.
@@ -397,34 +695,32 @@ impl Ctx<'_> {
 
     /// Number of clusters (= schedulers).
     pub fn clusters(&self) -> usize {
-        self.core.scheds.len()
+        self.core.n_clusters()
     }
 
     /// Resources in cluster `c`.
     pub fn cluster_size(&self, c: usize) -> usize {
-        self.core.scheds[c].members.len()
+        self.core.shared.layout.members[c].len()
     }
 
     /// The scheduler's (stale) view of its cluster.
     pub fn view(&self, c: usize) -> &ClusterView {
-        &self.core.scheds[c].view
+        &self.core.hot.views[c]
     }
 
     /// Believed mean load (jobs per resource) of cluster `c`.
     pub fn avg_load(&self, c: usize) -> f64 {
-        self.core.scheds[c].view.avg_load()
+        self.core.hot.views[c].avg_load()
     }
 
     /// Believed busy fraction (RUS) of cluster `c`.
     pub fn rus(&self, c: usize) -> f64 {
-        self.core.scheds[c].view.rus()
+        self.core.hot.views[c].rus()
     }
 
     /// Approximate waiting time for a new arrival in cluster `c`.
     pub fn awt(&self, c: usize) -> f64 {
-        self.core.scheds[c]
-            .view
-            .awt(self.core.mean_demand, self.core.cfg.service_rate)
+        self.core.hot.views[c].awt(self.core.shared.mean_demand, self.core.cfg.service_rate)
     }
 
     /// Expected run time of a job with demand `exec` on this Grid's
@@ -436,7 +732,7 @@ impl Ctx<'_> {
     /// The analytic mean service demand of the workload (the schedulers'
     /// demand estimate).
     pub fn mean_demand(&self) -> f64 {
-        self.core.mean_demand
+        self.core.shared.mean_demand
     }
 
     /// Resource service rate.
@@ -446,7 +742,7 @@ impl Ctx<'_> {
 
     /// The active scaling enablers.
     pub fn enablers(&self) -> Enablers {
-        self.core.cfg.enablers
+        self.core.enablers
     }
 
     /// The policy thresholds (Table 1).
@@ -465,18 +761,38 @@ impl Ctx<'_> {
         &mut self.core.rng
     }
 
+    /// Peer clusters of `c` ranked by scheduler-to-scheduler network
+    /// latency (ties → lower cluster id). Precomputed once per template;
+    /// O(1) per lookup.
+    pub fn ranked_peers(&self, c: usize) -> &[u32] {
+        &self.core.shared.layout.ranked_peers[c]
+    }
+
     /// `n` distinct random clusters other than `c` (fewer if the Grid has
     /// fewer peers).
     pub fn random_remotes(&mut self, c: usize, n: usize) -> Vec<usize> {
-        let total = self.core.scheds.len();
+        let mut out = Vec::new();
+        self.random_remotes_into(c, n, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Ctx::random_remotes`]: clears `out`
+    /// and fills it, reusing the buffer's capacity. Draw-for-draw
+    /// identical to the allocating variant.
+    pub fn random_remotes_into(&mut self, c: usize, n: usize, out: &mut Vec<usize>) {
+        let total = self.core.n_clusters();
+        out.clear();
         if total <= 1 {
-            return Vec::new();
+            return;
         }
-        let picks = self.core.rng.sample_indices(total - 1, n.min(total - 1));
-        picks
-            .into_iter()
-            .map(|i| if i >= c { i + 1 } else { i })
-            .collect()
+        self.core
+            .rng
+            .sample_indices_into(total - 1, n.min(total - 1), out);
+        for i in out.iter_mut() {
+            if *i >= c {
+                *i += 1;
+            }
+        }
     }
 
     /// Dispatches `job` to the resource at `pos` of cluster `c`: charges
@@ -485,19 +801,18 @@ impl Ctx<'_> {
     pub fn dispatch_local(&mut self, c: usize, pos: usize, job: Job) {
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(c, cost);
-        self.core.scheds[c].view.bump(pos, 1.0);
-        self.core.acct.dispatches += 1;
-        let res = self.core.scheds[c].members[pos];
-        let from = self.core.scheds[c].node;
-        let to = self.core.resources[res as usize].node;
+        self.core.hot.views[c].bump(pos, 1.0);
+        self.core.hot.acct.dispatches += 1;
+        let res = self.core.shared.layout.members[c][pos];
+        let from = self.core.shared.layout.sched_node[c];
+        let to = self.core.shared.layout.res_node[res as usize];
         self.core
             .send_net(self.now, from, to, Msg::Dispatch { job }, false, self.queue);
     }
 
     /// Dispatches to the believed least-loaded resource of cluster `c`.
     pub fn dispatch_least_loaded(&mut self, c: usize, job: Job) {
-        let pos = self.core.scheds[c]
-            .view
+        let pos = self.core.hot.views[c]
             .least_loaded()
             .expect("clusters are never empty (GridMap guarantee)");
         self.dispatch_local(c, pos, job);
@@ -509,9 +824,9 @@ impl Ctx<'_> {
         debug_assert_ne!(from, to, "transfer to self");
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(from, cost);
-        self.core.acct.transfers += 1;
-        let f = self.core.scheds[from].node;
-        let t = self.core.scheds[to].node;
+        self.core.hot.acct.transfers += 1;
+        let f = self.core.shared.layout.sched_node[from];
+        let t = self.core.shared.layout.sched_node[to];
         let mw = self.core.use_middleware;
         self.core
             .send_net(self.now, f, t, Msg::Transfer { job }, mw, self.queue);
@@ -523,8 +838,8 @@ impl Ctx<'_> {
         debug_assert_ne!(from, to, "policy message to self");
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(from, cost);
-        let f = self.core.scheds[from].node;
-        let t = self.core.scheds[to].node;
+        let f = self.core.shared.layout.sched_node[from];
+        let t = self.core.shared.layout.sched_node[to];
         let mw = self.core.use_middleware;
         self.core
             .send_net(self.now, f, t, Msg::Policy(msg), mw, self.queue);
@@ -536,10 +851,10 @@ impl Ctx<'_> {
     pub fn recall(&mut self, c: usize, pos: usize, to_cluster: usize) {
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(c, cost);
-        self.core.scheds[c].view.bump(pos, -1.0);
-        let res = self.core.scheds[c].members[pos];
-        let from = self.core.scheds[c].node;
-        let to = self.core.resources[res as usize].node;
+        self.core.hot.views[c].bump(pos, -1.0);
+        let res = self.core.shared.layout.members[c][pos];
+        let from = self.core.shared.layout.sched_node[c];
+        let to = self.core.shared.layout.res_node[res as usize];
         self.core.send_net(
             self.now,
             from,
@@ -567,89 +882,41 @@ impl Ctx<'_> {
 }
 
 impl SimCore {
-    fn new(cfg: GridConfig, shared: std::sync::Arc<SharedWorld>) -> SimCore {
+    fn new(
+        cfg: Arc<GridConfig>,
+        enablers: Enablers,
+        shared: Arc<SharedWorld>,
+        hot: HotState,
+    ) -> SimCore {
         let root = SimRng::new(cfg.seed);
         let sim_rng = root.fork(3);
-        let map = &shared.map;
-        let n = cfg.nodes;
-
-        // Dense resource indexing, cluster-major so positions are stable.
-        let mut resources = Vec::new();
-        let mut res_at_node = vec![u32::MAX; n];
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); map.cluster_count()];
-        #[allow(clippy::needless_range_loop)]
-        for ci in 0..map.cluster_count() {
-            for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
-                let idx = resources.len() as u32;
-                res_at_node[node as usize] = idx;
-                members[ci].push(idx);
-                resources.push(ResState {
-                    node,
-                    cluster: ci as u32,
-                    pos: pos as u32,
-                    queue: VecDeque::new(),
-                    running: None,
-                    last_sent_load: 0.0,
-                    busy: 0.0,
-                });
-            }
-        }
-
-        let mut sched_at_node = vec![u32::MAX; n];
-        let scheds: Vec<SchedState> = (0..map.cluster_count())
-            .map(|ci| {
-                let node = map.cluster_scheduler(ci);
-                sched_at_node[node as usize] = ci as u32;
-                SchedState {
-                    node,
-                    view: ClusterView::new(members[ci].len()),
-                    members: std::mem::take(&mut members[ci]),
-                    next_free: 0.0,
-                }
-            })
-            .collect();
-
-        let mut est_at_node = vec![u32::MAX; n];
-        let ests: Vec<EstState> = map
-            .estimators()
-            .iter()
-            .enumerate()
-            .map(|(ei, &node)| {
-                est_at_node[node as usize] = ei as u32;
-                EstState {
-                    node,
-                    next_free: 0.0,
-                    buffer: vec![Vec::new(); map.cluster_count()],
-                }
-            })
-            .collect();
-
-        let mean_demand = cfg.workload.exec_time.mean();
-        let n_sched = scheds.len();
-        let n_est = ests.len();
-        let remaining_parents = shared
-            .dag
-            .as_ref()
-            .map(|d| d.parent_counts())
-            .unwrap_or_default();
         SimCore {
             cfg,
+            enablers,
             shared,
             rng: sim_rng,
-            resources,
-            scheds,
-            ests,
-            res_at_node,
-            sched_at_node,
-            est_at_node,
+            hot,
             mw_next_free: 0.0,
             use_middleware: false,
             token_counter: 0,
-            mean_demand,
-            remaining_parents,
             timeline: None,
-            acct: Accounting::new(n_sched, n_est),
         }
+    }
+
+    #[inline]
+    fn n_clusters(&self) -> usize {
+        self.shared.layout.members.len()
+    }
+
+    /// Jobs-in-system at resource `r` (queued + running).
+    #[inline]
+    fn res_load(&self, r: usize) -> f64 {
+        self.hot.res_queue[r].len() as f64
+            + if self.hot.res_running[r].is_some() {
+                1.0
+            } else {
+                0.0
+            }
     }
 
     /// Seeds arrivals, update ticks, and estimator flush timers.
@@ -677,8 +944,9 @@ impl SimCore {
                 }
             }
         }
-        let tau = self.cfg.enablers.update_interval;
-        for r in 0..self.resources.len() {
+        let tau = self.enablers.update_interval;
+        let nr = self.shared.layout.res_node.len();
+        for r in 0..nr {
             let stagger = self.rng.int_range(1, tau.max(1));
             queue.schedule(
                 SimTime::from_ticks(stagger),
@@ -686,7 +954,8 @@ impl SimCore {
             );
         }
         let flush = self.flush_interval();
-        for e in 0..self.ests.len() {
+        let ne = self.shared.layout.est_node.len();
+        for e in 0..ne {
             let stagger = self.rng.int_range(1, flush.max(1));
             queue.schedule(
                 SimTime::from_ticks(stagger),
@@ -696,12 +965,12 @@ impl SimCore {
     }
 
     fn flush_interval(&self) -> u64 {
-        (self.cfg.enablers.update_interval / 2).max(1)
+        (self.enablers.update_interval / 2).max(1)
     }
 
     fn charge_sched(&mut self, c: usize, cost: f64) {
-        self.acct.g_sched[c] += cost;
-        self.scheds[c].next_free += cost;
+        self.hot.acct.g_sched[c] += cost;
+        self.hot.sched_next_free[c] += cost;
     }
 
     /// Network (and optionally middleware) transport of one message.
@@ -714,6 +983,7 @@ impl SimCore {
         via_middleware: bool,
         queue: &mut EventQueue<GridEvent>,
     ) {
+        self.hot.acct.msgs_sent += 1;
         let size = msg.size();
         let (lat, hops) = if from == to {
             (0.0, 0.0)
@@ -726,7 +996,7 @@ impl SimCore {
             let hops = self.shared.rt.hops(from, to).unwrap_or(1) as f64;
             (lat, hops)
         };
-        let prop = lat * self.cfg.enablers.link_delay_factor;
+        let prop = lat * self.enablers.link_delay_factor;
         let trans = hops.max(1.0) * size / BASE_BANDWIDTH;
         let mut depart = now.as_f64();
         if via_middleware {
@@ -750,7 +1020,7 @@ impl SimCore {
         queue: &mut EventQueue<GridEvent>,
     ) {
         let costs = &self.cfg.costs;
-        let members = self.scheds[c].members.len() as f64;
+        let members = self.shared.layout.members[c].len() as f64;
         let cost = match &item {
             WorkItem::Job(_) | WorkItem::TransferIn(_) => {
                 costs.recv_job + costs.decision_base + costs.decision_per_candidate * members
@@ -760,10 +1030,9 @@ impl SimCore {
             WorkItem::Policy(_) => costs.policy_msg,
             WorkItem::Timer(_) => costs.timer_check,
         };
-        let s = &mut self.scheds[c];
-        let start = now.as_f64().max(s.next_free);
+        let start = now.as_f64().max(self.hot.sched_next_free[c]);
         let done = start + cost;
-        s.next_free = done;
+        self.hot.sched_next_free[c] = done;
         queue.schedule(
             SimTime::from_f64(done),
             GridEvent::SchedWork {
@@ -776,17 +1045,17 @@ impl SimCore {
 
     fn start_job(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
         let dur = SimTime::from_f64((job.exec_time.as_f64() / self.cfg.service_rate).max(1.0));
-        self.resources[r].busy += dur.as_f64();
-        self.resources[r].running = Some(job);
+        self.hot.res_busy[r] += dur.as_f64();
+        self.hot.res_running[r] = Some(job);
         queue.schedule(now + dur, GridEvent::Finish { res: r as u32 });
     }
 
     fn res_enqueue(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
-        self.acct.h_overhead += self.cfg.costs.rp_job_control;
-        if self.resources[r].running.is_none() {
+        self.hot.acct.h_overhead += self.cfg.costs.rp_job_control;
+        if self.hot.res_running[r].is_none() {
             self.start_job(now, r, job, queue);
         } else {
-            self.resources[r].queue.push_back(job);
+            self.hot.res_queue[r].push_back(job);
         }
     }
 
@@ -798,14 +1067,14 @@ impl SimCore {
         queue: &mut EventQueue<GridEvent>,
     ) {
         let response = (now - job.arrival).as_f64();
-        self.acct.completed += 1;
-        self.acct.response.push(response);
-        self.acct.response_hist.push(response);
+        self.hot.acct.completed += 1;
+        self.hot.acct.response.push(response);
+        self.hot.acct.response_hist.push(response);
         if job.meets_deadline(now) {
-            self.acct.succeeded += 1;
-            self.acct.f_work += job.exec_time.as_f64();
+            self.hot.acct.succeeded += 1;
+            self.hot.acct.f_work += job.exec_time.as_f64();
         } else {
-            self.acct.deadline_missed += 1;
+            self.hot.acct.deadline_missed += 1;
         }
         // Precedence extension (paper future-work (b)): releasing children
         // charges the data-management cost of each dependency edge to H —
@@ -814,16 +1083,16 @@ impl SimCore {
         if let Some(dag) = shared.dag.as_ref() {
             for &c in dag.children(job.id) {
                 let child = &shared.trace[c as usize];
-                let child_cluster = (child.submit_point as usize) % self.scheds.len();
+                let child_cluster = (child.submit_point as usize) % self.n_clusters();
                 let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
-                self.acct.h_overhead += factor * self.cfg.dag_data_cost;
-                let rp = &mut self.remaining_parents[c as usize];
+                self.hot.acct.h_overhead += factor * self.cfg.dag_data_cost;
+                let rp = &mut self.hot.remaining_parents[c as usize];
                 debug_assert!(*rp > 0, "child released twice");
                 *rp -= 1;
                 if *rp == 0 {
                     let at = child.arrival.max(now);
                     if at > child.arrival {
-                        self.acct.dag_deferred += 1;
+                        self.hot.acct.dag_deferred += 1;
                     }
                     queue.schedule(at, GridEvent::Arrival(c));
                 }
@@ -844,14 +1113,14 @@ impl SimCore {
                 // For dependency-released jobs the effective arrival is the
                 // release instant; for independent jobs this is a no-op.
                 job.arrival = now;
-                let c = (job.submit_point as usize) % self.scheds.len();
+                let c = (job.submit_point as usize) % self.n_clusters();
                 // The submission host is a random resource of the arrival
                 // cluster; the submit message pays the network distance to
                 // the coordinating scheduler.
-                let members = &self.scheds[c].members;
+                let members = &self.shared.layout.members[c];
                 let host = members[self.rng.index(members.len())];
-                let from = self.resources[host as usize].node;
-                let to = self.scheds[c].node;
+                let from = self.shared.layout.res_node[host as usize];
+                let to = self.shared.layout.sched_node[c];
                 self.send_net(now, from, to, Msg::Submit { job }, false, queue);
             }
 
@@ -859,54 +1128,70 @@ impl SimCore {
 
             GridEvent::Finish { res } => {
                 let r = res as usize;
-                let job = self.resources[r]
-                    .running
+                let job = self.hot.res_running[r]
                     .take()
                     .expect("Finish without a running job");
-                let cluster = self.resources[r].cluster as usize;
+                let cluster = self.shared.layout.res_cluster[r] as usize;
                 self.complete_job(now, job, cluster, queue);
-                if let Some(next) = self.resources[r].queue.pop_front() {
+                if let Some(next) = self.hot.res_queue[r].pop_front() {
                     self.start_job(now, r, next, queue);
                 }
             }
 
             GridEvent::UpdateTick { res } => {
                 let r = res as usize;
-                let load = self.resources[r].load();
-                let delta = (load - self.resources[r].last_sent_load).abs();
+                let load = self.res_load(r);
+                let delta = (load - self.hot.res_last_sent[r]).abs();
                 if delta >= self.cfg.thresholds.suppress_delta {
-                    self.resources[r].last_sent_load = load;
-                    self.acct.updates_sent += 1;
-                    let rnode = self.resources[r].node;
+                    self.hot.res_last_sent[r] = load;
+                    self.hot.acct.updates_sent += 1;
+                    let rnode = self.shared.layout.res_node[r];
                     let dest = match self.shared.map.estimator_for(rnode) {
                         Some(e) => e,
-                        None => self.scheds[self.resources[r].cluster as usize].node,
+                        None => {
+                            self.shared.layout.sched_node
+                                [self.shared.layout.res_cluster[r] as usize]
+                        }
                     };
-                    self.send_net(now, rnode, dest, Msg::StatusUpdate { res, load }, false, queue);
+                    self.send_net(
+                        now,
+                        rnode,
+                        dest,
+                        Msg::StatusUpdate { res, load },
+                        false,
+                        queue,
+                    );
                 } else {
-                    self.acct.updates_suppressed += 1;
+                    self.hot.acct.updates_suppressed += 1;
                 }
-                let tau = self.cfg.enablers.update_interval;
-                queue.schedule(now + SimTime::from_ticks(tau), GridEvent::UpdateTick { res });
+                let tau = self.enablers.update_interval;
+                queue.schedule(
+                    now + SimTime::from_ticks(tau),
+                    GridEvent::UpdateTick { res },
+                );
             }
 
             GridEvent::EstFlush { est } => {
                 let e = est as usize;
-                for ci in 0..self.scheds.len() {
-                    if self.ests[e].buffer[ci].is_empty() {
+                let nc = self.n_clusters();
+                for ci in 0..nc {
+                    if self.hot.est_buffer[e][ci].is_empty() {
                         continue;
                     }
-                    let updates = std::mem::take(&mut self.ests[e].buffer[ci]);
-                    self.acct.g_est[e] += self.cfg.costs.batch_fixed;
-                    self.ests[e].next_free =
-                        now.as_f64().max(self.ests[e].next_free) + self.cfg.costs.batch_fixed;
-                    self.acct.batches += 1;
-                    let from = self.ests[e].node;
-                    let to = self.scheds[ci].node;
+                    let updates = std::mem::take(&mut self.hot.est_buffer[e][ci]);
+                    self.hot.acct.g_est[e] += self.cfg.costs.batch_fixed;
+                    self.hot.est_next_free[e] =
+                        now.as_f64().max(self.hot.est_next_free[e]) + self.cfg.costs.batch_fixed;
+                    self.hot.acct.batches += 1;
+                    let from = self.shared.layout.est_node[e];
+                    let to = self.shared.layout.sched_node[ci];
                     self.send_net(now, from, to, Msg::StatusBatch { updates }, false, queue);
                 }
                 let flush = self.flush_interval();
-                queue.schedule(now + SimTime::from_ticks(flush), GridEvent::EstFlush { est });
+                queue.schedule(
+                    now + SimTime::from_ticks(flush),
+                    GridEvent::EstFlush { est },
+                );
             }
 
             GridEvent::PolicyTimer { cluster, tag } => {
@@ -914,31 +1199,40 @@ impl SimCore {
             }
 
             GridEvent::Sample => {
-                if let Some(tl) = self.timeline.as_mut() {
-                    let loads: Vec<f64> = self.resources.iter().map(|r| r.load()).collect();
-                    let n = loads.len().max(1) as f64;
-                    let mean_load = loads.iter().sum::<f64>() / n;
-                    let max_load = loads.iter().copied().fold(0.0, f64::max);
+                if self.timeline.is_some() {
+                    let nr = self.shared.layout.res_node.len();
+                    let mut sum = 0.0;
+                    let mut max_load: f64 = 0.0;
+                    for r in 0..nr {
+                        let l = self.res_load(r);
+                        sum += l;
+                        max_load = max_load.max(l);
+                    }
+                    let mean_load = sum / nr.max(1) as f64;
                     let rms_backlog = self
-                        .scheds
+                        .hot
+                        .sched_next_free
                         .iter()
-                        .map(|sc| (sc.next_free - now.as_f64()).max(0.0))
+                        .map(|nf| (nf - now.as_f64()).max(0.0))
                         .fold(0.0, f64::max);
                     let g_busy_so_far: f64 = self
+                        .hot
                         .acct
                         .g_sched
                         .iter()
-                        .chain(self.acct.g_est.iter())
+                        .chain(self.hot.acct.g_est.iter())
                         .sum();
-                    tl.push(Sample {
+                    let sample = Sample {
                         at: now,
                         mean_load,
                         max_load,
                         rms_backlog,
-                        f_so_far: self.acct.f_work,
+                        f_so_far: self.hot.acct.f_work,
                         g_busy_so_far,
-                        completed: self.acct.completed,
-                    });
+                        completed: self.hot.acct.completed,
+                    };
+                    let tl = self.timeline.as_mut().expect("checked above");
+                    tl.push(sample);
                     let interval = tl.interval();
                     queue.schedule(now + SimTime::from_ticks(interval), GridEvent::Sample);
                 }
@@ -946,18 +1240,26 @@ impl SimCore {
 
             GridEvent::SchedWork { sched, item, cost } => {
                 let c = sched as usize;
-                self.acct.g_sched[c] += cost;
+                self.hot.acct.g_sched[c] += cost;
                 match item {
                     WorkItem::Job(job) => {
                         let class = job.class(self.cfg.thresholds.t_cpu);
-                        let mut ctx = Ctx { core: self, queue, now };
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
                         match class {
                             JobClass::Local => policy.on_local_job(&mut ctx, c, job),
                             JobClass::Remote => policy.on_remote_job(&mut ctx, c, job),
                         }
                     }
                     WorkItem::TransferIn(job) => {
-                        let mut ctx = Ctx { core: self, queue, now };
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
                         policy.on_transfer_in(&mut ctx, c, job);
                     }
                     WorkItem::Update { res, load } => {
@@ -969,11 +1271,19 @@ impl SimCore {
                         }
                     }
                     WorkItem::Policy(msg) => {
-                        let mut ctx = Ctx { core: self, queue, now };
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
                         policy.on_policy_msg(&mut ctx, c, msg);
                     }
                     WorkItem::Timer(tag) => {
-                        let mut ctx = Ctx { core: self, queue, now };
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
                         policy.on_timer(&mut ctx, c, tag);
                     }
                 }
@@ -990,85 +1300,89 @@ impl SimCore {
         queue: &mut EventQueue<GridEvent>,
         policy: &mut dyn Policy,
     ) {
-        let r = &self.resources[res as usize];
         // Guard against misrouted updates (cluster mismatch cannot happen
         // by construction, but stay defensive).
-        if r.cluster as usize != c {
+        if self.shared.layout.res_cluster[res as usize] as usize != c {
             return;
         }
-        let pos = r.pos as usize;
-        self.scheds[c].view.apply_update(pos, load, now);
-        let mut ctx = Ctx { core: self, queue, now };
+        let pos = self.shared.layout.res_pos[res as usize] as usize;
+        self.hot.views[c].apply_update(pos, load, now);
+        let mut ctx = Ctx {
+            core: self,
+            queue,
+            now,
+        };
         policy.on_update(&mut ctx, c, pos, load);
     }
 
     fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, queue: &mut EventQueue<GridEvent>) {
         match msg {
             Msg::Dispatch { job } => {
-                let r = self.res_at_node[to as usize];
+                let r = self.shared.layout.res_at_node[to as usize];
                 debug_assert_ne!(r, u32::MAX, "Dispatch to a non-resource node");
                 self.res_enqueue(now, r as usize, job, queue);
             }
             Msg::Recall { to_cluster } => {
-                let r = self.res_at_node[to as usize];
+                let r = self.shared.layout.res_at_node[to as usize];
                 debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
-                if let Some(job) = self.resources[r as usize].queue.pop_back() {
-                    self.acct.transfers += 1;
-                    let from = self.resources[r as usize].node;
-                    let dest = self.scheds[to_cluster as usize].node;
+                if let Some(job) = self.hot.res_queue[r as usize].pop_back() {
+                    self.hot.acct.transfers += 1;
+                    let from = self.shared.layout.res_node[r as usize];
+                    let dest = self.shared.layout.sched_node[to_cluster as usize];
                     self.send_net(now, from, dest, Msg::Transfer { job }, false, queue);
                 }
             }
             Msg::StatusUpdate { res, load } => {
-                let e = self.est_at_node[to as usize];
+                let e = self.shared.layout.est_at_node[to as usize];
                 if e != u32::MAX {
                     // Estimator ingest: charge its server, buffer for the
                     // resource's cluster.
                     let cost = self.cfg.costs.update;
-                    self.acct.g_est[e as usize] += cost;
-                    let est = &mut self.ests[e as usize];
-                    est.next_free = now.as_f64().max(est.next_free) + cost;
-                    let ci = self.resources[res as usize].cluster as usize;
-                    est.buffer[ci].push((res, load));
+                    self.hot.acct.g_est[e as usize] += cost;
+                    self.hot.est_next_free[e as usize] =
+                        now.as_f64().max(self.hot.est_next_free[e as usize]) + cost;
+                    let ci = self.shared.layout.res_cluster[res as usize] as usize;
+                    self.hot.est_buffer[e as usize][ci].push((res, load));
                 } else {
-                    let c = self.sched_at_node[to as usize];
+                    let c = self.shared.layout.sched_at_node[to as usize];
                     debug_assert_ne!(c, u32::MAX, "update to a non-RMS node");
                     self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, queue);
                 }
             }
             Msg::StatusBatch { updates } => {
-                let c = self.sched_at_node[to as usize];
+                let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
                 self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), queue);
             }
             Msg::Submit { job } => {
-                let c = self.sched_at_node[to as usize];
+                let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
                 self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), queue);
             }
             Msg::Transfer { job } => {
-                let c = self.sched_at_node[to as usize];
+                let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
                 self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), queue);
             }
             Msg::Policy(pmsg) => {
-                let c = self.sched_at_node[to as usize];
+                let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
-                self.acct.policy_msgs += 1;
+                self.hot.acct.policy_msgs += 1;
                 self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), queue);
             }
         }
     }
 
-    fn report(&self, policy: &str, horizon: SimTime) -> SimReport {
-        let a = &self.acct;
+    fn report(&self, policy: &str, horizon: SimTime, events_processed: u64) -> SimReport {
+        let a = &self.hot.acct;
         let g_busy_raw: f64 = a.g_sched.iter().chain(a.g_est.iter()).sum();
         let g = g_busy_raw * self.cfg.costs.overhead_weight;
         let h = a.h_overhead;
         let f = a.f_work;
         let efficiency = if f > 0.0 { f / (f + g + h) } else { 0.0 };
         let ht = horizon.as_f64();
-        let res_busy: f64 = self.resources.iter().map(|r| r.busy).sum();
+        let res_busy: f64 = self.hot.res_busy.iter().sum();
+        let n_res = self.hot.res_busy.len();
         SimReport {
             policy: policy.to_string(),
             f_work: f,
@@ -1093,13 +1407,15 @@ impl SimCore {
             dag_deferred: a.dag_deferred,
             g_busy_raw,
             g_busy_max_scheduler: a.g_sched.iter().copied().fold(0.0, f64::max),
-            resource_utilization: if self.resources.is_empty() {
+            resource_utilization: if n_res == 0 {
                 0.0
             } else {
-                res_busy / (self.resources.len() as f64 * ht)
+                res_busy / (n_res as f64 * ht)
             },
             horizon_ticks: horizon.ticks(),
             nodes: self.cfg.nodes,
+            events_processed,
+            msgs_sent: a.msgs_sent,
         }
     }
 }
@@ -1108,7 +1424,9 @@ impl SimCore {
 /// the measured report.
 ///
 /// The run is a pure function of `(cfg, policy)` — identical inputs give
-/// identical reports.
+/// identical reports. Routed through the shared template machinery: the
+/// configuration is cloned exactly once (into the template's `Arc`), and
+/// the run itself only carries the `Enablers` overlay.
 pub fn run_simulation(cfg: &GridConfig, policy: &mut dyn Policy) -> SimReport {
     SimTemplate::new(cfg).run(cfg.enablers, policy)
 }
@@ -1153,6 +1471,8 @@ mod tests {
         assert!(r.f_work > 0.0);
         assert!(r.g_overhead > 0.0);
         assert!(r.efficiency > 0.0 && r.efficiency < 1.0);
+        assert!(r.events_processed > 0, "engine counts events");
+        assert!(r.msgs_sent > 0, "transport counts messages");
     }
 
     #[test]
@@ -1165,6 +1485,8 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.updates_sent, b.updates_sent);
         assert_eq!(a.mean_response, b.mean_response);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.msgs_sent, b.msgs_sent);
     }
 
     #[test]
@@ -1242,30 +1564,79 @@ mod tests {
     }
 
     #[test]
-    fn template_reruns_recycle_queues_without_changing_results() {
+    fn template_reruns_recycle_pools_without_changing_results() {
         let cfg = small_cfg();
         let template = SimTemplate::new(&cfg);
-        // First run populates the pool and the capacity hint...
+        // First run populates both pools and the capacity hint...
         let a = template.run(cfg.enablers, &mut LocalOnly);
-        let hint = template
-            .cap_hint
-            .load(std::sync::atomic::Ordering::Relaxed);
-        assert!(hint > 0, "a completed run records its peak queue length");
-        assert_eq!(
-            template
-                .queue_pool
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .len(),
-            1,
-            "the run's queue returns to the pool"
-        );
+        let s = template.replay_stats();
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.scratch_reused, 0, "nothing to reuse on the first run");
+        assert_eq!(s.pooled_queues, 1, "the run's queue returns to the pool");
+        assert_eq!(s.pooled_scratch, 1, "the run's scratch returns to the pool");
+        assert!(s.queue_cap_hint > 0, "peak queue length is recorded");
+        assert!(s.scratch_bytes > 0, "pooled scratch has resident capacity");
         // ...and the recycled second run is bit-identical.
         let b = template.run(cfg.enablers, &mut LocalOnly);
+        let s = template.replay_stats();
+        assert_eq!(
+            (s.runs, s.scratch_reused),
+            (2, 1),
+            "second run reused scratch"
+        );
         assert_eq!(a.f_work, b.f_work);
         assert_eq!(a.g_overhead, b.g_overhead);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.mean_response, b.mean_response);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.msgs_sent, b.msgs_sent);
+    }
+
+    #[test]
+    fn run_cold_matches_pooled_run_bit_for_bit() {
+        let cfg = small_cfg();
+        let template = SimTemplate::new(&cfg);
+        let pooled_1 = template.run(cfg.enablers, &mut LocalOnly);
+        // Dirty the pooled scratch at a different operating point, then
+        // replay the original point from the recycled arena.
+        let perturbed = Enablers {
+            update_interval: cfg.enablers.update_interval * 2,
+            ..cfg.enablers
+        };
+        let _ = template.run(perturbed, &mut LocalOnly);
+        let pooled_2 = template.run(cfg.enablers, &mut LocalOnly);
+        let cold = template.run_cold(cfg.enablers, &mut LocalOnly);
+        let j = |r: &SimReport| serde_json::to_string(r).unwrap();
+        assert_eq!(j(&pooled_1), j(&cold), "pooled == cold, byte for byte");
+        assert_eq!(j(&pooled_2), j(&cold), "recycled replay == cold");
+        assert_eq!(
+            template.replay_stats().pooled_scratch,
+            1,
+            "run_cold neither borrows nor returns pooled scratch"
+        );
+    }
+
+    #[test]
+    fn ranked_peers_are_complete_and_latency_sorted() {
+        let cfg = small_cfg();
+        let template = SimTemplate::new(&cfg);
+        let layout = &template.shared.layout;
+        let rt = &template.shared.rt;
+        let nc = layout.members.len();
+        assert!(nc >= 2);
+        for ci in 0..nc {
+            let peers = &layout.ranked_peers[ci];
+            assert_eq!(peers.len(), nc - 1, "every other cluster is ranked");
+            assert!(peers.iter().all(|&cj| cj as usize != ci));
+            let from = layout.sched_node[ci];
+            let lat = |cj: u32| rt.latency(from, layout.sched_node[cj as usize]).unwrap();
+            for w in peers.windows(2) {
+                assert!(
+                    (lat(w[0]), w[0]) <= (lat(w[1]), w[1]),
+                    "peers of {ci} sorted by (latency, id)"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! The scheduler's (stale) view of its cluster.
+//!
+//! Stored struct-of-arrays (parallel `loads` / `updated_at` vectors) with
+//! two tournament trees indexing the load column, so the hot queries of
+//! the DES inner loop — least-loaded dispatch, most-loaded recall, and
+//! "any idle resource?" volunteer checks — are O(log n) to maintain and
+//! O(1) to answer instead of full scans. The trees select by the total
+//! order `(load, position)`, which reproduces the historical scan
+//! semantics exactly: `least_loaded` breaks ties toward the *lowest*
+//! position (like `Iterator::min_by`, which keeps the first minimum) and
+//! `most_loaded` toward the *highest* (like `max_by`, which keeps the
+//! last maximum). Loads must never be NaN.
 
 use gridscale_desim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -22,79 +33,166 @@ impl Default for ResourceView {
     }
 }
 
+/// Winner of a min-tournament round: the position with the smaller
+/// `(load, position)` pair, i.e. ties break toward the lower position.
+#[inline]
+fn min_wins(loads: &[f64], a: u32, b: u32) -> u32 {
+    let (la, lb) = (loads[a as usize], loads[b as usize]);
+    if lb < la || (lb == la && b < a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Winner of a max-tournament round: the position with the larger
+/// `(load, position)` pair, i.e. ties break toward the higher position.
+#[inline]
+fn max_wins(loads: &[f64], a: u32, b: u32) -> u32 {
+    let (la, lb) = (loads[a as usize], loads[b as usize]);
+    if lb > la || (lb == la && b > a) {
+        b
+    } else {
+        a
+    }
+}
+
 /// A scheduler's view of the cluster it coordinates.
 ///
 /// Indexed by *position within the cluster* (0..cluster size); the
 /// simulator maps global resource indices to positions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ClusterView {
-    views: Vec<ResourceView>,
+    loads: Vec<f64>,
+    updated_at: Vec<SimTime>,
+    /// Iterative tournament (segment) trees over `loads`: slots `n..2n`
+    /// hold the positions `0..n`, slot `j < n` holds the winner of its
+    /// children `2j` / `2j+1`, and slot 1 is the overall winner. Any
+    /// bracket shape yields the same champion because the selection runs
+    /// over a total order.
+    min_tree: Vec<u32>,
+    max_tree: Vec<u32>,
+    /// Count of positions with load ≥ 1.0, maintained incrementally so
+    /// `rus` is O(1); integer counting makes it exactly equal to a scan.
+    busy: usize,
 }
 
 impl ClusterView {
     /// A view over `n` resources, all initially believed idle.
     pub fn new(n: usize) -> Self {
-        ClusterView {
-            views: vec![ResourceView::default(); n],
-        }
+        let mut v = ClusterView {
+            loads: vec![0.0; n],
+            updated_at: vec![SimTime::ZERO; n],
+            min_tree: Vec::new(),
+            max_tree: Vec::new(),
+            busy: 0,
+        };
+        v.build_trees();
+        v
     }
 
     /// Number of resources in the cluster.
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.loads.len()
     }
 
     /// True for a (degenerate) empty cluster.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.loads.is_empty()
+    }
+
+    /// Re-initializes every resource to the believed-idle state while
+    /// keeping all allocations, so pooled views can be recycled across
+    /// simulation runs.
+    pub fn reset_idle(&mut self) {
+        self.loads.iter_mut().for_each(|l| *l = 0.0);
+        self.updated_at.iter_mut().for_each(|t| *t = SimTime::ZERO);
+        self.busy = 0;
+        self.build_trees();
+    }
+
+    fn build_trees(&mut self) {
+        let n = self.loads.len();
+        self.min_tree.clear();
+        self.min_tree.resize(2 * n, 0);
+        self.max_tree.clear();
+        self.max_tree.resize(2 * n, 0);
+        for i in 0..n {
+            self.min_tree[n + i] = i as u32;
+            self.max_tree[n + i] = i as u32;
+        }
+        for j in (1..n).rev() {
+            let (a, b) = (self.min_tree[2 * j], self.min_tree[2 * j + 1]);
+            self.min_tree[j] = min_wins(&self.loads, a, b);
+            let (a, b) = (self.max_tree[2 * j], self.max_tree[2 * j + 1]);
+            self.max_tree[j] = max_wins(&self.loads, a, b);
+        }
+    }
+
+    /// Writes a new load and repairs both tournament brackets along the
+    /// leaf-to-root path: O(log n).
+    #[inline]
+    fn set_load(&mut self, pos: usize, load: f64) {
+        let old = self.loads[pos];
+        self.loads[pos] = load;
+        self.busy = self.busy + (load >= 1.0) as usize - (old >= 1.0) as usize;
+        let n = self.loads.len();
+        let mut j = (n + pos) >> 1;
+        while j >= 1 {
+            let (a, b) = (self.min_tree[2 * j], self.min_tree[2 * j + 1]);
+            self.min_tree[j] = min_wins(&self.loads, a, b);
+            let (a, b) = (self.max_tree[2 * j], self.max_tree[2 * j + 1]);
+            self.max_tree[j] = max_wins(&self.loads, a, b);
+            j >>= 1;
+        }
     }
 
     /// Records an authoritative status update.
     pub fn apply_update(&mut self, pos: usize, load: f64, now: SimTime) {
-        self.views[pos] = ResourceView {
-            load,
-            updated_at: now,
-        };
+        self.set_load(pos, load);
+        self.updated_at[pos] = now;
     }
 
     /// Optimistically accounts for a dispatch the scheduler just issued
     /// (the real update will overwrite this later). Prevents the
     /// herd-to-the-idlest pathology between updates.
     pub fn bump(&mut self, pos: usize, delta: f64) {
-        self.views[pos].load = (self.views[pos].load + delta).max(0.0);
+        self.set_load(pos, (self.loads[pos] + delta).max(0.0));
     }
 
     /// The believed state of one resource.
     pub fn get(&self, pos: usize) -> ResourceView {
-        self.views[pos]
+        ResourceView {
+            load: self.loads[pos],
+            updated_at: self.updated_at[pos],
+        }
     }
 
     /// Position of the least-loaded resource (ties → lowest position);
-    /// `None` for an empty cluster.
+    /// `None` for an empty cluster. O(1): reads the min-bracket champion.
     pub fn least_loaded(&self) -> Option<usize> {
-        self.views
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.load.partial_cmp(&b.load).unwrap())
-            .map(|(i, _)| i)
+        (!self.loads.is_empty()).then(|| self.min_tree[1] as usize)
     }
 
     /// Mean believed load (jobs per resource); 0 for an empty cluster.
+    ///
+    /// Deliberately an in-order scan: summation order is part of the
+    /// bit-for-bit report contract.
     pub fn avg_load(&self) -> f64 {
-        if self.views.is_empty() {
+        if self.loads.is_empty() {
             0.0
         } else {
-            self.views.iter().map(|v| v.load).sum::<f64>() / self.views.len() as f64
+            self.loads.iter().sum::<f64>() / self.loads.len() as f64
         }
     }
 
     /// Believed busy fraction: share of resources with load ≥ 1 (the
-    /// paper's RUS, *resource utilization status*).
+    /// paper's RUS, *resource utilization status*). O(1).
     pub fn rus(&self) -> f64 {
-        if self.views.is_empty() {
+        if self.loads.is_empty() {
             0.0
         } else {
-            self.views.iter().filter(|v| v.load >= 1.0).count() as f64 / self.views.len() as f64
+            self.busy as f64 / self.loads.len() as f64
         }
     }
 
@@ -103,27 +201,34 @@ impl ClusterView {
     /// the mean demand estimate, divided by the service rate.
     pub fn awt(&self, mean_demand: f64, service_rate: f64) -> f64 {
         match self.least_loaded() {
-            Some(p) => self.views[p].load * mean_demand / service_rate,
+            Some(p) => self.loads[p] * mean_demand / service_rate,
             None => f64::INFINITY,
+        }
+    }
+
+    /// True when some resource is believed idle (load < `threshold`):
+    /// equivalent to `idle_positions(threshold).next().is_some()` but O(1)
+    /// via the min bracket, since ∃ load < t ⇔ min load < t.
+    pub fn has_idle(&self, threshold: f64) -> bool {
+        match self.least_loaded() {
+            Some(p) => self.loads[p] < threshold,
+            None => false,
         }
     }
 
     /// Positions believed idle (load < `threshold`).
     pub fn idle_positions(&self, threshold: f64) -> impl Iterator<Item = usize> + '_ {
-        self.views
+        self.loads
             .iter()
             .enumerate()
-            .filter(move |(_, v)| v.load < threshold)
+            .filter(move |(_, l)| **l < threshold)
             .map(|(i, _)| i)
     }
 
-    /// Position of the most-loaded resource, if any.
+    /// Position of the most-loaded resource (ties → highest position), if
+    /// any. O(1): reads the max-bracket champion.
     pub fn most_loaded(&self) -> Option<usize> {
-        self.views
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| a.load.partial_cmp(&b.load).unwrap())
-            .map(|(i, _)| i)
+        (!self.loads.is_empty()).then(|| self.max_tree[1] as usize)
     }
 }
 
@@ -133,6 +238,21 @@ mod tests {
 
     fn t(x: u64) -> SimTime {
         SimTime::from_ticks(x)
+    }
+
+    /// Reference implementations with the historical scan semantics.
+    fn scan_least(v: &ClusterView) -> Option<usize> {
+        (0..v.len())
+            .map(|i| (i, v.get(i).load))
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
+    }
+
+    fn scan_most(v: &ClusterView) -> Option<usize> {
+        (0..v.len())
+            .map(|i| (i, v.get(i).load))
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i)
     }
 
     #[test]
@@ -154,6 +274,16 @@ mod tests {
     }
 
     #[test]
+    fn most_loaded_ties_break_to_highest_position() {
+        // Historical `max_by` kept the *last* of equal maxima.
+        let mut v = ClusterView::new(4);
+        v.apply_update(1, 3.0, t(1));
+        v.apply_update(2, 3.0, t(1));
+        assert_eq!(v.most_loaded(), Some(2));
+        assert_eq!(v.most_loaded(), scan_most(&v));
+    }
+
+    #[test]
     fn bump_clamps_at_zero() {
         let mut v = ClusterView::new(1);
         v.bump(0, 1.0);
@@ -168,6 +298,8 @@ mod tests {
         v.apply_update(0, 1.0, t(1));
         v.apply_update(1, 2.5, t(1));
         assert!((v.rus() - 0.5).abs() < 1e-12);
+        v.apply_update(0, 0.9, t(2));
+        assert!((v.rus() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -184,9 +316,11 @@ mod tests {
         let v = ClusterView::new(0);
         assert!(v.is_empty());
         assert_eq!(v.least_loaded(), None);
+        assert_eq!(v.most_loaded(), None);
         assert_eq!(v.avg_load(), 0.0);
         assert_eq!(v.rus(), 0.0);
         assert!(v.awt(1.0, 1.0).is_infinite());
+        assert!(!v.has_idle(1.0));
     }
 
     #[test]
@@ -197,5 +331,61 @@ mod tests {
         v.apply_update(2, 0.2, t(1));
         let idle: Vec<usize> = v.idle_positions(0.5).collect();
         assert_eq!(idle, vec![0, 2]);
+        assert!(v.has_idle(0.5));
+        assert!(!v.has_idle(0.0));
+    }
+
+    #[test]
+    fn has_idle_matches_iterator() {
+        let mut v = ClusterView::new(5);
+        for (i, load) in [(0, 2.0), (1, 1.5), (2, 0.7), (3, 3.0), (4, 1.0)] {
+            v.apply_update(i, load, t(1));
+        }
+        for thr in [0.0, 0.5, 0.7, 0.71, 1.0, 10.0] {
+            assert_eq!(
+                v.has_idle(thr),
+                v.idle_positions(thr).next().is_some(),
+                "threshold {thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn tournament_matches_scan_under_randomish_churn() {
+        // Deterministic pseudo-random churn across awkward (non-power-of-
+        // two) sizes; after every write both champions must equal the
+        // historical full-scan answers.
+        for n in [1usize, 2, 3, 5, 7, 12, 33] {
+            let mut v = ClusterView::new(n);
+            let mut x = 0x9E37_79B9u64;
+            for step in 0..200 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pos = (x >> 33) as usize % n;
+                let load = ((x >> 17) & 0x7) as f64 * 0.5;
+                if step % 3 == 0 {
+                    v.bump(pos, load - 1.0);
+                } else {
+                    v.apply_update(pos, load, t(step));
+                }
+                assert_eq!(v.least_loaded(), scan_least(&v), "n={n} step={step}");
+                assert_eq!(v.most_loaded(), scan_most(&v), "n={n} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_idle_restores_fresh_state() {
+        let mut v = ClusterView::new(6);
+        for i in 0..6 {
+            v.apply_update(i, (i + 1) as f64, t(9));
+        }
+        v.reset_idle();
+        assert_eq!(v.least_loaded(), Some(0));
+        assert_eq!(v.most_loaded(), Some(5));
+        assert_eq!(v.rus(), 0.0);
+        assert_eq!(v.get(3), ResourceView::default());
+        assert_eq!(v.len(), 6);
     }
 }

@@ -40,6 +40,8 @@ pub struct Auction {
     /// Open auction per cluster (at most one at a time).
     open: Vec<Option<u64>>,
     books: HashMap<u64, Book>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl Default for Auction {
@@ -49,6 +51,7 @@ impl Default for Auction {
             next_auction: 0,
             open: Vec::new(),
             books: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 }
@@ -77,15 +80,18 @@ impl Policy for Auction {
         if load >= t_l || self.open[cluster].is_some() {
             return;
         }
-        let peers = ctx.random_remotes(cluster, ctx.enablers().neighborhood);
-        if peers.is_empty() {
+        // The peer draw happens before the empty-check on purpose: the RNG
+        // stream must advance exactly as it always has.
+        let lp = ctx.enablers().neighborhood;
+        ctx.random_remotes_into(cluster, lp, &mut self.scratch);
+        if self.scratch.is_empty() {
             return;
         }
         self.next_auction += 1;
         let auction = self.next_auction;
         self.open[cluster] = Some(auction);
         self.books.insert(auction, Book { bids: Vec::new() });
-        for p in peers {
+        for &p in &self.scratch {
             ctx.send_policy(
                 cluster,
                 p,

@@ -41,6 +41,8 @@ impl Policy for RandomPlacement {
 pub struct Threshold {
     /// Held jobs awaiting their single probe answer.
     pending: HashMap<u64, Job>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl Policy for Threshold {
@@ -53,8 +55,8 @@ impl Policy for Threshold {
             ctx.dispatch_least_loaded(cluster, job);
             return;
         }
-        let peers = ctx.random_remotes(cluster, 1);
-        let Some(&peer) = peers.first() else {
+        ctx.random_remotes_into(cluster, 1, &mut self.scratch);
+        let Some(&peer) = self.scratch.first() else {
             ctx.dispatch_least_loaded(cluster, job);
             return;
         };

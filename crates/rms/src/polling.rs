@@ -42,6 +42,8 @@ struct Reply {
 pub struct PollPlacer {
     rule: PlacementRule,
     pending: HashMap<u64, Pending>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl PollPlacer {
@@ -50,6 +52,7 @@ impl PollPlacer {
         PollPlacer {
             rule,
             pending: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -62,8 +65,8 @@ impl PollPlacer {
     /// a local least-loaded dispatch when the Grid has no peers.
     pub fn start(&mut self, ctx: &mut Ctx, home: usize, job: Job) {
         let lp = ctx.enablers().neighborhood;
-        let peers = ctx.random_remotes(home, lp);
-        if peers.is_empty() {
+        ctx.random_remotes_into(home, lp, &mut self.scratch);
+        if self.scratch.is_empty() {
             ctx.dispatch_least_loaded(home, job);
             return;
         }
@@ -73,11 +76,11 @@ impl PollPlacer {
             Pending {
                 job,
                 home,
-                expected: peers.len(),
-                replies: Vec::with_capacity(peers.len()),
+                expected: self.scratch.len(),
+                replies: Vec::with_capacity(self.scratch.len()),
             },
         );
-        for p in peers {
+        for &p in &self.scratch {
             ctx.send_policy(
                 home,
                 p,
@@ -91,7 +94,13 @@ impl PollPlacer {
     }
 
     /// Answers an incoming poll with this cluster's status.
-    pub fn answer_poll(ctx: &mut Ctx, cluster: usize, from: u32, token: u64, job_exec: gridscale_desim::SimTime) {
+    pub fn answer_poll(
+        ctx: &mut Ctx,
+        cluster: usize,
+        from: u32,
+        token: u64,
+        job_exec: gridscale_desim::SimTime,
+    ) {
         let reply = PolicyMsg::PollReply {
             from: cluster as u32,
             token,
@@ -160,10 +169,7 @@ impl PollPlacer {
                 let mut cands: Vec<Reply> = Vec::with_capacity(p.replies.len() + 1);
                 cands.push(local);
                 cands.extend(p.replies.iter().copied());
-                let min_att = cands
-                    .iter()
-                    .map(|r| r.att)
-                    .fold(f64::INFINITY, f64::min);
+                let min_att = cands.iter().map(|r| r.att).fold(f64::INFINITY, f64::min);
                 // All candidates within ψ of the optimum; smallest RUS wins
                 // (ties → the earliest listed, i.e. prefer local).
                 let winner = cands

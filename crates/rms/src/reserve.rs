@@ -30,6 +30,8 @@ pub struct Reserve {
     advertised_to: Vec<Vec<usize>>,
     /// Jobs held while probing, keyed by token (value: job + probed holder).
     pending: HashMap<u64, (Job, usize)>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl Reserve {
@@ -66,8 +68,8 @@ impl Policy for Reserve {
         let avg = ctx.avg_load(cluster);
         let lp = ctx.enablers().neighborhood;
         if avg < t_l && self.advertised_to[cluster].is_empty() {
-            let peers = ctx.random_remotes(cluster, lp);
-            for &p in &peers {
+            ctx.random_remotes_into(cluster, lp, &mut self.scratch);
+            for &p in &self.scratch {
                 ctx.send_policy(
                     cluster,
                     p,
@@ -76,7 +78,8 @@ impl Policy for Reserve {
                     },
                 );
             }
-            self.advertised_to[cluster] = peers;
+            // clone_from reuses the slot's retained capacity.
+            self.advertised_to[cluster].clone_from(&self.scratch);
         } else if avg >= t_l && !self.advertised_to[cluster].is_empty() {
             let peers = std::mem::take(&mut self.advertised_to[cluster]);
             for p in peers {

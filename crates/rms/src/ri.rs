@@ -30,6 +30,8 @@ const TAG_RUS_CHECK: u64 = 2;
 pub struct ReceiverInit {
     /// Pending demand handshakes at the loaded side: token → volunteer.
     pending: HashMap<u64, usize>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl Policy for ReceiverInit {
@@ -60,11 +62,14 @@ impl Policy for ReceiverInit {
             return;
         }
         let delta = ctx.thresholds().delta;
-        let has_idle = ctx.view(cluster).idle_positions(delta).next().is_some();
+        // O(1) via the view's tournament tree (same truth value as
+        // scanning idle_positions).
+        let has_idle = ctx.view(cluster).has_idle(delta);
         if has_idle {
             let lp = ctx.enablers().neighborhood;
             let rus = ctx.rus(cluster);
-            for p in ctx.random_remotes(cluster, lp) {
+            ctx.random_remotes_into(cluster, lp, &mut self.scratch);
+            for &p in &self.scratch {
                 ctx.send_policy(
                     cluster,
                     p,

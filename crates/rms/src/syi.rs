@@ -32,6 +32,8 @@ struct Advert {
 pub struct Symmetric {
     placer: PollPlacer,
     adverts: Vec<Vec<Advert>>,
+    /// Reused peer-draw buffer (`random_remotes_into` scratch).
+    scratch: Vec<usize>,
 }
 
 impl Default for Symmetric {
@@ -39,6 +41,7 @@ impl Default for Symmetric {
         Symmetric {
             placer: PollPlacer::new(PlacementRule::TurnaroundCost),
             adverts: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 }
@@ -81,13 +84,15 @@ impl Policy for Symmetric {
         if tag != TAG_RUS_CHECK {
             return;
         }
-        // R-I half: advertise under-utilization periodically.
+        // R-I half: advertise under-utilization periodically. The idle
+        // probe is O(1) via the view's tournament tree.
         let delta = ctx.thresholds().delta;
-        let has_idle = ctx.view(cluster).idle_positions(delta).next().is_some();
+        let has_idle = ctx.view(cluster).has_idle(delta);
         if has_idle {
             let lp = ctx.enablers().neighborhood;
             let rus = ctx.rus(cluster);
-            for p in ctx.random_remotes(cluster, lp) {
+            ctx.random_remotes_into(cluster, lp, &mut self.scratch);
+            for &p in &self.scratch {
                 ctx.send_policy(
                     cluster,
                     p,

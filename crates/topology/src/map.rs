@@ -79,8 +79,7 @@ impl GridMap {
         for &s in &schedulers {
             roles[s as usize] = NodeRole::Scheduler;
         }
-        let estimators: Vec<NodeId> =
-            by_degree[n_schedulers..n_schedulers + n_estimators].to_vec();
+        let estimators: Vec<NodeId> = by_degree[n_schedulers..n_schedulers + n_estimators].to_vec();
         for &e in &estimators {
             roles[e as usize] = NodeRole::Estimator;
         }
@@ -103,7 +102,9 @@ impl GridMap {
             let coord = rt
                 .nearest(r, &schedulers)
                 .expect("graph must be connected so every resource reaches a scheduler");
-            let ci = schedulers.iter().position(|&s| s == coord).unwrap();
+            // cluster_idx already maps scheduler nodes to their cluster, so
+            // resolving the coordinator is O(1) instead of a linear scan.
+            let ci = cluster_idx[coord as usize] as usize;
             cluster_idx[r as usize] = ci as u32;
             clusters[ci].push(r);
         }
@@ -135,9 +136,7 @@ impl GridMap {
         let mut estimator_of = vec![NodeId::MAX; n];
         if !estimators.is_empty() {
             for &r in &resources {
-                let e = rt
-                    .nearest(r, &estimators)
-                    .expect("graph must be connected");
+                let e = rt.nearest(r, &estimators).expect("graph must be connected");
                 estimator_of[r as usize] = e;
             }
         }
@@ -254,7 +253,10 @@ mod tests {
             "schedulers occupy the top-degree nodes"
         );
         // The single highest-degree node must be a scheduler.
-        let hub = g.nodes().max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v))).unwrap();
+        let hub = g
+            .nodes()
+            .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+            .unwrap();
         assert_eq!(m.role(hub), NodeRole::Scheduler);
     }
 
@@ -298,7 +300,10 @@ mod tests {
             }
         }
         let (_, _, m0) = sample(4, 0);
-        assert!(m0.resources().iter().all(|&r| m0.estimator_for(r).is_none()));
+        assert!(m0
+            .resources()
+            .iter()
+            .all(|&r| m0.estimator_for(r).is_none()));
     }
 
     #[test]

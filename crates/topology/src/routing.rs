@@ -53,12 +53,15 @@ impl RoutingTable {
                     let v = l.to as usize;
                     let dv = du.saturating_add(l.latency);
                     let hv = hu.saturating_add(1);
-                    let better =
-                        dv < d[v] || (dv == d[v] && hv < h[v]);
+                    let better = dv < d[v] || (dv == d[v] && hv < h[v]);
                     if better {
                         d[v] = dv;
                         h[v] = hv;
-                        f[v] = if u as usize == src { l.to } else { f[u as usize] };
+                        f[v] = if u as usize == src {
+                            l.to
+                        } else {
+                            f[u as usize]
+                        };
                         heap.push(Reverse((dv, hv, l.to)));
                     }
                 }
@@ -129,8 +132,19 @@ impl RoutingTable {
             .map(|(_, c)| c)
     }
 
+    /// Sorts `candidates` in place by `(latency from src, node id)`,
+    /// nearest first; unreachable candidates sink to the end. The
+    /// allocation-free batch form of [`RoutingTable::nearest`]: after the
+    /// call, `candidates.first()` is what `nearest` would have returned
+    /// (when reachable). Used to precompute ranked-neighbor tables once
+    /// per topology instead of re-scanning candidates per decision.
+    pub fn rank_candidates(&self, src: NodeId, candidates: &mut [NodeId]) {
+        candidates.sort_by_key(|&c| (self.latency(src, c).unwrap_or(UNREACHABLE), c));
+    }
+
     /// Mean latency over all ordered reachable pairs (excluding the
-    /// diagonal); a summary statistic used by topology ablations.
+    /// diagonal); a summary statistic used by topology ablations. Streams
+    /// over the row-major table — no allocation, O(n²) time.
     pub fn mean_pair_latency(&self) -> f64 {
         let mut sum = 0u128;
         let mut cnt = 0u64;
@@ -233,6 +247,24 @@ mod tests {
         assert_eq!(rt.nearest(3, &[0, 1]), Some(1));
         assert_eq!(rt.nearest(0, &[]), None);
         assert_eq!(rt.nearest(0, &[0]), Some(0));
+    }
+
+    #[test]
+    fn rank_candidates_orders_by_latency_then_id() {
+        let rt = RoutingTable::build(&line());
+        let mut c = vec![3, 1, 2];
+        rt.rank_candidates(0, &mut c);
+        assert_eq!(c, vec![1, 2, 3]);
+        assert_eq!(rt.nearest(0, &c), Some(c[0]), "head agrees with nearest");
+
+        // Unreachable candidates sink to the end.
+        let mut g = Graph::with_nodes(4);
+        g.add_link(0, 1, 5, 1.0);
+        let rt = RoutingTable::build(&g);
+        let mut c = vec![2, 1, 3];
+        rt.rank_candidates(0, &mut c);
+        assert_eq!(c[0], 1);
+        assert_eq!(&c[1..], &[2, 3], "unreachable, tie-broken by id");
     }
 
     #[test]

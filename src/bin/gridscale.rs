@@ -6,15 +6,18 @@
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
 //!                   [--no-warm] [--bench-out BENCH_tuning.json] [--json]
+//! gridscale bench-sim [--model LOWEST] [--reps 5] [--out BENCH_sim.json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
 //! ```
 //!
 //! `run` simulates one configuration; `measure` executes the paper's full
-//! four-step scalability procedure; `trace` generates (optionally SWF)
-//! workloads; `topo` generates a topology and prints its structural
-//! metrics; `models` lists the RMS models.
+//! four-step scalability procedure; `bench-sim` times clone-per-run world
+//! rebuilding against zero-clone shared-template replay and writes
+//! `BENCH_sim.json`; `trace` generates (optionally SWF) workloads; `topo`
+//! generates a topology and prints its structural metrics; `models` lists
+//! the RMS models.
 
 use gridscale::prelude::*;
 use std::collections::HashMap;
@@ -86,7 +89,11 @@ fn cmd_run(flags: HashMap<String, String>) {
     let schedulers = get(
         &flags,
         "schedulers",
-        if kind.is_centralized() { 1 } else { (nodes / 16).max(2) },
+        if kind.is_centralized() {
+            1
+        } else {
+            (nodes / 16).max(2)
+        },
     );
     let cfg = GridConfig {
         nodes,
@@ -187,7 +194,10 @@ fn cmd_measure(flags: HashMap<String, String>) {
         preset,
         curve.e0
     );
-    println!("{:>3} {:>12} {:>8} {:>8} {:>7} {:>5}", "k", "G(k)", "g(k)", "f(k)", "E", "band");
+    println!(
+        "{:>3} {:>12} {:>8} {:>8} {:>7} {:>5}",
+        "k", "G(k)", "g(k)", "f(k)", "E", "band"
+    );
     for (p, n) in curve.points.iter().zip(curve.normalized()) {
         println!(
             "{:>3} {:>12.4e} {:>8.2} {:>8.2} {:>7.3} {:>5}",
@@ -213,6 +223,96 @@ fn cmd_measure(flags: HashMap<String, String>) {
             .map(|k| k.to_string())
             .unwrap_or_else(|| "-".into())
     );
+}
+
+/// The scaled point the `sim_replay` criterion bench uses: `k` multiplies
+/// the pool size and the offered load together (the paper's Case 1 shape).
+fn bench_sim_point(k: usize, centralized: bool) -> GridConfig {
+    let nodes = 20 * k;
+    GridConfig {
+        nodes,
+        schedulers: if centralized { 1 } else { (nodes / 10).max(2) },
+        estimators: 0,
+        workload: WorkloadConfig {
+            arrival_rate: 0.012 * k as f64,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed: 0xBEEF + k as u64,
+        ..GridConfig::default()
+    }
+}
+
+fn cmd_bench_sim(flags: HashMap<String, String>) {
+    let kind = model_of(&flags);
+    let reps = get(&flags, "reps", 5usize).max(1);
+    let mut rows = Vec::new();
+    for &k in &[1usize, 4, 16] {
+        let cfg = bench_sim_point(k, kind.is_centralized());
+        let template = SimTemplate::new(&cfg);
+        // Warm-up run: primes the pools and fixes the reference report
+        // every timed replay must reproduce bit-for-bit.
+        let report = template.run(cfg.enablers, kind.build().as_mut());
+        let events = report.events_processed;
+
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let mut p = kind.build();
+            let r = run_simulation(&cfg, p.as_mut());
+            assert_eq!(r.events_processed, events, "clone-per-run replay diverged");
+        }
+        let clone_s = t.elapsed().as_secs_f64() / reps as f64;
+
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let mut p = kind.build();
+            let r = template.run(cfg.enablers, p.as_mut());
+            assert_eq!(
+                r.events_processed, events,
+                "shared-template replay diverged"
+            );
+        }
+        let replay_s = t.elapsed().as_secs_f64() / reps as f64;
+
+        let stats = template.replay_stats();
+        eprintln!(
+            "k={:<2} nodes={:<4} events/run={:<8} clone {:>8.2} ms | replay {:>8.2} ms | {:>5.1}x | {:.2e} ev/s",
+            k,
+            cfg.nodes,
+            events,
+            clone_s * 1e3,
+            replay_s * 1e3,
+            clone_s / replay_s,
+            events as f64 / replay_s
+        );
+        rows.push(serde_json::json!({
+            "k": k,
+            "nodes": cfg.nodes,
+            "events_processed": events,
+            "msgs_sent": report.msgs_sent,
+            "clone_per_run": {
+                "secs_per_run": clone_s,
+                "events_per_sec": events as f64 / clone_s,
+            },
+            "shared_template_replay": {
+                "secs_per_run": replay_s,
+                "events_per_sec": events as f64 / replay_s,
+            },
+            "speedup": clone_s / replay_s,
+            "replay_stats": stats,
+            "report": report,
+        }));
+    }
+    let out = serde_json::json!({ "model": kind.name(), "reps": reps, "points": rows });
+    let path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+        Ok(()) => eprintln!("sim bench → {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
 }
 
 fn cmd_trace(flags: HashMap<String, String>) {
@@ -261,7 +361,7 @@ fn cmd_topo(flags: HashMap<String, String>) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: gridscale <run|measure|trace|topo|models> [flags]");
+        eprintln!("usage: gridscale <run|measure|bench-sim|trace|topo|models> [flags]");
         exit(2);
     }
     let cmd = args.remove(0);
@@ -269,6 +369,7 @@ fn main() {
     match cmd.as_str() {
         "run" => cmd_run(flags),
         "measure" => cmd_measure(flags),
+        "bench-sim" => cmd_bench_sim(flags),
         "trace" => cmd_trace(flags),
         "topo" => cmd_topo(flags),
         "models" => cmd_models(),

@@ -73,8 +73,8 @@ pub mod prelude {
     };
     pub use gridscale_desim::{SimRng, SimTime};
     pub use gridscale_gridsim::{
-        run_simulation, Ctx, Enablers, GridConfig, OverheadCosts, Policy, SimReport, SimTemplate,
-        Thresholds, Timeline, TopologySpec,
+        run_simulation, Ctx, Enablers, GridConfig, OverheadCosts, Policy, ReplayStats, SimReport,
+        SimTemplate, Thresholds, Timeline, TopologySpec,
     };
     pub use gridscale_rms::RmsKind;
     pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};

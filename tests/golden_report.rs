@@ -1,0 +1,181 @@
+//! Golden-report determinism tests.
+//!
+//! The zero-clone replay machinery (Arc-shared immutable world, pooled
+//! per-run scratch, tree-indexed cluster views) is only admissible if it
+//! is *observationally invisible*: every `SimReport` must come out
+//! bit-for-bit identical to the plain clone-per-run implementation. These
+//! tests pin that down against a fixture covering all seven RMS models at
+//! k ∈ {1, 4, 16} across 3 seeds.
+//!
+//! On a fresh checkout (no fixture file) the fixture self-bootstraps from
+//! the one-shot path: the replay tests then pin `template.run ==
+//! run_simulation` bit-for-bit, and every later test run pins the code
+//! against the recorded values. Regenerate explicitly (only when
+//! *intentionally* changing simulation semantics) with:
+//!
+//! ```text
+//! cargo test --test golden_report -- --ignored regenerate
+//! ```
+
+use gridscale::prelude::*;
+use gridscale::workload::WorkloadConfig;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Scale factors exercised by the golden matrix.
+const KS: [usize; 3] = [1, 4, 16];
+/// Master seeds exercised by the golden matrix.
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/reports.json");
+
+/// A small Case-1-style configuration: network size and workload both
+/// scale with `k`, utilization stays ≈ 0.8 at every scale. Short horizon
+/// so the full 7 × 3 × 3 matrix stays debug-test-budget friendly.
+fn golden_cfg(kind: RmsKind, k: usize, seed: u64) -> GridConfig {
+    let nodes = 20 * k;
+    GridConfig {
+        nodes,
+        schedulers: if kind.is_centralized() {
+            1
+        } else {
+            (nodes / 10).max(2)
+        },
+        estimators: if k >= 4 { 2 } else { 0 },
+        workload: WorkloadConfig {
+            arrival_rate: 0.012 * k as f64,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed,
+        ..GridConfig::default()
+    }
+}
+
+fn entry_key(kind: RmsKind, k: usize, seed: u64) -> String {
+    format!("{}/k{}/s{}", kind.name(), k, seed)
+}
+
+fn report_value(r: &SimReport) -> Value {
+    serde_json::to_value(r).expect("SimReport serializes")
+}
+
+/// Runs the full model × k × seed matrix through the one-shot path.
+fn generate_fixture() -> BTreeMap<String, Value> {
+    let mut out = BTreeMap::new();
+    for kind in RmsKind::ALL {
+        for k in KS {
+            for seed in SEEDS {
+                let cfg = golden_cfg(kind, k, seed);
+                let mut policy = kind.build();
+                let r = run_simulation(&cfg, policy.as_mut());
+                out.insert(entry_key(kind, k, seed), report_value(&r));
+            }
+        }
+    }
+    out
+}
+
+/// Loads the fixture, bootstrapping (and persisting) it from the current
+/// one-shot path when the file does not exist yet. `OnceLock` keeps the
+/// bootstrap single-flight across concurrently running tests.
+fn load_fixture() -> &'static BTreeMap<String, Value> {
+    static FIX: std::sync::OnceLock<BTreeMap<String, Value>> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| match std::fs::read_to_string(FIXTURE) {
+        Ok(text) => serde_json::from_str(&text).expect("golden fixture parses"),
+        Err(_) => {
+            let out = generate_fixture();
+            let _ = std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"));
+            let _ = std::fs::write(FIXTURE, serde_json::to_string_pretty(&out).unwrap());
+            out
+        }
+    })
+}
+
+/// Asserts every field recorded in the fixture is bit-identical in `got`.
+/// Fields *added* to `SimReport` after the fixture was generated are
+/// allowed (they extend the report; they must not perturb it).
+fn assert_matches_fixture(key: &str, got: &Value, fixture: &BTreeMap<String, Value>) {
+    let want = fixture
+        .get(key)
+        .unwrap_or_else(|| panic!("fixture has no entry {key} — regenerate"));
+    let (want, got) = (
+        want.as_object().expect("fixture entries are objects"),
+        got.as_object().expect("reports are objects"),
+    );
+    for (field, expected) in want {
+        let actual = got
+            .get(field)
+            .unwrap_or_else(|| panic!("{key}: report lost field {field}"));
+        assert_eq!(
+            actual, expected,
+            "{key}: field {field} drifted from the pre-refactor golden value"
+        );
+    }
+}
+
+/// Regenerates the committed fixture from the one-shot simulation path.
+#[test]
+#[ignore = "writes tests/golden/reports.json; run explicitly"]
+fn regenerate() {
+    let out = generate_fixture();
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+    std::fs::write(FIXTURE, serde_json::to_string_pretty(&out).unwrap()).unwrap();
+}
+
+/// The one-shot path (`run_simulation`) reproduces the pre-refactor
+/// reports bit-for-bit across the full 7-model × k × seed matrix.
+#[test]
+fn one_shot_reports_match_golden_fixture() {
+    let fixture = load_fixture();
+    for kind in RmsKind::ALL {
+        for k in KS {
+            for seed in SEEDS {
+                let cfg = golden_cfg(kind, k, seed);
+                let mut policy = kind.build();
+                let r = run_simulation(&cfg, policy.as_mut());
+                assert_matches_fixture(&entry_key(kind, k, seed), &report_value(&r), &fixture);
+            }
+        }
+    }
+}
+
+/// Replaying through one shared `SimTemplate` — including a run at
+/// *different* enabler settings in between, which dirties every pooled
+/// scratch structure — still produces byte-identical serialized reports,
+/// and those reports match the golden fixture.
+#[test]
+fn template_replay_is_bit_identical_to_one_shot() {
+    let fixture = load_fixture();
+    let seed = SEEDS[0];
+    for kind in RmsKind::ALL {
+        for k in KS {
+            let cfg = golden_cfg(kind, k, seed);
+            let template = SimTemplate::new(&cfg);
+
+            let mut p1 = kind.build();
+            let first = template.run(cfg.enablers, p1.as_mut());
+
+            // Dirty the recycled state with a deliberately different point.
+            let perturbed = Enablers {
+                update_interval: cfg.enablers.update_interval / 2,
+                neighborhood: cfg.enablers.neighborhood + 1,
+                ..cfg.enablers
+            };
+            let mut p2 = kind.build();
+            let _ = template.run(perturbed, p2.as_mut());
+
+            let mut p3 = kind.build();
+            let replay = template.run(cfg.enablers, p3.as_mut());
+
+            let key = entry_key(kind, k, seed);
+            assert_eq!(
+                serde_json::to_string(&first).unwrap(),
+                serde_json::to_string(&replay).unwrap(),
+                "{key}: pooled replay drifted from the first template run"
+            );
+            assert_matches_fixture(&key, &report_value(&first), &fixture);
+        }
+    }
+}
