@@ -9,7 +9,10 @@ use gridscale_gridsim::{SimTemplate, TopologySpec};
 use gridscale_rms::RmsKind;
 use std::hint::black_box;
 
-fn small_template(kind: RmsKind, mutate: impl FnOnce(&mut gridscale_gridsim::GridConfig)) -> SimTemplate {
+fn small_template(
+    kind: RmsKind,
+    mutate: impl FnOnce(&mut gridscale_gridsim::GridConfig),
+) -> SimTemplate {
     let mut cfg = config_for(kind, CaseId::NetworkSize, 2, Preset::Quick, 5);
     cfg.workload.duration = SimTime::from_ticks(12_000);
     cfg.drain = SimTime::from_ticks(10_000);
@@ -45,7 +48,13 @@ fn bench_topology_family(c: &mut Criterion) {
     g.sample_size(10);
     for (name, spec) in [
         ("barabasi_albert", TopologySpec::BarabasiAlbert { m: 2 }),
-        ("waxman", TopologySpec::Waxman { alpha: 0.25, beta: 0.4 }),
+        (
+            "waxman",
+            TopologySpec::Waxman {
+                alpha: 0.25,
+                beta: 0.4,
+            },
+        ),
         ("transit_stub", TopologySpec::TransitStub),
     ] {
         let t = small_template(RmsKind::Lowest, |cfg| cfg.topology = spec);

@@ -85,7 +85,9 @@ fn bench_template_vs_fresh(c: &mut Criterion) {
     let mut g = c.benchmark_group("gridsim/setup");
     g.sample_size(10);
     let cfg = config_for(RmsKind::Lowest, CaseId::NetworkSize, 2, Preset::Quick, 5);
-    g.bench_function("template_build", |b| b.iter(|| SimTemplate::new(black_box(&cfg))));
+    g.bench_function("template_build", |b| {
+        b.iter(|| SimTemplate::new(black_box(&cfg)))
+    });
     g.bench_function("fresh_run_total", |b| {
         b.iter(|| {
             let mut policy = RmsKind::Lowest.build();

@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gridscale_bench::render;
-use gridscale_core::{
-    resolve_e0, tune_point, AnnealConfig, CaseId, MeasureOptions, Preset,
-};
+use gridscale_core::{resolve_e0, tune_point, AnnealConfig, CaseId, MeasureOptions, Preset};
 use gridscale_desim::SimTime;
 use gridscale_rms::RmsKind;
 use std::hint::black_box;
@@ -43,7 +41,7 @@ fn tune_one(case: CaseId, kind: RmsKind) {
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("table1/render", |b| b.iter(|| black_box(render::table1())));
     for case in CaseId::ALL {
-        c.bench_function(&format!("table{}/render", case.number() + 1), |b| {
+        c.bench_function(format!("table{}/render", case.number() + 1), |b| {
             b.iter(|| black_box(render::case_table(case)))
         });
     }

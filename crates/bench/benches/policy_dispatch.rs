@@ -1,0 +1,77 @@
+//! Dispatch benchmark: `&mut dyn Policy` virtual calls vs the statically
+//! dispatched [`RmsPolicy`] enum on a replay-heavy workload.
+//!
+//! Both arms run the identical zero-clone shared-template replay, so the
+//! only difference is how the simulator reaches the policy callbacks: a
+//! vtable indirection per event (dyn) or a direct, inlinable call behind
+//! one enum branch (enum). The paper's tuning procedure replays the same
+//! point thousands of times, which is what makes this delta worth
+//! measuring. Reports are asserted bit-identical across arms; throughput
+//! is events/sec (criterion `Elements` = DES events per run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{GridConfig, SimTemplate};
+use gridscale_rms::RmsKind;
+use gridscale_workload::WorkloadConfig;
+use std::hint::black_box;
+
+/// One scaled simulation point: `k` multiplies the pool size and the
+/// offered load together, as in the paper's Case 1 sweep.
+fn point(k: usize) -> GridConfig {
+    let nodes = 20 * k;
+    GridConfig {
+        nodes,
+        schedulers: (nodes / 10).max(2),
+        estimators: 0,
+        workload: WorkloadConfig {
+            arrival_rate: 0.012 * k as f64,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed: 0xBEEF + k as u64,
+        ..GridConfig::default()
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_dispatch");
+    g.sample_size(10);
+    let kind = RmsKind::Lowest;
+    for &k in &[1usize, 4, 16] {
+        let cfg = point(k);
+        let template = SimTemplate::new(&cfg);
+        // Warm-up run: fixes the events-per-run denominator and primes the
+        // pools; both arms must reproduce this count bit-for-bit.
+        let events = template
+            .run(cfg.enablers, kind.build().as_mut())
+            .events_processed;
+        {
+            let mut p = kind.build_static();
+            assert_eq!(
+                template.run(cfg.enablers, &mut p).events_processed,
+                events,
+                "enum dispatch diverged from dyn dispatch"
+            );
+        }
+        g.throughput(Throughput::Elements(events));
+
+        g.bench_with_input(BenchmarkId::new("dyn", k), &k, |b, _| {
+            b.iter(|| {
+                let mut p = kind.build();
+                black_box(template.run(black_box(cfg.enablers), p.as_mut()))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("enum", k), &k, |b, _| {
+            b.iter(|| {
+                let mut p = kind.build_static();
+                black_box(template.run(black_box(cfg.enablers), &mut p))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -73,14 +73,28 @@ fn main() {
             // Mercator-substitute topology family?
             use gridscale_gridsim::{SimTemplate, TopologySpec};
             println!("topology-family ablation: LOWEST, case 1, k = 2, default enablers\n");
-            println!("{:>16} {:>8} {:>8} {:>12} {:>9}", "family", "E", "succ%", "G", "resp");
+            println!(
+                "{:>16} {:>8} {:>8} {:>12} {:>9}",
+                "family", "E", "succ%", "G", "resp"
+            );
             for (name, spec) in [
                 ("barabasi_albert", TopologySpec::BarabasiAlbert { m: 2 }),
-                ("waxman", TopologySpec::Waxman { alpha: 0.25, beta: 0.4 }),
+                (
+                    "waxman",
+                    TopologySpec::Waxman {
+                        alpha: 0.25,
+                        beta: 0.4,
+                    },
+                ),
                 ("transit_stub", TopologySpec::TransitStub),
             ] {
-                let mut cfg =
-                    gridscale_core::config_for(RmsKind::Lowest, CaseId::NetworkSize, 2, Preset::Quick, seed);
+                let mut cfg = gridscale_core::config_for(
+                    RmsKind::Lowest,
+                    CaseId::NetworkSize,
+                    2,
+                    Preset::Quick,
+                    seed,
+                );
                 cfg.topology = spec;
                 let template = SimTemplate::new(&cfg);
                 let mut policy = RmsKind::Lowest.build();
@@ -100,7 +114,8 @@ fn main() {
             for kind in [RmsKind::Central, RmsKind::Lowest, RmsKind::Auction] {
                 for k in [1u32, 6] {
                     println!("=== tau sweep: {} case1 k={k} ===", kind.name());
-                    let pts = calibrate::probe_tau(kind, CaseId::NetworkSize, k, Preset::Quick, seed);
+                    let pts =
+                        calibrate::probe_tau(kind, CaseId::NetworkSize, k, Preset::Quick, seed);
                     println!(
                         "{:>6} {:>7} {:>7} {:>12} {:>9}",
                         "tau", "E", "succ", "G", "resp"
@@ -121,7 +136,11 @@ fn main() {
                 _ => Preset::Quick,
             };
             for case in CaseId::ALL {
-                println!("=== calibration probe: case {} ({:?}) ===", case.number(), preset);
+                println!(
+                    "=== calibration probe: case {} ({:?}) ===",
+                    case.number(),
+                    preset
+                );
                 let pts = calibrate::probe(case, &RmsKind::ALL, &[1, 3, 6], preset, seed);
                 print!("{}", calibrate::format_table(&pts));
                 println!();
@@ -133,7 +152,11 @@ fn main() {
                 eprintln!("running case {} ({:?} profile)…", case.number(), profile);
                 let t0 = std::time::Instant::now();
                 let out = run_case(case, profile, seed);
-                eprintln!("case {} done in {:.1}s", case.number(), t0.elapsed().as_secs_f64());
+                eprintln!(
+                    "case {} done in {:.1}s",
+                    case.number(),
+                    t0.elapsed().as_secs_f64()
+                );
                 if let Some(dir) = &out_dir {
                     std::fs::create_dir_all(dir).expect("create out dir");
                     let path = format!("{dir}/case{}.json", out.case.number());
@@ -142,18 +165,27 @@ fn main() {
                 }
                 outputs.insert(out.case, out);
             }
-            let chart_for = |out: &gridscale_bench::runner::CaseOutput, title: &str, f: &dyn Fn(&gridscale_core::CurvePoint) -> f64| {
-                if charts {
-                    let data = render::series(out, f);
-                    println!("{}", chart::render(title, &data, chart::ChartSpec::default()));
-                }
-            };
+            let chart_for =
+                |out: &gridscale_bench::runner::CaseOutput,
+                 title: &str,
+                 f: &dyn Fn(&gridscale_core::CurvePoint) -> f64| {
+                    if charts {
+                        let data = render::series(out, f);
+                        println!(
+                            "{}",
+                            chart::render(title, &data, chart::ChartSpec::default())
+                        );
+                    }
+                };
             let print_for = |tgt: &str| match tgt {
                 "fig2" => print!("{}", render::figure_g(&outputs[&CaseId::NetworkSize])),
                 "fig3" => print!("{}", render::figure_g(&outputs[&CaseId::ServiceRate])),
                 "fig4" => print!("{}", render::figure_g(&outputs[&CaseId::Estimators])),
                 "fig5" => print!("{}", render::figure_g(&outputs[&CaseId::Lp])),
-                "fig6" => print!("{}", render::figure_throughput(&outputs[&CaseId::Estimators])),
+                "fig6" => print!(
+                    "{}",
+                    render::figure_throughput(&outputs[&CaseId::Estimators])
+                ),
                 "fig7" => print!("{}", render::figure_response(&outputs[&CaseId::Estimators])),
                 _ => unreachable!(),
             };
@@ -165,9 +197,11 @@ fn main() {
                 "fig6" => chart_for(&outputs[&CaseId::Estimators], "throughput, case 3", &|p| {
                     p.report.throughput
                 }),
-                "fig7" => chart_for(&outputs[&CaseId::Estimators], "mean response, case 3", &|p| {
-                    p.report.mean_response
-                }),
+                "fig7" => chart_for(
+                    &outputs[&CaseId::Estimators],
+                    "mean response, case 3",
+                    &|p| p.report.mean_response,
+                ),
                 _ => unreachable!(),
             };
             if target == "all" {

@@ -55,7 +55,13 @@ impl CalPoint {
 
 /// Runs the probe for one case over the given models and scales with
 /// default enablers.
-pub fn probe(case: CaseId, kinds: &[RmsKind], ks: &[u32], preset: Preset, seed: u64) -> Vec<CalPoint> {
+pub fn probe(
+    case: CaseId,
+    kinds: &[RmsKind],
+    ks: &[u32],
+    preset: Preset,
+    seed: u64,
+) -> Vec<CalPoint> {
     let mut out = Vec::new();
     for &kind in kinds {
         for &k in ks {
@@ -71,7 +77,13 @@ pub fn probe(case: CaseId, kinds: &[RmsKind], ks: &[u32], preset: Preset, seed: 
 /// Sweeps the update interval τ for one `(model, case, k)` with everything
 /// else at defaults — exposes the efficiency-vs-overhead frontier the
 /// annealer walks.
-pub fn probe_tau(kind: RmsKind, case: CaseId, k: u32, preset: Preset, seed: u64) -> Vec<(u64, CalPoint)> {
+pub fn probe_tau(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    preset: Preset,
+    seed: u64,
+) -> Vec<(u64, CalPoint)> {
     let cfg = config_for(kind, case, k, preset, seed);
     let template = gridscale_gridsim::SimTemplate::new(&cfg);
     let mut out = Vec::new();

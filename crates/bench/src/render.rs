@@ -83,9 +83,7 @@ pub fn format_verdicts(out: &CaseOutput) -> String {
             .condition
             .iter()
             .zip(&v.margins)
-            .map(|((k, ok), (_, m))| {
-                format!("k={k}:{}{:+.2}", if *ok { "Y" } else { "N" }, m)
-            })
+            .map(|((k, ok), (_, m))| format!("k={k}:{}{:+.2}", if *ok { "Y" } else { "N" }, m))
             .collect();
         let feas: usize = c.points.iter().filter(|p| p.feasible).count();
         s.push_str(&format!(
@@ -105,8 +103,14 @@ pub fn format_verdicts(out: &CaseOutput) -> String {
 /// `G(k)` — Figures 2–5 depending on the case.
 pub fn figure_g(out: &CaseOutput) -> String {
     let fig = match out.case {
-        CaseId::NetworkSize => ("Figure 2", "Variation in G(k) on scaling the RP by number of nodes"),
-        CaseId::ServiceRate => ("Figure 3", "Variation in G(k) on scaling the RP by service rate"),
+        CaseId::NetworkSize => (
+            "Figure 2",
+            "Variation in G(k) on scaling the RP by number of nodes",
+        ),
+        CaseId::ServiceRate => (
+            "Figure 3",
+            "Variation in G(k) on scaling the RP by service rate",
+        ),
         CaseId::Estimators => (
             "Figure 4",
             "Variation of G(k) on scaling the RMS by number of estimators",
@@ -114,7 +118,11 @@ pub fn figure_g(out: &CaseOutput) -> String {
         CaseId::Lp => ("Figure 5", "Variation in G(k) on scaling the RMS by L_p"),
     };
     let data = series(out, |p| p.g);
-    let mut s = format_series_table(&format!("{} — {}", fig.0, fig.1), "G(k), overhead cost units", &data);
+    let mut s = format_series_table(
+        &format!("{} — {}", fig.0, fig.1),
+        "G(k), overhead cost units",
+        &data,
+    );
     s.push('\n');
     s.push_str(&format_slope_table(out));
     s.push('\n');
@@ -153,10 +161,15 @@ pub fn table1() -> String {
          {:<12} {:<18} Jobs with execution time <= T_CPU are LOCAL; greater are REMOTE.\n\
          {:<12} {:<18} Measurement for threshold load at a scheduler.\n\
          {:<12} {:<18} User benefit: success iff response <= u x run time, u ~ U[2,5].\n",
-        "variable", "value", "meaning",
-        "T_CPU", format!("{} time units", t.t_cpu.ticks()),
-        "T_l", format!("{}", t.t_l),
-        "U_b(jobid)", "u in [2,5]",
+        "variable",
+        "value",
+        "meaning",
+        "T_CPU",
+        format!("{} time units", t.t_cpu.ticks()),
+        "T_l",
+        format!("{}", t.t_l),
+        "U_b(jobid)",
+        "u in [2,5]",
     )
 }
 
@@ -200,10 +213,16 @@ pub fn case_table(case: CaseId) -> String {
     s.push_str("\nScaling enablers (tuned by simulated annealing):\n");
     let sp = &c.enabler_space;
     if !sp.update_interval.is_empty() {
-        s.push_str(&format!("  - Status update interval: {:?}\n", sp.update_interval));
+        s.push_str(&format!(
+            "  - Status update interval: {:?}\n",
+            sp.update_interval
+        ));
     }
     if !sp.neighborhood.is_empty() {
-        s.push_str(&format!("  - Neighborhood set size: {:?}\n", sp.neighborhood));
+        s.push_str(&format!(
+            "  - Neighborhood set size: {:?}\n",
+            sp.neighborhood
+        ));
     }
     if !sp.volunteer_interval.is_empty() {
         s.push_str(&format!(
@@ -212,7 +231,10 @@ pub fn case_table(case: CaseId) -> String {
         ));
     }
     if !sp.link_delay_factor.is_empty() {
-        s.push_str(&format!("  - Network link delay factor: {:?}\n", sp.link_delay_factor));
+        s.push_str(&format!(
+            "  - Network link delay factor: {:?}\n",
+            sp.link_delay_factor
+        ));
     }
     s
 }

@@ -100,7 +100,12 @@ pub struct AnnealResult<S> {
 /// so revisits during the walk are free — important when one evaluation is
 /// a full Grid simulation. The walk itself is deterministic for a given
 /// `(init, cfg.seed)`.
-pub fn anneal<S, N, E>(init: S, mut neighbor: N, mut energy: E, cfg: &AnnealConfig) -> AnnealResult<S>
+pub fn anneal<S, N, E>(
+    init: S,
+    mut neighbor: N,
+    mut energy: E,
+    cfg: &AnnealConfig,
+) -> AnnealResult<S>
 where
     S: Clone + Eq + Hash,
     N: FnMut(&S, &mut SimRng) -> S,

@@ -135,12 +135,16 @@ impl EnablerSpace {
                 .unwrap()
         }
         [
-            nearest(&self.update_interval, base.update_interval as f64, |v| v as f64),
-            nearest(&self.neighborhood, base.neighborhood as f64, |v| v as f64),
-            nearest(&self.link_delay_factor, base.link_delay_factor, |v| v),
-            nearest(&self.volunteer_interval, base.volunteer_interval as f64, |v| {
+            nearest(&self.update_interval, base.update_interval as f64, |v| {
                 v as f64
             }),
+            nearest(&self.neighborhood, base.neighborhood as f64, |v| v as f64),
+            nearest(&self.link_delay_factor, base.link_delay_factor, |v| v),
+            nearest(
+                &self.volunteer_interval,
+                base.volunteer_interval as f64,
+                |v| v as f64,
+            ),
         ]
     }
 }

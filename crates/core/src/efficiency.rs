@@ -91,8 +91,16 @@ impl IsoefficiencyModel {
         NormalizedPoint {
             k,
             f: f_raw / self.w,
-            g: if self.o_rms > 0.0 { g_raw / self.o_rms } else { 0.0 },
-            h: if self.o_rp > 0.0 { h_raw / self.o_rp } else { 0.0 },
+            g: if self.o_rms > 0.0 {
+                g_raw / self.o_rms
+            } else {
+                0.0
+            },
+            h: if self.o_rp > 0.0 {
+                h_raw / self.o_rp
+            } else {
+                0.0
+            },
         }
     }
 
@@ -147,10 +155,7 @@ mod tests {
         let p = m.normalize(1.0, 1000.0, 1200.0, 300.0);
         assert_eq!((p.f, p.g, p.h), (1.0, 1.0, 1.0));
         assert!(m.eq1_residual(&p).abs() < 1e-12);
-        assert_eq!(
-            IsoefficiencyModel::efficiency(1000.0, 1200.0, 300.0),
-            0.4
-        );
+        assert_eq!(IsoefficiencyModel::efficiency(1000.0, 1200.0, 300.0), 0.4);
     }
 
     #[test]
@@ -192,7 +197,10 @@ mod tests {
         let h = 2.0;
         let g = m.isoefficient_g(f, h);
         let e = IsoefficiencyModel::efficiency(f * m.w, g * m.o_rms, h * m.o_rp);
-        assert!((e - m.e0).abs() < 1e-12, "derivation must be consistent: {e}");
+        assert!(
+            (e - m.e0).abs() < 1e-12,
+            "derivation must be consistent: {e}"
+        );
     }
 
     #[test]

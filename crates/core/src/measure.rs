@@ -284,7 +284,12 @@ fn point_seed(master: u64, kind: RmsKind, case: CaseId, k: u32) -> u64 {
 }
 
 /// Builds the (override-applied) configuration for one point.
-fn point_config(kind: RmsKind, case: CaseId, k: u32, opts: &MeasureOptions) -> gridscale_gridsim::GridConfig {
+fn point_config(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    opts: &MeasureOptions,
+) -> gridscale_gridsim::GridConfig {
     let seed = point_seed(opts.seed, kind, case, k);
     let mut cfg = config_for(kind, case, k, opts.preset, seed);
     if let Some(d) = opts.duration_override {
@@ -310,8 +315,8 @@ pub fn resolve_e0(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> f64 {
         E0Mode::AutoBase => {
             let k0 = *opts.ks.iter().min().expect("ks nonempty");
             let cfg = point_config(kind, case, k0, opts);
-            let mut policy = kind.build();
-            let r = gridscale_gridsim::run_simulation(&cfg, policy.as_mut());
+            let mut policy = kind.build_static();
+            let r = gridscale_gridsim::run_simulation(&cfg, &mut policy);
             r.efficiency.clamp(0.05, 0.95)
         }
     }
@@ -359,8 +364,10 @@ fn tune_point_inner(
     let reports: Mutex<HashMap<[usize; 4], SimReport>> = Mutex::new(HashMap::new());
     let energy = |idx: &[usize; 4]| -> f64 {
         let enablers = space.realize(idx, &base_enablers);
-        let mut policy = kind.build();
-        let report = template.run(enablers, policy.as_mut());
+        // Enum dispatch: monomorphizes the event loop for the annealer's
+        // hottest path (thousands of replays per tuned point).
+        let mut policy = kind.build_static();
+        let report = template.run(enablers, &mut policy);
         let violation = ((report.efficiency - e0).abs() - opts.tolerance).max(0.0);
         let e = report.g_overhead.max(1e-9) * (1.0 + 25.0 * violation / opts.tolerance);
         reports.lock().insert(*idx, report);
@@ -414,14 +421,13 @@ fn tune_point_inner(
         .into_inner()
         .remove(&result.best)
         .expect("the best state was evaluated during the search");
-    let (mut g_sum, mut f_sum, mut h_sum) =
-        (report.g_overhead, report.f_work, report.h_overhead);
+    let (mut g_sum, mut f_sum, mut h_sum) = (report.g_overhead, report.f_work, report.h_overhead);
     for i in 1..opts.replications {
         let mut rep_cfg = cfg.clone();
         rep_cfg.seed = SimRng::new(seed).fork(1000 + i as u64).seed();
         let rep_template = SimTemplate::new(&rep_cfg);
-        let mut rep_policy = kind.build();
-        let r = rep_template.run(enablers, rep_policy.as_mut());
+        let mut rep_policy = kind.build_static();
+        let r = rep_template.run(enablers, &mut rep_policy);
         g_sum += r.g_overhead;
         f_sum += r.f_work;
         h_sum += r.h_overhead;
@@ -463,7 +469,13 @@ fn tune_point_inner(
 /// single-point entry kept for ad-hoc probes and benchmarks; sweeps go
 /// through [`measure_rms`]/[`measure_all`], which add the cross-scale
 /// warm-start wave schedule.
-pub fn tune_point(kind: RmsKind, case: CaseId, k: u32, e0: f64, opts: &MeasureOptions) -> CurvePoint {
+pub fn tune_point(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    e0: f64,
+    opts: &MeasureOptions,
+) -> CurvePoint {
     let threads = if opts.threads == 0 {
         default_threads(opts.batch.max(1))
     } else {
@@ -489,7 +501,11 @@ pub fn measure_rms_with_bench(
 }
 
 /// Measures several models along one case.
-pub fn measure_all(kinds: &[RmsKind], case: CaseId, opts: &MeasureOptions) -> Vec<ScalabilityCurve> {
+pub fn measure_all(
+    kinds: &[RmsKind],
+    case: CaseId,
+    opts: &MeasureOptions,
+) -> Vec<ScalabilityCurve> {
     measure_all_with_bench(kinds, case, opts).0
 }
 
@@ -664,8 +680,16 @@ mod tests {
             );
         }
         // Waves: k=1 points are cold, k=2 points are warm-started.
-        assert!(bench.points.iter().filter(|p| p.k == 1).all(|p| !p.warm_started));
-        assert!(bench.points.iter().filter(|p| p.k == 2).all(|p| p.warm_started));
+        assert!(bench
+            .points
+            .iter()
+            .filter(|p| p.k == 1)
+            .all(|p| !p.warm_started));
+        assert!(bench
+            .points
+            .iter()
+            .filter(|p| p.k == 2)
+            .all(|p| p.warm_started));
         assert!(curves.iter().all(|c| c.points.len() == 2));
         // Telemetry serializes (the CLI writes it to BENCH_tuning.json).
         let s = serde_json::to_string(&bench).unwrap();
@@ -774,7 +798,11 @@ mod verdict_tests {
 
     #[test]
     fn g_curve_and_slopes_align() {
-        let c = curve(vec![point(1, 10.0, 1.0), point(3, 30.0, 3.0), point(6, 30.0, 6.0)]);
+        let c = curve(vec![
+            point(1, 10.0, 1.0),
+            point(3, 30.0, 3.0),
+            point(6, 30.0, 6.0),
+        ]);
         assert_eq!(c.g_curve(), vec![(1.0, 10.0), (3.0, 30.0), (6.0, 30.0)]);
         assert_eq!(c.g_slopes(), vec![10.0, 0.0]);
     }

@@ -102,7 +102,12 @@ impl Preset {
 /// Expected number of resources a [`GridConfig`] will map, given its node
 /// budget — used to derive arrival rates before the topology is built.
 /// Mirrors [`gridscale_topology::GridMap::build`]'s rounding.
-pub fn expected_resources(nodes: usize, schedulers: usize, estimators: usize, fraction: f64) -> usize {
+pub fn expected_resources(
+    nodes: usize,
+    schedulers: usize,
+    estimators: usize,
+    fraction: f64,
+) -> usize {
     let remaining = nodes.saturating_sub(schedulers + estimators);
     ((remaining as f64) * fraction).ceil() as usize
 }

@@ -124,7 +124,10 @@ impl<E> Engine<E> {
                 break RunOutcome::EventBudgetExhausted;
             }
             // Unwrap is fine: peek_time just returned Some.
-            let ev = self.queue.pop().expect("event vanished between peek and pop");
+            let ev = self
+                .queue
+                .pop()
+                .expect("event vanished between peek and pop");
             debug_assert!(ev.at >= self.now, "event queue must be time-ordered");
             self.now = ev.at;
             self.processed += 1;
@@ -202,7 +205,11 @@ mod tests {
         // Events at t = 0, 10, 20, 30 fire; t = 40 is pending.
         assert_eq!(w.fired, vec![0, 1, 2, 3]);
         assert_eq!(e.queue().len(), 1);
-        assert_eq!(e.now(), SimTime::from_ticks(35), "clock advances to horizon");
+        assert_eq!(
+            e.now(),
+            SimTime::from_ticks(35),
+            "clock advances to horizon"
+        );
         assert_eq!(w.finished_at, Some(SimTime::from_ticks(35)));
     }
 

@@ -15,7 +15,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// `SimTime` doubles as a duration type; arithmetic saturates on underflow
 /// rather than panicking so that latency computations can never produce a
 /// negative time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

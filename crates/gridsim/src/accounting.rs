@@ -1,0 +1,143 @@
+//! F/G/H accounting: the single ledger every subsystem charges into, and
+//! the [`SimReport`] emitted from it when a run ends.
+//!
+//! Paper mapping: `f_work` is the useful work `F(k)` (service demand of
+//! jobs finishing within their benefit deadline), `g_sched`/`g_est` are
+//! the per-server RMS busy times summed into `G(k)`, and `h_overhead` is
+//! the resource pool's job-control cost `H(k)`. The efficiency reported
+//! is `E = F/(F+G+H)` (paper eq. 1).
+
+use crate::report::SimReport;
+use gridscale_desim::stats::{Histogram, Welford};
+use gridscale_desim::SimTime;
+
+/// The run's tally sheet. Owned by the hot-state arena and reset (not
+/// reallocated) between pooled runs.
+pub(crate) struct Accounting {
+    pub(crate) f_work: f64,
+    pub(crate) h_overhead: f64,
+    /// Cluster → its scheduler's accumulated busy time.
+    pub(crate) g_sched: Vec<f64>,
+    /// Estimator → accumulated busy time.
+    pub(crate) g_est: Vec<f64>,
+    pub(crate) completed: u64,
+    pub(crate) succeeded: u64,
+    pub(crate) deadline_missed: u64,
+    pub(crate) updates_sent: u64,
+    pub(crate) updates_suppressed: u64,
+    pub(crate) batches: u64,
+    pub(crate) policy_msgs: u64,
+    pub(crate) transfers: u64,
+    pub(crate) dispatches: u64,
+    pub(crate) dag_deferred: u64,
+    pub(crate) msgs_sent: u64,
+    pub(crate) response: Welford,
+    pub(crate) response_hist: Histogram,
+}
+
+impl Accounting {
+    pub(crate) fn new(n_sched: usize, n_est: usize) -> Self {
+        Accounting {
+            f_work: 0.0,
+            h_overhead: 0.0,
+            g_sched: vec![0.0; n_sched],
+            g_est: vec![0.0; n_est],
+            completed: 0,
+            succeeded: 0,
+            deadline_missed: 0,
+            updates_sent: 0,
+            updates_suppressed: 0,
+            batches: 0,
+            policy_msgs: 0,
+            transfers: 0,
+            dispatches: 0,
+            dag_deferred: 0,
+            msgs_sent: 0,
+            response: Welford::new(),
+            response_hist: Histogram::new(100.0, 4000),
+        }
+    }
+
+    /// Zeroes every tally in place (vector lengths and the histogram's
+    /// bins are structural and kept), restoring the `new` state exactly.
+    pub(crate) fn reset(&mut self) {
+        self.f_work = 0.0;
+        self.h_overhead = 0.0;
+        self.g_sched.iter_mut().for_each(|g| *g = 0.0);
+        self.g_est.iter_mut().for_each(|g| *g = 0.0);
+        self.completed = 0;
+        self.succeeded = 0;
+        self.deadline_missed = 0;
+        self.updates_sent = 0;
+        self.updates_suppressed = 0;
+        self.batches = 0;
+        self.policy_msgs = 0;
+        self.transfers = 0;
+        self.dispatches = 0;
+        self.dag_deferred = 0;
+        self.msgs_sent = 0;
+        self.response.reset();
+        self.response_hist.reset();
+    }
+
+    /// Folds the tallies into a [`SimReport`].
+    ///
+    /// The `g_busy_raw` sum is an in-order chain over schedulers then
+    /// estimators — part of the bit-reproducibility contract, so the
+    /// float summation order must never change.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn report(
+        &self,
+        policy: &str,
+        horizon: SimTime,
+        events_processed: u64,
+        jobs_total: u64,
+        res_busy: &[f64],
+        overhead_weight: f64,
+        nodes: usize,
+    ) -> SimReport {
+        let a = self;
+        let g_busy_raw: f64 = a.g_sched.iter().chain(a.g_est.iter()).sum();
+        let g = g_busy_raw * overhead_weight;
+        let h = a.h_overhead;
+        let f = a.f_work;
+        let efficiency = if f > 0.0 { f / (f + g + h) } else { 0.0 };
+        let ht = horizon.as_f64();
+        let busy_total: f64 = res_busy.iter().sum();
+        let n_res = res_busy.len();
+        SimReport {
+            policy: policy.to_string(),
+            f_work: f,
+            g_overhead: g,
+            h_overhead: h,
+            efficiency,
+            jobs_total,
+            completed: a.completed,
+            succeeded: a.succeeded,
+            deadline_missed: a.deadline_missed,
+            unfinished: jobs_total - a.completed,
+            throughput: a.completed as f64 / ht,
+            goodput: a.succeeded as f64 / ht,
+            mean_response: a.response.mean(),
+            p95_response: a.response_hist.quantile(0.95).unwrap_or(0.0),
+            updates_sent: a.updates_sent,
+            updates_suppressed: a.updates_suppressed,
+            batches: a.batches,
+            policy_msgs: a.policy_msgs,
+            transfers: a.transfers,
+            dispatches: a.dispatches,
+            dag_deferred: a.dag_deferred,
+            g_busy_raw,
+            g_busy_max_scheduler: a.g_sched.iter().copied().fold(0.0, f64::max),
+            resource_utilization: if n_res == 0 {
+                0.0
+            } else {
+                busy_total / (n_res as f64 * ht)
+            },
+            horizon_ticks: horizon.ticks(),
+            nodes,
+            events_processed,
+            msgs_sent: a.msgs_sent,
+        }
+    }
+}

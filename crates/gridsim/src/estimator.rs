@@ -1,0 +1,104 @@
+//! Status estimators (paper Case 3): per-estimator single-server queues
+//! that ingest resource status updates, buffer them per destination
+//! cluster, and batch-forward on a flush timer. Estimator busy time is
+//! the second component of the RMS overhead `G(k)`.
+
+use crate::accounting::Accounting;
+use crate::event::GridEvent;
+use crate::msg::Msg;
+use crate::net::NetFabric;
+use crate::world::SharedWorld;
+use gridscale_desim::{EventQueue, SimTime};
+
+/// Per-estimator service state and batching buffers.
+pub(crate) struct EstimatorBank {
+    /// Estimator → server availability, fractional ticks.
+    pub(crate) next_free: Vec<f64>,
+    /// Estimator → buffered updates per destination cluster.
+    pub(crate) buffer: Vec<Vec<Vec<(u32, f64)>>>,
+}
+
+impl EstimatorBank {
+    pub(crate) fn new(n_est: usize, n_clusters: usize) -> EstimatorBank {
+        EstimatorBank {
+            next_free: vec![0.0; n_est],
+            buffer: (0..n_est).map(|_| vec![Vec::new(); n_clusters]).collect(),
+        }
+    }
+
+    /// Restores the pristine post-`new` state, keeping allocations.
+    pub(crate) fn reset(&mut self) {
+        self.next_free.iter_mut().for_each(|x| *x = 0.0);
+        for per_cluster in &mut self.buffer {
+            per_cluster.iter_mut().for_each(|b| b.clear());
+        }
+    }
+
+    /// Estimator `e` ingests one status update for a resource of
+    /// `cluster`: charge its server, buffer for the resource's cluster.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ingest(
+        &mut self,
+        now: SimTime,
+        e: usize,
+        res: u32,
+        load: f64,
+        cluster: usize,
+        update_cost: f64,
+        acct: &mut Accounting,
+    ) {
+        acct.g_est[e] += update_cost;
+        self.next_free[e] = now.as_f64().max(self.next_free[e]) + update_cost;
+        self.buffer[e][cluster].push((res, load));
+    }
+
+    /// Estimator `e`'s flush timer fires: forward each non-empty
+    /// per-cluster buffer as one batch message to that cluster's
+    /// scheduler, charging the batch-fixed cost per batch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn flush(
+        &mut self,
+        now: SimTime,
+        e: usize,
+        batch_fixed: f64,
+        shared: &SharedWorld,
+        net: &mut NetFabric,
+        acct: &mut Accounting,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let nc = shared.layout.members.len();
+        for ci in 0..nc {
+            if self.buffer[e][ci].is_empty() {
+                continue;
+            }
+            let updates = std::mem::take(&mut self.buffer[e][ci]);
+            acct.g_est[e] += batch_fixed;
+            self.next_free[e] = now.as_f64().max(self.next_free[e]) + batch_fixed;
+            acct.batches += 1;
+            let from = shared.layout.est_node[e];
+            let to = shared.layout.sched_node[ci];
+            net.send(
+                now,
+                from,
+                to,
+                Msg::StatusBatch { updates },
+                false,
+                &shared.rt,
+                acct,
+                queue,
+            );
+        }
+    }
+
+    /// Approximate resident bytes (capacity-based; telemetry only).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.next_free.capacity() * 8
+            + self
+                .buffer
+                .iter()
+                .flat_map(|per| per.iter())
+                .map(|v| v.capacity() * size_of::<(u32, f64)>())
+                .sum::<usize>()
+    }
+}

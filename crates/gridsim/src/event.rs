@@ -1,0 +1,82 @@
+//! The simulator's event alphabet and scheduler work items.
+//!
+//! Every subsystem — network fabric, scheduler service stations, resource
+//! pool, estimators — communicates exclusively by scheduling
+//! [`GridEvent`]s on the shared DES queue; none of them call each other
+//! directly across time. This file is the complete vocabulary of those
+//! interactions.
+
+use crate::msg::{Msg, PolicyMsg};
+use gridscale_topology::NodeId;
+use gridscale_workload::Job;
+
+/// A unit of RMS work queued at a scheduler's single-server queue.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// A freshly submitted job: receive + make a scheduling decision.
+    Job(Job),
+    /// A job transferred in from another cluster.
+    TransferIn(Job),
+    /// A direct status update from a resource (global resource index).
+    Update {
+        /// Reporting resource.
+        res: u32,
+        /// Reported jobs-in-system.
+        load: f64,
+    },
+    /// A batched set of updates relayed by an estimator.
+    Batch(Vec<(u32, f64)>),
+    /// An inter-scheduler policy message.
+    Policy(PolicyMsg),
+    /// A policy timer armed via [`Timers::set_timer`](crate::Timers::set_timer).
+    Timer(u64),
+}
+
+/// The simulator's event alphabet.
+#[derive(Debug, Clone)]
+pub enum GridEvent {
+    /// The `i`-th trace job arrives at its submission host.
+    Arrival(u32),
+    /// A network message reaches its destination node.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: Msg,
+    },
+    /// The running job at a resource completes.
+    Finish {
+        /// Global resource index.
+        res: u32,
+    },
+    /// A resource's periodic status-update timer fires.
+    UpdateTick {
+        /// Global resource index.
+        res: u32,
+    },
+    /// An estimator's batch-forward timer fires.
+    EstFlush {
+        /// Estimator index.
+        est: u32,
+    },
+    /// A scheduler finishes processing a work item (its effects happen now).
+    SchedWork {
+        /// Cluster index of the scheduler.
+        sched: u32,
+        /// The item processed.
+        item: WorkItem,
+        /// Service time of the item, charged to `G` on completion — work
+        /// still queued when the horizon ends is never charged, so a
+        /// saturated scheduler's `G` is bounded by wall-clock busy time.
+        cost: f64,
+    },
+    /// A policy timer fires (it is then queued as scheduler work).
+    PolicyTimer {
+        /// Cluster index.
+        cluster: u32,
+        /// Policy-defined tag.
+        tag: u64,
+    },
+    /// The timeline recorder samples system state.
+    Sample,
+}

@@ -1,0 +1,464 @@
+//! The event kernel: owns the subsystems, routes every [`GridEvent`] to
+//! its owning subsystem, and trampolines scheduler decisions into the
+//! active [`Policy`].
+//!
+//! The kernel itself makes no scheduling decisions and charges no costs —
+//! it only moves events between the link fabric ([`crate::net`]), the
+//! scheduler stations ([`crate::sched`]), the resource pool
+//! ([`crate::resource`]), and the estimators ([`crate::estimator`]), all
+//! of which book into the single [`Accounting`] ledger.
+
+use crate::config::{Enablers, GridConfig};
+use crate::ctx::Ctx;
+use crate::event::{GridEvent, WorkItem};
+use crate::msg::Msg;
+use crate::net::NetFabric;
+use crate::policy::Policy;
+use crate::report::SimReport;
+use crate::sim::HotState;
+use crate::timeline::{Sample, Timeline};
+use crate::world::SharedWorld;
+use gridscale_desim::{EventQueue, SimRng, SimTime};
+use gridscale_topology::NodeId;
+use gridscale_workload::JobClass;
+use std::sync::Arc;
+
+/// All simulator state except the policy (which is borrowed per event so
+/// that policy callbacks can mutably access both).
+pub(crate) struct SimCore {
+    pub(crate) cfg: Arc<GridConfig>,
+    /// The per-run enabler overlay; read instead of `cfg.enablers`.
+    pub(crate) enablers: Enablers,
+    pub(crate) shared: Arc<SharedWorld>,
+    pub(crate) rng: SimRng,
+    pub(crate) hot: HotState,
+    /// The link fabric (and its middleware queue state).
+    pub(crate) net: NetFabric,
+    pub(crate) token_counter: u64,
+    /// Optional time-series recorder.
+    pub(crate) timeline: Option<Timeline>,
+}
+
+impl SimCore {
+    pub(crate) fn new(
+        cfg: Arc<GridConfig>,
+        enablers: Enablers,
+        shared: Arc<SharedWorld>,
+        hot: HotState,
+    ) -> SimCore {
+        let root = SimRng::new(cfg.seed);
+        let sim_rng = root.fork(3);
+        let net = NetFabric::new(enablers.link_delay_factor, cfg.middleware_service);
+        SimCore {
+            cfg,
+            enablers,
+            shared,
+            rng: sim_rng,
+            hot,
+            net,
+            token_counter: 0,
+            timeline: None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn n_clusters(&self) -> usize {
+        self.shared.layout.members.len()
+    }
+
+    /// Seeds arrivals, update ticks, and estimator flush timers.
+    pub(crate) fn bootstrap(&mut self, queue: &mut EventQueue<GridEvent>) {
+        match self.shared.dag.as_ref() {
+            None => {
+                // One bulk reservation for the whole trace instead of
+                // growing the heap arrival by arrival.
+                queue.schedule_batch(
+                    self.shared
+                        .trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, job)| (job.arrival, GridEvent::Arrival(i as u32))),
+                );
+            }
+            Some(dag) => {
+                // Only dependency roots arrive on schedule; the rest are
+                // released as their parents complete.
+                for j in dag.roots() {
+                    queue.schedule(
+                        self.shared.trace[j as usize].arrival,
+                        GridEvent::Arrival(j as u32),
+                    );
+                }
+            }
+        }
+        let tau = self.enablers.update_interval;
+        let nr = self.shared.layout.res_node.len();
+        for r in 0..nr {
+            let stagger = self.rng.int_range(1, tau.max(1));
+            queue.schedule(
+                SimTime::from_ticks(stagger),
+                GridEvent::UpdateTick { res: r as u32 },
+            );
+        }
+        let flush = self.flush_interval();
+        let ne = self.shared.layout.est_node.len();
+        for e in 0..ne {
+            let stagger = self.rng.int_range(1, flush.max(1));
+            queue.schedule(
+                SimTime::from_ticks(stagger),
+                GridEvent::EstFlush { est: e as u32 },
+            );
+        }
+    }
+
+    fn flush_interval(&self) -> u64 {
+        (self.enablers.update_interval / 2).max(1)
+    }
+
+    /// Charges decision-time work to scheduler `c` (see
+    /// [`SchedulerBank::charge`]).
+    pub(crate) fn charge_sched(&mut self, c: usize, cost: f64) {
+        self.hot.sched.charge(c, cost, &mut self.hot.acct);
+    }
+
+    /// Sends one message over the link fabric (see [`NetFabric::send`]).
+    pub(crate) fn send_net(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+        via_middleware: bool,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        self.net.send(
+            now,
+            from,
+            to,
+            msg,
+            via_middleware,
+            &self.shared.rt,
+            &mut self.hot.acct,
+            queue,
+        );
+    }
+
+    fn enqueue_sched_work(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        item: WorkItem,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let members = self.shared.layout.members[c].len() as f64;
+        self.hot
+            .sched
+            .enqueue_work(now, c, item, &self.cfg.costs, members, queue);
+    }
+
+    pub(crate) fn handle<P: Policy + ?Sized>(
+        &mut self,
+        now: SimTime,
+        ev: GridEvent,
+        queue: &mut EventQueue<GridEvent>,
+        policy: &mut P,
+    ) {
+        match ev {
+            GridEvent::Arrival(i) => {
+                let mut job = self.shared.trace[i as usize];
+                // For dependency-released jobs the effective arrival is the
+                // release instant; for independent jobs this is a no-op.
+                job.arrival = now;
+                let c = (job.submit_point as usize) % self.n_clusters();
+                // The submission host is a random resource of the arrival
+                // cluster; the submit message pays the network distance to
+                // the coordinating scheduler.
+                let members = &self.shared.layout.members[c];
+                let host = members[self.rng.index(members.len())];
+                let from = self.shared.layout.res_node[host as usize];
+                let to = self.shared.layout.sched_node[c];
+                self.send_net(now, from, to, Msg::Submit { job }, false, queue);
+            }
+
+            GridEvent::Deliver { to, msg } => self.deliver(now, to, msg, queue),
+
+            GridEvent::Finish { res } => {
+                let r = res as usize;
+                let job = self.hot.rp.running[r]
+                    .take()
+                    .expect("Finish without a running job");
+                let cluster = self.shared.layout.res_cluster[r] as usize;
+                self.hot.rp.complete_job(
+                    now,
+                    job,
+                    cluster,
+                    &self.shared,
+                    self.cfg.dag_data_cost,
+                    &mut self.hot.acct,
+                    queue,
+                );
+                if let Some(next) = self.hot.rp.queue[r].pop_front() {
+                    self.hot
+                        .rp
+                        .start_job(now, r, next, self.cfg.service_rate, queue);
+                }
+            }
+
+            GridEvent::UpdateTick { res } => {
+                let r = res as usize;
+                let load = self.hot.rp.load(r);
+                let delta = (load - self.hot.rp.last_sent[r]).abs();
+                if delta >= self.cfg.thresholds.suppress_delta {
+                    self.hot.rp.last_sent[r] = load;
+                    self.hot.acct.updates_sent += 1;
+                    let rnode = self.shared.layout.res_node[r];
+                    let dest = match self.shared.map.estimator_for(rnode) {
+                        Some(e) => e,
+                        None => {
+                            self.shared.layout.sched_node
+                                [self.shared.layout.res_cluster[r] as usize]
+                        }
+                    };
+                    self.send_net(
+                        now,
+                        rnode,
+                        dest,
+                        Msg::StatusUpdate { res, load },
+                        false,
+                        queue,
+                    );
+                } else {
+                    self.hot.acct.updates_suppressed += 1;
+                }
+                let tau = self.enablers.update_interval;
+                queue.schedule(
+                    now + SimTime::from_ticks(tau),
+                    GridEvent::UpdateTick { res },
+                );
+            }
+
+            GridEvent::EstFlush { est } => {
+                let e = est as usize;
+                self.hot.est.flush(
+                    now,
+                    e,
+                    self.cfg.costs.batch_fixed,
+                    &self.shared,
+                    &mut self.net,
+                    &mut self.hot.acct,
+                    queue,
+                );
+                let flush = self.flush_interval();
+                queue.schedule(
+                    now + SimTime::from_ticks(flush),
+                    GridEvent::EstFlush { est },
+                );
+            }
+
+            GridEvent::PolicyTimer { cluster, tag } => {
+                self.enqueue_sched_work(now, cluster as usize, WorkItem::Timer(tag), queue);
+            }
+
+            GridEvent::Sample => {
+                if let Some(tl) = &mut self.timeline {
+                    let nr = self.shared.layout.res_node.len();
+                    let mut sum = 0.0;
+                    let mut max_load: f64 = 0.0;
+                    for r in 0..nr {
+                        let l = self.hot.rp.load(r);
+                        sum += l;
+                        max_load = max_load.max(l);
+                    }
+                    let mean_load = sum / nr.max(1) as f64;
+                    let rms_backlog = self
+                        .hot
+                        .sched
+                        .next_free
+                        .iter()
+                        .map(|nf| (nf - now.as_f64()).max(0.0))
+                        .fold(0.0, f64::max);
+                    let g_busy_so_far: f64 = self
+                        .hot
+                        .acct
+                        .g_sched
+                        .iter()
+                        .chain(self.hot.acct.g_est.iter())
+                        .sum();
+                    let sample = Sample {
+                        at: now,
+                        mean_load,
+                        max_load,
+                        rms_backlog,
+                        f_so_far: self.hot.acct.f_work,
+                        g_busy_so_far,
+                        completed: self.hot.acct.completed,
+                    };
+                    tl.push(sample);
+                    let interval = tl.interval();
+                    queue.schedule(now + SimTime::from_ticks(interval), GridEvent::Sample);
+                }
+            }
+
+            GridEvent::SchedWork { sched, item, cost } => {
+                let c = sched as usize;
+                self.hot.acct.g_sched[c] += cost;
+                match item {
+                    WorkItem::Job(job) => {
+                        let class = job.class(self.cfg.thresholds.t_cpu);
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
+                        match class {
+                            JobClass::Local => policy.on_local_job(&mut ctx, c, job),
+                            JobClass::Remote => policy.on_remote_job(&mut ctx, c, job),
+                        }
+                    }
+                    WorkItem::TransferIn(job) => {
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
+                        policy.on_transfer_in(&mut ctx, c, job);
+                    }
+                    WorkItem::Update { res, load } => {
+                        self.apply_update(now, c, res, load, queue, policy);
+                    }
+                    WorkItem::Batch(updates) => {
+                        for (res, load) in updates {
+                            self.apply_update(now, c, res, load, queue, policy);
+                        }
+                    }
+                    WorkItem::Policy(msg) => {
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
+                        policy.on_policy_msg(&mut ctx, c, msg);
+                    }
+                    WorkItem::Timer(tag) => {
+                        let mut ctx = Ctx {
+                            core: self,
+                            queue,
+                            now,
+                        };
+                        policy.on_timer(&mut ctx, c, tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_update<P: Policy + ?Sized>(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        res: u32,
+        load: f64,
+        queue: &mut EventQueue<GridEvent>,
+        policy: &mut P,
+    ) {
+        // Guard against misrouted updates (cluster mismatch cannot happen
+        // by construction, but stay defensive).
+        if self.shared.layout.res_cluster[res as usize] as usize != c {
+            return;
+        }
+        let pos = self.shared.layout.res_pos[res as usize] as usize;
+        self.hot.sched.views[c].apply_update(pos, load, now);
+        let mut ctx = Ctx {
+            core: self,
+            queue,
+            now,
+        };
+        policy.on_update(&mut ctx, c, pos, load);
+    }
+
+    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, queue: &mut EventQueue<GridEvent>) {
+        match msg {
+            Msg::Dispatch { job } => {
+                let r = self.shared.layout.res_at_node[to as usize];
+                debug_assert_ne!(r, u32::MAX, "Dispatch to a non-resource node");
+                self.hot.rp.enqueue(
+                    now,
+                    r as usize,
+                    job,
+                    self.cfg.costs.rp_job_control,
+                    self.cfg.service_rate,
+                    &mut self.hot.acct,
+                    queue,
+                );
+            }
+            Msg::Recall { to_cluster } => {
+                let r = self.shared.layout.res_at_node[to as usize];
+                debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
+                if let Some(job) = self.hot.rp.queue[r as usize].pop_back() {
+                    self.hot.acct.transfers += 1;
+                    let from = self.shared.layout.res_node[r as usize];
+                    let dest = self.shared.layout.sched_node[to_cluster as usize];
+                    self.send_net(now, from, dest, Msg::Transfer { job }, false, queue);
+                }
+            }
+            Msg::StatusUpdate { res, load } => {
+                let e = self.shared.layout.est_at_node[to as usize];
+                if e != u32::MAX {
+                    let ci = self.shared.layout.res_cluster[res as usize] as usize;
+                    self.hot.est.ingest(
+                        now,
+                        e as usize,
+                        res,
+                        load,
+                        ci,
+                        self.cfg.costs.update,
+                        &mut self.hot.acct,
+                    );
+                } else {
+                    let c = self.shared.layout.sched_at_node[to as usize];
+                    debug_assert_ne!(c, u32::MAX, "update to a non-RMS node");
+                    self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, queue);
+                }
+            }
+            Msg::StatusBatch { updates } => {
+                let c = self.shared.layout.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), queue);
+            }
+            Msg::Submit { job } => {
+                let c = self.shared.layout.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), queue);
+            }
+            Msg::Transfer { job } => {
+                let c = self.shared.layout.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), queue);
+            }
+            Msg::Policy(pmsg) => {
+                let c = self.shared.layout.sched_at_node[to as usize];
+                debug_assert_ne!(c, u32::MAX);
+                self.hot.acct.policy_msgs += 1;
+                self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), queue);
+            }
+        }
+    }
+
+    /// Folds the run's ledger into a [`SimReport`].
+    pub(crate) fn report(
+        &self,
+        policy: &str,
+        horizon: SimTime,
+        events_processed: u64,
+    ) -> SimReport {
+        self.hot.acct.report(
+            policy,
+            horizon,
+            events_processed,
+            self.shared.trace.len() as u64,
+            &self.hot.rp.busy,
+            self.cfg.costs.overhead_weight,
+            self.cfg.nodes,
+        )
+    }
+}

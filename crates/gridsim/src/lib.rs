@@ -23,21 +23,49 @@
 //!
 //! RMS *policies* (CENTRAL, LOWEST, … — crate `gridscale-rms`) plug in via
 //! the [`Policy`] trait; this crate is policy-agnostic machinery.
+//!
+//! # Module map
+//!
+//! Each subsystem owns its slice of the per-run state and communicates
+//! with the others only through the shared event queue:
+//!
+//! | module | owns | paper concept |
+//! |---|---|---|
+//! | `world` | topology, routing, trace, placement layout | the Grid |
+//! | `net` | link fabric, middleware queue | message transport (§3.3) |
+//! | `sched` | scheduler stations + stale views | RMS workers, `G(k)` |
+//! | `resource` | run queues, execution, DAG release | RP, `F(k)`/`H(k)` |
+//! | `estimator` | status batching | Case-3 estimators |
+//! | `accounting` | the F/G/H ledger → [`SimReport`] | `E = F/(F+G+H)` |
+//! | `kernel` | event routing, policy trampoline | — |
+//! | `ctx` | capability-scoped policy API | policy decision costs |
+//! | `sim` | templates, pooling, run paths | repeated measurements |
 
 #![warn(missing_docs)]
 
+mod accounting;
 mod config;
+mod ctx;
+mod estimator;
+mod event;
+mod kernel;
 mod msg;
+mod net;
 mod policy;
 mod report;
+mod resource;
+mod sched;
 mod sim;
 pub mod timeline;
 mod view;
+mod world;
 
 pub use config::{Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
+pub use ctx::{Clock, Comms, Ctx, Dispatch, Telemetry, Timers};
+pub use event::{GridEvent, WorkItem};
 pub use msg::{Msg, PolicyMsg};
 pub use policy::{LocalOnly, Policy};
 pub use report::SimReport;
-pub use sim::{run_simulation, Ctx, GridEvent, GridSim, ReplayStats, SimTemplate, WorkItem};
+pub use sim::{run_simulation, GridSim, ReplayStats, SimTemplate};
 pub use timeline::{Sample, Timeline};
 pub use view::{ClusterView, ResourceView};

@@ -1,0 +1,78 @@
+//! The link fabric: transport of every simulator message over the routed
+//! topology — propagation (scaled by the link-delay enabler), per-hop
+//! transmission, and the optional middleware queueing stage used by the
+//! S-I/R-I/Sy-I model family (paper §3.3).
+
+use crate::accounting::Accounting;
+use crate::event::GridEvent;
+use crate::msg::Msg;
+use gridscale_desim::{EventQueue, SimTime};
+use gridscale_topology::{NodeId, RoutingTable};
+
+/// Base link bandwidth used for the transmission-delay term (payload units
+/// per tick), matching `LinkParams::default`.
+const BASE_BANDWIDTH: f64 = 100.0;
+
+/// Per-run transport state: the delay parameters and the middleware
+/// queue's server availability.
+pub(crate) struct NetFabric {
+    /// The link-delay enabler (multiplies routed propagation latency).
+    pub(crate) link_delay_factor: f64,
+    /// Middleware queue service time per message.
+    pub(crate) middleware_service: f64,
+    /// Whether the active policy routes transfers/policy traffic through
+    /// the middleware stage.
+    pub(crate) use_middleware: bool,
+    /// Middleware server availability, fractional ticks.
+    pub(crate) mw_next_free: f64,
+}
+
+impl NetFabric {
+    pub(crate) fn new(link_delay_factor: f64, middleware_service: f64) -> NetFabric {
+        NetFabric {
+            link_delay_factor,
+            middleware_service,
+            use_middleware: false,
+            mw_next_free: 0.0,
+        }
+    }
+
+    /// Network (and optionally middleware) transport of one message:
+    /// counts it, delays it, and schedules its [`GridEvent::Deliver`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Msg,
+        via_middleware: bool,
+        rt: &RoutingTable,
+        acct: &mut Accounting,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        acct.msgs_sent += 1;
+        let size = msg.size();
+        let (lat, hops) = if from == to {
+            (0.0, 0.0)
+        } else {
+            let lat = rt
+                .latency(from, to)
+                .expect("generated topologies are connected") as f64;
+            let hops = rt.hops(from, to).unwrap_or(1) as f64;
+            (lat, hops)
+        };
+        let prop = lat * self.link_delay_factor;
+        let trans = hops.max(1.0) * size / BASE_BANDWIDTH;
+        let mut depart = now.as_f64();
+        if via_middleware {
+            // "A simple queue with infinite capacity and finite but small
+            // service time" (paper §3.3).
+            let start = depart.max(self.mw_next_free);
+            depart = start + self.middleware_service;
+            self.mw_next_free = depart;
+        }
+        let arrive = SimTime::from_f64((depart + prop + trans).max(now.as_f64() + 1.0));
+        queue.schedule(arrive, GridEvent::Deliver { to, msg });
+    }
+}

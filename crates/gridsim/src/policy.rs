@@ -3,12 +3,13 @@
 //! A [`Policy`] is the decision-making brain of the RMS; the simulator
 //! invokes it whenever a scheduler *processes* a work item (job arrival,
 //! status update, policy message, timer). All actions flow back through
-//! [`Ctx`], which charges the acting scheduler's overhead account and
-//! injects the resulting messages into the network — so a policy cannot
-//! act without paying for it.
+//! [`Ctx`] — via the capability traits [`Dispatch`],
+//! [`Comms`](crate::Comms), [`Timers`](crate::Timers) — which charge the
+//! acting scheduler's overhead account and inject the resulting messages
+//! into the network, so a policy cannot act without paying for it.
 
+use crate::ctx::{Ctx, Dispatch};
 use crate::msg::PolicyMsg;
-use crate::sim::Ctx;
 use gridscale_workload::Job;
 
 /// One resource-management policy (CENTRAL, LOWEST, RESERVE, AUCTION, S-I,
@@ -30,7 +31,7 @@ pub trait Policy {
     }
 
     /// Called once at time zero; typically arms periodic timers via
-    /// [`Ctx::set_timer`].
+    /// [`Timers::set_timer`](crate::Timers::set_timer).
     fn init(&mut self, _ctx: &mut Ctx) {}
 
     /// A LOCAL job (exec ≤ `T_CPU`) was received. Default: least-loaded
@@ -58,8 +59,8 @@ pub trait Policy {
     /// to notice idle resources.
     fn on_update(&mut self, _ctx: &mut Ctx, _cluster: usize, _res_pos: usize, _load: f64) {}
 
-    /// A timer armed with [`Ctx::set_timer`] fired at `cluster` with its
-    /// `tag`.
+    /// A timer armed with [`Timers::set_timer`](crate::Timers::set_timer)
+    /// fired at `cluster` with its `tag`.
     fn on_timer(&mut self, _ctx: &mut Ctx, _cluster: usize, _tag: u64) {}
 }
 

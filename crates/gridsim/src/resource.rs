@@ -1,0 +1,149 @@
+//! The resource pool (RP) — the paper's *managee*: homogeneous resources
+//! executing jobs FIFO at a finite service rate. Owns the run queues,
+//! busy accounting, completion bookkeeping (useful work `F`, per-job RP
+//! control cost `H`), and dependency release for the DAG extension.
+
+use crate::accounting::Accounting;
+use crate::event::GridEvent;
+use crate::world::SharedWorld;
+use gridscale_desim::{EventQueue, SimTime};
+use gridscale_workload::Job;
+use std::collections::VecDeque;
+
+/// Per-resource execution state, struct-of-arrays and indexed by global
+/// resource index (same order as the layout tables).
+pub(crate) struct ResourcePool {
+    /// Resource index → queued jobs.
+    pub(crate) queue: Vec<VecDeque<Job>>,
+    /// Resource index → the running job, if any.
+    pub(crate) running: Vec<Option<Job>>,
+    /// Resource index → load value of its last non-suppressed update.
+    pub(crate) last_sent: Vec<f64>,
+    /// Resource index → accumulated busy ticks.
+    pub(crate) busy: Vec<f64>,
+    /// Per-job countdown of unmet dependencies (empty when no DAG).
+    pub(crate) remaining_parents: Vec<u32>,
+}
+
+impl ResourcePool {
+    pub(crate) fn new(n_res: usize, parent_counts: &[u32]) -> ResourcePool {
+        ResourcePool {
+            queue: (0..n_res).map(|_| VecDeque::new()).collect(),
+            running: vec![None; n_res],
+            last_sent: vec![0.0; n_res],
+            busy: vec![0.0; n_res],
+            remaining_parents: parent_counts.to_vec(),
+        }
+    }
+
+    /// Restores the pristine post-`new` state, keeping allocations.
+    pub(crate) fn reset(&mut self, parent_counts: &[u32]) {
+        self.queue.iter_mut().for_each(|q| q.clear());
+        self.running.iter_mut().for_each(|r| *r = None);
+        self.last_sent.iter_mut().for_each(|x| *x = 0.0);
+        self.busy.iter_mut().for_each(|x| *x = 0.0);
+        self.remaining_parents.clear();
+        self.remaining_parents.extend_from_slice(parent_counts);
+    }
+
+    /// Jobs-in-system at resource `r` (queued + running).
+    #[inline]
+    pub(crate) fn load(&self, r: usize) -> f64 {
+        self.queue[r].len() as f64 + if self.running[r].is_some() { 1.0 } else { 0.0 }
+    }
+
+    /// Puts `job` on resource `r`'s processor and schedules its finish.
+    pub(crate) fn start_job(
+        &mut self,
+        now: SimTime,
+        r: usize,
+        job: Job,
+        service_rate: f64,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let dur = SimTime::from_f64((job.exec_time.as_f64() / service_rate).max(1.0));
+        self.busy[r] += dur.as_f64();
+        self.running[r] = Some(job);
+        queue.schedule(now + dur, GridEvent::Finish { res: r as u32 });
+    }
+
+    /// A dispatched job lands at resource `r`: pay the RP job-control
+    /// cost (`H`), then run it now or queue it FIFO.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn enqueue(
+        &mut self,
+        now: SimTime,
+        r: usize,
+        job: Job,
+        rp_job_control: f64,
+        service_rate: f64,
+        acct: &mut Accounting,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        acct.h_overhead += rp_job_control;
+        if self.running[r].is_none() {
+            self.start_job(now, r, job, service_rate, queue);
+        } else {
+            self.queue[r].push_back(job);
+        }
+    }
+
+    /// Books a finished `job` (response time, deadline benefit → `F`) and
+    /// releases its dependency children, if any.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn complete_job(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        cluster: usize,
+        shared: &SharedWorld,
+        dag_data_cost: f64,
+        acct: &mut Accounting,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let response = (now - job.arrival).as_f64();
+        acct.completed += 1;
+        acct.response.push(response);
+        acct.response_hist.push(response);
+        if job.meets_deadline(now) {
+            acct.succeeded += 1;
+            acct.f_work += job.exec_time.as_f64();
+        } else {
+            acct.deadline_missed += 1;
+        }
+        // Precedence extension (paper future-work (b)): releasing children
+        // charges the data-management cost of each dependency edge to H —
+        // cheap when producer and consumer share a cluster.
+        if let Some(dag) = shared.dag.as_ref() {
+            let n_clusters = shared.layout.members.len();
+            for &c in dag.children(job.id) {
+                let child = &shared.trace[c as usize];
+                let child_cluster = (child.submit_point as usize) % n_clusters;
+                let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
+                acct.h_overhead += factor * dag_data_cost;
+                let rp = &mut self.remaining_parents[c as usize];
+                debug_assert!(*rp > 0, "child released twice");
+                *rp -= 1;
+                if *rp == 0 {
+                    let at = child.arrival.max(now);
+                    if at > child.arrival {
+                        acct.dag_deferred += 1;
+                    }
+                    queue.schedule(at, GridEvent::Arrival(c));
+                }
+            }
+        }
+    }
+
+    /// Approximate resident bytes (capacity-based; telemetry only).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let job = size_of::<Job>();
+        let mut b = self.queue.capacity() * size_of::<VecDeque<Job>>();
+        b += self.queue.iter().map(|q| q.capacity() * job).sum::<usize>();
+        b += self.running.capacity() * size_of::<Option<Job>>();
+        b += (self.last_sent.capacity() + self.busy.capacity()) * 8;
+        b += self.remaining_parents.capacity() * 4;
+        b
+    }
+}

@@ -1,0 +1,79 @@
+//! Scheduler service stations: one single-server FIFO queue per cluster
+//! whose busy time *is* that scheduler's share of the RMS overhead
+//! `G(k)`, plus the scheduler's (stale) [`ClusterView`] of its resources.
+
+use crate::accounting::Accounting;
+use crate::config::OverheadCosts;
+use crate::event::{GridEvent, WorkItem};
+use crate::view::ClusterView;
+use gridscale_desim::{EventQueue, SimTime};
+
+/// Per-cluster scheduler state: server availability and believed loads.
+pub(crate) struct SchedulerBank {
+    /// Cluster → scheduler work-server availability, fractional ticks.
+    pub(crate) next_free: Vec<f64>,
+    /// Cluster → the scheduler's (stale) view.
+    pub(crate) views: Vec<ClusterView>,
+}
+
+impl SchedulerBank {
+    pub(crate) fn new(members: &[Vec<u32>]) -> SchedulerBank {
+        SchedulerBank {
+            next_free: vec![0.0; members.len()],
+            views: members.iter().map(|m| ClusterView::new(m.len())).collect(),
+        }
+    }
+
+    /// Restores the pristine post-`new` state, keeping allocations.
+    pub(crate) fn reset(&mut self) {
+        self.views.iter_mut().for_each(|v| v.reset_idle());
+        self.next_free.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Charges `cost` of immediate (decision-time) work to scheduler `c`:
+    /// books it as `G` and pushes the server's availability back.
+    pub(crate) fn charge(&mut self, c: usize, cost: f64, acct: &mut Accounting) {
+        acct.g_sched[c] += cost;
+        self.next_free[c] += cost;
+    }
+
+    /// Enqueues a work item at scheduler `c`'s single-server queue; the
+    /// item's effects occur when the server finishes it.
+    pub(crate) fn enqueue_work(
+        &mut self,
+        now: SimTime,
+        c: usize,
+        item: WorkItem,
+        costs: &OverheadCosts,
+        members: f64,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let cost = match &item {
+            WorkItem::Job(_) | WorkItem::TransferIn(_) => {
+                costs.recv_job + costs.decision_base + costs.decision_per_candidate * members
+            }
+            WorkItem::Update { .. } => costs.update,
+            WorkItem::Batch(v) => costs.batch_fixed + costs.batch_per_item * v.len() as f64,
+            WorkItem::Policy(_) => costs.policy_msg,
+            WorkItem::Timer(_) => costs.timer_check,
+        };
+        let start = now.as_f64().max(self.next_free[c]);
+        let done = start + cost;
+        self.next_free[c] = done;
+        queue.schedule(
+            SimTime::from_f64(done),
+            GridEvent::SchedWork {
+                sched: c as u32,
+                item,
+                cost,
+            },
+        );
+    }
+
+    /// Approximate resident bytes (capacity-based; telemetry only).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        // Per view entry: load (8) + updated_at (8) + two u32 tournament
+        // trees of 2n slots (16).
+        self.views.iter().map(|v| v.len() * 32).sum::<usize>() + self.next_free.capacity() * 8
+    }
+}

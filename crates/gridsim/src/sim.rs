@@ -1,376 +1,95 @@
-//! The Grid simulator: event handling, transport, servers, accounting.
+//! Run orchestration: the [`SimTemplate`] (shared world + recycled
+//! scratch pools) and the engine driver.
 //!
 //! # Memory layout (zero-clone replay)
 //!
 //! Repeated runs of one `(model, k)` point at different enabler settings
 //! share everything immutable and recycle everything mutable:
 //!
-//! * [`SharedWorld`] — `Arc`-shared immutables: topology routing, grid
-//!   map, workload trace, dependency graph, and the [`Layout`]
+//! * `SharedWorld` — `Arc`-shared immutables: topology routing, grid
+//!   map, workload trace, dependency graph, and the `Layout`
 //!   (struct-of-arrays node/cluster/position tables plus ranked-neighbor
 //!   tables). Built once per [`SimTemplate`], never copied per run.
-//! * [`HotState`] — the per-run mutable scratch arena: resource queues,
-//!   cluster views, server availability, accounting. Checked out of a
-//!   pool on `run`, wiped with `reset`, and returned afterwards, so a
-//!   replay allocates (almost) nothing.
+//! * `HotState` — the per-run mutable scratch arena: one struct per
+//!   subsystem (resource pool, scheduler stations, estimators) plus the
+//!   accounting ledger. Checked out of a pool on `run`, wiped with
+//!   `reset`, and returned afterwards, so a replay allocates (almost)
+//!   nothing.
 //! * [`Enablers`] — the only per-run configuration, carried as a small
 //!   `Copy` overlay instead of cloning the whole `GridConfig`.
 //!
 //! A reset pooled run is bit-identical to a cold one; see
-//! `run_cold_matches_pooled_run` below and `tests/golden_report.rs`.
+//! `tests/machinery.rs` and `tests/golden_report.rs`.
+//!
+//! # Dispatch
+//!
+//! The run path is generic over `P: Policy + ?Sized`: callers holding a
+//! concrete policy type (notably the `RmsPolicy` enum of the `rms`
+//! crate) get a statically dispatched, inlinable event loop, while
+//! `&mut dyn Policy` keeps working for user extensions and collections
+//! of heterogeneous policies.
 
-use crate::config::{Enablers, GridConfig, Thresholds, TopologySpec};
-use crate::msg::{Msg, PolicyMsg};
+use crate::accounting::Accounting;
+use crate::config::{Enablers, GridConfig};
+use crate::ctx::Ctx;
+use crate::estimator::EstimatorBank;
+use crate::event::GridEvent;
+use crate::kernel::SimCore;
 use crate::policy::Policy;
 use crate::report::SimReport;
-use crate::timeline::{Sample, Timeline};
-use crate::view::ClusterView;
-use gridscale_desim::stats::{Histogram, Welford};
-use gridscale_desim::{Engine, EventQueue, SimRng, SimTime, World};
-use gridscale_topology::generate::{self, LinkParams};
-use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
-use gridscale_workload::{generate as gen_workload, Job, JobClass};
+use crate::resource::ResourcePool;
+use crate::sched::SchedulerBank;
+use crate::timeline::Timeline;
+use crate::world::SharedWorld;
+use gridscale_desim::{Engine, EventQueue, SimTime, World};
 use serde::Serialize;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// Base link bandwidth used for the transmission-delay term (payload units
-/// per tick), matching [`LinkParams::default`].
-const BASE_BANDWIDTH: f64 = 100.0;
 
 /// Guard against runaway models: no single run may process more events.
 const EVENT_BUDGET: u64 = 200_000_000;
 
-/// A unit of RMS work queued at a scheduler's single-server queue.
-#[derive(Debug, Clone)]
-pub enum WorkItem {
-    /// A freshly submitted job: receive + make a scheduling decision.
-    Job(Job),
-    /// A job transferred in from another cluster.
-    TransferIn(Job),
-    /// A direct status update from a resource (global resource index).
-    Update {
-        /// Reporting resource.
-        res: u32,
-        /// Reported jobs-in-system.
-        load: f64,
-    },
-    /// A batched set of updates relayed by an estimator.
-    Batch(Vec<(u32, f64)>),
-    /// An inter-scheduler policy message.
-    Policy(PolicyMsg),
-    /// A policy timer armed via [`Ctx::set_timer`].
-    Timer(u64),
-}
-
-/// The simulator's event alphabet.
-#[derive(Debug, Clone)]
-pub enum GridEvent {
-    /// The `i`-th trace job arrives at its submission host.
-    Arrival(u32),
-    /// A network message reaches its destination node.
-    Deliver {
-        /// Destination node.
-        to: NodeId,
-        /// Payload.
-        msg: Msg,
-    },
-    /// The running job at a resource completes.
-    Finish {
-        /// Global resource index.
-        res: u32,
-    },
-    /// A resource's periodic status-update timer fires.
-    UpdateTick {
-        /// Global resource index.
-        res: u32,
-    },
-    /// An estimator's batch-forward timer fires.
-    EstFlush {
-        /// Estimator index.
-        est: u32,
-    },
-    /// A scheduler finishes processing a work item (its effects happen now).
-    SchedWork {
-        /// Cluster index of the scheduler.
-        sched: u32,
-        /// The item processed.
-        item: WorkItem,
-        /// Service time of the item, charged to `G` on completion — work
-        /// still queued when the horizon ends is never charged, so a
-        /// saturated scheduler's `G` is bounded by wall-clock busy time.
-        cost: f64,
-    },
-    /// A policy timer fires (it is then queued as scheduler work).
-    PolicyTimer {
-        /// Cluster index.
-        cluster: u32,
-        /// Policy-defined tag.
-        tag: u64,
-    },
-    /// The timeline recorder samples system state.
-    Sample,
-}
-
-/// Immutable struct-of-arrays placement tables: where every resource,
-/// scheduler, and estimator lives, and how nodes map back to them.
-/// Derived once from the `GridMap` + `RoutingTable` per template; all
-/// per-run mutable companions live in [`HotState`], indexed identically.
-struct Layout {
-    /// Resource index → its network node.
-    res_node: Vec<NodeId>,
-    /// Resource index → owning cluster.
-    res_cluster: Vec<u32>,
-    /// Resource index → position within its cluster.
-    res_pos: Vec<u32>,
-    /// Cluster → global resource indices by cluster position.
-    members: Vec<Vec<u32>>,
-    /// Cluster → its scheduler's node.
-    sched_node: Vec<NodeId>,
-    /// Estimator index → its node.
-    est_node: Vec<NodeId>,
-    /// NodeId → resource index (`u32::MAX` if none).
-    res_at_node: Vec<u32>,
-    /// NodeId → scheduler (cluster) index.
-    sched_at_node: Vec<u32>,
-    /// NodeId → estimator index.
-    est_at_node: Vec<u32>,
-    /// Cluster → all peer clusters ranked by scheduler-to-scheduler
-    /// network latency (ties → lower cluster id). Lets nearest-style
-    /// peer lookups read a table instead of re-scanning candidates.
-    ranked_peers: Vec<Vec<u32>>,
-}
-
-impl Layout {
-    fn build(map: &GridMap, rt: &RoutingTable, n_nodes: usize) -> Layout {
-        let n_clusters = map.cluster_count();
-        let mut res_node = Vec::new();
-        let mut res_cluster = Vec::new();
-        let mut res_pos = Vec::new();
-        let mut res_at_node = vec![u32::MAX; n_nodes];
-        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
-        #[allow(clippy::needless_range_loop)]
-        for ci in 0..n_clusters {
-            for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
-                let idx = res_node.len() as u32;
-                res_at_node[node as usize] = idx;
-                members[ci].push(idx);
-                res_node.push(node);
-                res_cluster.push(ci as u32);
-                res_pos.push(pos as u32);
-            }
-        }
-
-        let mut sched_at_node = vec![u32::MAX; n_nodes];
-        let sched_node: Vec<NodeId> = (0..n_clusters)
-            .map(|ci| {
-                let node = map.cluster_scheduler(ci);
-                sched_at_node[node as usize] = ci as u32;
-                node
-            })
-            .collect();
-
-        let mut est_at_node = vec![u32::MAX; n_nodes];
-        let est_node: Vec<NodeId> = map
-            .estimators()
-            .iter()
-            .enumerate()
-            .map(|(ei, &node)| {
-                est_at_node[node as usize] = ei as u32;
-                node
-            })
-            .collect();
-
-        let ranked_peers: Vec<Vec<u32>> = (0..n_clusters)
-            .map(|ci| {
-                let from = sched_node[ci];
-                let mut peers: Vec<u32> = (0..n_clusters as u32)
-                    .filter(|&cj| cj as usize != ci)
-                    .collect();
-                peers.sort_by_key(|&cj| {
-                    (
-                        rt.latency(from, sched_node[cj as usize])
-                            .unwrap_or(u64::MAX),
-                        cj,
-                    )
-                });
-                peers
-            })
-            .collect();
-
-        Layout {
-            res_node,
-            res_cluster,
-            res_pos,
-            members,
-            sched_node,
-            est_node,
-            res_at_node,
-            sched_at_node,
-            est_at_node,
-            ranked_peers,
-        }
-    }
-}
-
-struct Accounting {
-    f_work: f64,
-    h_overhead: f64,
-    g_sched: Vec<f64>,
-    g_est: Vec<f64>,
-    completed: u64,
-    succeeded: u64,
-    deadline_missed: u64,
-    updates_sent: u64,
-    updates_suppressed: u64,
-    batches: u64,
-    policy_msgs: u64,
-    transfers: u64,
-    dispatches: u64,
-    dag_deferred: u64,
-    msgs_sent: u64,
-    response: Welford,
-    response_hist: Histogram,
-}
-
-impl Accounting {
-    fn new(n_sched: usize, n_est: usize) -> Self {
-        Accounting {
-            f_work: 0.0,
-            h_overhead: 0.0,
-            g_sched: vec![0.0; n_sched],
-            g_est: vec![0.0; n_est],
-            completed: 0,
-            succeeded: 0,
-            deadline_missed: 0,
-            updates_sent: 0,
-            updates_suppressed: 0,
-            batches: 0,
-            policy_msgs: 0,
-            transfers: 0,
-            dispatches: 0,
-            dag_deferred: 0,
-            msgs_sent: 0,
-            response: Welford::new(),
-            response_hist: Histogram::new(100.0, 4000),
-        }
-    }
-
-    /// Zeroes every tally in place (vector lengths and the histogram's
-    /// bins are structural and kept), restoring the `new` state exactly.
-    fn reset(&mut self) {
-        self.f_work = 0.0;
-        self.h_overhead = 0.0;
-        self.g_sched.iter_mut().for_each(|g| *g = 0.0);
-        self.g_est.iter_mut().for_each(|g| *g = 0.0);
-        self.completed = 0;
-        self.succeeded = 0;
-        self.deadline_missed = 0;
-        self.updates_sent = 0;
-        self.updates_suppressed = 0;
-        self.batches = 0;
-        self.policy_msgs = 0;
-        self.transfers = 0;
-        self.dispatches = 0;
-        self.dag_deferred = 0;
-        self.msgs_sent = 0;
-        self.response.reset();
-        self.response_hist.reset();
-    }
-}
-
-/// The per-run mutable scratch arena, struct-of-arrays and indexed
-/// identically to [`Layout`]. Pooled on the [`SimTemplate`]: `reset`
-/// restores the pristine state while keeping every allocation, which is
-/// what makes replays (almost) allocation-free.
-struct HotState {
-    /// Resource index → queued jobs.
-    res_queue: Vec<VecDeque<Job>>,
-    /// Resource index → the running job, if any.
-    res_running: Vec<Option<Job>>,
-    /// Resource index → load value of its last non-suppressed update.
-    res_last_sent: Vec<f64>,
-    /// Resource index → accumulated busy ticks.
-    res_busy: Vec<f64>,
-    /// Cluster → the scheduler's (stale) view.
-    views: Vec<ClusterView>,
-    /// Cluster → scheduler work-server availability, fractional ticks.
-    sched_next_free: Vec<f64>,
-    /// Estimator → server availability.
-    est_next_free: Vec<f64>,
-    /// Estimator → buffered updates per destination cluster.
-    est_buffer: Vec<Vec<Vec<(u32, f64)>>>,
-    /// Per-job countdown of unmet dependencies (empty when no DAG).
-    remaining_parents: Vec<u32>,
-    acct: Accounting,
+/// The per-run mutable scratch arena: one struct per subsystem plus the
+/// shared accounting ledger, all indexed identically to the layout
+/// tables. Pooled on the [`SimTemplate`]: `reset` restores the pristine
+/// state while keeping every allocation, which is what makes replays
+/// (almost) allocation-free.
+pub(crate) struct HotState {
+    /// Resource-pool execution state.
+    pub(crate) rp: ResourcePool,
+    /// Scheduler service stations and views.
+    pub(crate) sched: SchedulerBank,
+    /// Estimator servers and batching buffers.
+    pub(crate) est: EstimatorBank,
+    /// The F/G/H ledger.
+    pub(crate) acct: Accounting,
 }
 
 impl HotState {
-    fn new(shared: &SharedWorld) -> HotState {
+    pub(crate) fn new(shared: &SharedWorld) -> HotState {
         let nr = shared.layout.res_node.len();
         let nc = shared.layout.members.len();
         let ne = shared.layout.est_node.len();
         HotState {
-            res_queue: (0..nr).map(|_| VecDeque::new()).collect(),
-            res_running: vec![None; nr],
-            res_last_sent: vec![0.0; nr],
-            res_busy: vec![0.0; nr],
-            views: shared
-                .layout
-                .members
-                .iter()
-                .map(|m| ClusterView::new(m.len()))
-                .collect(),
-            sched_next_free: vec![0.0; nc],
-            est_next_free: vec![0.0; ne],
-            est_buffer: (0..ne).map(|_| vec![Vec::new(); nc]).collect(),
-            remaining_parents: shared.parent_counts.clone(),
+            rp: ResourcePool::new(nr, &shared.parent_counts),
+            sched: SchedulerBank::new(&shared.layout.members),
+            est: EstimatorBank::new(ne, nc),
             acct: Accounting::new(nc, ne),
         }
     }
 
     /// Restores the pristine post-`new` state, keeping allocations.
-    fn reset(&mut self, shared: &SharedWorld) {
-        self.res_queue.iter_mut().for_each(|q| q.clear());
-        self.res_running.iter_mut().for_each(|r| *r = None);
-        self.res_last_sent.iter_mut().for_each(|x| *x = 0.0);
-        self.res_busy.iter_mut().for_each(|x| *x = 0.0);
-        self.views.iter_mut().for_each(|v| v.reset_idle());
-        self.sched_next_free.iter_mut().for_each(|x| *x = 0.0);
-        self.est_next_free.iter_mut().for_each(|x| *x = 0.0);
-        for per_cluster in &mut self.est_buffer {
-            per_cluster.iter_mut().for_each(|b| b.clear());
-        }
-        self.remaining_parents.clone_from(&shared.parent_counts);
+    pub(crate) fn reset(&mut self, shared: &SharedWorld) {
+        self.rp.reset(&shared.parent_counts);
+        self.sched.reset();
+        self.est.reset();
         self.acct.reset();
     }
 
     /// Approximate resident bytes of this scratch arena (capacity-based;
     /// telemetry only, not part of any report).
-    fn approx_bytes(&self) -> u64 {
-        use std::mem::size_of;
-        let job = size_of::<Job>();
-        let mut b = self.res_queue.capacity() * size_of::<VecDeque<Job>>();
-        b += self
-            .res_queue
-            .iter()
-            .map(|q| q.capacity() * job)
-            .sum::<usize>();
-        b += self.res_running.capacity() * size_of::<Option<Job>>();
-        b += (self.res_last_sent.capacity() + self.res_busy.capacity()) * 8;
-        // Per view entry: load (8) + updated_at (8) + two u32 tournament
-        // trees of 2n slots (16).
-        b += self.views.iter().map(|v| v.len() * 32).sum::<usize>();
-        b += (self.sched_next_free.capacity() + self.est_next_free.capacity()) * 8;
-        b += self
-            .est_buffer
-            .iter()
-            .flat_map(|per| per.iter())
-            .map(|v| v.capacity() * size_of::<(u32, f64)>())
-            .sum::<usize>();
-        b += self.remaining_parents.capacity() * 4;
-        b as u64
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        (self.rp.approx_bytes() + self.sched.approx_bytes() + self.est.approx_bytes()) as u64
     }
 }
 
@@ -387,7 +106,7 @@ pub struct SimTemplate {
     /// Recycled event queues: runs return their (reset) queue here so the
     /// next run reuses the heap allocation instead of growing a fresh one.
     queue_pool: Mutex<Vec<EventQueue<GridEvent>>>,
-    /// Recycled [`HotState`] scratch arenas, wiped between runs.
+    /// Recycled `HotState` scratch arenas, wiped between runs.
     scratch_pool: Mutex<Vec<HotState>>,
     /// Peak queue length observed by completed runs — the pre-reserve hint
     /// for the next run of this (structurally identical) world.
@@ -417,92 +136,14 @@ pub struct ReplayStats {
     pub scratch_bytes: u64,
 }
 
-pub(crate) struct SharedWorld {
-    rt: RoutingTable,
-    map: GridMap,
-    trace: Vec<Job>,
-    /// Precedence constraints (paper future-work (b)); `None` reproduces
-    /// the paper's evaluated setting (independent jobs).
-    dag: Option<gridscale_workload::DependencyGraph>,
-    layout: Layout,
-    /// Per-job dependency in-degree (empty when no DAG); the pristine
-    /// value `HotState::remaining_parents` is reset from.
-    parent_counts: Vec<u32>,
-    /// Analytic mean service demand of the workload.
-    mean_demand: f64,
-}
-
 impl SimTemplate {
     /// Builds the world for `cfg` (topology, routing tables, grid map,
     /// workload trace, layout).
     pub fn new(cfg: &GridConfig) -> SimTemplate {
         cfg.validate().expect("invalid GridConfig");
-        let root = SimRng::new(cfg.seed);
-        let mut topo_rng = root.fork(1);
-        let mut wl_rng = root.fork(2);
-
-        let lp = LinkParams::default();
-        let n = cfg.nodes;
-        let graph: Graph = match cfg.topology {
-            TopologySpec::BarabasiAlbert { m } => {
-                generate::barabasi_albert(n, m, lp, &mut topo_rng)
-            }
-            TopologySpec::Waxman { alpha, beta } => {
-                generate::waxman(n, alpha, beta, lp, &mut topo_rng)
-            }
-            TopologySpec::TransitStub => {
-                // Shape ratios: ~10% transit nodes, stubs of ~8.
-                let transits = (n / 64).max(1);
-                let transit_size = 4;
-                let stub_size = 8;
-                let stubs_per_transit =
-                    ((n - transits * transit_size) / (transits * stub_size)).max(1);
-                generate::transit_stub(
-                    transits,
-                    transit_size,
-                    stubs_per_transit,
-                    stub_size,
-                    lp,
-                    &mut topo_rng,
-                )
-            }
-            TopologySpec::Ring => generate::ring(n, lp),
-            TopologySpec::Star => generate::star(n, lp),
-        };
-        let rt = RoutingTable::build(&graph);
-        let map = GridMap::build(
-            &graph,
-            &rt,
-            cfg.schedulers,
-            cfg.estimators,
-            cfg.resource_fraction,
-        );
-        let mut wl_cfg = cfg.workload.clone();
-        wl_cfg.submit_points = map.cluster_count() as u32;
-        let trace = gen_workload(&wl_cfg, &mut wl_rng).jobs().to_vec();
-        let dag = (cfg.dag_edge_prob > 0.0).then(|| {
-            let mut dag_rng = root.fork(4);
-            gridscale_workload::DependencyGraph::random(
-                trace.len(),
-                cfg.dag_edge_prob,
-                cfg.dag_max_parents,
-                &mut dag_rng,
-            )
-        });
-        let layout = Layout::build(&map, &rt, n);
-        let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
-        let mean_demand = cfg.workload.exec_time.mean();
         SimTemplate {
             cfg: Arc::new(cfg.clone()),
-            shared: Arc::new(SharedWorld {
-                rt,
-                map,
-                trace,
-                dag,
-                layout,
-                parent_counts,
-                mean_demand,
-            }),
+            shared: Arc::new(SharedWorld::build(cfg)),
             queue_pool: Mutex::new(Vec::new()),
             scratch_pool: Mutex::new(Vec::new()),
             cap_hint: AtomicUsize::new(0),
@@ -538,7 +179,7 @@ impl SimTemplate {
     /// Runs one simulation with `enablers` substituted into the template's
     /// configuration. The world (topology, routing, trace) is shared, so
     /// results across enabler settings are directly comparable.
-    pub fn run(&self, enablers: Enablers, policy: &mut dyn Policy) -> SimReport {
+    pub fn run<P: Policy + ?Sized>(&self, enablers: Enablers, policy: &mut P) -> SimReport {
         self.run_inner(enablers, policy, None, true).0
     }
 
@@ -546,26 +187,26 @@ impl SimTemplate {
     /// scratch arena, no capacity hints. Produces byte-identical reports
     /// to [`SimTemplate::run`] — the oracle the golden-report tests and
     /// the `sim_replay` bench lean on.
-    pub fn run_cold(&self, enablers: Enablers, policy: &mut dyn Policy) -> SimReport {
+    pub fn run_cold<P: Policy + ?Sized>(&self, enablers: Enablers, policy: &mut P) -> SimReport {
         self.run_inner(enablers, policy, None, false).0
     }
 
     /// Like [`SimTemplate::run`], but also records a [`Timeline`] sampled
     /// every `sample_interval` ticks.
-    pub fn run_with_timeline(
+    pub fn run_with_timeline<P: Policy + ?Sized>(
         &self,
         enablers: Enablers,
-        policy: &mut dyn Policy,
+        policy: &mut P,
         sample_interval: u64,
     ) -> (SimReport, Timeline) {
         let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval), true);
         (report, tl.expect("timeline requested"))
     }
 
-    fn run_inner(
+    fn run_inner<P: Policy + ?Sized>(
         &self,
         enablers: Enablers,
-        policy: &mut dyn Policy,
+        policy: &mut P,
         sample_interval: Option<u64>,
         pooled: bool,
     ) -> (SimReport, Option<Timeline>) {
@@ -590,7 +231,7 @@ impl SimTemplate {
             None => HotState::new(&self.shared),
         };
         let mut core = SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
-        core.use_middleware = policy.uses_middleware();
+        core.net.use_middleware = policy.uses_middleware();
         // Same treatment for the event queue, pre-reserved to the peak
         // occupancy the previous run of this world observed so the heap
         // never regrows mid-simulation.
@@ -650,773 +291,18 @@ impl SimTemplate {
     }
 }
 
-/// All simulator state except the policy (which is borrowed per event so
-/// that policy callbacks can mutably access both).
-pub struct SimCore {
-    cfg: Arc<GridConfig>,
-    /// The per-run enabler overlay; read instead of `cfg.enablers`.
-    enablers: Enablers,
-    shared: Arc<SharedWorld>,
-    rng: SimRng,
-    hot: HotState,
-    mw_next_free: f64,
-    use_middleware: bool,
-    token_counter: u64,
-    /// Optional time-series recorder.
-    timeline: Option<Timeline>,
-}
-
 /// The [`World`] adapter: simulator core plus the policy under test.
-pub struct GridSim<'p> {
+/// Generic over the policy type — monomorphized for concrete policies,
+/// with `dyn Policy` as the default for trait-object users.
+pub struct GridSim<'p, P: Policy + ?Sized = dyn Policy> {
     core: SimCore,
-    policy: &'p mut dyn Policy,
+    policy: &'p mut P,
 }
 
-impl World for GridSim<'_> {
+impl<P: Policy + ?Sized> World for GridSim<'_, P> {
     type Event = GridEvent;
     fn handle(&mut self, now: SimTime, ev: GridEvent, queue: &mut EventQueue<GridEvent>) {
         self.core.handle(now, ev, queue, self.policy);
-    }
-}
-
-/// The policy-facing API: queries about the acting scheduler's (stale)
-/// knowledge plus cost-charged actions. See [`Policy`].
-pub struct Ctx<'a> {
-    core: &'a mut SimCore,
-    queue: &'a mut EventQueue<GridEvent>,
-    now: SimTime,
-}
-
-impl Ctx<'_> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Number of clusters (= schedulers).
-    pub fn clusters(&self) -> usize {
-        self.core.n_clusters()
-    }
-
-    /// Resources in cluster `c`.
-    pub fn cluster_size(&self, c: usize) -> usize {
-        self.core.shared.layout.members[c].len()
-    }
-
-    /// The scheduler's (stale) view of its cluster.
-    pub fn view(&self, c: usize) -> &ClusterView {
-        &self.core.hot.views[c]
-    }
-
-    /// Believed mean load (jobs per resource) of cluster `c`.
-    pub fn avg_load(&self, c: usize) -> f64 {
-        self.core.hot.views[c].avg_load()
-    }
-
-    /// Believed busy fraction (RUS) of cluster `c`.
-    pub fn rus(&self, c: usize) -> f64 {
-        self.core.hot.views[c].rus()
-    }
-
-    /// Approximate waiting time for a new arrival in cluster `c`.
-    pub fn awt(&self, c: usize) -> f64 {
-        self.core.hot.views[c].awt(self.core.shared.mean_demand, self.core.cfg.service_rate)
-    }
-
-    /// Expected run time of a job with demand `exec` on this Grid's
-    /// (homogeneous) resources.
-    pub fn ert(&self, exec: SimTime) -> f64 {
-        exec.as_f64() / self.core.cfg.service_rate
-    }
-
-    /// The analytic mean service demand of the workload (the schedulers'
-    /// demand estimate).
-    pub fn mean_demand(&self) -> f64 {
-        self.core.shared.mean_demand
-    }
-
-    /// Resource service rate.
-    pub fn service_rate(&self) -> f64 {
-        self.core.cfg.service_rate
-    }
-
-    /// The active scaling enablers.
-    pub fn enablers(&self) -> Enablers {
-        self.core.enablers
-    }
-
-    /// The policy thresholds (Table 1).
-    pub fn thresholds(&self) -> Thresholds {
-        self.core.cfg.thresholds
-    }
-
-    /// A fresh correlation token for pending-reply tables.
-    pub fn next_token(&mut self) -> u64 {
-        self.core.token_counter += 1;
-        self.core.token_counter
-    }
-
-    /// The simulation's policy-stream RNG.
-    pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
-    }
-
-    /// Peer clusters of `c` ranked by scheduler-to-scheduler network
-    /// latency (ties → lower cluster id). Precomputed once per template;
-    /// O(1) per lookup.
-    pub fn ranked_peers(&self, c: usize) -> &[u32] {
-        &self.core.shared.layout.ranked_peers[c]
-    }
-
-    /// `n` distinct random clusters other than `c` (fewer if the Grid has
-    /// fewer peers).
-    pub fn random_remotes(&mut self, c: usize, n: usize) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.random_remotes_into(c, n, &mut out);
-        out
-    }
-
-    /// Allocation-free variant of [`Ctx::random_remotes`]: clears `out`
-    /// and fills it, reusing the buffer's capacity. Draw-for-draw
-    /// identical to the allocating variant.
-    pub fn random_remotes_into(&mut self, c: usize, n: usize, out: &mut Vec<usize>) {
-        let total = self.core.n_clusters();
-        out.clear();
-        if total <= 1 {
-            return;
-        }
-        self.core
-            .rng
-            .sample_indices_into(total - 1, n.min(total - 1), out);
-        for i in out.iter_mut() {
-            if *i >= c {
-                *i += 1;
-            }
-        }
-    }
-
-    /// Dispatches `job` to the resource at `pos` of cluster `c`: charges
-    /// the dispatch cost, optimistically bumps the view, and sends the job
-    /// over the network.
-    pub fn dispatch_local(&mut self, c: usize, pos: usize, job: Job) {
-        let cost = self.core.cfg.costs.dispatch;
-        self.core.charge_sched(c, cost);
-        self.core.hot.views[c].bump(pos, 1.0);
-        self.core.hot.acct.dispatches += 1;
-        let res = self.core.shared.layout.members[c][pos];
-        let from = self.core.shared.layout.sched_node[c];
-        let to = self.core.shared.layout.res_node[res as usize];
-        self.core
-            .send_net(self.now, from, to, Msg::Dispatch { job }, false, self.queue);
-    }
-
-    /// Dispatches to the believed least-loaded resource of cluster `c`.
-    pub fn dispatch_least_loaded(&mut self, c: usize, job: Job) {
-        let pos = self.core.hot.views[c]
-            .least_loaded()
-            .expect("clusters are never empty (GridMap guarantee)");
-        self.dispatch_local(c, pos, job);
-    }
-
-    /// Transfers `job` from cluster `from` to cluster `to`; the receiving
-    /// scheduler will process it as [`WorkItem::TransferIn`].
-    pub fn transfer(&mut self, from: usize, to: usize, job: Job) {
-        debug_assert_ne!(from, to, "transfer to self");
-        let cost = self.core.cfg.costs.dispatch;
-        self.core.charge_sched(from, cost);
-        self.core.hot.acct.transfers += 1;
-        let f = self.core.shared.layout.sched_node[from];
-        let t = self.core.shared.layout.sched_node[to];
-        let mw = self.core.use_middleware;
-        self.core
-            .send_net(self.now, f, t, Msg::Transfer { job }, mw, self.queue);
-    }
-
-    /// Sends a policy message from cluster `from` to cluster `to`
-    /// (middleware-routed for the S-I/R-I/Sy-I family).
-    pub fn send_policy(&mut self, from: usize, to: usize, msg: PolicyMsg) {
-        debug_assert_ne!(from, to, "policy message to self");
-        let cost = self.core.cfg.costs.dispatch;
-        self.core.charge_sched(from, cost);
-        let f = self.core.shared.layout.sched_node[from];
-        let t = self.core.shared.layout.sched_node[to];
-        let mw = self.core.use_middleware;
-        self.core
-            .send_net(self.now, f, t, Msg::Policy(msg), mw, self.queue);
-    }
-
-    /// Asks the resource at `pos` of cluster `c` to hand one queued job
-    /// back for migration to `to_cluster` (no-op at the resource if its
-    /// queue is empty by then).
-    pub fn recall(&mut self, c: usize, pos: usize, to_cluster: usize) {
-        let cost = self.core.cfg.costs.dispatch;
-        self.core.charge_sched(c, cost);
-        self.core.hot.views[c].bump(pos, -1.0);
-        let res = self.core.shared.layout.members[c][pos];
-        let from = self.core.shared.layout.sched_node[c];
-        let to = self.core.shared.layout.res_node[res as usize];
-        self.core.send_net(
-            self.now,
-            from,
-            to,
-            Msg::Recall {
-                to_cluster: to_cluster as u32,
-            },
-            false,
-            self.queue,
-        );
-    }
-
-    /// Arms a policy timer at cluster `c`, `delay` ticks from now; it will
-    /// surface as [`Policy::on_timer`] with `tag` after passing through the
-    /// scheduler's work queue.
-    pub fn set_timer(&mut self, c: usize, delay: SimTime, tag: u64) {
-        self.queue.schedule(
-            self.now + delay,
-            GridEvent::PolicyTimer {
-                cluster: c as u32,
-                tag,
-            },
-        );
-    }
-}
-
-impl SimCore {
-    fn new(
-        cfg: Arc<GridConfig>,
-        enablers: Enablers,
-        shared: Arc<SharedWorld>,
-        hot: HotState,
-    ) -> SimCore {
-        let root = SimRng::new(cfg.seed);
-        let sim_rng = root.fork(3);
-        SimCore {
-            cfg,
-            enablers,
-            shared,
-            rng: sim_rng,
-            hot,
-            mw_next_free: 0.0,
-            use_middleware: false,
-            token_counter: 0,
-            timeline: None,
-        }
-    }
-
-    #[inline]
-    fn n_clusters(&self) -> usize {
-        self.shared.layout.members.len()
-    }
-
-    /// Jobs-in-system at resource `r` (queued + running).
-    #[inline]
-    fn res_load(&self, r: usize) -> f64 {
-        self.hot.res_queue[r].len() as f64
-            + if self.hot.res_running[r].is_some() {
-                1.0
-            } else {
-                0.0
-            }
-    }
-
-    /// Seeds arrivals, update ticks, and estimator flush timers.
-    fn bootstrap(&mut self, queue: &mut EventQueue<GridEvent>) {
-        match self.shared.dag.as_ref() {
-            None => {
-                // One bulk reservation for the whole trace instead of
-                // growing the heap arrival by arrival.
-                queue.schedule_batch(
-                    self.shared
-                        .trace
-                        .iter()
-                        .enumerate()
-                        .map(|(i, job)| (job.arrival, GridEvent::Arrival(i as u32))),
-                );
-            }
-            Some(dag) => {
-                // Only dependency roots arrive on schedule; the rest are
-                // released as their parents complete.
-                for j in dag.roots() {
-                    queue.schedule(
-                        self.shared.trace[j as usize].arrival,
-                        GridEvent::Arrival(j as u32),
-                    );
-                }
-            }
-        }
-        let tau = self.enablers.update_interval;
-        let nr = self.shared.layout.res_node.len();
-        for r in 0..nr {
-            let stagger = self.rng.int_range(1, tau.max(1));
-            queue.schedule(
-                SimTime::from_ticks(stagger),
-                GridEvent::UpdateTick { res: r as u32 },
-            );
-        }
-        let flush = self.flush_interval();
-        let ne = self.shared.layout.est_node.len();
-        for e in 0..ne {
-            let stagger = self.rng.int_range(1, flush.max(1));
-            queue.schedule(
-                SimTime::from_ticks(stagger),
-                GridEvent::EstFlush { est: e as u32 },
-            );
-        }
-    }
-
-    fn flush_interval(&self) -> u64 {
-        (self.enablers.update_interval / 2).max(1)
-    }
-
-    fn charge_sched(&mut self, c: usize, cost: f64) {
-        self.hot.acct.g_sched[c] += cost;
-        self.hot.sched_next_free[c] += cost;
-    }
-
-    /// Network (and optionally middleware) transport of one message.
-    fn send_net(
-        &mut self,
-        now: SimTime,
-        from: NodeId,
-        to: NodeId,
-        msg: Msg,
-        via_middleware: bool,
-        queue: &mut EventQueue<GridEvent>,
-    ) {
-        self.hot.acct.msgs_sent += 1;
-        let size = msg.size();
-        let (lat, hops) = if from == to {
-            (0.0, 0.0)
-        } else {
-            let lat = self
-                .shared
-                .rt
-                .latency(from, to)
-                .expect("generated topologies are connected") as f64;
-            let hops = self.shared.rt.hops(from, to).unwrap_or(1) as f64;
-            (lat, hops)
-        };
-        let prop = lat * self.enablers.link_delay_factor;
-        let trans = hops.max(1.0) * size / BASE_BANDWIDTH;
-        let mut depart = now.as_f64();
-        if via_middleware {
-            // "A simple queue with infinite capacity and finite but small
-            // service time" (paper §3.3).
-            let start = depart.max(self.mw_next_free);
-            depart = start + self.cfg.middleware_service;
-            self.mw_next_free = depart;
-        }
-        let arrive = SimTime::from_f64((depart + prop + trans).max(now.as_f64() + 1.0));
-        queue.schedule(arrive, GridEvent::Deliver { to, msg });
-    }
-
-    /// Enqueues a work item at scheduler `c`'s single-server queue; the
-    /// item's effects occur when the server finishes it.
-    fn enqueue_sched_work(
-        &mut self,
-        now: SimTime,
-        c: usize,
-        item: WorkItem,
-        queue: &mut EventQueue<GridEvent>,
-    ) {
-        let costs = &self.cfg.costs;
-        let members = self.shared.layout.members[c].len() as f64;
-        let cost = match &item {
-            WorkItem::Job(_) | WorkItem::TransferIn(_) => {
-                costs.recv_job + costs.decision_base + costs.decision_per_candidate * members
-            }
-            WorkItem::Update { .. } => costs.update,
-            WorkItem::Batch(v) => costs.batch_fixed + costs.batch_per_item * v.len() as f64,
-            WorkItem::Policy(_) => costs.policy_msg,
-            WorkItem::Timer(_) => costs.timer_check,
-        };
-        let start = now.as_f64().max(self.hot.sched_next_free[c]);
-        let done = start + cost;
-        self.hot.sched_next_free[c] = done;
-        queue.schedule(
-            SimTime::from_f64(done),
-            GridEvent::SchedWork {
-                sched: c as u32,
-                item,
-                cost,
-            },
-        );
-    }
-
-    fn start_job(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
-        let dur = SimTime::from_f64((job.exec_time.as_f64() / self.cfg.service_rate).max(1.0));
-        self.hot.res_busy[r] += dur.as_f64();
-        self.hot.res_running[r] = Some(job);
-        queue.schedule(now + dur, GridEvent::Finish { res: r as u32 });
-    }
-
-    fn res_enqueue(&mut self, now: SimTime, r: usize, job: Job, queue: &mut EventQueue<GridEvent>) {
-        self.hot.acct.h_overhead += self.cfg.costs.rp_job_control;
-        if self.hot.res_running[r].is_none() {
-            self.start_job(now, r, job, queue);
-        } else {
-            self.hot.res_queue[r].push_back(job);
-        }
-    }
-
-    fn complete_job(
-        &mut self,
-        now: SimTime,
-        job: Job,
-        cluster: usize,
-        queue: &mut EventQueue<GridEvent>,
-    ) {
-        let response = (now - job.arrival).as_f64();
-        self.hot.acct.completed += 1;
-        self.hot.acct.response.push(response);
-        self.hot.acct.response_hist.push(response);
-        if job.meets_deadline(now) {
-            self.hot.acct.succeeded += 1;
-            self.hot.acct.f_work += job.exec_time.as_f64();
-        } else {
-            self.hot.acct.deadline_missed += 1;
-        }
-        // Precedence extension (paper future-work (b)): releasing children
-        // charges the data-management cost of each dependency edge to H —
-        // cheap when producer and consumer share a cluster.
-        let shared = self.shared.clone();
-        if let Some(dag) = shared.dag.as_ref() {
-            for &c in dag.children(job.id) {
-                let child = &shared.trace[c as usize];
-                let child_cluster = (child.submit_point as usize) % self.n_clusters();
-                let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
-                self.hot.acct.h_overhead += factor * self.cfg.dag_data_cost;
-                let rp = &mut self.hot.remaining_parents[c as usize];
-                debug_assert!(*rp > 0, "child released twice");
-                *rp -= 1;
-                if *rp == 0 {
-                    let at = child.arrival.max(now);
-                    if at > child.arrival {
-                        self.hot.acct.dag_deferred += 1;
-                    }
-                    queue.schedule(at, GridEvent::Arrival(c));
-                }
-            }
-        }
-    }
-
-    fn handle(
-        &mut self,
-        now: SimTime,
-        ev: GridEvent,
-        queue: &mut EventQueue<GridEvent>,
-        policy: &mut dyn Policy,
-    ) {
-        match ev {
-            GridEvent::Arrival(i) => {
-                let mut job = self.shared.trace[i as usize];
-                // For dependency-released jobs the effective arrival is the
-                // release instant; for independent jobs this is a no-op.
-                job.arrival = now;
-                let c = (job.submit_point as usize) % self.n_clusters();
-                // The submission host is a random resource of the arrival
-                // cluster; the submit message pays the network distance to
-                // the coordinating scheduler.
-                let members = &self.shared.layout.members[c];
-                let host = members[self.rng.index(members.len())];
-                let from = self.shared.layout.res_node[host as usize];
-                let to = self.shared.layout.sched_node[c];
-                self.send_net(now, from, to, Msg::Submit { job }, false, queue);
-            }
-
-            GridEvent::Deliver { to, msg } => self.deliver(now, to, msg, queue),
-
-            GridEvent::Finish { res } => {
-                let r = res as usize;
-                let job = self.hot.res_running[r]
-                    .take()
-                    .expect("Finish without a running job");
-                let cluster = self.shared.layout.res_cluster[r] as usize;
-                self.complete_job(now, job, cluster, queue);
-                if let Some(next) = self.hot.res_queue[r].pop_front() {
-                    self.start_job(now, r, next, queue);
-                }
-            }
-
-            GridEvent::UpdateTick { res } => {
-                let r = res as usize;
-                let load = self.res_load(r);
-                let delta = (load - self.hot.res_last_sent[r]).abs();
-                if delta >= self.cfg.thresholds.suppress_delta {
-                    self.hot.res_last_sent[r] = load;
-                    self.hot.acct.updates_sent += 1;
-                    let rnode = self.shared.layout.res_node[r];
-                    let dest = match self.shared.map.estimator_for(rnode) {
-                        Some(e) => e,
-                        None => {
-                            self.shared.layout.sched_node
-                                [self.shared.layout.res_cluster[r] as usize]
-                        }
-                    };
-                    self.send_net(
-                        now,
-                        rnode,
-                        dest,
-                        Msg::StatusUpdate { res, load },
-                        false,
-                        queue,
-                    );
-                } else {
-                    self.hot.acct.updates_suppressed += 1;
-                }
-                let tau = self.enablers.update_interval;
-                queue.schedule(
-                    now + SimTime::from_ticks(tau),
-                    GridEvent::UpdateTick { res },
-                );
-            }
-
-            GridEvent::EstFlush { est } => {
-                let e = est as usize;
-                let nc = self.n_clusters();
-                for ci in 0..nc {
-                    if self.hot.est_buffer[e][ci].is_empty() {
-                        continue;
-                    }
-                    let updates = std::mem::take(&mut self.hot.est_buffer[e][ci]);
-                    self.hot.acct.g_est[e] += self.cfg.costs.batch_fixed;
-                    self.hot.est_next_free[e] =
-                        now.as_f64().max(self.hot.est_next_free[e]) + self.cfg.costs.batch_fixed;
-                    self.hot.acct.batches += 1;
-                    let from = self.shared.layout.est_node[e];
-                    let to = self.shared.layout.sched_node[ci];
-                    self.send_net(now, from, to, Msg::StatusBatch { updates }, false, queue);
-                }
-                let flush = self.flush_interval();
-                queue.schedule(
-                    now + SimTime::from_ticks(flush),
-                    GridEvent::EstFlush { est },
-                );
-            }
-
-            GridEvent::PolicyTimer { cluster, tag } => {
-                self.enqueue_sched_work(now, cluster as usize, WorkItem::Timer(tag), queue);
-            }
-
-            GridEvent::Sample => {
-                if self.timeline.is_some() {
-                    let nr = self.shared.layout.res_node.len();
-                    let mut sum = 0.0;
-                    let mut max_load: f64 = 0.0;
-                    for r in 0..nr {
-                        let l = self.res_load(r);
-                        sum += l;
-                        max_load = max_load.max(l);
-                    }
-                    let mean_load = sum / nr.max(1) as f64;
-                    let rms_backlog = self
-                        .hot
-                        .sched_next_free
-                        .iter()
-                        .map(|nf| (nf - now.as_f64()).max(0.0))
-                        .fold(0.0, f64::max);
-                    let g_busy_so_far: f64 = self
-                        .hot
-                        .acct
-                        .g_sched
-                        .iter()
-                        .chain(self.hot.acct.g_est.iter())
-                        .sum();
-                    let sample = Sample {
-                        at: now,
-                        mean_load,
-                        max_load,
-                        rms_backlog,
-                        f_so_far: self.hot.acct.f_work,
-                        g_busy_so_far,
-                        completed: self.hot.acct.completed,
-                    };
-                    let tl = self.timeline.as_mut().expect("checked above");
-                    tl.push(sample);
-                    let interval = tl.interval();
-                    queue.schedule(now + SimTime::from_ticks(interval), GridEvent::Sample);
-                }
-            }
-
-            GridEvent::SchedWork { sched, item, cost } => {
-                let c = sched as usize;
-                self.hot.acct.g_sched[c] += cost;
-                match item {
-                    WorkItem::Job(job) => {
-                        let class = job.class(self.cfg.thresholds.t_cpu);
-                        let mut ctx = Ctx {
-                            core: self,
-                            queue,
-                            now,
-                        };
-                        match class {
-                            JobClass::Local => policy.on_local_job(&mut ctx, c, job),
-                            JobClass::Remote => policy.on_remote_job(&mut ctx, c, job),
-                        }
-                    }
-                    WorkItem::TransferIn(job) => {
-                        let mut ctx = Ctx {
-                            core: self,
-                            queue,
-                            now,
-                        };
-                        policy.on_transfer_in(&mut ctx, c, job);
-                    }
-                    WorkItem::Update { res, load } => {
-                        self.apply_update(now, c, res, load, queue, policy);
-                    }
-                    WorkItem::Batch(updates) => {
-                        for (res, load) in updates {
-                            self.apply_update(now, c, res, load, queue, policy);
-                        }
-                    }
-                    WorkItem::Policy(msg) => {
-                        let mut ctx = Ctx {
-                            core: self,
-                            queue,
-                            now,
-                        };
-                        policy.on_policy_msg(&mut ctx, c, msg);
-                    }
-                    WorkItem::Timer(tag) => {
-                        let mut ctx = Ctx {
-                            core: self,
-                            queue,
-                            now,
-                        };
-                        policy.on_timer(&mut ctx, c, tag);
-                    }
-                }
-            }
-        }
-    }
-
-    fn apply_update(
-        &mut self,
-        now: SimTime,
-        c: usize,
-        res: u32,
-        load: f64,
-        queue: &mut EventQueue<GridEvent>,
-        policy: &mut dyn Policy,
-    ) {
-        // Guard against misrouted updates (cluster mismatch cannot happen
-        // by construction, but stay defensive).
-        if self.shared.layout.res_cluster[res as usize] as usize != c {
-            return;
-        }
-        let pos = self.shared.layout.res_pos[res as usize] as usize;
-        self.hot.views[c].apply_update(pos, load, now);
-        let mut ctx = Ctx {
-            core: self,
-            queue,
-            now,
-        };
-        policy.on_update(&mut ctx, c, pos, load);
-    }
-
-    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, queue: &mut EventQueue<GridEvent>) {
-        match msg {
-            Msg::Dispatch { job } => {
-                let r = self.shared.layout.res_at_node[to as usize];
-                debug_assert_ne!(r, u32::MAX, "Dispatch to a non-resource node");
-                self.res_enqueue(now, r as usize, job, queue);
-            }
-            Msg::Recall { to_cluster } => {
-                let r = self.shared.layout.res_at_node[to as usize];
-                debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
-                if let Some(job) = self.hot.res_queue[r as usize].pop_back() {
-                    self.hot.acct.transfers += 1;
-                    let from = self.shared.layout.res_node[r as usize];
-                    let dest = self.shared.layout.sched_node[to_cluster as usize];
-                    self.send_net(now, from, dest, Msg::Transfer { job }, false, queue);
-                }
-            }
-            Msg::StatusUpdate { res, load } => {
-                let e = self.shared.layout.est_at_node[to as usize];
-                if e != u32::MAX {
-                    // Estimator ingest: charge its server, buffer for the
-                    // resource's cluster.
-                    let cost = self.cfg.costs.update;
-                    self.hot.acct.g_est[e as usize] += cost;
-                    self.hot.est_next_free[e as usize] =
-                        now.as_f64().max(self.hot.est_next_free[e as usize]) + cost;
-                    let ci = self.shared.layout.res_cluster[res as usize] as usize;
-                    self.hot.est_buffer[e as usize][ci].push((res, load));
-                } else {
-                    let c = self.shared.layout.sched_at_node[to as usize];
-                    debug_assert_ne!(c, u32::MAX, "update to a non-RMS node");
-                    self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, queue);
-                }
-            }
-            Msg::StatusBatch { updates } => {
-                let c = self.shared.layout.sched_at_node[to as usize];
-                debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), queue);
-            }
-            Msg::Submit { job } => {
-                let c = self.shared.layout.sched_at_node[to as usize];
-                debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), queue);
-            }
-            Msg::Transfer { job } => {
-                let c = self.shared.layout.sched_at_node[to as usize];
-                debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), queue);
-            }
-            Msg::Policy(pmsg) => {
-                let c = self.shared.layout.sched_at_node[to as usize];
-                debug_assert_ne!(c, u32::MAX);
-                self.hot.acct.policy_msgs += 1;
-                self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), queue);
-            }
-        }
-    }
-
-    fn report(&self, policy: &str, horizon: SimTime, events_processed: u64) -> SimReport {
-        let a = &self.hot.acct;
-        let g_busy_raw: f64 = a.g_sched.iter().chain(a.g_est.iter()).sum();
-        let g = g_busy_raw * self.cfg.costs.overhead_weight;
-        let h = a.h_overhead;
-        let f = a.f_work;
-        let efficiency = if f > 0.0 { f / (f + g + h) } else { 0.0 };
-        let ht = horizon.as_f64();
-        let res_busy: f64 = self.hot.res_busy.iter().sum();
-        let n_res = self.hot.res_busy.len();
-        SimReport {
-            policy: policy.to_string(),
-            f_work: f,
-            g_overhead: g,
-            h_overhead: h,
-            efficiency,
-            jobs_total: self.shared.trace.len() as u64,
-            completed: a.completed,
-            succeeded: a.succeeded,
-            deadline_missed: a.deadline_missed,
-            unfinished: self.shared.trace.len() as u64 - a.completed,
-            throughput: a.completed as f64 / ht,
-            goodput: a.succeeded as f64 / ht,
-            mean_response: a.response.mean(),
-            p95_response: a.response_hist.quantile(0.95).unwrap_or(0.0),
-            updates_sent: a.updates_sent,
-            updates_suppressed: a.updates_suppressed,
-            batches: a.batches,
-            policy_msgs: a.policy_msgs,
-            transfers: a.transfers,
-            dispatches: a.dispatches,
-            dag_deferred: a.dag_deferred,
-            g_busy_raw,
-            g_busy_max_scheduler: a.g_sched.iter().copied().fold(0.0, f64::max),
-            resource_utilization: if n_res == 0 {
-                0.0
-            } else {
-                res_busy / (n_res as f64 * ht)
-            },
-            horizon_ticks: horizon.ticks(),
-            nodes: self.cfg.nodes,
-            events_processed,
-            msgs_sent: a.msgs_sent,
-        }
     }
 }
 
@@ -1427,226 +313,6 @@ impl SimCore {
 /// identical reports. Routed through the shared template machinery: the
 /// configuration is cloned exactly once (into the template's `Arc`), and
 /// the run itself only carries the `Enablers` overlay.
-pub fn run_simulation(cfg: &GridConfig, policy: &mut dyn Policy) -> SimReport {
+pub fn run_simulation<P: Policy + ?Sized>(cfg: &GridConfig, policy: &mut P) -> SimReport {
     SimTemplate::new(cfg).run(cfg.enablers, policy)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::policy::LocalOnly;
-    use gridscale_workload::WorkloadConfig;
-
-    /// A small, fast configuration for machinery tests.
-    fn small_cfg() -> GridConfig {
-        GridConfig {
-            nodes: 40,
-            schedulers: 3,
-            estimators: 0,
-            workload: WorkloadConfig {
-                arrival_rate: 0.02,
-                duration: SimTime::from_ticks(20_000),
-                ..WorkloadConfig::default()
-            },
-            drain: SimTime::from_ticks(30_000),
-            ..GridConfig::default()
-        }
-    }
-
-    #[test]
-    fn local_only_completes_jobs() {
-        let cfg = small_cfg();
-        let mut p = LocalOnly;
-        let r = run_simulation(&cfg, &mut p);
-        assert!(r.jobs_total > 200, "trace has jobs ({})", r.jobs_total);
-        assert!(
-            r.completed as f64 >= 0.95 * r.jobs_total as f64,
-            "most jobs complete: {}/{}",
-            r.completed,
-            r.jobs_total
-        );
-        assert!(r.succeeded > 0);
-        assert_eq!(r.completed, r.succeeded + r.deadline_missed);
-        assert_eq!(r.jobs_total, r.completed + r.unfinished);
-        assert!(r.f_work > 0.0);
-        assert!(r.g_overhead > 0.0);
-        assert!(r.efficiency > 0.0 && r.efficiency < 1.0);
-        assert!(r.events_processed > 0, "engine counts events");
-        assert!(r.msgs_sent > 0, "transport counts messages");
-    }
-
-    #[test]
-    fn deterministic_runs() {
-        let cfg = small_cfg();
-        let a = run_simulation(&cfg, &mut LocalOnly);
-        let b = run_simulation(&cfg, &mut LocalOnly);
-        assert_eq!(a.f_work, b.f_work);
-        assert_eq!(a.g_overhead, b.g_overhead);
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.updates_sent, b.updates_sent);
-        assert_eq!(a.mean_response, b.mean_response);
-        assert_eq!(a.events_processed, b.events_processed);
-        assert_eq!(a.msgs_sent, b.msgs_sent);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let cfg = small_cfg();
-        let mut cfg2 = cfg.clone();
-        cfg2.seed = cfg.seed + 1;
-        let a = run_simulation(&cfg, &mut LocalOnly);
-        let b = run_simulation(&cfg2, &mut LocalOnly);
-        assert_ne!(a.f_work, b.f_work);
-    }
-
-    #[test]
-    fn updates_flow_and_suppression_works() {
-        let cfg = small_cfg();
-        let r = run_simulation(&cfg, &mut LocalOnly);
-        assert!(r.updates_sent > 0, "resources report status");
-        assert!(
-            r.updates_suppressed > 0,
-            "idle resources suppress unchanged loads"
-        );
-        assert_eq!(r.batches, 0, "no estimators configured");
-    }
-
-    #[test]
-    fn estimators_batch_updates() {
-        let mut cfg = small_cfg();
-        cfg.estimators = 2;
-        let r = run_simulation(&cfg, &mut LocalOnly);
-        assert!(r.batches > 0, "estimators forward batches");
-        assert!(r.updates_sent > 0);
-    }
-
-    #[test]
-    fn longer_update_interval_reduces_overhead() {
-        let mut fast = small_cfg();
-        fast.enablers.update_interval = 50;
-        let mut slow = small_cfg();
-        slow.enablers.update_interval = 2000;
-        let rf = run_simulation(&fast, &mut LocalOnly);
-        let rs = run_simulation(&slow, &mut LocalOnly);
-        assert!(
-            rf.g_overhead > rs.g_overhead,
-            "τ=50 ⇒ G {} should exceed τ=2000 ⇒ G {}",
-            rf.g_overhead,
-            rs.g_overhead
-        );
-        assert!(rf.updates_sent > rs.updates_sent);
-    }
-
-    #[test]
-    fn saturated_rp_misses_deadlines() {
-        let mut cfg = small_cfg();
-        cfg.workload.arrival_rate = 0.2; // far beyond RP capacity
-        let r = run_simulation(&cfg, &mut LocalOnly);
-        assert!(
-            r.deadline_missed + r.unfinished > r.succeeded,
-            "overload must hurt: ok={} missed={} unfinished={}",
-            r.succeeded,
-            r.deadline_missed,
-            r.unfinished
-        );
-    }
-
-    #[test]
-    fn central_shape_single_scheduler() {
-        let mut cfg = small_cfg();
-        cfg.schedulers = 1;
-        let r = run_simulation(&cfg, &mut LocalOnly);
-        assert!(r.completed > 0);
-        assert!(
-            (r.g_busy_max_scheduler - r.g_busy_raw).abs() < 1e-9,
-            "all overhead on the single scheduler"
-        );
-    }
-
-    #[test]
-    fn template_reruns_recycle_pools_without_changing_results() {
-        let cfg = small_cfg();
-        let template = SimTemplate::new(&cfg);
-        // First run populates both pools and the capacity hint...
-        let a = template.run(cfg.enablers, &mut LocalOnly);
-        let s = template.replay_stats();
-        assert_eq!(s.runs, 1);
-        assert_eq!(s.scratch_reused, 0, "nothing to reuse on the first run");
-        assert_eq!(s.pooled_queues, 1, "the run's queue returns to the pool");
-        assert_eq!(s.pooled_scratch, 1, "the run's scratch returns to the pool");
-        assert!(s.queue_cap_hint > 0, "peak queue length is recorded");
-        assert!(s.scratch_bytes > 0, "pooled scratch has resident capacity");
-        // ...and the recycled second run is bit-identical.
-        let b = template.run(cfg.enablers, &mut LocalOnly);
-        let s = template.replay_stats();
-        assert_eq!(
-            (s.runs, s.scratch_reused),
-            (2, 1),
-            "second run reused scratch"
-        );
-        assert_eq!(a.f_work, b.f_work);
-        assert_eq!(a.g_overhead, b.g_overhead);
-        assert_eq!(a.completed, b.completed);
-        assert_eq!(a.mean_response, b.mean_response);
-        assert_eq!(a.events_processed, b.events_processed);
-        assert_eq!(a.msgs_sent, b.msgs_sent);
-    }
-
-    #[test]
-    fn run_cold_matches_pooled_run_bit_for_bit() {
-        let cfg = small_cfg();
-        let template = SimTemplate::new(&cfg);
-        let pooled_1 = template.run(cfg.enablers, &mut LocalOnly);
-        // Dirty the pooled scratch at a different operating point, then
-        // replay the original point from the recycled arena.
-        let perturbed = Enablers {
-            update_interval: cfg.enablers.update_interval * 2,
-            ..cfg.enablers
-        };
-        let _ = template.run(perturbed, &mut LocalOnly);
-        let pooled_2 = template.run(cfg.enablers, &mut LocalOnly);
-        let cold = template.run_cold(cfg.enablers, &mut LocalOnly);
-        let j = |r: &SimReport| serde_json::to_string(r).unwrap();
-        assert_eq!(j(&pooled_1), j(&cold), "pooled == cold, byte for byte");
-        assert_eq!(j(&pooled_2), j(&cold), "recycled replay == cold");
-        assert_eq!(
-            template.replay_stats().pooled_scratch,
-            1,
-            "run_cold neither borrows nor returns pooled scratch"
-        );
-    }
-
-    #[test]
-    fn ranked_peers_are_complete_and_latency_sorted() {
-        let cfg = small_cfg();
-        let template = SimTemplate::new(&cfg);
-        let layout = &template.shared.layout;
-        let rt = &template.shared.rt;
-        let nc = layout.members.len();
-        assert!(nc >= 2);
-        for ci in 0..nc {
-            let peers = &layout.ranked_peers[ci];
-            assert_eq!(peers.len(), nc - 1, "every other cluster is ranked");
-            assert!(peers.iter().all(|&cj| cj as usize != ci));
-            let from = layout.sched_node[ci];
-            let lat = |cj: u32| rt.latency(from, layout.sched_node[cj as usize]).unwrap();
-            for w in peers.windows(2) {
-                assert!(
-                    (lat(w[0]), w[0]) <= (lat(w[1]), w[1]),
-                    "peers of {ci} sorted by (latency, id)"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn report_invariants() {
-        let r = run_simulation(&small_cfg(), &mut LocalOnly);
-        assert!(r.resource_utilization > 0.0 && r.resource_utilization < 1.0);
-        assert!(r.mean_response > 0.0);
-        assert!(r.p95_response >= r.mean_response * 0.5);
-        assert!(r.throughput >= r.goodput);
-        assert!(r.g_busy_max_scheduler <= r.g_busy_raw + 1e-9);
-        assert!(r.bottleneck_utilization() < 1.05);
-    }
 }

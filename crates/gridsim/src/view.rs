@@ -376,6 +376,76 @@ mod tests {
     }
 
     #[test]
+    fn size_one_cluster_is_its_own_champion() {
+        // n = 1 degenerates both tournament trees to a single leaf; every
+        // query must keep answering position 0 through arbitrary churn.
+        let mut v = ClusterView::new(1);
+        assert_eq!(v.least_loaded(), Some(0));
+        assert_eq!(v.most_loaded(), Some(0));
+        assert!(v.has_idle(0.5));
+        v.apply_update(0, 3.0, t(1));
+        assert_eq!(v.least_loaded(), Some(0));
+        assert_eq!(v.most_loaded(), Some(0));
+        assert!(!v.has_idle(0.5));
+        assert!((v.avg_load() - 3.0).abs() < 1e-12);
+        assert!((v.rus() - 1.0).abs() < 1e-12);
+        v.bump(0, -3.0);
+        assert!(v.has_idle(0.5));
+        assert_eq!(v.least_loaded(), scan_least(&v));
+        assert_eq!(v.most_loaded(), scan_most(&v));
+    }
+
+    #[test]
+    fn all_equal_loads_keep_scan_tie_breaks() {
+        // With every load identical the champions are decided purely by
+        // the positional tie-break: first minimum, last maximum — exactly
+        // what the historical `min_by` / `max_by` scans produced.
+        for n in [2usize, 3, 8, 13] {
+            let mut v = ClusterView::new(n);
+            for pos in 0..n {
+                v.apply_update(pos, 1.5, t(1));
+            }
+            assert_eq!(v.least_loaded(), Some(0), "n={n}");
+            assert_eq!(v.most_loaded(), Some(n - 1), "n={n}");
+            assert_eq!(v.least_loaded(), scan_least(&v), "n={n}");
+            assert_eq!(v.most_loaded(), scan_most(&v), "n={n}");
+            // Breaking one tie and restoring it must land back on the
+            // positional champions, not on the last-written leaf.
+            v.apply_update(n / 2, 9.0, t(2));
+            assert_eq!(v.most_loaded(), Some(n / 2), "n={n}");
+            v.apply_update(n / 2, 1.5, t(3));
+            assert_eq!(v.least_loaded(), Some(0), "n={n}");
+            assert_eq!(v.most_loaded(), Some(n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn has_idle_tracks_recall_bumps() {
+        // A recall removes a queued job from the most-loaded resource and
+        // bumps its believed load down; the min bracket must surface the
+        // newly idle position immediately (and drop it again once the
+        // transferred job is optimistically re-added elsewhere).
+        let mut v = ClusterView::new(4);
+        for pos in 0..4 {
+            v.apply_update(pos, 1.0 + pos as f64, t(1));
+        }
+        assert!(!v.has_idle(1.0));
+        let donor = v.most_loaded().unwrap();
+        assert_eq!(donor, 3);
+        v.bump(donor, -4.0);
+        assert!(v.has_idle(1.0));
+        assert_eq!(v.least_loaded(), Some(donor));
+        assert_eq!(
+            v.has_idle(1.0),
+            v.idle_positions(1.0).next().is_some(),
+            "O(1) has_idle must agree with the scan after a recall bump"
+        );
+        v.bump(donor, 1.0);
+        assert!(!v.has_idle(1.0));
+        assert_eq!(v.idle_positions(1.0).count(), 0);
+    }
+
+    #[test]
     fn reset_idle_restores_fresh_state() {
         let mut v = ClusterView::new(6);
         for i in 0..6 {

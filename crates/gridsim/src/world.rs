@@ -1,0 +1,245 @@
+//! World building: topology, routing, grid map, workload trace, and the
+//! immutable placement [`Layout`] — everything a run reads but never
+//! writes. Built once per [`SimTemplate`](crate::SimTemplate) and shared
+//! (`Arc`) across runs; all per-run mutable companions live in the
+//! subsystem scratch structs, indexed identically.
+
+use crate::config::{GridConfig, TopologySpec};
+use gridscale_desim::SimRng;
+use gridscale_topology::generate::{self, LinkParams};
+use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
+use gridscale_workload::{generate as gen_workload, DependencyGraph, Job};
+
+/// Immutable struct-of-arrays placement tables: where every resource,
+/// scheduler, and estimator lives, and how nodes map back to them.
+/// Derived once from the `GridMap` + `RoutingTable` per template.
+pub(crate) struct Layout {
+    /// Resource index → its network node.
+    pub(crate) res_node: Vec<NodeId>,
+    /// Resource index → owning cluster.
+    pub(crate) res_cluster: Vec<u32>,
+    /// Resource index → position within its cluster.
+    pub(crate) res_pos: Vec<u32>,
+    /// Cluster → global resource indices by cluster position.
+    pub(crate) members: Vec<Vec<u32>>,
+    /// Cluster → its scheduler's node.
+    pub(crate) sched_node: Vec<NodeId>,
+    /// Estimator index → its node.
+    pub(crate) est_node: Vec<NodeId>,
+    /// NodeId → resource index (`u32::MAX` if none).
+    pub(crate) res_at_node: Vec<u32>,
+    /// NodeId → scheduler (cluster) index.
+    pub(crate) sched_at_node: Vec<u32>,
+    /// NodeId → estimator index.
+    pub(crate) est_at_node: Vec<u32>,
+    /// Cluster → all peer clusters ranked by scheduler-to-scheduler
+    /// network latency (ties → lower cluster id). Lets nearest-style
+    /// peer lookups read a table instead of re-scanning candidates.
+    pub(crate) ranked_peers: Vec<Vec<u32>>,
+}
+
+impl Layout {
+    fn build(map: &GridMap, rt: &RoutingTable, n_nodes: usize) -> Layout {
+        let n_clusters = map.cluster_count();
+        let mut res_node = Vec::new();
+        let mut res_cluster = Vec::new();
+        let mut res_pos = Vec::new();
+        let mut res_at_node = vec![u32::MAX; n_nodes];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
+        #[allow(clippy::needless_range_loop)]
+        for ci in 0..n_clusters {
+            for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
+                let idx = res_node.len() as u32;
+                res_at_node[node as usize] = idx;
+                members[ci].push(idx);
+                res_node.push(node);
+                res_cluster.push(ci as u32);
+                res_pos.push(pos as u32);
+            }
+        }
+
+        let mut sched_at_node = vec![u32::MAX; n_nodes];
+        let sched_node: Vec<NodeId> = (0..n_clusters)
+            .map(|ci| {
+                let node = map.cluster_scheduler(ci);
+                sched_at_node[node as usize] = ci as u32;
+                node
+            })
+            .collect();
+
+        let mut est_at_node = vec![u32::MAX; n_nodes];
+        let est_node: Vec<NodeId> = map
+            .estimators()
+            .iter()
+            .enumerate()
+            .map(|(ei, &node)| {
+                est_at_node[node as usize] = ei as u32;
+                node
+            })
+            .collect();
+
+        let ranked_peers: Vec<Vec<u32>> = (0..n_clusters)
+            .map(|ci| {
+                let from = sched_node[ci];
+                let mut peers: Vec<u32> = (0..n_clusters as u32)
+                    .filter(|&cj| cj as usize != ci)
+                    .collect();
+                peers.sort_by_key(|&cj| {
+                    (
+                        rt.latency(from, sched_node[cj as usize])
+                            .unwrap_or(u64::MAX),
+                        cj,
+                    )
+                });
+                peers
+            })
+            .collect();
+
+        Layout {
+            res_node,
+            res_cluster,
+            res_pos,
+            members,
+            sched_node,
+            est_node,
+            res_at_node,
+            sched_at_node,
+            est_at_node,
+            ranked_peers,
+        }
+    }
+}
+
+/// The enabler-independent world of one configuration: topology, routing,
+/// grid map, workload trace, and placement layout.
+pub(crate) struct SharedWorld {
+    pub(crate) rt: RoutingTable,
+    pub(crate) map: GridMap,
+    pub(crate) trace: Vec<Job>,
+    /// Precedence constraints (paper future-work (b)); `None` reproduces
+    /// the paper's evaluated setting (independent jobs).
+    pub(crate) dag: Option<DependencyGraph>,
+    pub(crate) layout: Layout,
+    /// Per-job dependency in-degree (empty when no DAG); the pristine
+    /// value the resource pool's `remaining_parents` is reset from.
+    pub(crate) parent_counts: Vec<u32>,
+    /// Analytic mean service demand of the workload.
+    pub(crate) mean_demand: f64,
+}
+
+impl SharedWorld {
+    /// Builds the world for `cfg`: topology (RNG stream 1), routing
+    /// tables, grid map, workload trace (stream 2), optional dependency
+    /// graph (stream 4), and the placement layout. Stream 3 is reserved
+    /// for the per-run simulation RNG.
+    pub(crate) fn build(cfg: &GridConfig) -> SharedWorld {
+        let root = SimRng::new(cfg.seed);
+        let mut topo_rng = root.fork(1);
+        let mut wl_rng = root.fork(2);
+
+        let lp = LinkParams::default();
+        let n = cfg.nodes;
+        let graph: Graph = match cfg.topology {
+            TopologySpec::BarabasiAlbert { m } => {
+                generate::barabasi_albert(n, m, lp, &mut topo_rng)
+            }
+            TopologySpec::Waxman { alpha, beta } => {
+                generate::waxman(n, alpha, beta, lp, &mut topo_rng)
+            }
+            TopologySpec::TransitStub => {
+                // Shape ratios: ~10% transit nodes, stubs of ~8.
+                let transits = (n / 64).max(1);
+                let transit_size = 4;
+                let stub_size = 8;
+                let stubs_per_transit =
+                    ((n - transits * transit_size) / (transits * stub_size)).max(1);
+                generate::transit_stub(
+                    transits,
+                    transit_size,
+                    stubs_per_transit,
+                    stub_size,
+                    lp,
+                    &mut topo_rng,
+                )
+            }
+            TopologySpec::Ring => generate::ring(n, lp),
+            TopologySpec::Star => generate::star(n, lp),
+        };
+        let rt = RoutingTable::build(&graph);
+        let map = GridMap::build(
+            &graph,
+            &rt,
+            cfg.schedulers,
+            cfg.estimators,
+            cfg.resource_fraction,
+        );
+        let mut wl_cfg = cfg.workload.clone();
+        wl_cfg.submit_points = map.cluster_count() as u32;
+        let trace = gen_workload(&wl_cfg, &mut wl_rng).jobs().to_vec();
+        let dag = (cfg.dag_edge_prob > 0.0).then(|| {
+            let mut dag_rng = root.fork(4);
+            DependencyGraph::random(
+                trace.len(),
+                cfg.dag_edge_prob,
+                cfg.dag_max_parents,
+                &mut dag_rng,
+            )
+        });
+        let layout = Layout::build(&map, &rt, n);
+        let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
+        let mean_demand = cfg.workload.exec_time.mean();
+        SharedWorld {
+            rt,
+            map,
+            trace,
+            dag,
+            layout,
+            parent_counts,
+            mean_demand,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridscale_desim::SimTime;
+    use gridscale_workload::WorkloadConfig;
+
+    fn small_cfg() -> GridConfig {
+        GridConfig {
+            nodes: 40,
+            schedulers: 3,
+            estimators: 0,
+            workload: WorkloadConfig {
+                arrival_rate: 0.02,
+                duration: SimTime::from_ticks(20_000),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(30_000),
+            ..GridConfig::default()
+        }
+    }
+
+    #[test]
+    fn ranked_peers_are_complete_and_latency_sorted() {
+        let shared = SharedWorld::build(&small_cfg());
+        let layout = &shared.layout;
+        let rt = &shared.rt;
+        let nc = layout.members.len();
+        assert!(nc >= 2);
+        for ci in 0..nc {
+            let peers = &layout.ranked_peers[ci];
+            assert_eq!(peers.len(), nc - 1, "every other cluster is ranked");
+            assert!(peers.iter().all(|&cj| cj as usize != ci));
+            let from = layout.sched_node[ci];
+            let lat = |cj: u32| rt.latency(from, layout.sched_node[cj as usize]).unwrap();
+            for w in peers.windows(2) {
+                assert!(
+                    (lat(w[0]), w[0]) <= (lat(w[1]), w[1]),
+                    "peers of {ci} sorted by (latency, id)"
+                );
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 
 use gridscale_desim::SimTime;
 use gridscale_gridsim::{
-    run_simulation, Ctx, GridConfig, LocalOnly, Policy, PolicyMsg, SimTemplate,
+    run_simulation, Comms, Ctx, Dispatch, GridConfig, LocalOnly, Policy, PolicyMsg, SimTemplate,
+    Telemetry,
 };
 use gridscale_workload::{Job, WorkloadConfig};
 
@@ -185,7 +186,10 @@ fn policy_messages_travel_between_schedulers() {
     let seen = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut p = OneShot { seen: seen.clone() };
     let r = run_simulation(&base_cfg(), &mut p);
-    assert!(seen.load(std::sync::atomic::Ordering::Relaxed), "message delivered");
+    assert!(
+        seen.load(std::sync::atomic::Ordering::Relaxed),
+        "message delivered"
+    );
     assert_eq!(r.policy_msgs, 1);
 }
 
@@ -202,7 +206,12 @@ fn tighter_updates_improve_view_accuracy_and_success() {
     loose.update_interval = 6400;
     let rt = template.run(tight, &mut LocalOnly);
     let rl = template.run(loose, &mut LocalOnly);
-    assert!(rt.succeeded > rl.succeeded, "{} vs {}", rt.succeeded, rl.succeeded);
+    assert!(
+        rt.succeeded > rl.succeeded,
+        "{} vs {}",
+        rt.succeeded,
+        rl.succeeded
+    );
     assert!(rt.updates_sent > rl.updates_sent);
 }
 
@@ -221,7 +230,10 @@ mod dag {
         let with = run_simulation(&dag_cfg(0.5, 5.0), &mut LocalOnly);
         let without = run_simulation(&dag_cfg(0.0, 5.0), &mut LocalOnly);
         assert_eq!(without.dag_deferred, 0, "no DAG, no deferral");
-        assert!(with.dag_deferred > 0, "dependencies must gate some releases");
+        assert!(
+            with.dag_deferred > 0,
+            "dependencies must gate some releases"
+        );
         assert_eq!(with.jobs_total, with.completed + with.unfinished);
         assert!(
             with.completed as f64 > 0.9 * with.jobs_total as f64,

@@ -1,0 +1,200 @@
+//! Machinery tests of the simulator through its public surface: runs
+//! complete, are deterministic, account consistently, and the pooled
+//! replay path is bit-identical to the cold path.
+//!
+//! (These lived inside `sim.rs` before the subsystem split; they only
+//! ever used the public API, so they now exercise it from outside.)
+
+use gridscale_desim::SimTime;
+use gridscale_gridsim::{run_simulation, Enablers, GridConfig, LocalOnly, SimReport, SimTemplate};
+use gridscale_workload::WorkloadConfig;
+
+/// A small, fast configuration for machinery tests.
+fn small_cfg() -> GridConfig {
+    GridConfig {
+        nodes: 40,
+        schedulers: 3,
+        estimators: 0,
+        workload: WorkloadConfig {
+            arrival_rate: 0.02,
+            duration: SimTime::from_ticks(20_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(30_000),
+        ..GridConfig::default()
+    }
+}
+
+#[test]
+fn local_only_completes_jobs() {
+    let cfg = small_cfg();
+    let mut p = LocalOnly;
+    let r = run_simulation(&cfg, &mut p);
+    assert!(r.jobs_total > 200, "trace has jobs ({})", r.jobs_total);
+    assert!(
+        r.completed as f64 >= 0.95 * r.jobs_total as f64,
+        "most jobs complete: {}/{}",
+        r.completed,
+        r.jobs_total
+    );
+    assert!(r.succeeded > 0);
+    assert_eq!(r.completed, r.succeeded + r.deadline_missed);
+    assert_eq!(r.jobs_total, r.completed + r.unfinished);
+    assert!(r.f_work > 0.0);
+    assert!(r.g_overhead > 0.0);
+    assert!(r.efficiency > 0.0 && r.efficiency < 1.0);
+    assert!(r.events_processed > 0, "engine counts events");
+    assert!(r.msgs_sent > 0, "transport counts messages");
+}
+
+#[test]
+fn deterministic_runs() {
+    let cfg = small_cfg();
+    let a = run_simulation(&cfg, &mut LocalOnly);
+    let b = run_simulation(&cfg, &mut LocalOnly);
+    assert_eq!(a.f_work, b.f_work);
+    assert_eq!(a.g_overhead, b.g_overhead);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.updates_sent, b.updates_sent);
+    assert_eq!(a.mean_response, b.mean_response);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.msgs_sent, b.msgs_sent);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cfg = small_cfg();
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = cfg.seed + 1;
+    let a = run_simulation(&cfg, &mut LocalOnly);
+    let b = run_simulation(&cfg2, &mut LocalOnly);
+    assert_ne!(a.f_work, b.f_work);
+}
+
+#[test]
+fn updates_flow_and_suppression_works() {
+    let cfg = small_cfg();
+    let r = run_simulation(&cfg, &mut LocalOnly);
+    assert!(r.updates_sent > 0, "resources report status");
+    assert!(
+        r.updates_suppressed > 0,
+        "idle resources suppress unchanged loads"
+    );
+    assert_eq!(r.batches, 0, "no estimators configured");
+}
+
+#[test]
+fn estimators_batch_updates() {
+    let mut cfg = small_cfg();
+    cfg.estimators = 2;
+    let r = run_simulation(&cfg, &mut LocalOnly);
+    assert!(r.batches > 0, "estimators forward batches");
+    assert!(r.updates_sent > 0);
+}
+
+#[test]
+fn longer_update_interval_reduces_overhead() {
+    let mut fast = small_cfg();
+    fast.enablers.update_interval = 50;
+    let mut slow = small_cfg();
+    slow.enablers.update_interval = 2000;
+    let rf = run_simulation(&fast, &mut LocalOnly);
+    let rs = run_simulation(&slow, &mut LocalOnly);
+    assert!(
+        rf.g_overhead > rs.g_overhead,
+        "τ=50 ⇒ G {} should exceed τ=2000 ⇒ G {}",
+        rf.g_overhead,
+        rs.g_overhead
+    );
+    assert!(rf.updates_sent > rs.updates_sent);
+}
+
+#[test]
+fn saturated_rp_misses_deadlines() {
+    let mut cfg = small_cfg();
+    cfg.workload.arrival_rate = 0.2; // far beyond RP capacity
+    let r = run_simulation(&cfg, &mut LocalOnly);
+    assert!(
+        r.deadline_missed + r.unfinished > r.succeeded,
+        "overload must hurt: ok={} missed={} unfinished={}",
+        r.succeeded,
+        r.deadline_missed,
+        r.unfinished
+    );
+}
+
+#[test]
+fn central_shape_single_scheduler() {
+    let mut cfg = small_cfg();
+    cfg.schedulers = 1;
+    let r = run_simulation(&cfg, &mut LocalOnly);
+    assert!(r.completed > 0);
+    assert!(
+        (r.g_busy_max_scheduler - r.g_busy_raw).abs() < 1e-9,
+        "all overhead on the single scheduler"
+    );
+}
+
+#[test]
+fn template_reruns_recycle_pools_without_changing_results() {
+    let cfg = small_cfg();
+    let template = SimTemplate::new(&cfg);
+    // First run populates both pools and the capacity hint...
+    let a = template.run(cfg.enablers, &mut LocalOnly);
+    let s = template.replay_stats();
+    assert_eq!(s.runs, 1);
+    assert_eq!(s.scratch_reused, 0, "nothing to reuse on the first run");
+    assert_eq!(s.pooled_queues, 1, "the run's queue returns to the pool");
+    assert_eq!(s.pooled_scratch, 1, "the run's scratch returns to the pool");
+    assert!(s.queue_cap_hint > 0, "peak queue length is recorded");
+    assert!(s.scratch_bytes > 0, "pooled scratch has resident capacity");
+    // ...and the recycled second run is bit-identical.
+    let b = template.run(cfg.enablers, &mut LocalOnly);
+    let s = template.replay_stats();
+    assert_eq!(
+        (s.runs, s.scratch_reused),
+        (2, 1),
+        "second run reused scratch"
+    );
+    assert_eq!(a.f_work, b.f_work);
+    assert_eq!(a.g_overhead, b.g_overhead);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.mean_response, b.mean_response);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.msgs_sent, b.msgs_sent);
+}
+
+#[test]
+fn run_cold_matches_pooled_run_bit_for_bit() {
+    let cfg = small_cfg();
+    let template = SimTemplate::new(&cfg);
+    let pooled_1 = template.run(cfg.enablers, &mut LocalOnly);
+    // Dirty the pooled scratch at a different operating point, then
+    // replay the original point from the recycled arena.
+    let perturbed = Enablers {
+        update_interval: cfg.enablers.update_interval * 2,
+        ..cfg.enablers
+    };
+    let _ = template.run(perturbed, &mut LocalOnly);
+    let pooled_2 = template.run(cfg.enablers, &mut LocalOnly);
+    let cold = template.run_cold(cfg.enablers, &mut LocalOnly);
+    let j = |r: &SimReport| serde_json::to_string(r).unwrap();
+    assert_eq!(j(&pooled_1), j(&cold), "pooled == cold, byte for byte");
+    assert_eq!(j(&pooled_2), j(&cold), "recycled replay == cold");
+    assert_eq!(
+        template.replay_stats().pooled_scratch,
+        1,
+        "run_cold neither borrows nor returns pooled scratch"
+    );
+}
+
+#[test]
+fn report_invariants() {
+    let r = run_simulation(&small_cfg(), &mut LocalOnly);
+    assert!(r.resource_utilization > 0.0 && r.resource_utilization < 1.0);
+    assert!(r.mean_response > 0.0);
+    assert!(r.p95_response >= r.mean_response * 0.5);
+    assert!(r.throughput >= r.goodput);
+    assert!(r.g_busy_max_scheduler <= r.g_busy_raw + 1e-9);
+    assert!(r.bottleneck_utilization() < 1.05);
+}

@@ -1,7 +1,7 @@
 //! AUCTION: idle resources trigger auctions; loaded clusters bid work.
 
 use crate::polling::{PlacementRule, PollPlacer};
-use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
 use std::collections::HashMap;
 

@@ -7,7 +7,7 @@
 //! status traffic and no placement intelligence; THRESHOLD pays one probe
 //! at a time only when the local cluster looks loaded.
 
-use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry};
 use gridscale_workload::Job;
 use std::collections::HashMap;
 

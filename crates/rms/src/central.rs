@@ -1,6 +1,6 @@
 //! CENTRAL: one scheduler decides for every resource in the system.
 
-use gridscale_gridsim::{Ctx, Policy};
+use gridscale_gridsim::{Ctx, Dispatch, Policy};
 use gridscale_workload::Job;
 
 /// The paper's CENTRAL model:

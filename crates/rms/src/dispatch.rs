@@ -1,0 +1,124 @@
+//! Static dispatch over the built-in model set.
+//!
+//! [`RmsPolicy`] wraps the eight built-in policies in one enum that
+//! itself implements [`Policy`]. Driving the simulator with a concrete
+//! `&mut RmsPolicy` monomorphizes the whole event loop — every policy
+//! callback becomes a direct (inlinable) call behind one enum branch,
+//! instead of a virtual call through `&mut dyn Policy`. The annealer's
+//! hot replay path uses this; `Box<dyn Policy>` from [`RmsKind::build`]
+//! remains available for user-defined policies and heterogeneous
+//! collections (the `policy_dispatch` bench records the delta).
+
+use crate::{
+    Auction, Central, Hierarchical, Lowest, ReceiverInit, Reserve, RmsKind, SenderInit, Symmetric,
+};
+use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_workload::Job;
+
+/// The eight built-in policies as one statically dispatched enum.
+#[derive(Debug)]
+pub enum RmsPolicy {
+    /// CENTRAL.
+    Central(Central),
+    /// LOWEST.
+    Lowest(Lowest),
+    /// RESERVE.
+    Reserve(Reserve),
+    /// AUCTION.
+    Auction(Auction),
+    /// S-I.
+    SenderInit(SenderInit),
+    /// R-I.
+    ReceiverInit(ReceiverInit),
+    /// Sy-I.
+    Symmetric(Symmetric),
+    /// HIER (hierarchical extension).
+    Hierarchical(Hierarchical),
+}
+
+macro_rules! with_policy {
+    ($self:ident, $p:ident => $e:expr) => {
+        match $self {
+            RmsPolicy::Central($p) => $e,
+            RmsPolicy::Lowest($p) => $e,
+            RmsPolicy::Reserve($p) => $e,
+            RmsPolicy::Auction($p) => $e,
+            RmsPolicy::SenderInit($p) => $e,
+            RmsPolicy::ReceiverInit($p) => $e,
+            RmsPolicy::Symmetric($p) => $e,
+            RmsPolicy::Hierarchical($p) => $e,
+        }
+    };
+}
+
+impl Policy for RmsPolicy {
+    fn name(&self) -> &'static str {
+        with_policy!(self, p => p.name())
+    }
+
+    fn uses_middleware(&self) -> bool {
+        with_policy!(self, p => p.uses_middleware())
+    }
+
+    fn init(&mut self, ctx: &mut Ctx) {
+        with_policy!(self, p => p.init(ctx))
+    }
+
+    fn on_local_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        with_policy!(self, p => p.on_local_job(ctx, cluster, job))
+    }
+
+    fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        with_policy!(self, p => p.on_remote_job(ctx, cluster, job))
+    }
+
+    fn on_transfer_in(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {
+        with_policy!(self, p => p.on_transfer_in(ctx, cluster, job))
+    }
+
+    fn on_policy_msg(&mut self, ctx: &mut Ctx, cluster: usize, msg: PolicyMsg) {
+        with_policy!(self, p => p.on_policy_msg(ctx, cluster, msg))
+    }
+
+    fn on_update(&mut self, ctx: &mut Ctx, cluster: usize, res_pos: usize, load: f64) {
+        with_policy!(self, p => p.on_update(ctx, cluster, res_pos, load))
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {
+        with_policy!(self, p => p.on_timer(ctx, cluster, tag))
+    }
+}
+
+impl RmsKind {
+    /// Instantiates a fresh policy as the statically dispatched
+    /// [`RmsPolicy`] enum — the preferred form for measurement loops.
+    /// Behaviour is identical to [`RmsKind::build`]; only the dispatch
+    /// mechanism differs.
+    pub fn build_static(self) -> RmsPolicy {
+        match self {
+            RmsKind::Central => RmsPolicy::Central(Central),
+            RmsKind::Lowest => RmsPolicy::Lowest(Lowest::default()),
+            RmsKind::Reserve => RmsPolicy::Reserve(Reserve::default()),
+            RmsKind::Auction => RmsPolicy::Auction(Auction::default()),
+            RmsKind::SenderInit => RmsPolicy::SenderInit(SenderInit::default()),
+            RmsKind::ReceiverInit => RmsPolicy::ReceiverInit(ReceiverInit::default()),
+            RmsKind::Symmetric => RmsPolicy::Symmetric(Symmetric::default()),
+            RmsKind::Hierarchical => RmsPolicy::Hierarchical(Hierarchical::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_mirrors_boxed_metadata() {
+        for k in RmsKind::EXTENDED {
+            let stat = k.build_static();
+            let boxed = k.build();
+            assert_eq!(stat.name(), boxed.name(), "{k}");
+            assert_eq!(stat.uses_middleware(), boxed.uses_middleware(), "{k}");
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! per-resource status updates).
 
 use gridscale_desim::SimTime;
-use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
 use std::collections::HashMap;
 

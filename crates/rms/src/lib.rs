@@ -19,14 +19,17 @@
 //! completely match the native models used in the above papers" — the same
 //! holds here; they are re-expressions on the shared Grid model.
 //!
-//! [`RmsKind`] enumerates the models for experiment drivers, and
-//! [`RmsKind::build`] instantiates them.
+//! [`RmsKind`] enumerates the models for experiment drivers;
+//! [`RmsKind::build`] instantiates them as `Box<dyn Policy>` trait
+//! objects, and [`RmsKind::build_static`] as the statically dispatched
+//! [`RmsPolicy`] enum used on measurement hot paths.
 
 #![warn(missing_docs)]
 
 mod auction;
 pub mod baselines;
 mod central;
+mod dispatch;
 mod hierarchical;
 mod lowest;
 pub mod polling;
@@ -38,6 +41,7 @@ mod syi;
 pub use auction::Auction;
 pub use baselines::{RandomPlacement, Threshold};
 pub use central::Central;
+pub use dispatch::RmsPolicy;
 pub use hierarchical::Hierarchical;
 pub use lowest::Lowest;
 pub use reserve::Reserve;
@@ -185,7 +189,10 @@ mod tests {
     #[test]
     fn only_central_is_centralized() {
         assert!(RmsKind::Central.is_centralized());
-        assert_eq!(RmsKind::ALL.iter().filter(|k| k.is_centralized()).count(), 1);
+        assert_eq!(
+            RmsKind::ALL.iter().filter(|k| k.is_centralized()).count(),
+            1
+        );
     }
 
     #[test]

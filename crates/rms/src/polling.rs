@@ -5,7 +5,7 @@
 //! decision rule. Sy-I reuses the S-I rule as its fallback path. This
 //! module implements the common hold/poll/collect state machine.
 
-use gridscale_gridsim::{Ctx, PolicyMsg};
+use gridscale_gridsim::{Comms, Ctx, Dispatch, PolicyMsg, Telemetry};
 use gridscale_workload::Job;
 use std::collections::HashMap;
 

@@ -1,7 +1,7 @@
 //! RESERVE: under-loaded schedulers register reservations at peers.
 
 use gridscale_desim::SimTime;
-use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
 use std::collections::HashMap;
 

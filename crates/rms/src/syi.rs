@@ -2,7 +2,7 @@
 
 use crate::polling::{PlacementRule, PollPlacer};
 use gridscale_desim::SimTime;
-use gridscale_gridsim::{Ctx, Policy, PolicyMsg};
+use gridscale_gridsim::{Clock, Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
 
 /// Timer tag for the periodic RUS self-check (shared with R-I semantics).

@@ -40,7 +40,11 @@ fn every_policy_completes_most_jobs() {
             r.jobs_total
         );
         assert!(r.succeeded > 0, "{kind}: nothing met its deadline");
-        assert!(r.efficiency > 0.0 && r.efficiency < 1.0, "{kind}: E = {}", r.efficiency);
+        assert!(
+            r.efficiency > 0.0 && r.efficiency < 1.0,
+            "{kind}: E = {}",
+            r.efficiency
+        );
     }
 }
 

@@ -94,9 +94,7 @@ pub fn barabasi_albert(n: usize, m: usize, lp: LinkParams, rng: &mut SimRng) -> 
 pub fn waxman(n: usize, alpha: f64, beta: f64, lp: LinkParams, rng: &mut SimRng) -> Graph {
     assert!(n >= 1);
     assert!(alpha > 0.0 && (0.0..=1.0).contains(&beta));
-    let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.uniform01(), rng.uniform01()))
-        .collect();
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.uniform01(), rng.uniform01())).collect();
     let diag = std::f64::consts::SQRT_2;
     let mut g = Graph::with_nodes(n);
     let lat_of = |d: f64| -> u64 {
@@ -230,7 +228,12 @@ pub fn full_mesh(n: usize, lp: LinkParams) -> Graph {
     let mut g = Graph::with_nodes(n);
     for a in 0..n {
         for b in (a + 1)..n {
-            g.add_link(a as NodeId, b as NodeId, lp.min_latency.max(1), lp.bandwidth);
+            g.add_link(
+                a as NodeId,
+                b as NodeId,
+                lp.min_latency.max(1),
+                lp.bandwidth,
+            );
         }
     }
     g

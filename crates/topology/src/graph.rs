@@ -286,7 +286,11 @@ mod dot_tests {
         g.add_link(1, 2, 7, 1.0);
         let dot = g.to_dot("t");
         assert!(dot.starts_with("graph t {"));
-        assert_eq!(dot.matches(" -- ").count(), 2, "one line per undirected edge");
+        assert_eq!(
+            dot.matches(" -- ").count(),
+            2,
+            "one line per undirected edge"
+        );
         assert!(dot.contains("n0 -- n1 [label=\"5\"]"));
         assert!(dot.contains("n1 -- n2 [label=\"7\"]"));
         assert!(!dot.contains("n1 -- n0"), "no reverse duplicates");

@@ -135,10 +135,7 @@ pub fn powerlaw_alpha(g: &Graph, k_min: usize) -> Option<f64> {
     if degs.len() < 10 {
         return None;
     }
-    let denom: f64 = degs
-        .iter()
-        .map(|&d| (d / (k_min as f64 - 0.5)).ln())
-        .sum();
+    let denom: f64 = degs.iter().map(|&d| (d / (k_min as f64 - 0.5)).ln()).sum();
     Some(1.0 + degs.len() as f64 / denom)
 }
 

@@ -115,7 +115,9 @@ impl DependencyGraph {
     /// algorithm).
     pub fn is_acyclic(&self) -> bool {
         let mut indeg = self.parent_count.clone();
-        let mut queue: Vec<u32> = (0..self.n as u32).filter(|&j| indeg[j as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..self.n as u32)
+            .filter(|&j| indeg[j as usize] == 0)
+            .collect();
         let mut seen = 0usize;
         while let Some(j) = queue.pop() {
             seen += 1;

@@ -98,7 +98,11 @@ mod tests {
     #[test]
     fn classification_against_t_cpu() {
         let t_cpu = SimTime::from_ticks(700);
-        assert_eq!(job(700, 2.0).class(t_cpu), JobClass::Local, "boundary is LOCAL");
+        assert_eq!(
+            job(700, 2.0).class(t_cpu),
+            JobClass::Local,
+            "boundary is LOCAL"
+        );
         assert_eq!(job(699, 2.0).class(t_cpu), JobClass::Local);
         assert_eq!(job(701, 2.0).class(t_cpu), JobClass::Remote);
     }
@@ -108,7 +112,10 @@ mod tests {
         let j = job(100, 3.0);
         assert_eq!(j.benefit_deadline(), SimTime::from_ticks(300));
         assert_eq!(j.absolute_deadline(), SimTime::from_ticks(400));
-        assert!(j.meets_deadline(SimTime::from_ticks(400)), "boundary succeeds");
+        assert!(
+            j.meets_deadline(SimTime::from_ticks(400)),
+            "boundary succeeds"
+        );
         assert!(!j.meets_deadline(SimTime::from_ticks(401)));
     }
 

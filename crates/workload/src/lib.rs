@@ -34,8 +34,8 @@ pub mod swf;
 mod trace;
 
 pub use dag::DependencyGraph;
-pub use stats::{analyze as analyze_trace, DistSummary, TraceStats};
-pub use swf::{parse_swf, to_swf, SwfError, SwfOptions};
 pub use job::{Job, JobClass, JobId};
 pub use model::{generate, ExecTimeModel, WorkloadConfig};
+pub use stats::{analyze as analyze_trace, DistSummary, TraceStats};
+pub use swf::{parse_swf, to_swf, SwfError, SwfOptions};
 pub use trace::{JobTrace, TraceSummary};

@@ -54,7 +54,10 @@ pub enum ExecTimeModel {
 
 impl Default for ExecTimeModel {
     fn default() -> Self {
-        ExecTimeModel::LogUniform { lo: 50.0, hi: 5000.0 }
+        ExecTimeModel::LogUniform {
+            lo: 50.0,
+            hi: 5000.0,
+        }
     }
 }
 
@@ -277,7 +280,10 @@ mod tests {
             assert!(j.submit_point < 8);
             seen[j.submit_point as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "every submission point receives jobs");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every submission point receives jobs"
+        );
     }
 
     #[test]
@@ -302,17 +308,26 @@ mod tests {
     #[test]
     fn analytic_means_match_empirical() {
         let models = [
-            ExecTimeModel::LogUniform { lo: 50.0, hi: 5000.0 },
-            ExecTimeModel::LogNormal { mu: 5.0, sigma: 0.8 },
-            ExecTimeModel::BoundedPareto { alpha: 1.5, lo: 50.0, hi: 5000.0 },
+            ExecTimeModel::LogUniform {
+                lo: 50.0,
+                hi: 5000.0,
+            },
+            ExecTimeModel::LogNormal {
+                mu: 5.0,
+                sigma: 0.8,
+            },
+            ExecTimeModel::BoundedPareto {
+                alpha: 1.5,
+                lo: 50.0,
+                hi: 5000.0,
+            },
             ExecTimeModel::Exponential { mean: 640.0 },
             ExecTimeModel::Constant { ticks: 321.0 },
         ];
         let mut rng = SimRng::new(77);
         for m in models {
             let n = 60_000;
-            let emp: f64 =
-                (0..n).map(|_| m.draw(&mut rng).as_f64()).sum::<f64>() / n as f64;
+            let emp: f64 = (0..n).map(|_| m.draw(&mut rng).as_f64()).sum::<f64>() / n as f64;
             let ana = m.mean();
             assert!(
                 (emp - ana).abs() / ana < 0.05,
@@ -323,8 +338,16 @@ mod tests {
 
     #[test]
     fn bounded_pareto_mean_alpha_one_limit() {
-        let near = ExecTimeModel::BoundedPareto { alpha: 1.0 + 1e-10, lo: 10.0, hi: 100.0 };
-        let at = ExecTimeModel::BoundedPareto { alpha: 1.0, lo: 10.0, hi: 100.0 };
+        let near = ExecTimeModel::BoundedPareto {
+            alpha: 1.0 + 1e-10,
+            lo: 10.0,
+            hi: 100.0,
+        };
+        let at = ExecTimeModel::BoundedPareto {
+            alpha: 1.0,
+            lo: 10.0,
+            hi: 100.0,
+        };
         assert!((near.mean() - at.mean()).abs() / at.mean() < 1e-3);
     }
 

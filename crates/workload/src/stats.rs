@@ -134,7 +134,11 @@ pub fn analyze(trace: &JobTrace, window: SimTime) -> TraceStats {
 /// [`crate::ExecTimeModel::LogNormal`] to re-synthesize a trace shaped
 /// like an imported one. `None` for fewer than 2 positive values.
 pub fn fit_lognormal(values: &[f64]) -> Option<(f64, f64)> {
-    let logs: Vec<f64> = values.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|x| x.ln())
+        .collect();
     if logs.len() < 2 {
         return None;
     }
@@ -225,7 +229,10 @@ mod tests {
         assert!((sigma - 0.7).abs() < 0.02, "sigma {sigma}");
         // Round trip: a trace generated from the fit has the right mean.
         let model = ExecTimeModel::LogNormal { mu, sigma };
-        let emp: f64 = (0..20_000).map(|_| model.draw(&mut rng).as_f64()).sum::<f64>() / 20_000.0;
+        let emp: f64 = (0..20_000)
+            .map(|_| model.draw(&mut rng).as_f64())
+            .sum::<f64>()
+            / 20_000.0;
         let analytic = (4.0f64 + 0.49 / 2.0).exp();
         assert!((emp - analytic).abs() / analytic < 0.05);
     }

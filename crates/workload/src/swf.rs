@@ -263,8 +263,10 @@ mod tests {
         assert!(parse_swf("", &SwfOptions::default(), &mut rng)
             .unwrap()
             .is_empty());
-        assert!(parse_swf("; nothing\n;\n", &SwfOptions::default(), &mut rng)
-            .unwrap()
-            .is_empty());
+        assert!(
+            parse_swf("; nothing\n;\n", &SwfOptions::default(), &mut rng)
+                .unwrap()
+                .is_empty()
+        );
     }
 }

@@ -24,7 +24,11 @@ fn main() {
     for kind in RmsKind::ALL {
         // CENTRAL manages everything from one scheduler; the distributed
         // models get one scheduler per ~16 resources (paper Case 1 setup).
-        let schedulers = if kind.is_centralized() { 1 } else { (nodes / 16).max(2) };
+        let schedulers = if kind.is_centralized() {
+            1
+        } else {
+            (nodes / 16).max(2)
+        };
         let cfg = GridConfig {
             nodes,
             schedulers,

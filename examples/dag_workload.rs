@@ -48,7 +48,10 @@ fn main() {
     println!("\nH(k) under network-size scaling with a fixed dependency");
     println!("density (p = 0.5) — transfers cross more cluster boundaries");
     println!("as the Grid fragments, so H grows faster than the workload:");
-    println!("{:>3} {:>12} {:>12} {:>9}", "k", "H(k)", "h(k)/f(k)", "deferred");
+    println!(
+        "{:>3} {:>12} {:>12} {:>9}",
+        "k", "H(k)", "h(k)/f(k)", "deferred"
+    );
     let mut base: Option<(f64, f64)> = None;
     for k in [1u32, 2, 3, 4] {
         let r = run_at(RmsKind::Lowest, k, 0.5);

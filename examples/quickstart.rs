@@ -21,15 +21,28 @@ fn main() {
         ..GridConfig::default()
     };
 
-    println!("simulating {} nodes / {} clusters…\n", cfg.nodes, cfg.schedulers);
+    println!(
+        "simulating {} nodes / {} clusters…\n",
+        cfg.nodes, cfg.schedulers
+    );
 
     let mut policy = RmsKind::Lowest.build();
     let r = run_simulation(&cfg, policy.as_mut());
 
     println!("policy          : {}", r.policy);
-    println!("jobs            : {} total, {} completed, {} unfinished", r.jobs_total, r.completed, r.unfinished);
-    println!("deadline success: {} ({:.1}%)", r.succeeded, 100.0 * r.success_rate());
-    println!("mean response   : {:.0} ticks (p95 {:.0})", r.mean_response, r.p95_response);
+    println!(
+        "jobs            : {} total, {} completed, {} unfinished",
+        r.jobs_total, r.completed, r.unfinished
+    );
+    println!(
+        "deadline success: {} ({:.1}%)",
+        r.succeeded,
+        100.0 * r.success_rate()
+    );
+    println!(
+        "mean response   : {:.0} ticks (p95 {:.0})",
+        r.mean_response, r.p95_response
+    );
     println!("throughput      : {:.4} jobs/tick", r.throughput);
     println!();
     println!("F (useful work) : {:.3e}", r.f_work);
@@ -37,8 +50,14 @@ fn main() {
     println!("H (RP overhead) : {:.3e}", r.h_overhead);
     println!("efficiency E    : {:.3}", r.efficiency);
     println!();
-    println!("status updates  : {} sent, {} suppressed", r.updates_sent, r.updates_suppressed);
+    println!(
+        "status updates  : {} sent, {} suppressed",
+        r.updates_sent, r.updates_suppressed
+    );
     println!("policy messages : {}", r.policy_msgs);
     println!("job transfers   : {}", r.transfers);
-    println!("RMS bottleneck  : {:.1}% busy (max scheduler)", 100.0 * r.bottleneck_utilization());
+    println!(
+        "RMS bottleneck  : {:.1}% busy (max scheduler)",
+        100.0 * r.bottleneck_utilization()
+    );
 }

@@ -44,11 +44,14 @@ fn main() {
                 p.enablers.update_interval,
             );
         }
-        println!("G(k) slopes : {:?}", curve
-            .g_slopes()
-            .iter()
-            .map(|s| format!("{s:.2e}"))
-            .collect::<Vec<_>>());
+        println!(
+            "G(k) slopes : {:?}",
+            curve
+                .g_slopes()
+                .iter()
+                .map(|s| format!("{s:.2e}"))
+                .collect::<Vec<_>>()
+        );
         let v = curve.verdict();
         println!(
             "Eq.(2) f(k) > c*g(k): {:?}  => scalable through k = {}\n",

@@ -16,7 +16,12 @@ fn main() {
     let cfg = config_for(kind, CaseId::NetworkSize, 2, Preset::Quick, 11);
     let template = SimTemplate::new(&cfg);
 
-    println!("model {}, {} nodes, {} jobs\n", kind.name(), cfg.nodes, template.trace_len());
+    println!(
+        "model {}, {} nodes, {} jobs\n",
+        kind.name(),
+        cfg.nodes,
+        template.trace_len()
+    );
 
     // Manual τ sweep: the frontier the annealer walks.
     println!("manual tau sweep (L_p = {}):", cfg.enablers.neighborhood);
@@ -82,7 +87,10 @@ fn main() {
     let best = space.realize(&result.best, &base_enablers);
     let mut policy = kind.build();
     let tuned = template.run(best, policy.as_mut());
-    println!("annealer evaluated {} distinct settings", result.evaluations);
+    println!(
+        "annealer evaluated {} distinct settings",
+        result.evaluations
+    );
     println!(
         "accepted-energy trajectory: {:?}",
         result

@@ -14,8 +14,9 @@
 //!
 //! `run` simulates one configuration; `measure` executes the paper's full
 //! four-step scalability procedure; `bench-sim` times clone-per-run world
-//! rebuilding against zero-clone shared-template replay and writes
-//! `BENCH_sim.json`; `trace` generates (optionally SWF) workloads; `topo`
+//! rebuilding against zero-clone shared-template replay (under both `dyn`
+//! and enum policy dispatch) and writes `BENCH_sim.json`; `trace`
+//! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
 //! the RMS models.
 
@@ -275,16 +276,28 @@ fn cmd_bench_sim(flags: HashMap<String, String>) {
         }
         let replay_s = t.elapsed().as_secs_f64() / reps as f64;
 
+        // Same shared-template replay, but statically dispatched through
+        // the RmsPolicy enum instead of `&mut dyn Policy`.
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let mut p = kind.build_static();
+            let r = template.run(cfg.enablers, &mut p);
+            assert_eq!(r.events_processed, events, "enum-dispatch replay diverged");
+        }
+        let enum_s = t.elapsed().as_secs_f64() / reps as f64;
+
         let stats = template.replay_stats();
         eprintln!(
-            "k={:<2} nodes={:<4} events/run={:<8} clone {:>8.2} ms | replay {:>8.2} ms | {:>5.1}x | {:.2e} ev/s",
+            "k={:<2} nodes={:<4} events/run={:<8} clone {:>8.2} ms | replay {:>8.2} ms ({:>4.1}x) | enum {:>8.2} ms ({:+5.1}% vs dyn) | {:.2e} ev/s",
             k,
             cfg.nodes,
             events,
             clone_s * 1e3,
             replay_s * 1e3,
             clone_s / replay_s,
-            events as f64 / replay_s
+            enum_s * 1e3,
+            (enum_s / replay_s - 1.0) * 100.0,
+            events as f64 / enum_s
         );
         rows.push(serde_json::json!({
             "k": k,
@@ -299,7 +312,12 @@ fn cmd_bench_sim(flags: HashMap<String, String>) {
                 "secs_per_run": replay_s,
                 "events_per_sec": events as f64 / replay_s,
             },
+            "enum_dispatch_replay": {
+                "secs_per_run": enum_s,
+                "events_per_sec": events as f64 / enum_s,
+            },
             "speedup": clone_s / replay_s,
+            "dispatch_delta": 1.0 - enum_s / replay_s,
             "replay_stats": stats,
             "report": report,
         }));

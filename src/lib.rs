@@ -73,10 +73,11 @@ pub mod prelude {
     };
     pub use gridscale_desim::{SimRng, SimTime};
     pub use gridscale_gridsim::{
-        run_simulation, Ctx, Enablers, GridConfig, OverheadCosts, Policy, ReplayStats, SimReport,
-        SimTemplate, Thresholds, Timeline, TopologySpec,
+        run_simulation, Clock, Comms, Ctx, Dispatch, Enablers, GridConfig, OverheadCosts, Policy,
+        PolicyMsg, ReplayStats, SimReport, SimTemplate, Telemetry, Thresholds, Timeline, Timers,
+        TopologySpec,
     };
-    pub use gridscale_rms::RmsKind;
+    pub use gridscale_rms::{RmsKind, RmsPolicy};
     pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};
     pub use gridscale_workload::{
         analyze_trace, DependencyGraph, ExecTimeModel, Job, JobClass, JobTrace, TraceStats,

@@ -49,7 +49,10 @@ fn seeds_isolate_subsystems() {
     );
     let mut l3 = RmsKind::Lowest.build();
     let rc = run_simulation(&cfg(43), l3.as_mut());
-    assert_ne!(ra.jobs_total, rc.jobs_total, "different seed ⇒ different trace");
+    assert_ne!(
+        ra.jobs_total, rc.jobs_total,
+        "different seed ⇒ different trace"
+    );
 }
 
 #[test]

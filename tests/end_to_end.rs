@@ -103,7 +103,13 @@ fn isoefficiency_constants_close_the_loop() {
 #[test]
 fn template_reuse_equals_fresh_runs() {
     // The annealer's template optimization must not change results.
-    let cfg = config_for(RmsKind::SenderInit, CaseId::NetworkSize, 2, Preset::Quick, 5);
+    let cfg = config_for(
+        RmsKind::SenderInit,
+        CaseId::NetworkSize,
+        2,
+        Preset::Quick,
+        5,
+    );
     let template = SimTemplate::new(&cfg);
     let mut p1 = RmsKind::SenderInit.build();
     let via_template = template.run(cfg.enablers, p1.as_mut());
@@ -121,7 +127,13 @@ fn grid_roles_consistent_with_config() {
     let rng = &mut SimRng::new(cfg.seed).fork(1);
     let g = generate::barabasi_albert(cfg.nodes, 2, generate::LinkParams::default(), rng);
     let rt = RoutingTable::build(&g);
-    let map = GridMap::build(&g, &rt, cfg.schedulers, cfg.estimators, cfg.resource_fraction);
+    let map = GridMap::build(
+        &g,
+        &rt,
+        cfg.schedulers,
+        cfg.estimators,
+        cfg.resource_fraction,
+    );
     assert_eq!(map.schedulers().len(), cfg.schedulers);
     assert_eq!(map.estimators().len(), cfg.estimators);
     let mut role_counts = 0;

@@ -4,13 +4,16 @@
 //! per-run scratch, tree-indexed cluster views) is only admissible if it
 //! is *observationally invisible*: every `SimReport` must come out
 //! bit-for-bit identical to the plain clone-per-run implementation. These
-//! tests pin that down against a fixture covering all seven RMS models at
-//! k ∈ {1, 4, 16} across 3 seeds.
+//! tests pin that down against a fixture covering the seven paper RMS
+//! models, the hierarchical extension, and the RANDOM / THRESHOLD
+//! baselines at k ∈ {1, 4, 16} across 3 seeds.
 //!
 //! On a fresh checkout (no fixture file) the fixture self-bootstraps from
 //! the one-shot path: the replay tests then pin `template.run ==
 //! run_simulation` bit-for-bit, and every later test run pins the code
-//! against the recorded values. Regenerate explicitly (only when
+//! against the recorded values. A fixture generated before a policy was
+//! added to the matrix is merged, not discarded: existing entries keep
+//! pinning, missing ones bootstrap. Regenerate explicitly (only when
 //! *intentionally* changing simulation semantics) with:
 //!
 //! ```text
@@ -19,7 +22,9 @@
 
 use gridscale::prelude::*;
 use gridscale::workload::WorkloadConfig;
+use gridscale_rms::baselines::{RandomPlacement, Threshold};
 use serde_json::Value;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// Scale factors exercised by the golden matrix.
@@ -29,14 +34,61 @@ const SEEDS: [u64; 3] = [11, 22, 33];
 
 const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/reports.json");
 
+/// One row of the golden matrix: a paper model (including the
+/// hierarchical extension) or one of the classic load-sharing baselines,
+/// which live outside [`RmsKind`].
+#[derive(Clone, Copy)]
+enum GoldenPolicy {
+    Kind(RmsKind),
+    Random,
+    Threshold,
+}
+
+impl GoldenPolicy {
+    /// The paper's seven models, the hierarchical extension, and the two
+    /// Eager et al. baselines.
+    const ALL: [GoldenPolicy; 10] = [
+        GoldenPolicy::Kind(RmsKind::Central),
+        GoldenPolicy::Kind(RmsKind::Lowest),
+        GoldenPolicy::Kind(RmsKind::Reserve),
+        GoldenPolicy::Kind(RmsKind::Auction),
+        GoldenPolicy::Kind(RmsKind::SenderInit),
+        GoldenPolicy::Kind(RmsKind::ReceiverInit),
+        GoldenPolicy::Kind(RmsKind::Symmetric),
+        GoldenPolicy::Kind(RmsKind::Hierarchical),
+        GoldenPolicy::Random,
+        GoldenPolicy::Threshold,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            GoldenPolicy::Kind(kind) => kind.name(),
+            GoldenPolicy::Random => "RANDOM",
+            GoldenPolicy::Threshold => "THRESHOLD",
+        }
+    }
+
+    fn is_centralized(self) -> bool {
+        matches!(self, GoldenPolicy::Kind(kind) if kind.is_centralized())
+    }
+
+    fn build(self) -> Box<dyn Policy> {
+        match self {
+            GoldenPolicy::Kind(kind) => kind.build(),
+            GoldenPolicy::Random => Box::new(RandomPlacement),
+            GoldenPolicy::Threshold => Box::<Threshold>::default(),
+        }
+    }
+}
+
 /// A small Case-1-style configuration: network size and workload both
 /// scale with `k`, utilization stays ≈ 0.8 at every scale. Short horizon
-/// so the full 7 × 3 × 3 matrix stays debug-test-budget friendly.
-fn golden_cfg(kind: RmsKind, k: usize, seed: u64) -> GridConfig {
+/// so the full 10 × 3 × 3 matrix stays debug-test-budget friendly.
+fn golden_cfg(policy: GoldenPolicy, k: usize, seed: u64) -> GridConfig {
     let nodes = 20 * k;
     GridConfig {
         nodes,
-        schedulers: if kind.is_centralized() {
+        schedulers: if policy.is_centralized() {
             1
         } else {
             (nodes / 10).max(2)
@@ -53,24 +105,29 @@ fn golden_cfg(kind: RmsKind, k: usize, seed: u64) -> GridConfig {
     }
 }
 
-fn entry_key(kind: RmsKind, k: usize, seed: u64) -> String {
-    format!("{}/k{}/s{}", kind.name(), k, seed)
+fn entry_key(policy: GoldenPolicy, k: usize, seed: u64) -> String {
+    format!("{}/k{}/s{}", policy.name(), k, seed)
 }
 
 fn report_value(r: &SimReport) -> Value {
     serde_json::to_value(r).expect("SimReport serializes")
 }
 
-/// Runs the full model × k × seed matrix through the one-shot path.
+/// Runs one matrix entry through the one-shot path.
+fn one_shot(policy: GoldenPolicy, k: usize, seed: u64) -> SimReport {
+    let cfg = golden_cfg(policy, k, seed);
+    let mut p = policy.build();
+    run_simulation(&cfg, p.as_mut())
+}
+
+/// Runs the full policy × k × seed matrix through the one-shot path.
 fn generate_fixture() -> BTreeMap<String, Value> {
     let mut out = BTreeMap::new();
-    for kind in RmsKind::ALL {
+    for policy in GoldenPolicy::ALL {
         for k in KS {
             for seed in SEEDS {
-                let cfg = golden_cfg(kind, k, seed);
-                let mut policy = kind.build();
-                let r = run_simulation(&cfg, policy.as_mut());
-                out.insert(entry_key(kind, k, seed), report_value(&r));
+                let r = one_shot(policy, k, seed);
+                out.insert(entry_key(policy, k, seed), report_value(&r));
             }
         }
     }
@@ -78,18 +135,33 @@ fn generate_fixture() -> BTreeMap<String, Value> {
 }
 
 /// Loads the fixture, bootstrapping (and persisting) it from the current
-/// one-shot path when the file does not exist yet. `OnceLock` keeps the
-/// bootstrap single-flight across concurrently running tests.
+/// one-shot path when the file does not exist yet. A fixture from before
+/// the matrix grew keeps its recorded entries verbatim — only the missing
+/// ones are generated and merged in. `OnceLock` keeps the bootstrap
+/// single-flight across concurrently running tests.
 fn load_fixture() -> &'static BTreeMap<String, Value> {
     static FIX: std::sync::OnceLock<BTreeMap<String, Value>> = std::sync::OnceLock::new();
-    FIX.get_or_init(|| match std::fs::read_to_string(FIXTURE) {
-        Ok(text) => serde_json::from_str(&text).expect("golden fixture parses"),
-        Err(_) => {
-            let out = generate_fixture();
+    FIX.get_or_init(|| {
+        let mut out: BTreeMap<String, Value> = match std::fs::read_to_string(FIXTURE) {
+            Ok(text) => serde_json::from_str(&text).expect("golden fixture parses"),
+            Err(_) => BTreeMap::new(),
+        };
+        let mut grew = false;
+        for policy in GoldenPolicy::ALL {
+            for k in KS {
+                for seed in SEEDS {
+                    if let Entry::Vacant(slot) = out.entry(entry_key(policy, k, seed)) {
+                        slot.insert(report_value(&one_shot(policy, k, seed)));
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if grew {
             let _ = std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"));
             let _ = std::fs::write(FIXTURE, serde_json::to_string_pretty(&out).unwrap());
-            out
         }
+        out
     })
 }
 
@@ -125,17 +197,16 @@ fn regenerate() {
 }
 
 /// The one-shot path (`run_simulation`) reproduces the pre-refactor
-/// reports bit-for-bit across the full 7-model × k × seed matrix.
+/// reports bit-for-bit across the full 10-policy × k × seed matrix —
+/// the seven paper models, HIER, RANDOM, and THRESHOLD.
 #[test]
 fn one_shot_reports_match_golden_fixture() {
     let fixture = load_fixture();
-    for kind in RmsKind::ALL {
+    for policy in GoldenPolicy::ALL {
         for k in KS {
             for seed in SEEDS {
-                let cfg = golden_cfg(kind, k, seed);
-                let mut policy = kind.build();
-                let r = run_simulation(&cfg, policy.as_mut());
-                assert_matches_fixture(&entry_key(kind, k, seed), &report_value(&r), &fixture);
+                let r = one_shot(policy, k, seed);
+                assert_matches_fixture(&entry_key(policy, k, seed), &report_value(&r), fixture);
             }
         }
     }
@@ -149,12 +220,12 @@ fn one_shot_reports_match_golden_fixture() {
 fn template_replay_is_bit_identical_to_one_shot() {
     let fixture = load_fixture();
     let seed = SEEDS[0];
-    for kind in RmsKind::ALL {
+    for policy in GoldenPolicy::ALL {
         for k in KS {
-            let cfg = golden_cfg(kind, k, seed);
+            let cfg = golden_cfg(policy, k, seed);
             let template = SimTemplate::new(&cfg);
 
-            let mut p1 = kind.build();
+            let mut p1 = policy.build();
             let first = template.run(cfg.enablers, p1.as_mut());
 
             // Dirty the recycled state with a deliberately different point.
@@ -163,19 +234,40 @@ fn template_replay_is_bit_identical_to_one_shot() {
                 neighborhood: cfg.enablers.neighborhood + 1,
                 ..cfg.enablers
             };
-            let mut p2 = kind.build();
+            let mut p2 = policy.build();
             let _ = template.run(perturbed, p2.as_mut());
 
-            let mut p3 = kind.build();
+            let mut p3 = policy.build();
             let replay = template.run(cfg.enablers, p3.as_mut());
 
-            let key = entry_key(kind, k, seed);
+            let key = entry_key(policy, k, seed);
             assert_eq!(
                 serde_json::to_string(&first).unwrap(),
                 serde_json::to_string(&replay).unwrap(),
                 "{key}: pooled replay drifted from the first template run"
             );
-            assert_matches_fixture(&key, &report_value(&first), &fixture);
+            assert_matches_fixture(&key, &report_value(&first), fixture);
+        }
+    }
+}
+
+/// The statically dispatched [`RmsPolicy`] enum (`RmsKind::build_static`)
+/// is behaviourally indistinguishable from the boxed trait object: the
+/// same golden entries come out bit-for-bit under enum dispatch.
+#[test]
+fn enum_dispatch_matches_golden_fixture() {
+    let fixture = load_fixture();
+    let seed = SEEDS[1];
+    for kind in RmsKind::EXTENDED {
+        for k in KS {
+            let cfg = golden_cfg(GoldenPolicy::Kind(kind), k, seed);
+            let mut policy = kind.build_static();
+            let r = run_simulation(&cfg, &mut policy);
+            assert_matches_fixture(
+                &entry_key(GoldenPolicy::Kind(kind), k, seed),
+                &report_value(&r),
+                fixture,
+            );
         }
     }
 }

@@ -72,8 +72,8 @@ fn central_overhead_grows_superlinearly_with_pool_size() {
     // constant-size so its per-job overhead stays near-flat.
     let c1 = run(RmsKind::Central, CaseId::NetworkSize, 1);
     let c5 = run(RmsKind::Central, CaseId::NetworkSize, 5);
-    let central_ratio = (c5.g_overhead / c5.jobs_total as f64)
-        / (c1.g_overhead / c1.jobs_total as f64);
+    let central_ratio =
+        (c5.g_overhead / c5.jobs_total as f64) / (c1.g_overhead / c1.jobs_total as f64);
     assert!(
         central_ratio > 1.1,
         "CENTRAL per-job G must grow with scale: ratio {central_ratio:.3}"

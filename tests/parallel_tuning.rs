@@ -24,16 +24,8 @@ fn smoke_opts(threads: usize, batch: usize) -> MeasureOptions {
 
 #[test]
 fn measured_curves_are_thread_invariant() {
-    let a = measure_rms(
-        RmsKind::Lowest,
-        CaseId::NetworkSize,
-        &smoke_opts(1, 4),
-    );
-    let b = measure_rms(
-        RmsKind::Lowest,
-        CaseId::NetworkSize,
-        &smoke_opts(8, 4),
-    );
+    let a = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts(1, 4));
+    let b = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts(8, 4));
     assert_eq!(
         serde_json::to_string(&a).unwrap(),
         serde_json::to_string(&b).unwrap(),
@@ -63,11 +55,8 @@ fn batched_measurement_rerun_is_bit_identical() {
 
 #[test]
 fn batching_compresses_sequential_rounds_of_a_real_measurement() {
-    let (_, bench) = measure_rms_with_bench(
-        RmsKind::Lowest,
-        CaseId::NetworkSize,
-        &smoke_opts(4, 4),
-    );
+    let (_, bench) =
+        measure_rms_with_bench(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts(4, 4));
     for p in &bench.points {
         assert!(
             p.rounds < p.iterations_budget,

@@ -11,13 +11,13 @@ use proptest::prelude::*;
 /// Strategy: a small but varied grid + workload configuration.
 fn arb_config() -> impl Strategy<Value = GridConfig> {
     (
-        30usize..90,           // nodes
-        1usize..6,             // schedulers
-        0usize..3,             // estimators
-        0.005f64..0.04,        // arrival rate
-        50u64..1200,           // update interval
-        1usize..5,             // neighborhood
-        any::<u64>(),          // seed
+        30usize..90,    // nodes
+        1usize..6,      // schedulers
+        0usize..3,      // estimators
+        0.005f64..0.04, // arrival rate
+        50u64..1200,    // update interval
+        1usize..5,      // neighborhood
+        any::<u64>(),   // seed
     )
         .prop_map(
             |(nodes, schedulers, estimators, rate, tau, lp, seed)| GridConfig {
