@@ -1,0 +1,178 @@
+//! Future-event-list microbenchmarks: the adaptive ladder [`EventQueue`]
+//! against the reference packed-key [`HeapQueue`] under the classic
+//! calendar-queue workloads.
+//!
+//! * **hold model** — the standard priority-queue benchmark (Vaucher &
+//!   Duval): prime the queue to a steady-state population `n`, then
+//!   repeatedly pop the earliest event and schedule a replacement at
+//!   `now + dt`. Queue length stays ~constant, so this isolates the
+//!   per-operation cost the simulation loop pays at scale `k`.
+//! * **bimodal** — `dt` mixes short service hops with long timer hops,
+//!   the shape the Grid simulator actually generates (network latencies
+//!   vs. update-interval timers); stresses bucket routing + overflow.
+//! * **burst** — same-tick fan-out bursts followed by drains, the
+//!   scheduler broadcast pattern; stresses FIFO tie handling.
+//! * **adversarial skew** — one far-future outlier stretches the window
+//!   so the ladder's skew heuristic must latch its heap fallback; the
+//!   ladder should track the heap here, not regress.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridscale_desim::{EventQueue, HeapQueue, ScheduledEvent, SimRng, SimTime};
+use std::hint::black_box;
+
+/// The minimal future-event-list surface the benchmarks need, so each
+/// workload is written once and measured against both structures.
+trait Fel: Default {
+    fn schedule(&mut self, at: SimTime, ev: u64);
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>>;
+}
+
+impl Fel for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        EventQueue::schedule(self, at, ev)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Fel for HeapQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        HeapQueue::schedule(self, at, ev)
+    }
+    fn pop(&mut self) -> Option<ScheduledEvent<u64>> {
+        HeapQueue::pop(self)
+    }
+}
+
+/// Primes `q` with `n` events spread over `[0, n * mean_dt)`.
+fn prime<Q: Fel>(q: &mut Q, n: usize, mean_dt: u64, rng: &mut SimRng) {
+    for i in 0..n {
+        let at = rng.int_range(0, n as u64 * mean_dt);
+        q.schedule(SimTime::from_ticks(at), i as u64);
+    }
+}
+
+/// `ops` hold steps: pop the minimum, reschedule at `now + dt()`.
+fn hold<Q: Fel>(q: &mut Q, ops: usize, mut dt: impl FnMut() -> u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..ops {
+        let ev = q.pop().expect("hold model never empties");
+        sum = sum.wrapping_add(ev.event);
+        let at = ev.at + SimTime::from_ticks(dt().max(1));
+        q.schedule(at, i as u64);
+    }
+    sum
+}
+
+/// One hold-model measurement of queue `Q` at population `n`.
+fn hold_case<Q: Fel>(q: &mut Q, n: usize, dt: impl Fn(&mut SimRng) -> u64) -> u64 {
+    let mut rng = SimRng::new(0xFE1);
+    prime(q, n, 1_000, &mut rng);
+    hold(q, n, || dt(&mut rng))
+}
+
+/// Registers `ladder` and `heap` rows of one hold-model group. A macro
+/// rather than a function so the criterion group type never appears in a
+/// signature.
+macro_rules! hold_group {
+    ($c:expr, $name:expr, $dt:expr) => {{
+        let mut g = $c.benchmark_group($name);
+        for &n in &[1_000usize, 16_000, 64_000] {
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::new("ladder", n), &n, |b, &n| {
+                b.iter(|| black_box(hold_case(&mut EventQueue::default(), n, $dt)))
+            });
+            g.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+                b.iter(|| black_box(hold_case(&mut HeapQueue::default(), n, $dt)))
+            });
+        }
+        g.finish();
+    }};
+}
+
+fn bench_hold_uniform(c: &mut Criterion) {
+    hold_group!(c, "event_queue/hold_uniform", |rng: &mut SimRng| rng
+        .int_range(1, 2_000));
+}
+
+fn bench_hold_bimodal(c: &mut Criterion) {
+    hold_group!(c, "event_queue/hold_bimodal", |rng: &mut SimRng| {
+        if rng.chance(0.85) {
+            rng.int_range(1, 64) // short service hop
+        } else {
+            rng.int_range(20_000, 120_000) // long timer hop
+        }
+    });
+}
+
+/// 64 rounds: a same-tick broadcast burst lands, then the earliest half
+/// of the population drains; finally everything drains.
+fn burst_case<Q: Fel>(q: &mut Q) -> u64 {
+    let mut rng = SimRng::new(0xB0);
+    let mut sum = 0u64;
+    for round in 0..64u64 {
+        let at = SimTime::from_ticks(round * 500 + rng.int_range(0, 100));
+        for j in 0..512 {
+            q.schedule(at, j);
+        }
+        for _ in 0..256 {
+            sum = sum.wrapping_add(q.pop().expect("burst pending").event);
+        }
+    }
+    while let Some(ev) = q.pop() {
+        sum = sum.wrapping_add(ev.event);
+    }
+    sum
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/burst");
+    g.bench_function("ladder", |b| {
+        b.iter(|| black_box(burst_case(&mut EventQueue::default())))
+    });
+    g.bench_function("heap", |b| {
+        b.iter(|| black_box(burst_case(&mut HeapQueue::default())))
+    });
+    g.finish();
+}
+
+/// One far-future outlier stretches any time window to the full axis;
+/// all real traffic then lives in a sliver of it. The ladder's skew
+/// heuristic must latch its heap fallback and track the reference heap
+/// instead of degenerating.
+fn skew_case<Q: Fel>(q: &mut Q) -> u64 {
+    let mut rng = SimRng::new(0x5E);
+    q.schedule(SimTime::from_ticks(u64::MAX - 1), 0);
+    let mut sum = 0u64;
+    for i in 0..16_000u64 {
+        q.schedule(SimTime::from_ticks(rng.int_range(0, 4_096)), i);
+        if i % 2 == 0 {
+            sum = sum.wrapping_add(q.pop().expect("pending").event);
+        }
+    }
+    while let Some(ev) = q.pop() {
+        sum = sum.wrapping_add(ev.event);
+    }
+    sum
+}
+
+fn bench_adversarial_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/adversarial_skew");
+    g.bench_function("ladder", |b| {
+        b.iter(|| black_box(skew_case(&mut EventQueue::default())))
+    });
+    g.bench_function("heap", |b| {
+        b.iter(|| black_box(skew_case(&mut HeapQueue::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hold_uniform,
+    bench_hold_bimodal,
+    bench_burst,
+    bench_adversarial_skew
+);
+criterion_main!(benches);

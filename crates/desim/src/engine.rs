@@ -109,6 +109,11 @@ impl<E> Engine<E> {
     /// Runs until the queue drains, the clock passes `horizon`, or the event
     /// budget is exhausted. Events stamped exactly at `horizon` are still
     /// processed; later ones are left pending.
+    ///
+    /// The loop peeks before every pop to check the horizon without
+    /// consuming the event — the queue keeps its minimum surfaced (the
+    /// ladder's *settled* invariant), so `peek_time` stays O(1) and this
+    /// costs nothing over a pop-and-push-back scheme.
     pub fn run_until<W>(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome
     where
         W: World<Event = E>,

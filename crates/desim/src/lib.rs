@@ -15,8 +15,12 @@
 //! ## Architecture
 //!
 //! * [`SimTime`] — discrete simulation clock (integer ticks).
-//! * [`EventQueue`] — binary-heap future-event list with deterministic
-//!   FIFO tie-breaking.
+//! * [`EventQueue`] — adaptive two-tier ladder future-event list with
+//!   deterministic FIFO tie-breaking: O(1) amortized schedule/pop via
+//!   time buckets, a far-future overflow tier, self-tuning bucket
+//!   geometry, and a packed-key binary-heap fallback
+//!   ([`QueueDiscipline`]) for skewed distributions. [`HeapQueue`] is
+//!   the plain binary-heap reference with the identical delivery order.
 //! * [`Engine`] / [`World`] — the driver loop: the engine pops the earliest
 //!   event and hands it to the model, which may schedule more events.
 //! * [`SimRng`] — seeded RNG with the distributions the workload and
@@ -67,7 +71,7 @@ mod time;
 pub mod tracelog;
 
 pub use engine::{Engine, RunOutcome, World};
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, HeapQueue, QueueDiscipline, QueueTelemetry, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use tracelog::{TraceEntry, TraceLog};

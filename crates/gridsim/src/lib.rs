@@ -63,9 +63,10 @@ mod world;
 pub use config::{Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
 pub use ctx::{Clock, Comms, Ctx, Dispatch, Telemetry, Timers};
 pub use event::{GridEvent, WorkItem};
+pub use gridscale_desim::{QueueDiscipline, QueueTelemetry};
 pub use msg::{Msg, PolicyMsg};
 pub use policy::{LocalOnly, Policy};
 pub use report::SimReport;
-pub use sim::{run_simulation, GridSim, ReplayStats, SimTemplate};
+pub use sim::{run_simulation, GridSim, QueueSummary, ReplayStats, SimTemplate};
 pub use timeline::{Sample, Timeline};
 pub use view::{ClusterView, ResourceView};

@@ -41,9 +41,9 @@ use crate::resource::ResourcePool;
 use crate::sched::SchedulerBank;
 use crate::timeline::Timeline;
 use crate::world::SharedWorld;
-use gridscale_desim::{Engine, EventQueue, SimTime, World};
+use gridscale_desim::{Engine, EventQueue, QueueDiscipline, QueueTelemetry, SimTime, World};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Guard against runaway models: no single run may process more events.
@@ -115,6 +115,58 @@ pub struct SimTemplate {
     runs_total: AtomicU64,
     /// Runs that reused a pooled scratch arena instead of allocating one.
     scratch_reused: AtomicU64,
+    /// Queue discipline applied to every run's event queue (encoded
+    /// [`QueueDiscipline`]; 0 = Adaptive, 1 = Heap).
+    queue_discipline: AtomicU8,
+    /// Event-queue telemetry aggregated over completed runs.
+    queue_summary: Mutex<QueueSummary>,
+}
+
+/// Event-queue telemetry aggregated across every completed run of one
+/// [`SimTemplate`] (pooled *and* cold). Like [`ReplayStats`], this lives
+/// outside [`SimReport`]: queue internals vary with pooling warm-starts
+/// while reports must stay bit-identical.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct QueueSummary {
+    /// Runs whose event queue engaged the bucketed ladder tier.
+    pub ladder_runs: u64,
+    /// Runs that stayed on the binary-heap path throughout (small
+    /// populations, forced heap discipline, or a latched skew fallback).
+    pub heap_runs: u64,
+    /// Total bucket-geometry rebuilds that changed width or count.
+    pub resizes: u64,
+    /// Total overflow redistributions (far tier → near tier).
+    pub spills: u64,
+    /// Times the skew heuristic latched the heap fallback.
+    pub fallback_activations: u64,
+    /// Post-engagement inserts that landed in the near-term front heap.
+    pub front_inserts: u64,
+    /// Largest single-bucket occupancy seen by any run.
+    pub max_bucket_occupancy: usize,
+    /// Bucket count of the most recently completed run's window.
+    pub last_bucket_count: usize,
+    /// Bucket width (in ticks) of the most recently completed run's window.
+    pub last_bucket_width: u64,
+}
+
+impl QueueSummary {
+    /// Folds one finished run's telemetry into the aggregate.
+    fn absorb(&mut self, t: &QueueTelemetry) {
+        if t.engagements > 0 {
+            self.ladder_runs += 1;
+        } else {
+            self.heap_runs += 1;
+        }
+        self.resizes += t.resizes;
+        self.spills += t.spills;
+        self.fallback_activations += t.fallback_activations;
+        self.front_inserts += t.front_inserts;
+        self.max_bucket_occupancy = self.max_bucket_occupancy.max(t.max_bucket_occupancy);
+        if t.bucket_count > 0 {
+            self.last_bucket_count = t.bucket_count;
+            self.last_bucket_width = t.bucket_width;
+        }
+    }
 }
 
 /// Pool/arena telemetry of one [`SimTemplate`]. Lives here — not in
@@ -134,6 +186,8 @@ pub struct ReplayStats {
     pub queue_cap_hint: usize,
     /// Approximate resident bytes of pooled scratch arenas.
     pub scratch_bytes: u64,
+    /// Event-queue telemetry aggregated over completed runs.
+    pub queue: QueueSummary,
 }
 
 impl SimTemplate {
@@ -149,6 +203,29 @@ impl SimTemplate {
             cap_hint: AtomicUsize::new(0),
             runs_total: AtomicU64::new(0),
             scratch_reused: AtomicU64::new(0),
+            queue_discipline: AtomicU8::new(0),
+            queue_summary: Mutex::new(QueueSummary::default()),
+        }
+    }
+
+    /// Selects the event-queue discipline for subsequent runs. The
+    /// default is [`QueueDiscipline::Adaptive`]; forcing
+    /// [`QueueDiscipline::Heap`] is how `bench-sim` times the reference
+    /// heap against the ladder on the *same* simulation — reports are
+    /// bit-identical either way, only the queue internals differ.
+    pub fn set_queue_discipline(&self, discipline: QueueDiscipline) {
+        let code = match discipline {
+            QueueDiscipline::Adaptive => 0,
+            QueueDiscipline::Heap => 1,
+        };
+        self.queue_discipline.store(code, Ordering::Relaxed);
+    }
+
+    /// The queue discipline applied to runs of this template.
+    pub fn queue_discipline(&self) -> QueueDiscipline {
+        match self.queue_discipline.load(Ordering::Relaxed) {
+            1 => QueueDiscipline::Heap,
+            _ => QueueDiscipline::Adaptive,
         }
     }
 
@@ -173,6 +250,7 @@ impl SimTemplate {
             pooled_scratch: scratch.len(),
             queue_cap_hint: self.cap_hint.load(Ordering::Relaxed),
             scratch_bytes: scratch.iter().map(|h| h.approx_bytes()).sum(),
+            queue: *self.queue_summary.lock().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
@@ -235,16 +313,23 @@ impl SimTemplate {
         // Same treatment for the event queue, pre-reserved to the peak
         // occupancy the previous run of this world observed so the heap
         // never regrows mid-simulation.
+        let discipline = self.queue_discipline();
         let mut queue: EventQueue<GridEvent> = if pooled {
             self.queue_pool
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pop()
-                .unwrap_or_default()
+                .unwrap_or_else(|| EventQueue::with_discipline(discipline))
         } else {
-            EventQueue::new()
+            EventQueue::with_discipline(discipline)
         };
         queue.reset();
+        // Only touch the discipline when it actually changed: switching
+        // clears the skew latch, which a recycled queue carries as a
+        // warm-start hint.
+        if queue.discipline() != discipline {
+            queue.set_discipline(discipline);
+        }
         if pooled {
             queue.reserve(self.cap_hint.load(Ordering::Relaxed));
         }
@@ -275,6 +360,10 @@ impl SimTemplate {
         let timeline = core.timeline.take();
         let queue = engine.into_queue();
         self.runs_total.fetch_add(1, Ordering::Relaxed);
+        self.queue_summary
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb(&queue.telemetry());
         if pooled {
             // Recycle both allocations and refresh the capacity hint.
             self.cap_hint.fetch_max(queue.peak_len(), Ordering::Relaxed);

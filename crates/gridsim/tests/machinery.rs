@@ -6,7 +6,9 @@
 //! ever used the public API, so they now exercise it from outside.)
 
 use gridscale_desim::SimTime;
-use gridscale_gridsim::{run_simulation, Enablers, GridConfig, LocalOnly, SimReport, SimTemplate};
+use gridscale_gridsim::{
+    run_simulation, Enablers, GridConfig, LocalOnly, QueueDiscipline, SimReport, SimTemplate,
+};
 use gridscale_workload::WorkloadConfig;
 
 /// A small, fast configuration for machinery tests.
@@ -186,6 +188,45 @@ fn run_cold_matches_pooled_run_bit_for_bit() {
         1,
         "run_cold neither borrows nor returns pooled scratch"
     );
+}
+
+#[test]
+fn queue_telemetry_aggregates_across_runs_and_disciplines() {
+    let cfg = small_cfg();
+    let template = SimTemplate::new(&cfg);
+    assert_eq!(template.queue_discipline(), QueueDiscipline::Adaptive);
+
+    let adaptive = template.run(cfg.enablers, &mut LocalOnly);
+    let s = template.replay_stats();
+    assert_eq!(s.queue.ladder_runs + s.queue.heap_runs, 1);
+    let (l0, h0) = (s.queue.ladder_runs, s.queue.heap_runs);
+
+    // Forcing the reference heap changes telemetry but not the report.
+    template.set_queue_discipline(QueueDiscipline::Heap);
+    assert_eq!(template.queue_discipline(), QueueDiscipline::Heap);
+    let heap = template.run(cfg.enablers, &mut LocalOnly);
+    let s = template.replay_stats();
+    assert_eq!(
+        (s.queue.ladder_runs, s.queue.heap_runs),
+        (l0, h0 + 1),
+        "a forced-heap run counts as a heap run"
+    );
+    assert_eq!(
+        serde_json::to_string(&adaptive).unwrap(),
+        serde_json::to_string(&heap).unwrap(),
+        "queue discipline must be invisible in the report"
+    );
+
+    // Back to adaptive: the recycled pooled queue switches discipline.
+    template.set_queue_discipline(QueueDiscipline::Adaptive);
+    let again = template.run(cfg.enablers, &mut LocalOnly);
+    assert_eq!(
+        serde_json::to_string(&adaptive).unwrap(),
+        serde_json::to_string(&again).unwrap(),
+    );
+    let s = template.replay_stats();
+    assert_eq!(s.runs, 3);
+    assert_eq!(s.queue.ladder_runs + s.queue.heap_runs, 3);
 }
 
 #[test]

@@ -6,7 +6,8 @@
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
 //!                   [--no-warm] [--bench-out BENCH_tuning.json] [--json]
-//! gridscale bench-sim [--model LOWEST] [--reps 5] [--out BENCH_sim.json]
+//! gridscale bench-sim [--model LOWEST] [--reps 5] [--kmax 16]
+//!                   [--out BENCH_sim.json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
@@ -15,7 +16,8 @@
 //! `run` simulates one configuration; `measure` executes the paper's full
 //! four-step scalability procedure; `bench-sim` times clone-per-run world
 //! rebuilding against zero-clone shared-template replay (under both `dyn`
-//! and enum policy dispatch) and writes `BENCH_sim.json`; `trace`
+//! and enum policy dispatch, plus a forced binary-heap event queue as the
+//! ladder-queue baseline) and writes `BENCH_sim.json`; `trace`
 //! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
 //! the RMS models.
@@ -248,8 +250,9 @@ fn bench_sim_point(k: usize, centralized: bool) -> GridConfig {
 fn cmd_bench_sim(flags: HashMap<String, String>) {
     let kind = model_of(&flags);
     let reps = get(&flags, "reps", 5usize).max(1);
+    let kmax = get(&flags, "kmax", 16usize).max(1);
     let mut rows = Vec::new();
-    for &k in &[1usize, 4, 16] {
+    for &k in [1usize, 4, 16].iter().filter(|&&k| k <= kmax) {
         let cfg = bench_sim_point(k, kind.is_centralized());
         let template = SimTemplate::new(&cfg);
         // Warm-up run: primes the pools and fixes the reference report
@@ -286,9 +289,23 @@ fn cmd_bench_sim(flags: HashMap<String, String>) {
         }
         let enum_s = t.elapsed().as_secs_f64() / reps as f64;
 
+        // Same shared-template replay again, with the event queue forced
+        // onto the reference binary heap: the ladder-vs-heap baseline.
+        // Reports are bit-identical either way (the discipline is pure
+        // mechanism), so the replay assertion doubles as an oracle.
+        template.set_queue_discipline(QueueDiscipline::Heap);
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let mut p = kind.build();
+            let r = template.run(cfg.enablers, p.as_mut());
+            assert_eq!(r.events_processed, events, "forced-heap replay diverged");
+        }
+        let heap_s = t.elapsed().as_secs_f64() / reps as f64;
+        template.set_queue_discipline(QueueDiscipline::Adaptive);
+
         let stats = template.replay_stats();
         eprintln!(
-            "k={:<2} nodes={:<4} events/run={:<8} clone {:>8.2} ms | replay {:>8.2} ms ({:>4.1}x) | enum {:>8.2} ms ({:+5.1}% vs dyn) | {:.2e} ev/s",
+            "k={:<2} nodes={:<4} events/run={:<8} clone {:>8.2} ms | replay {:>8.2} ms ({:>4.1}x) | enum {:>8.2} ms ({:+5.1}% vs dyn) | heap-q {:>8.2} ms ({:+5.1}% vs ladder) | {:.2e} ev/s",
             k,
             cfg.nodes,
             events,
@@ -297,6 +314,8 @@ fn cmd_bench_sim(flags: HashMap<String, String>) {
             clone_s / replay_s,
             enum_s * 1e3,
             (enum_s / replay_s - 1.0) * 100.0,
+            heap_s * 1e3,
+            (heap_s / replay_s - 1.0) * 100.0,
             events as f64 / enum_s
         );
         rows.push(serde_json::json!({
@@ -316,13 +335,19 @@ fn cmd_bench_sim(flags: HashMap<String, String>) {
                 "secs_per_run": enum_s,
                 "events_per_sec": events as f64 / enum_s,
             },
+            "heap_queue_replay": {
+                "secs_per_run": heap_s,
+                "events_per_sec": events as f64 / heap_s,
+            },
             "speedup": clone_s / replay_s,
             "dispatch_delta": 1.0 - enum_s / replay_s,
+            "queue_delta": 1.0 - replay_s / heap_s,
             "replay_stats": stats,
             "report": report,
         }));
     }
-    let out = serde_json::json!({ "model": kind.name(), "reps": reps, "points": rows });
+    let out =
+        serde_json::json!({ "model": kind.name(), "reps": reps, "kmax": kmax, "points": rows });
     let path = flags
         .get("out")
         .cloned()

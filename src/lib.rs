@@ -71,11 +71,11 @@ pub mod prelude {
         CurvePoint, E0Mode, EnergyPool, IsoefficiencyModel, MeasureOptions, PointBench, Preset,
         ScalabilityCurve, ScalabilityVerdict, TuningBench,
     };
-    pub use gridscale_desim::{SimRng, SimTime};
+    pub use gridscale_desim::{QueueDiscipline, QueueTelemetry, SimRng, SimTime};
     pub use gridscale_gridsim::{
         run_simulation, Clock, Comms, Ctx, Dispatch, Enablers, GridConfig, OverheadCosts, Policy,
-        PolicyMsg, ReplayStats, SimReport, SimTemplate, Telemetry, Thresholds, Timeline, Timers,
-        TopologySpec,
+        PolicyMsg, QueueSummary, ReplayStats, SimReport, SimTemplate, Telemetry, Thresholds,
+        Timeline, Timers, TopologySpec,
     };
     pub use gridscale_rms::{RmsKind, RmsPolicy};
     pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};

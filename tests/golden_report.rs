@@ -251,6 +251,32 @@ fn template_replay_is_bit_identical_to_one_shot() {
     }
 }
 
+/// The event-queue discipline is pure mechanism: forcing the reference
+/// binary heap (`set_queue_discipline(QueueDiscipline::Heap)`) produces
+/// the same golden reports bit-for-bit as the adaptive ladder, while the
+/// template's aggregated queue telemetry records which tier ran.
+#[test]
+fn heap_discipline_matches_golden_fixture() {
+    let fixture = load_fixture();
+    let seed = SEEDS[2];
+    for policy in GoldenPolicy::ALL {
+        for k in KS {
+            let cfg = golden_cfg(policy, k, seed);
+            let template = SimTemplate::new(&cfg);
+            template.set_queue_discipline(QueueDiscipline::Heap);
+            let mut p = policy.build();
+            let r = template.run(cfg.enablers, p.as_mut());
+            assert_matches_fixture(&entry_key(policy, k, seed), &report_value(&r), fixture);
+            let stats = template.replay_stats();
+            assert_eq!(
+                stats.queue.ladder_runs, 0,
+                "forced heap discipline must keep the ladder disengaged"
+            );
+            assert_eq!(stats.queue.heap_runs, 1);
+        }
+    }
+}
+
 /// The statically dispatched [`RmsPolicy`] enum (`RmsKind::build_static`)
 /// is behaviourally indistinguishable from the boxed trait object: the
 /// same golden entries come out bit-for-bit under enum dispatch.
