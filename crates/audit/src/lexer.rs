@@ -1,0 +1,378 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The determinism rules (D1–D4) are *lexical* properties: forbidden
+//! identifiers, method-call chains, and type names. A full AST (`syn`)
+//! would not add type information anyway — so the linter carries its own
+//! ~200-line tokenizer instead of an external parser, keeping the audit
+//! tool buildable in fully offline environments. The lexer understands
+//! exactly what is needed to avoid false positives: line comments (where
+//! `audit:allow` annotations live), nested block comments, string / raw
+//! string / byte-string / char literals, lifetimes, numbers, identifiers,
+//! and single-character punctuation.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// The token alphabet the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `<`, `;`, …).
+    Punct(char),
+    /// A literal (string, char, number); contents are irrelevant to the
+    /// rules, only its presence as a chain separator.
+    Lit,
+}
+
+/// An `// audit:allow(rule, reason="…")` annotation found in a line
+/// comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line the annotation comment is on. It suppresses
+    /// diagnostics on this line and the next one.
+    pub line: u32,
+    /// The rule identifier inside the parentheses (e.g. `hash-iter`).
+    pub rule: String,
+    /// Whether a `reason="…"` clause is present. Reason-less annotations
+    /// still suppress, but are themselves reported as warnings.
+    pub has_reason: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Token stream in source order.
+    pub toks: Vec<Tok>,
+    /// Every `audit:allow` annotation, in source order.
+    pub allows: Vec<AllowSite>,
+}
+
+/// Parses the body of a line comment for an `audit:allow(...)` marker.
+/// Doc comments (`///`, `//!`) are skipped: annotations there are
+/// documentation *examples*, not suppressions.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowSite> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
+    let start = comment.find("audit:allow(")?;
+    let rest = &comment[start + "audit:allow(".len()..];
+    let end = rest.find(')')?;
+    let args = &rest[..end];
+    let mut parts = args.splitn(2, ',');
+    let rule = parts.next()?.trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let has_reason = parts
+        .next()
+        .map(|tail| {
+            let tail = tail.trim_start();
+            tail.starts_with("reason") && tail.contains('"')
+        })
+        .unwrap_or(false);
+    Some(AllowSite {
+        line,
+        rule,
+        has_reason,
+    })
+}
+
+/// Tokenizes `src`, collecting `audit:allow` annotations along the way.
+pub fn scan(src: &str) -> FileScan {
+    let b = src.as_bytes();
+    let mut out = FileScan::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Counts newlines in b[from..to] into `line`.
+    macro_rules! advance_lines {
+        ($from:expr, $to:expr) => {
+            line += b[$from..$to].iter().filter(|&&c| c == b'\n').count() as u32;
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment: scan for an allow annotation, then skip.
+                let end = src[i..].find('\n').map(|o| i + o).unwrap_or(n);
+                if let Some(allow) = parse_allow(&src[i..end], line) {
+                    out.allows.push(allow);
+                }
+                i = end;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                advance_lines!(start, i.min(n));
+            }
+            b'"' => {
+                let start = i;
+                i = skip_string(b, i + 1);
+                advance_lines!(start, i.min(n));
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let start = i;
+                i = skip_raw_or_byte(b, i);
+                advance_lines!(start, i.min(n));
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            b'\'' => {
+                // Lifetime/label (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = i + 1 < n
+                    && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                    && !(i + 2 < n && b[i + 2] == b'\'');
+                if is_lifetime {
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: consume to the unescaped closing quote.
+                    i += 1;
+                    while i < n {
+                        if b[i] == b'\\' {
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Lit,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Number literal (digits, underscores, type suffixes, hex,
+                // exponents; a trailing `.` only binds if a digit follows,
+                // so `2.pow()` stays a method call).
+                i += 1;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Lit,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct(c as char),
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a raw/byte string (`r"`, `r#"`, `b"`,
+/// `br#"` …) rather than a plain identifier beginning with `r`/`b`.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < n && b[j] == b'"' {
+            return true; // b"..."
+        }
+    }
+    if j < n && b[j] == b'r' {
+        j += 1;
+        while j < n && b[j] == b'#' {
+            j += 1;
+        }
+        return j < n && b[j] == b'"';
+    }
+    false
+}
+
+/// Skips past a raw or byte string starting at `i`; returns the index
+/// after its closing delimiter.
+fn skip_raw_or_byte(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i;
+    if j < n && b[j] == b'b' {
+        j += 1;
+    }
+    if j < n && b[j] == b'"' {
+        // Plain byte string: escape-aware scan.
+        return skip_string(b, j + 1);
+    }
+    // Raw string: count hashes, then find `"` followed by that many `#`.
+    j += 1; // past 'r'
+    let mut hashes = 0usize;
+    while j < n && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // past opening quote
+    while j < n {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Skips past an escape-aware `"`-delimited string body starting just
+/// after the opening quote; returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == b'"' {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_skipped() {
+        let src = r##"
+            // thread_rng in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now() inside a string";
+            let r = r#"SystemTime "raw" body"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|s| s == "thread_rng" || s == "HashMap" || s == "Instant" || s == "SystemTime"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        // Lifetime names are consumed with the `'`, not emitted as idents.
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let src = "\n// audit:allow(hash-iter, reason=\"lookup-only token map\")\nlet m = HashMap::new();\n// audit:allow(wall-clock)\n";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!(s.allows[0].rule, "hash-iter");
+        assert!(s.allows[0].has_reason);
+        assert_eq!(s.allows[0].line, 2);
+        assert_eq!(s.allows[1].rule, "wall-clock");
+        assert!(!s.allows[1].has_reason);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nspan\"\nc";
+        let s = scan(src);
+        let lines: Vec<(String, u32)> = s
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(id) => Some((id.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 4),
+                ("c".to_string(), 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let src = "let x = 2.pow(3); let y = 1.5e3_f64;";
+        let ids = idents(src);
+        assert!(ids.contains(&"pow".to_string()));
+    }
+}

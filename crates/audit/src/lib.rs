@@ -1,0 +1,344 @@
+//! # gridscale-audit
+//!
+//! The workspace determinism linter. Every result this repository
+//! produces — G(k) curves, isoefficiency tunings, golden-report fixtures
+//! — depends on the simulator being *bit-identical* across replay modes,
+//! thread counts, and queue disciplines. This crate machine-checks the
+//! static half of that contract on every commit:
+//!
+//! | Rule | ID | What it forbids |
+//! |------|----|-----------------|
+//! | D1 | `hash-iter` | `HashMap`/`HashSet` in sim-facing crates (`desim`, `gridsim`, `rms`, `core`); iteration over them anywhere |
+//! | D2 | `wall-clock` | `Instant::now` / `SystemTime` outside the bench crate and annotated telemetry sites |
+//! | D3 | `ambient-entropy` | `thread_rng`, `from_entropy`, `OsRng`, … — randomness must flow through `desim::SimRng` |
+//! | D4 | `par-float-sum` | `par_iter().sum::<f64>()`-style unordered parallel float reductions |
+//!
+//! Lookup-only hash maps and telemetry clock reads opt out with
+//! annotations the linter *verifies are attached to a real use site*:
+//!
+//! ```text
+//! // audit:allow(hash-iter, reason="token-keyed lookups, never iterated")
+//! cache: HashMap<u64, SimReport>,
+//! ```
+//!
+//! Run as `cargo run -p gridscale-audit` or `gridscale audit`. The
+//! runtime half of the contract is the event-stream fingerprint folded by
+//! the simulation kernel (see `gridsim`'s `SimReport::event_fingerprint`).
+//!
+//! Deliberately dependency-free (hand-rolled lexer and JSON emitter): the
+//! linter is part of the trust base and must build wherever the
+//! toolchain does, including fully offline environments.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Diagnostic, FileCtx, Severity, DETERMINISM_RULES};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned (build output, VCS, CI config).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "results", "node_modules"];
+
+/// Directory suffix excluded from the scan: the linter's own test
+/// fixtures under `crates/audit/tests/fixtures` are *intentionally*
+/// violating snippets. Matched as a suffix so the skip holds whether
+/// the scan root is the workspace or the audit crate itself.
+const SKIP_SUFFIX: &str = "tests/fixtures";
+
+/// The outcome of auditing a workspace.
+#[derive(Debug, Default)]
+pub struct AuditOutcome {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AuditOutcome {
+    /// Diagnostics that always fail the audit.
+    pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Violation)
+    }
+
+    /// Advisory diagnostics (fail only under `--deny-warnings`).
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// True when the audit passes under the given strictness.
+    pub fn is_clean(&self, deny_warnings: bool) -> bool {
+        self.violations().count() == 0 && (!deny_warnings || self.warnings().count() == 0)
+    }
+
+    /// Serializes the outcome as a machine-readable JSON report.
+    ///
+    /// Shape:
+    /// ```json
+    /// {
+    ///   "files_scanned": 96,
+    ///   "violations": 0,
+    ///   "warnings": 0,
+    ///   "rules": ["hash-iter", "wall-clock", "ambient-entropy", "par-float-sum"],
+    ///   "diagnostics": [ {"rule": "...", "severity": "...",
+    ///                     "file": "...", "line": 1, "message": "..."} ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.diagnostics.len() * 160);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"violations\": {},\n",
+            self.violations().count()
+        ));
+        s.push_str(&format!("  \"warnings\": {},\n", self.warnings().count()));
+        s.push_str("  \"rules\": [");
+        for (i, r) in DETERMINISM_RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{r}\""));
+        }
+        s.push_str("],\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": \"{}\", ", d.rule));
+            s.push_str(&format!(
+                "\"severity\": \"{}\", ",
+                match d.severity {
+                    Severity::Violation => "violation",
+                    Severity::Warning => "warning",
+                }
+            ));
+            s.push_str(&format!("\"file\": \"{}\", ", json_escape(&d.file)));
+            s.push_str(&format!("\"line\": {}, ", d.line));
+            s.push_str(&format!("\"message\": \"{}\"", json_escape(&d.message)));
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints a single source text as if it lived at `rel_path` (workspace-
+/// relative, forward slashes). The entry point the fixture tests use.
+pub fn audit_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileCtx::classify(rel_path);
+    rules::check_file(&ctx, &lexer::scan(src))
+}
+
+/// Walks `root` and lints every `.rs` file, returning the aggregate
+/// outcome. `root` should be the workspace root (the directory holding
+/// the top-level `Cargo.toml`).
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut outcome = AuditOutcome::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = fs::read_to_string(&abs)?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        outcome.diagnostics.extend(audit_source(&rel_str, &src));
+        outcome.files_scanned += 1;
+    }
+    outcome
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(outcome)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel_str = rel
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            if rel_str.ends_with(SKIP_SUFFIX) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Shared driver for the `gridscale-audit` binary and the `gridscale
+/// audit` subcommand. Parses `--root`, `--json`, `--deny-warnings`,
+/// `--quiet` from `args`, prints diagnostics, and returns the process
+/// exit code (0 = clean).
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = args.get(i).map(PathBuf::from);
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).map(PathBuf::from);
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("gridscale-audit: unknown flag {other}");
+                eprintln!(
+                    "usage: gridscale-audit [--root DIR] [--json REPORT.json] \
+                     [--deny-warnings] [--quiet]"
+                );
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let root = root
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| find_workspace_root(&d))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let outcome = match audit_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gridscale-audit: cannot scan {}: {e}", root.display());
+            return 2;
+        }
+    };
+
+    if !quiet {
+        for d in &outcome.diagnostics {
+            let kind = match d.severity {
+                Severity::Violation => "error",
+                Severity::Warning => "warning",
+            };
+            println!("{}:{}: {kind}[{}]: {}", d.file, d.line, d.rule, d.message);
+        }
+        let v = outcome.violations().count();
+        let w = outcome.warnings().count();
+        println!(
+            "audit: {} files scanned, {v} violation{}, {w} warning{}",
+            outcome.files_scanned,
+            if v == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" },
+        );
+    }
+    if let Some(p) = json_path {
+        if let Err(e) = fs::write(&p, outcome.to_json()) {
+            eprintln!("gridscale-audit: cannot write {}: {e}", p.display());
+            return 2;
+        }
+        if !quiet {
+            println!("audit report → {}", p.display());
+        }
+    }
+    if outcome.is_clean(deny_warnings) {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_shape() {
+        let outcome = AuditOutcome {
+            files_scanned: 2,
+            diagnostics: vec![Diagnostic {
+                rule: rules::RULE_WALL_CLOCK,
+                severity: Severity::Violation,
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                message: "a \"quoted\" message".into(),
+            }],
+        };
+        let json = outcome.to_json();
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(!outcome.is_clean(false));
+    }
+
+    #[test]
+    fn clean_outcome_with_warnings_depends_on_strictness() {
+        let outcome = AuditOutcome {
+            files_scanned: 1,
+            diagnostics: vec![Diagnostic {
+                rule: rules::RULE_UNUSED_ALLOW,
+                severity: Severity::Warning,
+                file: "src/lib.rs".into(),
+                line: 1,
+                message: "m".into(),
+            }],
+        };
+        assert!(outcome.is_clean(false));
+        assert!(!outcome.is_clean(true));
+    }
+}

@@ -1,0 +1,15 @@
+//! `gridscale-audit` — the standalone determinism-linter binary.
+//!
+//! ```text
+//! cargo run -p gridscale-audit -- [--root DIR] [--json REPORT.json]
+//!                                 [--deny-warnings] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or warnings under
+//! `--deny-warnings`), 2 usage/IO error. The same driver backs the
+//! `gridscale audit` subcommand.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(gridscale_audit::run_cli(&args));
+}

@@ -1,0 +1,619 @@
+//! The determinism rules D1–D4.
+//!
+//! Every rule produces [`Diagnostic`]s with exact `file:line` positions
+//! and a stable rule identifier, so CI output and the JSON report can be
+//! consumed mechanically. Suppression is via line comments of the form
+//!
+//! ```text
+//! // audit:allow(hash-iter, reason="token-keyed lookup, never iterated")
+//! ```
+//!
+//! placed on the offending line or the line directly above it. The
+//! engine verifies every annotation actually suppressed something — a
+//! dangling allow is itself reported (`unused-allow`), so stale
+//! annotations cannot silently accumulate.
+
+use crate::lexer::{AllowSite, FileScan, Tok, TokKind};
+
+/// D1: `HashMap`/`HashSet` in sim-facing crates (declaration or
+/// iteration). Hash iteration order is seeded per-process, so any
+/// iterated hash container breaks bit-identical replay.
+pub const RULE_HASH_ITER: &str = "hash-iter";
+/// D2: `Instant::now` / `SystemTime` wall-clock reads outside the bench
+/// crate and annotated telemetry sites.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// D3: ambient entropy (`thread_rng`, `from_entropy`, `OsRng`, …) —
+/// all randomness must flow through `desim::rng`'s seeded streams.
+pub const RULE_AMBIENT_ENTROPY: &str = "ambient-entropy";
+/// D4: unordered parallel float reductions (`par_iter().sum()` and
+/// friends) — float addition is not associative, so reduction order must
+/// be fixed.
+pub const RULE_PAR_FLOAT_SUM: &str = "par-float-sum";
+/// An `audit:allow` annotation that suppressed nothing.
+pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
+/// An `audit:allow` annotation without a `reason="…"` clause.
+pub const RULE_MISSING_REASON: &str = "missing-reason";
+
+/// All enforced determinism rules (the D-numbered contract).
+pub const DETERMINISM_RULES: [&str; 4] = [
+    RULE_HASH_ITER,
+    RULE_WALL_CLOCK,
+    RULE_AMBIENT_ENTROPY,
+    RULE_PAR_FLOAT_SUM,
+];
+
+/// Diagnostic severity. Violations always fail the audit; warnings fail
+/// only under `--deny-warnings` (the CI setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory (unused/reason-less annotations).
+    Warning,
+    /// A determinism-contract violation.
+    Violation,
+}
+
+/// One finding, positioned at an exact source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`hash-iter`, `wall-clock`, …).
+    pub rule: &'static str,
+    /// Violation or warning.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file lint context derived from the workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path (diagnostics key).
+    pub rel_path: String,
+    /// D1 applies: the file belongs to a crate whose state feeds the
+    /// simulation (`desim`, `gridsim`, `rms`, `core`).
+    pub sim_facing: bool,
+    /// D2 is path-exempt: benchmark code (the `bench` crate and
+    /// `benches/` directories) may read the wall clock freely.
+    pub wall_clock_exempt: bool,
+}
+
+impl FileCtx {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(rel_path: &str) -> FileCtx {
+        let sim_facing = [
+            "crates/desim/",
+            "crates/gridsim/",
+            "crates/rms/",
+            "crates/core/",
+        ]
+        .iter()
+        .any(|p| rel_path.starts_with(p));
+        let wall_clock_exempt =
+            rel_path.starts_with("crates/bench/") || rel_path.contains("/benches/");
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            sim_facing,
+            wall_clock_exempt,
+        }
+    }
+}
+
+/// Tracks which allow annotations suppressed at least one diagnostic.
+struct AllowLedger<'a> {
+    allows: &'a [AllowSite],
+    used: Vec<bool>,
+}
+
+impl<'a> AllowLedger<'a> {
+    fn new(allows: &'a [AllowSite]) -> Self {
+        AllowLedger {
+            allows,
+            used: vec![false; allows.len()],
+        }
+    }
+
+    /// True (and marks the annotation used) when a diagnostic of `rule`
+    /// at `line` is covered by an annotation on the same or previous
+    /// line.
+    fn suppresses(&mut self, rule: &str, line: u32) -> bool {
+        for (i, a) in self.allows.iter().enumerate() {
+            if a.rule == rule && (a.line == line || a.line + 1 == line) {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Runs every rule over one lexed file, returning its diagnostics.
+pub fn check_file(ctx: &FileCtx, scan: &FileScan) -> Vec<Diagnostic> {
+    let mut ledger = AllowLedger::new(&scan.allows);
+    let mut out = Vec::new();
+    let toks = &scan.toks;
+
+    let mut emit = |ledger: &mut AllowLedger, rule: &'static str, line: u32, message: String| {
+        if !ledger.suppresses(rule, line) {
+            out.push(Diagnostic {
+                rule,
+                severity: Severity::Violation,
+                file: ctx.rel_path.clone(),
+                line,
+                message,
+            });
+        }
+    };
+
+    if ctx.sim_facing {
+        check_hash_iter(ctx, toks, &mut ledger, &mut emit);
+    }
+    if !ctx.wall_clock_exempt {
+        check_wall_clock(toks, &mut ledger, &mut emit);
+    }
+    check_ambient_entropy(toks, &mut ledger, &mut emit);
+    check_par_float_sum(toks, &mut ledger, &mut emit);
+
+    // Annotation hygiene: every allow must have earned its keep, and
+    // should carry a reason.
+    for (i, a) in scan.allows.iter().enumerate() {
+        if !DETERMINISM_RULES.contains(&a.rule.as_str()) {
+            out.push(Diagnostic {
+                rule: RULE_UNUSED_ALLOW,
+                severity: Severity::Warning,
+                file: ctx.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "audit:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    DETERMINISM_RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if !ledger.used[i] {
+            out.push(Diagnostic {
+                rule: RULE_UNUSED_ALLOW,
+                severity: Severity::Warning,
+                file: ctx.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "audit:allow({}) is not attached to any `{}` use site — remove it",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !a.has_reason {
+            out.push(Diagnostic {
+                rule: RULE_MISSING_REASON,
+                severity: Severity::Warning,
+                file: ctx.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "audit:allow({}) suppresses a diagnostic but carries no reason=\"…\"",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // One diagnostic per (rule, line): `HashMap<K, V> = HashMap::new()`
+    // on a single line is one finding, not two.
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Methods whose call on a hash container observes its nondeterministic
+/// iteration order.
+const HASH_ITER_METHODS: [&str; 12] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+    "clone_from_iter",
+];
+
+/// D1. Two sub-checks:
+///
+/// 1. Every `HashMap`/`HashSet` *mention* (type position or constructor,
+///    `use` declarations excepted) must carry an allow annotation
+///    declaring the map lookup-only.
+/// 2. Any order-observing method call (or `for … in` loop) on an
+///    identifier bound to a hash container is flagged — annotated or
+///    not, because iterating contradicts the lookup-only declaration.
+fn check_hash_iter(
+    _ctx: &FileCtx,
+    toks: &[Tok],
+    ledger: &mut AllowLedger,
+    emit: &mut impl FnMut(&mut AllowLedger, &'static str, u32, String),
+) {
+    // Identifiers bound to hash containers (fields, lets, statics).
+    let mut hash_idents: Vec<String> = Vec::new();
+    let mut in_use = false;
+
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokKind::Ident(id) if id == "use" => {
+                // `use` only begins an import at statement position (also
+                // `pub use` / `pub(crate) use`); the closure-capture
+                // keyword can't be followed by a path.
+                let stmt_start = match i.checked_sub(1).map(|j| &toks[j].kind) {
+                    None => true,
+                    Some(TokKind::Punct(';' | '}' | '{' | ')' | ']')) => true,
+                    Some(TokKind::Ident(p)) if p == "pub" => true,
+                    _ => false,
+                };
+                if stmt_start {
+                    in_use = true;
+                }
+            }
+            TokKind::Punct(';') => in_use = false,
+            TokKind::Ident(id) if id == "HashMap" || id == "HashSet" => {
+                if in_use {
+                    continue;
+                }
+                // Record the bound identifier (look back past the type
+                // path / `&mut` / generics for `name :` or `name =`).
+                if let Some(name) = binding_ident(toks, i) {
+                    if !hash_idents.contains(&name) {
+                        hash_idents.push(name);
+                    }
+                }
+                emit(
+                    ledger,
+                    RULE_HASH_ITER,
+                    t.line,
+                    format!(
+                        "{id} in a sim-facing crate: use BTreeMap/BTreeSet (deterministic \
+                         order), or annotate a lookup-only map with \
+                         `// audit:allow(hash-iter, reason=\"…\")`"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Iteration sites over tracked identifiers.
+    for i in 0..toks.len() {
+        // `x.iter()` / `self.x.drain()` …
+        if let Some(name) = ident_at(toks, i) {
+            if hash_idents.iter().any(|h| h == name)
+                && punct_at(toks, i + 1) == Some('.')
+                && ident_at(toks, i + 2).is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && punct_at(toks, i + 3) == Some('(')
+            {
+                let line = toks[i].line;
+                let method = ident_at(toks, i + 2).unwrap().to_string();
+                emit(
+                    ledger,
+                    RULE_HASH_ITER,
+                    line,
+                    format!(
+                        "`{name}.{method}()` iterates a hash container in unspecified \
+                         order — migrate `{name}` to BTreeMap/BTreeSet or collect-and-sort"
+                    ),
+                );
+            }
+            // `for v in &map { … }` / `for (k, v) in map { … }`
+            if name == "in" {
+                for j in (i + 1)..(i + 6).min(toks.len()) {
+                    match &toks[j].kind {
+                        TokKind::Ident(id) if hash_idents.iter().any(|h| h == id) => {
+                            // Method calls after the ident (e.g.
+                            // `map.get(..)`) are not direct iteration.
+                            if punct_at(toks, j + 1) == Some('.') {
+                                break;
+                            }
+                            emit(
+                                ledger,
+                                RULE_HASH_ITER,
+                                toks[j].line,
+                                format!(
+                                    "`for … in {id}` iterates a hash container in \
+                                     unspecified order"
+                                ),
+                            );
+                            break;
+                        }
+                        TokKind::Punct('{') => break,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walks backwards from a `HashMap`/`HashSet` token to the identifier it
+/// is bound to (`pending: HashMap<…>`, `let m = HashMap::new()`, …).
+fn binding_ident(toks: &[Tok], at: usize) -> Option<String> {
+    let mut j = at;
+    // Skip the path/reference/generic prelude before the type name.
+    while j > 0 {
+        j -= 1;
+        match &toks[j].kind {
+            TokKind::Punct(':') | TokKind::Punct('=') => {
+                // Collapse `::` (path separator) — keep walking.
+                if toks[j].kind == TokKind::Punct(':')
+                    && j > 0
+                    && toks[j - 1].kind == TokKind::Punct(':')
+                {
+                    j -= 1;
+                    continue;
+                }
+                // Found the binding separator; the name precedes it.
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    match &toks[k].kind {
+                        TokKind::Ident(id) if id == "mut" => continue,
+                        TokKind::Ident(id) => return Some(id.clone()),
+                        TokKind::Punct('>') | TokKind::Punct(')') => return None,
+                        _ => return None,
+                    }
+                }
+                return None;
+            }
+            TokKind::Ident(id)
+                if id == "std" || id == "collections" || id == "mut" || id == "dyn" =>
+            {
+                continue;
+            }
+            TokKind::Punct('&') | TokKind::Punct('<') => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// D2: `Instant::now` and any `SystemTime` use.
+fn check_wall_clock(
+    toks: &[Tok],
+    ledger: &mut AllowLedger,
+    emit: &mut impl FnMut(&mut AllowLedger, &'static str, u32, String),
+) {
+    for i in 0..toks.len() {
+        match ident_at(toks, i) {
+            Some("Instant")
+                if punct_at(toks, i + 1) == Some(':')
+                    && punct_at(toks, i + 2) == Some(':')
+                    && ident_at(toks, i + 3) == Some("now") =>
+            {
+                emit(
+                    ledger,
+                    RULE_WALL_CLOCK,
+                    toks[i].line,
+                    "Instant::now() reads the wall clock — simulation state must \
+                     derive from SimTime only (telemetry sites: annotate with \
+                     `// audit:allow(wall-clock, reason=\"…\")`)"
+                        .to_string(),
+                );
+            }
+            Some("SystemTime") => {
+                emit(
+                    ledger,
+                    RULE_WALL_CLOCK,
+                    toks[i].line,
+                    "SystemTime is wall-clock state — simulation inputs must be \
+                     seeded and replayable"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Ambient entropy sources D3 forbids outright.
+const ENTROPY_IDENTS: [&str; 6] = [
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+    "random_seed",
+];
+
+/// D3: ambient entropy. Also catches `rand::random::<T>()`.
+fn check_ambient_entropy(
+    toks: &[Tok],
+    ledger: &mut AllowLedger,
+    emit: &mut impl FnMut(&mut AllowLedger, &'static str, u32, String),
+) {
+    for i in 0..toks.len() {
+        if let Some(id) = ident_at(toks, i) {
+            if ENTROPY_IDENTS.contains(&id) {
+                emit(
+                    ledger,
+                    RULE_AMBIENT_ENTROPY,
+                    toks[i].line,
+                    format!(
+                        "`{id}` draws ambient entropy — all randomness must flow \
+                         through desim::SimRng's seeded streams"
+                    ),
+                );
+            } else if id == "rand"
+                && punct_at(toks, i + 1) == Some(':')
+                && punct_at(toks, i + 2) == Some(':')
+                && ident_at(toks, i + 3) == Some("random")
+            {
+                emit(
+                    ledger,
+                    RULE_AMBIENT_ENTROPY,
+                    toks[i].line,
+                    "`rand::random` draws from the thread-local generator — use a \
+                     seeded SimRng stream"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Parallel-iterator entry points whose reduction order is scheduling-
+/// dependent.
+const PAR_ITER_IDENTS: [&str; 5] = [
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_bridge",
+];
+
+/// Reducers that are order-sensitive over floats.
+const REDUCERS: [&str; 4] = ["sum", "product", "reduce", "fold"];
+
+/// How many tokens after `par_iter` a reducer is still considered part
+/// of the same chain (chains are short; statements end at `;`).
+const CHAIN_WINDOW: usize = 48;
+
+/// D4: unordered parallel float reductions.
+fn check_par_float_sum(
+    toks: &[Tok],
+    ledger: &mut AllowLedger,
+    emit: &mut impl FnMut(&mut AllowLedger, &'static str, u32, String),
+) {
+    for i in 0..toks.len() {
+        let Some(id) = ident_at(toks, i) else {
+            continue;
+        };
+        if !PAR_ITER_IDENTS.contains(&id) {
+            continue;
+        }
+        for j in (i + 1)..(i + CHAIN_WINDOW).min(toks.len()) {
+            if punct_at(toks, j) == Some(';') {
+                break;
+            }
+            if punct_at(toks, j) == Some('.') {
+                if let Some(m) = ident_at(toks, j + 1) {
+                    if REDUCERS.contains(&m) {
+                        emit(
+                            ledger,
+                            RULE_PAR_FLOAT_SUM,
+                            toks[i].line,
+                            format!(
+                                "`{id}().…{m}()` reduces in scheduling order — float \
+                                 reductions must be sequential or tree-fixed \
+                                 (telemetry: annotate with \
+                                 `// audit:allow(par-float-sum, reason=\"…\")`)"
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&FileCtx::classify(path), &scan(src))
+    }
+
+    #[test]
+    fn hash_map_declaration_flagged_in_sim_crates_only() {
+        let src = "struct S { pending: HashMap<u64, Job> }";
+        assert_eq!(lint("crates/rms/src/x.rs", src).len(), 1);
+        assert_eq!(lint("crates/topology/src/x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn annotated_lookup_map_is_allowed_but_iteration_is_not() {
+        let ok = "// audit:allow(hash-iter, reason=\"token-keyed lookups only\")\nlet cache: HashMap<u64, f64> = HashMap::new();";
+        // One mention per line; the annotation covers both lines it spans.
+        let diags = lint("crates/core/src/x.rs", ok);
+        assert!(diags.is_empty(), "{diags:?}");
+
+        let bad = "// audit:allow(hash-iter, reason=\"lookups\")\nlet cache: HashMap<u64, f64> = HashMap::new();\nfor v in cache.values() { }";
+        let diags = lint("crates/core/src/x.rs", bad);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RULE_HASH_ITER && d.severity == Severity::Violation),
+            "iteration must stay flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn use_statements_are_not_use_sites() {
+        let src = "use std::collections::HashMap;";
+        assert!(lint("crates/rms/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_and_par_sum_fire() {
+        let d = lint("crates/core/src/x.rs", "let t = Instant::now();");
+        assert_eq!(d[0].rule, RULE_WALL_CLOCK);
+        let d = lint("src/lib.rs", "let r = thread_rng();");
+        assert_eq!(d[0].rule, RULE_AMBIENT_ENTROPY);
+        let d = lint(
+            "crates/core/src/x.rs",
+            "let s: f64 = xs.par_iter().map(f).sum();",
+        );
+        assert_eq!(d[0].rule, RULE_PAR_FLOAT_SUM);
+    }
+
+    #[test]
+    fn bench_paths_are_wall_clock_exempt() {
+        let src = "let t = Instant::now();";
+        assert!(lint("crates/bench/src/bin/figures.rs", src).is_empty());
+        assert!(lint("crates/gridsim/benches/sim_replay.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_warns() {
+        let d = lint(
+            "crates/rms/src/x.rs",
+            "// audit:allow(wall-clock, reason=\"nothing here\")\nlet x = 1;",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_UNUSED_ALLOW);
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_fires_but_get_does_not() {
+        let bad = "let m: HashMap<u64, u64> = HashMap::new();\nfor (k, v) in &m { }";
+        let d = lint("crates/gridsim/src/x.rs", bad);
+        // One deduped finding for the declaration line, one for the loop.
+        let lines: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == RULE_HASH_ITER)
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2], "{d:?}");
+
+        let ok = "// audit:allow(hash-iter, reason=\"lookup table\")\nlet m: HashMap<u64, u64> = HashMap::new();\nlet v = m.get(&1);";
+        let d = lint("crates/gridsim/src/x.rs", ok);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: properly annotated opt-outs — must lint clean even in a
+// sim-facing crate.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Cache {
+    // audit:allow(hash-iter, reason="token-keyed lookups, never iterated")
+    memo: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn get(&self, k: u64) -> Option<f64> {
+        self.memo.get(&k).copied()
+    }
+}
+
+pub fn telemetry_ms() -> f64 {
+    // audit:allow(wall-clock, reason="telemetry only, never feeds sim state")
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,20 @@
+// Fixture: D1 hash-iter violations. Linted as if at crates/gridsim/src/.
+use std::collections::{HashMap, HashSet};
+
+pub struct Sched {
+    pending: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+
+impl Sched {
+    pub fn drain_all(&mut self) -> u64 {
+        let mut acc = 0;
+        for (_, v) in self.pending.iter() {
+            acc += v;
+        }
+        for v in self.pending.values() {
+            acc += v;
+        }
+        acc + self.seen.len() as u64
+    }
+}

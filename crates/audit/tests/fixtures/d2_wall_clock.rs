@@ -1,0 +1,9 @@
+// Fixture: D2 wall-clock violations. Linted as if at crates/gridsim/src/.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    drop(wall);
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 ambient-entropy violations. Linted as if at crates/rms/src/.
+use rand::{thread_rng, Rng, SeedableRng};
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen::<f64>()
+}
+
+pub fn reseed() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::from_entropy()
+}

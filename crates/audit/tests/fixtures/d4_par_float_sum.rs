@@ -1,0 +1,7 @@
+// Fixture: D4 par-float-sum violations. Linted as if at crates/core/src/.
+use rayon::prelude::*;
+
+pub fn mean_cost(xs: &[f64]) -> f64 {
+    let total: f64 = xs.par_iter().sum();
+    total / xs.len() as f64
+}

@@ -1,0 +1,13 @@
+// Fixture: annotation hygiene warnings — an allow with no matching use
+// site, and an allow that suppresses but gives no reason.
+use std::collections::HashMap;
+
+// audit:allow(wall-clock, reason="nothing on the next line reads a clock")
+pub fn plain() -> u32 {
+    7
+}
+
+pub struct Lookup {
+    // audit:allow(hash-iter)
+    memo: HashMap<u64, u64>,
+}

@@ -1,0 +1,124 @@
+//! Fixture tests: each determinism rule must fire on its bad fixture
+//! with the exact rule ID, and the annotated fixture must lint clean.
+//! Fixtures live under `tests/fixtures/` (excluded from the workspace
+//! scan) and are linted *as if* they sat inside a sim-facing crate.
+
+use gridscale_audit::{audit_source, Diagnostic, Severity};
+
+fn lint_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {path}: {e}"));
+    audit_source(as_path, &src)
+}
+
+fn rules_of(diags: &[Diagnostic], severity: Severity) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags
+        .iter()
+        .filter(|d| d.severity == severity)
+        .map(|d| d.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d1_hash_iter_fixture_violates() {
+    let diags = lint_fixture("d1_hash_iter.rs", "crates/gridsim/src/fixture.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["hash-iter"], "{diags:?}");
+    // Declaration lines AND both iteration sites are flagged.
+    assert!(
+        diags.iter().filter(|d| d.rule == "hash-iter").count() >= 4,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d1_is_scoped_to_sim_facing_crates() {
+    // The same source outside the sim-facing set is fine: the CLI and
+    // bench crates may hash freely.
+    let diags = lint_fixture("d1_hash_iter.rs", "crates/bench/src/fixture.rs");
+    assert!(diags.iter().all(|d| d.rule != "hash-iter"), "{diags:?}");
+}
+
+#[test]
+fn d2_wall_clock_fixture_violates() {
+    let diags = lint_fixture("d2_wall_clock.rs", "crates/gridsim/src/fixture.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["wall-clock"], "{diags:?}");
+    // Instant::now and SystemTime are distinct findings.
+    assert!(
+        diags.iter().filter(|d| d.rule == "wall-clock").count() >= 2,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d2_is_exempt_in_bench_paths() {
+    let diags = lint_fixture("d2_wall_clock.rs", "crates/bench/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+    let diags = lint_fixture("d2_wall_clock.rs", "crates/gridsim/benches/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d3_ambient_entropy_fixture_violates() {
+    let diags = lint_fixture("d3_ambient_entropy.rs", "crates/rms/src/fixture.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["ambient-entropy"], "{diags:?}");
+    // thread_rng and from_entropy each fire.
+    assert!(
+        diags.iter().filter(|d| d.rule == "ambient-entropy").count() >= 2,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d3_fires_even_outside_sim_facing_crates() {
+    // Ambient entropy is banned everywhere: a nondeterministic seed in
+    // the CLI still poisons reproducibility of recorded runs.
+    let diags = lint_fixture("d3_ambient_entropy.rs", "src/bin/fixture.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == "ambient-entropy"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d4_par_float_sum_fixture_violates() {
+    let diags = lint_fixture("d4_par_float_sum.rs", "crates/core/src/fixture.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["par-float-sum"], "{diags:?}");
+}
+
+#[test]
+fn annotated_fixture_is_clean() {
+    let diags = lint_fixture("allowed_annotations.rs", "crates/gridsim/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unused_allow_fixture_warns() {
+    let diags = lint_fixture("unused_allow.rs", "crates/gridsim/src/fixture.rs");
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Warning),
+        "{diags:?}"
+    );
+    let rules = rules_of(&diags, Severity::Warning);
+    assert!(rules.contains(&"unused-allow"), "{diags:?}");
+    assert!(rules.contains(&"missing-reason"), "{diags:?}");
+}
+
+#[test]
+fn workspace_scan_skips_fixture_directory() {
+    // Walking the audit crate itself must not trip over the deliberately
+    // bad fixtures.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = gridscale_audit::audit_workspace(root).expect("scan audit crate");
+    assert!(outcome.diagnostics.is_empty(), "{:?}", outcome.diagnostics);
+    assert!(
+        outcome.files_scanned >= 4,
+        "lib, main, lexer, rules + tests"
+    );
+}

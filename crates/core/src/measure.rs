@@ -24,7 +24,7 @@ use gridscale_gridsim::{Enablers, SimReport, SimTemplate};
 use gridscale_rms::RmsKind;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// How the target efficiency `E0` of Step 1 is chosen.
@@ -352,6 +352,7 @@ fn tune_point_inner(
     threads: usize,
     opts: &MeasureOptions,
 ) -> TunedPoint {
+    // audit:allow(wall-clock, reason="wall_ms telemetry only; never feeds sim state")
     let started = Instant::now();
     let seed = point_seed(opts.seed, kind, case, k);
     let cfg = point_config(kind, case, k, opts);
@@ -361,7 +362,7 @@ fn tune_point_inner(
 
     // Every evaluation's full report is kept so the winner's measurement
     // is a lookup, not a re-simulation.
-    let reports: Mutex<HashMap<[usize; 4], SimReport>> = Mutex::new(HashMap::new());
+    let reports: Mutex<BTreeMap<[usize; 4], SimReport>> = Mutex::new(BTreeMap::new());
     let energy = |idx: &[usize; 4]| -> f64 {
         let enablers = space.realize(idx, &base_enablers);
         // Enum dispatch: monomorphizes the event loop for the annealer's

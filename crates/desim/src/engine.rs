@@ -17,6 +17,18 @@ pub trait World {
     /// Processes one event occurring at time `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 
+    /// Observes each event immediately before [`World::handle`] delivers
+    /// it, together with the scheduling sequence number that orders
+    /// same-timestamp events. Default: no-op.
+    ///
+    /// This is the hook behind event-stream fingerprinting: a model can
+    /// fold `(at, seq, event)` into a running hash and compare it across
+    /// replays — two runs that deliver the same events in the same order
+    /// produce the same fingerprint regardless of queue discipline,
+    /// pooling, or thread placement. Kept separate from `handle` so the
+    /// observation provably cannot mutate scheduling state.
+    fn observe(&mut self, _at: SimTime, _seq: u64, _event: &Self::Event) {}
+
     /// Called once when the run finishes (horizon reached or queue drained).
     /// Default: no-op. Models use this to close time-weighted statistics.
     fn finish(&mut self, _now: SimTime) {}
@@ -136,6 +148,7 @@ impl<E> Engine<E> {
             debug_assert!(ev.at >= self.now, "event queue must be time-ordered");
             self.now = ev.at;
             self.processed += 1;
+            world.observe(ev.at, ev.seq, &ev.event);
             world.handle(self.now, ev.event, &mut self.queue);
         };
         let end = match outcome {
@@ -260,6 +273,35 @@ mod tests {
         q.reset();
         let (recycled, _) = run(Engine::from_queue(q));
         assert_eq!(fresh, recycled);
+    }
+
+    #[test]
+    fn observe_sees_every_delivery_in_order() {
+        struct Spy {
+            seen: Vec<(SimTime, u64, u64)>,
+        }
+        impl World for Spy {
+            type Event = u64;
+            fn handle(&mut self, _now: SimTime, _ev: u64, _q: &mut EventQueue<u64>) {}
+            fn observe(&mut self, at: SimTime, seq: u64, ev: &u64) {
+                self.seen.push((at, seq, *ev));
+            }
+        }
+        let mut w = Spy { seen: vec![] };
+        let mut e = Engine::new();
+        // Two same-timestamp events: seq must break the tie in FIFO order.
+        e.queue_mut().schedule(SimTime::from_ticks(7), 10);
+        e.queue_mut().schedule(SimTime::from_ticks(7), 11);
+        e.queue_mut().schedule(SimTime::from_ticks(2), 12);
+        e.run_to_completion(&mut w);
+        assert_eq!(
+            w.seen,
+            vec![
+                (SimTime::from_ticks(2), 2, 12),
+                (SimTime::from_ticks(7), 0, 10),
+                (SimTime::from_ticks(7), 1, 11),
+            ]
+        );
     }
 
     #[test]

@@ -138,6 +138,8 @@ impl Accounting {
             nodes,
             events_processed,
             msgs_sent: a.msgs_sent,
+            // Stamped by SimCore::report, which owns the running hash.
+            event_fingerprint: 0,
         }
     }
 }

@@ -35,8 +35,24 @@ pub(crate) struct SimCore {
     /// The link fabric (and its middleware queue state).
     pub(crate) net: NetFabric,
     pub(crate) token_counter: u64,
+    /// Running event-stream fingerprint: every delivered event's
+    /// `(at, seq, fp_word)` tuple folded through a splitmix64-style
+    /// mixer. Two runs with equal fingerprints delivered the same events
+    /// in the same order — the runtime half of the determinism contract
+    /// (`gridscale audit` checks the static half).
+    pub(crate) fingerprint: u64,
     /// Optional time-series recorder.
     pub(crate) timeline: Option<Timeline>,
+}
+
+/// One round of the splitmix64 finalizer: a cheap, well-mixed 64-bit
+/// permutation. Used to fold event tuples into the stream fingerprint.
+#[inline]
+pub(crate) fn fp_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl SimCore {
@@ -57,6 +73,7 @@ impl SimCore {
             hot,
             net,
             token_counter: 0,
+            fingerprint: 0,
             timeline: None,
         }
     }
@@ -444,6 +461,16 @@ impl SimCore {
         }
     }
 
+    /// Folds one delivered event into the stream fingerprint. Called by
+    /// the engine's observe hook for *every* delivery, before handling.
+    #[inline]
+    pub(crate) fn fold_event(&mut self, at: SimTime, seq: u64, ev: &GridEvent) {
+        let word = fp_mix(at.ticks())
+            .wrapping_add(fp_mix(seq))
+            .wrapping_add(fp_mix(ev.fp_word()));
+        self.fingerprint = fp_mix(self.fingerprint ^ word);
+    }
+
     /// Folds the run's ledger into a [`SimReport`].
     pub(crate) fn report(
         &self,
@@ -451,7 +478,7 @@ impl SimCore {
         horizon: SimTime,
         events_processed: u64,
     ) -> SimReport {
-        self.hot.acct.report(
+        let mut report = self.hot.acct.report(
             policy,
             horizon,
             events_processed,
@@ -459,6 +486,8 @@ impl SimCore {
             &self.hot.rp.busy,
             self.cfg.costs.overhead_weight,
             self.cfg.nodes,
-        )
+        );
+        report.event_fingerprint = self.fingerprint;
+        report
     }
 }

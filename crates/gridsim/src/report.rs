@@ -85,6 +85,15 @@ pub struct SimReport {
     /// messages, dispatches, transfers — everything that crossed a link).
     #[serde(default)]
     pub msgs_sent: u64,
+    /// 64-bit event-stream fingerprint: every delivered event's
+    /// `(time, sequence, kind, target)` tuple folded through a splitmix64
+    /// mixer, in delivery order. Fully determined by `(config, enablers,
+    /// policy)` — equal fingerprints mean two runs delivered the same
+    /// event stream, making replay divergence detectable at O(1) cost
+    /// instead of a full report diff. Part of the bit-identical report
+    /// contract alongside `events_processed`.
+    #[serde(default)]
+    pub event_fingerprint: u64,
 }
 
 impl SimReport {

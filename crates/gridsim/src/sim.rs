@@ -120,6 +120,13 @@ pub struct SimTemplate {
     queue_discipline: AtomicU8,
     /// Event-queue telemetry aggregated over completed runs.
     queue_summary: Mutex<QueueSummary>,
+    /// XOR of every completed run's event-stream fingerprint. XOR is
+    /// commutative, so the accumulator is thread-placement-invariant:
+    /// concurrent annealer evaluations fold in any order and still land
+    /// on the same value for the same multiset of runs.
+    fingerprint_xor: AtomicU64,
+    /// Fingerprint of the most recently completed run (any thread).
+    last_fingerprint: AtomicU64,
 }
 
 /// Event-queue telemetry aggregated across every completed run of one
@@ -188,6 +195,11 @@ pub struct ReplayStats {
     pub scratch_bytes: u64,
     /// Event-queue telemetry aggregated over completed runs.
     pub queue: QueueSummary,
+    /// XOR of every completed run's event-stream fingerprint
+    /// (order-independent, so identical across thread placements).
+    pub fingerprint_xor: u64,
+    /// Event-stream fingerprint of the most recently completed run.
+    pub last_fingerprint: u64,
 }
 
 impl SimTemplate {
@@ -205,6 +217,8 @@ impl SimTemplate {
             scratch_reused: AtomicU64::new(0),
             queue_discipline: AtomicU8::new(0),
             queue_summary: Mutex::new(QueueSummary::default()),
+            fingerprint_xor: AtomicU64::new(0),
+            last_fingerprint: AtomicU64::new(0),
         }
     }
 
@@ -251,6 +265,8 @@ impl SimTemplate {
             queue_cap_hint: self.cap_hint.load(Ordering::Relaxed),
             scratch_bytes: scratch.iter().map(|h| h.approx_bytes()).sum(),
             queue: *self.queue_summary.lock().unwrap_or_else(|e| e.into_inner()),
+            fingerprint_xor: self.fingerprint_xor.load(Ordering::Relaxed),
+            last_fingerprint: self.last_fingerprint.load(Ordering::Relaxed),
         }
     }
 
@@ -360,6 +376,10 @@ impl SimTemplate {
         let timeline = core.timeline.take();
         let queue = engine.into_queue();
         self.runs_total.fetch_add(1, Ordering::Relaxed);
+        self.fingerprint_xor
+            .fetch_xor(report.event_fingerprint, Ordering::Relaxed);
+        self.last_fingerprint
+            .store(report.event_fingerprint, Ordering::Relaxed);
         self.queue_summary
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -392,6 +412,9 @@ impl<P: Policy + ?Sized> World for GridSim<'_, P> {
     type Event = GridEvent;
     fn handle(&mut self, now: SimTime, ev: GridEvent, queue: &mut EventQueue<GridEvent>) {
         self.core.handle(now, ev, queue, self.policy);
+    }
+    fn observe(&mut self, at: SimTime, seq: u64, ev: &GridEvent) {
+        self.core.fold_event(at, seq, ev);
     }
 }
 

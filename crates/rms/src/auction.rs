@@ -3,7 +3,7 @@
 use crate::polling::{PlacementRule, PollPlacer};
 use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Auction-close timers are tagged `TAG_AUCTION_BASE + auction_id`.
 const TAG_AUCTION_BASE: u64 = 1 << 32;
@@ -39,7 +39,7 @@ pub struct Auction {
     next_auction: u64,
     /// Open auction per cluster (at most one at a time).
     open: Vec<Option<u64>>,
-    books: HashMap<u64, Book>,
+    books: BTreeMap<u64, Book>,
     /// Reused peer-draw buffer (`random_remotes_into` scratch).
     scratch: Vec<usize>,
 }
@@ -50,7 +50,7 @@ impl Default for Auction {
             placer: PollPlacer::new(PlacementRule::LeastLoaded),
             next_auction: 0,
             open: Vec::new(),
-            books: HashMap::new(),
+            books: BTreeMap::new(),
             scratch: Vec::new(),
         }
     }

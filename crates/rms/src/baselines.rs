@@ -9,7 +9,7 @@
 
 use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RANDOM: every REMOTE job goes to a uniformly random cluster (possibly
 /// its own), with no state consulted at all. The floor for placement
@@ -40,7 +40,7 @@ impl Policy for RandomPlacement {
 #[derive(Debug, Default)]
 pub struct Threshold {
     /// Held jobs awaiting their single probe answer.
-    pending: HashMap<u64, Job>,
+    pending: BTreeMap<u64, Job>,
     /// Reused peer-draw buffer (`random_remotes_into` scratch).
     scratch: Vec<usize>,
 }

@@ -13,7 +13,7 @@
 use gridscale_desim::SimTime;
 use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Timer tag for the periodic load report.
 const TAG_REPORT: u64 = 3;
@@ -27,7 +27,7 @@ pub struct Hierarchical {
     /// Super-scheduler's view: last reported mean load per cluster.
     loads: Vec<f64>,
     /// Jobs held at children awaiting a placement decision.
-    pending: HashMap<u64, Job>,
+    pending: BTreeMap<u64, Job>,
 }
 
 impl Hierarchical {

@@ -7,7 +7,7 @@
 
 use gridscale_gridsim::{Comms, Ctx, Dispatch, PolicyMsg, Telemetry};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a [`PollPlacer`] chooses between the polled clusters and home.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +41,7 @@ struct Reply {
 #[derive(Debug)]
 pub struct PollPlacer {
     rule: PlacementRule,
-    pending: HashMap<u64, Pending>,
+    pending: BTreeMap<u64, Pending>,
     /// Reused peer-draw buffer (`random_remotes_into` scratch).
     scratch: Vec<usize>,
 }
@@ -51,7 +51,7 @@ impl PollPlacer {
     pub fn new(rule: PlacementRule) -> Self {
         PollPlacer {
             rule,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             scratch: Vec::new(),
         }
     }

@@ -3,7 +3,7 @@
 use gridscale_desim::SimTime;
 use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Timer tag for the periodic load self-check.
 const TAG_CHECK: u64 = 1;
@@ -29,7 +29,7 @@ pub struct Reserve {
     /// Per cluster: where we currently hold reservations (to send cancels).
     advertised_to: Vec<Vec<usize>>,
     /// Jobs held while probing, keyed by token (value: job + probed holder).
-    pending: HashMap<u64, (Job, usize)>,
+    pending: BTreeMap<u64, (Job, usize)>,
     /// Reused peer-draw buffer (`random_remotes_into` scratch).
     scratch: Vec<usize>,
 }

@@ -3,7 +3,7 @@
 use gridscale_desim::SimTime;
 use gridscale_gridsim::{Comms, Ctx, Dispatch, Policy, PolicyMsg, Telemetry, Timers};
 use gridscale_workload::Job;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Timer tag for the periodic RUS self-check.
 const TAG_RUS_CHECK: u64 = 2;
@@ -29,7 +29,7 @@ const TAG_RUS_CHECK: u64 = 2;
 #[derive(Debug, Default)]
 pub struct ReceiverInit {
     /// Pending demand handshakes at the loaded side: token → volunteer.
-    pending: HashMap<u64, usize>,
+    pending: BTreeMap<u64, usize>,
     /// Reused peer-draw buffer (`random_remotes_into` scratch).
     scratch: Vec<usize>,
 }

@@ -1,0 +1,186 @@
+//! Differential tests for the event-stream fingerprint.
+//!
+//! The fingerprint folds every delivered event's `(time, sequence, kind,
+//! target)` tuple in delivery order, so it is a strictly stronger replay
+//! oracle than comparing final reports: two runs can only share a
+//! fingerprint by delivering the *same event stream*. These tests pin the
+//! fingerprint as invariant across every execution strategy the simulator
+//! offers — one-shot, pooled replay, cold replay, forced-heap queue
+//! discipline, and concurrent replay from many threads — and as sensitive
+//! to anything that should change the stream (seed, scale, policy).
+
+use gridscale::prelude::*;
+use std::sync::Arc;
+
+fn fp_cfg(seed: u64, k: usize) -> GridConfig {
+    let nodes = 20 * k;
+    GridConfig {
+        nodes,
+        schedulers: (nodes / 10).max(2),
+        estimators: if k >= 4 { 2 } else { 0 },
+        workload: WorkloadConfig {
+            arrival_rate: 0.012 * k as f64,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed,
+        ..GridConfig::default()
+    }
+}
+
+#[test]
+fn fingerprint_is_nonzero_and_stable_across_runs() {
+    for kind in RmsKind::ALL {
+        let cfg = fp_cfg(7, 4);
+        let mut a = kind.build();
+        let mut b = kind.build();
+        let ra = run_simulation(&cfg, a.as_mut());
+        let rb = run_simulation(&cfg, b.as_mut());
+        assert_ne!(
+            ra.event_fingerprint, 0,
+            "{kind}: a run that processed events must fingerprint nonzero"
+        );
+        assert_eq!(
+            ra.event_fingerprint, rb.event_fingerprint,
+            "{kind}: identical runs must share a fingerprint"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_matches_across_one_shot_pooled_and_cold_replay() {
+    for kind in [RmsKind::Lowest, RmsKind::Auction, RmsKind::Hierarchical] {
+        let cfg = fp_cfg(11, 4);
+        let mut p = kind.build();
+        let one_shot = run_simulation(&cfg, p.as_mut());
+
+        let template = SimTemplate::new(&cfg);
+        for _ in 0..3 {
+            let mut p = kind.build();
+            let pooled = template.run(cfg.enablers, p.as_mut());
+            assert_eq!(
+                pooled.event_fingerprint, one_shot.event_fingerprint,
+                "{kind}: pooled replay fingerprint diverged"
+            );
+        }
+        let mut p = kind.build();
+        let cold = template.run_cold(cfg.enablers, p.as_mut());
+        assert_eq!(
+            cold.event_fingerprint, one_shot.event_fingerprint,
+            "{kind}: cold replay fingerprint diverged"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_is_queue_discipline_invariant() {
+    // The adaptive ladder and the reference binary heap must deliver the
+    // exact same stream — the fingerprint turns that claim into one u64.
+    for kind in [RmsKind::Lowest, RmsKind::Central, RmsKind::Symmetric] {
+        let cfg = fp_cfg(23, 4);
+        let template = SimTemplate::new(&cfg);
+
+        let mut p = kind.build();
+        let ladder = template.run(cfg.enablers, p.as_mut());
+
+        template.set_queue_discipline(QueueDiscipline::Heap);
+        let mut p = kind.build();
+        let heap = template.run(cfg.enablers, p.as_mut());
+        template.set_queue_discipline(QueueDiscipline::Adaptive);
+
+        assert_eq!(
+            ladder.event_fingerprint, heap.event_fingerprint,
+            "{kind}: ladder and heap queues must deliver identical streams"
+        );
+    }
+}
+
+#[test]
+fn fingerprint_is_thread_placement_invariant() {
+    // N identical runs racing on one shared template: every report must
+    // carry the same fingerprint, and the template's XOR accumulator
+    // (order-independent by construction) must land on the same value as
+    // a sequential baseline.
+    let cfg = fp_cfg(31, 4);
+    let kind = RmsKind::Lowest;
+    let mut p = kind.build();
+    let reference = run_simulation(&cfg, p.as_mut());
+
+    const THREADS: usize = 4;
+    const RUNS_PER_THREAD: usize = 2;
+    let template = Arc::new(SimTemplate::new(&cfg));
+    let fps: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let template = Arc::clone(&template);
+                let enablers = cfg.enablers;
+                s.spawn(move || {
+                    (0..RUNS_PER_THREAD)
+                        .map(|_| {
+                            let mut p = kind.build();
+                            template.run(enablers, p.as_mut()).event_fingerprint
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fingerprint thread panicked"))
+            .collect()
+    });
+    for fp in &fps {
+        assert_eq!(
+            *fp, reference.event_fingerprint,
+            "concurrent replay fingerprint diverged"
+        );
+    }
+    let stats = template.replay_stats();
+    // 8 identical fingerprints XOR to zero; the accumulator proves every
+    // run folded in regardless of thread interleaving.
+    assert_eq!(stats.fingerprint_xor, 0);
+    assert_eq!(stats.last_fingerprint, reference.event_fingerprint);
+    assert_eq!(stats.runs, (THREADS * RUNS_PER_THREAD) as u64);
+}
+
+#[test]
+fn fingerprint_is_sensitive_to_seed_scale_and_policy() {
+    let base = {
+        let mut p = RmsKind::Lowest.build();
+        run_simulation(&fp_cfg(7, 4), p.as_mut())
+    };
+    let other_seed = {
+        let mut p = RmsKind::Lowest.build();
+        run_simulation(&fp_cfg(8, 4), p.as_mut())
+    };
+    let other_scale = {
+        let mut p = RmsKind::Lowest.build();
+        run_simulation(&fp_cfg(7, 2), p.as_mut())
+    };
+    let other_policy = {
+        let mut p = RmsKind::SenderInit.build();
+        run_simulation(&fp_cfg(7, 4), p.as_mut())
+    };
+    assert_ne!(base.event_fingerprint, other_seed.event_fingerprint);
+    assert_ne!(base.event_fingerprint, other_scale.event_fingerprint);
+    assert_ne!(base.event_fingerprint, other_policy.event_fingerprint);
+}
+
+#[test]
+fn enum_dispatch_shares_the_dyn_fingerprint() {
+    // Static (enum) and dynamic (`dyn Policy`) dispatch run the same
+    // kernel; the fingerprint must not see the difference.
+    for kind in [RmsKind::Lowest, RmsKind::Reserve] {
+        let cfg = fp_cfg(13, 4);
+        let template = SimTemplate::new(&cfg);
+        let mut dy = kind.build();
+        let r_dyn = template.run(cfg.enablers, dy.as_mut());
+        let mut st = kind.build_static();
+        let r_static = template.run(cfg.enablers, &mut st);
+        assert_eq!(
+            r_dyn.event_fingerprint, r_static.event_fingerprint,
+            "{kind}: dispatch strategy leaked into the event stream"
+        );
+    }
+}

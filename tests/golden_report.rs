@@ -150,9 +150,30 @@ fn load_fixture() -> &'static BTreeMap<String, Value> {
         for policy in GoldenPolicy::ALL {
             for k in KS {
                 for seed in SEEDS {
-                    if let Entry::Vacant(slot) = out.entry(entry_key(policy, k, seed)) {
-                        slot.insert(report_value(&one_shot(policy, k, seed)));
-                        grew = true;
+                    match out.entry(entry_key(policy, k, seed)) {
+                        Entry::Vacant(slot) => {
+                            slot.insert(report_value(&one_shot(policy, k, seed)));
+                            grew = true;
+                        }
+                        Entry::Occupied(mut slot) => {
+                            // Backfill `event_fingerprint` into entries
+                            // recorded before the fingerprint existed. The
+                            // other recorded fields keep pinning verbatim
+                            // (and the fingerprint run must reproduce them
+                            // — the matching tests check exactly that).
+                            let entry = slot
+                                .get_mut()
+                                .as_object_mut()
+                                .expect("fixture entries are objects");
+                            if !entry.contains_key("event_fingerprint") {
+                                let r = one_shot(policy, k, seed);
+                                entry.insert(
+                                    "event_fingerprint".to_string(),
+                                    Value::from(r.event_fingerprint),
+                                );
+                                grew = true;
+                            }
+                        }
                     }
                 }
             }
@@ -194,6 +215,31 @@ fn regenerate() {
     let out = generate_fixture();
     std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
     std::fs::write(FIXTURE, serde_json::to_string_pretty(&out).unwrap()).unwrap();
+}
+
+/// Every fixture entry pins a nonzero event-stream fingerprint: the
+/// bootstrap and backfill paths both record it, so fingerprint drift in
+/// *any* golden configuration fails the matching tests with a field-level
+/// message instead of a silent pass.
+#[test]
+fn fixture_pins_event_fingerprint_for_every_entry() {
+    let fixture = load_fixture();
+    for policy in GoldenPolicy::ALL {
+        for k in KS {
+            for seed in SEEDS {
+                let key = entry_key(policy, k, seed);
+                let entry = fixture
+                    .get(&key)
+                    .and_then(Value::as_object)
+                    .unwrap_or_else(|| panic!("fixture has no entry {key}"));
+                let fp = entry
+                    .get("event_fingerprint")
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| panic!("{key}: fixture lacks event_fingerprint"));
+                assert_ne!(fp, 0, "{key}: fingerprint must be nonzero");
+            }
+        }
+    }
 }
 
 /// The one-shot path (`run_simulation`) reproduces the pre-refactor
