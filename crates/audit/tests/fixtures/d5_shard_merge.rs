@@ -1,0 +1,24 @@
+//! Deliberately violating fixture for D5 (`shard-merge`): per-shard
+//! simulation state merged across threads in completion order, outside
+//! the blessed barrier-ordered merge and without annotations.
+
+fn gather_in_completion_order(
+    handles: Vec<std::thread::JoinHandle<Shard>>,
+    base: &mut Shard,
+) {
+    // Violation: join() results gathered straight into a collection —
+    // the vector order is thread completion order on some executors.
+    let done: Vec<Shard> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for s in &done {
+        // Violation: a shard-state merge primitive called outside the
+        // blessed helper, with no ordering argument recorded.
+        base.acct.absorb_shard(&s.acct);
+    }
+}
+
+fn refold(base: &mut SimCore, shards: &[SimCore]) {
+    for s in shards {
+        // Violation: same primitive, different call shape.
+        merge_shard_core(base, s);
+    }
+}

@@ -93,6 +93,27 @@ fn d4_par_float_sum_fixture_violates() {
 }
 
 #[test]
+fn d5_shard_merge_fixture_violates() {
+    let diags = lint_fixture("d5_shard_merge.rs", "crates/gridsim/src/fixture.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["shard-merge"], "{diags:?}");
+    // The join-gather chain and both merge-primitive calls are distinct
+    // findings.
+    assert!(
+        diags.iter().filter(|d| d.rule == "shard-merge").count() >= 3,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d5_is_scoped_to_sim_facing_crates() {
+    // Thread gathering outside the simulation state is not D5's
+    // business (the CLI's sweep helpers, bench harnesses, …).
+    let diags = lint_fixture("d5_shard_merge.rs", "crates/bench/src/fixture.rs");
+    assert!(diags.iter().all(|d| d.rule != "shard-merge"), "{diags:?}");
+}
+
+#[test]
 fn annotated_fixture_is_clean() {
     let diags = lint_fixture("allowed_annotations.rs", "crates/gridsim/src/fixture.rs");
     assert!(diags.is_empty(), "{diags:?}");

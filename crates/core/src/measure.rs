@@ -53,6 +53,10 @@ fn default_warm_start() -> bool {
     true
 }
 
+fn default_shards() -> usize {
+    1
+}
+
 /// Options controlling one measurement run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MeasureOptions {
@@ -82,6 +86,13 @@ pub struct MeasureOptions {
     pub seed: u64,
     /// Worker threads for the sweep (`0` = auto).
     pub threads: usize,
+    /// Event-space partitions for every simulation replay (`1` = the
+    /// sequential executor). Sharded replay is bit-identical to the
+    /// sequential one, so this is purely a wall-clock knob for large
+    /// grids: each replay runs its shards on up to `shards` worker
+    /// threads with conservative barrier synchronization.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
     /// Optional override of the arrival window (smoke tests).
     pub duration_override: Option<SimTime>,
     /// Optional override of the drain window (smoke tests).
@@ -109,6 +120,7 @@ impl Default for MeasureOptions {
             warm_start: default_warm_start(),
             seed: 0x15_0EFF,
             threads: 0,
+            shards: default_shards(),
             duration_override: None,
             drain_override: None,
             replications: 1,
@@ -304,6 +316,26 @@ fn point_config(
     cfg
 }
 
+/// One replay of `template` under `enablers`, routed through the
+/// executor [`MeasureOptions::shards`] selects. The sharded executor is
+/// fingerprint-identical to the sequential one, so the choice can never
+/// change a measurement — only its wall-clock cost.
+fn replay(
+    template: &SimTemplate,
+    enablers: Enablers,
+    kind: RmsKind,
+    opts: &MeasureOptions,
+) -> SimReport {
+    if opts.shards > 1 {
+        template
+            .run_sharded(enablers, || kind.build_static(), opts.shards, opts.shards)
+            .0
+    } else {
+        let mut policy = kind.build_static();
+        template.run(enablers, &mut policy)
+    }
+}
+
 /// Step 1: resolve the target efficiency `E0` for `(kind, case)`.
 ///
 /// In [`E0Mode::AutoBase`] this measures the base configuration (smallest
@@ -315,8 +347,8 @@ pub fn resolve_e0(kind: RmsKind, case: CaseId, opts: &MeasureOptions) -> f64 {
         E0Mode::AutoBase => {
             let k0 = *opts.ks.iter().min().expect("ks nonempty");
             let cfg = point_config(kind, case, k0, opts);
-            let mut policy = kind.build_static();
-            let r = gridscale_gridsim::run_simulation(&cfg, &mut policy);
+            let template = SimTemplate::new(&cfg);
+            let r = replay(&template, cfg.enablers, kind, opts);
             r.efficiency.clamp(0.05, 0.95)
         }
     }
@@ -367,8 +399,7 @@ fn tune_point_inner(
         let enablers = space.realize(idx, &base_enablers);
         // Enum dispatch: monomorphizes the event loop for the annealer's
         // hottest path (thousands of replays per tuned point).
-        let mut policy = kind.build_static();
-        let report = template.run(enablers, &mut policy);
+        let report = replay(&template, enablers, kind, opts);
         let violation = ((report.efficiency - e0).abs() - opts.tolerance).max(0.0);
         let e = report.g_overhead.max(1e-9) * (1.0 + 25.0 * violation / opts.tolerance);
         reports.lock().insert(*idx, report);
@@ -427,8 +458,7 @@ fn tune_point_inner(
         let mut rep_cfg = cfg.clone();
         rep_cfg.seed = SimRng::new(seed).fork(1000 + i as u64).seed();
         let rep_template = SimTemplate::new(&rep_cfg);
-        let mut rep_policy = kind.build_static();
-        let r = rep_template.run(enablers, &mut rep_policy);
+        let r = replay(&rep_template, enablers, kind, opts);
         g_sum += r.g_overhead;
         f_sum += r.f_work;
         h_sum += r.h_overhead;
@@ -635,6 +665,31 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_does_not_change_curves() {
+        // The sharded executor is bit-identical to the sequential one, so
+        // a measurement's shards knob must be invisible in its results.
+        let mut seq = smoke_opts();
+        seq.threads = 1;
+        seq.shards = 1;
+        let mut sharded = smoke_opts();
+        sharded.threads = 1;
+        sharded.shards = 3;
+        let a = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &seq);
+        let b = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &sharded);
+        assert_eq!(a.e0.to_bits(), b.e0.to_bits());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.g.to_bits(), pb.g.to_bits(), "k={}", pa.k);
+            assert_eq!(pa.enablers, pb.enablers, "k={}", pa.k);
+            assert_eq!(pa.efficiency.to_bits(), pb.efficiency.to_bits());
+            assert_eq!(
+                pa.report.event_fingerprint, pb.report.event_fingerprint,
+                "k={}",
+                pa.k
+            );
+        }
+    }
+
+    #[test]
     fn curve_derivations_work() {
         let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts());
         let slopes = curve.g_slopes();
@@ -725,9 +780,11 @@ mod tests {
         let obj = v.as_object_mut().unwrap();
         obj.remove("batch");
         obj.remove("warm_start");
+        obj.remove("shards");
         let opts: MeasureOptions = serde_json::from_value(v).unwrap();
         assert_eq!(opts.batch, default_batch());
         assert!(opts.warm_start);
+        assert_eq!(opts.shards, default_shards());
     }
 }
 

@@ -152,6 +152,10 @@ const ROUTE_CHECK: u32 = 1024;
 /// because one far outlier stretched the bucket width) before the heap
 /// fallback latches for the rest of the run.
 const SKEW_STRIKES: u32 = 3;
+/// Per-bucket capacity kept across [`EventQueue::reset`]; anything above
+/// this (a spill artifact) is released so pooled queues don't retain a
+/// run's peak memory.
+const RESET_BUCKET_RETAIN: usize = 4 * TARGET_PER_BUCKET;
 
 /// Is `key` inside the half-open range ending at `bound`?
 /// `u128::MAX` denotes an unbounded range (so an event at
@@ -301,15 +305,57 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.insert(Entry {
+            key: pack(at, seq),
+            event,
+        });
+    }
+
+    /// Schedules `event` with a *caller-supplied* tie-break sequence
+    /// instead of the internal monotonic counter.
+    ///
+    /// This is the primitive behind sharded simulation: when `seq` is a
+    /// pure function of the scheduling site (e.g. packed
+    /// `(lane, per-lane counter)`), the total `(at, seq)` delivery order
+    /// no longer depends on global insertion order, so independently
+    /// scheduled partitions reproduce the sequential order exactly.
+    ///
+    /// The caller must keep `(at, seq)` pairs unique for the order to be
+    /// total; a run should use either keyed or unkeyed scheduling, never
+    /// both (the internal counter is not advanced here).
+    pub fn schedule_keyed(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert_eq!(
+            self.next_seq, 0,
+            "keyed and unkeyed scheduling must not mix within one run"
+        );
+        self.insert(Entry {
+            key: pack(at, seq),
+            event,
+        });
+    }
+
+    /// Schedules a batch of keyed events (see
+    /// [`EventQueue::schedule_keyed`]), reserving capacity up front.
+    pub fn schedule_batch_keyed<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, u64, E)>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.reserve(lower);
+        for (at, seq, event) in events {
+            self.schedule_keyed(at, seq, event);
+        }
+    }
+
+    /// Common insert path: counts, then routes by mode.
+    #[inline]
+    fn insert(&mut self, entry: Entry<E>) {
         self.scheduled_total += 1;
         self.len += 1;
         if self.len > self.peak_len {
             self.peak_len = self.len;
         }
-        let entry = Entry {
-            key: pack(at, seq),
-            event,
-        };
         if self.engaged {
             self.route(entry);
         } else {
@@ -428,16 +474,45 @@ impl<E> EventQueue<E> {
     }
 
     /// Empties the queue and resets the sequence, schedule, and telemetry
-    /// counters, retaining every allocation plus the warm-start hints
-    /// ([`EventQueue::peak_len`], the bucket geometry, the latched
-    /// fallback). This is the recycle entry point: a reset queue behaves
-    /// exactly like a freshly constructed one — only faster, because the
-    /// next run starts with last run's capacity and geometry.
+    /// counters, retaining allocations up to a *bounded* warm-start
+    /// footprint plus the geometry hints ([`EventQueue::peak_len`], the
+    /// bucket width, the latched fallback). This is the recycle entry
+    /// point: a reset queue behaves exactly like a freshly constructed
+    /// one — only faster, because the next run starts with last run's
+    /// capacity and geometry.
+    ///
+    /// Bounded retention: an overflow-tier spill redistributes the far
+    /// tier across the buckets, so after a spill-heavy run the bucket and
+    /// active tiers can each hold run-peak-sized allocations — unbounded
+    /// retention would pin a million-node run's peak memory across every
+    /// pooled replay. `reset` therefore shrinks each bucket (and the
+    /// active tier) to `RESET_BUCKET_RETAIN` entries, drops the overflow
+    /// allocation, and caps the front heap at its engage threshold.
+    /// Callers that want a warm start re-reserve via
+    /// [`EventQueue::reserve`] with the retained [`EventQueue::peak_len`]
+    /// hint, which restores capacity in the one tier that absorbs the
+    /// next run's scheduling burst.
     pub fn reset(&mut self) {
         self.drop_pending();
         self.next_seq = 0;
         self.scheduled_total = 0;
         self.telemetry = QueueTelemetry::default();
+        for b in &mut self.buckets {
+            b.shrink_to(RESET_BUCKET_RETAIN);
+        }
+        self.active.shrink_to(RESET_BUCKET_RETAIN);
+        self.overflow.shrink_to(0);
+        self.front.shrink_to(ENGAGE_LEN);
+    }
+
+    /// Total entry capacity currently retained across every tier — the
+    /// queue's idle memory footprint in events. Exposed so pooling layers
+    /// (and the bounded-retention test) can observe what `reset` keeps.
+    pub fn retained_capacity(&self) -> usize {
+        self.front.capacity()
+            + self.active.capacity()
+            + self.overflow.capacity()
+            + self.buckets.iter().map(Vec::capacity).sum::<usize>()
     }
 
     /// Drops pending events from every tier, disengaging the ladder but
@@ -708,6 +783,24 @@ impl<E> HeapQueue<E> {
         self.heap.reserve(lower);
         for (at, event) in events {
             self.schedule(at, event);
+        }
+    }
+
+    /// Schedules with a caller-supplied tie-break sequence (reference
+    /// counterpart of [`EventQueue::schedule_keyed`]; same uniqueness and
+    /// no-mixing contract).
+    pub fn schedule_keyed(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert_eq!(
+            self.next_seq, 0,
+            "keyed and unkeyed scheduling must not mix within one run"
+        );
+        self.scheduled_total += 1;
+        self.heap.push(Entry {
+            key: pack(at, seq),
+            event,
+        });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
         }
     }
 
@@ -1084,6 +1177,107 @@ mod tests {
         assert!(!after.engaged);
 
         // Replays the exact sequence a fresh queue would see.
+        let mut fresh = EventQueue::new();
+        for i in 0..3 * ENGAGE_LEN {
+            let at = t(i as u64 * 37 % 10_000);
+            q.schedule(at, i);
+            fresh.schedule(at, i);
+        }
+        assert_eq!(drain(&mut q), drain(&mut fresh));
+    }
+
+    /// Keyed scheduling delivers in `(at, seq)` order regardless of
+    /// insertion order, identically across both queue structures — the
+    /// property sharded simulation relies on.
+    #[test]
+    fn keyed_order_is_insertion_invariant() {
+        // Two "lanes" with packed (lane << 40 | counter) keys, inserted in
+        // two different interleavings, plus the heap oracle.
+        let lane = |l: u64, c: u64| (l << 40) | c;
+        let events = [
+            (t(5), lane(1, 0), "b0"),
+            (t(5), lane(0, 0), "a0"),
+            (t(2), lane(1, 1), "b1"),
+            (t(5), lane(0, 1), "a1"),
+            (t(9), lane(2, 0), "c0"),
+        ];
+        let mut fwd = EventQueue::new();
+        let mut rev = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        fwd.schedule_batch_keyed(events.iter().copied());
+        for &(at, seq, ev) in events.iter().rev() {
+            rev.schedule_keyed(at, seq, ev);
+            heap.schedule_keyed(at, seq, ev);
+        }
+        let stream = drain(&mut fwd);
+        assert_eq!(stream, drain(&mut rev));
+        let heap_stream: Vec<_> =
+            std::iter::from_fn(|| heap.pop().map(|e| (e.at, e.seq, e.event))).collect();
+        assert_eq!(stream, heap_stream);
+        assert_eq!(
+            stream.iter().map(|&(_, _, e)| e).collect::<Vec<_>>(),
+            vec!["b1", "a0", "a1", "b0", "c0"],
+            "time first, then lane-packed seq"
+        );
+    }
+
+    /// Keyed scheduling at scale matches the heap oracle through engage,
+    /// bucket, and overflow routing.
+    #[test]
+    fn keyed_ladder_matches_heap_oracle() {
+        let mut q = EventQueue::new();
+        let mut h = HeapQueue::new();
+        for i in 0..2000u64 {
+            let lane = i % 7;
+            let seq = (lane << 40) | (i / 7);
+            let at = t(i * 37 % 10_000);
+            q.schedule_keyed(at, seq, i);
+            h.schedule_keyed(at, seq, i);
+        }
+        assert!(q.telemetry().engaged);
+        loop {
+            match (q.pop(), h.pop()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!((a.at, a.seq, a.event), (b.at, b.seq, b.event));
+                }
+                _ => panic!("queues diverged in length"),
+            }
+        }
+    }
+
+    /// Satellite: after an overflow spill inflates the bucket tier,
+    /// `reset()` releases the excess capacity (bounded retention) instead
+    /// of pinning the run's peak memory across pooled replays.
+    #[test]
+    fn reset_releases_spill_capacity() {
+        let mut q = EventQueue::new();
+        // Engage with a compact near window, then dump a large far-future
+        // mass on a single tick: the rebuild spills it all into one
+        // bucket, which then holds a run-peak-sized allocation.
+        for i in 0..2 * ENGAGE_LEN {
+            q.schedule(t(i as u64 % 64), i);
+        }
+        for i in 0..60_000 {
+            q.schedule(t(1_000_000), i);
+        }
+        while q.pop().is_some() {}
+        assert!(q.telemetry().spills >= 1, "no spill provoked");
+        let inflated = q.retained_capacity();
+        assert!(
+            inflated > 50_000,
+            "spill should leave peak-sized capacity behind, got {inflated}"
+        );
+
+        q.reset();
+        let retained = q.retained_capacity();
+        assert!(
+            retained < 8 * ENGAGE_LEN,
+            "reset must release spill capacity, still retains {retained}"
+        );
+        assert_eq!(q.peak_len(), 60_000 + 2 * ENGAGE_LEN, "hint survives");
+
+        // Still behaves exactly like a fresh queue after the shrink.
         let mut fresh = EventQueue::new();
         for i in 0..3 * ENGAGE_LEN {
             let at = t(i as u64 * 37 % 10_000);

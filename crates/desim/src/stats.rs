@@ -232,6 +232,30 @@ impl Histogram {
         self.total
     }
 
+    /// Folds another histogram's counts into this one, bin by bin. Both
+    /// histograms must share the same geometry (bin width and count) —
+    /// merging is exact then: the result equals a single histogram fed
+    /// every observation, in any order. This is what lets sharded
+    /// simulation partitions keep private histograms and combine them at
+    /// the barrier without ordering effects.
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram geometries differ"
+        );
+        assert_eq!(
+            self.bin_width.to_bits(),
+            other.bin_width.to_bits(),
+            "histogram geometries differ"
+        );
+        for (b, &o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) from bin midpoints; overflow
     /// reports the lower edge of the overflow region. `None` if empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -412,6 +436,38 @@ mod tests {
         let median = h.quantile(0.5).unwrap();
         assert!((median - 49.5).abs() <= 1.0);
         assert_eq!(Histogram::new(1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_absorb_matches_single_feed() {
+        // Split one observation stream across two histograms, absorb, and
+        // compare against a single histogram fed everything.
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut whole = Histogram::new(10.0, 8);
+        let mut left = Histogram::new(10.0, 8);
+        let mut right = Histogram::new(10.0, 8);
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            if i % 3 == 0 {
+                left.push(x)
+            } else {
+                right.push(x)
+            }
+        }
+        left.absorb(&right);
+        assert_eq!(left.total(), whole.total());
+        assert_eq!(left.overflow(), whole.overflow());
+        for i in 0..8 {
+            assert_eq!(left.bin(i), whole.bin(i), "bin {i}");
+        }
+        assert_eq!(left.quantile(0.95), whole.quantile(0.95));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometries differ")]
+    fn histogram_absorb_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(10.0, 8);
+        a.absorb(&Histogram::new(10.0, 9));
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! the per-server RMS busy times summed into `G(k)`, and `h_overhead` is
 //! the resource pool's job-control cost `H(k)`. The efficiency reported
 //! is `E = F/(F+G+H)` (paper eq. 1).
+//!
+//! # Per-cluster slots and shard merging
+//!
+//! Every float tally is kept **per cluster** (or per estimator) and only
+//! summed — in slot order — when the report is folded. This is what lets
+//! the sharded executor keep one private `Accounting` per shard and
+//! combine them bit-exactly afterwards: a shard only ever charges the
+//! slots of lanes it owns, so in every other shard's ledger those slots
+//! are exactly `0.0` / empty, and [`Accounting::absorb_shard`] can be
+//! plain element-wise addition (`x + 0.0 == x` for the non-negative
+//! tallies booked here) plus identity-respecting [`Welford::merge`] and
+//! bin-wise [`Histogram::absorb`]. Both executors therefore fold the
+//! same per-slot partial sums in the same order.
 
 use crate::report::SimReport;
 use gridscale_desim::stats::{Histogram, Welford};
@@ -14,8 +27,10 @@ use gridscale_desim::SimTime;
 /// The run's tally sheet. Owned by the hot-state arena and reset (not
 /// reallocated) between pooled runs.
 pub(crate) struct Accounting {
-    pub(crate) f_work: f64,
-    pub(crate) h_overhead: f64,
+    /// Cluster → useful work (`F`) of jobs completed there in deadline.
+    pub(crate) f_work: Vec<f64>,
+    /// Cluster → RP job-control cost (`H`) charged at its resources.
+    pub(crate) h_overhead: Vec<f64>,
     /// Cluster → its scheduler's accumulated busy time.
     pub(crate) g_sched: Vec<f64>,
     /// Estimator → accumulated busy time.
@@ -31,15 +46,16 @@ pub(crate) struct Accounting {
     pub(crate) dispatches: u64,
     pub(crate) dag_deferred: u64,
     pub(crate) msgs_sent: u64,
-    pub(crate) response: Welford,
+    /// Cluster → response-time moments of jobs completed there.
+    pub(crate) response: Vec<Welford>,
     pub(crate) response_hist: Histogram,
 }
 
 impl Accounting {
     pub(crate) fn new(n_sched: usize, n_est: usize) -> Self {
         Accounting {
-            f_work: 0.0,
-            h_overhead: 0.0,
+            f_work: vec![0.0; n_sched],
+            h_overhead: vec![0.0; n_sched],
             g_sched: vec![0.0; n_sched],
             g_est: vec![0.0; n_est],
             completed: 0,
@@ -53,7 +69,7 @@ impl Accounting {
             dispatches: 0,
             dag_deferred: 0,
             msgs_sent: 0,
-            response: Welford::new(),
+            response: vec![Welford::new(); n_sched],
             response_hist: Histogram::new(100.0, 4000),
         }
     }
@@ -61,8 +77,8 @@ impl Accounting {
     /// Zeroes every tally in place (vector lengths and the histogram's
     /// bins are structural and kept), restoring the `new` state exactly.
     pub(crate) fn reset(&mut self) {
-        self.f_work = 0.0;
-        self.h_overhead = 0.0;
+        self.f_work.iter_mut().for_each(|g| *g = 0.0);
+        self.h_overhead.iter_mut().for_each(|g| *g = 0.0);
         self.g_sched.iter_mut().for_each(|g| *g = 0.0);
         self.g_est.iter_mut().for_each(|g| *g = 0.0);
         self.completed = 0;
@@ -76,15 +92,54 @@ impl Accounting {
         self.dispatches = 0;
         self.dag_deferred = 0;
         self.msgs_sent = 0;
-        self.response.reset();
+        self.response.iter_mut().for_each(|w| w.reset());
         self.response_hist.reset();
+    }
+
+    /// The blessed barrier-merge: folds a shard's private ledger into
+    /// this one. Every slot is owned by exactly one shard, so addition
+    /// combines one non-trivial partial with zeros/identities and the
+    /// merged ledger is bit-identical to the sequential one. Counters
+    /// add commutatively; the histogram merges bin-wise.
+    pub(crate) fn absorb_shard(&mut self, other: &Accounting) {
+        debug_assert_eq!(self.f_work.len(), other.f_work.len());
+        debug_assert_eq!(self.g_est.len(), other.g_est.len());
+        for (a, b) in self.f_work.iter_mut().zip(&other.f_work) {
+            *a += b;
+        }
+        for (a, b) in self.h_overhead.iter_mut().zip(&other.h_overhead) {
+            *a += b;
+        }
+        for (a, b) in self.g_sched.iter_mut().zip(&other.g_sched) {
+            *a += b;
+        }
+        for (a, b) in self.g_est.iter_mut().zip(&other.g_est) {
+            *a += b;
+        }
+        self.completed += other.completed;
+        self.succeeded += other.succeeded;
+        self.deadline_missed += other.deadline_missed;
+        self.updates_sent += other.updates_sent;
+        self.updates_suppressed += other.updates_suppressed;
+        self.batches += other.batches;
+        self.policy_msgs += other.policy_msgs;
+        self.transfers += other.transfers;
+        self.dispatches += other.dispatches;
+        self.dag_deferred += other.dag_deferred;
+        self.msgs_sent += other.msgs_sent;
+        for (a, b) in self.response.iter_mut().zip(&other.response) {
+            a.merge(b);
+        }
+        self.response_hist.absorb(&other.response_hist);
     }
 
     /// Folds the tallies into a [`SimReport`].
     ///
-    /// The `g_busy_raw` sum is an in-order chain over schedulers then
-    /// estimators — part of the bit-reproducibility contract, so the
-    /// float summation order must never change.
+    /// Every float fold below is an in-order chain over the per-slot
+    /// partial sums (schedulers then estimators for `g_busy_raw`,
+    /// cluster order for `F`/`H`/response) — part of the
+    /// bit-reproducibility contract, so the summation order must never
+    /// change.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn report(
         &self,
@@ -99,12 +154,16 @@ impl Accounting {
         let a = self;
         let g_busy_raw: f64 = a.g_sched.iter().chain(a.g_est.iter()).sum();
         let g = g_busy_raw * overhead_weight;
-        let h = a.h_overhead;
-        let f = a.f_work;
+        let h: f64 = a.h_overhead.iter().sum();
+        let f: f64 = a.f_work.iter().sum();
         let efficiency = if f > 0.0 { f / (f + g + h) } else { 0.0 };
         let ht = horizon.as_f64();
         let busy_total: f64 = res_busy.iter().sum();
         let n_res = res_busy.len();
+        let mut response = Welford::new();
+        for w in &a.response {
+            response.merge(w);
+        }
         SimReport {
             policy: policy.to_string(),
             f_work: f,
@@ -118,7 +177,7 @@ impl Accounting {
             unfinished: jobs_total - a.completed,
             throughput: a.completed as f64 / ht,
             goodput: a.succeeded as f64 / ht,
-            mean_response: a.response.mean(),
+            mean_response: response.mean(),
             p95_response: a.response_hist.quantile(0.95).unwrap_or(0.0),
             updates_sent: a.updates_sent,
             updates_suppressed: a.updates_suppressed,

@@ -16,22 +16,32 @@
 //!
 //! Every action charges its decision cost to the acting scheduler's `G`
 //! before the wire leaves the building, so a policy cannot act for free.
+//!
+//! A `Ctx` is always scoped to the **acting lane** (the cluster whose
+//! scheduler is processing the work item): its RNG stream, correlation
+//! tokens, and emitted events all belong to that lane, which is what
+//! keeps policy behaviour a function of per-lane history only — the
+//! property the sharded executor's determinism rests on.
 
 use crate::config::{Enablers, Thresholds};
 use crate::event::GridEvent;
+use crate::fel::Fel;
 use crate::kernel::SimCore;
 use crate::msg::{Msg, PolicyMsg};
 use crate::view::ClusterView;
-use gridscale_desim::{EventQueue, SimRng, SimTime};
+use gridscale_desim::{SimRng, SimTime};
 use gridscale_workload::Job;
 
 /// The policy-facing handle: queries about the acting scheduler's (stale)
 /// knowledge plus cost-charged actions, exposed through the capability
 /// traits [`Clock`], [`Telemetry`], [`Dispatch`], [`Comms`], [`Timers`].
-pub struct Ctx<'a> {
+pub struct Ctx<'a, 'q> {
     pub(crate) core: &'a mut SimCore,
-    pub(crate) queue: &'a mut EventQueue<GridEvent>,
+    pub(crate) fel: &'a mut Fel<'q>,
     pub(crate) now: SimTime,
+    /// The acting lane (= the cluster index of the scheduler whose work
+    /// item is being processed).
+    pub(crate) lane: usize,
 }
 
 /// Reading simulated time.
@@ -111,10 +121,11 @@ pub trait Comms {
     /// (middleware-routed for the S-I/R-I/Sy-I family).
     fn send_policy(&mut self, from: usize, to: usize, msg: PolicyMsg);
 
-    /// A fresh correlation token for pending-reply tables.
+    /// A fresh correlation token for pending-reply tables (unique across
+    /// the run; drawn from the acting lane's counter).
     fn next_token(&mut self) -> u64;
 
-    /// The simulation's policy-stream RNG.
+    /// The acting scheduler's policy RNG stream.
     fn rng(&mut self) -> &mut SimRng;
 
     /// `n` distinct random clusters other than `c` (fewer if the Grid has
@@ -127,11 +138,12 @@ pub trait Comms {
 pub trait Timers {
     /// Arms a policy timer at cluster `c`, `delay` ticks from now; it will
     /// surface as [`Policy::on_timer`](crate::Policy::on_timer) with `tag`
-    /// after passing through the scheduler's work queue.
+    /// after passing through the scheduler's work queue. `c` must be the
+    /// acting cluster — policies arm their own timers.
     fn set_timer(&mut self, c: usize, delay: SimTime, tag: u64);
 }
 
-impl Ctx<'_> {
+impl Ctx<'_, '_> {
     /// `n` distinct random clusters other than `c`, as a fresh allocation.
     #[deprecated(
         since = "0.2.0",
@@ -144,13 +156,13 @@ impl Ctx<'_> {
     }
 }
 
-impl Clock for Ctx<'_> {
+impl Clock for Ctx<'_, '_> {
     fn now(&self) -> SimTime {
         self.now
     }
 }
 
-impl Telemetry for Ctx<'_> {
+impl Telemetry for Ctx<'_, '_> {
     fn clusters(&self) -> usize {
         self.core.n_clusters()
     }
@@ -200,7 +212,7 @@ impl Telemetry for Ctx<'_> {
     }
 }
 
-impl Dispatch for Ctx<'_> {
+impl Dispatch for Ctx<'_, '_> {
     fn dispatch_local(&mut self, c: usize, pos: usize, job: Job) {
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(c, cost);
@@ -209,8 +221,15 @@ impl Dispatch for Ctx<'_> {
         let res = self.core.shared.layout.members[c][pos];
         let from = self.core.shared.layout.sched_node[c];
         let to = self.core.shared.layout.res_node[res as usize];
-        self.core
-            .send_net(self.now, from, to, Msg::Dispatch { job }, false, self.queue);
+        self.core.send_net(
+            self.now,
+            self.lane,
+            from,
+            to,
+            Msg::Dispatch { job },
+            false,
+            self.fel,
+        );
     }
 
     fn dispatch_least_loaded(&mut self, c: usize, job: Job) {
@@ -228,8 +247,15 @@ impl Dispatch for Ctx<'_> {
         let f = self.core.shared.layout.sched_node[from];
         let t = self.core.shared.layout.sched_node[to];
         let mw = self.core.net.use_middleware;
-        self.core
-            .send_net(self.now, f, t, Msg::Transfer { job }, mw, self.queue);
+        self.core.send_net(
+            self.now,
+            self.lane,
+            f,
+            t,
+            Msg::Transfer { job },
+            mw,
+            self.fel,
+        );
     }
 
     fn recall(&mut self, c: usize, pos: usize, to_cluster: usize) {
@@ -241,18 +267,19 @@ impl Dispatch for Ctx<'_> {
         let to = self.core.shared.layout.res_node[res as usize];
         self.core.send_net(
             self.now,
+            self.lane,
             from,
             to,
             Msg::Recall {
                 to_cluster: to_cluster as u32,
             },
             false,
-            self.queue,
+            self.fel,
         );
     }
 }
 
-impl Comms for Ctx<'_> {
+impl Comms for Ctx<'_, '_> {
     fn send_policy(&mut self, from: usize, to: usize, msg: PolicyMsg) {
         debug_assert_ne!(from, to, "policy message to self");
         let cost = self.core.cfg.costs.dispatch;
@@ -261,16 +288,15 @@ impl Comms for Ctx<'_> {
         let t = self.core.shared.layout.sched_node[to];
         let mw = self.core.net.use_middleware;
         self.core
-            .send_net(self.now, f, t, Msg::Policy(msg), mw, self.queue);
+            .send_net(self.now, self.lane, f, t, Msg::Policy(msg), mw, self.fel);
     }
 
     fn next_token(&mut self) -> u64 {
-        self.core.token_counter += 1;
-        self.core.token_counter
+        self.core.next_token(self.lane)
     }
 
     fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
+        &mut self.core.lane_rngs[self.lane]
     }
 
     fn random_remotes_into(&mut self, c: usize, n: usize, out: &mut Vec<usize>) {
@@ -279,9 +305,7 @@ impl Comms for Ctx<'_> {
         if total <= 1 {
             return;
         }
-        self.core
-            .rng
-            .sample_indices_into(total - 1, n.min(total - 1), out);
+        self.core.lane_rngs[self.lane].sample_indices_into(total - 1, n.min(total - 1), out);
         for i in out.iter_mut() {
             if *i >= c {
                 *i += 1;
@@ -290,9 +314,11 @@ impl Comms for Ctx<'_> {
     }
 }
 
-impl Timers for Ctx<'_> {
+impl Timers for Ctx<'_, '_> {
     fn set_timer(&mut self, c: usize, delay: SimTime, tag: u64) {
-        self.queue.schedule(
+        debug_assert_eq!(c, self.lane, "policies arm timers on their own cluster");
+        self.fel.schedule(
+            self.lane,
             self.now + delay,
             GridEvent::PolicyTimer {
                 cluster: c as u32,

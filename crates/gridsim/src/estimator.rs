@@ -4,11 +4,11 @@
 //! the second component of the RMS overhead `G(k)`.
 
 use crate::accounting::Accounting;
-use crate::event::GridEvent;
+use crate::fel::Fel;
 use crate::msg::Msg;
 use crate::net::NetFabric;
 use crate::world::SharedWorld;
-use gridscale_desim::{EventQueue, SimTime};
+use gridscale_desim::SimTime;
 
 /// Per-estimator service state and batching buffers.
 pub(crate) struct EstimatorBank {
@@ -54,7 +54,8 @@ impl EstimatorBank {
 
     /// Estimator `e`'s flush timer fires: forward each non-empty
     /// per-cluster buffer as one batch message to that cluster's
-    /// scheduler, charging the batch-fixed cost per batch.
+    /// scheduler, charging the batch-fixed cost per batch. Sends are
+    /// stamped with the estimator's own lane (`C + e`).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn flush(
         &mut self,
@@ -64,9 +65,10 @@ impl EstimatorBank {
         shared: &SharedWorld,
         net: &mut NetFabric,
         acct: &mut Accounting,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         let nc = shared.layout.members.len();
+        let src_lane = nc + e;
         for ci in 0..nc {
             if self.buffer[e][ci].is_empty() {
                 continue;
@@ -79,13 +81,14 @@ impl EstimatorBank {
             let to = shared.layout.sched_node[ci];
             net.send(
                 now,
+                src_lane,
                 from,
                 to,
                 Msg::StatusBatch { updates },
                 false,
-                &shared.rt,
+                &shared.routing,
                 acct,
-                queue,
+                fel,
             );
         }
     }

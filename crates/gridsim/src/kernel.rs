@@ -7,10 +7,27 @@
 //! scheduler stations ([`crate::sched`]), the resource pool
 //! ([`crate::resource`]), and the estimators ([`crate::estimator`]), all
 //! of which book into the single [`Accounting`] ledger.
+//!
+//! # Lane discipline
+//!
+//! Every event belongs to exactly one **lane** (see
+//! [`SimCore::lane_of`]): cluster lanes `0..C`, estimator lanes
+//! `C..C+E`, and the global timeline lane `C+E`. Handling an event at
+//! lane `l` mutates only lane-`l` state — its RNG stream
+//! (`lane_rngs[l]`), token counter, accounting slots, subsystem scratch
+//! — and every event it emits is stamped with `src_lane == l`. This is
+//! the invariant that makes the event stream a deterministic function of
+//! per-lane histories, independent of how lanes are interleaved — and
+//! therefore lets the sharded executor run disjoint lane groups on
+//! worker threads and still reproduce the sequential fingerprint
+//! bit-for-bit.
+//!
+//! [`Accounting`]: crate::accounting::Accounting
 
 use crate::config::{Enablers, GridConfig};
 use crate::ctx::Ctx;
 use crate::event::{GridEvent, WorkItem};
+use crate::fel::{Fel, LANE_SHIFT};
 use crate::msg::Msg;
 use crate::net::NetFabric;
 use crate::policy::Policy;
@@ -18,7 +35,7 @@ use crate::report::SimReport;
 use crate::sim::HotState;
 use crate::timeline::{Sample, Timeline};
 use crate::world::SharedWorld;
-use gridscale_desim::{EventQueue, SimRng, SimTime};
+use gridscale_desim::{SimRng, SimTime};
 use gridscale_topology::NodeId;
 use gridscale_workload::JobClass;
 use std::sync::Arc;
@@ -30,17 +47,23 @@ pub(crate) struct SimCore {
     /// The per-run enabler overlay; read instead of `cfg.enablers`.
     pub(crate) enablers: Enablers,
     pub(crate) shared: Arc<SharedWorld>,
-    pub(crate) rng: SimRng,
+    /// Lane → its private RNG stream, forked position-independently from
+    /// the simulation root so a lane's draw sequence depends only on its
+    /// own history.
+    pub(crate) lane_rngs: Vec<SimRng>,
     pub(crate) hot: HotState,
-    /// The link fabric (and its middleware queue state).
+    /// The link fabric (and its per-lane middleware queue state).
     pub(crate) net: NetFabric,
-    pub(crate) token_counter: u64,
-    /// Running event-stream fingerprint: every delivered event's
-    /// `(at, seq, fp_word)` tuple folded through a splitmix64-style
-    /// mixer. Two runs with equal fingerprints delivered the same events
-    /// in the same order — the runtime half of the determinism contract
-    /// (`gridscale audit` checks the static half).
-    pub(crate) fingerprint: u64,
+    /// Lane → its correlation-token counter (tokens are
+    /// `lane << LANE_SHIFT | count`, unique without global coordination).
+    pub(crate) lane_tokens: Vec<u64>,
+    /// Lane → running event-stream fingerprint of the events *handled* by
+    /// that lane: each delivered `(at, seq, fp_word)` tuple folded through
+    /// a splitmix64-style mixer. The run fingerprint is [`fold_lanes`] of
+    /// this vector; two runs with equal fingerprints delivered the same
+    /// events in the same per-lane order — the runtime half of the
+    /// determinism contract (`gridscale audit` checks the static half).
+    pub(crate) lane_fp: Vec<u64>,
     /// Optional time-series recorder.
     pub(crate) timeline: Option<Timeline>,
 }
@@ -55,6 +78,18 @@ pub(crate) fn fp_mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Folds the per-lane fingerprints into the single run fingerprint, in
+/// lane order. Shared by the sequential report path and the sharded
+/// merge (where each lane's slot is non-zero in exactly one shard), so
+/// both executors publish the same value for the same event streams.
+pub(crate) fn fold_lanes(lane_fp: &[u64]) -> u64 {
+    let mut fp = 0u64;
+    for (lane, &f) in lane_fp.iter().enumerate() {
+        fp = fp_mix(fp ^ f.wrapping_add(fp_mix(lane as u64)));
+    }
+    fp
+}
+
 impl SimCore {
     pub(crate) fn new(
         cfg: Arc<GridConfig>,
@@ -63,17 +98,19 @@ impl SimCore {
         hot: HotState,
     ) -> SimCore {
         let root = SimRng::new(cfg.seed);
-        let sim_rng = root.fork(3);
-        let net = NetFabric::new(enablers.link_delay_factor, cfg.middleware_service);
+        let sim_root = root.fork(3);
+        let n_lanes = shared.layout.n_lanes();
+        let lane_rngs = (0..n_lanes).map(|l| sim_root.fork(l as u64)).collect();
+        let net = NetFabric::new(enablers.link_delay_factor, cfg.middleware_service, n_lanes);
         SimCore {
             cfg,
             enablers,
             shared,
-            rng: sim_rng,
+            lane_rngs,
             hot,
             net,
-            token_counter: 0,
-            fingerprint: 0,
+            lane_tokens: vec![0; n_lanes],
+            lane_fp: vec![0; n_lanes],
             timeline: None,
         }
     }
@@ -83,36 +120,71 @@ impl SimCore {
         self.shared.layout.members.len()
     }
 
+    /// The lane that handles `ev` — the partitioning function of the
+    /// sharded executor and the index of every per-lane stream.
+    #[inline]
+    pub(crate) fn lane_of(&self, ev: &GridEvent) -> usize {
+        let l = &self.shared.layout;
+        match ev {
+            GridEvent::Arrival(i) => {
+                (self.shared.trace[*i as usize].submit_point as usize) % l.members.len()
+            }
+            GridEvent::Deliver { to, .. } => l.node_lane[*to as usize] as usize,
+            GridEvent::Finish { res } | GridEvent::UpdateTick { res } => {
+                l.res_cluster[*res as usize] as usize
+            }
+            GridEvent::EstFlush { est } => l.members.len() + *est as usize,
+            GridEvent::SchedWork { sched, .. } => *sched as usize,
+            GridEvent::PolicyTimer { cluster, .. } => *cluster as usize,
+            GridEvent::Sample => l.global_lane(),
+        }
+    }
+
     /// Seeds arrivals, update ticks, and estimator flush timers.
-    pub(crate) fn bootstrap(&mut self, queue: &mut EventQueue<GridEvent>) {
+    ///
+    /// When `owned` is `Some((shard_of_lane, shard))`, only events whose
+    /// lane belongs to `shard` are scheduled. The iteration still visits
+    /// every slot in global order, but each slot's stagger draw comes
+    /// from the *target lane's* RNG and each event from the target
+    /// lane's sequence counter, so restricting to owned lanes leaves
+    /// every owned lane's stream identical to the sequential run's.
+    pub(crate) fn bootstrap(&mut self, fel: &mut Fel, owned: Option<(&[u32], u32)>) {
+        let owns = |lane: usize| match owned {
+            None => true,
+            Some((plan, shard)) => plan[lane] == shard,
+        };
+        let nc = self.n_clusters();
         match self.shared.dag.as_ref() {
             None => {
-                // One bulk reservation for the whole trace instead of
-                // growing the heap arrival by arrival.
-                queue.schedule_batch(
-                    self.shared
-                        .trace
-                        .iter()
-                        .enumerate()
-                        .map(|(i, job)| (job.arrival, GridEvent::Arrival(i as u32))),
-                );
+                for (i, job) in self.shared.trace.iter().enumerate() {
+                    let lane = (job.submit_point as usize) % nc;
+                    if owns(lane) {
+                        fel.schedule(lane, job.arrival, GridEvent::Arrival(i as u32));
+                    }
+                }
             }
             Some(dag) => {
                 // Only dependency roots arrive on schedule; the rest are
                 // released as their parents complete.
                 for j in dag.roots() {
-                    queue.schedule(
-                        self.shared.trace[j as usize].arrival,
-                        GridEvent::Arrival(j as u32),
-                    );
+                    let job = &self.shared.trace[j as usize];
+                    let lane = (job.submit_point as usize) % nc;
+                    if owns(lane) {
+                        fel.schedule(lane, job.arrival, GridEvent::Arrival(j as u32));
+                    }
                 }
             }
         }
         let tau = self.enablers.update_interval;
         let nr = self.shared.layout.res_node.len();
         for r in 0..nr {
-            let stagger = self.rng.int_range(1, tau.max(1));
-            queue.schedule(
+            let lane = self.shared.layout.res_cluster[r] as usize;
+            if !owns(lane) {
+                continue;
+            }
+            let stagger = self.lane_rngs[lane].int_range(1, tau.max(1));
+            fel.schedule(
+                lane,
                 SimTime::from_ticks(stagger),
                 GridEvent::UpdateTick { res: r as u32 },
             );
@@ -120,8 +192,13 @@ impl SimCore {
         let flush = self.flush_interval();
         let ne = self.shared.layout.est_node.len();
         for e in 0..ne {
-            let stagger = self.rng.int_range(1, flush.max(1));
-            queue.schedule(
+            let lane = nc + e;
+            if !owns(lane) {
+                continue;
+            }
+            let stagger = self.lane_rngs[lane].int_range(1, flush.max(1));
+            fel.schedule(
+                lane,
                 SimTime::from_ticks(stagger),
                 GridEvent::EstFlush { est: e as u32 },
             );
@@ -132,52 +209,58 @@ impl SimCore {
         (self.enablers.update_interval / 2).max(1)
     }
 
+    /// A fresh correlation token for `lane`: unique across the run, and
+    /// a function of the lane's own issue count only.
+    #[inline]
+    pub(crate) fn next_token(&mut self, lane: usize) -> u64 {
+        self.lane_tokens[lane] += 1;
+        ((lane as u64) << LANE_SHIFT) | self.lane_tokens[lane]
+    }
+
     /// Charges decision-time work to scheduler `c` (see
-    /// [`SchedulerBank::charge`]).
+    /// [`SchedulerBank::charge`](crate::sched::SchedulerBank::charge)).
     pub(crate) fn charge_sched(&mut self, c: usize, cost: f64) {
         self.hot.sched.charge(c, cost, &mut self.hot.acct);
     }
 
-    /// Sends one message over the link fabric (see [`NetFabric::send`]).
+    /// Sends one message over the link fabric from `src_lane` (see
+    /// [`NetFabric::send`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn send_net(
         &mut self,
         now: SimTime,
+        src_lane: usize,
         from: NodeId,
         to: NodeId,
         msg: Msg,
         via_middleware: bool,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         self.net.send(
             now,
+            src_lane,
             from,
             to,
             msg,
             via_middleware,
-            &self.shared.rt,
+            &self.shared.routing,
             &mut self.hot.acct,
-            queue,
+            fel,
         );
     }
 
-    fn enqueue_sched_work(
-        &mut self,
-        now: SimTime,
-        c: usize,
-        item: WorkItem,
-        queue: &mut EventQueue<GridEvent>,
-    ) {
+    fn enqueue_sched_work(&mut self, now: SimTime, c: usize, item: WorkItem, fel: &mut Fel) {
         let members = self.shared.layout.members[c].len() as f64;
         self.hot
             .sched
-            .enqueue_work(now, c, item, &self.cfg.costs, members, queue);
+            .enqueue_work(now, c, item, &self.cfg.costs, members, fel);
     }
 
     pub(crate) fn handle<P: Policy + ?Sized>(
         &mut self,
         now: SimTime,
         ev: GridEvent,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
         policy: &mut P,
     ) {
         match ev {
@@ -190,14 +273,15 @@ impl SimCore {
                 // The submission host is a random resource of the arrival
                 // cluster; the submit message pays the network distance to
                 // the coordinating scheduler.
-                let members = &self.shared.layout.members[c];
-                let host = members[self.rng.index(members.len())];
+                let n_members = self.shared.layout.members[c].len();
+                let pick = self.lane_rngs[c].index(n_members);
+                let host = self.shared.layout.members[c][pick];
                 let from = self.shared.layout.res_node[host as usize];
                 let to = self.shared.layout.sched_node[c];
-                self.send_net(now, from, to, Msg::Submit { job }, false, queue);
+                self.send_net(now, c, from, to, Msg::Submit { job }, false, fel);
             }
 
-            GridEvent::Deliver { to, msg } => self.deliver(now, to, msg, queue),
+            GridEvent::Deliver { to, msg } => self.deliver(now, to, msg, fel),
 
             GridEvent::Finish { res } => {
                 let r = res as usize;
@@ -212,17 +296,18 @@ impl SimCore {
                     &self.shared,
                     self.cfg.dag_data_cost,
                     &mut self.hot.acct,
-                    queue,
+                    fel,
                 );
                 if let Some(next) = self.hot.rp.queue[r].pop_front() {
                     self.hot
                         .rp
-                        .start_job(now, r, next, self.cfg.service_rate, queue);
+                        .start_job(now, r, cluster, next, self.cfg.service_rate, fel);
                 }
             }
 
             GridEvent::UpdateTick { res } => {
                 let r = res as usize;
+                let lane = self.shared.layout.res_cluster[r] as usize;
                 let load = self.hot.rp.load(r);
                 let delta = (load - self.hot.rp.last_sent[r]).abs();
                 if delta >= self.cfg.thresholds.suppress_delta {
@@ -231,24 +316,23 @@ impl SimCore {
                     let rnode = self.shared.layout.res_node[r];
                     let dest = match self.shared.map.estimator_for(rnode) {
                         Some(e) => e,
-                        None => {
-                            self.shared.layout.sched_node
-                                [self.shared.layout.res_cluster[r] as usize]
-                        }
+                        None => self.shared.layout.sched_node[lane],
                     };
                     self.send_net(
                         now,
+                        lane,
                         rnode,
                         dest,
                         Msg::StatusUpdate { res, load },
                         false,
-                        queue,
+                        fel,
                     );
                 } else {
                     self.hot.acct.updates_suppressed += 1;
                 }
                 let tau = self.enablers.update_interval;
-                queue.schedule(
+                fel.schedule(
+                    lane,
                     now + SimTime::from_ticks(tau),
                     GridEvent::UpdateTick { res },
                 );
@@ -263,21 +347,23 @@ impl SimCore {
                     &self.shared,
                     &mut self.net,
                     &mut self.hot.acct,
-                    queue,
+                    fel,
                 );
                 let flush = self.flush_interval();
-                queue.schedule(
+                let lane = self.n_clusters() + e;
+                fel.schedule(
+                    lane,
                     now + SimTime::from_ticks(flush),
                     GridEvent::EstFlush { est },
                 );
             }
 
             GridEvent::PolicyTimer { cluster, tag } => {
-                self.enqueue_sched_work(now, cluster as usize, WorkItem::Timer(tag), queue);
+                self.enqueue_sched_work(now, cluster as usize, WorkItem::Timer(tag), fel);
             }
 
             GridEvent::Sample => {
-                if let Some(tl) = &mut self.timeline {
+                if let Some(mut tl) = self.timeline.take() {
                     let nr = self.shared.layout.res_node.len();
                     let mut sum = 0.0;
                     let mut max_load: f64 = 0.0;
@@ -306,13 +392,15 @@ impl SimCore {
                         mean_load,
                         max_load,
                         rms_backlog,
-                        f_so_far: self.hot.acct.f_work,
+                        f_so_far: self.hot.acct.f_work.iter().sum(),
                         g_busy_so_far,
                         completed: self.hot.acct.completed,
                     };
                     tl.push(sample);
                     let interval = tl.interval();
-                    queue.schedule(now + SimTime::from_ticks(interval), GridEvent::Sample);
+                    let lane = self.shared.layout.global_lane();
+                    fel.schedule(lane, now + SimTime::from_ticks(interval), GridEvent::Sample);
+                    self.timeline = Some(tl);
                 }
             }
 
@@ -324,8 +412,9 @@ impl SimCore {
                         let class = job.class(self.cfg.thresholds.t_cpu);
                         let mut ctx = Ctx {
                             core: self,
-                            queue,
+                            fel,
                             now,
+                            lane: c,
                         };
                         match class {
                             JobClass::Local => policy.on_local_job(&mut ctx, c, job),
@@ -335,32 +424,35 @@ impl SimCore {
                     WorkItem::TransferIn(job) => {
                         let mut ctx = Ctx {
                             core: self,
-                            queue,
+                            fel,
                             now,
+                            lane: c,
                         };
                         policy.on_transfer_in(&mut ctx, c, job);
                     }
                     WorkItem::Update { res, load } => {
-                        self.apply_update(now, c, res, load, queue, policy);
+                        self.apply_update(now, c, res, load, fel, policy);
                     }
                     WorkItem::Batch(updates) => {
                         for (res, load) in updates {
-                            self.apply_update(now, c, res, load, queue, policy);
+                            self.apply_update(now, c, res, load, fel, policy);
                         }
                     }
                     WorkItem::Policy(msg) => {
                         let mut ctx = Ctx {
                             core: self,
-                            queue,
+                            fel,
                             now,
+                            lane: c,
                         };
                         policy.on_policy_msg(&mut ctx, c, msg);
                     }
                     WorkItem::Timer(tag) => {
                         let mut ctx = Ctx {
                             core: self,
-                            queue,
+                            fel,
                             now,
+                            lane: c,
                         };
                         policy.on_timer(&mut ctx, c, tag);
                     }
@@ -375,7 +467,7 @@ impl SimCore {
         c: usize,
         res: u32,
         load: f64,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
         policy: &mut P,
     ) {
         // Guard against misrouted updates (cluster mismatch cannot happen
@@ -387,25 +479,28 @@ impl SimCore {
         self.hot.sched.views[c].apply_update(pos, load, now);
         let mut ctx = Ctx {
             core: self,
-            queue,
+            fel,
             now,
+            lane: c,
         };
         policy.on_update(&mut ctx, c, pos, load);
     }
 
-    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, queue: &mut EventQueue<GridEvent>) {
+    fn deliver(&mut self, now: SimTime, to: NodeId, msg: Msg, fel: &mut Fel) {
         match msg {
             Msg::Dispatch { job } => {
                 let r = self.shared.layout.res_at_node[to as usize];
                 debug_assert_ne!(r, u32::MAX, "Dispatch to a non-resource node");
+                let cluster = self.shared.layout.res_cluster[r as usize] as usize;
                 self.hot.rp.enqueue(
                     now,
                     r as usize,
+                    cluster,
                     job,
                     self.cfg.costs.rp_job_control,
                     self.cfg.service_rate,
                     &mut self.hot.acct,
-                    queue,
+                    fel,
                 );
             }
             Msg::Recall { to_cluster } => {
@@ -413,9 +508,10 @@ impl SimCore {
                 debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
                 if let Some(job) = self.hot.rp.queue[r as usize].pop_back() {
                     self.hot.acct.transfers += 1;
+                    let lane = self.shared.layout.res_cluster[r as usize] as usize;
                     let from = self.shared.layout.res_node[r as usize];
                     let dest = self.shared.layout.sched_node[to_cluster as usize];
-                    self.send_net(now, from, dest, Msg::Transfer { job }, false, queue);
+                    self.send_net(now, lane, from, dest, Msg::Transfer { job }, false, fel);
                 }
             }
             Msg::StatusUpdate { res, load } => {
@@ -434,41 +530,43 @@ impl SimCore {
                 } else {
                     let c = self.shared.layout.sched_at_node[to as usize];
                     debug_assert_ne!(c, u32::MAX, "update to a non-RMS node");
-                    self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, queue);
+                    self.enqueue_sched_work(now, c as usize, WorkItem::Update { res, load }, fel);
                 }
             }
             Msg::StatusBatch { updates } => {
                 let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), queue);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Batch(updates), fel);
             }
             Msg::Submit { job } => {
                 let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), queue);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Job(job), fel);
             }
             Msg::Transfer { job } => {
                 let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
-                self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), queue);
+                self.enqueue_sched_work(now, c as usize, WorkItem::TransferIn(job), fel);
             }
             Msg::Policy(pmsg) => {
                 let c = self.shared.layout.sched_at_node[to as usize];
                 debug_assert_ne!(c, u32::MAX);
                 self.hot.acct.policy_msgs += 1;
-                self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), queue);
+                self.enqueue_sched_work(now, c as usize, WorkItem::Policy(pmsg), fel);
             }
         }
     }
 
-    /// Folds one delivered event into the stream fingerprint. Called by
-    /// the engine's observe hook for *every* delivery, before handling.
+    /// Folds one delivered event into its handling lane's fingerprint.
+    /// Called by the engine's observe hook for *every* delivery, before
+    /// handling.
     #[inline]
     pub(crate) fn fold_event(&mut self, at: SimTime, seq: u64, ev: &GridEvent) {
+        let lane = self.lane_of(ev);
         let word = fp_mix(at.ticks())
             .wrapping_add(fp_mix(seq))
             .wrapping_add(fp_mix(ev.fp_word()));
-        self.fingerprint = fp_mix(self.fingerprint ^ word);
+        self.lane_fp[lane] = fp_mix(self.lane_fp[lane] ^ word);
     }
 
     /// Folds the run's ledger into a [`SimReport`].
@@ -487,7 +585,7 @@ impl SimCore {
             self.cfg.costs.overhead_weight,
             self.cfg.nodes,
         );
-        report.event_fingerprint = self.fingerprint;
+        report.event_fingerprint = fold_lanes(&self.lane_fp);
         report
     }
 }

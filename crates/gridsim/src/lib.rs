@@ -38,8 +38,9 @@
 //! | `estimator` | status batching | Case-3 estimators |
 //! | `accounting` | the F/G/H ledger → [`SimReport`] | `E = F/(F+G+H)` |
 //! | `kernel` | event routing, policy trampoline | — |
+//! | `fel` | lane-keyed scheduling, cross-shard routing | — |
 //! | `ctx` | capability-scoped policy API | policy decision costs |
-//! | `sim` | templates, pooling, run paths | repeated measurements |
+//! | `sim` | templates, pooling, run paths, sharded executor | repeated measurements |
 
 #![warn(missing_docs)]
 
@@ -48,6 +49,7 @@ mod config;
 mod ctx;
 mod estimator;
 mod event;
+mod fel;
 mod kernel;
 mod msg;
 mod net;
@@ -67,6 +69,6 @@ pub use gridscale_desim::{QueueDiscipline, QueueTelemetry};
 pub use msg::{Msg, PolicyMsg};
 pub use policy::{LocalOnly, Policy};
 pub use report::SimReport;
-pub use sim::{run_simulation, GridSim, QueueSummary, ReplayStats, SimTemplate};
+pub use sim::{run_simulation, GridSim, QueueSummary, ReplayStats, ShardSummary, SimTemplate};
 pub use timeline::{Sample, Timeline};
 pub use view::{ClusterView, ResourceView};

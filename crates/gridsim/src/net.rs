@@ -2,19 +2,27 @@
 //! topology — propagation (scaled by the link-delay enabler), per-hop
 //! transmission, and the optional middleware queueing stage used by the
 //! S-I/R-I/Sy-I model family (paper §3.3).
+//!
+//! The middleware queue is modelled **per sending lane** (one middleware
+//! instance per scheduler domain), so a lane's middleware backlog is a
+//! function of that lane's own sends only. This keeps the transport
+//! state partitionable: under the sharded executor each shard owns
+//! exactly its lanes' middleware servers, with no cross-shard ordering
+//! dependence.
 
 use crate::accounting::Accounting;
 use crate::event::GridEvent;
+use crate::fel::Fel;
 use crate::msg::Msg;
-use gridscale_desim::{EventQueue, SimTime};
-use gridscale_topology::{NodeId, RoutingTable};
+use gridscale_desim::SimTime;
+use gridscale_topology::{NodeId, Routing};
 
 /// Base link bandwidth used for the transmission-delay term (payload units
 /// per tick), matching `LinkParams::default`.
 const BASE_BANDWIDTH: f64 = 100.0;
 
 /// Per-run transport state: the delay parameters and the middleware
-/// queue's server availability.
+/// queues' server availability.
 pub(crate) struct NetFabric {
     /// The link-delay enabler (multiplies routed propagation latency).
     pub(crate) link_delay_factor: f64,
@@ -23,43 +31,56 @@ pub(crate) struct NetFabric {
     /// Whether the active policy routes transfers/policy traffic through
     /// the middleware stage.
     pub(crate) use_middleware: bool,
-    /// Middleware server availability, fractional ticks.
-    pub(crate) mw_next_free: f64,
+    /// Sending lane → its middleware server availability, fractional
+    /// ticks (one middleware instance per scheduler domain).
+    pub(crate) mw_next_free: Vec<f64>,
 }
 
 impl NetFabric {
-    pub(crate) fn new(link_delay_factor: f64, middleware_service: f64) -> NetFabric {
+    pub(crate) fn new(
+        link_delay_factor: f64,
+        middleware_service: f64,
+        n_lanes: usize,
+    ) -> NetFabric {
         NetFabric {
             link_delay_factor,
             middleware_service,
             use_middleware: false,
-            mw_next_free: 0.0,
+            mw_next_free: vec![0.0; n_lanes],
         }
     }
 
     /// Network (and optionally middleware) transport of one message:
-    /// counts it, delays it, and schedules its [`GridEvent::Deliver`].
+    /// counts it, delays it, and schedules its [`GridEvent::Deliver`]
+    /// stamped with `src_lane`'s sequence key.
+    ///
+    /// The minimum latency invariant the sharded lookahead rests on:
+    /// `arrive ≥ now + max(1, ⌊latency(from,to) · link_delay_factor⌋)`,
+    /// because `depart ≥ now`, the propagation term is monotone in the
+    /// routed latency, and `SimTime::from_f64` rounds to nearest
+    /// (≥ floor).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn send(
         &mut self,
         now: SimTime,
+        src_lane: usize,
         from: NodeId,
         to: NodeId,
         msg: Msg,
         via_middleware: bool,
-        rt: &RoutingTable,
+        routing: &Routing,
         acct: &mut Accounting,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         acct.msgs_sent += 1;
         let size = msg.size();
         let (lat, hops) = if from == to {
             (0.0, 0.0)
         } else {
-            let lat = rt
+            let lat = routing
                 .latency(from, to)
                 .expect("generated topologies are connected") as f64;
-            let hops = rt.hops(from, to).unwrap_or(1) as f64;
+            let hops = routing.hops(from, to).unwrap_or(1) as f64;
             (lat, hops)
         };
         let prop = lat * self.link_delay_factor;
@@ -68,11 +89,11 @@ impl NetFabric {
         if via_middleware {
             // "A simple queue with infinite capacity and finite but small
             // service time" (paper §3.3).
-            let start = depart.max(self.mw_next_free);
+            let start = depart.max(self.mw_next_free[src_lane]);
             depart = start + self.middleware_service;
-            self.mw_next_free = depart;
+            self.mw_next_free[src_lane] = depart;
         }
         let arrive = SimTime::from_f64((depart + prop + trans).max(now.as_f64() + 1.0));
-        queue.schedule(arrive, GridEvent::Deliver { to, msg });
+        fel.schedule(src_lane, arrive, GridEvent::Deliver { to, msg });
     }
 }

@@ -30,9 +30,13 @@ pub trait Policy {
         false
     }
 
-    /// Called once at time zero; typically arms periodic timers via
-    /// [`Timers::set_timer`](crate::Timers::set_timer).
-    fn init(&mut self, _ctx: &mut Ctx) {}
+    /// Called once per cluster at time zero, in ascending cluster order;
+    /// typically arms that cluster's periodic timers via
+    /// [`Timers::set_timer`](crate::Timers::set_timer). The `Ctx` is
+    /// scoped to `cluster` (its RNG stream, its timers), so
+    /// initialization is a per-lane affair — which is what lets the
+    /// sharded executor initialize each shard's clusters independently.
+    fn init_cluster(&mut self, _ctx: &mut Ctx, _cluster: usize) {}
 
     /// A LOCAL job (exec ≤ `T_CPU`) was received. Default: least-loaded
     /// resource of the local cluster — the behaviour every model in the

@@ -5,8 +5,9 @@
 
 use crate::accounting::Accounting;
 use crate::event::GridEvent;
+use crate::fel::Fel;
 use crate::world::SharedWorld;
-use gridscale_desim::{EventQueue, SimTime};
+use gridscale_desim::SimTime;
 use gridscale_workload::Job;
 use std::collections::VecDeque;
 
@@ -53,18 +54,21 @@ impl ResourcePool {
     }
 
     /// Puts `job` on resource `r`'s processor and schedules its finish.
+    /// `cluster` is `r`'s owning cluster — the lane both this handler
+    /// and the finish event belong to.
     pub(crate) fn start_job(
         &mut self,
         now: SimTime,
         r: usize,
+        cluster: usize,
         job: Job,
         service_rate: f64,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         let dur = SimTime::from_f64((job.exec_time.as_f64() / service_rate).max(1.0));
         self.busy[r] += dur.as_f64();
         self.running[r] = Some(job);
-        queue.schedule(now + dur, GridEvent::Finish { res: r as u32 });
+        fel.schedule(cluster, now + dur, GridEvent::Finish { res: r as u32 });
     }
 
     /// A dispatched job lands at resource `r`: pay the RP job-control
@@ -74,15 +78,16 @@ impl ResourcePool {
         &mut self,
         now: SimTime,
         r: usize,
+        cluster: usize,
         job: Job,
         rp_job_control: f64,
         service_rate: f64,
         acct: &mut Accounting,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
-        acct.h_overhead += rp_job_control;
+        acct.h_overhead[cluster] += rp_job_control;
         if self.running[r].is_none() {
-            self.start_job(now, r, job, service_rate, queue);
+            self.start_job(now, r, cluster, job, service_rate, fel);
         } else {
             self.queue[r].push_back(job);
         }
@@ -99,15 +104,15 @@ impl ResourcePool {
         shared: &SharedWorld,
         dag_data_cost: f64,
         acct: &mut Accounting,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         let response = (now - job.arrival).as_f64();
         acct.completed += 1;
-        acct.response.push(response);
+        acct.response[cluster].push(response);
         acct.response_hist.push(response);
         if job.meets_deadline(now) {
             acct.succeeded += 1;
-            acct.f_work += job.exec_time.as_f64();
+            acct.f_work[cluster] += job.exec_time.as_f64();
         } else {
             acct.deadline_missed += 1;
         }
@@ -120,7 +125,7 @@ impl ResourcePool {
                 let child = &shared.trace[c as usize];
                 let child_cluster = (child.submit_point as usize) % n_clusters;
                 let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
-                acct.h_overhead += factor * dag_data_cost;
+                acct.h_overhead[cluster] += factor * dag_data_cost;
                 let rp = &mut self.remaining_parents[c as usize];
                 debug_assert!(*rp > 0, "child released twice");
                 *rp -= 1;
@@ -129,7 +134,10 @@ impl ResourcePool {
                     if at > child.arrival {
                         acct.dag_deferred += 1;
                     }
-                    queue.schedule(at, GridEvent::Arrival(c));
+                    // Cross-lane release (the child's arrival lane is its
+                    // own submit cluster); only legal in the sequential
+                    // executor — `run_sharded` rejects DAG configs.
+                    fel.schedule(cluster, at, GridEvent::Arrival(c));
                 }
             }
         }

@@ -5,8 +5,9 @@
 use crate::accounting::Accounting;
 use crate::config::OverheadCosts;
 use crate::event::{GridEvent, WorkItem};
+use crate::fel::Fel;
 use crate::view::ClusterView;
-use gridscale_desim::{EventQueue, SimTime};
+use gridscale_desim::SimTime;
 
 /// Per-cluster scheduler state: server availability and believed loads.
 pub(crate) struct SchedulerBank {
@@ -38,7 +39,8 @@ impl SchedulerBank {
     }
 
     /// Enqueues a work item at scheduler `c`'s single-server queue; the
-    /// item's effects occur when the server finishes it.
+    /// item's effects occur when the server finishes it. The completion
+    /// event is lane-local (`src_lane == c`).
     pub(crate) fn enqueue_work(
         &mut self,
         now: SimTime,
@@ -46,7 +48,7 @@ impl SchedulerBank {
         item: WorkItem,
         costs: &OverheadCosts,
         members: f64,
-        queue: &mut EventQueue<GridEvent>,
+        fel: &mut Fel,
     ) {
         let cost = match &item {
             WorkItem::Job(_) | WorkItem::TransferIn(_) => {
@@ -60,7 +62,8 @@ impl SchedulerBank {
         let start = now.as_f64().max(self.next_free[c]);
         let done = start + cost;
         self.next_free[c] = done;
-        queue.schedule(
+        fel.schedule(
+            c,
             SimTime::from_f64(done),
             GridEvent::SchedWork {
                 sched: c as u32,

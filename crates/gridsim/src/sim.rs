@@ -1,5 +1,5 @@
 //! Run orchestration: the [`SimTemplate`] (shared world + recycled
-//! scratch pools) and the engine driver.
+//! scratch pools) and the engine drivers — sequential and sharded.
 //!
 //! # Memory layout (zero-clone replay)
 //!
@@ -21,6 +21,24 @@
 //! A reset pooled run is bit-identical to a cold one; see
 //! `tests/machinery.rs` and `tests/golden_report.rs`.
 //!
+//! # Sharded execution
+//!
+//! [`SimTemplate::run_sharded`] partitions the lane space (clusters +
+//! estimators) across shards and runs them on worker threads under
+//! **conservative, barrier-based synchronization**: all shards advance
+//! in lockstep windows `[T, T+W-1]`, where `W` is the lookahead derived
+//! from the minimum cross-partition link latency (`ShardPlan`) scaled by
+//! the link-delay enabler. Within a window a shard touches only its own
+//! lanes' state; cross-shard `Deliver` events are buffered in outboxes
+//! and exchanged at the barrier, and the lookahead guarantees they can
+//! only land in a *later* window — so no shard ever receives an event in
+//! its past. Null messages are unnecessary: the barrier itself is the
+//! synchronization, and the global next-event time is agreed on by every
+//! worker reading the same published per-shard clocks. The merged
+//! result — report *and* event-stream fingerprint — is bit-identical to
+//! the sequential executor for any shard count, plan, and worker count
+//! (see `tests/sharded_differential.rs`).
+//!
 //! # Dispatch
 //!
 //! The run path is generic over `P: Policy + ?Sized`: callers holding a
@@ -29,18 +47,18 @@
 //! `&mut dyn Policy` keeps working for user extensions and collections
 //! of heterogeneous policies.
 
-use crate::accounting::Accounting;
 use crate::config::{Enablers, GridConfig};
 use crate::ctx::Ctx;
 use crate::estimator::EstimatorBank;
 use crate::event::GridEvent;
+use crate::fel::{Fel, ShardRoute};
 use crate::kernel::SimCore;
 use crate::policy::Policy;
 use crate::report::SimReport;
 use crate::resource::ResourcePool;
 use crate::sched::SchedulerBank;
 use crate::timeline::Timeline;
-use crate::world::SharedWorld;
+use crate::world::{ShardPlan, SharedWorld};
 use gridscale_desim::{Engine, EventQueue, QueueDiscipline, QueueTelemetry, SimTime, World};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -48,6 +66,10 @@ use std::sync::{Arc, Mutex};
 
 /// Guard against runaway models: no single run may process more events.
 const EVENT_BUDGET: u64 = 200_000_000;
+
+/// One cross-shard mailbox cell of the `[dest][src]` inbox matrix:
+/// keyed `(time, sequence, event)` triples buffered between windows.
+type InboxSlot = Mutex<Vec<(SimTime, u64, GridEvent)>>;
 
 /// The per-run mutable scratch arena: one struct per subsystem plus the
 /// shared accounting ledger, all indexed identically to the layout
@@ -62,7 +84,7 @@ pub(crate) struct HotState {
     /// Estimator servers and batching buffers.
     pub(crate) est: EstimatorBank,
     /// The F/G/H ledger.
-    pub(crate) acct: Accounting,
+    pub(crate) acct: crate::accounting::Accounting,
 }
 
 impl HotState {
@@ -74,7 +96,7 @@ impl HotState {
             rp: ResourcePool::new(nr, &shared.parent_counts),
             sched: SchedulerBank::new(&shared.layout.members),
             est: EstimatorBank::new(ne, nc),
-            acct: Accounting::new(nc, ne),
+            acct: crate::accounting::Accounting::new(nc, ne),
         }
     }
 
@@ -127,6 +149,8 @@ pub struct SimTemplate {
     fingerprint_xor: AtomicU64,
     /// Fingerprint of the most recently completed run (any thread).
     last_fingerprint: AtomicU64,
+    /// Telemetry of the most recent sharded run, if any.
+    shard_summary: Mutex<Option<ShardSummary>>,
 }
 
 /// Event-queue telemetry aggregated across every completed run of one
@@ -176,10 +200,37 @@ impl QueueSummary {
     }
 }
 
+/// Telemetry of one sharded run (see [`SimTemplate::run_sharded`]).
+/// Lives outside [`SimReport`]: the report of a sharded run is
+/// bit-identical to the sequential one, while this describes *how* the
+/// parallel executor got there.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardSummary {
+    /// Number of shards (lane partitions).
+    pub shards: usize,
+    /// Worker threads the shards were multiplexed onto.
+    pub workers: usize,
+    /// The conservative lookahead window, in ticks (`u64::MAX` when no
+    /// channel crosses shards and the run completed in one window).
+    pub window_ticks: u64,
+    /// Minimum cross-partition link latency (raw ticks, before the
+    /// link-delay enabler) the window was derived from.
+    pub min_cross_latency: u64,
+    /// Barrier rounds (= synchronization windows) executed.
+    pub barrier_rounds: u64,
+    /// Shard → events processed by its engine.
+    pub events_per_shard: Vec<u64>,
+    /// Shard → windows in which it processed zero events (idle fraction
+    /// numerator; divide by `barrier_rounds`).
+    pub idle_windows_per_shard: Vec<u64>,
+    /// Deliver events that crossed a shard boundary.
+    pub cross_shard_events: u64,
+}
+
 /// Pool/arena telemetry of one [`SimTemplate`]. Lives here — not in
 /// [`SimReport`] — because first-run and replay values necessarily differ,
 /// and reports must stay bit-identical across replays.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ReplayStats {
     /// Completed runs through this template.
     pub runs: u64,
@@ -200,6 +251,8 @@ pub struct ReplayStats {
     pub fingerprint_xor: u64,
     /// Event-stream fingerprint of the most recently completed run.
     pub last_fingerprint: u64,
+    /// Telemetry of the most recent sharded run through this template.
+    pub shard: Option<ShardSummary>,
 }
 
 impl SimTemplate {
@@ -219,6 +272,7 @@ impl SimTemplate {
             queue_summary: Mutex::new(QueueSummary::default()),
             fingerprint_xor: AtomicU64::new(0),
             last_fingerprint: AtomicU64::new(0),
+            shard_summary: Mutex::new(None),
         }
     }
 
@@ -253,6 +307,33 @@ impl SimTemplate {
         self.shared.trace.len()
     }
 
+    /// Number of scheduler clusters in the built world (the upper bound
+    /// on useful shard counts).
+    pub fn cluster_count(&self) -> usize {
+        self.shared.layout.members.len()
+    }
+
+    /// Approximate resident bytes of the shared world (trace, layout,
+    /// routing state) — the footprint one 10⁶-node build must fit in.
+    pub fn shared_world_bytes(&self) -> u64 {
+        let l = &self.shared.layout;
+        let mut b = self.shared.trace.capacity() * std::mem::size_of::<gridscale_workload::Job>();
+        b += l.res_node.capacity() * 4
+            + l.res_cluster.capacity() * 4
+            + l.res_pos.capacity() * 4
+            + (l.res_at_node.capacity() + l.sched_at_node.capacity() + l.est_at_node.capacity())
+                * 4
+            + l.node_lane.capacity() * 4;
+        b += l.members.iter().map(|m| m.capacity() * 4).sum::<usize>();
+        b += l
+            .ranked_peers
+            .iter()
+            .map(|p| p.capacity() * 4)
+            .sum::<usize>();
+        b += self.shared.routing.approx_bytes();
+        b as u64
+    }
+
     /// Pool/arena telemetry for this template (see [`ReplayStats`]).
     pub fn replay_stats(&self) -> ReplayStats {
         let queues = self.queue_pool.lock().unwrap_or_else(|e| e.into_inner());
@@ -267,6 +348,11 @@ impl SimTemplate {
             queue: *self.queue_summary.lock().unwrap_or_else(|e| e.into_inner()),
             fingerprint_xor: self.fingerprint_xor.load(Ordering::Relaxed),
             last_fingerprint: self.last_fingerprint.load(Ordering::Relaxed),
+            shard: self
+                .shard_summary
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
         }
     }
 
@@ -351,23 +437,35 @@ impl SimTemplate {
         }
         let mut engine: Engine<GridEvent> =
             Engine::from_queue(queue).with_event_budget(EVENT_BUDGET);
-        core.bootstrap(engine.queue_mut());
-        if let Some(interval) = sample_interval {
-            core.timeline = Some(Timeline::new(interval));
-            engine
-                .queue_mut()
-                .schedule(SimTime::from_ticks(interval), GridEvent::Sample);
-        }
+        let mut lane_seq = vec![0u64; self.shared.layout.n_lanes()];
         {
-            let mut ctx = Ctx {
-                core: &mut core,
+            let mut fel = Fel {
                 queue: engine.queue_mut(),
-                now: SimTime::ZERO,
+                lane_seq: &mut lane_seq,
+                route: None,
             };
-            policy.init(&mut ctx);
+            core.bootstrap(&mut fel, None);
+            if let Some(interval) = sample_interval {
+                core.timeline = Some(Timeline::new(interval));
+                let lane = core.shared.layout.global_lane();
+                fel.schedule(lane, SimTime::from_ticks(interval), GridEvent::Sample);
+            }
+            for c in 0..core.n_clusters() {
+                let mut ctx = Ctx {
+                    core: &mut core,
+                    fel: &mut fel,
+                    now: SimTime::ZERO,
+                    lane: c,
+                };
+                policy.init_cluster(&mut ctx, c);
+            }
         }
         let horizon = core.cfg.horizon();
-        let mut sim = GridSim { core, policy };
+        let mut sim = GridSim {
+            core,
+            policy,
+            lane_seq,
+        };
         engine.run_until(&mut sim, horizon);
         let events_processed = engine.processed();
         let name = sim.policy.name();
@@ -398,6 +496,426 @@ impl SimTemplate {
         }
         (report, timeline)
     }
+
+    /// Runs one simulation partitioned across `shards` lane groups on up
+    /// to `workers` threads, using the default latency-aware cluster→shard
+    /// plan (which maximizes the conservative lookahead window). The
+    /// report (including the event-stream fingerprint) is bit-identical
+    /// to [`SimTemplate::run`] with the same enablers.
+    ///
+    /// `make_policy` constructs one policy instance per shard — policy
+    /// state is per-cluster, and each cluster's callbacks all happen on
+    /// its owning shard, so per-shard instances observe exactly the
+    /// per-cluster history the sequential instance would.
+    ///
+    /// Panics if the template's workload has a dependency DAG (same-tick
+    /// cross-lane releases are incompatible with conservative lookahead).
+    pub fn run_sharded<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+        shards: usize,
+        workers: usize,
+    ) -> (SimReport, ShardSummary) {
+        let plan = ShardPlan::latency_aware(&self.shared, shards);
+        self.run_sharded_plan(enablers, make_policy, plan, workers)
+    }
+
+    /// [`SimTemplate::run_sharded`] with an explicit cluster→shard
+    /// assignment (`cluster_shard[c] < shards` for every cluster).
+    pub fn run_sharded_with<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+        cluster_shard: &[u32],
+        shards: usize,
+        workers: usize,
+    ) -> (SimReport, ShardSummary) {
+        let plan = ShardPlan::from_cluster_assignment(&self.shared, cluster_shard, shards);
+        self.run_sharded_plan(enablers, make_policy, plan, workers)
+    }
+
+    fn run_sharded_plan<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+        plan: ShardPlan,
+        workers: usize,
+    ) -> (SimReport, ShardSummary) {
+        enablers.validate().expect("invalid enablers");
+        assert!(
+            self.shared.dag.is_none(),
+            "run_sharded requires an independent-job workload (no DAG): \
+             dependency release crosses lanes at the same tick"
+        );
+        let shards = plan.shards as usize;
+        let workers = workers.clamp(1, shards);
+        let shard_of_node: Arc<Vec<u32>> = Arc::new(
+            self.shared
+                .layout
+                .node_lane
+                .iter()
+                .map(|&l| {
+                    if l == u32::MAX {
+                        u32::MAX
+                    } else {
+                        plan.shard_of_lane[l as usize]
+                    }
+                })
+                .collect(),
+        );
+        let min_cross = plan.min_cross_latency();
+        // The conservative lookahead: any cross-shard Deliver emitted at
+        // time t arrives at ≥ t + max(1, ⌊min_cross · ldf⌋) (NetFabric's
+        // invariant), so events emitted inside [T, T+W-1] land at ≥ T+W —
+        // always in a later window.
+        let window = if min_cross == u64::MAX {
+            u64::MAX
+        } else {
+            ((min_cross as f64 * enablers.link_delay_factor).floor() as u64).max(1)
+        };
+        let horizon = self.cfg.horizon();
+        let discipline = self.queue_discipline();
+
+        // Build every shard's private state up front (deterministic, on
+        // the caller thread): core + policy + engine + route, bootstrapped
+        // to its owned lanes only.
+        let mut boxes: Vec<ShardBox<P>> = (0..shards)
+            .map(|s| {
+                let hot = HotState::new(&self.shared);
+                let mut core =
+                    SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
+                let mut policy = make_policy();
+                core.net.use_middleware = policy.uses_middleware();
+                let mut engine: Engine<GridEvent> =
+                    Engine::from_queue(EventQueue::with_discipline(discipline))
+                        .with_event_budget(EVENT_BUDGET);
+                let mut lane_seq = vec![0u64; self.shared.layout.n_lanes()];
+                let mut route = ShardRoute {
+                    shard: s as u32,
+                    shard_of_node: Arc::clone(&shard_of_node),
+                    outbox: (0..shards).map(|_| Vec::new()).collect(),
+                    crossings: 0,
+                };
+                {
+                    let mut fel = Fel {
+                        queue: engine.queue_mut(),
+                        lane_seq: &mut lane_seq,
+                        route: Some(&mut route),
+                    };
+                    core.bootstrap(&mut fel, Some((&plan.shard_of_lane, s as u32)));
+                    for c in 0..core.n_clusters() {
+                        if plan.shard_of_lane[c] != s as u32 {
+                            continue;
+                        }
+                        let mut ctx = Ctx {
+                            core: &mut core,
+                            fel: &mut fel,
+                            now: SimTime::ZERO,
+                            lane: c,
+                        };
+                        policy.init_cluster(&mut ctx, c);
+                    }
+                }
+                ShardBox {
+                    shard: s,
+                    engine,
+                    sim: ShardSim {
+                        core,
+                        policy,
+                        lane_seq,
+                        route,
+                    },
+                    last_processed: 0,
+                    idle_windows: 0,
+                    rounds: 0,
+                }
+            })
+            .collect();
+
+        // Shared synchronization state. `next_time` is published by each
+        // shard's owner and read by every worker after the barrier, so
+        // Relaxed ordering suffices (the barrier is the fence). Inbox
+        // slots are indexed [dest][src]: each Mutex has exactly one
+        // writer (src's worker) and one reader (dest's worker), in
+        // disjoint phases — the locks never contend.
+        let barrier = RoundBarrier::new(workers);
+        let next_time: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let inboxes: Vec<Vec<InboxSlot>> = (0..shards)
+            .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+
+        // Distribute shards round-robin over workers; each worker owns
+        // its shards' state outright (moved into the thread).
+        let mut per_worker: Vec<Vec<ShardBox<P>>> = (0..workers).map(|_| Vec::new()).collect();
+        for b in boxes.drain(..) {
+            let w = b.shard % workers;
+            per_worker[w].push(b);
+        }
+
+        let mut done: Vec<ShardBox<P>> = std::thread::scope(|scope| {
+            let barrier = &barrier;
+            let next_time = &next_time;
+            let inboxes = &inboxes;
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|mut owned| {
+                    scope.spawn(move || {
+                        let horizon_ticks = horizon.ticks();
+                        loop {
+                            // Phase A: flush outboxes (bootstrap round
+                            // included) into destination inboxes.
+                            for b in owned.iter_mut() {
+                                let src = b.shard;
+                                for (dest, out) in b.sim.route.outbox.iter_mut().enumerate() {
+                                    if out.is_empty() {
+                                        continue;
+                                    }
+                                    inboxes[dest][src]
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .append(out);
+                                }
+                            }
+                            barrier.wait();
+                            // Phase B: drain inboxes (ascending source
+                            // order — deterministic, though the unique
+                            // sequence keys make insertion order moot)
+                            // and publish each shard's next event time.
+                            for b in owned.iter_mut() {
+                                for slot in &inboxes[b.shard] {
+                                    let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+                                    for (at, seq, ev) in slot.drain(..) {
+                                        b.engine.queue_mut().schedule_keyed(at, seq, ev);
+                                    }
+                                }
+                                let t =
+                                    b.engine.queue().peek_time().map_or(u64::MAX, |t| t.ticks());
+                                next_time[b.shard].store(t, Ordering::Relaxed);
+                            }
+                            barrier.wait();
+                            // Phase C: every worker derives the same
+                            // global window from the published clocks.
+                            let t_min = next_time
+                                .iter()
+                                .map(|t| t.load(Ordering::Relaxed))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            if t_min == u64::MAX || t_min > horizon_ticks {
+                                break;
+                            }
+                            let end = t_min
+                                .saturating_add(window.saturating_sub(1))
+                                .min(horizon_ticks);
+                            let end = SimTime::from_ticks(end);
+                            for b in owned.iter_mut() {
+                                b.engine.run_until(&mut b.sim, end);
+                                b.rounds += 1;
+                                let p = b.engine.processed();
+                                if p == b.last_processed {
+                                    b.idle_windows += 1;
+                                }
+                                b.last_processed = p;
+                            }
+                        }
+                        owned
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // audit:allow(shard-merge, reason="gather is re-sorted by shard id below before any state merges")
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        done.sort_by_key(|b| b.shard);
+
+        // Merge shard outcomes in ascending shard order through the
+        // blessed element-wise merge (each slot is owned by exactly one
+        // shard, so addition reproduces the sequential fold bit-exactly).
+        let rounds = done.first().map_or(0, |b| b.rounds);
+        let mut summary = ShardSummary {
+            shards,
+            workers,
+            window_ticks: window,
+            min_cross_latency: min_cross,
+            barrier_rounds: rounds,
+            events_per_shard: Vec::with_capacity(shards),
+            idle_windows_per_shard: Vec::with_capacity(shards),
+            cross_shard_events: 0,
+        };
+        let mut events_total = 0u64;
+        let mut merged: Option<SimCore> = None;
+        let mut name = "";
+        let mut queue_tel = Vec::with_capacity(shards);
+        for b in done {
+            let ShardBox {
+                engine,
+                sim,
+                idle_windows,
+                ..
+            } = b;
+            let processed = engine.processed();
+            events_total += processed;
+            summary.events_per_shard.push(processed);
+            summary.idle_windows_per_shard.push(idle_windows);
+            summary.cross_shard_events += sim.route.crossings;
+            queue_tel.push(engine.into_queue().telemetry());
+            name = sim.policy.name();
+            match merged.as_mut() {
+                None => merged = Some(sim.core),
+                // audit:allow(shard-merge, reason="loop runs over shards sorted ascending by id")
+                Some(base) => merge_shard_core(base, &sim.core),
+            }
+        }
+        let merged = merged.expect("at least one shard");
+        let report = merged.report(name, horizon, events_total);
+
+        self.runs_total.fetch_add(1, Ordering::Relaxed);
+        self.fingerprint_xor
+            .fetch_xor(report.event_fingerprint, Ordering::Relaxed);
+        self.last_fingerprint
+            .store(report.event_fingerprint, Ordering::Relaxed);
+        {
+            let mut qs = self.queue_summary.lock().unwrap_or_else(|e| e.into_inner());
+            for t in &queue_tel {
+                qs.absorb(t);
+            }
+        }
+        *self.shard_summary.lock().unwrap_or_else(|e| e.into_inner()) = Some(summary.clone());
+        (report, summary)
+    }
+}
+
+/// The blessed cross-thread merge of one shard's core into the running
+/// aggregate, in ascending shard order. Every per-lane slot (accounting,
+/// resource busy time, lane fingerprints) is written by exactly one
+/// shard, so the element-wise fold reproduces the sequential tallies
+/// bit-for-bit regardless of thread placement.
+fn merge_shard_core(base: &mut SimCore, other: &SimCore) {
+    // audit:allow(shard-merge, reason="per-lane slots are disjoint across shards; fold is element-wise")
+    base.hot.acct.absorb_shard(&other.hot.acct);
+    for (a, b) in base.hot.rp.busy.iter_mut().zip(&other.hot.rp.busy) {
+        *a += b;
+    }
+    for (a, b) in base.lane_fp.iter_mut().zip(&other.lane_fp) {
+        *a ^= b;
+    }
+}
+
+/// The executor's synchronization point, picked once per run: a
+/// sense-reversing spin barrier when every worker can have its own core,
+/// the parking `std::sync::Barrier` otherwise. The choice only affects
+/// wall-clock time — window contents and merge order are fixed by the
+/// plan, so the result is bit-identical either way.
+enum RoundBarrier {
+    Spin(SpinBarrier),
+    Park(std::sync::Barrier),
+}
+
+impl RoundBarrier {
+    fn new(workers: usize) -> RoundBarrier {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        if workers <= cores {
+            RoundBarrier::Spin(SpinBarrier::new(workers))
+        } else {
+            // Oversubscribed: spinning would burn the timeslice the
+            // lagging worker needs; park on the futex instead.
+            RoundBarrier::Park(std::sync::Barrier::new(workers))
+        }
+    }
+
+    fn wait(&self) {
+        match self {
+            RoundBarrier::Spin(b) => b.wait(),
+            RoundBarrier::Park(b) => {
+                b.wait();
+            }
+        }
+    }
+}
+
+/// A sense-reversing spin barrier. The lockstep windows are ~100 µs of
+/// compute between synchronization points, so the futex sleep/wake cycle
+/// of `std::sync::Barrier` (two condvar round-trips per window per
+/// thread) costs more than the windows themselves; spinning with a
+/// bounded busy-wait before yielding keeps the workers hot.
+///
+/// Ordering argument: arrivals are `AcqRel` read-modify-writes on
+/// `count`, so the last arrival's acquire sees every write made before
+/// any earlier arrival (release sequence on `count`); its `Release`
+/// store to `generation` then publishes all of them to the spinners'
+/// `Acquire` loads — the barrier is a full happens-before fence, which
+/// is what lets the inbox/`next_time` traffic use `Relaxed` accesses.
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    n: usize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 1 << 14 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard execution state of the parallel executor: the engine, the
+/// world adapter (core + owned policy instance + routing), and window
+/// telemetry.
+struct ShardBox<P: Policy> {
+    shard: usize,
+    engine: Engine<GridEvent>,
+    sim: ShardSim<P>,
+    last_processed: u64,
+    idle_windows: u64,
+    rounds: u64,
+}
+
+/// The sharded [`World`] adapter: like [`GridSim`] but owning its policy
+/// instance and carrying the cross-shard route.
+struct ShardSim<P: Policy> {
+    core: SimCore,
+    policy: P,
+    lane_seq: Vec<u64>,
+    route: ShardRoute,
+}
+
+impl<P: Policy> World for ShardSim<P> {
+    type Event = GridEvent;
+    fn handle(&mut self, now: SimTime, ev: GridEvent, queue: &mut EventQueue<GridEvent>) {
+        let mut fel = Fel {
+            queue,
+            lane_seq: &mut self.lane_seq,
+            route: Some(&mut self.route),
+        };
+        self.core.handle(now, ev, &mut fel, &mut self.policy);
+    }
+    fn observe(&mut self, at: SimTime, seq: u64, ev: &GridEvent) {
+        self.core.fold_event(at, seq, ev);
+    }
 }
 
 /// The [`World`] adapter: simulator core plus the policy under test.
@@ -406,12 +924,18 @@ impl SimTemplate {
 pub struct GridSim<'p, P: Policy + ?Sized = dyn Policy> {
     core: SimCore,
     policy: &'p mut P,
+    lane_seq: Vec<u64>,
 }
 
 impl<P: Policy + ?Sized> World for GridSim<'_, P> {
     type Event = GridEvent;
     fn handle(&mut self, now: SimTime, ev: GridEvent, queue: &mut EventQueue<GridEvent>) {
-        self.core.handle(now, ev, queue, self.policy);
+        let mut fel = Fel {
+            queue,
+            lane_seq: &mut self.lane_seq,
+            route: None,
+        };
+        self.core.handle(now, ev, &mut fel, self.policy);
     }
     fn observe(&mut self, at: SimTime, seq: u64, ev: &GridEvent) {
         self.core.fold_event(at, seq, ev);

@@ -3,16 +3,27 @@
 //! writes. Built once per [`SimTemplate`](crate::SimTemplate) and shared
 //! (`Arc`) across runs; all per-run mutable companions live in the
 //! subsystem scratch structs, indexed identically.
+//!
+//! # Lanes and partitions
+//!
+//! Every event in the simulator belongs to exactly one **lane** — the
+//! unit of sequential state: cluster lanes `0..C` (scheduler + its
+//! resources), estimator lanes `C..C+E`, and one global lane `C+E`
+//! (timeline sampling). Lanes are the partitioning granularity of the
+//! sharded executor: a [`ShardPlan`] groups lanes onto shards and
+//! carries the per-shard-pair minimum cross-partition link latency,
+//! whose minimum (scaled by the link-delay enabler) *is* the
+//! conservative lookahead of the barrier protocol.
 
 use crate::config::{GridConfig, TopologySpec};
 use gridscale_desim::SimRng;
 use gridscale_topology::generate::{self, LinkParams};
-use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
+use gridscale_topology::{Graph, GridMap, NodeId, Routing};
 use gridscale_workload::{generate as gen_workload, DependencyGraph, Job};
 
 /// Immutable struct-of-arrays placement tables: where every resource,
 /// scheduler, and estimator lives, and how nodes map back to them.
-/// Derived once from the `GridMap` + `RoutingTable` per template.
+/// Derived once from the `GridMap` + [`Routing`] per template.
 pub(crate) struct Layout {
     /// Resource index → its network node.
     pub(crate) res_node: Vec<NodeId>,
@@ -36,21 +47,32 @@ pub(crate) struct Layout {
     /// network latency (ties → lower cluster id). Lets nearest-style
     /// peer lookups read a table instead of re-scanning candidates.
     pub(crate) ranked_peers: Vec<Vec<u32>>,
+    /// NodeId → owning lane (`u32::MAX` for pure routers, which never
+    /// receive messages). Cluster lanes `0..C`, estimator lanes
+    /// `C..C+E`. This is the cross-shard routing table of the sharded
+    /// executor: `Deliver { to, .. }` is owned by `node_lane[to]`.
+    pub(crate) node_lane: Vec<u32>,
+    /// Estimator index → home cluster (its nearest scheduler — under
+    /// hierarchical routing, its anchor). Estimator lanes ride on their
+    /// home cluster's shard.
+    pub(crate) est_home: Vec<u32>,
 }
 
 impl Layout {
-    fn build(map: &GridMap, rt: &RoutingTable, n_nodes: usize) -> Layout {
+    fn build(map: &GridMap, routing: &Routing, n_nodes: usize) -> Layout {
         let n_clusters = map.cluster_count();
         let mut res_node = Vec::new();
         let mut res_cluster = Vec::new();
         let mut res_pos = Vec::new();
         let mut res_at_node = vec![u32::MAX; n_nodes];
+        let mut node_lane = vec![u32::MAX; n_nodes];
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_clusters];
         #[allow(clippy::needless_range_loop)]
         for ci in 0..n_clusters {
             for (pos, &node) in map.cluster_resources(ci).iter().enumerate() {
                 let idx = res_node.len() as u32;
                 res_at_node[node as usize] = idx;
+                node_lane[node as usize] = ci as u32;
                 members[ci].push(idx);
                 res_node.push(node);
                 res_cluster.push(ci as u32);
@@ -63,17 +85,31 @@ impl Layout {
             .map(|ci| {
                 let node = map.cluster_scheduler(ci);
                 sched_at_node[node as usize] = ci as u32;
+                node_lane[node as usize] = ci as u32;
                 node
             })
             .collect();
 
         let mut est_at_node = vec![u32::MAX; n_nodes];
+        let schedulers = map.schedulers();
+        let mut est_home = Vec::with_capacity(map.estimators().len());
         let est_node: Vec<NodeId> = map
             .estimators()
             .iter()
             .enumerate()
             .map(|(ei, &node)| {
                 est_at_node[node as usize] = ei as u32;
+                node_lane[node as usize] = (n_clusters + ei) as u32;
+                let home = match routing.anchor_of(node) {
+                    Some(a) => a,
+                    None => {
+                        let s = routing
+                            .nearest(node, schedulers)
+                            .expect("generated topologies are connected");
+                        sched_at_node[s as usize]
+                    }
+                };
+                est_home.push(home);
                 node
             })
             .collect();
@@ -86,7 +122,8 @@ impl Layout {
                     .collect();
                 peers.sort_by_key(|&cj| {
                     (
-                        rt.latency(from, sched_node[cj as usize])
+                        routing
+                            .latency(from, sched_node[cj as usize])
                             .unwrap_or(u64::MAX),
                         cj,
                     )
@@ -106,14 +143,386 @@ impl Layout {
             sched_at_node,
             est_at_node,
             ranked_peers,
+            node_lane,
+            est_home,
         }
     }
+
+    /// Number of lanes: cluster lanes, estimator lanes, plus the global
+    /// lane (always last).
+    pub(crate) fn n_lanes(&self) -> usize {
+        self.members.len() + self.est_node.len() + 1
+    }
+
+    /// The global lane index (timeline sampling; never sharded).
+    pub(crate) fn global_lane(&self) -> usize {
+        self.n_lanes() - 1
+    }
+}
+
+/// How lanes are grouped onto shards, plus the per-shard-pair minimum
+/// cross-partition link latency matrix the conservative lookahead is
+/// derived from.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardPlan {
+    /// Number of shards.
+    pub(crate) shards: u32,
+    /// Lane → owning shard (global lane rides on shard 0).
+    pub(crate) shard_of_lane: Vec<u32>,
+    /// Flattened `shards × shards` matrix of the minimum link latency
+    /// (ticks) of any message channel crossing from shard `s` to shard
+    /// `t`; `u64::MAX` on the diagonal and for pairs with no channel.
+    pub(crate) min_lat: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Balanced contiguous default assignment: cluster `c` of `C` goes to
+    /// shard `c·S/C`; estimators ride with their home cluster.
+    pub(crate) fn contiguous(shared: &SharedWorld, shards: usize) -> ShardPlan {
+        let n_clusters = shared.layout.members.len();
+        let shards = shards.clamp(1, n_clusters.max(1));
+        let cluster_shard: Vec<u32> = (0..n_clusters)
+            .map(|c| (c as u64 * shards as u64 / n_clusters as u64) as u32)
+            .collect();
+        ShardPlan::from_cluster_assignment(shared, &cluster_shard, shards)
+    }
+
+    /// Latency-aware default assignment: capped single-linkage clustering
+    /// of the cluster-pair channel-latency matrix. Kruskal-merging the
+    /// *nearest* cluster pairs first leaves the longest channels as the
+    /// shard boundaries — exactly what maximizes the global minimum
+    /// cross-shard latency, i.e. the conservative lookahead window — and
+    /// the size cap `⌈C/S⌉` keeps shard loads within one cluster of
+    /// balanced. Falls back to [`ShardPlan::contiguous`] above
+    /// [`MAX_PLANNED_CLUSTERS`], where the O(C²) pair matrix stops being
+    /// cheap.
+    pub(crate) fn latency_aware(shared: &SharedWorld, shards: usize) -> ShardPlan {
+        let n_clusters = shared.layout.members.len();
+        let shards = shards.clamp(1, n_clusters.max(1));
+        if shards == 1 || n_clusters > MAX_PLANNED_CLUSTERS {
+            return ShardPlan::contiguous(shared, shards);
+        }
+        let pair = cluster_pair_min_latency(shared);
+        let c = n_clusters;
+        let mut edges: Vec<(u64, u32, u32)> = Vec::with_capacity(c * (c - 1) / 2);
+        for a in 0..c {
+            for b in (a + 1)..c {
+                edges.push((pair[a * c + b], a as u32, b as u32));
+            }
+        }
+        edges.sort_unstable();
+
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut p = x;
+            while parent[p as usize] != r {
+                let next = parent[p as usize];
+                parent[p as usize] = r;
+                p = next;
+            }
+            r
+        }
+
+        let cap = c.div_ceil(shards);
+        let mut parent: Vec<u32> = (0..c as u32).collect();
+        let mut size = vec![1usize; c];
+        let mut groups = c;
+        // Two passes: strict balance cap first, then (for the rare cap-
+        // stranded layouts, e.g. many equal mid-size groups) unconditional
+        // merges, still shortest-edge-first.
+        for strict in [true, false] {
+            for &(_, a, b) in &edges {
+                if groups == shards {
+                    break;
+                }
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra == rb {
+                    continue;
+                }
+                if strict && size[ra as usize] + size[rb as usize] > cap {
+                    continue;
+                }
+                // Union into the smaller root id so the representative is
+                // always the group's minimum cluster id (determinism).
+                let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[drop as usize] = keep;
+                size[keep as usize] += size[drop as usize];
+                groups -= 1;
+            }
+        }
+
+        // Relabel groups to shard ids in ascending min-cluster-id order.
+        let mut label = vec![u32::MAX; c];
+        let mut next = 0u32;
+        let assign: Vec<u32> = (0..c as u32)
+            .map(|cl| {
+                let root = find(&mut parent, cl) as usize;
+                if label[root] == u32::MAX {
+                    label[root] = next;
+                    next += 1;
+                }
+                label[root]
+            })
+            .collect();
+        debug_assert_eq!(next as usize, shards);
+        ShardPlan::from_cluster_assignment(shared, &assign, shards)
+    }
+
+    /// Builds a plan from an explicit cluster → shard assignment (values
+    /// must be `< shards`). Estimator lanes follow their home cluster;
+    /// the global lane goes to shard 0.
+    pub(crate) fn from_cluster_assignment(
+        shared: &SharedWorld,
+        cluster_shard: &[u32],
+        shards: usize,
+    ) -> ShardPlan {
+        let layout = &shared.layout;
+        let n_clusters = layout.members.len();
+        assert_eq!(cluster_shard.len(), n_clusters);
+        assert!(shards >= 1);
+        debug_assert!(cluster_shard.iter().all(|&s| (s as usize) < shards));
+        let mut shard_of_lane = Vec::with_capacity(layout.n_lanes());
+        shard_of_lane.extend_from_slice(cluster_shard);
+        for &home in &layout.est_home {
+            shard_of_lane.push(cluster_shard[home as usize]);
+        }
+        shard_of_lane.push(0); // global lane
+        let min_lat = cross_shard_min_latency(shared, &shard_of_lane, shards);
+        ShardPlan {
+            shards: shards as u32,
+            shard_of_lane,
+            min_lat,
+        }
+    }
+
+    /// The minimum cross-partition latency over all distinct shard pairs
+    /// — the basis of the global lookahead window. `u64::MAX` when no
+    /// channel ever crosses shards (single shard).
+    pub(crate) fn min_cross_latency(&self) -> u64 {
+        let s = self.shards as usize;
+        let mut min = u64::MAX;
+        for i in 0..s {
+            for j in 0..s {
+                if i != j {
+                    min = min.min(self.min_lat[i * s + j]);
+                }
+            }
+        }
+        min
+    }
+}
+
+/// The per-shard-pair minimum latency of any *actual* message channel
+/// crossing the partition: scheduler↔scheduler (transfers, policy
+/// traffic), scheduler↔foreign-resource (recalls and the transfer they
+/// trigger), resource→estimator (status updates), and
+/// estimator→scheduler (batches). Exact routing enumerates the channels;
+/// hierarchical routing lower-bounds them by the anchor-to-anchor
+/// distance of the shards' anchor sets (safe: every modelled latency is
+/// `up + D + up ≥ D`).
+#[allow(clippy::needless_range_loop)] // loops index several parallel tables
+fn cross_shard_min_latency(shared: &SharedWorld, shard_of_lane: &[u32], shards: usize) -> Vec<u64> {
+    let layout = &shared.layout;
+    let routing = &shared.routing;
+    let n_clusters = layout.members.len();
+    let n_est = layout.est_node.len();
+    let mut m = vec![u64::MAX; shards * shards];
+    let mut fold = |s: u32, t: u32, lat: u64| {
+        if s != t {
+            let (s, t) = (s as usize, t as usize);
+            let v = m[s * shards + t].min(lat);
+            m[s * shards + t] = v;
+            m[t * shards + s] = v;
+        }
+    };
+    if !routing.is_hier() {
+        // Exact mode: enumerate every channel class.
+        for c in 0..n_clusters {
+            let sc = shard_of_lane[c];
+            let from = layout.sched_node[c];
+            for d in (c + 1)..n_clusters {
+                if shard_of_lane[d] != sc {
+                    let lat = routing.latency(from, layout.sched_node[d]).unwrap_or(0);
+                    fold(sc, shard_of_lane[d], lat);
+                }
+            }
+        }
+        for (r, &rnode) in layout.res_node.iter().enumerate() {
+            let rs = shard_of_lane[layout.res_cluster[r] as usize];
+            // Recall / post-recall transfer channels to foreign schedulers.
+            for c in 0..n_clusters {
+                if shard_of_lane[c] != rs {
+                    let lat = routing.latency(layout.sched_node[c], rnode).unwrap_or(0);
+                    fold(shard_of_lane[c], rs, lat);
+                }
+            }
+            // Status updates to estimators.
+            for e in 0..n_est {
+                let es = shard_of_lane[n_clusters + e];
+                if es != rs {
+                    let lat = routing.latency(rnode, layout.est_node[e]).unwrap_or(0);
+                    fold(rs, es, lat);
+                }
+            }
+        }
+        for e in 0..n_est {
+            let es = shard_of_lane[n_clusters + e];
+            let enode = layout.est_node[e];
+            for c in 0..n_clusters {
+                if shard_of_lane[c] != es {
+                    let lat = routing.latency(enode, layout.sched_node[c]).unwrap_or(0);
+                    fold(es, shard_of_lane[c], lat);
+                }
+            }
+        }
+    } else {
+        // Hierarchical mode: per shard, the set of anchors any of its
+        // endpoint nodes (schedulers, resources, estimators) resolves to;
+        // the pairwise anchor distance lower-bounds every cross latency.
+        let mut anchors: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); shards];
+        let mut note = |shard: u32, node: NodeId| {
+            if let Some(a) = routing.anchor_of(node) {
+                anchors[shard as usize].insert(a);
+            }
+        };
+        for c in 0..n_clusters {
+            note(shard_of_lane[c], layout.sched_node[c]);
+        }
+        for (r, &rnode) in layout.res_node.iter().enumerate() {
+            note(shard_of_lane[layout.res_cluster[r] as usize], rnode);
+        }
+        for (e, &enode) in layout.est_node.iter().enumerate() {
+            note(shard_of_lane[n_clusters + e], enode);
+        }
+        for s in 0..shards {
+            for t in (s + 1)..shards {
+                let mut min = u64::MAX;
+                for &a in &anchors[s] {
+                    for &b in &anchors[t] {
+                        let d = routing.anchor_latency(a, b).unwrap_or(u64::MAX);
+                        min = min.min(d);
+                    }
+                }
+                if min != u64::MAX {
+                    fold(s as u32, t as u32, min);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Above this cluster count the O(C²) pair matrix behind
+/// [`ShardPlan::latency_aware`] stops being cheap and the planner falls
+/// back to the contiguous assignment.
+const MAX_PLANNED_CLUSTERS: usize = 2048;
+
+/// Flattened `C × C` matrix of the minimum channel latency between every
+/// cluster pair — the same channel classes as [`cross_shard_min_latency`]
+/// but grouped per cluster (estimator channels fold into the estimator's
+/// home cluster), so the planner can treat clusters as the atoms of the
+/// partition. `u64::MAX` on the diagonal and for pairs with no channel.
+fn cluster_pair_min_latency(shared: &SharedWorld) -> Vec<u64> {
+    let layout = &shared.layout;
+    let routing = &shared.routing;
+    let n_clusters = layout.members.len();
+    let mut m = vec![u64::MAX; n_clusters * n_clusters];
+    let mut fold = |a: usize, b: usize, lat: u64| {
+        if a != b {
+            let v = m[a * n_clusters + b].min(lat);
+            m[a * n_clusters + b] = v;
+            m[b * n_clusters + a] = v;
+        }
+    };
+    if !routing.is_hier() {
+        for c in 0..n_clusters {
+            let from = layout.sched_node[c];
+            for d in (c + 1)..n_clusters {
+                fold(
+                    c,
+                    d,
+                    routing.latency(from, layout.sched_node[d]).unwrap_or(0),
+                );
+            }
+        }
+        for (r, &rnode) in layout.res_node.iter().enumerate() {
+            let rc = layout.res_cluster[r] as usize;
+            for c in 0..n_clusters {
+                fold(
+                    c,
+                    rc,
+                    routing.latency(layout.sched_node[c], rnode).unwrap_or(0),
+                );
+            }
+            for (e, &enode) in layout.est_node.iter().enumerate() {
+                let ec = layout.est_home[e] as usize;
+                fold(rc, ec, routing.latency(rnode, enode).unwrap_or(0));
+            }
+        }
+        for (e, &enode) in layout.est_node.iter().enumerate() {
+            let ec = layout.est_home[e] as usize;
+            for c in 0..n_clusters {
+                fold(
+                    ec,
+                    c,
+                    routing.latency(enode, layout.sched_node[c]).unwrap_or(0),
+                );
+            }
+        }
+    } else {
+        // Hierarchical mode: per-cluster anchor sets, pairwise anchor
+        // distance as the lower bound (same argument as the shard matrix).
+        let mut anchors: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); n_clusters];
+        let mut note = |cluster: usize, node: NodeId| {
+            if let Some(a) = routing.anchor_of(node) {
+                anchors[cluster].insert(a);
+            }
+        };
+        for c in 0..n_clusters {
+            note(c, layout.sched_node[c]);
+        }
+        for (r, &rnode) in layout.res_node.iter().enumerate() {
+            note(layout.res_cluster[r] as usize, rnode);
+        }
+        for (e, &enode) in layout.est_node.iter().enumerate() {
+            note(layout.est_home[e] as usize, enode);
+        }
+        // The pairwise loop below costs Σ|Aᵢ|·|Aⱼ|; on huge grids shrink
+        // each set to the cluster's scheduler anchor (resources anchor
+        // near their scheduler, so this keeps the grouping signal).
+        if anchors.iter().map(|a| a.len()).sum::<usize>() > 4 * n_clusters {
+            for (c, set) in anchors.iter_mut().enumerate() {
+                if let Some(a) = routing.anchor_of(layout.sched_node[c]) {
+                    *set = std::collections::BTreeSet::from([a]);
+                }
+            }
+        }
+        for a in 0..n_clusters {
+            for b in (a + 1)..n_clusters {
+                let mut min = u64::MAX;
+                for &x in &anchors[a] {
+                    for &y in &anchors[b] {
+                        min = min.min(routing.anchor_latency(x, y).unwrap_or(u64::MAX));
+                    }
+                }
+                if min != u64::MAX {
+                    fold(a, b, min);
+                }
+            }
+        }
+    }
+    m
 }
 
 /// The enabler-independent world of one configuration: topology, routing,
 /// grid map, workload trace, and placement layout.
 pub(crate) struct SharedWorld {
-    pub(crate) rt: RoutingTable,
+    pub(crate) routing: Routing,
     pub(crate) map: GridMap,
     pub(crate) trace: Vec<Job>,
     /// Precedence constraints (paper future-work (b)); `None` reproduces
@@ -128,10 +537,12 @@ pub(crate) struct SharedWorld {
 }
 
 impl SharedWorld {
-    /// Builds the world for `cfg`: topology (RNG stream 1), routing
-    /// tables, grid map, workload trace (stream 2), optional dependency
-    /// graph (stream 4), and the placement layout. Stream 3 is reserved
-    /// for the per-run simulation RNG.
+    /// Builds the world for `cfg`: topology (RNG stream 1), role
+    /// placement, routing state (exact tables at paper scale, the
+    /// anchor-based hierarchical model beyond
+    /// [`Routing::HIER_THRESHOLD`]), grid map, workload trace (stream 2),
+    /// optional dependency graph (stream 4), and the placement layout.
+    /// Stream 3 is reserved for the per-run simulation RNG.
     pub(crate) fn build(cfg: &GridConfig) -> SharedWorld {
         let root = SimRng::new(cfg.seed);
         let mut topo_rng = root.fork(1);
@@ -165,14 +576,16 @@ impl SharedWorld {
             TopologySpec::Ring => generate::ring(n, lp),
             TopologySpec::Star => generate::star(n, lp),
         };
-        let rt = RoutingTable::build(&graph);
-        let map = GridMap::build(
+        // Role placement first: the hierarchical routing model anchors at
+        // the scheduler nodes, so routing is built *around* the placement.
+        let placement = GridMap::place(
             &graph,
-            &rt,
             cfg.schedulers,
             cfg.estimators,
             cfg.resource_fraction,
         );
+        let routing = Routing::build_auto(&graph, placement.schedulers());
+        let map = GridMap::assemble(placement, &routing);
         let mut wl_cfg = cfg.workload.clone();
         wl_cfg.submit_points = map.cluster_count() as u32;
         let trace = gen_workload(&wl_cfg, &mut wl_rng).jobs().to_vec();
@@ -185,11 +598,11 @@ impl SharedWorld {
                 &mut dag_rng,
             )
         });
-        let layout = Layout::build(&map, &rt, n);
+        let layout = Layout::build(&map, &routing, n);
         let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
         let mean_demand = cfg.workload.exec_time.mean();
         SharedWorld {
-            rt,
+            routing,
             map,
             trace,
             dag,
@@ -225,7 +638,7 @@ mod tests {
     fn ranked_peers_are_complete_and_latency_sorted() {
         let shared = SharedWorld::build(&small_cfg());
         let layout = &shared.layout;
-        let rt = &shared.rt;
+        let routing = &shared.routing;
         let nc = layout.members.len();
         assert!(nc >= 2);
         for ci in 0..nc {
@@ -233,13 +646,108 @@ mod tests {
             assert_eq!(peers.len(), nc - 1, "every other cluster is ranked");
             assert!(peers.iter().all(|&cj| cj as usize != ci));
             let from = layout.sched_node[ci];
-            let lat = |cj: u32| rt.latency(from, layout.sched_node[cj as usize]).unwrap();
+            let lat = |cj: u32| {
+                routing
+                    .latency(from, layout.sched_node[cj as usize])
+                    .unwrap()
+            };
             for w in peers.windows(2) {
                 assert!(
                     (lat(w[0]), w[0]) <= (lat(w[1]), w[1]),
                     "peers of {ci} sorted by (latency, id)"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn node_lane_covers_every_rms_node() {
+        let shared = SharedWorld::build(&small_cfg());
+        let layout = &shared.layout;
+        let nc = layout.members.len();
+        for (r, &node) in layout.res_node.iter().enumerate() {
+            assert_eq!(layout.node_lane[node as usize], layout.res_cluster[r]);
+        }
+        for (c, &node) in layout.sched_node.iter().enumerate() {
+            assert_eq!(layout.node_lane[node as usize], c as u32);
+        }
+        for (e, &node) in layout.est_node.iter().enumerate() {
+            assert_eq!(layout.node_lane[node as usize], (nc + e) as u32);
+        }
+    }
+
+    #[test]
+    fn shard_plan_latency_matrix_lower_bounds_real_channels() {
+        let shared = SharedWorld::build(&small_cfg());
+        let plan = ShardPlan::contiguous(&shared, 2);
+        let layout = &shared.layout;
+        assert_eq!(plan.shards, 2);
+        let min = plan.min_cross_latency();
+        assert!(min > 0 && min != u64::MAX);
+        // No cross-shard channel may undercut the matrix entry.
+        for c in 0..layout.members.len() {
+            for d in 0..layout.members.len() {
+                let (s, t) = (plan.shard_of_lane[c], plan.shard_of_lane[d]);
+                if s != t {
+                    let lat = shared
+                        .routing
+                        .latency(layout.sched_node[c], layout.sched_node[d])
+                        .unwrap();
+                    assert!(lat >= plan.min_lat[(s as usize) * 2 + t as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_single_shard_has_no_cross_latency() {
+        let shared = SharedWorld::build(&small_cfg());
+        let plan = ShardPlan::contiguous(&shared, 1);
+        assert_eq!(plan.min_cross_latency(), u64::MAX);
+        assert!(plan.shard_of_lane.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn latency_aware_plan_is_balanced_and_widens_lookahead() {
+        // Transit-stub topology: stub-local channels are short, transit
+        // crossings are long — the planner should cut along the transits.
+        let cfg = GridConfig {
+            nodes: 640,
+            schedulers: 16,
+            estimators: 2,
+            topology: TopologySpec::TransitStub,
+            workload: WorkloadConfig {
+                arrival_rate: 0.02,
+                duration: SimTime::from_ticks(5_000),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(8_000),
+            ..GridConfig::default()
+        };
+        let shared = SharedWorld::build(&cfg);
+        let n_clusters = shared.layout.members.len();
+        for shards in [2usize, 4] {
+            let smart = ShardPlan::latency_aware(&shared, shards);
+            let naive = ShardPlan::contiguous(&shared, shards);
+            assert_eq!(smart.shards as usize, shards);
+            // Balance: every shard owns ≥1 cluster and ≤ ⌈C/S⌉ clusters.
+            let mut per_shard = vec![0usize; shards];
+            for c in 0..n_clusters {
+                per_shard[smart.shard_of_lane[c] as usize] += 1;
+            }
+            let cap = n_clusters.div_ceil(shards);
+            assert!(
+                per_shard.iter().all(|&n| n >= 1 && n <= cap),
+                "{per_shard:?}"
+            );
+            // The whole point: the latency-aware boundary is never worse
+            // than the topology-blind one.
+            assert!(
+                smart.min_cross_latency() >= naive.min_cross_latency(),
+                "smart {} < naive {} at {shards} shards",
+                smart.min_cross_latency(),
+                naive.min_cross_latency()
+            );
         }
     }
 }

@@ -58,7 +58,10 @@ fn middleware_adds_latency() {
     let mut cfg = base_cfg();
     cfg.middleware_service = 0.0;
     let fast = run_simulation(&cfg, &mut ShipEverything { via_mw: true });
-    cfg.middleware_service = 40.0; // deliberately sluggish middleware
+    // Deliberately sluggish: long enough that a single scheduler domain's
+    // middleware server (the queue is per sending domain) backs up under
+    // its own transfer stream.
+    cfg.middleware_service = 1000.0;
     let slow = run_simulation(&cfg, &mut ShipEverything { via_mw: true });
     assert!(
         slow.mean_response > fast.mean_response,
@@ -169,8 +172,8 @@ fn policy_messages_travel_between_schedulers() {
         fn name(&self) -> &'static str {
             "ONESHOT"
         }
-        fn init(&mut self, ctx: &mut Ctx) {
-            if ctx.clusters() > 1 {
+        fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
+            if cluster == 1 {
                 ctx.send_policy(1, 0, PolicyMsg::Volunteer { from: 1, rus: 0.1 });
             }
         }

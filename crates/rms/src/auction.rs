@@ -6,7 +6,7 @@ use gridscale_workload::Job;
 use std::collections::BTreeMap;
 
 /// Auction-close timers are tagged `TAG_AUCTION_BASE + auction_id`.
-const TAG_AUCTION_BASE: u64 = 1 << 32;
+const TAG_AUCTION_BASE: u64 = 1 << 62;
 
 #[derive(Debug)]
 struct Book {
@@ -36,7 +36,11 @@ struct Book {
 #[derive(Debug)]
 pub struct Auction {
     placer: PollPlacer,
-    next_auction: u64,
+    /// Per-cluster auction counter; ids are `(cluster << 32) | counter`,
+    /// so an auction id is a function of the opening cluster's history
+    /// alone — unique across clusters without any global sequencing
+    /// (which is what lets the sharded executor reproduce them).
+    next_auction: Vec<u64>,
     /// Open auction per cluster (at most one at a time).
     open: Vec<Option<u64>>,
     books: BTreeMap<u64, Book>,
@@ -48,7 +52,7 @@ impl Default for Auction {
     fn default() -> Self {
         Auction {
             placer: PollPlacer::new(PlacementRule::LeastLoaded),
-            next_auction: 0,
+            next_auction: Vec::new(),
             open: Vec::new(),
             books: BTreeMap::new(),
             scratch: Vec::new(),
@@ -60,6 +64,7 @@ impl Auction {
     fn ensure(&mut self, clusters: usize) {
         if self.open.len() < clusters {
             self.open.resize(clusters, None);
+            self.next_auction.resize(clusters, 0);
         }
     }
 }
@@ -87,8 +92,8 @@ impl Policy for Auction {
         if self.scratch.is_empty() {
             return;
         }
-        self.next_auction += 1;
-        let auction = self.next_auction;
+        self.next_auction[cluster] += 1;
+        let auction = ((cluster as u64) << 32) | self.next_auction[cluster];
         self.open[cluster] = Some(auction);
         self.books.insert(auction, Book { bids: Vec::new() });
         for &p in &self.scratch {

@@ -60,8 +60,8 @@ impl Policy for RmsPolicy {
         with_policy!(self, p => p.uses_middleware())
     }
 
-    fn init(&mut self, ctx: &mut Ctx) {
-        with_policy!(self, p => p.init(ctx))
+    fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
+        with_policy!(self, p => p.init_cluster(ctx, cluster))
     }
 
     fn on_local_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {

@@ -54,17 +54,14 @@ impl Policy for Hierarchical {
         "HIER"
     }
 
-    fn init(&mut self, ctx: &mut Ctx) {
-        let n = ctx.clusters();
-        self.ensure(n);
-        let period = ctx.enablers().volunteer_interval;
-        for c in 0..n {
-            if c == SUPER {
-                continue;
-            }
-            let phase = ctx.rng().int_range(1, period.max(1));
-            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_REPORT);
+    fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
+        self.ensure(ctx.clusters());
+        if cluster == SUPER {
+            return;
         }
+        let period = ctx.enablers().volunteer_interval;
+        let phase = ctx.rng().int_range(1, period.max(1));
+        ctx.set_timer(cluster, SimTime::from_ticks(phase), TAG_REPORT);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {

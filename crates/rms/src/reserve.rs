@@ -48,15 +48,13 @@ impl Policy for Reserve {
         "RESERVE"
     }
 
-    fn init(&mut self, ctx: &mut Ctx) {
-        let n = ctx.clusters();
-        self.ensure(n);
+    fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
+        self.ensure(ctx.clusters());
         let period = ctx.enablers().volunteer_interval;
-        for c in 0..n {
-            // Staggered so all schedulers don't self-check simultaneously.
-            let phase = ctx.rng().int_range(1, period.max(1));
-            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_CHECK);
-        }
+        // Staggered so all schedulers don't self-check simultaneously;
+        // the phase comes from the cluster's own RNG stream.
+        let phase = ctx.rng().int_range(1, period.max(1));
+        ctx.set_timer(cluster, SimTime::from_ticks(phase), TAG_CHECK);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {

@@ -43,13 +43,10 @@ impl Policy for ReceiverInit {
         true
     }
 
-    fn init(&mut self, ctx: &mut Ctx) {
-        let n = ctx.clusters();
+    fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
         let period = ctx.enablers().volunteer_interval;
-        for c in 0..n {
-            let phase = ctx.rng().int_range(1, period.max(1));
-            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_RUS_CHECK);
-        }
+        let phase = ctx.rng().int_range(1, period.max(1));
+        ctx.set_timer(cluster, SimTime::from_ticks(phase), TAG_RUS_CHECK);
     }
 
     fn on_remote_job(&mut self, ctx: &mut Ctx, cluster: usize, job: Job) {

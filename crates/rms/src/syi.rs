@@ -70,14 +70,11 @@ impl Policy for Symmetric {
         true
     }
 
-    fn init(&mut self, ctx: &mut Ctx) {
-        let n = ctx.clusters();
-        self.ensure(n);
+    fn init_cluster(&mut self, ctx: &mut Ctx, cluster: usize) {
+        self.ensure(ctx.clusters());
         let period = ctx.enablers().volunteer_interval;
-        for c in 0..n {
-            let phase = ctx.rng().int_range(1, period.max(1));
-            ctx.set_timer(c, SimTime::from_ticks(phase), TAG_RUS_CHECK);
-        }
+        let phase = ctx.rng().int_range(1, period.max(1));
+        ctx.set_timer(cluster, SimTime::from_ticks(phase), TAG_RUS_CHECK);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, cluster: usize, tag: u64) {

@@ -1,0 +1,377 @@
+//! Anchor-based hierarchical routing for large graphs.
+//!
+//! The exact [`RoutingTable`](crate::RoutingTable) stores all-pairs state
+//! in `~13 n²` bytes — perfect at the paper's ≤1020 nodes, hopeless at
+//! 10⁵–10⁶. [`HierRouting`] replaces it with a two-level model built
+//! around the scheduler placement:
+//!
+//! * every node is assigned to its nearest **anchor** (a scheduler node)
+//!   by one multi-source Dijkstra over a CSR-flattened adjacency;
+//! * anchors are connected by an **overlay graph** whose edge `A–B` is the
+//!   cheapest boundary crossing `up(u) + w(u,v) + up(v)` over all links
+//!   `(u,v)` with `anchor(u) = A, anchor(v) = B`;
+//! * the routed latency is `up(u) + D(anchor(u), anchor(v)) + up(v)`
+//!   (just `up(u) + up(v)` inside one region).
+//!
+//! Memory is `O(n)` for the per-node tables plus `O(S²)` for the anchor
+//! matrix — ~20 MB at a million nodes with a few hundred schedulers. The
+//! result is a deterministic latency *model*, not the exact shortest
+//! path; by construction it never undercuts the anchor-to-anchor
+//! distance, which is what the sharded simulator's conservative lookahead
+//! leans on ([`HierRouting::anchor_latency`] is a lower bound on any
+//! cross-region latency).
+
+use crate::graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+const UNREACHABLE: u64 = u64::MAX;
+
+/// Two-level anchor routing state (see module docs).
+pub struct HierRouting {
+    n: usize,
+    /// Anchor (scheduler) nodes in placement order; anchor index == the
+    /// caller's scheduler index.
+    anchors: Vec<NodeId>,
+    /// Node → index into `anchors` of its nearest anchor.
+    anchor_idx: Vec<u32>,
+    /// Node → latency to its anchor.
+    up_dist: Vec<u64>,
+    /// Node → hops to its anchor.
+    up_hops: Vec<u16>,
+    /// Row-major `S × S` anchor-to-anchor latency over the overlay.
+    d: Vec<u64>,
+    /// Row-major `S × S` anchor-to-anchor hops.
+    h: Vec<u16>,
+}
+
+impl HierRouting {
+    /// Builds the two-level model for `g` with `anchors` (the scheduler
+    /// nodes, in placement order). Panics if `anchors` is empty.
+    pub fn build(g: &Graph, anchors: &[NodeId]) -> HierRouting {
+        assert!(
+            !anchors.is_empty(),
+            "hier routing needs at least one anchor"
+        );
+        let n = g.node_count();
+        let s = anchors.len();
+
+        // CSR flatten: one pass to keep the Dijkstra cache-friendly and
+        // the per-edge footprint at 12 bytes (u32 target + u64 latency
+        // packed as u32 where it fits — link latencies are single-digit).
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut edge_to: Vec<u32> = Vec::with_capacity(2 * g.link_count());
+        let mut edge_lat: Vec<u32> = Vec::with_capacity(2 * g.link_count());
+        offsets.push(0);
+        for v in 0..n as NodeId {
+            for l in g.neighbors(v) {
+                edge_to.push(l.to);
+                edge_lat.push(u32::try_from(l.latency).expect("link latency fits u32"));
+            }
+            offsets.push(edge_to.len() as u32);
+        }
+
+        // Multi-source Dijkstra: every anchor starts at distance 0; ties
+        // between equal-latency anchors break toward fewer hops, then the
+        // lower anchor index — deterministic.
+        let mut anchor_idx = vec![u32::MAX; n];
+        let mut up_dist = vec![UNREACHABLE; n];
+        let mut up_hops = vec![u16::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u16, u32, NodeId)>> = BinaryHeap::new();
+        for (ai, &a) in anchors.iter().enumerate() {
+            up_dist[a as usize] = 0;
+            up_hops[a as usize] = 0;
+            anchor_idx[a as usize] = ai as u32;
+            heap.push(Reverse((0, 0, ai as u32, a)));
+        }
+        while let Some(Reverse((du, hu, au, u))) = heap.pop() {
+            let ui = u as usize;
+            if (du, hu, au) > (up_dist[ui], up_hops[ui], anchor_idx[ui]) {
+                continue; // stale
+            }
+            let (lo, hi) = (offsets[ui] as usize, offsets[ui + 1] as usize);
+            for e in lo..hi {
+                let v = edge_to[e] as usize;
+                let dv = du.saturating_add(edge_lat[e] as u64);
+                let hv = hu.saturating_add(1);
+                if (dv, hv, au) < (up_dist[v], up_hops[v], anchor_idx[v]) {
+                    up_dist[v] = dv;
+                    up_hops[v] = hv;
+                    anchor_idx[v] = au;
+                    heap.push(Reverse((dv, hv, au, v as NodeId)));
+                }
+            }
+        }
+
+        // Overlay edges: for every boundary link, the crossing cost
+        // between the two regions. BTreeMap keeps the reduction and the
+        // later adjacency iteration deterministic.
+        let mut boundary: BTreeMap<(u32, u32), (u64, u16)> = BTreeMap::new();
+        for u in 0..n {
+            let au = anchor_idx[u];
+            if au == u32::MAX {
+                continue;
+            }
+            let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+            for e in lo..hi {
+                let v = edge_to[e] as usize;
+                let av = anchor_idx[v];
+                if av == u32::MAX || av == au {
+                    continue;
+                }
+                let w = up_dist[u]
+                    .saturating_add(edge_lat[e] as u64)
+                    .saturating_add(up_dist[v]);
+                let hops = up_hops[u].saturating_add(1).saturating_add(up_hops[v]);
+                let key = (au.min(av), au.max(av));
+                let entry = boundary.entry(key).or_insert((UNREACHABLE, u16::MAX));
+                if (w, hops) < *entry {
+                    *entry = (w, hops);
+                }
+            }
+        }
+        let mut overlay: Vec<Vec<(u32, u64, u16)>> = vec![Vec::new(); s];
+        for (&(a, b), &(w, hops)) in &boundary {
+            overlay[a as usize].push((b, w, hops));
+            overlay[b as usize].push((a, w, hops));
+        }
+
+        // One Dijkstra per anchor over the (tiny) overlay.
+        let mut d = vec![UNREACHABLE; s * s];
+        let mut h = vec![u16::MAX; s * s];
+        let mut oheap: BinaryHeap<Reverse<(u64, u16, u32)>> = BinaryHeap::new();
+        for src in 0..s {
+            let row = src * s;
+            let dd = &mut d[row..row + s];
+            let hh = &mut h[row..row + s];
+            dd[src] = 0;
+            hh[src] = 0;
+            oheap.clear();
+            oheap.push(Reverse((0, 0, src as u32)));
+            while let Some(Reverse((du, hu, u))) = oheap.pop() {
+                if (du, hu) > (dd[u as usize], hh[u as usize]) {
+                    continue;
+                }
+                for &(v, w, hops) in &overlay[u as usize] {
+                    let dv = du.saturating_add(w);
+                    let hv = hu.saturating_add(hops);
+                    if (dv, hv) < (dd[v as usize], hh[v as usize]) {
+                        dd[v as usize] = dv;
+                        hh[v as usize] = hv;
+                        oheap.push(Reverse((dv, hv, v)));
+                    }
+                }
+            }
+        }
+
+        HierRouting {
+            n,
+            anchors: anchors.to_vec(),
+            anchor_idx,
+            up_dist,
+            up_hops,
+            d,
+            h,
+        }
+    }
+
+    /// Number of nodes the model was built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of anchors (== schedulers).
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// The anchor index (== scheduler index) of node `v`; `None` only for
+    /// nodes disconnected from every anchor.
+    pub fn anchor_of(&self, v: NodeId) -> Option<u32> {
+        let a = self.anchor_idx[v as usize];
+        (a != u32::MAX).then_some(a)
+    }
+
+    /// Latency from node `v` up to its anchor.
+    pub fn up_latency(&self, v: NodeId) -> Option<u64> {
+        let d = self.up_dist[v as usize];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Anchor-to-anchor latency over the overlay — a lower bound on the
+    /// modelled latency between any node anchored at `a` and any node
+    /// anchored at `b`.
+    pub fn anchor_latency(&self, a: u32, b: u32) -> Option<u64> {
+        let d = self.d[a as usize * self.anchors.len() + b as usize];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Modelled latency between two nodes (see module docs).
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        if src == dst {
+            return Some(0);
+        }
+        let (au, av) = (self.anchor_idx[src as usize], self.anchor_idx[dst as usize]);
+        if au == u32::MAX || av == u32::MAX {
+            return None;
+        }
+        let up = self.up_dist[src as usize].saturating_add(self.up_dist[dst as usize]);
+        if au == av {
+            return Some(up);
+        }
+        let mid = self.d[au as usize * self.anchors.len() + av as usize];
+        (mid != UNREACHABLE).then(|| up.saturating_add(mid))
+    }
+
+    /// Modelled hop count between two nodes.
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u16> {
+        if src == dst {
+            return Some(0);
+        }
+        let (au, av) = (self.anchor_idx[src as usize], self.anchor_idx[dst as usize]);
+        if au == u32::MAX || av == u32::MAX {
+            return None;
+        }
+        let up = self.up_hops[src as usize].saturating_add(self.up_hops[dst as usize]);
+        if au == av {
+            return Some(up.max(1));
+        }
+        let mid = self.h[au as usize * self.anchors.len() + av as usize];
+        (mid != u16::MAX).then(|| up.saturating_add(mid))
+    }
+
+    /// Mean modelled latency: mean anchor-pair distance plus twice the
+    /// mean up-distance — the `O(n + S²)` stand-in for the exact table's
+    /// all-pairs mean.
+    pub fn mean_pair_latency(&self) -> f64 {
+        let s = self.anchors.len();
+        let mut sum = 0u128;
+        let mut cnt = 0u64;
+        for a in 0..s {
+            for b in 0..s {
+                if a != b {
+                    let d = self.d[a * s + b];
+                    if d != UNREACHABLE {
+                        sum += d as u128;
+                        cnt += 1;
+                    }
+                }
+            }
+        }
+        let mid = if cnt == 0 {
+            0.0
+        } else {
+            sum as f64 / cnt as f64
+        };
+        let mut up_sum = 0u128;
+        let mut up_cnt = 0u64;
+        for &u in &self.up_dist {
+            if u != UNREACHABLE {
+                up_sum += u as u128;
+                up_cnt += 1;
+            }
+        }
+        let up = if up_cnt == 0 {
+            0.0
+        } else {
+            up_sum as f64 / up_cnt as f64
+        };
+        mid + 2.0 * up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, LinkParams};
+    use crate::routing::RoutingTable;
+    use gridscale_desim::SimRng;
+
+    #[test]
+    fn line_anchors_and_latencies() {
+        // 0-1-2-3 latencies 1,2,3; anchors at 0 and 3.
+        let mut g = Graph::with_nodes(4);
+        g.add_link(0, 1, 1, 1.0);
+        g.add_link(1, 2, 2, 1.0);
+        g.add_link(2, 3, 3, 1.0);
+        let hr = HierRouting::build(&g, &[0, 3]);
+        assert_eq!(hr.anchor_of(0), Some(0));
+        assert_eq!(hr.anchor_of(1), Some(0), "1 is nearer anchor 0 (1 < 5)");
+        assert_eq!(
+            hr.anchor_of(2),
+            Some(1),
+            "distance ties (3 = 3) break on hops"
+        );
+        assert_eq!(hr.up_latency(1), Some(1));
+        // Overlay edge 0-3 crosses the 1-2 boundary link: 1 + 2 + 3 = 6.
+        assert_eq!(hr.anchor_latency(0, 1), Some(6));
+        assert_eq!(hr.latency(0, 3), Some(6));
+        // Same-region pair: up(0) + up(1).
+        assert_eq!(hr.latency(0, 1), Some(1));
+        assert_eq!(hr.latency(2, 2), Some(0));
+    }
+
+    #[test]
+    fn anchor_latency_lower_bounds_cross_region_pairs() {
+        let mut rng = SimRng::new(31);
+        let g = generate::barabasi_albert(200, 2, LinkParams::default(), &mut rng);
+        let anchors: Vec<NodeId> = vec![0, 7, 33, 120];
+        let hr = HierRouting::build(&g, &anchors);
+        for u in 0..200u32 {
+            for v in [3u32, 50, 111, 199] {
+                let (au, av) = (hr.anchor_of(u).unwrap(), hr.anchor_of(v).unwrap());
+                if au == av {
+                    continue;
+                }
+                assert!(
+                    hr.latency(u, v).unwrap() >= hr.anchor_latency(au, av).unwrap(),
+                    "modelled latency {u}->{v} undercuts its anchor distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model_never_undercuts_exact_anchor_distance() {
+        // The overlay distance between two anchors can never beat the true
+        // shortest path between them (every overlay edge is a real walk).
+        let mut rng = SimRng::new(77);
+        let g = generate::waxman(60, 0.3, 0.4, LinkParams::default(), &mut rng);
+        let rt = RoutingTable::build(&g);
+        let anchors: Vec<NodeId> = vec![2, 17, 40];
+        let hr = HierRouting::build(&g, &anchors);
+        for (ai, &a) in anchors.iter().enumerate() {
+            for (bi, &b) in anchors.iter().enumerate() {
+                if ai == bi {
+                    continue;
+                }
+                assert!(
+                    hr.anchor_latency(ai as u32, bi as u32).unwrap() >= rt.latency(a, b).unwrap(),
+                    "overlay found an impossible shortcut {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_inputs() {
+        let mut rng = SimRng::new(5);
+        let g = generate::barabasi_albert(150, 2, LinkParams::default(), &mut rng);
+        let a = HierRouting::build(&g, &[0, 9, 70]);
+        let b = HierRouting::build(&g, &[0, 9, 70]);
+        assert_eq!(a.anchor_idx, b.anchor_idx);
+        assert_eq!(a.up_dist, b.up_dist);
+        assert_eq!(a.d, b.d);
+    }
+
+    #[test]
+    fn single_anchor_degenerates_to_up_distances() {
+        let mut g = Graph::with_nodes(3);
+        g.add_link(0, 1, 4, 1.0);
+        g.add_link(1, 2, 5, 1.0);
+        let hr = HierRouting::build(&g, &[1]);
+        assert_eq!(hr.latency(0, 2), Some(9));
+        assert_eq!(hr.hops(0, 2), Some(2));
+        assert_eq!(hr.mean_pair_latency(), 2.0 * (4.0 + 5.0) / 3.0);
+    }
+}

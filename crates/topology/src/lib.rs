@@ -16,7 +16,10 @@
 //!
 //! Routing is link-state shortest-path ([`RoutingTable`]), i.e. exactly what
 //! OSPF computes; the simulator only consumes per-pair latency and hop
-//! counts, which are identical under any correct SPF implementation.
+//! counts, which are identical under any correct SPF implementation. Above
+//! [`Routing::HIER_THRESHOLD`] nodes the exact all-pairs table no longer
+//! fits in memory and [`Routing`] switches to the anchor-based two-level
+//! model [`HierRouting`], keeping 10⁵–10⁶-node grids buildable.
 //!
 //! [`GridMap`] performs the paper's "map elements such as routers,
 //! schedulers, and resources to obtain Grid topologies" step: scheduler and
@@ -28,11 +31,15 @@
 
 pub mod generate;
 mod graph;
+mod hier;
 mod map;
 pub mod metrics;
+mod route;
 mod routing;
 
 pub use graph::{Graph, Link, NodeId};
-pub use map::{GridMap, NodeRole};
+pub use hier::HierRouting;
+pub use map::{GridMap, NodeRole, Placement};
 pub use metrics::GraphMetrics;
+pub use route::Routing;
 pub use routing::RoutingTable;

@@ -6,9 +6,17 @@
 //! coordinated by a scheduler."* (§3.1) and, for Case 3, *"Estimators are
 //! the RMS nodes which receive the status updates from RP resources and
 //! distribute to the scheduling decision makers."* (Fig. 4 caption).
+//!
+//! Mapping is split into two stages because routing depends on it:
+//! [`GridMap::place`] chooses the role of every node purely from degrees
+//! (no routing needed), which lets the caller build [`Routing`] *around*
+//! the scheduler placement — the hierarchical model anchors at scheduler
+//! nodes — and then [`GridMap::assemble`] does the routing-dependent
+//! clustering. [`GridMap::build`] chains both for callers that already
+//! hold routing state.
 
 use crate::graph::{Graph, NodeId};
-use crate::routing::RoutingTable;
+use crate::route::Routing;
 use serde::{Deserialize, Serialize};
 
 /// The function a topology node plays in the Grid.
@@ -24,8 +32,32 @@ pub enum NodeRole {
     Resource,
 }
 
+/// The routing-independent half of a grid mapping: which node plays which
+/// role. Produced by [`GridMap::place`], consumed by [`GridMap::assemble`]
+/// (its `schedulers` are the anchor set for hierarchical routing).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    roles: Vec<NodeRole>,
+    schedulers: Vec<NodeId>,
+    estimators: Vec<NodeId>,
+    resources: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Scheduler node ids in placement order — the hierarchical routing
+    /// anchor set.
+    pub fn schedulers(&self) -> &[NodeId] {
+        &self.schedulers
+    }
+
+    /// Estimator node ids in placement order.
+    pub fn estimators(&self) -> &[NodeId] {
+        &self.estimators
+    }
+}
+
 /// A Grid topology: node roles, scheduler clusters, and estimator
-/// assignments layered over a [`Graph`] and its [`RoutingTable`].
+/// assignments layered over a [`Graph`] and its [`Routing`] state.
 #[derive(Debug, Clone)]
 pub struct GridMap {
     roles: Vec<NodeRole>,
@@ -42,7 +74,7 @@ pub struct GridMap {
 }
 
 impl GridMap {
-    /// Builds a Grid map.
+    /// Stage 1: chooses node roles without consulting routing.
     ///
     /// * `n_schedulers` scheduler roles and `n_estimators` estimator roles
     ///   are placed on the best-connected nodes (degree-descending, ties by
@@ -51,17 +83,14 @@ impl GridMap {
     ///   well-provisioned sites.
     /// * A `resource_fraction` of the remaining nodes (rounded up, in id
     ///   order) become resources; the rest are plain routers.
-    /// * Every resource joins the cluster of its minimum-latency scheduler,
-    ///   and is assigned its minimum-latency estimator (if any exist).
     ///
     /// Panics if `n_schedulers == 0` or the roles don't fit in the graph.
-    pub fn build(
+    pub fn place(
         g: &Graph,
-        rt: &RoutingTable,
         n_schedulers: usize,
         n_estimators: usize,
         resource_fraction: f64,
-    ) -> Self {
+    ) -> Placement {
         let n = g.node_count();
         assert!(n_schedulers >= 1, "at least one scheduler required");
         assert!(
@@ -93,18 +122,48 @@ impl GridMap {
             roles[r as usize] = NodeRole::Resource;
         }
 
+        Placement {
+            roles,
+            schedulers,
+            estimators,
+            resources,
+        }
+    }
+
+    /// Stage 2: the routing-dependent clustering.
+    ///
+    /// Every resource joins the cluster of its minimum-latency scheduler
+    /// (under hierarchical routing that is its anchor, resolved in `O(1)`),
+    /// and is assigned its minimum-latency estimator (if any exist).
+    /// Clusters that come out empty steal the nearest spareable resource so
+    /// every scheduler has somewhere to place LOCAL jobs.
+    pub fn assemble(placement: Placement, routing: &Routing) -> GridMap {
+        let Placement {
+            roles,
+            schedulers,
+            estimators,
+            resources,
+        } = placement;
+        let n = roles.len();
+        let n_schedulers = schedulers.len();
+
         let mut cluster_idx = vec![u32::MAX; n];
         let mut clusters = vec![Vec::new(); n_schedulers];
         for (ci, &s) in schedulers.iter().enumerate() {
             cluster_idx[s as usize] = ci as u32;
         }
         for &r in &resources {
-            let coord = rt
-                .nearest(r, &schedulers)
-                .expect("graph must be connected so every resource reaches a scheduler");
-            // cluster_idx already maps scheduler nodes to their cluster, so
-            // resolving the coordinator is O(1) instead of a linear scan.
-            let ci = cluster_idx[coord as usize] as usize;
+            // Under the anchor model the nearest scheduler *is* the anchor
+            // (anchor index == placement index); exact routing scans.
+            let ci = match routing.anchor_of(r) {
+                Some(a) => a as usize,
+                None => {
+                    let coord = routing
+                        .nearest(r, &schedulers)
+                        .expect("graph must be connected so every resource reaches a scheduler");
+                    cluster_idx[coord as usize] as usize
+                }
+            };
             cluster_idx[r as usize] = ci as u32;
             clusters[ci].push(r);
         }
@@ -124,7 +183,7 @@ impl GridMap {
                     .iter()
                     .copied()
                     .filter(|&r| clusters[cluster_idx[r as usize] as usize].len() > 1)
-                    .min_by_key(|&r| (rt.latency(r, sched).unwrap_or(u64::MAX), r))
+                    .min_by_key(|&r| (routing.latency(r, sched).unwrap_or(u64::MAX), r))
                     .expect("some cluster has more than one resource");
                 let old = cluster_idx[victim as usize] as usize;
                 clusters[old].retain(|&r| r != victim);
@@ -136,7 +195,9 @@ impl GridMap {
         let mut estimator_of = vec![NodeId::MAX; n];
         if !estimators.is_empty() {
             for &r in &resources {
-                let e = rt.nearest(r, &estimators).expect("graph must be connected");
+                let e = routing
+                    .nearest(r, &estimators)
+                    .expect("graph must be connected");
                 estimator_of[r as usize] = e;
             }
         }
@@ -150,6 +211,20 @@ impl GridMap {
             estimator_of,
             clusters,
         }
+    }
+
+    /// Builds a Grid map: [`GridMap::place`] then [`GridMap::assemble`].
+    /// Callers that need routing anchored at the scheduler placement (the
+    /// large-scale path) run the two stages themselves.
+    pub fn build(
+        g: &Graph,
+        routing: &Routing,
+        n_schedulers: usize,
+        n_estimators: usize,
+        resource_fraction: f64,
+    ) -> Self {
+        let placement = GridMap::place(g, n_schedulers, n_estimators, resource_fraction);
+        GridMap::assemble(placement, routing)
     }
 
     /// Role of node `v`.
@@ -212,14 +287,15 @@ impl GridMap {
 mod tests {
     use super::*;
     use crate::generate::{self, LinkParams};
+    use crate::routing::RoutingTable;
     use gridscale_desim::SimRng;
 
-    fn sample(n_sched: usize, n_est: usize) -> (Graph, RoutingTable, GridMap) {
+    fn sample(n_sched: usize, n_est: usize) -> (Graph, Routing, GridMap) {
         let mut rng = SimRng::new(42);
         let g = generate::barabasi_albert(120, 2, LinkParams::default(), &mut rng);
-        let rt = RoutingTable::build(&g);
-        let m = GridMap::build(&g, &rt, n_sched, n_est, 0.9);
-        (g, rt, m)
+        let routing = Routing::Exact(RoutingTable::build(&g));
+        let m = GridMap::build(&g, &routing, n_sched, n_est, 0.9);
+        (g, routing, m)
     }
 
     #[test]
@@ -279,24 +355,47 @@ mod tests {
 
     #[test]
     fn resources_join_nearest_scheduler() {
-        let (_, rt, m) = sample(5, 0);
+        let (_, routing, m) = sample(5, 0);
         for &r in m.resources() {
             let coord = m.scheduler_of(r);
-            let d_coord = rt.latency(r, coord).unwrap();
+            let d_coord = routing.latency(r, coord).unwrap();
             for &s in m.schedulers() {
-                assert!(d_coord <= rt.latency(r, s).unwrap());
+                assert!(d_coord <= routing.latency(r, s).unwrap());
             }
         }
     }
 
     #[test]
+    fn hier_assembly_clusters_by_anchor() {
+        let mut rng = SimRng::new(42);
+        let g = generate::barabasi_albert(300, 2, LinkParams::default(), &mut rng);
+        let placement = GridMap::place(&g, 6, 0, 0.9);
+        let routing = Routing::Hier(crate::HierRouting::build(&g, placement.schedulers()));
+        let m = GridMap::assemble(placement, &routing);
+        let mut stolen = 0;
+        for &r in m.resources() {
+            let anchor = routing.anchor_of(r).unwrap() as usize;
+            if m.cluster_index(r) != Some(anchor) {
+                stolen += 1; // only empty-cluster stealing may move a resource
+            }
+        }
+        assert!(
+            stolen <= m.cluster_count(),
+            "at most one steal per initially-empty cluster"
+        );
+        for ci in 0..m.cluster_count() {
+            assert!(!m.cluster_resources(ci).is_empty());
+        }
+    }
+
+    #[test]
     fn estimator_assignment_nearest_or_absent() {
-        let (_, rt, m) = sample(4, 3);
+        let (_, routing, m) = sample(4, 3);
         for &r in m.resources() {
             let e = m.estimator_for(r).expect("estimators exist");
-            let de = rt.latency(r, e).unwrap();
+            let de = routing.latency(r, e).unwrap();
             for &other in m.estimators() {
-                assert!(de <= rt.latency(r, other).unwrap());
+                assert!(de <= routing.latency(r, other).unwrap());
             }
         }
         let (_, _, m0) = sample(4, 0);
@@ -327,8 +426,8 @@ mod tests {
         // Many schedulers relative to resources stresses the rebalancing.
         let mut rng = SimRng::new(9);
         let g = generate::barabasi_albert(60, 2, LinkParams::default(), &mut rng);
-        let rt = RoutingTable::build(&g);
-        let m = GridMap::build(&g, &rt, 20, 0, 0.9);
+        let routing = Routing::Exact(RoutingTable::build(&g));
+        let m = GridMap::build(&g, &routing, 20, 0, 0.9);
         for ci in 0..m.cluster_count() {
             assert!(
                 !m.cluster_resources(ci).is_empty(),
@@ -345,10 +444,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_schedulers_panics() {
-        let mut rng = SimRng::new(1);
         let g = generate::ring(10, LinkParams::default());
-        let rt = RoutingTable::build(&g);
-        let _ = GridMap::build(&g, &rt, 0, 0, 1.0);
-        let _ = rng.uniform01();
+        let _ = GridMap::place(&g, 0, 0, 1.0);
     }
 }

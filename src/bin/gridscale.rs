@@ -5,9 +5,11 @@
 //!                   [--duration 60000] [--seed 7] [--estimators 0] [--json]
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
-//!                   [--no-warm] [--bench-out BENCH_tuning.json] [--json]
+//!                   [--shards 1] [--no-warm] [--bench-out BENCH_tuning.json] [--json]
 //! gridscale bench-sim [--model LOWEST] [--reps 5] [--kmax 16]
 //!                   [--out BENCH_sim.json]
+//! gridscale bench-sim --shards 4 [--model LOWEST] [--reps 3] [--kmax 4]
+//!                   [--mega 1000000] [--out BENCH_shard.json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
@@ -18,11 +20,15 @@
 //! four-step scalability procedure; `bench-sim` times clone-per-run world
 //! rebuilding against zero-clone shared-template replay (under both `dyn`
 //! and enum policy dispatch, plus a forced binary-heap event queue as the
-//! ladder-queue baseline) and writes `BENCH_sim.json`; `trace`
+//! ladder-queue baseline) and writes `BENCH_sim.json`; `bench-sim
+//! --shards N` instead times the sharded conservative-parallel executor
+//! against the sequential replay on large grids (asserting bit-identical
+//! fingerprints) and writes `BENCH_shard.json`, optionally proving a
+//! `--mega`-node shared world builds; `trace`
 //! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
 //! the RMS models; `audit` runs the workspace determinism linter
-//! (rules D1–D4, see the `gridscale-audit` crate).
+//! (rules D1–D5, see the `gridscale-audit` crate).
 
 use gridscale::prelude::*;
 use std::collections::HashMap;
@@ -170,6 +176,7 @@ fn cmd_measure(flags: HashMap<String, String>) {
         seed: get(&flags, "seed", 0x15_0EFFu64),
         replications: get(&flags, "replications", 1usize),
         threads: get(&flags, "threads", 0usize),
+        shards: get(&flags, "shards", 1usize).max(1),
         batch: get(&flags, "batch", 4usize).max(1),
         warm_start: !flags.contains_key("no-warm"),
         ..MeasureOptions::default()
@@ -263,7 +270,199 @@ fn timed<F: FnMut()>(reps: usize, mut body: F) -> f64 {
     t.elapsed().as_secs_f64() / reps as f64
 }
 
+/// The scaled point of the shard bench: grids big enough that parallel
+/// event processing pays. `k` multiplies the pool and the offered load
+/// together; nodes = 2_500·k, so `k = 4` crosses the 10⁴-node line the
+/// conservative executor targets. Scheduler clusters follow the
+/// large-grid sizing rule nodes/64, capped at 256.
+fn bench_shard_point(k: usize) -> GridConfig {
+    let nodes = 2_500 * k;
+    GridConfig {
+        nodes,
+        schedulers: (nodes / 64).clamp(2, 256),
+        estimators: 2,
+        // Transit-stub is the realistic shape for sharding: stub-local
+        // traffic is short-haul, transit crossings are long, so the
+        // latency-aware planner gets a real lookahead window to find.
+        topology: TopologySpec::TransitStub,
+        workload: WorkloadConfig {
+            arrival_rate: 0.25 * k as f64,
+            duration: SimTime::from_ticks(8_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(12_000),
+        seed: 0x5AA5 + k as u64,
+        ..GridConfig::default()
+    }
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`);
+/// `None` where `/proc` is unavailable. Bench telemetry only.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// `bench-sim --shards N`: times the sharded conservative-parallel
+/// executor against the sequential replay of the same template, asserting
+/// the event fingerprints agree bit-for-bit, and writes the speedup plus
+/// the barrier/idle telemetry to `BENCH_shard.json`. With `--mega N` it
+/// additionally builds an N-node shared world (and drives one short
+/// sharded replay over it) to pin the memory footprint at 10⁵–10⁶ nodes.
+fn cmd_bench_shard(flags: HashMap<String, String>) {
+    let kind = model_of(&flags);
+    let shards = get(&flags, "shards", 4usize).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Extra workers beyond the physical cores only add scheduling churn;
+    // --workers overrides for overload experiments.
+    let workers = get(&flags, "workers", shards.min(cores)).max(1);
+    let reps = get(&flags, "reps", 3usize).max(1);
+    let kmax = get(&flags, "kmax", 4usize).max(1);
+    let mega = get(&flags, "mega", 0usize);
+    let mut rows = Vec::new();
+    for &k in [1usize, 2, 4, 8, 16].iter().filter(|&&k| k <= kmax) {
+        let cfg = bench_shard_point(k);
+        let template = SimTemplate::new(&cfg);
+        // Reference run: fixes the fingerprint every timed replay — and
+        // every sharded replay — must reproduce exactly.
+        let report = template.run(cfg.enablers, &mut kind.build_static());
+        let events = report.events_processed;
+        let fp = report.event_fingerprint;
+
+        let seq_s = timed(reps, || {
+            let r = template.run(cfg.enablers, &mut kind.build_static());
+            assert_eq!(r.event_fingerprint, fp, "sequential replay diverged");
+        });
+
+        let mut summary = None;
+        let shard_s = timed(reps, || {
+            let (r, s) =
+                template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers);
+            assert_eq!(
+                r.event_fingerprint, fp,
+                "sharded replay diverged from sequential"
+            );
+            assert_eq!(r.events_processed, events, "sharded event count diverged");
+            summary = Some(s);
+        });
+        let summary = summary.expect("at least one timed repetition");
+        let idle: u64 = summary.idle_windows_per_shard.iter().sum();
+        let idle_fraction =
+            idle as f64 / (summary.barrier_rounds.max(1) * summary.shards as u64) as f64;
+        let speedup = seq_s / shard_s;
+        eprintln!(
+            "k={:<2} nodes={:<7} clusters={:<3} events={:<9} seq {:>8.1} ms | {} shards {:>8.1} ms ({:>4.2}x) | window {} | rounds {} | idle {:>4.1}% | {:.2e} ev/s",
+            k,
+            cfg.nodes,
+            template.cluster_count(),
+            events,
+            seq_s * 1e3,
+            summary.shards,
+            shard_s * 1e3,
+            speedup,
+            summary.window_ticks,
+            summary.barrier_rounds,
+            idle_fraction * 100.0,
+            events as f64 / shard_s
+        );
+        rows.push(serde_json::json!({
+            "k": k,
+            "nodes": cfg.nodes,
+            "clusters": template.cluster_count(),
+            "events_processed": events,
+            "event_fingerprint": fp,
+            "fingerprint_match": true,
+            "sequential": {
+                "secs_per_run": seq_s,
+                "events_per_sec": events as f64 / seq_s,
+            },
+            "sharded": {
+                "secs_per_run": shard_s,
+                "events_per_sec": events as f64 / shard_s,
+            },
+            "speedup": speedup,
+            "shards": summary.shards,
+            "workers": summary.workers,
+            "window_ticks": summary.window_ticks,
+            "min_cross_latency": summary.min_cross_latency,
+            "barrier_rounds": summary.barrier_rounds,
+            "cross_shard_events": summary.cross_shard_events,
+            "events_per_shard": summary.events_per_shard,
+            "idle_windows_per_shard": summary.idle_windows_per_shard,
+            "idle_fraction": idle_fraction,
+            "shared_world_bytes": template.shared_world_bytes(),
+        }));
+    }
+
+    // The memory-scaling arm: build a mega-node shared world once, prove
+    // a sharded replay drives it, and record the footprint.
+    let mega_build = if mega > 0 {
+        let cfg = GridConfig {
+            nodes: mega,
+            schedulers: (mega / 64).clamp(2, 256),
+            estimators: 2,
+            workload: WorkloadConfig {
+                arrival_rate: 0.05,
+                duration: SimTime::from_ticks(500),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(1_000),
+            seed: 0x3E6A,
+            ..GridConfig::default()
+        };
+        let mut built = None;
+        let build_s = timed(1, || built = Some(SimTemplate::new(&cfg)));
+        let template = built.expect("built once");
+        let (r, s) = template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers);
+        eprintln!(
+            "mega: built {} nodes / {} clusters in {:.1} s | shared world ≈ {:.1} MB | peak RSS {} MB | replay {} events over {} rounds",
+            mega,
+            template.cluster_count(),
+            build_s,
+            template.shared_world_bytes() as f64 / 1e6,
+            peak_rss_bytes().map_or("?".into(), |b| format!("{:.0}", b as f64 / 1e6)),
+            r.events_processed,
+            s.barrier_rounds
+        );
+        Some(serde_json::json!({
+            "nodes": mega,
+            "clusters": template.cluster_count(),
+            "build_secs": build_s,
+            "shared_world_bytes": template.shared_world_bytes(),
+            "peak_rss_bytes": peak_rss_bytes(),
+            "events_processed": r.events_processed,
+            "window_ticks": s.window_ticks,
+            "barrier_rounds": s.barrier_rounds,
+        }))
+    } else {
+        None
+    };
+
+    let out = serde_json::json!({
+        "model": kind.name(),
+        "reps": reps,
+        "kmax": kmax,
+        "shards": shards,
+        "host_cores": cores,
+        "points": rows,
+        "mega_build": mega_build,
+    });
+    let path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+        Ok(()) => eprintln!("shard bench → {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn cmd_bench_sim(flags: HashMap<String, String>) {
+    if flags.contains_key("shards") {
+        return cmd_bench_shard(flags);
+    }
     let kind = model_of(&flags);
     let reps = get(&flags, "reps", 5usize).max(1);
     let kmax = get(&flags, "kmax", 16usize).max(1);

@@ -74,8 +74,8 @@ pub mod prelude {
     pub use gridscale_desim::{QueueDiscipline, QueueTelemetry, SimRng, SimTime};
     pub use gridscale_gridsim::{
         run_simulation, Clock, Comms, Ctx, Dispatch, Enablers, GridConfig, OverheadCosts, Policy,
-        PolicyMsg, QueueSummary, ReplayStats, SimReport, SimTemplate, Telemetry, Thresholds,
-        Timeline, Timers, TopologySpec,
+        PolicyMsg, QueueSummary, ReplayStats, ShardSummary, SimReport, SimTemplate, Telemetry,
+        Thresholds, Timeline, Timers, TopologySpec,
     };
     pub use gridscale_rms::{RmsKind, RmsPolicy};
     pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};

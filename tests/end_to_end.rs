@@ -126,7 +126,7 @@ fn grid_roles_consistent_with_config() {
     let cfg = config_for(RmsKind::Lowest, CaseId::Estimators, 2, Preset::Quick, 9);
     let rng = &mut SimRng::new(cfg.seed).fork(1);
     let g = generate::barabasi_albert(cfg.nodes, 2, generate::LinkParams::default(), rng);
-    let rt = RoutingTable::build(&g);
+    let rt = gridscale::topology::Routing::Exact(RoutingTable::build(&g));
     let map = GridMap::build(
         &g,
         &rt,

@@ -323,6 +323,31 @@ fn heap_discipline_matches_golden_fixture() {
     }
 }
 
+/// The sharded parallel executor reproduces the golden entries bit-for-
+/// bit: partitioning the lane space across 4 shards (clamped to the
+/// cluster count where smaller) and running them on worker threads under
+/// conservative-lookahead barriers is pure mechanism, exactly like the
+/// queue discipline.
+#[test]
+fn sharded_execution_matches_golden_fixture() {
+    let fixture = load_fixture();
+    let seed = SEEDS[0];
+    for kind in RmsKind::EXTENDED {
+        for k in KS {
+            let cfg = golden_cfg(GoldenPolicy::Kind(kind), k, seed);
+            let template = SimTemplate::new(&cfg);
+            let (r, summary) = template.run_sharded(cfg.enablers, || kind.build_static(), 4, 4);
+            let key = entry_key(GoldenPolicy::Kind(kind), k, seed);
+            assert_matches_fixture(&key, &report_value(&r), fixture);
+            assert_eq!(
+                summary.events_per_shard.iter().sum::<u64>(),
+                r.events_processed,
+                "{key}: shard event counts must sum to the total"
+            );
+        }
+    }
+}
+
 /// The statically dispatched [`RmsPolicy`] enum (`RmsKind::build_static`)
 /// is behaviourally indistinguishable from the boxed trait object: the
 /// same golden entries come out bit-for-bit under enum dispatch.

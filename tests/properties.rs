@@ -134,6 +134,48 @@ proptest! {
     }
 
     #[test]
+    fn sharded_execution_is_plan_invariant(
+        cfg in arb_config(),
+        ki in 0usize..7,
+        shards in 2usize..5,
+        assign_seed in any::<u64>(),
+        workers in 1usize..5,
+    ) {
+        // Any cluster→shard assignment whatsoever — balanced, skewed,
+        // empty shards included — must reproduce the sequential event
+        // stream bit for bit. The assignment is drawn from its own
+        // deterministic stream so failures minimize cleanly.
+        let kind = kind_of(ki);
+        let template = SimTemplate::new(&cfg);
+        let mut seq_policy = kind.build_static();
+        let seq = template.run(cfg.enablers, &mut seq_policy);
+        let mut arng = SimRng::new(assign_seed);
+        let plan: Vec<u32> = (0..template.cluster_count())
+            .map(|_| arng.int_range(0, shards as u64 - 1) as u32)
+            .collect();
+        let (rep, summary) = template.run_sharded_with(
+            cfg.enablers,
+            || kind.build_static(),
+            &plan,
+            shards,
+            workers,
+        );
+        prop_assert_eq!(
+            seq.event_fingerprint, rep.event_fingerprint,
+            "plan {:?} diverged from sequential", plan
+        );
+        prop_assert_eq!(seq.events_processed, rep.events_processed);
+        prop_assert_eq!(seq.completed, rep.completed);
+        prop_assert_eq!(seq.f_work.to_bits(), rep.f_work.to_bits());
+        prop_assert_eq!(seq.g_overhead.to_bits(), rep.g_overhead.to_bits());
+        prop_assert_eq!(seq.mean_response.to_bits(), rep.mean_response.to_bits());
+        prop_assert_eq!(
+            summary.events_per_shard.iter().sum::<u64>(),
+            rep.events_processed
+        );
+    }
+
+    #[test]
     fn workload_respects_paper_restrictions(
         rate in 0.005f64..0.1,
         seed in any::<u64>(),

@@ -1,0 +1,218 @@
+//! Differential tests for the sharded parallel executor.
+//!
+//! The contract under test: `SimTemplate::run_sharded` reproduces the
+//! sequential executor's report — including the event-stream
+//! `event_fingerprint`, which pins the *entire delivered event stream*,
+//! not just the final tallies — bit for bit, for every policy, seed,
+//! shard count, and worker count. Conservative lookahead plus per-lane
+//! event sequencing is an exactness argument, not an approximation, so
+//! these tests assert equality, never tolerance.
+//!
+//! The worker count defaults to 4 and can be pinned via the
+//! `GRIDSCALE_SHARD_WORKERS` environment variable; CI runs this suite
+//! under both 1 and 4 workers to cover the single-threaded and
+//! contended barrier paths.
+
+use gridscale::prelude::*;
+
+/// Worker-thread count for the suite (see module docs).
+fn workers() -> usize {
+    std::env::var("GRIDSCALE_SHARD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A small Grid with enough scheduler clusters (10) to split 8 ways and
+/// a couple of estimators so the estimator-lane plumbing is exercised.
+fn diff_cfg(seed: u64) -> GridConfig {
+    GridConfig {
+        nodes: 100,
+        schedulers: 10,
+        estimators: 2,
+        workload: WorkloadConfig {
+            arrival_rate: 0.03,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(5_000),
+        seed,
+        ..GridConfig::default()
+    }
+}
+
+/// Field-by-field bit equality of two reports (f64 fields compared by
+/// bit pattern — "close" is a bug here).
+fn assert_reports_identical(seq: &SimReport, shard: &SimReport, what: &str) {
+    assert_eq!(
+        seq.event_fingerprint, shard.event_fingerprint,
+        "{what}: event stream diverged"
+    );
+    assert_eq!(seq.events_processed, shard.events_processed, "{what}");
+    assert_eq!(seq.completed, shard.completed, "{what}");
+    assert_eq!(seq.succeeded, shard.succeeded, "{what}");
+    assert_eq!(seq.msgs_sent, shard.msgs_sent, "{what}");
+    assert_eq!(seq.transfers, shard.transfers, "{what}");
+    assert_eq!(seq.policy_msgs, shard.policy_msgs, "{what}");
+    assert_eq!(seq.updates_sent, shard.updates_sent, "{what}");
+    assert_eq!(
+        seq.f_work.to_bits(),
+        shard.f_work.to_bits(),
+        "{what}: F diverged ({} vs {})",
+        seq.f_work,
+        shard.f_work
+    );
+    assert_eq!(
+        seq.g_overhead.to_bits(),
+        shard.g_overhead.to_bits(),
+        "{what}: G diverged ({} vs {})",
+        seq.g_overhead,
+        shard.g_overhead
+    );
+    assert_eq!(
+        seq.h_overhead.to_bits(),
+        shard.h_overhead.to_bits(),
+        "{what}: H diverged"
+    );
+    assert_eq!(
+        seq.efficiency.to_bits(),
+        shard.efficiency.to_bits(),
+        "{what}: efficiency diverged"
+    );
+    assert_eq!(
+        seq.mean_response.to_bits(),
+        shard.mean_response.to_bits(),
+        "{what}: mean response diverged"
+    );
+    assert_eq!(
+        seq.p95_response.to_bits(),
+        shard.p95_response.to_bits(),
+        "{what}: p95 diverged"
+    );
+    assert_eq!(
+        seq.resource_utilization.to_bits(),
+        shard.resource_utilization.to_bits(),
+        "{what}: utilization diverged"
+    );
+}
+
+#[test]
+fn sharded_matches_sequential_for_every_policy_shard_count_and_seed() {
+    let w = workers();
+    for kind in RmsKind::ALL {
+        for seed in [3u64, 17, 99] {
+            let cfg = diff_cfg(seed);
+            let template = SimTemplate::new(&cfg);
+            let mut p = kind.build_static();
+            let seq = template.run(cfg.enablers, &mut p);
+            for shards in [1usize, 2, 4, 8] {
+                let (rep, summary) =
+                    template.run_sharded(cfg.enablers, || kind.build_static(), shards, w);
+                let what = format!("{kind} seed={seed} shards={shards} workers={w}");
+                assert_reports_identical(&seq, &rep, &what);
+                assert_eq!(summary.shards, shards, "{what}");
+                assert_eq!(
+                    summary.events_per_shard.iter().sum::<u64>(),
+                    rep.events_processed,
+                    "{what}: per-shard event counts must sum to the total"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_fingerprint_is_worker_count_invariant() {
+    let cfg = diff_cfg(41);
+    let template = SimTemplate::new(&cfg);
+    let mut p = RmsKind::Lowest.build_static();
+    let seq = template.run(cfg.enablers, &mut p);
+    for workers in 1..=4 {
+        let (rep, summary) =
+            template.run_sharded(cfg.enablers, || RmsKind::Lowest.build_static(), 4, workers);
+        assert_reports_identical(&seq, &rep, &format!("workers={workers}"));
+        assert_eq!(summary.workers, workers.min(summary.shards));
+    }
+}
+
+#[test]
+fn explicit_unbalanced_plans_still_reproduce_the_stream() {
+    let cfg = diff_cfg(7);
+    let template = SimTemplate::new(&cfg);
+    let mut p = RmsKind::Symmetric.build_static();
+    let seq = template.run(cfg.enablers, &mut p);
+    // Everything-on-one-shard-but-cluster-3, interleaved, and skewed
+    // assignments: the plan must never matter, only the lane streams.
+    let n = template.cluster_count();
+    let plans: Vec<Vec<u32>> = vec![
+        (0..n).map(|c| u32::from(c == 3)).collect(),
+        (0..n).map(|c| (c % 3) as u32).collect(),
+        (0..n).map(|c| u32::from(c >= n - 2) * 2).collect(),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        let shards = (*plan.iter().max().unwrap() as usize) + 1;
+        let (rep, summary) = template.run_sharded_with(
+            cfg.enablers,
+            || RmsKind::Symmetric.build_static(),
+            plan,
+            shards,
+            workers(),
+        );
+        assert_reports_identical(&seq, &rep, &format!("plan #{i}"));
+        assert!(summary.barrier_rounds > 0, "plan #{i}");
+    }
+}
+
+#[test]
+fn shard_telemetry_reports_real_parallel_structure() {
+    let cfg = diff_cfg(23);
+    let template = SimTemplate::new(&cfg);
+    let (rep, summary) = template.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        4,
+        workers(),
+    );
+    assert_eq!(summary.shards, 4);
+    assert_eq!(summary.events_per_shard.len(), 4);
+    assert_eq!(summary.idle_windows_per_shard.len(), 4);
+    assert!(
+        summary.events_per_shard.iter().all(|&e| e > 0),
+        "every shard owns clusters and must process events: {:?}",
+        summary.events_per_shard
+    );
+    assert!(
+        summary.cross_shard_events > 0,
+        "LOWEST polls remote clusters, so deliveries must cross shards"
+    );
+    assert!(summary.barrier_rounds > 0);
+    assert!(
+        summary.window_ticks >= 1 && summary.window_ticks != u64::MAX,
+        "cross-shard channels exist, so the lookahead must be finite"
+    );
+    assert!(rep.events_processed > 0);
+    // The single-shard degenerate case: no cross-partition channel, so
+    // the lookahead is unbounded and the run completes in one window.
+    let (_, solo) = template.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        1,
+        workers(),
+    );
+    assert_eq!(solo.window_ticks, u64::MAX);
+    assert_eq!(solo.cross_shard_events, 0);
+    assert_eq!(solo.barrier_rounds, 1);
+    // And the template surfaces the most recent sharded run's telemetry.
+    let stats = template.replay_stats();
+    let shard = stats.shard.expect("sharded runs record telemetry");
+    assert_eq!(shard.shards, 1);
+}
+
+#[test]
+#[should_panic(expected = "independent-job workload")]
+fn sharded_execution_rejects_dag_workloads() {
+    let mut cfg = diff_cfg(5);
+    cfg.dag_edge_prob = 0.3;
+    let template = SimTemplate::new(&cfg);
+    let _ = template.run_sharded(cfg.enablers, || RmsKind::Lowest.build_static(), 2, 2);
+}
