@@ -87,10 +87,12 @@ pub struct MeasureOptions {
     /// Worker threads for the sweep (`0` = auto).
     pub threads: usize,
     /// Event-space partitions for every simulation replay (`1` = the
-    /// sequential executor). Sharded replay is bit-identical to the
-    /// sequential one, so this is purely a wall-clock knob for large
-    /// grids: each replay runs its shards on up to `shards` worker
-    /// threads with conservative barrier synchronization.
+    /// sequential executor, `0` = auto: pick the widest-lookahead plan
+    /// from the topology and the host core count). Sharded replay is
+    /// bit-identical to the sequential one, so this is purely a
+    /// wall-clock knob for large grids: each replay runs its shards on
+    /// up to `shards` worker threads with conservative barrier
+    /// synchronization.
     #[serde(default = "default_shards")]
     pub shards: usize,
     /// Optional override of the arrival window (smoke tests).
@@ -326,7 +328,11 @@ fn replay(
     kind: RmsKind,
     opts: &MeasureOptions,
 ) -> SimReport {
-    if opts.shards > 1 {
+    if opts.shards == 0 {
+        template
+            .run_sharded_auto(enablers, || kind.build_static())
+            .0
+    } else if opts.shards > 1 {
         template
             .run_sharded(enablers, || kind.build_static(), opts.shards, opts.shards)
             .0

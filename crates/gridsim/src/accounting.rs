@@ -10,30 +10,43 @@
 //! # Per-cluster slots and shard merging
 //!
 //! Every float tally is kept **per cluster** (or per estimator) and only
-//! summed — in slot order — when the report is folded. This is what lets
-//! the sharded executor keep one private `Accounting` per shard and
-//! combine them bit-exactly afterwards: a shard only ever charges the
-//! slots of lanes it owns, so in every other shard's ledger those slots
-//! are exactly `0.0` / empty, and [`Accounting::absorb_shard`] can be
-//! plain element-wise addition (`x + 0.0 == x` for the non-negative
-//! tallies booked here) plus identity-respecting [`Welford::merge`] and
-//! bin-wise [`Histogram::absorb`]. Both executors therefore fold the
-//! same per-slot partial sums in the same order.
+//! summed — in global slot order — when the report is folded. This is
+//! what lets the sharded executor keep one private lane-scoped
+//! `Accounting` per shard (vectors sized to the shard's own partition)
+//! and combine them bit-exactly afterwards: a shard only ever charges
+//! slots of lanes it owns, every global slot is owned by exactly one
+//! shard, and [`Accounting::absorb_shard`] scatters each shard's local
+//! slots back to their global positions (`0.0 + x == x` for the
+//! non-negative tallies booked here) plus identity-respecting
+//! [`Welford::merge`] and bin-wise [`Histogram::absorb`]. Both executors
+//! therefore fold the same per-slot partial sums in the same order.
 
 use crate::report::SimReport;
+use crate::world::LaneScope;
 use gridscale_desim::stats::{Histogram, Welford};
 use gridscale_desim::SimTime;
+use std::sync::Arc;
 
 /// The run's tally sheet. Owned by the hot-state arena and reset (not
 /// reallocated) between pooled runs.
+///
+/// All per-cluster / per-estimator vectors are sized to the owning
+/// [`LaneScope`] and indexed by **local** id; callers holding a global id
+/// translate once through [`Accounting::c_local`] /
+/// [`Accounting::e_local`]. Under the identity scope (sequential engine,
+/// single shard) local == global.
 pub(crate) struct Accounting {
-    /// Cluster → useful work (`F`) of jobs completed there in deadline.
+    /// Global cluster id → local slot (shared scope table).
+    cluster_local: Arc<Vec<u32>>,
+    /// Global estimator id → local slot (shared scope table).
+    est_local: Arc<Vec<u32>>,
+    /// Local cluster → useful work (`F`) of jobs completed in deadline.
     pub(crate) f_work: Vec<f64>,
-    /// Cluster → RP job-control cost (`H`) charged at its resources.
+    /// Local cluster → RP job-control cost (`H`) charged at its resources.
     pub(crate) h_overhead: Vec<f64>,
-    /// Cluster → its scheduler's accumulated busy time.
+    /// Local cluster → its scheduler's accumulated busy time.
     pub(crate) g_sched: Vec<f64>,
-    /// Estimator → accumulated busy time.
+    /// Local estimator → accumulated busy time.
     pub(crate) g_est: Vec<f64>,
     pub(crate) completed: u64,
     pub(crate) succeeded: u64,
@@ -46,14 +59,18 @@ pub(crate) struct Accounting {
     pub(crate) dispatches: u64,
     pub(crate) dag_deferred: u64,
     pub(crate) msgs_sent: u64,
-    /// Cluster → response-time moments of jobs completed there.
+    /// Local cluster → response-time moments of jobs completed there.
     pub(crate) response: Vec<Welford>,
     pub(crate) response_hist: Histogram,
 }
 
 impl Accounting {
-    pub(crate) fn new(n_sched: usize, n_est: usize) -> Self {
+    pub(crate) fn new(scope: &LaneScope) -> Self {
+        let n_sched = scope.clusters.len();
+        let n_est = scope.estimators.len();
         Accounting {
+            cluster_local: Arc::clone(&scope.cluster_local),
+            est_local: Arc::clone(&scope.est_local),
             f_work: vec![0.0; n_sched],
             h_overhead: vec![0.0; n_sched],
             g_sched: vec![0.0; n_sched],
@@ -96,25 +113,46 @@ impl Accounting {
         self.response_hist.reset();
     }
 
-    /// The blessed barrier-merge: folds a shard's private ledger into
-    /// this one. Every slot is owned by exactly one shard, so addition
-    /// combines one non-trivial partial with zeros/identities and the
-    /// merged ledger is bit-identical to the sequential one. Counters
-    /// add commutatively; the histogram merges bin-wise.
-    pub(crate) fn absorb_shard(&mut self, other: &Accounting) {
-        debug_assert_eq!(self.f_work.len(), other.f_work.len());
-        debug_assert_eq!(self.g_est.len(), other.g_est.len());
-        for (a, b) in self.f_work.iter_mut().zip(&other.f_work) {
-            *a += b;
+    /// Local slot of global cluster `c` under this ledger's scope.
+    #[inline(always)]
+    pub(crate) fn c_local(&self, c: u32) -> usize {
+        self.cluster_local[c as usize] as usize
+    }
+
+    /// Local slot of global estimator `e` under this ledger's scope.
+    #[inline(always)]
+    pub(crate) fn e_local(&self, e: u32) -> usize {
+        self.est_local[e as usize] as usize
+    }
+
+    /// Approximate heap footprint of the tally vectors and histogram.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.f_work.len() + self.h_overhead.len() + self.g_sched.len() + self.g_est.len())
+            * size_of::<f64>()
+            + self.response.len() * size_of::<Welford>()
+            + 4000 * size_of::<u64>() // response_hist bins
+    }
+
+    /// The blessed barrier-merge: scatters a shard's lane-scoped ledger
+    /// (`other`, indexed by `scope`-local ids) into this **global-scope**
+    /// ledger. Every global slot is owned by exactly one shard, so each
+    /// scatter target receives exactly one non-trivial partial — addition
+    /// onto the `0.0` initial value reproduces the sequential per-slot
+    /// sums bit-exactly, [`Welford::merge`] respects its identity, and
+    /// the histogram merges bin-wise. Counters add commutatively.
+    pub(crate) fn absorb_shard(&mut self, other: &Accounting, scope: &LaneScope) {
+        debug_assert_eq!(other.f_work.len(), scope.clusters.len());
+        debug_assert_eq!(other.g_est.len(), scope.estimators.len());
+        for (lc, &gc) in scope.clusters.iter().enumerate() {
+            let gc = gc as usize;
+            self.f_work[gc] += other.f_work[lc];
+            self.h_overhead[gc] += other.h_overhead[lc];
+            self.g_sched[gc] += other.g_sched[lc];
+            self.response[gc].merge(&other.response[lc]);
         }
-        for (a, b) in self.h_overhead.iter_mut().zip(&other.h_overhead) {
-            *a += b;
-        }
-        for (a, b) in self.g_sched.iter_mut().zip(&other.g_sched) {
-            *a += b;
-        }
-        for (a, b) in self.g_est.iter_mut().zip(&other.g_est) {
-            *a += b;
+        for (le, &ge) in scope.estimators.iter().enumerate() {
+            self.g_est[ge as usize] += other.g_est[le];
         }
         self.completed += other.completed;
         self.succeeded += other.succeeded;
@@ -127,13 +165,12 @@ impl Accounting {
         self.dispatches += other.dispatches;
         self.dag_deferred += other.dag_deferred;
         self.msgs_sent += other.msgs_sent;
-        for (a, b) in self.response.iter_mut().zip(&other.response) {
-            a.merge(b);
-        }
         self.response_hist.absorb(&other.response_hist);
     }
 
-    /// Folds the tallies into a [`SimReport`].
+    /// Folds the tallies into a [`SimReport`]. Must run on a ledger whose
+    /// scope covers the whole world (sequential run or post-merge
+    /// accumulator), so local slot order *is* global slot order.
     ///
     /// Every float fold below is an in-order chain over the per-slot
     /// partial sums (schedulers then estimators for `g_busy_raw`,

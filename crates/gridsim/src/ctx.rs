@@ -172,19 +172,20 @@ impl Telemetry for Ctx<'_, '_> {
     }
 
     fn view(&self, c: usize) -> &ClusterView {
-        &self.core.hot.sched.views[c]
+        &self.core.hot.sched.views[self.core.hot.sched.local(c)]
     }
 
     fn avg_load(&self, c: usize) -> f64 {
-        self.core.hot.sched.views[c].avg_load()
+        self.core.hot.sched.views[self.core.hot.sched.local(c)].avg_load()
     }
 
     fn rus(&self, c: usize) -> f64 {
-        self.core.hot.sched.views[c].rus()
+        self.core.hot.sched.views[self.core.hot.sched.local(c)].rus()
     }
 
     fn awt(&self, c: usize) -> f64 {
-        self.core.hot.sched.views[c].awt(self.core.shared.mean_demand, self.core.cfg.service_rate)
+        self.core.hot.sched.views[self.core.hot.sched.local(c)]
+            .awt(self.core.shared.mean_demand, self.core.cfg.service_rate)
     }
 
     fn ert(&self, exec: SimTime) -> f64 {
@@ -216,7 +217,8 @@ impl Dispatch for Ctx<'_, '_> {
     fn dispatch_local(&mut self, c: usize, pos: usize, job: Job) {
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(c, cost);
-        self.core.hot.sched.views[c].bump(pos, 1.0);
+        let cl = self.core.hot.sched.local(c);
+        self.core.hot.sched.views[cl].bump(pos, 1.0);
         self.core.hot.acct.dispatches += 1;
         let res = self.core.shared.layout.members[c][pos];
         let from = self.core.shared.layout.sched_node[c];
@@ -233,7 +235,7 @@ impl Dispatch for Ctx<'_, '_> {
     }
 
     fn dispatch_least_loaded(&mut self, c: usize, job: Job) {
-        let pos = self.core.hot.sched.views[c]
+        let pos = self.core.hot.sched.views[self.core.hot.sched.local(c)]
             .least_loaded()
             .expect("clusters are never empty (GridMap guarantee)");
         self.dispatch_local(c, pos, job);
@@ -261,7 +263,8 @@ impl Dispatch for Ctx<'_, '_> {
     fn recall(&mut self, c: usize, pos: usize, to_cluster: usize) {
         let cost = self.core.cfg.costs.dispatch;
         self.core.charge_sched(c, cost);
-        self.core.hot.sched.views[c].bump(pos, -1.0);
+        let cl = self.core.hot.sched.local(c);
+        self.core.hot.sched.views[cl].bump(pos, -1.0);
         let res = self.core.shared.layout.members[c][pos];
         let from = self.core.shared.layout.sched_node[c];
         let to = self.core.shared.layout.res_node[res as usize];

@@ -7,23 +7,38 @@ use crate::accounting::Accounting;
 use crate::fel::Fel;
 use crate::msg::Msg;
 use crate::net::NetFabric;
-use crate::world::SharedWorld;
+use crate::world::{LaneScope, SharedWorld};
 use gridscale_desim::SimTime;
+use std::sync::Arc;
 
-/// Per-estimator service state and batching buffers.
+/// Per-estimator service state and batching buffers. The outer vectors
+/// are sized to the owning [`LaneScope`]'s estimators and indexed by
+/// **local** estimator id; the per-destination buffer dimension stays
+/// **global**-cluster-wide, because flush destinations can live on
+/// foreign shards. Method parameters stay global.
 pub(crate) struct EstimatorBank {
-    /// Estimator → server availability, fractional ticks.
+    /// Global estimator id → local slot (shared scope table).
+    est_local: Arc<Vec<u32>>,
+    /// Local estimator → server availability, fractional ticks.
     pub(crate) next_free: Vec<f64>,
-    /// Estimator → buffered updates per destination cluster.
+    /// Local estimator → buffered updates per (global) destination cluster.
     pub(crate) buffer: Vec<Vec<Vec<(u32, f64)>>>,
 }
 
 impl EstimatorBank {
-    pub(crate) fn new(n_est: usize, n_clusters: usize) -> EstimatorBank {
+    pub(crate) fn new(scope: &LaneScope, n_clusters: usize) -> EstimatorBank {
+        let n_est = scope.estimators.len();
         EstimatorBank {
+            est_local: Arc::clone(&scope.est_local),
             next_free: vec![0.0; n_est],
             buffer: (0..n_est).map(|_| vec![Vec::new(); n_clusters]).collect(),
         }
+    }
+
+    /// Local slot of global estimator `e` under this bank's scope.
+    #[inline(always)]
+    pub(crate) fn local(&self, e: usize) -> usize {
+        self.est_local[e] as usize
     }
 
     /// Restores the pristine post-`new` state, keeping allocations.
@@ -47,9 +62,11 @@ impl EstimatorBank {
         update_cost: f64,
         acct: &mut Accounting,
     ) {
-        acct.g_est[e] += update_cost;
-        self.next_free[e] = now.as_f64().max(self.next_free[e]) + update_cost;
-        self.buffer[e][cluster].push((res, load));
+        let el = self.local(e);
+        let ea = acct.e_local(e as u32);
+        acct.g_est[ea] += update_cost;
+        self.next_free[el] = now.as_f64().max(self.next_free[el]) + update_cost;
+        self.buffer[el][cluster].push((res, load));
     }
 
     /// Estimator `e`'s flush timer fires: forward each non-empty
@@ -69,13 +86,15 @@ impl EstimatorBank {
     ) {
         let nc = shared.layout.members.len();
         let src_lane = nc + e;
+        let el = self.local(e);
+        let ea = acct.e_local(e as u32);
         for ci in 0..nc {
-            if self.buffer[e][ci].is_empty() {
+            if self.buffer[el][ci].is_empty() {
                 continue;
             }
-            let updates = std::mem::take(&mut self.buffer[e][ci]);
-            acct.g_est[e] += batch_fixed;
-            self.next_free[e] = now.as_f64().max(self.next_free[e]) + batch_fixed;
+            let updates = std::mem::take(&mut self.buffer[el][ci]);
+            acct.g_est[ea] += batch_fixed;
+            self.next_free[el] = now.as_f64().max(self.next_free[el]) + batch_fixed;
             acct.batches += 1;
             let from = shared.layout.est_node[e];
             let to = shared.layout.sched_node[ci];

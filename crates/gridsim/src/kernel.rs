@@ -285,7 +285,8 @@ impl SimCore {
 
             GridEvent::Finish { res } => {
                 let r = res as usize;
-                let job = self.hot.rp.running[r]
+                let rl = self.hot.rp.local(r);
+                let job = self.hot.rp.running[rl]
                     .take()
                     .expect("Finish without a running job");
                 let cluster = self.shared.layout.res_cluster[r] as usize;
@@ -298,7 +299,7 @@ impl SimCore {
                     &mut self.hot.acct,
                     fel,
                 );
-                if let Some(next) = self.hot.rp.queue[r].pop_front() {
+                if let Some(next) = self.hot.rp.queue[rl].pop_front() {
                     self.hot
                         .rp
                         .start_job(now, r, cluster, next, self.cfg.service_rate, fel);
@@ -307,11 +308,12 @@ impl SimCore {
 
             GridEvent::UpdateTick { res } => {
                 let r = res as usize;
+                let rl = self.hot.rp.local(r);
                 let lane = self.shared.layout.res_cluster[r] as usize;
                 let load = self.hot.rp.load(r);
-                let delta = (load - self.hot.rp.last_sent[r]).abs();
+                let delta = (load - self.hot.rp.last_sent[rl]).abs();
                 if delta >= self.cfg.thresholds.suppress_delta {
-                    self.hot.rp.last_sent[r] = load;
+                    self.hot.rp.last_sent[rl] = load;
                     self.hot.acct.updates_sent += 1;
                     let rnode = self.shared.layout.res_node[r];
                     let dest = match self.shared.map.estimator_for(rnode) {
@@ -406,7 +408,8 @@ impl SimCore {
 
             GridEvent::SchedWork { sched, item, cost } => {
                 let c = sched as usize;
-                self.hot.acct.g_sched[c] += cost;
+                let cl = self.hot.acct.c_local(sched);
+                self.hot.acct.g_sched[cl] += cost;
                 match item {
                     WorkItem::Job(job) => {
                         let class = job.class(self.cfg.thresholds.t_cpu);
@@ -476,7 +479,8 @@ impl SimCore {
             return;
         }
         let pos = self.shared.layout.res_pos[res as usize] as usize;
-        self.hot.sched.views[c].apply_update(pos, load, now);
+        let cl = self.hot.sched.local(c);
+        self.hot.sched.views[cl].apply_update(pos, load, now);
         let mut ctx = Ctx {
             core: self,
             fel,
@@ -506,7 +510,8 @@ impl SimCore {
             Msg::Recall { to_cluster } => {
                 let r = self.shared.layout.res_at_node[to as usize];
                 debug_assert_ne!(r, u32::MAX, "Recall to a non-resource node");
-                if let Some(job) = self.hot.rp.queue[r as usize].pop_back() {
+                let rl = self.hot.rp.local(r as usize);
+                if let Some(job) = self.hot.rp.queue[rl].pop_back() {
                     self.hot.acct.transfers += 1;
                     let lane = self.shared.layout.res_cluster[r as usize] as usize;
                     let from = self.shared.layout.res_node[r as usize];

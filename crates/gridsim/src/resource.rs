@@ -6,35 +6,49 @@
 use crate::accounting::Accounting;
 use crate::event::GridEvent;
 use crate::fel::Fel;
-use crate::world::SharedWorld;
+use crate::world::{LaneScope, SharedWorld};
 use gridscale_desim::SimTime;
 use gridscale_workload::Job;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// Per-resource execution state, struct-of-arrays and indexed by global
-/// resource index (same order as the layout tables).
+/// Per-resource execution state, struct-of-arrays sized to the owning
+/// [`LaneScope`] and indexed by **local** resource id (identity scope ⇒
+/// local == global). Method parameters and emitted events stay in global
+/// ids; [`ResourcePool::local`] translates at the boundary.
 pub(crate) struct ResourcePool {
-    /// Resource index → queued jobs.
+    /// Global resource id → local slot (shared scope table).
+    res_local: Arc<Vec<u32>>,
+    /// Local resource → queued jobs.
     pub(crate) queue: Vec<VecDeque<Job>>,
-    /// Resource index → the running job, if any.
+    /// Local resource → the running job, if any.
     pub(crate) running: Vec<Option<Job>>,
-    /// Resource index → load value of its last non-suppressed update.
+    /// Local resource → load value of its last non-suppressed update.
     pub(crate) last_sent: Vec<f64>,
-    /// Resource index → accumulated busy ticks.
+    /// Local resource → accumulated busy ticks.
     pub(crate) busy: Vec<f64>,
-    /// Per-job countdown of unmet dependencies (empty when no DAG).
+    /// Per-job countdown of unmet dependencies (empty when no DAG; the
+    /// DAG extension is sequential-only, so this is never lane-scoped).
     pub(crate) remaining_parents: Vec<u32>,
 }
 
 impl ResourcePool {
-    pub(crate) fn new(n_res: usize, parent_counts: &[u32]) -> ResourcePool {
+    pub(crate) fn new(scope: &LaneScope, parent_counts: &[u32]) -> ResourcePool {
+        let n_res = scope.resources.len();
         ResourcePool {
+            res_local: Arc::clone(&scope.res_local),
             queue: (0..n_res).map(|_| VecDeque::new()).collect(),
             running: vec![None; n_res],
             last_sent: vec![0.0; n_res],
             busy: vec![0.0; n_res],
             remaining_parents: parent_counts.to_vec(),
         }
+    }
+
+    /// Local slot of global resource `r` under this pool's scope.
+    #[inline(always)]
+    pub(crate) fn local(&self, r: usize) -> usize {
+        self.res_local[r] as usize
     }
 
     /// Restores the pristine post-`new` state, keeping allocations.
@@ -47,15 +61,17 @@ impl ResourcePool {
         self.remaining_parents.extend_from_slice(parent_counts);
     }
 
-    /// Jobs-in-system at resource `r` (queued + running).
+    /// Jobs-in-system at (global) resource `r` (queued + running).
     #[inline]
     pub(crate) fn load(&self, r: usize) -> f64 {
-        self.queue[r].len() as f64 + if self.running[r].is_some() { 1.0 } else { 0.0 }
+        let rl = self.local(r);
+        self.queue[rl].len() as f64 + if self.running[rl].is_some() { 1.0 } else { 0.0 }
     }
 
-    /// Puts `job` on resource `r`'s processor and schedules its finish.
-    /// `cluster` is `r`'s owning cluster — the lane both this handler
-    /// and the finish event belong to.
+    /// Puts `job` on (global) resource `r`'s processor and schedules its
+    /// finish. `cluster` is `r`'s owning cluster — the lane both this
+    /// handler and the finish event belong to. The finish event carries
+    /// the global id (fingerprint contract).
     pub(crate) fn start_job(
         &mut self,
         now: SimTime,
@@ -66,8 +82,9 @@ impl ResourcePool {
         fel: &mut Fel,
     ) {
         let dur = SimTime::from_f64((job.exec_time.as_f64() / service_rate).max(1.0));
-        self.busy[r] += dur.as_f64();
-        self.running[r] = Some(job);
+        let rl = self.local(r);
+        self.busy[rl] += dur.as_f64();
+        self.running[rl] = Some(job);
         fel.schedule(cluster, now + dur, GridEvent::Finish { res: r as u32 });
     }
 
@@ -85,11 +102,13 @@ impl ResourcePool {
         acct: &mut Accounting,
         fel: &mut Fel,
     ) {
-        acct.h_overhead[cluster] += rp_job_control;
-        if self.running[r].is_none() {
+        let ca = acct.c_local(cluster as u32);
+        acct.h_overhead[ca] += rp_job_control;
+        if self.running[self.local(r)].is_none() {
             self.start_job(now, r, cluster, job, service_rate, fel);
         } else {
-            self.queue[r].push_back(job);
+            let rl = self.local(r);
+            self.queue[rl].push_back(job);
         }
     }
 
@@ -107,12 +126,13 @@ impl ResourcePool {
         fel: &mut Fel,
     ) {
         let response = (now - job.arrival).as_f64();
+        let cl = acct.c_local(cluster as u32);
         acct.completed += 1;
-        acct.response[cluster].push(response);
+        acct.response[cl].push(response);
         acct.response_hist.push(response);
         if job.meets_deadline(now) {
             acct.succeeded += 1;
-            acct.f_work[cluster] += job.exec_time.as_f64();
+            acct.f_work[cl] += job.exec_time.as_f64();
         } else {
             acct.deadline_missed += 1;
         }
@@ -125,7 +145,7 @@ impl ResourcePool {
                 let child = &shared.trace[c as usize];
                 let child_cluster = (child.submit_point as usize) % n_clusters;
                 let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
-                acct.h_overhead[cluster] += factor * dag_data_cost;
+                acct.h_overhead[cl] += factor * dag_data_cost;
                 let rp = &mut self.remaining_parents[c as usize];
                 debug_assert!(*rp > 0, "child released twice");
                 *rp -= 1;

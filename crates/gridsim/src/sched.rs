@@ -7,22 +7,39 @@ use crate::config::OverheadCosts;
 use crate::event::{GridEvent, WorkItem};
 use crate::fel::Fel;
 use crate::view::ClusterView;
+use crate::world::LaneScope;
 use gridscale_desim::SimTime;
+use std::sync::Arc;
 
 /// Per-cluster scheduler state: server availability and believed loads.
+/// Vectors are sized to the owning [`LaneScope`] and indexed by **local**
+/// cluster id; method parameters and emitted events stay global.
 pub(crate) struct SchedulerBank {
-    /// Cluster → scheduler work-server availability, fractional ticks.
+    /// Global cluster id → local slot (shared scope table).
+    cluster_local: Arc<Vec<u32>>,
+    /// Local cluster → scheduler work-server availability, fractional ticks.
     pub(crate) next_free: Vec<f64>,
-    /// Cluster → the scheduler's (stale) view.
+    /// Local cluster → the scheduler's (stale) view.
     pub(crate) views: Vec<ClusterView>,
 }
 
 impl SchedulerBank {
-    pub(crate) fn new(members: &[Vec<u32>]) -> SchedulerBank {
+    pub(crate) fn new(members: &[Vec<u32>], scope: &LaneScope) -> SchedulerBank {
         SchedulerBank {
-            next_free: vec![0.0; members.len()],
-            views: members.iter().map(|m| ClusterView::new(m.len())).collect(),
+            cluster_local: Arc::clone(&scope.cluster_local),
+            next_free: vec![0.0; scope.clusters.len()],
+            views: scope
+                .clusters
+                .iter()
+                .map(|&c| ClusterView::new(members[c as usize].len()))
+                .collect(),
         }
+    }
+
+    /// Local slot of global cluster `c` under this bank's scope.
+    #[inline(always)]
+    pub(crate) fn local(&self, c: usize) -> usize {
+        self.cluster_local[c] as usize
     }
 
     /// Restores the pristine post-`new` state, keeping allocations.
@@ -31,11 +48,14 @@ impl SchedulerBank {
         self.next_free.iter_mut().for_each(|x| *x = 0.0);
     }
 
-    /// Charges `cost` of immediate (decision-time) work to scheduler `c`:
-    /// books it as `G` and pushes the server's availability back.
+    /// Charges `cost` of immediate (decision-time) work to (global)
+    /// scheduler `c`: books it as `G` and pushes the server's
+    /// availability back.
     pub(crate) fn charge(&mut self, c: usize, cost: f64, acct: &mut Accounting) {
-        acct.g_sched[c] += cost;
-        self.next_free[c] += cost;
+        let ca = acct.c_local(c as u32);
+        acct.g_sched[ca] += cost;
+        let cl = self.local(c);
+        self.next_free[cl] += cost;
     }
 
     /// Enqueues a work item at scheduler `c`'s single-server queue; the
@@ -59,9 +79,10 @@ impl SchedulerBank {
             WorkItem::Policy(_) => costs.policy_msg,
             WorkItem::Timer(_) => costs.timer_check,
         };
-        let start = now.as_f64().max(self.next_free[c]);
+        let cl = self.local(c);
+        let start = now.as_f64().max(self.next_free[cl]);
         let done = start + cost;
-        self.next_free[c] = done;
+        self.next_free[cl] = done;
         fel.schedule(
             c,
             SimTime::from_f64(done),

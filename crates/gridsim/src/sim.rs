@@ -52,13 +52,13 @@ use crate::ctx::Ctx;
 use crate::estimator::EstimatorBank;
 use crate::event::GridEvent;
 use crate::fel::{Fel, ShardRoute};
-use crate::kernel::SimCore;
+use crate::kernel::{fold_lanes, fp_mix, SimCore};
 use crate::policy::Policy;
 use crate::report::SimReport;
 use crate::resource::ResourcePool;
 use crate::sched::SchedulerBank;
 use crate::timeline::Timeline;
-use crate::world::{ShardPlan, SharedWorld};
+use crate::world::{LaneScope, ShardPlan, SharedWorld};
 use gridscale_desim::{Engine, EventQueue, QueueDiscipline, QueueTelemetry, SimTime, World};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -66,6 +66,15 @@ use std::sync::{Arc, Mutex};
 
 /// Guard against runaway models: no single run may process more events.
 const EVENT_BUDGET: u64 = 200_000_000;
+
+/// Cap on pooled full-world scratch arenas per template: long sweeps
+/// (many concurrent annealer evaluations) stop hoarding peak-sized
+/// arenas beyond what that concurrency can ever re-use at once.
+const SCRATCH_POOL_CAP: usize = 16;
+
+/// Cap on pooled lane-scoped shard arenas per template (entries are
+/// one-deep per `(plan, shard)` key; see `shard_scratch`).
+const SHARD_SCRATCH_CAP: usize = 64;
 
 /// One cross-shard mailbox cell of the `[dest][src]` inbox matrix:
 /// keyed `(time, sequence, event)` triples buffered between windows.
@@ -88,15 +97,23 @@ pub(crate) struct HotState {
 }
 
 impl HotState {
+    /// Full-world arena: every subsystem sized to the whole layout
+    /// through the identity scope (sequential engine, merge targets).
     pub(crate) fn new(shared: &SharedWorld) -> HotState {
-        let nr = shared.layout.res_node.len();
+        HotState::new_for_lane(shared, &shared.full_scope)
+    }
+
+    /// Lane-scoped arena: every subsystem's arrays sized to `scope`'s
+    /// partition and indexed by local ids, so a shard's mutable memory is
+    /// proportional to what it owns — O(world) total across all shards —
+    /// and its working set fits cache.
+    pub(crate) fn new_for_lane(shared: &SharedWorld, scope: &LaneScope) -> HotState {
         let nc = shared.layout.members.len();
-        let ne = shared.layout.est_node.len();
         HotState {
-            rp: ResourcePool::new(nr, &shared.parent_counts),
-            sched: SchedulerBank::new(&shared.layout.members),
-            est: EstimatorBank::new(ne, nc),
-            acct: crate::accounting::Accounting::new(nc, ne),
+            rp: ResourcePool::new(scope, &shared.parent_counts),
+            sched: SchedulerBank::new(&shared.layout.members, scope),
+            est: EstimatorBank::new(scope, nc),
+            acct: crate::accounting::Accounting::new(scope),
         }
     }
 
@@ -111,7 +128,10 @@ impl HotState {
     /// Approximate resident bytes of this scratch arena (capacity-based;
     /// telemetry only, not part of any report).
     pub(crate) fn approx_bytes(&self) -> u64 {
-        (self.rp.approx_bytes() + self.sched.approx_bytes() + self.est.approx_bytes()) as u64
+        (self.rp.approx_bytes()
+            + self.sched.approx_bytes()
+            + self.est.approx_bytes()
+            + self.acct.approx_bytes()) as u64
     }
 }
 
@@ -128,8 +148,16 @@ pub struct SimTemplate {
     /// Recycled event queues: runs return their (reset) queue here so the
     /// next run reuses the heap allocation instead of growing a fresh one.
     queue_pool: Mutex<Vec<EventQueue<GridEvent>>>,
-    /// Recycled `HotState` scratch arenas, wiped between runs.
+    /// Recycled full-world `HotState` scratch arenas, wiped between runs
+    /// (capped at [`SCRATCH_POOL_CAP`]).
     scratch_pool: Mutex<Vec<HotState>>,
+    /// Recycled lane-scoped shard arenas, keyed by `(plan fingerprint,
+    /// shard id)` — one-deep per key, at most [`SHARD_SCRATCH_CAP`]
+    /// entries. Keying by the plan's lane assignment guarantees a reused
+    /// arena's remap tables are content-identical to the ones a fresh
+    /// build would produce, so a reset pooled shard run is bit-identical
+    /// to a cold one.
+    shard_scratch: Mutex<Vec<((u64, u32), HotState)>>,
     /// Peak queue length observed by completed runs — the pre-reserve hint
     /// for the next run of this (structurally identical) world.
     cap_hint: AtomicUsize,
@@ -198,6 +226,31 @@ impl QueueSummary {
             self.last_bucket_width = t.bucket_width;
         }
     }
+
+    /// Folds one *sharded* run's per-shard telemetry — slice in ascending
+    /// shard order — into the aggregate as ONE logical run: the run
+    /// counts as ladder-engaged if any shard engaged, counters add, and
+    /// the `last_bucket_*` window comes from the highest-id shard that
+    /// built buckets. Deterministic because the slice order is the shard
+    /// order, never thread arrival order.
+    fn absorb_sharded(&mut self, tels: &[QueueTelemetry]) {
+        if tels.iter().any(|t| t.engagements > 0) {
+            self.ladder_runs += 1;
+        } else {
+            self.heap_runs += 1;
+        }
+        for t in tels {
+            self.resizes += t.resizes;
+            self.spills += t.spills;
+            self.fallback_activations += t.fallback_activations;
+            self.front_inserts += t.front_inserts;
+            self.max_bucket_occupancy = self.max_bucket_occupancy.max(t.max_bucket_occupancy);
+        }
+        if let Some(t) = tels.iter().rev().find(|t| t.bucket_count > 0) {
+            self.last_bucket_count = t.bucket_count;
+            self.last_bucket_width = t.bucket_width;
+        }
+    }
 }
 
 /// Telemetry of one sharded run (see [`SimTemplate::run_sharded`]).
@@ -225,6 +278,15 @@ pub struct ShardSummary {
     pub idle_windows_per_shard: Vec<u64>,
     /// Deliver events that crossed a shard boundary.
     pub cross_shard_events: u64,
+    /// Shard → approximate resident bytes of its lane-scoped hot arena.
+    pub hot_bytes_per_shard: Vec<u64>,
+    /// Sum of `hot_bytes_per_shard` — with lane-scoped state this is
+    /// O(world), no longer O(world × shards).
+    pub hot_bytes_total: u64,
+    /// Event-queue telemetry of this run, aggregated over its shards in
+    /// ascending shard order (the whole sharded run counts as one
+    /// logical queue run).
+    pub queue: QueueSummary,
 }
 
 /// Pool/arena telemetry of one [`SimTemplate`]. Lives here — not in
@@ -265,6 +327,7 @@ impl SimTemplate {
             shared: Arc::new(SharedWorld::build(cfg)),
             queue_pool: Mutex::new(Vec::new()),
             scratch_pool: Mutex::new(Vec::new()),
+            shard_scratch: Mutex::new(Vec::new()),
             cap_hint: AtomicUsize::new(0),
             runs_total: AtomicU64::new(0),
             scratch_reused: AtomicU64::new(0),
@@ -338,13 +401,18 @@ impl SimTemplate {
     pub fn replay_stats(&self) -> ReplayStats {
         let queues = self.queue_pool.lock().unwrap_or_else(|e| e.into_inner());
         let scratch = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+        let shard_scratch = self.shard_scratch.lock().unwrap_or_else(|e| e.into_inner());
         ReplayStats {
             runs: self.runs_total.load(Ordering::Relaxed),
             scratch_reused: self.scratch_reused.load(Ordering::Relaxed),
             pooled_queues: queues.len(),
-            pooled_scratch: scratch.len(),
+            pooled_scratch: scratch.len() + shard_scratch.len(),
             queue_cap_hint: self.cap_hint.load(Ordering::Relaxed),
-            scratch_bytes: scratch.iter().map(|h| h.approx_bytes()).sum(),
+            scratch_bytes: scratch.iter().map(|h| h.approx_bytes()).sum::<u64>()
+                + shard_scratch
+                    .iter()
+                    .map(|(_, h)| h.approx_bytes())
+                    .sum::<u64>(),
             queue: *self.queue_summary.lock().unwrap_or_else(|e| e.into_inner()),
             fingerprint_xor: self.fingerprint_xor.load(Ordering::Relaxed),
             last_fingerprint: self.last_fingerprint.load(Ordering::Relaxed),
@@ -489,10 +557,12 @@ impl SimTemplate {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .push(queue);
-            self.scratch_pool
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(core.hot);
+            let mut pool = self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner());
+            // Bounded pool: beyond the cap the arena is dropped — long
+            // sweeps must not hoard peak-sized arenas forever.
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(core.hot);
+            }
         }
         (report, timeline)
     }
@@ -535,6 +605,24 @@ impl SimTemplate {
         self.run_sharded_plan(enablers, make_policy, plan, workers)
     }
 
+    /// [`SimTemplate::run_sharded`] with the shard and worker counts
+    /// picked from the topology and the host: the widest-lookahead
+    /// latency-aware plan with at most one shard per cluster and at most
+    /// `available_parallelism()` shards, run on `min(shards, cores)`
+    /// workers. The chosen plan is a pure function of the topology and
+    /// the core count, so the report stays bit-identical to every other
+    /// shard/worker split of the same template.
+    pub fn run_sharded_auto<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+    ) -> (SimReport, ShardSummary) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let plan = ShardPlan::auto(&self.shared, cores);
+        let workers = (plan.shards as usize).min(cores);
+        self.run_sharded_plan(enablers, make_policy, plan, workers)
+    }
+
     fn run_sharded_plan<P: Policy + Send>(
         &self,
         enablers: Enablers,
@@ -550,6 +638,20 @@ impl SimTemplate {
         );
         let shards = plan.shards as usize;
         let workers = workers.clamp(1, shards);
+        // One lane scope per shard: dense local id spaces over the
+        // shard's owned clusters/resources/estimators, sharing a single
+        // global→local table set (the shards partition the world).
+        let scopes = plan.lane_scopes(&self.shared);
+        // Pool key for recycled shard arenas: a fingerprint of the exact
+        // lane assignment, so a pooled arena's remap tables are
+        // guaranteed content-identical to a fresh build for this plan.
+        let plan_hash = {
+            let mut h = fp_mix(plan.shards as u64);
+            for &s in &plan.shard_of_lane {
+                h = fp_mix(h ^ s as u64);
+            }
+            h
+        };
         let shard_of_node: Arc<Vec<u32>> = Arc::new(
             self.shared
                 .layout
@@ -582,7 +684,23 @@ impl SimTemplate {
         // to its owned lanes only.
         let mut boxes: Vec<ShardBox<P>> = (0..shards)
             .map(|s| {
-                let hot = HotState::new(&self.shared);
+                // Check out this shard's recycled lane-scoped arena (a
+                // reset arena is indistinguishable from a new one), or
+                // build one sized to the shard's own partition.
+                let pooled = {
+                    let mut pool = self.shard_scratch.lock().unwrap_or_else(|e| e.into_inner());
+                    let key = (plan_hash, s as u32);
+                    pool.iter()
+                        .position(|(k, _)| *k == key)
+                        .map(|i| pool.swap_remove(i).1)
+                };
+                let hot = match pooled {
+                    Some(mut h) => {
+                        h.reset(&self.shared);
+                        h
+                    }
+                    None => HotState::new_for_lane(&self.shared, &scopes[s]),
+                };
                 let mut core =
                     SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
                 let mut policy = make_policy();
@@ -731,8 +849,9 @@ impl SimTemplate {
         done.sort_by_key(|b| b.shard);
 
         // Merge shard outcomes in ascending shard order through the
-        // blessed element-wise merge (each slot is owned by exactly one
-        // shard, so addition reproduces the sequential fold bit-exactly).
+        // blessed scatter-merge: each shard's lane-scoped slots land on
+        // global positions owned by that shard alone, so the fold
+        // reproduces the sequential per-slot tallies bit-exactly.
         let rounds = done.first().map_or(0, |b| b.rounds);
         let mut summary = ShardSummary {
             shards,
@@ -743,13 +862,20 @@ impl SimTemplate {
             events_per_shard: Vec::with_capacity(shards),
             idle_windows_per_shard: Vec::with_capacity(shards),
             cross_shard_events: 0,
+            hot_bytes_per_shard: Vec::with_capacity(shards),
+            hot_bytes_total: 0,
+            queue: QueueSummary::default(),
         };
         let mut events_total = 0u64;
-        let mut merged: Option<SimCore> = None;
+        // Global-scope accumulators the shards scatter into.
+        let mut g_acct = crate::accounting::Accounting::new(&self.shared.full_scope);
+        let mut g_busy = vec![0.0; self.shared.layout.res_node.len()];
+        let mut g_lane_fp = vec![0u64; self.shared.layout.n_lanes()];
         let mut name = "";
         let mut queue_tel = Vec::with_capacity(shards);
         for b in done {
             let ShardBox {
+                shard,
                 engine,
                 sim,
                 idle_windows,
@@ -760,45 +886,72 @@ impl SimTemplate {
             summary.events_per_shard.push(processed);
             summary.idle_windows_per_shard.push(idle_windows);
             summary.cross_shard_events += sim.route.crossings;
+            summary
+                .hot_bytes_per_shard
+                .push(sim.core.hot.approx_bytes());
             queue_tel.push(engine.into_queue().telemetry());
             name = sim.policy.name();
-            match merged.as_mut() {
-                None => merged = Some(sim.core),
-                // audit:allow(shard-merge, reason="loop runs over shards sorted ascending by id")
-                Some(base) => merge_shard_core(base, &sim.core),
+            // audit:allow(shard-merge, reason="loop runs over shards sorted ascending by id")
+            merge_shard_core(
+                &mut g_acct,
+                &mut g_busy,
+                &mut g_lane_fp,
+                &sim.core,
+                &scopes[shard],
+            );
+            // Park the shard's lane-scoped arena for the next run of
+            // this exact plan (one-deep per key, bounded pool).
+            let mut pool = self.shard_scratch.lock().unwrap_or_else(|e| e.into_inner());
+            let key = (plan_hash, shard as u32);
+            if pool.len() < SHARD_SCRATCH_CAP && !pool.iter().any(|(k, _)| *k == key) {
+                pool.push((key, sim.core.hot));
             }
         }
-        let merged = merged.expect("at least one shard");
-        let report = merged.report(name, horizon, events_total);
+        summary.hot_bytes_total = summary.hot_bytes_per_shard.iter().sum();
+        summary.queue.absorb_sharded(&queue_tel);
+        let mut report = g_acct.report(
+            name,
+            horizon,
+            events_total,
+            self.shared.trace.len() as u64,
+            &g_busy,
+            self.cfg.costs.overhead_weight,
+            self.cfg.nodes,
+        );
+        report.event_fingerprint = fold_lanes(&g_lane_fp);
 
         self.runs_total.fetch_add(1, Ordering::Relaxed);
         self.fingerprint_xor
             .fetch_xor(report.event_fingerprint, Ordering::Relaxed);
         self.last_fingerprint
             .store(report.event_fingerprint, Ordering::Relaxed);
-        {
-            let mut qs = self.queue_summary.lock().unwrap_or_else(|e| e.into_inner());
-            for t in &queue_tel {
-                qs.absorb(t);
-            }
-        }
+        self.queue_summary
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .absorb_sharded(&queue_tel);
         *self.shard_summary.lock().unwrap_or_else(|e| e.into_inner()) = Some(summary.clone());
         (report, summary)
     }
 }
 
-/// The blessed cross-thread merge of one shard's core into the running
-/// aggregate, in ascending shard order. Every per-lane slot (accounting,
-/// resource busy time, lane fingerprints) is written by exactly one
-/// shard, so the element-wise fold reproduces the sequential tallies
+/// The blessed cross-thread merge of one shard's lane-scoped core into
+/// the global-scope accumulators, in ascending shard order. Every global
+/// slot (accounting, resource busy time, lane fingerprints) is owned by
+/// exactly one shard, so the scatter reproduces the sequential tallies
 /// bit-for-bit regardless of thread placement.
-fn merge_shard_core(base: &mut SimCore, other: &SimCore) {
-    // audit:allow(shard-merge, reason="per-lane slots are disjoint across shards; fold is element-wise")
-    base.hot.acct.absorb_shard(&other.hot.acct);
-    for (a, b) in base.hot.rp.busy.iter_mut().zip(&other.hot.rp.busy) {
-        *a += b;
+fn merge_shard_core(
+    acct: &mut crate::accounting::Accounting,
+    busy: &mut [f64],
+    lane_fp: &mut [u64],
+    other: &SimCore,
+    scope: &LaneScope,
+) {
+    // audit:allow(shard-merge, reason="scatter targets are disjoint across shards; loop order is ascending shard id")
+    acct.absorb_shard(&other.hot.acct, scope);
+    for (rl, &rg) in scope.resources.iter().enumerate() {
+        busy[rg as usize] += other.hot.rp.busy[rl];
     }
-    for (a, b) in base.lane_fp.iter_mut().zip(&other.lane_fp) {
+    for (a, b) in lane_fp.iter_mut().zip(&other.lane_fp) {
         *a ^= b;
     }
 }

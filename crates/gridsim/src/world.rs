@@ -20,6 +20,7 @@ use gridscale_desim::SimRng;
 use gridscale_topology::generate::{self, LinkParams};
 use gridscale_topology::{Graph, GridMap, NodeId, Routing};
 use gridscale_workload::{generate as gen_workload, DependencyGraph, Job};
+use std::sync::Arc;
 
 /// Immutable struct-of-arrays placement tables: where every resource,
 /// scheduler, and estimator lives, and how nodes map back to them.
@@ -203,6 +204,54 @@ impl ShardPlan {
             return ShardPlan::contiguous(shared, shards);
         }
         let pair = cluster_pair_min_latency(shared);
+        ShardPlan::latency_aware_from_pairs(shared, shards, &pair)
+    }
+
+    /// Picks the shard count itself: evaluates the latency-aware plan at
+    /// every candidate count `2..=min(max_shards, C)` — sharing one O(C²)
+    /// pair matrix across all candidates — and keeps the plan with the
+    /// widest conservative lookahead, breaking ties toward more shards
+    /// (more parallelism at equal window width). Every candidate keeps
+    /// ≥ 1 cluster per shard by construction; `max_shards` is normally the
+    /// host core count. Degenerate worlds (one cluster, one core) fall
+    /// back to the single-shard plan.
+    pub(crate) fn auto(shared: &SharedWorld, max_shards: usize) -> ShardPlan {
+        let n_clusters = shared.layout.members.len();
+        let cap = max_shards.clamp(1, n_clusters.max(1));
+        if cap == 1 {
+            return ShardPlan::contiguous(shared, 1);
+        }
+        if n_clusters > MAX_PLANNED_CLUSTERS {
+            // Planner fallback regime: contiguous candidates only.
+            let mut best = ShardPlan::contiguous(shared, 2);
+            for s in 3..=cap {
+                let plan = ShardPlan::contiguous(shared, s);
+                if plan.min_cross_latency() >= best.min_cross_latency() {
+                    best = plan;
+                }
+            }
+            return best;
+        }
+        let pair = cluster_pair_min_latency(shared);
+        let mut best: Option<ShardPlan> = None;
+        for s in 2..=cap {
+            let plan = ShardPlan::latency_aware_from_pairs(shared, s, &pair);
+            let wider = best
+                .as_ref()
+                .is_none_or(|b| plan.min_cross_latency() >= b.min_cross_latency());
+            if wider {
+                best = Some(plan);
+            }
+        }
+        best.expect("cap >= 2 yields at least one candidate")
+    }
+
+    /// [`ShardPlan::latency_aware`] body, parameterized over a
+    /// pre-computed [`cluster_pair_min_latency`] matrix so
+    /// [`ShardPlan::auto`] can amortize it across candidate shard counts.
+    /// Requires `2 <= shards <= n_clusters <= MAX_PLANNED_CLUSTERS`.
+    fn latency_aware_from_pairs(shared: &SharedWorld, shards: usize, pair: &[u64]) -> ShardPlan {
+        let n_clusters = shared.layout.members.len();
         let c = n_clusters;
         let mut edges: Vec<(u64, u32, u32)> = Vec::with_capacity(c * (c - 1) / 2);
         for a in 0..c {
@@ -298,6 +347,80 @@ impl ShardPlan {
         }
     }
 
+    /// Builds the per-shard [`LaneScope`]s of this plan: dense local id
+    /// spaces for every shard's owned clusters, resources, and
+    /// estimators. Because shards partition the world, one shared
+    /// global→local table (per entity kind) serves every shard; only the
+    /// local→global lists are per-shard, so all scopes together cost
+    /// O(world), not O(world × shards).
+    pub(crate) fn lane_scopes(&self, shared: &SharedWorld) -> Vec<Arc<LaneScope>> {
+        let layout = &shared.layout;
+        let nc = layout.members.len();
+        let ne = layout.est_node.len();
+        let nr = layout.res_node.len();
+        let shards = self.shards as usize;
+        let mut cluster_local = vec![u32::MAX; nc];
+        let mut res_local = vec![u32::MAX; nr];
+        let mut est_local = vec![u32::MAX; ne];
+        let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut resources: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut estimators: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        // Ascending global order per kind ⇒ each shard's local order is
+        // the global order restricted to its partition, which keeps merge
+        // scatters and local fold orders deterministic.
+        #[allow(clippy::needless_range_loop)] // parallel tables share the index
+        for c in 0..nc {
+            let s = self.shard_of_lane[c] as usize;
+            cluster_local[c] = clusters[s].len() as u32;
+            clusters[s].push(c as u32);
+            for &r in &layout.members[c] {
+                res_local[r as usize] = resources[s].len() as u32;
+                resources[s].push(r);
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // parallel tables share the index
+        for e in 0..ne {
+            let s = self.shard_of_lane[nc + e] as usize;
+            est_local[e] = estimators[s].len() as u32;
+            estimators[s].push(e as u32);
+        }
+        let cluster_local = Arc::new(cluster_local);
+        let res_local = Arc::new(res_local);
+        let est_local = Arc::new(est_local);
+        let scopes: Vec<Arc<LaneScope>> = clusters
+            .into_iter()
+            .zip(resources)
+            .zip(estimators)
+            .map(|((clusters, resources), estimators)| {
+                Arc::new(LaneScope {
+                    cluster_local: Arc::clone(&cluster_local),
+                    res_local: Arc::clone(&res_local),
+                    est_local: Arc::clone(&est_local),
+                    clusters,
+                    resources,
+                    estimators,
+                })
+            })
+            .collect();
+        if cfg!(debug_assertions) {
+            // Round-trip check: every owned global id maps back to its
+            // local position through the shared tables (the accessors
+            // assert the inverse direction).
+            for scope in &scopes {
+                for (l, &c) in scope.clusters.iter().enumerate() {
+                    assert_eq!(scope.c_local(c), l);
+                }
+                for (l, &r) in scope.resources.iter().enumerate() {
+                    assert_eq!(scope.r_local(r), l);
+                }
+                for (l, &e) in scope.estimators.iter().enumerate() {
+                    assert_eq!(scope.e_local(e), l);
+                }
+            }
+        }
+        scopes
+    }
+
     /// The minimum cross-partition latency over all distinct shard pairs
     /// — the basis of the global lookahead window. `u64::MAX` when no
     /// channel ever crosses shards (single shard).
@@ -312,6 +435,71 @@ impl ShardPlan {
             }
         }
         min
+    }
+}
+
+/// Dense per-shard index remap: the slice of the world one engine
+/// instance owns, as a local id space. Mutable hot-state arrays
+/// (`ResourcePool`, `SchedulerBank`, `EstimatorBank`, `Accounting`) are
+/// sized to the *local* counts and indexed through the global→local
+/// tables, so per-shard memory is proportional to the partition while
+/// every event and message keeps carrying global ids (the event
+/// fingerprint depends on them). The global→local tables are `Arc`-shared
+/// across all scopes of one plan — shards partition the world, so a
+/// single table per entity kind is unambiguous.
+#[derive(Debug)]
+pub(crate) struct LaneScope {
+    /// Global cluster id → dense local id within its owning shard.
+    pub(crate) cluster_local: Arc<Vec<u32>>,
+    /// Global resource id → dense local id.
+    pub(crate) res_local: Arc<Vec<u32>>,
+    /// Global estimator id → dense local id.
+    pub(crate) est_local: Arc<Vec<u32>>,
+    /// Owned clusters in ascending global id; position = local id.
+    pub(crate) clusters: Vec<u32>,
+    /// Owned resources in ascending global id; position = local id.
+    pub(crate) resources: Vec<u32>,
+    /// Owned estimators in ascending global id; position = local id.
+    pub(crate) estimators: Vec<u32>,
+}
+
+impl LaneScope {
+    /// Identity scope covering the whole world — the sequential engine
+    /// and single-shard plans run through it with local id == global id.
+    pub(crate) fn identity(layout: &Layout) -> LaneScope {
+        let ids = |n: usize| (0..n as u32).collect::<Vec<u32>>();
+        LaneScope {
+            cluster_local: Arc::new(ids(layout.members.len())),
+            res_local: Arc::new(ids(layout.res_node.len())),
+            est_local: Arc::new(ids(layout.est_node.len())),
+            clusters: ids(layout.members.len()),
+            resources: ids(layout.res_node.len()),
+            estimators: ids(layout.est_node.len()),
+        }
+    }
+
+    /// Local id of global cluster `c` (must be owned by this scope).
+    #[inline(always)]
+    pub(crate) fn c_local(&self, c: u32) -> usize {
+        let l = self.cluster_local[c as usize] as usize;
+        debug_assert!(l < self.clusters.len() && self.clusters[l] == c);
+        l
+    }
+
+    /// Local id of global resource `r` (must be owned by this scope).
+    #[inline(always)]
+    pub(crate) fn r_local(&self, r: u32) -> usize {
+        let l = self.res_local[r as usize] as usize;
+        debug_assert!(l < self.resources.len() && self.resources[l] == r);
+        l
+    }
+
+    /// Local id of global estimator `e` (must be owned by this scope).
+    #[inline(always)]
+    pub(crate) fn e_local(&self, e: u32) -> usize {
+        let l = self.est_local[e as usize] as usize;
+        debug_assert!(l < self.estimators.len() && self.estimators[l] == e);
+        l
     }
 }
 
@@ -534,6 +722,9 @@ pub(crate) struct SharedWorld {
     pub(crate) parent_counts: Vec<u32>,
     /// Analytic mean service demand of the workload.
     pub(crate) mean_demand: f64,
+    /// Identity [`LaneScope`] over the whole world, built once so the
+    /// sequential path allocates no remap tables per run.
+    pub(crate) full_scope: Arc<LaneScope>,
 }
 
 impl SharedWorld {
@@ -601,6 +792,7 @@ impl SharedWorld {
         let layout = Layout::build(&map, &routing, n);
         let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
         let mean_demand = cfg.workload.exec_time.mean();
+        let full_scope = Arc::new(LaneScope::identity(&layout));
         SharedWorld {
             routing,
             map,
@@ -609,6 +801,7 @@ impl SharedWorld {
             layout,
             parent_counts,
             mean_demand,
+            full_scope,
         }
     }
 }
@@ -748,6 +941,198 @@ mod tests {
                 smart.min_cross_latency(),
                 naive.min_cross_latency()
             );
+        }
+    }
+
+    /// Asserts the full lane-remap contract for one plan: per-shard
+    /// global→local→global round-trips are the identity, and the shards'
+    /// owned id lists are disjoint and cover the world exactly.
+    fn assert_scopes_partition_world(shared: &SharedWorld, plan: &ShardPlan) {
+        let scopes = plan.lane_scopes(shared);
+        assert_eq!(scopes.len(), plan.shards as usize);
+        let layout = &shared.layout;
+        let mut c_seen = vec![0u32; layout.members.len()];
+        let mut r_seen = vec![0u32; layout.res_node.len()];
+        let mut e_seen = vec![0u32; layout.est_node.len()];
+        for scope in &scopes {
+            for (l, &c) in scope.clusters.iter().enumerate() {
+                assert_eq!(scope.c_local(c), l, "cluster remap round-trip");
+                c_seen[c as usize] += 1;
+            }
+            for (l, &r) in scope.resources.iter().enumerate() {
+                assert_eq!(scope.r_local(r), l, "resource remap round-trip");
+                r_seen[r as usize] += 1;
+            }
+            for (l, &e) in scope.estimators.iter().enumerate() {
+                assert_eq!(scope.e_local(e), l, "estimator remap round-trip");
+                e_seen[e as usize] += 1;
+            }
+            // Owned lists are sorted ascending, so local order is the
+            // global order restricted to the partition — the property
+            // the merge's bit-identity argument leans on.
+            assert!(scope.clusters.windows(2).all(|w| w[0] < w[1]));
+            assert!(scope.resources.windows(2).all(|w| w[0] < w[1]));
+            assert!(scope.estimators.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(c_seen.iter().all(|&n| n == 1), "clusters disjoint + cover");
+        assert!(r_seen.iter().all(|&n| n == 1), "resources disjoint + cover");
+        assert!(
+            e_seen.iter().all(|&n| n == 1),
+            "estimators disjoint + cover"
+        );
+    }
+
+    #[test]
+    fn auto_plan_respects_topology_and_core_budget() {
+        let shared = SharedWorld::build(&small_cfg());
+        let n_clusters = shared.layout.members.len();
+        // One core: parallelism cannot pay, so auto degenerates to the
+        // sequential-equivalent single shard.
+        let solo = ShardPlan::auto(&shared, 1);
+        assert_eq!(solo.shards, 1);
+        for cores in [2usize, 4, 8] {
+            let plan = ShardPlan::auto(&shared, cores);
+            let shards = plan.shards as usize;
+            assert!(shards >= 1 && shards <= cores.min(n_clusters));
+            // Every shard owns at least one cluster.
+            let mut per_shard = vec![0usize; shards];
+            for c in 0..n_clusters {
+                per_shard[plan.shard_of_lane[c] as usize] += 1;
+            }
+            assert!(per_shard.iter().all(|&n| n >= 1), "{per_shard:?}");
+            // The chosen split's lookahead is never worse than any other
+            // candidate width's latency-aware split.
+            for other in 2..=cores.min(n_clusters) {
+                let alt = ShardPlan::latency_aware(&shared, other);
+                assert!(
+                    plan.shards == 1 || plan.min_cross_latency() >= alt.min_cross_latency(),
+                    "auto picked {} (lookahead {}) but {} shards gives {}",
+                    plan.shards,
+                    plan.min_cross_latency(),
+                    other,
+                    alt.min_cross_latency()
+                );
+            }
+            assert_scopes_partition_world(&shared, &plan);
+        }
+    }
+
+    #[test]
+    fn identity_scope_is_the_world() {
+        let shared = SharedWorld::build(&small_cfg());
+        let plan = ShardPlan::contiguous(&shared, 1);
+        assert_scopes_partition_world(&shared, &plan);
+        let scope = &shared.full_scope;
+        assert_eq!(scope.clusters.len(), shared.layout.members.len());
+        assert_eq!(scope.resources.len(), shared.layout.res_node.len());
+        assert_eq!(scope.estimators.len(), shared.layout.est_node.len());
+        for c in 0..scope.clusters.len() {
+            assert_eq!(scope.c_local(c as u32), c);
+        }
+        for r in 0..scope.resources.len() {
+            assert_eq!(scope.r_local(r as u32), r);
+        }
+    }
+
+    mod remap_props {
+        use super::*;
+        use crate::policy::LocalOnly;
+        use crate::SimTemplate;
+        use proptest::prelude::*;
+
+        /// Strategy: a small world plus a randomized shard assignment
+        /// seed — enough variety to hit uneven partitions, estimator
+        /// lanes, and shard counts from 1 up past the cluster count.
+        fn arb_world() -> impl Strategy<Value = (GridConfig, usize, u64)> {
+            (
+                40usize..100,   // nodes
+                2usize..9,      // schedulers
+                0usize..3,      // estimators
+                0.005f64..0.03, // arrival rate
+                any::<u64>(),   // world seed
+                1usize..6,      // shards
+                any::<u64>(),   // assignment seed
+            )
+                .prop_map(
+                    |(nodes, schedulers, estimators, rate, seed, shards, aseed)| {
+                        (
+                            GridConfig {
+                                nodes,
+                                schedulers,
+                                estimators,
+                                workload: WorkloadConfig {
+                                    arrival_rate: rate,
+                                    duration: SimTime::from_ticks(2_000),
+                                    ..WorkloadConfig::default()
+                                },
+                                drain: SimTime::from_ticks(3_000),
+                                seed,
+                                ..GridConfig::default()
+                            },
+                            shards,
+                            aseed,
+                        )
+                    },
+                )
+                .prop_filter("RMS must fit in the network", |(c, _, _)| {
+                    c.schedulers + c.estimators + 4 < c.nodes
+                })
+        }
+
+        /// A deterministic pseudo-random cluster→shard map from `aseed`,
+        /// patched so every shard owns at least one cluster.
+        fn assignment(n_clusters: usize, shards: usize, aseed: u64) -> Vec<u32> {
+            let mut a: Vec<u32> = (0..n_clusters)
+                .map(|c| {
+                    let mut x = aseed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    x ^= x >> 30;
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    (x % shards as u64) as u32
+                })
+                .collect();
+            for s in 0..shards.min(n_clusters) {
+                a[s] = s as u32;
+            }
+            a
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig {
+                cases: 16,
+                ..ProptestConfig::default()
+            })]
+
+            #[test]
+            fn random_plans_remap_bijectively_and_replay_bit_identically(
+                (cfg, shards, aseed) in arb_world()
+            ) {
+                let template = SimTemplate::new(&cfg);
+                let shared = SharedWorld::build(&cfg);
+                let n_clusters = shared.layout.members.len();
+                let shards = shards.min(n_clusters);
+                let assign = assignment(n_clusters, shards, aseed);
+                let plan =
+                    ShardPlan::from_cluster_assignment(&shared, &assign, shards);
+                assert_scopes_partition_world(&shared, &plan);
+                // Differential check: the lane-scoped sharded replay of
+                // this arbitrary plan reproduces the sequential stream.
+                let mut p = LocalOnly;
+                let seq = template.run(cfg.enablers, &mut p);
+                let (rep, _) = template.run_sharded_with(
+                    cfg.enablers,
+                    || LocalOnly,
+                    &assign,
+                    shards,
+                    2,
+                );
+                prop_assert_eq!(seq.event_fingerprint, rep.event_fingerprint);
+                prop_assert_eq!(seq.events_processed, rep.events_processed);
+                prop_assert_eq!(seq.f_work.to_bits(), rep.f_work.to_bits());
+                prop_assert_eq!(
+                    seq.mean_response.to_bits(),
+                    rep.mean_response.to_bits()
+                );
+            }
         }
     }
 }

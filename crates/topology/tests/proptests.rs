@@ -3,7 +3,7 @@
 
 use gridscale_desim::SimRng;
 use gridscale_topology::generate::{self, LinkParams};
-use gridscale_topology::{Graph, GridMap, NodeId, RoutingTable};
+use gridscale_topology::{Graph, GridMap, NodeId, Routing, RoutingTable};
 use proptest::prelude::*;
 
 /// Reference all-pairs shortest paths by Floyd–Warshall.
@@ -109,7 +109,7 @@ proptest! {
         prop_assume!(scheds + ests + 4 < n);
         let mut rng = SimRng::new(seed);
         let g = generate::barabasi_albert(n, 2, LinkParams::default(), &mut rng);
-        let rt = RoutingTable::build(&g);
+        let rt = Routing::Exact(RoutingTable::build(&g));
         let m = GridMap::build(&g, &rt, scheds, ests, frac);
 
         let mut seen = std::collections::HashSet::new();

@@ -5,10 +5,10 @@
 //!                   [--duration 60000] [--seed 7] [--estimators 0] [--json]
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
-//!                   [--shards 1] [--no-warm] [--bench-out BENCH_tuning.json] [--json]
+//!                   [--shards 1|auto] [--no-warm] [--bench-out BENCH_tuning.json] [--json]
 //! gridscale bench-sim [--model LOWEST] [--reps 5] [--kmax 16]
 //!                   [--out BENCH_sim.json]
-//! gridscale bench-sim --shards 4 [--model LOWEST] [--reps 3] [--kmax 4]
+//! gridscale bench-sim --shards 4|auto [--model LOWEST] [--reps 3] [--kmax 4]
 //!                   [--mega 1000000] [--out BENCH_shard.json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
@@ -21,10 +21,12 @@
 //! rebuilding against zero-clone shared-template replay (under both `dyn`
 //! and enum policy dispatch, plus a forced binary-heap event queue as the
 //! ladder-queue baseline) and writes `BENCH_sim.json`; `bench-sim
-//! --shards N` instead times the sharded conservative-parallel executor
+//! --shards N` (or `auto`, deferring the split to the topology-aware
+//! planner) instead times the sharded conservative-parallel executor
 //! against the sequential replay on large grids (asserting bit-identical
-//! fingerprints) and writes `BENCH_shard.json`, optionally proving a
-//! `--mega`-node shared world builds; `trace`
+//! fingerprints) and writes `BENCH_shard.json` with per-shard hot-state
+//! footprints, optionally proving a `--mega`-node shared world builds
+//! with O(world) mutable memory; `trace`
 //! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
 //! the RMS models; `audit` runs the workspace determinism linter
@@ -65,6 +67,16 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
             eprintln!("--{key}: cannot parse '{v}'");
             exit(2);
         }),
+    }
+}
+
+/// Parses `--shards`: a positive count, or `auto` → the `0` sentinel
+/// [`MeasureOptions::shards`] and the shard bench understand as "pick
+/// shards and workers from the topology and the host core count".
+fn shards_flag(flags: &HashMap<String, String>, default: usize) -> usize {
+    match flags.get("shards").map(String::as_str) {
+        Some("auto") => 0,
+        _ => get(flags, "shards", default).max(1),
     }
 }
 
@@ -176,7 +188,7 @@ fn cmd_measure(flags: HashMap<String, String>) {
         seed: get(&flags, "seed", 0x15_0EFFu64),
         replications: get(&flags, "replications", 1usize),
         threads: get(&flags, "threads", 0usize),
-        shards: get(&flags, "shards", 1usize).max(1),
+        shards: shards_flag(&flags, 1),
         batch: get(&flags, "batch", 4usize).max(1),
         warm_start: !flags.contains_key("no-warm"),
         ..MeasureOptions::default()
@@ -313,7 +325,10 @@ fn peak_rss_bytes() -> Option<u64> {
 /// sharded replay over it) to pin the memory footprint at 10⁵–10⁶ nodes.
 fn cmd_bench_shard(flags: HashMap<String, String>) {
     let kind = model_of(&flags);
-    let shards = get(&flags, "shards", 4usize).max(1);
+    // `--shards auto` (0) defers the split to `ShardPlan::auto`: the
+    // widest-lookahead plan the topology and host core count allow.
+    let shards = shards_flag(&flags, 4);
+    let auto = shards == 0;
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     // Extra workers beyond the physical cores only add scheduling churn;
     // --workers overrides for overload experiments.
@@ -338,8 +353,11 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
 
         let mut summary = None;
         let shard_s = timed(reps, || {
-            let (r, s) =
-                template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers);
+            let (r, s) = if auto {
+                template.run_sharded_auto(cfg.enablers, || kind.build_static())
+            } else {
+                template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers)
+            };
             assert_eq!(
                 r.event_fingerprint, fp,
                 "sharded replay diverged from sequential"
@@ -348,12 +366,16 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
             summary = Some(s);
         });
         let summary = summary.expect("at least one timed repetition");
+        // The 1-shard replay of the same template pins `hot_bytes_solo`:
+        // the O(world) mutable floor the sharded total is held against.
+        let (solo_r, solo) = template.run_sharded(cfg.enablers, || kind.build_static(), 1, 1);
+        assert_eq!(solo_r.event_fingerprint, fp, "solo replay diverged");
         let idle: u64 = summary.idle_windows_per_shard.iter().sum();
         let idle_fraction =
             idle as f64 / (summary.barrier_rounds.max(1) * summary.shards as u64) as f64;
         let speedup = seq_s / shard_s;
         eprintln!(
-            "k={:<2} nodes={:<7} clusters={:<3} events={:<9} seq {:>8.1} ms | {} shards {:>8.1} ms ({:>4.2}x) | window {} | rounds {} | idle {:>4.1}% | {:.2e} ev/s",
+            "k={:<2} nodes={:<7} clusters={:<3} events={:<9} seq {:>8.1} ms | {} shards {:>8.1} ms ({:>4.2}x) | window {} | rounds {} | idle {:>4.1}% | {:.2e} ev/s | hot {:.2}/{:.2} MB",
             k,
             cfg.nodes,
             template.cluster_count(),
@@ -365,7 +387,9 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
             summary.window_ticks,
             summary.barrier_rounds,
             idle_fraction * 100.0,
-            events as f64 / shard_s
+            events as f64 / shard_s,
+            summary.hot_bytes_total as f64 / 1e6,
+            solo.hot_bytes_total as f64 / 1e6
         );
         rows.push(serde_json::json!({
             "k": k,
@@ -393,6 +417,10 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
             "idle_windows_per_shard": summary.idle_windows_per_shard,
             "idle_fraction": idle_fraction,
             "shared_world_bytes": template.shared_world_bytes(),
+            "hot_bytes_per_shard": summary.hot_bytes_per_shard,
+            "hot_bytes_total": summary.hot_bytes_total,
+            "hot_bytes_solo": solo.hot_bytes_total,
+            "peak_rss_bytes": peak_rss_bytes(),
         }));
     }
 
@@ -415,13 +443,28 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
         let mut built = None;
         let build_s = timed(1, || built = Some(SimTemplate::new(&cfg)));
         let template = built.expect("built once");
-        let (r, s) = template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers);
+        // Before/after pair: the 1-shard replay pins the O(world) hot
+        // floor, the sharded one must stay within a constant of it now
+        // that shard state is lane-scoped.
+        let (r1, s1) = template.run_sharded(cfg.enablers, || kind.build_static(), 1, 1);
+        let (r, s) = if auto {
+            template.run_sharded_auto(cfg.enablers, || kind.build_static())
+        } else {
+            template.run_sharded(cfg.enablers, || kind.build_static(), shards, workers)
+        };
+        assert_eq!(
+            r.event_fingerprint, r1.event_fingerprint,
+            "mega sharded replay diverged from 1-shard"
+        );
         eprintln!(
-            "mega: built {} nodes / {} clusters in {:.1} s | shared world ≈ {:.1} MB | peak RSS {} MB | replay {} events over {} rounds",
+            "mega: built {} nodes / {} clusters in {:.1} s | shared world ≈ {:.1} MB | hot {:.1} MB over {} shards (solo {:.1} MB) | peak RSS {} MB | replay {} events over {} rounds",
             mega,
             template.cluster_count(),
             build_s,
             template.shared_world_bytes() as f64 / 1e6,
+            s.hot_bytes_total as f64 / 1e6,
+            s.shards,
+            s1.hot_bytes_total as f64 / 1e6,
             peak_rss_bytes().map_or("?".into(), |b| format!("{:.0}", b as f64 / 1e6)),
             r.events_processed,
             s.barrier_rounds
@@ -435,6 +478,10 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
             "events_processed": r.events_processed,
             "window_ticks": s.window_ticks,
             "barrier_rounds": s.barrier_rounds,
+            "shards": s.shards,
+            "hot_bytes_per_shard": s.hot_bytes_per_shard,
+            "hot_bytes_total": s.hot_bytes_total,
+            "hot_bytes_solo": s1.hot_bytes_total,
         }))
     } else {
         None

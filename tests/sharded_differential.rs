@@ -209,6 +209,107 @@ fn shard_telemetry_reports_real_parallel_structure() {
 }
 
 #[test]
+fn auto_planned_replay_matches_sequential_for_every_policy() {
+    // `run_sharded_auto` picks shards/workers from topology + host cores;
+    // whatever it picks, the report must stay bit-identical to the
+    // sequential executor (the acceptance bar for `--shards auto`).
+    for kind in RmsKind::ALL {
+        let cfg = diff_cfg(61);
+        let template = SimTemplate::new(&cfg);
+        let mut p = kind.build_static();
+        let seq = template.run(cfg.enablers, &mut p);
+        let (rep, summary) = template.run_sharded_auto(cfg.enablers, || kind.build_static());
+        let what = format!("{kind} auto (picked {} shards)", summary.shards);
+        assert_reports_identical(&seq, &rep, &what);
+        assert!(summary.shards >= 1, "{what}");
+        assert!(
+            summary.workers >= 1 && summary.workers <= summary.shards,
+            "{what}: workers {} out of range",
+            summary.workers
+        );
+    }
+}
+
+#[test]
+fn shard_memory_telemetry_is_lane_proportional() {
+    let cfg = diff_cfg(83);
+    let template = SimTemplate::new(&cfg);
+    let (_, solo) = template.run_sharded(cfg.enablers, || RmsKind::Lowest.build_static(), 1, 1);
+    assert_eq!(solo.hot_bytes_per_shard.len(), 1);
+    assert_eq!(
+        solo.hot_bytes_total,
+        solo.hot_bytes_per_shard.iter().sum::<u64>()
+    );
+    assert!(solo.hot_bytes_total > 0);
+    let (_, quad) = template.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        4,
+        workers(),
+    );
+    assert_eq!(quad.hot_bytes_per_shard.len(), 4);
+    assert_eq!(
+        quad.hot_bytes_total,
+        quad.hot_bytes_per_shard.iter().sum::<u64>()
+    );
+    assert!(quad.hot_bytes_per_shard.iter().all(|&b| b > 0));
+    // Every shard's arena must be strictly smaller than the full-world
+    // arena: lane-scoped state is sized to the partition, not the world.
+    assert!(
+        quad.hot_bytes_per_shard
+            .iter()
+            .all(|&b| b < solo.hot_bytes_total),
+        "per-shard arenas {:?} should each undercut the solo arena {}",
+        quad.hot_bytes_per_shard,
+        solo.hot_bytes_total
+    );
+}
+
+#[test]
+fn queue_telemetry_counts_a_sharded_replay_as_one_logical_run() {
+    let cfg = diff_cfg(29);
+    let template = SimTemplate::new(&cfg);
+    let (_, summary) = template.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        4,
+        workers(),
+    );
+    // The run-level summary holds exactly this one replay...
+    assert_eq!(summary.queue.ladder_runs + summary.queue.heap_runs, 1);
+    // ...and the template-level aggregate counts it once, not once per
+    // shard, no matter how many engines the replay fanned out to.
+    let stats = template.replay_stats();
+    assert_eq!(stats.queue.ladder_runs + stats.queue.heap_runs, 1);
+    let (_, again) = template.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        2,
+        workers(),
+    );
+    assert_eq!(again.queue.ladder_runs + again.queue.heap_runs, 1);
+    assert_eq!(
+        template.replay_stats().queue.ladder_runs + template.replay_stats().queue.heap_runs,
+        2
+    );
+    // The per-run aggregation is deterministic: the same replay on a
+    // fresh template folds its shards in ascending shard order, landing
+    // on the exact same summary — thread placement must be invisible.
+    let fresh = SimTemplate::new(&cfg);
+    let (_, replay) = fresh.run_sharded(
+        cfg.enablers,
+        || RmsKind::Lowest.build_static(),
+        4,
+        workers(),
+    );
+    assert_eq!(
+        format!("{:?}", replay.queue),
+        format!("{:?}", summary.queue),
+        "sharded queue aggregation must be replay-deterministic"
+    );
+}
+
+#[test]
 #[should_panic(expected = "independent-job workload")]
 fn sharded_execution_rejects_dag_workloads() {
     let mut cfg = diff_cfg(5);
