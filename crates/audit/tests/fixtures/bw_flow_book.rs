@@ -1,0 +1,27 @@
+// Fixture: the two ways a flow-contention book can lose determinism.
+// Linted as if at crates/gridsim/src/. The real `flow.rs` keeps live
+// flows in per-lane Vecs scanned in admission order; this fixture keys
+// them by flow id in a HashMap (D1: iteration order feeds the residual
+// rate) and reduces link loads with an unordered parallel float sum
+// (D4: float addition is not associative, so shard timing changes the
+// admitted rate).
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+pub struct FlowBook {
+    live: HashMap<u64, f64>,
+}
+
+impl FlowBook {
+    pub fn residual(&self, cap: f64) -> f64 {
+        let mut used = 0.0;
+        for (_, rate) in self.live.iter() {
+            used += rate;
+        }
+        cap - used
+    }
+
+    pub fn link_load(loads: &[f64]) -> f64 {
+        loads.par_iter().sum()
+    }
+}

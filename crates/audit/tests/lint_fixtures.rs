@@ -114,6 +114,25 @@ fn d5_is_scoped_to_sim_facing_crates() {
 }
 
 #[test]
+fn bandwidth_flow_book_fixture_violates_d1_and_d4() {
+    // The contention module's two failure modes, caught at the path the
+    // real flow book lives at: hash-ordered iteration feeding the
+    // residual rate, and an unordered parallel reduction of link loads.
+    let diags = lint_fixture("bw_flow_book.rs", "crates/gridsim/src/flow.rs");
+    let rules = rules_of(&diags, Severity::Violation);
+    assert_eq!(rules, vec!["hash-iter", "par-float-sum"], "{diags:?}");
+}
+
+#[test]
+fn bandwidth_flow_book_d1_is_scoped_but_d4_is_not() {
+    // Outside the sim-facing set the hash rule stands down; the float
+    // reduction stays banned because it feeds numbers reports compare.
+    let diags = lint_fixture("bw_flow_book.rs", "crates/bench/src/fixture.rs");
+    assert!(diags.iter().all(|d| d.rule != "hash-iter"), "{diags:?}");
+    assert!(diags.iter().any(|d| d.rule == "par-float-sum"), "{diags:?}");
+}
+
+#[test]
 fn annotated_fixture_is_clean() {
     let diags = lint_fixture("allowed_annotations.rs", "crates/gridsim/src/fixture.rs");
     assert!(diags.is_empty(), "{diags:?}");

@@ -19,10 +19,15 @@ pub enum CaseId {
     /// Case 4 (Table 5): scale the RMS by `L_p` at fixed network size.
     /// Figure 5.
     Lp,
+    /// Case 5 (extension): scale the network by link bandwidth — capacity
+    /// shrinks as `1/k` at fixed network size, and the measured transfer
+    /// share of `H(k)` grows with contention. Requires the bandwidth-aware
+    /// transmission model.
+    Bandwidth,
 }
 
 impl CaseId {
-    /// All four cases in paper order.
+    /// The paper's four cases in paper order.
     pub const ALL: [CaseId; 4] = [
         CaseId::NetworkSize,
         CaseId::ServiceRate,
@@ -30,13 +35,23 @@ impl CaseId {
         CaseId::Lp,
     ];
 
-    /// The paper's case number (1–4).
+    /// The paper's four cases plus the bandwidth-scaling extension.
+    pub const WITH_BANDWIDTH: [CaseId; 5] = [
+        CaseId::NetworkSize,
+        CaseId::ServiceRate,
+        CaseId::Estimators,
+        CaseId::Lp,
+        CaseId::Bandwidth,
+    ];
+
+    /// The case number (1–4 per the paper; 5 is the extension).
     pub fn number(self) -> u32 {
         match self {
             CaseId::NetworkSize => 1,
             CaseId::ServiceRate => 2,
             CaseId::Estimators => 3,
             CaseId::Lp => 4,
+            CaseId::Bandwidth => 5,
         }
     }
 
@@ -47,6 +62,7 @@ impl CaseId {
             CaseId::ServiceRate => "Scaling the RP by resource service rate",
             CaseId::Estimators => "Scaling the RMS by number of status estimators",
             CaseId::Lp => "Scaling the RMS by L_p",
+            CaseId::Bandwidth => "Scaling the network by link bandwidth (1/k capacity)",
         }
     }
 
@@ -181,6 +197,15 @@ impl ScalingCase {
                 link_delay_factor,
                 volunteer_interval,
             },
+            // Case 5: link capacity is the scaling variable; the tunables
+            // mirror Tables 2–4 (the RMS can trade update traffic and
+            // neighborhood reach against the shrinking bandwidth).
+            CaseId::Bandwidth => EnablerSpace {
+                update_interval,
+                neighborhood,
+                link_delay_factor,
+                volunteer_interval: Vec::new(),
+            },
         };
         ScalingCase { id, enabler_space }
     }
@@ -194,9 +219,22 @@ mod tests {
     fn case_numbers_and_descriptions() {
         assert_eq!(CaseId::NetworkSize.number(), 1);
         assert_eq!(CaseId::Lp.number(), 4);
-        for c in CaseId::ALL {
+        assert_eq!(CaseId::Bandwidth.number(), 5);
+        for c in CaseId::WITH_BANDWIDTH {
             assert!(!c.describe().is_empty());
         }
+        // The paper matrix stays exactly the four published cases.
+        assert_eq!(CaseId::ALL.len(), 4);
+        assert!(!CaseId::ALL.contains(&CaseId::Bandwidth));
+        assert_eq!(CaseId::WITH_BANDWIDTH[4], CaseId::Bandwidth);
+    }
+
+    #[test]
+    fn case5_tunes_the_table2_dimensions() {
+        let c = CaseId::Bandwidth.case();
+        assert!(!c.enabler_space.update_interval.is_empty());
+        assert!(!c.enabler_space.neighborhood.is_empty());
+        assert!(c.enabler_space.volunteer_interval.is_empty());
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub struct MeasureOptions {
     /// Overrides the overhead cost model (sensitivity analysis); `None`
     /// uses the calibrated defaults.
     pub cost_override: Option<gridscale_gridsim::OverheadCosts>,
+    /// Overrides the transmission model for every point (`--bw`): with a
+    /// [`gridscale_gridsim::BandwidthConfig`] whose `enabled` is set, data
+    /// movement contends for link capacity and the measured transfer busy
+    /// time lands in `H(k)` — re-deriving Case 4's `H` from measurement
+    /// instead of the job-control constant. `None` keeps each case's own
+    /// default (legacy for Cases 1–4, capacity `1/k` for Case 5).
+    #[serde(default)]
+    pub bandwidth: Option<gridscale_gridsim::BandwidthConfig>,
 }
 
 impl Default for MeasureOptions {
@@ -127,6 +135,7 @@ impl Default for MeasureOptions {
             drain_override: None,
             replications: 1,
             cost_override: None,
+            bandwidth: None,
         }
     }
 }
@@ -314,6 +323,9 @@ fn point_config(
     }
     if let Some(costs) = opts.cost_override {
         cfg.costs = costs;
+    }
+    if let Some(bw) = opts.bandwidth {
+        cfg.bandwidth = bw;
     }
     cfg
 }
@@ -787,10 +799,38 @@ mod tests {
         obj.remove("batch");
         obj.remove("warm_start");
         obj.remove("shards");
+        obj.remove("bandwidth");
         let opts: MeasureOptions = serde_json::from_value(v).unwrap();
         assert_eq!(opts.batch, default_batch());
         assert!(opts.warm_start);
         assert_eq!(opts.shards, default_shards());
+        assert!(opts.bandwidth.is_none());
+    }
+
+    #[test]
+    fn bandwidth_override_reaches_every_point_config() {
+        let mut opts = smoke_opts();
+        opts.bandwidth = Some(gridscale_gridsim::BandwidthConfig {
+            enabled: true,
+            capacity_scale: 0.1,
+            k_paths: 2,
+        });
+        for case in CaseId::WITH_BANDWIDTH {
+            let cfg = point_config(RmsKind::Lowest, case, 2, &opts);
+            assert!(cfg.bandwidth.enabled, "{case:?}");
+            assert_eq!(cfg.bandwidth.capacity_scale, 0.1, "{case:?}");
+        }
+        // Without the override, Case 5 keeps its own 1/k default and the
+        // paper cases keep the legacy model.
+        opts.bandwidth = None;
+        assert!(
+            !point_config(RmsKind::Lowest, CaseId::Lp, 2, &opts)
+                .bandwidth
+                .enabled
+        );
+        let c5 = point_config(RmsKind::Lowest, CaseId::Bandwidth, 2, &opts);
+        assert!(c5.bandwidth.enabled);
+        assert_eq!(c5.bandwidth.capacity_scale, 0.5);
     }
 }
 

@@ -95,6 +95,10 @@ impl Preset {
             CaseId::NetworkSize | CaseId::ServiceRate => 0.62,
             // Fixed RP: utilization grows ∝ k, reaching ~0.66 at k = 6.
             CaseId::Estimators | CaseId::Lp => 0.11,
+            // Fixed RP *and* fixed workload: the scaling variable is the
+            // shrinking link capacity, so utilization stays put while the
+            // network share of H(k) grows.
+            CaseId::Bandwidth => 0.45,
         }
     }
 }
@@ -153,6 +157,7 @@ pub fn config_for(kind: RmsKind, case: CaseId, k: u32, preset: Preset, seed: u64
             0,
             Some(preset.case4_base_lp() * k as usize),
         ),
+        CaseId::Bandwidth => (preset.fixed_nodes(), 1.0, 0, None),
     };
 
     cfg.nodes = nodes;
@@ -163,6 +168,12 @@ pub fn config_for(kind: RmsKind, case: CaseId, k: u32, preset: Preset, seed: u64
         // In Case 4, L_p is the scaling variable, not an enabler.
         cfg.enablers.neighborhood = lp;
     }
+    if case == CaseId::Bandwidth {
+        // Case 5: link capacity is the scaling variable — every link
+        // keeps its topology-assigned bandwidth divided by k.
+        cfg.bandwidth.enabled = true;
+        cfg.bandwidth.capacity_scale = 1.0 / kf;
+    }
 
     // Workload ∝ the scaling variable: derive the arrival rate from the
     // scaled capacity (Cases 1–2) or scale it directly on the fixed RP
@@ -171,7 +182,9 @@ pub fn config_for(kind: RmsKind, case: CaseId, k: u32, preset: Preset, seed: u64
     let mean_demand = cfg.workload.exec_time.mean();
     let capacity = resources as f64 * service_rate / mean_demand;
     let rate = match case {
-        CaseId::NetworkSize | CaseId::ServiceRate => preset.utilization(case) * capacity,
+        CaseId::NetworkSize | CaseId::ServiceRate | CaseId::Bandwidth => {
+            preset.utilization(case) * capacity
+        }
         CaseId::Estimators | CaseId::Lp => preset.utilization(case) * capacity * kf,
     };
     cfg.workload.arrival_rate = rate;
@@ -240,12 +253,29 @@ mod tests {
     #[test]
     fn configs_validate_across_grid() {
         for kind in RmsKind::ALL {
-            for case in CaseId::ALL {
+            for case in CaseId::WITH_BANDWIDTH {
                 for k in [1u32, 3, 6] {
                     let c = config_for(kind, case, k, Preset::Quick, 7);
                     assert_eq!(c.validate(), Ok(()), "{kind} {case:?} k={k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn case5_scales_capacity_down_at_fixed_everything_else() {
+        let c1 = config_for(RmsKind::Lowest, CaseId::Bandwidth, 1, Preset::Quick, 1);
+        let c4 = config_for(RmsKind::Lowest, CaseId::Bandwidth, 4, Preset::Quick, 1);
+        assert!(c1.bandwidth.enabled && c4.bandwidth.enabled);
+        assert_eq!(c1.bandwidth.capacity_scale, 1.0);
+        assert_eq!(c4.bandwidth.capacity_scale, 0.25);
+        assert_eq!(c1.nodes, c4.nodes, "network fixed");
+        assert_eq!(c1.schedulers, c4.schedulers);
+        assert_eq!(c1.workload.arrival_rate, c4.workload.arrival_rate);
+        // The paper's four cases never turn the bandwidth model on.
+        for case in CaseId::ALL {
+            let c = config_for(RmsKind::Lowest, case, 3, Preset::Quick, 1);
+            assert!(!c.bandwidth.enabled, "{case:?} must keep the legacy model");
         }
     }
 

@@ -59,6 +59,15 @@ pub(crate) struct Accounting {
     pub(crate) dispatches: u64,
     pub(crate) dag_deferred: u64,
     pub(crate) msgs_sent: u64,
+    /// Sized flows admitted on virtual links (bandwidth model only).
+    pub(crate) net_flows: u64,
+    /// Flows that were delayed or throttled by link contention.
+    pub(crate) net_flows_contended: u64,
+    /// Local cluster → measured transfer busy time (`size / rate`) of
+    /// flows sent from its lanes. Also charged into `h_overhead` — this
+    /// separate tally is what lets reports split the measured network
+    /// share of `H(k)` out of the job-control constant.
+    pub(crate) net_transfer_busy: Vec<f64>,
     /// Local cluster → response-time moments of jobs completed there.
     pub(crate) response: Vec<Welford>,
     pub(crate) response_hist: Histogram,
@@ -86,6 +95,9 @@ impl Accounting {
             dispatches: 0,
             dag_deferred: 0,
             msgs_sent: 0,
+            net_flows: 0,
+            net_flows_contended: 0,
+            net_transfer_busy: vec![0.0; n_sched],
             response: vec![Welford::new(); n_sched],
             response_hist: Histogram::new(100.0, 4000),
         }
@@ -109,6 +121,9 @@ impl Accounting {
         self.dispatches = 0;
         self.dag_deferred = 0;
         self.msgs_sent = 0;
+        self.net_flows = 0;
+        self.net_flows_contended = 0;
+        self.net_transfer_busy.iter_mut().for_each(|g| *g = 0.0);
         self.response.iter_mut().for_each(|w| w.reset());
         self.response_hist.reset();
     }
@@ -149,6 +164,7 @@ impl Accounting {
             self.f_work[gc] += other.f_work[lc];
             self.h_overhead[gc] += other.h_overhead[lc];
             self.g_sched[gc] += other.g_sched[lc];
+            self.net_transfer_busy[gc] += other.net_transfer_busy[lc];
             self.response[gc].merge(&other.response[lc]);
         }
         for (le, &ge) in scope.estimators.iter().enumerate() {
@@ -165,6 +181,8 @@ impl Accounting {
         self.dispatches += other.dispatches;
         self.dag_deferred += other.dag_deferred;
         self.msgs_sent += other.msgs_sent;
+        self.net_flows += other.net_flows;
+        self.net_flows_contended += other.net_flows_contended;
         self.response_hist.absorb(&other.response_hist);
     }
 
@@ -234,6 +252,9 @@ impl Accounting {
             nodes,
             events_processed,
             msgs_sent: a.msgs_sent,
+            net_flows: a.net_flows,
+            net_flows_contended: a.net_flows_contended,
+            net_transfer_busy: a.net_transfer_busy.iter().sum(),
             // Stamped by SimCore::report, which owns the running hash.
             event_fingerprint: 0,
         }

@@ -137,6 +137,37 @@ impl Default for OverheadCosts {
     }
 }
 
+/// Bandwidth-aware network model (Case 5 / measured `H(k)`).
+///
+/// Disabled by default — the legacy latency-constant transmission model
+/// (`hops × size / base bandwidth`, no contention) is then used and every
+/// report stays bit-identical to configs that predate this struct (the
+/// field is serde-defaulted, so old config files keep deserializing).
+/// When enabled, virtual-link tables are precomputed at world build time
+/// and cross-cluster traffic becomes sized flows that contend for link
+/// capacity (see `gridsim::flow`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthConfig {
+    /// Master switch for the capacity-aware network path.
+    pub enabled: bool,
+    /// Multiplier on every link capacity — the bandwidth-sweep knob
+    /// (Case 5 shrinks this as `1/k`).
+    pub capacity_scale: f64,
+    /// Candidate paths per cluster pair in the virtual-link precompute
+    /// (exact routing mode; the hierarchical model always keeps 1).
+    pub k_paths: usize,
+}
+
+impl Default for BandwidthConfig {
+    fn default() -> Self {
+        BandwidthConfig {
+            enabled: false,
+            capacity_scale: 1.0,
+            k_paths: 2,
+        }
+    }
+}
+
 /// The paper's policy thresholds (Table 1 and §3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Thresholds {
@@ -210,6 +241,11 @@ pub struct GridConfig {
     pub drain: SimTime,
     /// Master seed; topology, workload, and policy randomness fork from it.
     pub seed: u64,
+    /// Bandwidth-aware network model; defaults to disabled (legacy
+    /// latency-constant transport) and is serde-defaulted so config files
+    /// written before this field existed keep deserializing unchanged.
+    #[serde(default)]
+    pub bandwidth: BandwidthConfig,
 }
 
 impl Default for GridConfig {
@@ -231,6 +267,7 @@ impl Default for GridConfig {
             dag_data_cost: 5.0,
             drain: SimTime::from_ticks(40_000),
             seed: 0xC0FFEE,
+            bandwidth: BandwidthConfig::default(),
         }
     }
 }
@@ -267,6 +304,14 @@ impl GridConfig {
         }
         if self.dag_data_cost < 0.0 {
             return Err("dag data cost must be nonnegative".into());
+        }
+        if self.bandwidth.enabled {
+            if !(self.bandwidth.capacity_scale > 0.0 && self.bandwidth.capacity_scale.is_finite()) {
+                return Err("bandwidth capacity scale must be positive and finite".into());
+            }
+            if self.bandwidth.k_paths == 0 {
+                return Err("bandwidth k_paths must be at least 1".into());
+            }
         }
         Ok(())
     }
@@ -331,6 +376,38 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let back: GridConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn configs_without_a_bandwidth_key_deserialize_to_the_disabled_default() {
+        // A config file written before the bandwidth field existed must
+        // keep deserializing — and land on the legacy (disabled) model.
+        let c = GridConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let stripped = {
+            let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+            let mut m = v.as_object().unwrap().clone();
+            m.remove("bandwidth").expect("field serializes");
+            serde_json::to_string(&m).unwrap()
+        };
+        let back: GridConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, c);
+        assert!(!back.bandwidth.enabled);
+        assert_eq!(back.bandwidth, BandwidthConfig::default());
+    }
+
+    #[test]
+    fn bandwidth_validation_only_applies_when_enabled() {
+        let mut c = GridConfig::default();
+        c.bandwidth.capacity_scale = 0.0; // nonsense, but the model is off
+        assert_eq!(c.validate(), Ok(()));
+        c.bandwidth.enabled = true;
+        assert!(c.validate().is_err());
+        c.bandwidth.capacity_scale = 0.25;
+        c.bandwidth.k_paths = 0;
+        assert!(c.validate().is_err());
+        c.bandwidth.k_paths = 3;
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

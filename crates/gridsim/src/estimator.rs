@@ -105,7 +105,7 @@ impl EstimatorBank {
                 to,
                 Msg::StatusBatch { updates },
                 false,
-                &shared.routing,
+                shared,
                 acct,
                 fel,
             );

@@ -1,0 +1,366 @@
+//! Deterministic flow contention over the precomputed virtual links.
+//!
+//! When the bandwidth model is enabled ([`crate::config::BandwidthConfig`]),
+//! every cross-cluster message becomes a sized *flow* on one candidate
+//! path of its cluster pair's virtual link, and concurrent flows contend
+//! for the capacity of the physical links they share. The allocation
+//! rule is the strongest one compatible with the replay and sharding
+//! contracts:
+//!
+//! * **Arrival-ordered residual share.** A flow's rate is fixed at
+//!   admission to the minimum residual capacity along its path —
+//!   `min over links (cap − Σ rates of live earlier flows)` — with the
+//!   sum folded in admission order. Earlier flows keep their allocation
+//!   (their `Deliver` events are already scheduled and are never
+//!   revised), so this is the maximal rate that conserves capacity
+//!   without revising history: a one-sided max-min fair share.
+//! * **Saturation defers, never drops.** If the residual is zero the
+//!   flow's start is pushed to the earliest in-flight completion and the
+//!   allocation re-planned there, so contention only ever *delays*
+//!   delivery beyond the propagation minimum — which is exactly the
+//!   property the sharded executor's conservative lookahead needs.
+//! * **Per-sending-lane state.** Like the middleware queue
+//!   (`NetFabric::mw_next_free`), flow books are kept per sending lane:
+//!   a lane's transfer history is a function of that lane's own sends
+//!   only, so the event stream stays a deterministic function of
+//!   per-lane histories and sharded runs stay bit-identical to
+//!   sequential. (Cross-lane contention would need a global admission
+//!   order, which no deterministic parallel executor can provide without
+//!   serializing; the per-lane model is the documented trade.)
+//!
+//! No seeds, no iteration-order-dependent containers, no unordered float
+//! reductions: replaying the same admission schedule is bit-identical.
+
+use gridscale_topology::VlinkTable;
+
+/// Rates at or below this are treated as a saturated link (guards the
+/// division in the completion time; also the positivity floor when a
+/// topology hands us a zero-capacity link).
+const MIN_RATE: f64 = 1e-9;
+
+/// The outcome of planning or admitting one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Admission {
+    /// When the transfer begins (≥ the requested departure).
+    pub(crate) start: f64,
+    /// When the last byte leaves the path (`start + size / rate`).
+    pub(crate) finish: f64,
+    /// The allocated rate (≤ the path bottleneck).
+    pub(crate) rate: f64,
+    /// Whether the flow was delayed or throttled by live flows.
+    pub(crate) contended: bool,
+}
+
+/// One live flow: its completion time, allocated rate, and the virtual
+/// link path it occupies (resolved against the immutable [`VlinkTable`],
+/// so the book itself stays allocation-free per flow).
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    finish: f64,
+    rate: f64,
+    a: u32,
+    b: u32,
+    path: u16,
+}
+
+/// Per-lane flow books over the shared virtual-link table.
+pub(crate) struct FlowState {
+    /// Sending lane → its live flows, in admission order (the fold order
+    /// of every residual computation — fixed, so replays are
+    /// bit-identical).
+    lanes: Vec<Vec<Flow>>,
+}
+
+impl FlowState {
+    pub(crate) fn new(n_lanes: usize) -> FlowState {
+        FlowState {
+            lanes: vec![Vec::new(); n_lanes],
+        }
+    }
+
+    /// Plans a flow on `path_idx` of cluster pair `(a, b)` departing at
+    /// `depart`, without booking it. Used to pick the best candidate
+    /// path before committing.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn predict(
+        &self,
+        lane: usize,
+        depart: f64,
+        a: u32,
+        b: u32,
+        path_idx: u16,
+        size: f64,
+        table: &VlinkTable,
+    ) -> Admission {
+        let links = &table.paths(a as usize, b as usize)[path_idx as usize].links;
+        let (start, rate) = plan(&self.lanes[lane], table, depart, links);
+        finish_of(start, rate, size, depart, links, table)
+    }
+
+    /// Books a flow: garbage-collects completed flows, plans the
+    /// allocation, and appends it to the lane's book.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit(
+        &mut self,
+        lane: usize,
+        depart: f64,
+        a: u32,
+        b: u32,
+        path_idx: u16,
+        size: f64,
+        table: &VlinkTable,
+    ) -> Admission {
+        // Completed flows no longer hold capacity at any time ≥ depart;
+        // dropping them keeps the book bounded by the live-flow count.
+        // `retain` preserves admission order for the survivors.
+        self.lanes[lane].retain(|f| f.finish > depart);
+        let links = &table.paths(a as usize, b as usize)[path_idx as usize].links;
+        let (start, rate) = plan(&self.lanes[lane], table, depart, links);
+        let adm = finish_of(start, rate, size, depart, links, table);
+        self.lanes[lane].push(Flow {
+            finish: adm.finish,
+            rate: adm.rate,
+            a,
+            b,
+            path: path_idx,
+        });
+        adm
+    }
+}
+
+/// Assembles the [`Admission`] for a planned `(start, rate)`.
+fn finish_of(
+    start: f64,
+    rate: f64,
+    size: f64,
+    depart: f64,
+    links: &[u32],
+    table: &VlinkTable,
+) -> Admission {
+    let bottleneck = links
+        .iter()
+        .map(|&l| table.link_cap[l as usize])
+        .fold(f64::INFINITY, f64::min);
+    Admission {
+        start,
+        finish: start + size / rate,
+        rate,
+        contended: start > depart || rate < bottleneck,
+    }
+}
+
+/// The planner: earliest `(start ≥ depart, rate)` such that `rate` is
+/// the minimum residual along `links` at `start` and positive. Residuals
+/// are computed against live flows in admission order; saturation defers
+/// the start to the next in-flight completion (each deferral strictly
+/// advances to one of finitely many completion times, so the loop
+/// terminates).
+fn plan(flows: &[Flow], table: &VlinkTable, depart: f64, links: &[u32]) -> (f64, f64) {
+    let mut t = depart;
+    loop {
+        let mut rate = f64::INFINITY;
+        for &l in links {
+            let mut used = 0.0;
+            for f in flows {
+                if f.finish > t && crosses(f, l, table) {
+                    used += f.rate;
+                }
+            }
+            rate = rate.min(table.link_cap[l as usize] - used);
+        }
+        if rate > MIN_RATE {
+            return (t, rate);
+        }
+        let next = flows
+            .iter()
+            .map(|f| f.finish)
+            .filter(|&f| f > t)
+            .fold(f64::INFINITY, f64::min);
+        if !next.is_finite() {
+            // No live flow left to wait out: the path's own capacity is
+            // (near) zero. Clamp so the division stays finite.
+            return (t, rate.max(MIN_RATE));
+        }
+        t = next;
+    }
+}
+
+/// Whether live flow `f` occupies physical link `l`.
+#[inline]
+fn crosses(f: &Flow, l: u32, table: &VlinkTable) -> bool {
+    table.paths(f.a as usize, f.b as usize)[f.path as usize]
+        .links
+        .contains(&l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridscale_desim::SimRng;
+    use gridscale_topology::{generate, GridMap, Routing, RoutingTable, VlinkTable};
+
+    /// A 6-ring with 3 scheduler clusters: every pair has two arc paths
+    /// and all paths share ring links, so contention is easy to provoke.
+    fn ring_table(scale: f64) -> (VlinkTable, usize) {
+        let g = generate::ring(6, generate::LinkParams::default());
+        let routing = Routing::Exact(RoutingTable::build(&g));
+        let map = GridMap::build(&g, &routing, 3, 0, 0.9);
+        let t = VlinkTable::build(&g, &map, &routing, 2, scale);
+        (t, map.cluster_count())
+    }
+
+    #[test]
+    fn uncontended_flow_runs_at_the_bottleneck() {
+        let (t, _) = ring_table(1.0);
+        let mut fs = FlowState::new(2);
+        let bottleneck = t.paths(0, 1)[0].bottleneck;
+        let adm = fs.admit(0, 10.0, 0, 1, 0, 50.0, &t);
+        assert_eq!(adm.start, 10.0);
+        assert_eq!(adm.rate.to_bits(), bottleneck.to_bits());
+        assert_eq!(adm.finish, 10.0 + 50.0 / bottleneck);
+        assert!(!adm.contended);
+    }
+
+    #[test]
+    fn saturated_path_defers_to_the_inflight_completion() {
+        let (t, _) = ring_table(1.0);
+        let mut fs = FlowState::new(1);
+        let first = fs.admit(0, 0.0, 0, 1, 0, 100.0, &t);
+        // Same path immediately again: the first flow took the whole
+        // bottleneck, so the second must wait for it.
+        let second = fs.admit(0, 0.0, 0, 1, 0, 100.0, &t);
+        assert!(second.contended);
+        assert_eq!(second.start, first.finish);
+        assert_eq!(second.rate.to_bits(), first.rate.to_bits());
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let (t, _) = ring_table(1.0);
+        let paths = t.paths(0, 1);
+        assert_eq!(paths.len(), 2, "ring: both arcs");
+        let mut fs = FlowState::new(1);
+        let _ = fs.admit(0, 0.0, 0, 1, 0, 100.0, &t);
+        // The other arc shares no link with the first, so it admits
+        // immediately at its own bottleneck.
+        let other = fs.admit(0, 0.0, 0, 1, 1, 100.0, &t);
+        assert_eq!(other.start, 0.0);
+        assert!(!other.contended);
+    }
+
+    #[test]
+    fn per_lane_books_are_independent() {
+        let (t, _) = ring_table(1.0);
+        let mut fs = FlowState::new(2);
+        let _ = fs.admit(0, 0.0, 0, 1, 0, 1000.0, &t);
+        // A different lane's book is empty: no contention carries over.
+        let other = fs.admit(1, 0.0, 0, 1, 0, 10.0, &t);
+        assert!(!other.contended);
+        assert_eq!(other.start, 0.0);
+    }
+
+    #[test]
+    fn predict_matches_admit_and_admit_is_replay_deterministic() {
+        let (t, _) = ring_table(0.5);
+        let schedule: Vec<(usize, f64, u32, u32, u16, f64)> = vec![
+            (0, 0.0, 0, 1, 0, 40.0),
+            (0, 1.0, 1, 2, 0, 25.0),
+            (0, 1.5, 0, 2, 1, 60.0),
+            (1, 2.0, 0, 1, 0, 10.0),
+            (0, 2.5, 0, 1, 1, 80.0),
+        ];
+        let run = |fs: &mut FlowState| -> Vec<Admission> {
+            schedule
+                .iter()
+                .map(|&(lane, depart, a, b, p, size)| {
+                    let predicted = fs.predict(lane, depart, a, b, p, size, &t);
+                    let admitted = fs.admit(lane, depart, a, b, p, size, &t);
+                    assert_eq!(predicted, admitted, "predict must not mutate");
+                    admitted
+                })
+                .collect()
+        };
+        let r1 = run(&mut FlowState::new(2));
+        let r2 = run(&mut FlowState::new(2));
+        for (x, y) in r1.iter().zip(&r2) {
+            assert_eq!(x.start.to_bits(), y.start.to_bits());
+            assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+            assert_eq!(x.rate.to_bits(), y.rate.to_bits());
+        }
+    }
+
+    /// Random schedules: conservation (per-link allocated rate never
+    /// exceeds capacity at any admission instant), delay-only (start ≥
+    /// depart, rate ≤ bottleneck), and bit-identical replay.
+    #[test]
+    fn random_schedules_conserve_capacity_and_replay_bit_identically() {
+        for seed in 0..40u64 {
+            let mut rng = SimRng::new(0xF10A + seed);
+            let (t, nc) = ring_table(0.25 + 0.25 * (seed % 4) as f64);
+            let mut fs = FlowState::new(3);
+            let mut booked: Vec<(f64, f64, u32, u32, u16, usize)> = Vec::new();
+            let mut depart = 0.0;
+            let mut log = Vec::new();
+            for _ in 0..60 {
+                depart += rng.int_range(0, 3) as f64 * 0.5;
+                let lane = rng.index(3);
+                let a = rng.index(nc) as u32;
+                let b = ((a as usize + 1 + rng.index(nc - 1)) % nc) as u32;
+                let n_paths = t.paths(a as usize, b as usize).len();
+                let p = rng.index(n_paths) as u16;
+                let size = 1.0 + rng.index(100) as f64;
+                let adm = fs.admit(lane, depart, a, b, p, size, &t);
+                let spec = &t.paths(a as usize, b as usize)[p as usize];
+                assert!(adm.start >= depart, "delay-only: start before depart");
+                assert!(
+                    adm.rate <= spec.bottleneck + 1e-9,
+                    "rate above the path bottleneck"
+                );
+                assert!(adm.finish > adm.start);
+                booked.push((adm.start, adm.finish, a, b, p, lane));
+                log.push(adm);
+                // Conservation per lane: at this admission instant, the
+                // live flows of each lane never oversubscribe any link.
+                for check_lane in 0..3usize {
+                    for l in 0..t.link_cap.len() as u32 {
+                        let mut used = 0.0;
+                        for adm_i in 0..booked.len() {
+                            let (s, f, fa, fb, fp, fl) = booked[adm_i];
+                            if fl == check_lane
+                                && s <= adm.start
+                                && f > adm.start
+                                && t.paths(fa as usize, fb as usize)[fp as usize]
+                                    .links
+                                    .contains(&l)
+                            {
+                                used += log[adm_i].rate;
+                            }
+                        }
+                        assert!(
+                            used <= t.link_cap[l as usize] + 1e-6,
+                            "seed {seed}: lane {check_lane} link {l} oversubscribed: {used} > {}",
+                            t.link_cap[l as usize]
+                        );
+                    }
+                }
+            }
+            // Bit-identical replay of the exact same schedule.
+            let mut fs2 = FlowState::new(3);
+            let mut rng2 = SimRng::new(0xF10A + seed);
+            let mut depart2 = 0.0;
+            for i in 0..60 {
+                depart2 += rng2.int_range(0, 3) as f64 * 0.5;
+                let lane = rng2.index(3);
+                let a = rng2.index(nc) as u32;
+                let b = ((a as usize + 1 + rng2.index(nc - 1)) % nc) as u32;
+                let n_paths = t.paths(a as usize, b as usize).len();
+                let p = rng2.index(n_paths) as u16;
+                let size = 1.0 + rng2.index(100) as f64;
+                let adm = fs2.admit(lane, depart2, a, b, p, size, &t);
+                assert_eq!(adm.start.to_bits(), log[i].start.to_bits(), "seed {seed}");
+                assert_eq!(adm.finish.to_bits(), log[i].finish.to_bits());
+                assert_eq!(adm.rate.to_bits(), log[i].rate.to_bits());
+            }
+        }
+    }
+}

@@ -243,7 +243,7 @@ impl SimCore {
             to,
             msg,
             via_middleware,
-            &self.shared.routing,
+            &self.shared,
             &mut self.hot.acct,
             fel,
         );
@@ -296,6 +296,7 @@ impl SimCore {
                     cluster,
                     &self.shared,
                     self.cfg.dag_data_cost,
+                    &mut self.net,
                     &mut self.hot.acct,
                     fel,
                 );

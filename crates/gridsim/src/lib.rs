@@ -33,6 +33,7 @@
 //! |---|---|---|
 //! | `world` | topology, routing, trace, placement layout | the Grid |
 //! | `net` | link fabric, middleware queue | message transport (§3.3) |
+//! | `flow` | per-lane flow books over virtual links | bandwidth contention (Case 5) |
 //! | `sched` | scheduler stations + stale views | RMS workers, `G(k)` |
 //! | `resource` | run queues, execution, DAG release | RP, `F(k)`/`H(k)` |
 //! | `estimator` | status batching | Case-3 estimators |
@@ -50,6 +51,7 @@ mod ctx;
 mod estimator;
 mod event;
 mod fel;
+mod flow;
 mod kernel;
 mod msg;
 mod net;
@@ -62,7 +64,7 @@ pub mod timeline;
 mod view;
 mod world;
 
-pub use config::{Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
+pub use config::{BandwidthConfig, Enablers, GridConfig, OverheadCosts, Thresholds, TopologySpec};
 pub use ctx::{Clock, Comms, Ctx, Dispatch, Telemetry, Timers};
 pub use event::{GridEvent, WorkItem};
 pub use gridscale_desim::{QueueDiscipline, QueueTelemetry};

@@ -94,6 +94,19 @@ pub struct SimReport {
     /// contract alongside `events_processed`.
     #[serde(default)]
     pub event_fingerprint: u64,
+    /// Sized flows admitted on virtual links (0 unless the bandwidth
+    /// model is enabled).
+    #[serde(default)]
+    pub net_flows: u64,
+    /// Flows delayed or throttled by link contention.
+    #[serde(default)]
+    pub net_flows_contended: u64,
+    /// Measured transfer busy time (Σ `size / rate`) of all flows, in
+    /// ticks. Already included in `h_overhead` — this is the measured
+    /// network share of `H(k)`, reported separately so Case 4 can be
+    /// re-derived from it.
+    #[serde(default)]
+    pub net_transfer_busy: f64,
 }
 
 impl SimReport {

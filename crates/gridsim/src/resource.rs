@@ -6,6 +6,7 @@
 use crate::accounting::Accounting;
 use crate::event::GridEvent;
 use crate::fel::Fel;
+use crate::net::NetFabric;
 use crate::world::{LaneScope, SharedWorld};
 use gridscale_desim::SimTime;
 use gridscale_workload::Job;
@@ -122,6 +123,7 @@ impl ResourcePool {
         cluster: usize,
         shared: &SharedWorld,
         dag_data_cost: f64,
+        net: &mut NetFabric,
         acct: &mut Accounting,
         fel: &mut Fel,
     ) {
@@ -138,19 +140,39 @@ impl ResourcePool {
         }
         // Precedence extension (paper future-work (b)): releasing children
         // charges the data-management cost of each dependency edge to H —
-        // cheap when producer and consumer share a cluster.
+        // cheap when producer and consumer share a cluster. Under the
+        // bandwidth model a cross-cluster edge instead travels as a sized
+        // flow: the *measured* transfer time is charged and the child's
+        // release waits for delivery.
         if let Some(dag) = shared.dag.as_ref() {
             let n_clusters = shared.layout.members.len();
             for &c in dag.children(job.id) {
                 let child = &shared.trace[c as usize];
                 let child_cluster = (child.submit_point as usize) % n_clusters;
-                let factor = if child_cluster == cluster { 0.2 } else { 1.0 };
-                acct.h_overhead[cl] += factor * dag_data_cost;
+                let mut release_at = now;
+                if child_cluster == cluster {
+                    acct.h_overhead[cl] += 0.2 * dag_data_cost;
+                } else {
+                    match net.dag_transfer(
+                        now,
+                        cluster as u32,
+                        child_cluster as u32,
+                        dag_data_cost,
+                        shared,
+                        acct,
+                    ) {
+                        Some(delivery) => {
+                            release_at = SimTime::from_f64(delivery.max(now.as_f64()));
+                        }
+                        // Legacy constant charge when the model is off.
+                        None => acct.h_overhead[cl] += dag_data_cost,
+                    }
+                }
                 let rp = &mut self.remaining_parents[c as usize];
                 debug_assert!(*rp > 0, "child released twice");
                 *rp -= 1;
                 if *rp == 0 {
-                    let at = child.arrival.max(now);
+                    let at = child.arrival.max(release_at);
                     if at > child.arrival {
                         acct.dag_deferred += 1;
                     }

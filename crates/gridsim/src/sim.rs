@@ -394,7 +394,18 @@ impl SimTemplate {
             .map(|p| p.capacity() * 4)
             .sum::<usize>();
         b += self.shared.routing.approx_bytes();
+        b += self.vlink_table_bytes() as usize;
         b as u64
+    }
+
+    /// Approximate resident bytes of the precomputed virtual-link table
+    /// (0 when the bandwidth model is disabled).
+    pub fn vlink_table_bytes(&self) -> u64 {
+        self.shared
+            .layout
+            .vlinks
+            .as_ref()
+            .map_or(0, |t| t.approx_bytes() as u64)
     }
 
     /// Pool/arena telemetry for this template (see [`ReplayStats`]).

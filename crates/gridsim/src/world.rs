@@ -57,6 +57,12 @@ pub(crate) struct Layout {
     /// hierarchical routing, its anchor). Estimator lanes ride on their
     /// home cluster's shard.
     pub(crate) est_home: Vec<u32>,
+    /// Precomputed per-cluster-pair virtual links (path lists + link
+    /// capacities) for the bandwidth-aware transport. Built only when
+    /// `GridConfig::bandwidth.enabled` — the default path pays nothing —
+    /// and immutable thereafter (the zero-clone replay contract: runs
+    /// read it through the `Arc`-shared world, never write it).
+    pub(crate) vlinks: Option<gridscale_topology::VlinkTable>,
 }
 
 impl Layout {
@@ -146,6 +152,7 @@ impl Layout {
             ranked_peers,
             node_lane,
             est_home,
+            vlinks: None,
         }
     }
 
@@ -789,7 +796,18 @@ impl SharedWorld {
                 &mut dag_rng,
             )
         });
-        let layout = Layout::build(&map, &routing, n);
+        let mut layout = Layout::build(&map, &routing, n);
+        if cfg.bandwidth.enabled {
+            // The only place the graph is still alive: precompute the
+            // virtual-link tables here so runs never touch the topology.
+            layout.vlinks = Some(gridscale_topology::VlinkTable::build(
+                &graph,
+                &map,
+                &routing,
+                cfg.bandwidth.k_paths.max(1),
+                cfg.bandwidth.capacity_scale,
+            ));
+        }
         let parent_counts = dag.as_ref().map(|d| d.parent_counts()).unwrap_or_default();
         let mean_demand = cfg.workload.exec_time.mean();
         let full_scope = Arc::new(LaneScope::identity(&layout));

@@ -287,6 +287,94 @@ mod dag {
     }
 }
 
+mod bandwidth {
+    use super::*;
+
+    fn bw_cfg(capacity_scale: f64) -> GridConfig {
+        let mut cfg = base_cfg();
+        cfg.bandwidth.enabled = true;
+        cfg.bandwidth.capacity_scale = capacity_scale;
+        cfg.bandwidth.k_paths = 2;
+        cfg
+    }
+
+    #[test]
+    fn disabled_default_admits_no_flows() {
+        let r = run_simulation(&base_cfg(), &mut ShipEverything { via_mw: false });
+        assert_eq!(r.net_flows, 0);
+        assert_eq!(r.net_flows_contended, 0);
+        assert_eq!(r.net_transfer_busy, 0.0);
+    }
+
+    #[test]
+    fn enabled_runs_route_cross_cluster_traffic_as_flows() {
+        let r = run_simulation(&bw_cfg(1.0), &mut ShipEverything { via_mw: false });
+        assert!(r.net_flows > 0, "transfers must become sized flows");
+        assert!(
+            r.net_transfer_busy > 0.0,
+            "flows must book measured busy time"
+        );
+        // The measured transfer time lands inside H(k).
+        assert!(r.h_overhead >= r.net_transfer_busy);
+        assert!(r.completed as f64 > 0.9 * r.jobs_total as f64);
+    }
+
+    #[test]
+    fn scarcer_capacity_means_more_contention_and_busy_time() {
+        let ample = run_simulation(&bw_cfg(4.0), &mut ShipEverything { via_mw: false });
+        let scarce = run_simulation(&bw_cfg(0.02), &mut ShipEverything { via_mw: false });
+        assert!(
+            scarce.net_transfer_busy > ample.net_transfer_busy,
+            "1/200th the capacity must stretch transfers: {} vs {}",
+            scarce.net_transfer_busy,
+            ample.net_transfer_busy
+        );
+        assert!(
+            scarce.net_flows_contended > ample.net_flows_contended,
+            "contention events must rise as links saturate: {} vs {}",
+            scarce.net_flows_contended,
+            ample.net_flows_contended
+        );
+    }
+
+    #[test]
+    fn contention_only_ever_delays() {
+        // The conservative-lookahead contract: relative to the same run
+        // with ample capacity, scarcity can only push deliveries later —
+        // responses never improve.
+        let ample = run_simulation(&bw_cfg(8.0), &mut ShipEverything { via_mw: false });
+        let scarce = run_simulation(&bw_cfg(0.02), &mut ShipEverything { via_mw: false });
+        assert!(scarce.mean_response >= ample.mean_response);
+    }
+
+    #[test]
+    fn bandwidth_runs_replay_bit_identically() {
+        let cfg = bw_cfg(0.05);
+        let a = run_simulation(&cfg, &mut ShipEverything { via_mw: false });
+        let b = run_simulation(&cfg, &mut ShipEverything { via_mw: false });
+        assert_eq!(a.event_fingerprint, b.event_fingerprint);
+        assert_eq!(a.net_transfer_busy, b.net_transfer_busy);
+        assert_eq!(a.h_overhead, b.h_overhead);
+        assert_eq!(a.net_flows, b.net_flows);
+    }
+
+    #[test]
+    fn dag_edges_travel_as_flows_under_the_bandwidth_model() {
+        let mut cfg = bw_cfg(1.0);
+        cfg.dag_edge_prob = 0.5;
+        cfg.dag_data_cost = 5.0;
+        let r = run_simulation(&cfg, &mut LocalOnly);
+        // LocalOnly never transfers jobs, so every flow here is a DAG
+        // dependency payload crossing clusters (plus estimator batches,
+        // of which base_cfg has none: estimators = 0 by default).
+        assert!(
+            r.net_flows > 0,
+            "cross-cluster DAG edges must be routed as sized flows"
+        );
+        assert!(r.net_transfer_busy > 0.0);
+    }
+}
+
 mod timeline {
     use super::*;
 

@@ -255,6 +255,53 @@ mod tests {
 }
 
 impl Graph {
+    /// Deterministic dense undirected link ids, `0..link_count()`.
+    ///
+    /// Ids are assigned by walking nodes in ascending order and each
+    /// node's adjacency list in insertion order, numbering every
+    /// undirected link at its lower-id endpoint — the same enumeration
+    /// [`Graph::to_dot`] prints, so the assignment is a pure function of
+    /// construction order. Returns per-node tables aligned with
+    /// [`Graph::neighbors`]: `ids[v][i]` is the link id of
+    /// `self.neighbors(v)[i]`.
+    pub fn link_ids(&self) -> Vec<Vec<u32>> {
+        let mut ids: Vec<Vec<u32>> = self.adj.iter().map(|a| vec![u32::MAX; a.len()]).collect();
+        let mut next = 0u32;
+        for v in 0..self.adj.len() {
+            for i in 0..self.adj[v].len() {
+                let to = self.adj[v][i].to as usize;
+                if v < to {
+                    ids[v][i] = next;
+                    let back = self.adj[to]
+                        .iter()
+                        .position(|l| l.to as usize == v)
+                        .expect("undirected links appear in both adjacency lists");
+                    ids[to][back] = next;
+                    next += 1;
+                }
+            }
+        }
+        debug_assert_eq!(next as usize, self.link_count);
+        ids
+    }
+
+    /// Per-link capacities indexed by the ids of [`Graph::link_ids`],
+    /// scaled by `scale` (the bandwidth-sweep knob): `caps[id]` is the
+    /// bandwidth of undirected link `id` in payload units per tick.
+    pub fn link_capacities(&self, scale: f64) -> Vec<f64> {
+        let mut caps = vec![0.0; self.link_count];
+        let mut next = 0usize;
+        for v in 0..self.adj.len() {
+            for l in &self.adj[v] {
+                if v < l.to as usize {
+                    caps[next] = l.bandwidth * scale;
+                    next += 1;
+                }
+            }
+        }
+        caps
+    }
+
     /// Renders the graph in Graphviz DOT format (undirected), with link
     /// latencies as edge labels — handy for eyeballing small generated
     /// topologies (`dot -Tsvg`).
@@ -272,6 +319,51 @@ impl Graph {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+#[cfg(test)]
+mod link_id_tests {
+    use super::*;
+
+    #[test]
+    fn link_ids_are_dense_symmetric_and_insertion_ordered() {
+        let mut g = Graph::with_nodes(4);
+        g.add_link(2, 3, 1, 4.0); // id 2 (numbered at node 2)
+        g.add_link(0, 1, 1, 2.0); // id 0 (numbered at node 0)
+        g.add_link(1, 3, 1, 8.0); // id 1 (numbered at node 1)
+        let ids = g.link_ids();
+        // Both directions of each undirected link carry the same id.
+        for v in g.nodes() {
+            for (i, l) in g.neighbors(v).iter().enumerate() {
+                let back = g.neighbors(l.to).iter().position(|b| b.to == v).unwrap();
+                assert_eq!(ids[v as usize][i], ids[l.to as usize][back]);
+            }
+        }
+        // Dense 0..link_count, assigned at the lower endpoint in
+        // ascending node / insertion order.
+        let mut all: Vec<u32> = ids.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all, vec![0, 1, 2]);
+        assert_eq!(ids[0], vec![0]);
+        assert_eq!(ids[1], vec![0, 1], "0-1 then 1-3, numbered at node 1");
+        assert_eq!(ids[2][0], 2, "2-3 numbered last, at node 2");
+    }
+
+    #[test]
+    fn link_capacities_align_with_ids() {
+        let mut g = Graph::with_nodes(4);
+        g.add_link(2, 3, 1, 4.0);
+        g.add_link(0, 1, 1, 2.0);
+        g.add_link(1, 3, 1, 8.0);
+        let ids = g.link_ids();
+        let caps = g.link_capacities(0.5);
+        for v in g.nodes() {
+            for (i, l) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(caps[ids[v as usize][i] as usize], l.bandwidth * 0.5);
+            }
+        }
     }
 }
 

@@ -36,6 +36,7 @@ mod map;
 pub mod metrics;
 mod route;
 mod routing;
+mod vlink;
 
 pub use graph::{Graph, Link, NodeId};
 pub use hier::HierRouting;
@@ -43,3 +44,4 @@ pub use map::{GridMap, NodeRole, Placement};
 pub use metrics::GraphMetrics;
 pub use route::Routing;
 pub use routing::RoutingTable;
+pub use vlink::{PathSpec, VlinkTable};

@@ -5,11 +5,14 @@
 //!                   [--duration 60000] [--seed 7] [--estimators 0] [--json]
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
-//!                   [--shards 1|auto] [--no-warm] [--bench-out BENCH_tuning.json] [--json]
+//!                   [--shards 1|auto] [--no-warm] [--bw [0.05]]
+//!                   [--bench-out BENCH_tuning.json] [--json]
 //! gridscale bench-sim [--model LOWEST] [--reps 5] [--kmax 16]
 //!                   [--out BENCH_sim.json]
 //! gridscale bench-sim --shards 4|auto [--model LOWEST] [--reps 3] [--kmax 4]
 //!                   [--mega 1000000] [--out BENCH_shard.json]
+//! gridscale bench-sim --bw [0.05] [--model LOWEST] [--reps 3] [--kmax 8]
+//!                   [--out BENCH_net.json]
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
@@ -26,7 +29,12 @@
 //! against the sequential replay on large grids (asserting bit-identical
 //! fingerprints) and writes `BENCH_shard.json` with per-shard hot-state
 //! footprints, optionally proving a `--mega`-node shared world builds
-//! with O(world) mutable memory; `trace`
+//! with O(world) mutable memory; `bench-sim --bw`
+//! sweeps link capacity down on a fixed grid under the bandwidth-aware
+//! flow model, asserting the sharded executor reproduces every contended
+//! run bit-for-bit and that the measured transfer share of `H` grows as
+//! capacity shrinks, and writes `BENCH_net.json` (a Case-4 before/after
+//! pair shows how much overhead the legacy constant model hid); `trace`
 //! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
 //! the RMS models; `audit` runs the workspace determinism linter
@@ -78,6 +86,26 @@ fn shards_flag(flags: &HashMap<String, String>, default: usize) -> usize {
         Some("auto") => 0,
         _ => get(flags, "shards", default).max(1),
     }
+}
+
+/// Parses `--bw`: bare (default capacity scale 0.05) or an explicit
+/// scale, with `--bw-paths` picking the virtual-link fan-out. `None` when
+/// absent — each scaling case then keeps its own bandwidth default.
+fn bw_flag(flags: &HashMap<String, String>) -> Option<BandwidthConfig> {
+    let v = flags.get("bw")?;
+    let capacity_scale = if v == "true" {
+        0.05
+    } else {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--bw: cannot parse '{v}' as a capacity scale");
+            exit(2);
+        })
+    };
+    Some(BandwidthConfig {
+        enabled: true,
+        capacity_scale,
+        k_paths: get(flags, "bw-paths", 2usize).max(1),
+    })
 }
 
 fn model_of(flags: &HashMap<String, String>) -> RmsKind {
@@ -167,8 +195,9 @@ fn cmd_measure(flags: HashMap<String, String>) {
         2 => CaseId::ServiceRate,
         3 => CaseId::Estimators,
         4 => CaseId::Lp,
+        5 => CaseId::Bandwidth,
         other => {
-            eprintln!("--case must be 1..4, got {other}");
+            eprintln!("--case must be 1..5, got {other}");
             exit(2);
         }
     };
@@ -191,6 +220,7 @@ fn cmd_measure(flags: HashMap<String, String>) {
         shards: shards_flag(&flags, 1),
         batch: get(&flags, "batch", 4usize).max(1),
         warm_start: !flags.contains_key("no-warm"),
+        bandwidth: bw_flag(&flags),
         ..MeasureOptions::default()
     };
     let (curve, bench) = measure_rms_with_bench(kind, case, &opts);
@@ -506,7 +536,193 @@ fn cmd_bench_shard(flags: HashMap<String, String>) {
     }
 }
 
+/// The fixed grid of the network bench: transit-stub so cross-cluster
+/// flows traverse shared trunk links, estimators on so status batches
+/// ride the flow path too. The sweep variable is link capacity, not `k`
+/// — `scale <= 0` means the bandwidth model stays disabled (the legacy
+/// constant-latency baseline).
+fn bench_net_point(scale: f64) -> GridConfig {
+    let nodes = 640;
+    GridConfig {
+        nodes,
+        schedulers: (nodes / 64).max(2),
+        estimators: 2,
+        topology: TopologySpec::TransitStub,
+        workload: WorkloadConfig {
+            arrival_rate: 0.12,
+            duration: SimTime::from_ticks(6_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(9_000),
+        seed: 0xBA2D,
+        bandwidth: BandwidthConfig {
+            enabled: scale > 0.0,
+            capacity_scale: if scale > 0.0 { scale } else { 1.0 },
+            k_paths: 2,
+        },
+        ..GridConfig::default()
+    }
+}
+
+/// `bench-sim --bw`: the bandwidth-aware network stack bench. Sweeps link
+/// capacity down `1/k` on a fixed grid, timing the flow-routed replay,
+/// counting contention resolutions, and asserting (a) the sharded
+/// executor reproduces every contended run bit-for-bit and (b) the
+/// measured transfer busy-time grows monotonically as capacity shrinks.
+/// A Case-4 before/after pair records how much of the `L_p` experiment's
+/// `H(k)` the legacy constant model was hiding. Writes `BENCH_net.json`.
+fn cmd_bench_net(flags: HashMap<String, String>) {
+    let kind = model_of(&flags);
+    let reps = get(&flags, "reps", 3usize).max(1);
+    let kmax = get(&flags, "kmax", 8usize).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    // k = 0 is the disabled legacy baseline; k >= 1 scales capacity 1/k.
+    let mut rows = Vec::new();
+    let mut busy_sweep = Vec::new();
+    for &k in [0usize, 1, 2, 4, 8].iter().filter(|&&k| k <= kmax) {
+        let scale = if k == 0 { 0.0 } else { 1.0 / k as f64 };
+        let cfg = bench_net_point(scale);
+        let template = SimTemplate::new(&cfg);
+        let report = template.run(cfg.enablers, &mut kind.build_static());
+        let fp = report.event_fingerprint;
+        let events = report.events_processed;
+        if k == 0 {
+            assert_eq!(report.net_flows, 0, "disabled model must admit no flows");
+        } else {
+            assert!(report.net_flows > 0, "enabled model must route flows");
+            busy_sweep.push(report.net_transfer_busy);
+        }
+
+        let replay_s = timed(reps, || {
+            let r = template.run(cfg.enablers, &mut kind.build_static());
+            assert_eq!(r.event_fingerprint, fp, "network bench replay diverged");
+        });
+
+        // Sharded differential: flow books are lane-scoped, so the
+        // parallel executor must reproduce the contended stream exactly.
+        let shards = template.cluster_count().clamp(1, 4);
+        let (sh, _) = template.run_sharded(
+            cfg.enablers,
+            || kind.build_static(),
+            shards,
+            shards.min(cores),
+        );
+        assert_eq!(sh.event_fingerprint, fp, "sharded contention diverged");
+        assert_eq!(
+            sh.net_flows, report.net_flows,
+            "sharded flow count diverged"
+        );
+        assert_eq!(
+            sh.net_transfer_busy.to_bits(),
+            report.net_transfer_busy.to_bits(),
+            "sharded transfer busy-time diverged"
+        );
+
+        let h_share = if report.h_overhead > 0.0 {
+            report.net_transfer_busy / report.h_overhead
+        } else {
+            0.0
+        };
+        eprintln!(
+            "cap={:<5.3} flows={:<7} contended={:<7} busy={:>10.1} | H share {:>5.1}% | {:>7.2} ms/run | {:.2e} transfer ev/s | vlinks {:.1} KB",
+            scale,
+            report.net_flows,
+            report.net_flows_contended,
+            report.net_transfer_busy,
+            h_share * 100.0,
+            replay_s * 1e3,
+            report.net_flows as f64 / replay_s,
+            template.vlink_table_bytes() as f64 / 1e3
+        );
+        rows.push(serde_json::json!({
+            "capacity_scale": scale,
+            "bandwidth_enabled": k != 0,
+            "nodes": cfg.nodes,
+            "clusters": template.cluster_count(),
+            "events_processed": events,
+            "event_fingerprint": fp,
+            "sharded_fingerprint_match": true,
+            "secs_per_run": replay_s,
+            "events_per_sec": events as f64 / replay_s,
+            "net_flows": report.net_flows,
+            "transfer_events_per_sec": report.net_flows as f64 / replay_s,
+            "net_flows_contended": report.net_flows_contended,
+            "net_transfer_busy": report.net_transfer_busy,
+            "h_overhead": report.h_overhead,
+            "h_net_share": h_share,
+            "vlink_table_bytes": template.vlink_table_bytes(),
+        }));
+    }
+    assert!(
+        busy_sweep.windows(2).all(|w| w[1] + 1e-9 >= w[0]),
+        "transfer busy-time must grow as capacity shrinks: {busy_sweep:?}"
+    );
+
+    // Case-4 before/after: the paper's L_p experiment rerun with the
+    // legacy constant model and with measured flows at `--bw` capacity.
+    let bw_scale = bw_flag(&flags).map_or(0.05, |b| b.capacity_scale);
+    let mut case4 = Vec::new();
+    for k in [1u32, 2, 4] {
+        let mut cfg = config_for(kind, CaseId::Lp, k, Preset::Quick, 0xC4);
+        // Trim to bench length: the sweep above owns the timing story.
+        cfg.workload.duration = SimTime::from_ticks(6_000);
+        cfg.drain = SimTime::from_ticks(9_000);
+        let before = run_simulation(&cfg, kind.build().as_mut());
+        cfg.bandwidth = BandwidthConfig {
+            enabled: true,
+            capacity_scale: bw_scale,
+            k_paths: 2,
+        };
+        let after = run_simulation(&cfg, kind.build().as_mut());
+        assert!(after.h_overhead > 0.0, "case 4 must accumulate H(k)");
+        let share = if after.h_overhead > 0.0 {
+            after.net_transfer_busy / after.h_overhead
+        } else {
+            0.0
+        };
+        eprintln!(
+            "case4 k={k}: H before {:>10.1} | after {:>10.1} | measured transfer {:>9.1} ({:>4.1}%) | {} flows",
+            before.h_overhead,
+            after.h_overhead,
+            after.net_transfer_busy,
+            share * 100.0,
+            after.net_flows
+        );
+        case4.push(serde_json::json!({
+            "k": k,
+            "capacity_scale": bw_scale,
+            "h_before": before.h_overhead,
+            "h_after": after.h_overhead,
+            "net_flows": after.net_flows,
+            "net_flows_contended": after.net_flows_contended,
+            "net_transfer_busy": after.net_transfer_busy,
+            "h_net_share_after": share,
+        }));
+    }
+
+    let out = serde_json::json!({
+        "model": kind.name(),
+        "reps": reps,
+        "kmax": kmax,
+        "host_cores": cores,
+        "sweep": rows,
+        "case4": case4,
+    });
+    let path = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+    match std::fs::write(&path, serde_json::to_string_pretty(&out).unwrap()) {
+        Ok(()) => eprintln!("network bench → {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn cmd_bench_sim(flags: HashMap<String, String>) {
+    if flags.contains_key("bw") {
+        return cmd_bench_net(flags);
+    }
     if flags.contains_key("shards") {
         return cmd_bench_shard(flags);
     }

@@ -73,9 +73,9 @@ pub mod prelude {
     };
     pub use gridscale_desim::{QueueDiscipline, QueueTelemetry, SimRng, SimTime};
     pub use gridscale_gridsim::{
-        run_simulation, Clock, Comms, Ctx, Dispatch, Enablers, GridConfig, OverheadCosts, Policy,
-        PolicyMsg, QueueSummary, ReplayStats, ShardSummary, SimReport, SimTemplate, Telemetry,
-        Thresholds, Timeline, Timers, TopologySpec,
+        run_simulation, BandwidthConfig, Clock, Comms, Ctx, Dispatch, Enablers, GridConfig,
+        OverheadCosts, Policy, PolicyMsg, QueueSummary, ReplayStats, ShardSummary, SimReport,
+        SimTemplate, Telemetry, Thresholds, Timeline, Timers, TopologySpec,
     };
     pub use gridscale_rms::{RmsKind, RmsPolicy};
     pub use gridscale_topology::{generate, Graph, GridMap, NodeRole, RoutingTable};

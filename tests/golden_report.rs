@@ -109,6 +109,32 @@ fn entry_key(policy: GoldenPolicy, k: usize, seed: u64) -> String {
     format!("{}/k{}/s{}", policy.name(), k, seed)
 }
 
+/// Seed used for the bandwidth-enabled golden sub-matrix (policies × k at
+/// one seed — the disabled default is already pinned by every other
+/// entry, so one seed of contention coverage is enough).
+const BW_SEED: u64 = 11;
+
+/// `golden_cfg` with the bandwidth model enabled and capacity scarce
+/// enough that flows genuinely contend.
+fn golden_bw_cfg(policy: GoldenPolicy, k: usize, seed: u64) -> GridConfig {
+    let mut cfg = golden_cfg(policy, k, seed);
+    cfg.bandwidth.enabled = true;
+    cfg.bandwidth.capacity_scale = 0.05;
+    cfg.bandwidth.k_paths = 2;
+    cfg
+}
+
+fn entry_key_bw(policy: GoldenPolicy, k: usize) -> String {
+    format!("{}/k{}/s{}/bw", policy.name(), k, BW_SEED)
+}
+
+/// Runs one bandwidth-enabled matrix entry through the one-shot path.
+fn one_shot_bw(policy: GoldenPolicy, k: usize) -> SimReport {
+    let cfg = golden_bw_cfg(policy, k, BW_SEED);
+    let mut p = policy.build();
+    run_simulation(&cfg, p.as_mut())
+}
+
 fn report_value(r: &SimReport) -> Value {
     serde_json::to_value(r).expect("SimReport serializes")
 }
@@ -129,6 +155,8 @@ fn generate_fixture() -> BTreeMap<String, Value> {
                 let r = one_shot(policy, k, seed);
                 out.insert(entry_key(policy, k, seed), report_value(&r));
             }
+            let r = one_shot_bw(policy, k);
+            out.insert(entry_key_bw(policy, k), report_value(&r));
         }
     }
     out
@@ -175,6 +203,14 @@ fn load_fixture() -> &'static BTreeMap<String, Value> {
                             }
                         }
                     }
+                }
+                // Bandwidth-enabled entries are strictly additive: a
+                // fixture from before the bandwidth model simply gains
+                // them, and every pre-existing (disabled-default) entry
+                // keeps pinning verbatim.
+                if let Entry::Vacant(slot) = out.entry(entry_key_bw(policy, k)) {
+                    slot.insert(report_value(&one_shot_bw(policy, k)));
+                    grew = true;
                 }
             }
         }
@@ -254,6 +290,51 @@ fn one_shot_reports_match_golden_fixture() {
                 let r = one_shot(policy, k, seed);
                 assert_matches_fixture(&entry_key(policy, k, seed), &report_value(&r), fixture);
             }
+        }
+    }
+}
+
+/// The bandwidth-enabled sub-matrix reproduces its golden entries
+/// bit-for-bit, and every entry actually exercised the flow machinery —
+/// a contention model that silently disengaged would pin vacuous values.
+#[test]
+fn bandwidth_enabled_reports_match_golden_fixture() {
+    let fixture = load_fixture();
+    for policy in GoldenPolicy::ALL {
+        for k in KS {
+            let r = one_shot_bw(policy, k);
+            if k >= 4 {
+                // k ≥ 4 configurations have estimators and multiple
+                // clusters, so cross-cluster traffic (and thus flows)
+                // must exist.
+                assert!(
+                    r.net_flows > 0,
+                    "{}/k{}: bandwidth model never engaged",
+                    policy.name(),
+                    k
+                );
+            }
+            assert_matches_fixture(&entry_key_bw(policy, k), &report_value(&r), fixture);
+        }
+    }
+}
+
+/// The sharded executor reproduces the bandwidth-enabled golden entries
+/// bit-for-bit: flow books are per sending lane, so contention resolution
+/// partitions exactly like the middleware queues.
+#[test]
+fn sharded_execution_matches_bandwidth_golden_fixture() {
+    let fixture = load_fixture();
+    for kind in RmsKind::EXTENDED {
+        for k in KS {
+            let cfg = golden_bw_cfg(GoldenPolicy::Kind(kind), k, BW_SEED);
+            let template = SimTemplate::new(&cfg);
+            let (r, _) = template.run_sharded(cfg.enablers, || kind.build_static(), 4, 4);
+            assert_matches_fixture(
+                &entry_key_bw(GoldenPolicy::Kind(kind), k),
+                &report_value(&r),
+                fixture,
+            );
         }
     }
 }

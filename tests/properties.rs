@@ -49,6 +49,17 @@ fn kind_of(i: usize) -> RmsKind {
     RmsKind::ALL[i % RmsKind::ALL.len()]
 }
 
+/// Strategy: `arb_config` with the bandwidth model enabled across a wide
+/// capacity range — from heavily contended to effectively unconstrained.
+fn arb_bw_config() -> impl Strategy<Value = GridConfig> {
+    (arb_config(), 0.01f64..4.0, 1usize..4).prop_map(|(mut cfg, scale, k_paths)| {
+        cfg.bandwidth.enabled = true;
+        cfg.bandwidth.capacity_scale = scale;
+        cfg.bandwidth.k_paths = k_paths;
+        cfg
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
@@ -173,6 +184,77 @@ proptest! {
             summary.events_per_shard.iter().sum::<u64>(),
             rep.events_processed
         );
+    }
+
+    #[test]
+    fn bandwidth_flows_conserve_accounting_and_replay_bit_identically(
+        cfg in arb_bw_config(),
+        ki in 0usize..7,
+    ) {
+        let kind = kind_of(ki);
+        let mut p1 = kind.build();
+        let a = run_simulation(&cfg, p1.as_mut());
+
+        // Flow accounting is internally consistent for any configuration:
+        // every flow is a message (no DAG here), contention is a subset,
+        // and the measured transfer time is contained in H(k).
+        prop_assert!(a.net_flows <= a.msgs_sent);
+        prop_assert!(a.net_flows_contended <= a.net_flows);
+        prop_assert!(a.net_transfer_busy >= 0.0);
+        prop_assert!(
+            a.h_overhead + 1e-9 >= a.net_transfer_busy,
+            "H = {} must contain the measured transfer share {}",
+            a.h_overhead,
+            a.net_transfer_busy
+        );
+        prop_assert!((0.0..=1.0).contains(&a.efficiency));
+        prop_assert_eq!(a.jobs_total, a.completed + a.unfinished);
+
+        // The contention solver is deterministic: an identical second run
+        // reproduces the event stream and the float tallies bit for bit.
+        let mut p2 = kind.build();
+        let b = run_simulation(&cfg, p2.as_mut());
+        prop_assert_eq!(a.event_fingerprint, b.event_fingerprint);
+        prop_assert_eq!(a.net_flows, b.net_flows);
+        prop_assert_eq!(a.net_flows_contended, b.net_flows_contended);
+        prop_assert_eq!(a.net_transfer_busy.to_bits(), b.net_transfer_busy.to_bits());
+        prop_assert_eq!(a.h_overhead.to_bits(), b.h_overhead.to_bits());
+    }
+
+    #[test]
+    fn bandwidth_sharding_is_plan_invariant(
+        cfg in arb_bw_config(),
+        ki in 0usize..7,
+        shards in 2usize..5,
+        assign_seed in any::<u64>(),
+        workers in 1usize..5,
+    ) {
+        // Same contract as `sharded_execution_is_plan_invariant`, but with
+        // link contention live: the per-sending-lane flow books must keep
+        // any cluster→shard assignment bit-identical to sequential.
+        let kind = kind_of(ki);
+        let template = SimTemplate::new(&cfg);
+        let mut seq_policy = kind.build_static();
+        let seq = template.run(cfg.enablers, &mut seq_policy);
+        let mut arng = SimRng::new(assign_seed);
+        let plan: Vec<u32> = (0..template.cluster_count())
+            .map(|_| arng.int_range(0, shards as u64 - 1) as u32)
+            .collect();
+        let (rep, _) = template.run_sharded_with(
+            cfg.enablers,
+            || kind.build_static(),
+            &plan,
+            shards,
+            workers,
+        );
+        prop_assert_eq!(
+            seq.event_fingerprint, rep.event_fingerprint,
+            "bw plan {:?} diverged from sequential", plan
+        );
+        prop_assert_eq!(seq.net_flows, rep.net_flows);
+        prop_assert_eq!(seq.net_flows_contended, rep.net_flows_contended);
+        prop_assert_eq!(seq.net_transfer_busy.to_bits(), rep.net_transfer_busy.to_bits());
+        prop_assert_eq!(seq.h_overhead.to_bits(), rep.h_overhead.to_bits());
     }
 
     #[test]

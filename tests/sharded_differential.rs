@@ -121,6 +121,47 @@ fn sharded_matches_sequential_for_every_policy_shard_count_and_seed() {
     }
 }
 
+/// `diff_cfg` with the bandwidth model on and capacity tight enough that
+/// transfers genuinely contend (the disabled default would make this test
+/// vacuously identical to the one above).
+fn bw_diff_cfg(seed: u64) -> GridConfig {
+    let mut cfg = diff_cfg(seed);
+    cfg.bandwidth.enabled = true;
+    cfg.bandwidth.capacity_scale = 0.05;
+    cfg.bandwidth.k_paths = 2;
+    cfg
+}
+
+#[test]
+fn bandwidth_contention_stays_bit_identical_under_sharding() {
+    let w = workers();
+    for kind in RmsKind::ALL {
+        for seed in [3u64, 17, 99] {
+            let cfg = bw_diff_cfg(seed);
+            let template = SimTemplate::new(&cfg);
+            let mut p = kind.build_static();
+            let seq = template.run(cfg.enablers, &mut p);
+            assert!(
+                seq.net_flows > 0,
+                "{kind} seed={seed}: the bandwidth model must actually engage"
+            );
+            for shards in [1usize, 2, 4, 8] {
+                let (rep, _) =
+                    template.run_sharded(cfg.enablers, || kind.build_static(), shards, w);
+                let what = format!("bw {kind} seed={seed} shards={shards} workers={w}");
+                assert_reports_identical(&seq, &rep, &what);
+                assert_eq!(seq.net_flows, rep.net_flows, "{what}");
+                assert_eq!(seq.net_flows_contended, rep.net_flows_contended, "{what}");
+                assert_eq!(
+                    seq.net_transfer_busy.to_bits(),
+                    rep.net_transfer_busy.to_bits(),
+                    "{what}: measured transfer busy time diverged"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn sharded_fingerprint_is_worker_count_invariant() {
     let cfg = diff_cfg(41);
