@@ -1,7 +1,7 @@
 //! Rendering measured curves as the paper's tables and figure series.
 
 use crate::runner::CaseOutput;
-use gridscale_core::{CaseId, ScalabilityCurve};
+use gridscale_core::{CaseId, ScalabilityCurve, VerdictConfidence};
 
 /// Extracts one numeric series per model: `(name, [(k, value)])`.
 pub fn series<F>(out: &CaseOutput, f: F) -> Vec<(String, Vec<(u32, f64)>)>
@@ -74,7 +74,10 @@ pub fn format_slope_table(out: &CaseOutput) -> String {
     s
 }
 
-/// Formats the isoefficiency feasibility and Eq. (2) verdicts.
+/// Formats the isoefficiency feasibility and Eq. (2) verdicts. Each
+/// check renders as `k=K:Y+margin±ci`; a trailing `?` marks a *fragile*
+/// verdict (the 95% CI of the margin straddles the `f(k) > c·g(k)`
+/// boundary, so the boolean is within replication noise).
 pub fn format_verdicts(out: &CaseOutput) -> String {
     let mut s = String::from("   Eq.(2) scalability condition f(k) > c*g(k)\n\n");
     for c in &out.curves {
@@ -83,17 +86,33 @@ pub fn format_verdicts(out: &CaseOutput) -> String {
             .condition
             .iter()
             .zip(&v.margins)
-            .map(|((k, ok), (_, m))| format!("k={k}:{}{:+.2}", if *ok { "Y" } else { "N" }, m))
+            .zip(&v.margin_cis)
+            .zip(&v.confidence)
+            .map(|((((k, ok), (_, m)), (_, hw)), (_, conf))| {
+                format!(
+                    "k={k}:{}{:+.2}±{:.2}{}",
+                    if *ok { "Y" } else { "N" },
+                    m,
+                    hw,
+                    if *conf == VerdictConfidence::Fragile {
+                        "?"
+                    } else {
+                        ""
+                    }
+                )
+            })
             .collect();
         let feas: usize = c.points.iter().filter(|p| p.feasible).count();
         s.push_str(&format!(
-            "{:<8} scalable_through={:<4} in_band={}/{}  [{}]\n",
+            "{:<8} scalable_through={:<4} in_band={}/{} robust={}/{}  [{}]\n",
             c.kind.name(),
             v.scalable_through
                 .map(|k| k.to_string())
                 .unwrap_or_else(|| "-".into()),
             feas,
             c.points.len(),
+            v.robust_count(),
+            v.confidence.len(),
             marks.join(" ")
         ));
     }
@@ -116,6 +135,10 @@ pub fn figure_g(out: &CaseOutput) -> String {
             "Variation of G(k) on scaling the RMS by number of estimators",
         ),
         CaseId::Lp => ("Figure 5", "Variation in G(k) on scaling the RMS by L_p"),
+        CaseId::Bandwidth => (
+            "Figure 8",
+            "Variation in G(k) on scaling the network by link bandwidth (extension case)",
+        ),
     };
     let data = series(out, |p| p.g);
     let mut s = format_series_table(
@@ -123,6 +146,20 @@ pub fn figure_g(out: &CaseOutput) -> String {
         "G(k), overhead cost units",
         &data,
     );
+    // Replicated measurements also carry dispersion: render the 95%
+    // interval half-widths right under the means they qualify.
+    if out
+        .curves
+        .iter()
+        .any(|c| c.points.iter().any(|p| p.replications > 1))
+    {
+        s.push('\n');
+        s.push_str(&format_series_table(
+            "95% CI half-width of G(k)",
+            "overhead cost units; Student-t over replications",
+            &series(out, |p| p.g_ci),
+        ));
+    }
     s.push('\n');
     s.push_str(&format_slope_table(out));
     s.push('\n');
@@ -205,6 +242,13 @@ pub fn case_table(case: CaseId) -> String {
             ],
             "Table 5 — Case 4: Scaling the RMS by L_p",
         ),
+        CaseId::Bandwidth => (
+            &[
+                "Per-link bandwidth capacity (scaled down as 1/k)",
+                "Workload (jobs arriving per unit time)",
+            ],
+            "Table 6 — Case 5: Scaling the network by link bandwidth (extension)",
+        ),
     };
     let mut s = format!("## {title}\n\nScaling variables:\n");
     for v in vars {
@@ -273,6 +317,10 @@ mod tests {
             f: 100.0 * k as f64,
             h: 1.0,
             efficiency: 0.4,
+            g_ci: 0.0,
+            f_ci: 0.0,
+            h_ci: 0.0,
+            efficiency_ci: 0.0,
             feasible: true,
             enablers: Enablers::default(),
             evaluations: 1,
@@ -338,6 +386,23 @@ mod tests {
             assert!(t.contains("Status update interval"));
         }
         assert!(case_table(CaseId::Lp).contains("volunteering"));
+    }
+
+    #[test]
+    fn replicated_output_renders_cis_and_confidence() {
+        let mut out = fake_output(CaseId::NetworkSize);
+        for p in &mut out.curves[0].points {
+            p.replications = 4;
+            p.g_ci = 0.5;
+        }
+        let fig = figure_g(&out);
+        assert!(fig.contains("95% CI half-width of G(k)"));
+        let v = format_verdicts(&out);
+        assert!(v.contains("±"), "margins must carry their CI: {v}");
+        assert!(v.contains("robust="), "verdict lines count robust checks");
+        // Unreplicated output keeps the compact figure (no CI table).
+        let plain = figure_g(&fake_output(CaseId::NetworkSize));
+        assert!(!plain.contains("95% CI half-width"));
     }
 
     #[test]

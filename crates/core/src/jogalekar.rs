@@ -144,6 +144,10 @@ mod tests {
             f: 1.0,
             h: 0.0,
             efficiency: 0.4,
+            g_ci: 0.0,
+            f_ci: 0.0,
+            h_ci: 0.0,
+            efficiency_ci: 0.0,
             feasible: true,
             enablers: Enablers::default(),
             evaluations: 1,

@@ -21,6 +21,8 @@
 //!   per-scale curves and slopes.
 //! * [`sweep`] — deterministic parallel execution of `(model, k)` grids
 //!   over scoped threads.
+//! * [`stats`] — replication statistics: Student-t 95% confidence
+//!   intervals on every measured verdict.
 
 #![warn(missing_docs)]
 
@@ -31,6 +33,7 @@ pub mod jogalekar;
 pub mod measure;
 pub mod scenario;
 pub mod sensitivity;
+pub mod stats;
 pub mod sweep;
 
 pub use anneal::{anneal, anneal_batch, AnnealConfig, AnnealResult, BatchAnnealConfig};
@@ -38,9 +41,11 @@ pub use cases::{CaseId, EnablerSpace, ScalingCase};
 pub use efficiency::{IsoefficiencyModel, NormalizedPoint};
 pub use jogalekar::{ProductivityModel, PsiPoint};
 pub use measure::{
-    measure_all, measure_all_with_bench, measure_rms, measure_rms_with_bench, resolve_e0,
-    tune_point, CurvePoint, E0Mode, MeasureOptions, PointBench, ScalabilityCurve,
-    ScalabilityVerdict, TuningBench,
+    measure_all, measure_all_with_bench, measure_rms, measure_rms_with_bench,
+    probe_replication_speedup, resolve_e0, tune_point, CurvePoint, E0Mode, MeasureOptions,
+    PointBench, RepProbe, ReplicationMode, ScalabilityCurve, ScalabilityVerdict, TuningBench,
+    VerdictConfidence,
 };
 pub use scenario::{config_for, expected_resources, Preset};
+pub use stats::{rep_stats, t_critical_975, RepStats};
 pub use sweep::EnergyPool;

@@ -18,13 +18,15 @@ use crate::anneal::{anneal_batch, AnnealConfig, BatchAnnealConfig};
 use crate::cases::CaseId;
 use crate::efficiency::{slopes, IsoefficiencyModel, NormalizedPoint};
 use crate::scenario::{config_for, Preset};
+use crate::stats::rep_stats;
 use crate::sweep::{default_threads, parallel_map};
 use gridscale_desim::{SimRng, SimTime};
 use gridscale_gridsim::{Enablers, SimReport, SimTemplate};
 use gridscale_rms::RmsKind;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
 
 /// How the target efficiency `E0` of Step 1 is chosen.
@@ -43,6 +45,35 @@ pub enum E0Mode {
     /// `E0 = E(k0)` measured per model at default enablers (the paper's
     /// definition; the default).
     AutoBase,
+}
+
+/// How the extra replications of a tuned point derive their worlds.
+///
+/// Replication exists to put error bars on the annealed measurement:
+/// rerun the winning enabler setting under perturbed randomness and
+/// report mean ± CI instead of a single draw. The two modes differ in
+/// *which* RNG streams the perturbation reaches:
+///
+/// * [`ReplicationMode::FreshWorld`] re-roots **every** stream — each
+///   replication builds its own topology, trace, and layout from a
+///   forked seed (`SimTemplate::fresh_replica`; the historical behavior
+///   and the back-compat default). Replication cost includes a full
+///   world rebuild per replicate.
+/// * [`ReplicationMode::SharedWorld`] re-roots only the **per-run
+///   simulation streams** (arrival lane draws, update/flush staggers,
+///   policy randomness — RNG stream 3) and replays the one `Arc`-shared
+///   world through the pooled zero-clone template
+///   (`SimTemplate::run_replicate`), so a replication costs one replay,
+///   not a rebuild — and measures sampling noise at *fixed* topology
+///   and workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplicationMode {
+    /// Each replication rebuilds its world from a forked seed (default).
+    #[default]
+    FreshWorld,
+    /// All replications replay one shared world; only the simulation-side
+    /// RNG streams fork per replication.
+    SharedWorld,
 }
 
 fn default_batch() -> usize {
@@ -104,6 +135,11 @@ pub struct MeasureOptions {
     /// topology/workload seeds. Annealing itself always runs on the first
     /// replicate. Must be ≥ 1.
     pub replications: usize,
+    /// Whether extra replications rebuild their worlds from forked seeds
+    /// or replay the shared world with forked simulation streams (see
+    /// [`ReplicationMode`]).
+    #[serde(default)]
+    pub replication_mode: ReplicationMode,
     /// Overrides the overhead cost model (sensitivity analysis); `None`
     /// uses the calibrated defaults.
     pub cost_override: Option<gridscale_gridsim::OverheadCosts>,
@@ -134,6 +170,7 @@ impl Default for MeasureOptions {
             duration_override: None,
             drain_override: None,
             replications: 1,
+            replication_mode: ReplicationMode::default(),
             cost_override: None,
             bandwidth: None,
         }
@@ -161,6 +198,22 @@ pub struct CurvePoint {
     pub evaluations: usize,
     /// Number of replications averaged into `g/f/h/efficiency`.
     pub replications: usize,
+    /// 95% Student-t confidence half-width of `g` over the replications
+    /// (0 when `replications == 1` — one sample has no dispersion
+    /// estimate).
+    #[serde(default)]
+    pub g_ci: f64,
+    /// 95% confidence half-width of `f` (same convention as `g_ci`).
+    #[serde(default)]
+    pub f_ci: f64,
+    /// 95% confidence half-width of `h` (same convention as `g_ci`).
+    #[serde(default)]
+    pub h_ci: f64,
+    /// 95% confidence half-width of the per-replication efficiency
+    /// samples (`efficiency` itself stays the efficiency of the mean
+    /// `f/g/h`, not the mean of per-replication efficiencies).
+    #[serde(default)]
+    pub efficiency_ci: f64,
     /// The full report of the first replicate at the chosen setting.
     pub report: SimReport,
 }
@@ -190,6 +243,21 @@ pub struct PointBench {
     pub warm_started: bool,
     /// Best (penalized) energy found.
     pub best_energy: f64,
+    /// Wall-clock milliseconds spent on replications beyond the first
+    /// (0 when `replications == 1`). Included in `wall_ms` when the
+    /// point runs standalone; under the wave scheduler replications are
+    /// separate work units, so this is their summed unit time.
+    #[serde(default)]
+    pub rep_wall_ms: f64,
+    /// Worlds built for this point: 1 for the tuning template plus one
+    /// per `FreshWorld` replication. `SharedWorld` replications replay
+    /// the tuning template, keeping this at 1.
+    #[serde(default = "default_templates_built")]
+    pub templates_built: u64,
+}
+
+fn default_templates_built() -> u64 {
+    1
 }
 
 /// Tuning telemetry for a whole measurement run.
@@ -198,6 +266,49 @@ pub struct TuningBench {
     /// One entry per tuned `(model, case, k)` point, in tuning order
     /// (ascending-`k` waves, models in input order within each wave).
     pub points: Vec<PointBench>,
+    /// Replication-speedup probe, when the run requested one
+    /// (`measure --rep-probe`): the same tuned point replicated by the
+    /// sequential fresh-world loop and by the pooled shared-world
+    /// parallel fan-out.
+    #[serde(default)]
+    pub replication: Option<RepProbe>,
+}
+
+/// Result of [`probe_replication_speedup`]: one point's replications
+/// timed twice — the historical sequential loop that rebuilds a world
+/// per replicate ([`ReplicationMode::FreshWorld`], 1 thread) against the
+/// pooled zero-clone fan-out ([`ReplicationMode::SharedWorld`], fanned
+/// over threads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepProbe {
+    /// The RMS model probed.
+    pub kind: RmsKind,
+    /// The scaling case.
+    pub case: CaseId,
+    /// Scale factor of the probed point.
+    pub k: u32,
+    /// Replications per arm.
+    pub replications: usize,
+    /// Threads the shared-world arm fanned over.
+    pub threads: usize,
+    /// Wall-clock ms of the sequential fresh-world loop (rebuild + replay
+    /// per replicate).
+    pub fresh_sequential_ms: f64,
+    /// Wall-clock ms of the shared-world fan-out (pooled replays only).
+    pub shared_parallel_ms: f64,
+    /// `fresh_sequential_ms / shared_parallel_ms`.
+    pub speedup: f64,
+    /// Worlds built by the fresh arm (= replications; each replicate
+    /// rebuilds).
+    pub fresh_templates_built: u64,
+    /// Worlds built by the shared arm (always 1 — the probe template).
+    pub shared_templates_built: u64,
+    /// Mean `G` over the fresh arm's replications.
+    pub g_mean_fresh: f64,
+    /// Mean `G` over the shared arm's replications.
+    pub g_mean_shared: f64,
+    /// 95% CI half-width of `G` over the shared arm's replications.
+    pub g_ci_shared: f64,
 }
 
 impl TuningBench {
@@ -213,6 +324,20 @@ impl TuningBench {
     }
 }
 
+/// How much a verdict's boolean should be trusted, given the measured
+/// replication spread at that scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerdictConfidence {
+    /// The 95% CI of the margin `f(k) − c·g(k)` is clear of zero: the
+    /// Eq. (2) boolean would survive resampling. Single-replication
+    /// measurements land here degenerately (their CI half-width is 0 —
+    /// no spread estimate, not evidence of robustness).
+    Robust,
+    /// The margin's CI straddles the `f(k) > c·g(k)` boundary: the
+    /// boolean is within replication noise and could flip.
+    Fragile,
+}
+
 /// Scalability verdict per the paper's Eq. (2) condition.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScalabilityVerdict {
@@ -222,9 +347,31 @@ pub struct ScalabilityVerdict {
     /// (one unit = the base system's useful work). Values near zero mean
     /// the boolean is within measurement noise.
     pub margins: Vec<(u32, f64)>,
+    /// 95% confidence half-width of each margin, in the same normalized
+    /// units, from the replication CIs of the point (conservative
+    /// first-order propagation `f_ci/W + c·g_ci/O_RMS`, treating the
+    /// base point as the fixed anchor the curve is normalized against).
+    /// All zeros when `replications == 1`.
+    #[serde(default)]
+    pub margin_cis: Vec<(u32, f64)>,
+    /// Per-check confidence: [`VerdictConfidence::Fragile`] whenever
+    /// `|margin| ≤ margin_ci` (the CI straddles the Eq. (2) boundary).
+    #[serde(default)]
+    pub confidence: Vec<(u32, VerdictConfidence)>,
     /// Largest `k` such that the condition holds at every scale `≤ k`
     /// (`None` if it fails immediately after base).
     pub scalable_through: Option<u32>,
+}
+
+impl ScalabilityVerdict {
+    /// Number of checks whose boolean is robust under the measured
+    /// replication spread (see [`VerdictConfidence`]).
+    pub fn robust_count(&self) -> usize {
+        self.confidence
+            .iter()
+            .filter(|(_, c)| *c == VerdictConfidence::Robust)
+            .count()
+    }
 }
 
 /// The measured `G(k)` curve for one `(model, case)` pair, with the
@@ -284,6 +431,35 @@ impl ScalabilityCurve {
             .skip(1)
             .map(|p| (p.k as u32, p.f - model.c() * p.g))
             .collect();
+        // Margin uncertainty in the same normalized units: conservative
+        // first-order propagation of the replication CIs through
+        // `f/W − c·g/O_RMS` (half-widths add; the base point is the
+        // fixed normalization anchor). Zero at replications == 1.
+        let margin_cis: Vec<(u32, f64)> = self
+            .points
+            .iter()
+            .skip(1)
+            .map(|p| {
+                let g_norm_ci = if model.o_rms > 0.0 {
+                    p.g_ci / model.o_rms
+                } else {
+                    0.0
+                };
+                (p.k, p.f_ci / model.w + model.c() * g_norm_ci)
+            })
+            .collect();
+        let confidence: Vec<(u32, VerdictConfidence)> = margins
+            .iter()
+            .zip(&margin_cis)
+            .map(|(&(k, m), &(_, hw))| {
+                let c = if m.abs() > hw {
+                    VerdictConfidence::Robust
+                } else {
+                    VerdictConfidence::Fragile
+                };
+                (k, c)
+            })
+            .collect();
         let mut through = None;
         for &(k, ok) in &condition {
             if ok {
@@ -295,6 +471,8 @@ impl ScalabilityCurve {
         ScalabilityVerdict {
             condition,
             margins,
+            margin_cis,
+            confidence,
             scalable_through: through,
         }
     }
@@ -354,6 +532,39 @@ fn replay(
     }
 }
 
+/// Replication `rep` of `template`'s simulation on the shared world
+/// (rep 0 is the plain [`replay`]), routed through the same
+/// shard-selected executor: `SharedWorld` replications honor
+/// [`MeasureOptions::shards`] exactly like every other measured
+/// simulation, and the sharded replicate is fingerprint-identical to the
+/// sequential one.
+fn replay_rep(
+    template: &SimTemplate,
+    enablers: Enablers,
+    kind: RmsKind,
+    opts: &MeasureOptions,
+    rep: u64,
+) -> SimReport {
+    if opts.shards == 0 {
+        template
+            .run_sharded_auto_replicate(enablers, || kind.build_static(), rep)
+            .0
+    } else if opts.shards > 1 {
+        template
+            .run_sharded_replicate(
+                enablers,
+                || kind.build_static(),
+                opts.shards,
+                opts.shards,
+                rep,
+            )
+            .0
+    } else {
+        let mut policy = kind.build_static();
+        template.run_replicate(enablers, &mut policy, rep)
+    }
+}
+
 /// Step 1: resolve the target efficiency `E0` for `(kind, case)`.
 ///
 /// In [`E0Mode::AutoBase`] this measures the base configuration (smallest
@@ -381,7 +592,37 @@ struct TunedPoint {
     bench: PointBench,
 }
 
-/// Tunes one `(model, case, k)` point: Step 3 of the procedure.
+/// The annealed half of one tuned point: the search outcome plus
+/// everything a replication work unit needs to replay the winning
+/// setting — the (shared-world) template, the point seed, and the best
+/// enablers. Replications are scheduled *after* this exists, so they can
+/// overlap other models' annealing in the same wave.
+struct AnnealedPoint {
+    seed: u64,
+    template: SimTemplate,
+    enablers: Enablers,
+    report: SimReport,
+    best_idx: [usize; 4],
+    evaluations: usize,
+    rounds: usize,
+    best_energy: f64,
+    warm_started: bool,
+    wall_ms: f64,
+}
+
+/// One extra replication's raw outcome (replication index ≥ 1; index 0 is
+/// the annealer's own memoized measurement).
+struct RepOutcome {
+    g: f64,
+    f: f64,
+    h: f64,
+    wall_ms: f64,
+    built_template: bool,
+}
+
+/// Step 3a: anneal one `(model, case, k)` point — the search half of
+/// tuning, producing an [`AnnealedPoint`] whose replications can then run
+/// as independent work units.
 ///
 /// Batched speculative annealing walks the case's enabler grid; the energy
 /// of a setting is its measured `G(k)`, inflated multiplicatively when the
@@ -393,7 +634,7 @@ struct TunedPoint {
 /// Every simulated setting's full report is memoized, and the winning
 /// setting's report is taken from that memo — the tuner never simulates
 /// the same `(point, enablers)` twice, including the final measurement.
-fn tune_point_inner(
+fn anneal_point(
     kind: RmsKind,
     case: CaseId,
     k: u32,
@@ -401,7 +642,7 @@ fn tune_point_inner(
     warm: Option<[usize; 4]>,
     threads: usize,
     opts: &MeasureOptions,
-) -> TunedPoint {
+) -> AnnealedPoint {
     // audit:allow(wall-clock, reason="wall_ms telemetry only; never feeds sim state")
     let started = Instant::now();
     let seed = point_seed(opts.seed, kind, case, k);
@@ -464,37 +705,126 @@ fn tune_point_inner(
     let result = anneal_batch(&inits, neighbor, energy, &bcfg);
 
     // The winning setting's report comes straight from the evaluation
-    // memo; only extra replications (distinct seeds) simulate again.
+    // memo; only extra replications (distinct RNG streams) simulate again.
     assert!(opts.replications >= 1, "need at least one replication");
     let enablers = space.realize(&result.best, &base_enablers);
     let report = reports
         .into_inner()
         .remove(&result.best)
         .expect("the best state was evaluated during the search");
-    let (mut g_sum, mut f_sum, mut h_sum) = (report.g_overhead, report.f_work, report.h_overhead);
-    for i in 1..opts.replications {
-        let mut rep_cfg = cfg.clone();
-        rep_cfg.seed = SimRng::new(seed).fork(1000 + i as u64).seed();
-        let rep_template = SimTemplate::new(&rep_cfg);
-        let r = replay(&rep_template, enablers, kind, opts);
-        g_sum += r.g_overhead;
-        f_sum += r.f_work;
-        h_sum += r.h_overhead;
+    AnnealedPoint {
+        seed,
+        template,
+        enablers,
+        report,
+        best_idx: result.best,
+        evaluations: result.evaluations,
+        rounds: result.rounds,
+        best_energy: result.best_energy,
+        warm_started: warm.is_some(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
-    let n = opts.replications as f64;
-    let (g, f, h) = (g_sum / n, f_sum / n, h_sum / n);
+}
+
+/// Step 3b: run replication `rep` (1-based; 0 is the annealer's own
+/// measurement) of an annealed point's winning setting.
+///
+/// * [`ReplicationMode::FreshWorld`] re-roots a *new* template on the
+///   historical per-replication seed `fork(1000 + rep)` — every stream
+///   (topology, trace, simulation) differs, and the values match the
+///   pre-replication-mode sequential loop byte for byte.
+/// * [`ReplicationMode::SharedWorld`] replays the *same* `Arc`'d world
+///   and pooled hot state with only the simulation-side streams forked by
+///   `rep` — zero clones, zero rebuilds; sampling dispatch noise at a
+///   fixed topology and trace.
+fn run_replication(
+    ap: &AnnealedPoint,
+    kind: RmsKind,
+    opts: &MeasureOptions,
+    rep: usize,
+) -> RepOutcome {
+    // audit:allow(wall-clock, reason="rep_wall_ms telemetry only; never feeds sim state")
+    let started = Instant::now();
+    let (r, built_template) = match opts.replication_mode {
+        ReplicationMode::FreshWorld => {
+            let rep_seed = SimRng::new(ap.seed).fork(1000 + rep as u64).seed();
+            let rep_template = ap.template.fresh_replica(rep_seed);
+            (replay(&rep_template, ap.enablers, kind, opts), true)
+        }
+        ReplicationMode::SharedWorld => (
+            replay_rep(&ap.template, ap.enablers, kind, opts, rep as u64),
+            false,
+        ),
+    };
+    RepOutcome {
+        g: r.g_overhead,
+        f: r.f_work,
+        h: r.h_overhead,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        built_template,
+    }
+}
+
+/// Step 3c: fold an annealed point and its replications (ascending
+/// replication order — the order is part of the deterministic contract)
+/// into the measured [`CurvePoint`] and its telemetry.
+///
+/// Means are folded exactly as the historical sequential loop did
+/// (`0.0 + x == x` in IEEE 754, so summing from zero over
+/// `[report, rep1, rep2, …]` is bit-identical to the old
+/// `report + rep1 + …` accumulation), which is what keeps existing
+/// `replications: 1` and `FreshWorld` results byte-stable.
+fn finish_point(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    e0: f64,
+    ap: AnnealedPoint,
+    reps: Vec<RepOutcome>,
+    opts: &MeasureOptions,
+) -> TunedPoint {
+    assert_eq!(
+        reps.len(),
+        opts.replications - 1,
+        "one outcome per extra replication"
+    );
+    let gs: Vec<f64> = std::iter::once(ap.report.g_overhead)
+        .chain(reps.iter().map(|r| r.g))
+        .collect();
+    let fs: Vec<f64> = std::iter::once(ap.report.f_work)
+        .chain(reps.iter().map(|r| r.f))
+        .collect();
+    let hs: Vec<f64> = std::iter::once(ap.report.h_overhead)
+        .chain(reps.iter().map(|r| r.h))
+        .collect();
+    let (gstat, fstat, hstat) = (rep_stats(&gs), rep_stats(&fs), rep_stats(&hs));
+    let (g, f, h) = (gstat.mean, fstat.mean, hstat.mean);
+    // The headline efficiency stays the efficiency *of the means* (what
+    // the isoefficiency fit consumes); its CI comes from the per-
+    // replication efficiencies, which is the dispersion a reader wants.
     let efficiency = crate::efficiency::IsoefficiencyModel::efficiency(f, g, h);
+    let eff_samples: Vec<f64> = gs
+        .iter()
+        .zip(&fs)
+        .zip(&hs)
+        .map(|((&gi, &fi), &hi)| crate::efficiency::IsoefficiencyModel::efficiency(fi, gi, hi))
+        .collect();
+    let estat = rep_stats(&eff_samples);
     let feasible = (efficiency - e0).abs() <= opts.tolerance;
+    let rep_wall_ms: f64 = reps.iter().map(|r| r.wall_ms).sum();
+    let templates_built = 1 + reps.iter().filter(|r| r.built_template).count() as u64;
     let bench = PointBench {
         kind,
         case,
         k,
-        wall_ms: started.elapsed().as_secs_f64() * 1e3,
-        evaluations: result.evaluations,
-        rounds: result.rounds,
+        wall_ms: ap.wall_ms + rep_wall_ms,
+        rep_wall_ms,
+        templates_built,
+        evaluations: ap.evaluations,
+        rounds: ap.rounds,
         iterations_budget: opts.anneal.iterations,
-        warm_started: warm.is_some(),
-        best_energy: result.best_energy,
+        warm_started: ap.warm_started,
+        best_energy: ap.best_energy,
     };
     TunedPoint {
         point: CurvePoint {
@@ -503,15 +833,157 @@ fn tune_point_inner(
             f,
             h,
             efficiency,
+            g_ci: gstat.ci_half,
+            f_ci: fstat.ci_half,
+            h_ci: hstat.ci_half,
+            efficiency_ci: estat.ci_half,
             feasible,
-            enablers,
-            evaluations: result.evaluations,
+            enablers: ap.enablers,
+            evaluations: ap.evaluations,
             replications: opts.replications,
-            report,
+            report: ap.report,
         },
-        best_idx: result.best,
+        best_idx: ap.best_idx,
         bench,
     }
+}
+
+/// Tunes one `(model, case, k)` point start to finish: anneal, then the
+/// extra replications in ascending order, then the fold. The sequential
+/// composition of the three stages — [`measure_all_with_bench`] schedules
+/// the same stages as overlapping work units instead.
+fn tune_point_inner(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    e0: f64,
+    warm: Option<[usize; 4]>,
+    threads: usize,
+    opts: &MeasureOptions,
+) -> TunedPoint {
+    let ap = anneal_point(kind, case, k, e0, warm, threads, opts);
+    let reps: Vec<RepOutcome> = (1..opts.replications)
+        .map(|r| run_replication(&ap, kind, opts, r))
+        .collect();
+    finish_point(kind, case, k, e0, ap, reps, opts)
+}
+
+/// One ascending-`k` wave: every model's point at scale `k`, with
+/// replications as first-class work units.
+///
+/// With one outer worker this is the plain sequential
+/// [`tune_point_inner`] loop (same functions, same order — bit-identical
+/// by construction). With more, the wave runs as a shared work queue of
+/// two unit kinds — `Anneal(model)` and `Rep(model, r)` — so one model's
+/// replication fan-out overlaps other models' annealing instead of
+/// waiting behind a per-stage barrier: a finished anneal immediately
+/// enqueues that model's replication units and workers drain the queue
+/// until every unit of the wave is done. Results are folded *after* the
+/// scope in ascending `(model, replication)` order, so the schedule (and
+/// hence the thread count) is invisible in the output bits (D4).
+#[allow(clippy::too_many_arguments)] // one slot per wave input, mirrors tune_point_inner
+fn tune_wave(
+    kinds: &[RmsKind],
+    case: CaseId,
+    k: u32,
+    e0s: &[f64],
+    warm: &[Option<[usize; 4]>],
+    outer: usize,
+    inner: usize,
+    opts: &MeasureOptions,
+) -> Vec<TunedPoint> {
+    let m = kinds.len();
+    if outer <= 1 {
+        return (0..m)
+            .map(|mi| tune_point_inner(kinds[mi], case, k, e0s[mi], warm[mi], inner, opts))
+            .collect();
+    }
+
+    enum Unit {
+        Anneal(usize),
+        Rep(usize, usize),
+    }
+    struct WaveState {
+        queue: VecDeque<Unit>,
+        done: usize,
+    }
+    let total = m * opts.replications;
+    let state = StdMutex::new(WaveState {
+        queue: (0..m).map(Unit::Anneal).collect(),
+        done: 0,
+    });
+    let ready = Condvar::new();
+    // Write-once / write-slot result stores, indexed by (model,
+    // replication) — never by worker — so the fold below is schedule-free.
+    let annealed: Vec<OnceLock<AnnealedPoint>> = (0..m).map(|_| OnceLock::new()).collect();
+    let rep_slots: Vec<Vec<StdMutex<Option<RepOutcome>>>> = (0..m)
+        .map(|_| {
+            (1..opts.replications)
+                .map(|_| StdMutex::new(None))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..outer {
+            scope.spawn(|| loop {
+                let unit = {
+                    let mut st = state.lock().expect("wave mutex");
+                    loop {
+                        if let Some(u) = st.queue.pop_front() {
+                            break u;
+                        }
+                        if st.done >= total {
+                            return;
+                        }
+                        // Empty queue but units still in flight: an
+                        // in-flight anneal may enqueue replications.
+                        st = ready.wait(st).expect("wave condvar");
+                    }
+                };
+                match unit {
+                    Unit::Anneal(mi) => {
+                        let ap = anneal_point(kinds[mi], case, k, e0s[mi], warm[mi], inner, opts);
+                        assert!(annealed[mi].set(ap).is_ok(), "each model annealed once");
+                        let mut st = state.lock().expect("wave mutex");
+                        st.queue
+                            .extend((1..opts.replications).map(|r| Unit::Rep(mi, r)));
+                        st.done += 1;
+                        ready.notify_all();
+                    }
+                    Unit::Rep(mi, r) => {
+                        let ap = annealed[mi].get().expect("rep enqueued after its anneal");
+                        let out = run_replication(ap, kinds[mi], opts, r);
+                        *rep_slots[mi][r - 1].lock().expect("rep slot") = Some(out);
+                        let mut st = state.lock().expect("wave mutex");
+                        st.done += 1;
+                        if st.done >= total {
+                            ready.notify_all();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Deterministic fold: ascending model, then ascending replication.
+    annealed
+        .into_iter()
+        .enumerate()
+        .map(|(mi, slot)| {
+            let ap = slot.into_inner().expect("every model annealed");
+            let reps: Vec<RepOutcome> = rep_slots[mi]
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .expect("rep slot")
+                        .take()
+                        .expect("every replication ran")
+                })
+                .collect();
+            finish_point(kinds[mi], case, k, e0s[mi], ap, reps, opts)
+        })
+        .collect()
 }
 
 /// Tunes one `(model, case, k)` point in isolation (no warm start) — the
@@ -560,14 +1032,18 @@ pub fn measure_all(
 
 /// Measures several models along one case on the two-level schedule:
 /// ascending-`k` *waves* × models. Within a wave every model's point is
-/// tuned concurrently, and inside each point the batched annealer runs its
-/// speculative evaluations concurrently; across waves, each point warm-
-/// starts from the best enabler setting the same model found at the
-/// nearest smaller `k` (when [`MeasureOptions::warm_start`] is set).
+/// tuned concurrently — and with `replications > 1` each replication is
+/// its own work unit, so one model's replication fan-out overlaps other
+/// models' annealing ([`tune_wave`]) — while inside each point the
+/// batched annealer runs its speculative evaluations concurrently; across
+/// waves, each point warm-starts from the best enabler setting the same
+/// model found at the nearest smaller `k` (when
+/// [`MeasureOptions::warm_start`] is set).
 ///
 /// Results are bit-identical for any `threads` setting at a fixed seed:
-/// waves are a sequential dependency chain, model order within a wave is
-/// the input order, and the annealer itself is thread-invariant.
+/// waves are a sequential dependency chain, the wave scheduler folds its
+/// units in ascending `(model, replication)` order regardless of which
+/// worker ran them, and the annealer itself is thread-invariant.
 pub fn measure_all_with_bench(
     kinds: &[RmsKind],
     case: CaseId,
@@ -579,9 +1055,13 @@ pub fn measure_all_with_bench(
     } else {
         opts.threads
     };
-    // Split the worker budget across the two levels: models within a wave
-    // on the outside, speculative annealing batches on the inside.
-    let outer = threads.min(kinds.len().max(1)).max(1);
+    // Split the worker budget across the two levels: wave work units
+    // (model anneals *and* their replications) on the outside, speculative
+    // annealing batches on the inside. With replications the wave has
+    // `models × replications` units, so extra workers go to the outer
+    // queue where they can drain replication fan-out.
+    let units = kinds.len().max(1) * opts.replications.max(1);
+    let outer = threads.min(units).max(1);
     let inner = (threads / outer).max(1);
 
     // Step 1 per model (parallel): resolve each model's target efficiency.
@@ -604,11 +1084,8 @@ pub fn measure_all_with_bench(
     let mut warm: Vec<Option<[usize; 4]>> = vec![None; kinds.len()];
     let mut bench = TuningBench::default();
 
-    let model_ids: Vec<usize> = (0..kinds.len()).collect();
     for &k in &ks {
-        let tuned = parallel_map(&model_ids, outer, |&mi| {
-            tune_point_inner(kinds[mi], case, k, e0s[mi], warm[mi], inner, opts)
-        });
+        let tuned = tune_wave(kinds, case, k, &e0s, &warm, outer, inner, opts);
         // Single pass, moving each point into its model's curve — grouping
         // is O(points), no re-scans, no clones.
         for (mi, t) in tuned.into_iter().enumerate() {
@@ -620,6 +1097,72 @@ pub fn measure_all_with_bench(
         }
     }
     (curves, bench)
+}
+
+/// Times one point's replication fan-out both ways — the
+/// [`RepProbe`] behind `BENCH_tuning.json`'s `replication` block.
+///
+/// The *fresh-sequential* arm is the historical behavior: every extra
+/// replication re-roots a new template (topology + trace rebuilt from
+/// the forked seed) and replays on one thread. The *shared-parallel* arm
+/// replays the one `Arc`'d world with per-replication simulation streams,
+/// fanned over `threads` workers. Both arms replay the point's default
+/// enabler setting, so the probe isolates replication cost from
+/// annealing cost.
+pub fn probe_replication_speedup(
+    kind: RmsKind,
+    case: CaseId,
+    k: u32,
+    replications: usize,
+    threads: usize,
+    opts: &MeasureOptions,
+) -> RepProbe {
+    assert!(replications >= 1, "need at least one replication");
+    let seed = point_seed(opts.seed, kind, case, k);
+    let cfg = point_config(kind, case, k, opts);
+    let template = SimTemplate::new(&cfg);
+    let enablers = cfg.enablers;
+
+    // audit:allow(wall-clock, reason="benchmark arm timing only; never feeds sim state")
+    let started = Instant::now();
+    let mut g_fresh = Vec::with_capacity(replications);
+    g_fresh.push(replay(&template, enablers, kind, opts).g_overhead);
+    for i in 1..replications {
+        let rep_seed = SimRng::new(seed).fork(1000 + i as u64).seed();
+        let rep_template = template.fresh_replica(rep_seed);
+        g_fresh.push(replay(&rep_template, enablers, kind, opts).g_overhead);
+    }
+    let fresh_sequential_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let reps: Vec<usize> = (0..replications).collect();
+    // audit:allow(wall-clock, reason="benchmark arm timing only; never feeds sim state")
+    let started = Instant::now();
+    let g_shared = parallel_map(&reps, threads.max(1), |&r| {
+        if r == 0 {
+            replay(&template, enablers, kind, opts).g_overhead
+        } else {
+            replay_rep(&template, enablers, kind, opts, r as u64).g_overhead
+        }
+    });
+    let shared_parallel_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let fresh_stats = rep_stats(&g_fresh);
+    let shared_stats = rep_stats(&g_shared);
+    RepProbe {
+        kind,
+        case,
+        k,
+        replications,
+        threads,
+        fresh_sequential_ms,
+        shared_parallel_ms,
+        speedup: fresh_sequential_ms / shared_parallel_ms.max(1e-9),
+        fresh_templates_built: replications as u64,
+        shared_templates_built: 1,
+        g_mean_fresh: fresh_stats.mean,
+        g_mean_shared: shared_stats.mean,
+        g_ci_shared: shared_stats.ci_half,
+    }
 }
 
 #[cfg(test)]
@@ -832,6 +1375,158 @@ mod tests {
         assert!(c5.bandwidth.enabled);
         assert_eq!(c5.bandwidth.capacity_scale, 0.5);
     }
+
+    #[test]
+    fn fresh_world_replications_match_the_historical_rebuild_loop() {
+        // The pre-wave sequential loop cloned the whole GridConfig,
+        // overwrote its seed with fork(1000 + i), and rebuilt a template
+        // from scratch; `fresh_replica` must be its exact equivalent
+        // minus the clone.
+        let opts = smoke_opts();
+        let (kind, case, k) = (RmsKind::Lowest, CaseId::NetworkSize, 2);
+        let cfg = point_config(kind, case, k, &opts);
+        let template = SimTemplate::new(&cfg);
+        let rep_seed = SimRng::new(point_seed(opts.seed, kind, case, k))
+            .fork(1001)
+            .seed();
+        let via_replica = template.fresh_replica(rep_seed);
+        let mut rep_cfg = cfg.clone();
+        rep_cfg.seed = rep_seed;
+        let via_clone = SimTemplate::new(&rep_cfg);
+        let ra = replay(&via_replica, cfg.enablers, kind, &opts);
+        let rb = replay(&via_clone, cfg.enablers, kind, &opts);
+        assert_eq!(ra.event_fingerprint, rb.event_fingerprint);
+        assert_eq!(ra.g_overhead.to_bits(), rb.g_overhead.to_bits());
+        assert_eq!(ra.efficiency.to_bits(), rb.efficiency.to_bits());
+    }
+
+    #[test]
+    fn shared_world_replications_differ_in_streams_but_reproduce() {
+        let mut opts = smoke_opts();
+        opts.replication_mode = ReplicationMode::SharedWorld;
+        let cfg = point_config(RmsKind::Lowest, CaseId::NetworkSize, 2, &opts);
+        let template = SimTemplate::new(&cfg);
+        let r0 = replay(&template, cfg.enablers, RmsKind::Lowest, &opts);
+        let r1 = replay_rep(&template, cfg.enablers, RmsKind::Lowest, &opts, 1);
+        let r2 = replay_rep(&template, cfg.enablers, RmsKind::Lowest, &opts, 2);
+        // Distinct simulation streams → distinct event histories…
+        assert_ne!(r0.event_fingerprint, r1.event_fingerprint);
+        assert_ne!(r1.event_fingerprint, r2.event_fingerprint);
+        // …but each replication index is itself deterministic.
+        let r1b = replay_rep(&template, cfg.enablers, RmsKind::Lowest, &opts, 1);
+        assert_eq!(r1.event_fingerprint, r1b.event_fingerprint);
+        assert_eq!(r1.g_overhead.to_bits(), r1b.g_overhead.to_bits());
+    }
+
+    #[test]
+    fn sharded_replications_match_sequential_replications() {
+        // Satellite of the shard executor's bit-identity guarantee:
+        // routing a replication replay through shards must not change
+        // its event history.
+        let mut seq = smoke_opts();
+        seq.shards = 1;
+        seq.replication_mode = ReplicationMode::SharedWorld;
+        let mut sharded = seq.clone();
+        sharded.shards = 3;
+        let kind = RmsKind::Lowest;
+        let cfg = point_config(kind, CaseId::NetworkSize, 2, &seq);
+        let template = SimTemplate::new(&cfg);
+        for rep in 1..4u64 {
+            let a = replay_rep(&template, cfg.enablers, kind, &seq, rep);
+            let b = replay_rep(&template, cfg.enablers, kind, &sharded, rep);
+            assert_eq!(a.event_fingerprint, b.event_fingerprint, "rep {rep}");
+            assert_eq!(a.g_overhead.to_bits(), b.g_overhead.to_bits(), "rep {rep}");
+        }
+    }
+
+    #[test]
+    fn wave_scheduler_is_thread_invariant_with_replications() {
+        let mut base = smoke_opts();
+        base.replications = 3;
+        base.replication_mode = ReplicationMode::SharedWorld;
+        let mut seq = base.clone();
+        seq.threads = 1;
+        let mut par = base;
+        par.threads = 8;
+        let kinds = [RmsKind::Central, RmsKind::Lowest];
+        let a = measure_all(&kinds, CaseId::NetworkSize, &seq);
+        let b = measure_all(&kinds, CaseId::NetworkSize, &par);
+        for (ca, cb) in a.iter().zip(&b) {
+            for (pa, pb) in ca.points.iter().zip(&cb.points) {
+                assert_eq!(pa.g.to_bits(), pb.g.to_bits(), "k={}", pa.k);
+                assert_eq!(pa.g_ci.to_bits(), pb.g_ci.to_bits(), "k={}", pa.k);
+                assert_eq!(pa.f_ci.to_bits(), pb.f_ci.to_bits(), "k={}", pa.k);
+                assert_eq!(
+                    pa.efficiency_ci.to_bits(),
+                    pb.efficiency_ci.to_bits(),
+                    "k={}",
+                    pa.k
+                );
+                assert_eq!(pa.enablers, pb.enablers, "k={}", pa.k);
+                assert_eq!(pa.report.event_fingerprint, pb.report.event_fingerprint);
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_carry_cis_and_confidence() {
+        let mut opts = smoke_opts();
+        opts.replications = 3;
+        opts.replication_mode = ReplicationMode::SharedWorld;
+        let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &opts);
+        for p in &curve.points {
+            assert_eq!(p.replications, 3);
+            assert!(p.g_ci >= 0.0 && p.f_ci >= 0.0 && p.h_ci >= 0.0);
+            assert!(p.efficiency_ci >= 0.0);
+        }
+        let v = curve.verdict();
+        assert_eq!(v.margin_cis.len(), v.condition.len());
+        assert_eq!(v.confidence.len(), v.condition.len());
+        assert!(v.robust_count() <= v.confidence.len());
+    }
+
+    #[test]
+    fn single_replication_cis_are_zero() {
+        let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &smoke_opts());
+        for p in &curve.points {
+            assert_eq!(p.g_ci, 0.0);
+            assert_eq!(p.f_ci, 0.0);
+            assert_eq!(p.h_ci, 0.0);
+            assert_eq!(p.efficiency_ci, 0.0);
+        }
+        let v = curve.verdict();
+        assert!(v.margin_cis.iter().all(|&(_, hw)| hw == 0.0));
+        assert_eq!(v.robust_count(), v.confidence.len());
+    }
+
+    #[test]
+    fn bench_counts_templates_and_rep_time_by_mode() {
+        let mut fresh = smoke_opts();
+        fresh.replications = 3;
+        let (_, bf) = measure_all_with_bench(&[RmsKind::Lowest], CaseId::NetworkSize, &fresh);
+        assert!(bf.points.iter().all(|p| p.templates_built == 3));
+        let mut shared = fresh.clone();
+        shared.replication_mode = ReplicationMode::SharedWorld;
+        let (_, bs) = measure_all_with_bench(&[RmsKind::Lowest], CaseId::NetworkSize, &shared);
+        assert!(bs.points.iter().all(|p| p.templates_built == 1));
+        assert!(bs.points.iter().all(|p| p.rep_wall_ms >= 0.0));
+        assert!(bs.points.iter().all(|p| p.wall_ms >= p.rep_wall_ms));
+    }
+
+    #[test]
+    fn replication_probe_reports_costs_and_stats() {
+        let opts = smoke_opts();
+        let probe = probe_replication_speedup(RmsKind::Lowest, CaseId::NetworkSize, 2, 4, 2, &opts);
+        assert_eq!(probe.replications, 4);
+        assert_eq!(probe.threads, 2);
+        assert_eq!(probe.fresh_templates_built, 4);
+        assert_eq!(probe.shared_templates_built, 1);
+        assert!(probe.g_mean_fresh > 0.0);
+        assert!(probe.g_mean_shared > 0.0);
+        assert!(probe.g_ci_shared >= 0.0);
+        assert!(probe.speedup > 0.0);
+        assert!(probe.fresh_sequential_ms >= 0.0 && probe.shared_parallel_ms >= 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -846,6 +1541,10 @@ mod verdict_tests {
             f,
             h: 0.0,
             efficiency: 0.4,
+            g_ci: 0.0,
+            f_ci: 0.0,
+            h_ci: 0.0,
+            efficiency_ci: 0.0,
             feasible: true,
             enablers: Enablers::default(),
             evaluations: 1,

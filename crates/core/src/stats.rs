@@ -1,0 +1,134 @@
+//! Replication statistics: mean, sample standard deviation, and
+//! two-sided 95% Student-t confidence half-widths.
+//!
+//! Replicated measurement (ROADMAP item 5) reports every `G/F/H/E`
+//! verdict with a confidence interval so near-zero Eq. (2) margins can
+//! be told apart from annealing noise. The t critical values are a
+//! hand-rolled table (no stats crate): exact entries for 1–30 degrees
+//! of freedom, the standard coarser grid beyond, and the normal limit
+//! `z₀.₉₇₅ = 1.960` past 120 — more than enough resolution when the
+//! replication counts of interest are 4–64.
+//!
+//! Everything here is a sequential fold over an ordered slice, so the
+//! statistics inherit the caller's determinism: the same replicate
+//! values in the same order give bit-identical means and half-widths on
+//! every thread count (D4).
+
+/// Summary statistics of one replicated quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepStats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n − 1` denominator); 0 when `n < 2`.
+    pub stddev: f64,
+    /// Half-width of the two-sided 95% Student-t confidence interval,
+    /// `t₀.₉₇₅,ₙ₋₁ · s / √n`; 0 when `n < 2` (a single sample carries no
+    /// dispersion estimate — degenerate by convention, see
+    /// `ScalabilityVerdict::confidence`).
+    pub ci_half: f64,
+}
+
+/// Two-sided 95% Student-t critical value (the 0.975 quantile) for `df`
+/// degrees of freedom. `df == 0` (n = 1) returns 0: no interval exists.
+pub fn t_critical_975(df: usize) -> f64 {
+    // Exact to three decimals for df 1..=30; standard abridged grid
+    // beyond (the value is monotonically decreasing, so rounding down to
+    // the previous grid entry is conservative — wider intervals).
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => 0.0,
+        1..=30 => TABLE[df - 1],
+        31..=39 => 2.042,
+        40..=59 => 2.021,
+        60..=119 => 2.000,
+        120..=999 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Mean, sample stddev, and 95% CI half-width of `xs`, folded in slice
+/// order. Empty input is a caller bug (every point has ≥ 1 replication).
+pub fn rep_stats(xs: &[f64]) -> RepStats {
+    assert!(!xs.is_empty(), "rep_stats needs at least one sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return RepStats {
+            n,
+            mean,
+            stddev: 0.0,
+            ci_half: 0.0,
+        };
+    }
+    let ss = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+    let stddev = (ss / (n - 1) as f64).sqrt();
+    let ci_half = t_critical_975(n - 1) * stddev / (n as f64).sqrt();
+    RepStats {
+        n,
+        mean,
+        stddev,
+        ci_half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_is_monotone_decreasing_toward_the_normal_limit() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=200 {
+            let t = t_critical_975(df);
+            assert!(t <= prev, "df={df}: {t} > {prev}");
+            assert!(t >= 1.960, "df={df}: below the normal limit");
+            prev = t;
+        }
+        assert_eq!(t_critical_975(1), 12.706);
+        assert_eq!(t_critical_975(3), 3.182);
+        assert_eq!(t_critical_975(10_000), 1.960);
+        assert_eq!(t_critical_975(0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_degenerate() {
+        let s = rep_stats(&[42.0]);
+        assert_eq!((s.n, s.mean, s.stddev, s.ci_half), (1, 42.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn hand_checked_four_sample_interval() {
+        // xs = [2, 4, 4, 6]: mean 4, ss = 8, s = sqrt(8/3),
+        // hw = 3.182 · s / 2.
+        let s = rep_stats(&[2.0, 4.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        let stddev = (8.0f64 / 3.0).sqrt();
+        assert_eq!(s.stddev, stddev);
+        assert_eq!(s.ci_half, 3.182 * stddev / 2.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let s = rep_stats(&[5.5; 16]);
+        assert_eq!(s.mean, 5.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci_half, 0.0);
+    }
+
+    #[test]
+    fn fold_is_order_of_slice_not_of_threads() {
+        // Same multiset, different order → different bits are allowed
+        // (the fold is defined over the slice order); the caller fixes
+        // the order (ascending replication), which is what the
+        // thread-invariance tests pin end to end.
+        let a = rep_stats(&[1.0, 2.0, 3.0]);
+        let b = rep_stats(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+}

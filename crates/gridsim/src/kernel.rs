@@ -91,14 +91,24 @@ pub(crate) fn fold_lanes(lane_fp: &[u64]) -> u64 {
 }
 
 impl SimCore {
+    /// `seed` is the template's RNG root (usually `cfg.seed`; a replica
+    /// template overrides it) and `rep` is the replication index: rep 0
+    /// draws the per-run streams from `root.fork(3)` exactly as always,
+    /// while rep `i > 0` forks one level deeper (`root.fork(3).fork(i)`)
+    /// so only the simulation-side streams — arrival lane draws, update /
+    /// flush staggers, policy randomness — change between replications of
+    /// one shared world.
     pub(crate) fn new(
         cfg: Arc<GridConfig>,
         enablers: Enablers,
         shared: Arc<SharedWorld>,
         hot: HotState,
+        seed: u64,
+        rep: u64,
     ) -> SimCore {
-        let root = SimRng::new(cfg.seed);
-        let sim_root = root.fork(3);
+        let root = SimRng::new(seed);
+        let base = root.fork(3);
+        let sim_root = if rep == 0 { base } else { base.fork(rep) };
         let n_lanes = shared.layout.n_lanes();
         let lane_rngs = (0..n_lanes).map(|l| sim_root.fork(l as u64)).collect();
         let net = NetFabric::new(enablers.link_delay_factor, cfg.middleware_service, n_lanes);

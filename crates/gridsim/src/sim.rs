@@ -144,6 +144,10 @@ impl HotState {
 /// per `(model, k)` point and runs dozens of enabler settings against it.
 pub struct SimTemplate {
     cfg: Arc<GridConfig>,
+    /// RNG root every run of this template derives its streams from —
+    /// `cfg.seed` for [`SimTemplate::new`], the replicate seed for
+    /// [`SimTemplate::fresh_replica`].
+    seed: u64,
     shared: Arc<SharedWorld>,
     /// Recycled event queues: runs return their (reset) queue here so the
     /// next run reuses the heap allocation instead of growing a fresh one.
@@ -322,9 +326,36 @@ impl SimTemplate {
     /// workload trace, layout).
     pub fn new(cfg: &GridConfig) -> SimTemplate {
         cfg.validate().expect("invalid GridConfig");
+        SimTemplate::from_arc(Arc::new(cfg.clone()), cfg.seed)
+    }
+
+    /// A template over the *same* (already validated) configuration but
+    /// with every RNG stream re-rooted at `seed`: the world — topology,
+    /// trace, DAG — is rebuilt from the new root, without cloning the
+    /// `GridConfig` (the `Arc` is shared). Bit-identical to
+    /// `SimTemplate::new` on a config clone whose `seed` was rewritten to
+    /// the same value; this is the `ReplicationMode::FreshWorld` path.
+    pub fn fresh_replica(&self, seed: u64) -> SimTemplate {
+        SimTemplate::from_arc(Arc::clone(&self.cfg), seed)
+    }
+
+    /// Whether `other` replays the same `Arc`-shared world (no rebuild
+    /// happened between them) — the `ReplicationMode::SharedWorld`
+    /// invariant.
+    pub fn shares_world_with(&self, other: &SimTemplate) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// The RNG root seed of this template's runs.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn from_arc(cfg: Arc<GridConfig>, seed: u64) -> SimTemplate {
         SimTemplate {
-            cfg: Arc::new(cfg.clone()),
-            shared: Arc::new(SharedWorld::build(cfg)),
+            shared: Arc::new(SharedWorld::build_seeded(&cfg, seed)),
+            cfg,
+            seed,
             queue_pool: Mutex::new(Vec::new()),
             scratch_pool: Mutex::new(Vec::new()),
             shard_scratch: Mutex::new(Vec::new()),
@@ -439,7 +470,23 @@ impl SimTemplate {
     /// configuration. The world (topology, routing, trace) is shared, so
     /// results across enabler settings are directly comparable.
     pub fn run<P: Policy + ?Sized>(&self, enablers: Enablers, policy: &mut P) -> SimReport {
-        self.run_inner(enablers, policy, None, true).0
+        self.run_inner(enablers, policy, None, true, 0).0
+    }
+
+    /// Replication `rep` of this template's simulation on the *same*
+    /// shared world and pooled scratch: rep 0 is exactly
+    /// [`SimTemplate::run`]; rep `i > 0` forks the per-run RNG streams
+    /// one level deeper (`root.fork(3).fork(i)`) so arrival lane draws,
+    /// staggers, and policy randomness vary while the world — topology,
+    /// routing, trace — is reused without a rebuild. This is the
+    /// zero-clone `ReplicationMode::SharedWorld` replay.
+    pub fn run_replicate<P: Policy + ?Sized>(
+        &self,
+        enablers: Enablers,
+        policy: &mut P,
+        rep: u64,
+    ) -> SimReport {
+        self.run_inner(enablers, policy, None, true, rep).0
     }
 
     /// Reference path that bypasses both pools: fresh event queue, fresh
@@ -447,7 +494,7 @@ impl SimTemplate {
     /// to [`SimTemplate::run`] — the oracle the golden-report tests and
     /// the `sim_replay` bench lean on.
     pub fn run_cold<P: Policy + ?Sized>(&self, enablers: Enablers, policy: &mut P) -> SimReport {
-        self.run_inner(enablers, policy, None, false).0
+        self.run_inner(enablers, policy, None, false, 0).0
     }
 
     /// Like [`SimTemplate::run`], but also records a [`Timeline`] sampled
@@ -458,7 +505,7 @@ impl SimTemplate {
         policy: &mut P,
         sample_interval: u64,
     ) -> (SimReport, Timeline) {
-        let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval), true);
+        let (report, tl) = self.run_inner(enablers, policy, Some(sample_interval), true, 0);
         (report, tl.expect("timeline requested"))
     }
 
@@ -468,6 +515,7 @@ impl SimTemplate {
         policy: &mut P,
         sample_interval: Option<u64>,
         pooled: bool,
+        rep: u64,
     ) -> (SimReport, Option<Timeline>) {
         enablers.validate().expect("invalid enablers");
         // Check out a recycled scratch arena (or build a fresh one). A
@@ -489,7 +537,14 @@ impl SimTemplate {
             }
             None => HotState::new(&self.shared),
         };
-        let mut core = SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
+        let mut core = SimCore::new(
+            Arc::clone(&self.cfg),
+            enablers,
+            self.shared.clone(),
+            hot,
+            self.seed,
+            rep,
+        );
         core.net.use_middleware = policy.uses_middleware();
         // Same treatment for the event queue, pre-reserved to the peak
         // occupancy the previous run of this world observed so the heap
@@ -599,7 +654,24 @@ impl SimTemplate {
         workers: usize,
     ) -> (SimReport, ShardSummary) {
         let plan = ShardPlan::latency_aware(&self.shared, shards);
-        self.run_sharded_plan(enablers, make_policy, plan, workers)
+        self.run_sharded_plan(enablers, make_policy, plan, workers, 0)
+    }
+
+    /// Replication `rep` on the sharded executor: the same per-run RNG
+    /// re-rooting as [`SimTemplate::run_replicate`], partitioned exactly
+    /// like [`SimTemplate::run_sharded`]. Fingerprint-identical to the
+    /// sequential `run_replicate` of the same `rep` for any shard and
+    /// worker count.
+    pub fn run_sharded_replicate<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+        shards: usize,
+        workers: usize,
+        rep: u64,
+    ) -> (SimReport, ShardSummary) {
+        let plan = ShardPlan::latency_aware(&self.shared, shards);
+        self.run_sharded_plan(enablers, make_policy, plan, workers, rep)
     }
 
     /// [`SimTemplate::run_sharded`] with an explicit cluster→shard
@@ -613,7 +685,7 @@ impl SimTemplate {
         workers: usize,
     ) -> (SimReport, ShardSummary) {
         let plan = ShardPlan::from_cluster_assignment(&self.shared, cluster_shard, shards);
-        self.run_sharded_plan(enablers, make_policy, plan, workers)
+        self.run_sharded_plan(enablers, make_policy, plan, workers, 0)
     }
 
     /// [`SimTemplate::run_sharded`] with the shard and worker counts
@@ -628,10 +700,22 @@ impl SimTemplate {
         enablers: Enablers,
         make_policy: impl Fn() -> P,
     ) -> (SimReport, ShardSummary) {
+        self.run_sharded_auto_replicate(enablers, make_policy, 0)
+    }
+
+    /// Replication `rep` on the auto-planned sharded executor (see
+    /// [`SimTemplate::run_sharded_auto`] and
+    /// [`SimTemplate::run_sharded_replicate`]).
+    pub fn run_sharded_auto_replicate<P: Policy + Send>(
+        &self,
+        enablers: Enablers,
+        make_policy: impl Fn() -> P,
+        rep: u64,
+    ) -> (SimReport, ShardSummary) {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let plan = ShardPlan::auto(&self.shared, cores);
         let workers = (plan.shards as usize).min(cores);
-        self.run_sharded_plan(enablers, make_policy, plan, workers)
+        self.run_sharded_plan(enablers, make_policy, plan, workers, rep)
     }
 
     fn run_sharded_plan<P: Policy + Send>(
@@ -640,6 +724,7 @@ impl SimTemplate {
         make_policy: impl Fn() -> P,
         plan: ShardPlan,
         workers: usize,
+        rep: u64,
     ) -> (SimReport, ShardSummary) {
         enablers.validate().expect("invalid enablers");
         assert!(
@@ -712,8 +797,14 @@ impl SimTemplate {
                     }
                     None => HotState::new_for_lane(&self.shared, &scopes[s]),
                 };
-                let mut core =
-                    SimCore::new(Arc::clone(&self.cfg), enablers, self.shared.clone(), hot);
+                let mut core = SimCore::new(
+                    Arc::clone(&self.cfg),
+                    enablers,
+                    self.shared.clone(),
+                    hot,
+                    self.seed,
+                    rep,
+                );
                 let mut policy = make_policy();
                 core.net.use_middleware = policy.uses_middleware();
                 let mut engine: Engine<GridEvent> =

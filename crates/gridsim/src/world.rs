@@ -741,8 +741,25 @@ impl SharedWorld {
     /// [`Routing::HIER_THRESHOLD`]), grid map, workload trace (stream 2),
     /// optional dependency graph (stream 4), and the placement layout.
     /// Stream 3 is reserved for the per-run simulation RNG.
+    ///
+    /// `seed` is the RNG root every stream forks from — `cfg.seed` for a
+    /// plain template, the replicate seed for
+    /// [`crate::SimTemplate::fresh_replica`] (which re-roots the streams
+    /// without cloning the whole `GridConfig`; the result is
+    /// bit-identical to building from a config clone whose `seed` field
+    /// was rewritten to the same value).
+    pub(crate) fn build_seeded(cfg: &GridConfig, seed: u64) -> SharedWorld {
+        Self::build_impl(cfg, seed)
+    }
+
+    /// [`SharedWorld::build_seeded`] at the config's own seed.
+    #[cfg(test)]
     pub(crate) fn build(cfg: &GridConfig) -> SharedWorld {
-        let root = SimRng::new(cfg.seed);
+        Self::build_seeded(cfg, cfg.seed)
+    }
+
+    fn build_impl(cfg: &GridConfig, seed: u64) -> SharedWorld {
+        let root = SimRng::new(seed);
         let mut topo_rng = root.fork(1);
         let mut wl_rng = root.fork(2);
 

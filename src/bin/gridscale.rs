@@ -6,6 +6,8 @@
 //! gridscale measure --model LOWEST --case 1 [--quick|--paper] [--kmax 6]
 //!                   [--iters 40] [--seed 7] [--threads 0] [--batch 4]
 //!                   [--shards 1|auto] [--no-warm] [--bw [0.05]]
+//!                   [--replications 1] [--rep-mode fresh|shared]
+//!                   [--rep-probe [16]]
 //!                   [--bench-out BENCH_tuning.json] [--json]
 //! gridscale bench-sim [--model LOWEST] [--reps 5] [--kmax 16]
 //!                   [--out BENCH_sim.json]
@@ -20,7 +22,14 @@
 //! ```
 //!
 //! `run` simulates one configuration; `measure` executes the paper's full
-//! four-step scalability procedure; `bench-sim` times clone-per-run world
+//! four-step scalability procedure — `--replications N` replicates every
+//! tuned point N× (`--rep-mode shared` replays one pooled world with
+//! per-replication RNG streams; `fresh`, the default, rebuilds a world
+//! per replicate) and reports 95% confidence intervals on every curve
+//! value and verdict margin, while `--rep-probe [N]` times the
+//! sequential fresh-world loop against the parallel shared-world fan-out
+//! and records the speedup in `BENCH_tuning.json`; `bench-sim` times
+//! clone-per-run world
 //! rebuilding against zero-clone shared-template replay (under both `dyn`
 //! and enum policy dispatch, plus a forced binary-heap event queue as the
 //! ladder-queue baseline) and writes `BENCH_sim.json`; `bench-sim
@@ -207,6 +216,14 @@ fn cmd_measure(flags: HashMap<String, String>) {
         Preset::Quick
     };
     let kmax = get(&flags, "kmax", 6u32).max(1);
+    let replication_mode = match flags.get("rep-mode").map(String::as_str) {
+        None | Some("fresh") => ReplicationMode::FreshWorld,
+        Some("shared") => ReplicationMode::SharedWorld,
+        Some(other) => {
+            eprintln!("--rep-mode must be fresh|shared, got {other}");
+            exit(2);
+        }
+    };
     let opts = MeasureOptions {
         ks: (1..=kmax).collect(),
         preset,
@@ -215,7 +232,8 @@ fn cmd_measure(flags: HashMap<String, String>) {
             ..AnnealConfig::default()
         },
         seed: get(&flags, "seed", 0x15_0EFFu64),
-        replications: get(&flags, "replications", 1usize),
+        replications: get(&flags, "replications", 1usize).max(1),
+        replication_mode,
         threads: get(&flags, "threads", 0usize),
         shards: shards_flag(&flags, 1),
         batch: get(&flags, "batch", 4usize).max(1),
@@ -223,7 +241,35 @@ fn cmd_measure(flags: HashMap<String, String>) {
         bandwidth: bw_flag(&flags),
         ..MeasureOptions::default()
     };
-    let (curve, bench) = measure_rms_with_bench(kind, case, &opts);
+    let (curve, mut bench) = measure_rms_with_bench(kind, case, &opts);
+    if let Some(v) = flags.get("rep-probe") {
+        let probe_reps = if v == "true" {
+            16
+        } else {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--rep-probe: cannot parse '{v}' as a replication count");
+                exit(2);
+            })
+        };
+        let probe_threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |c| c.get())
+        } else {
+            opts.threads
+        };
+        let probe = probe_replication_speedup(kind, case, kmax, probe_reps, probe_threads, &opts);
+        eprintln!(
+            "replication probe @ k={kmax}: {} reps — fresh sequential {:.1} ms ({} worlds) | shared ×{} threads {:.1} ms (1 world) | speedup {:.2}x | G {:.3e}±{:.1e}",
+            probe.replications,
+            probe.fresh_sequential_ms,
+            probe.fresh_templates_built,
+            probe.threads,
+            probe.shared_parallel_ms,
+            probe.speedup,
+            probe.g_mean_shared,
+            probe.g_ci_shared
+        );
+        bench.replication = Some(probe);
+    }
     let bench_path = flags
         .get("bench-out")
         .cloned()
@@ -248,27 +294,58 @@ fn cmd_measure(flags: HashMap<String, String>) {
         preset,
         curve.e0
     );
-    println!(
-        "{:>3} {:>12} {:>8} {:>8} {:>7} {:>5}",
-        "k", "G(k)", "g(k)", "f(k)", "E", "band"
-    );
-    for (p, n) in curve.points.iter().zip(curve.normalized()) {
+    if opts.replications > 1 {
         println!(
-            "{:>3} {:>12.4e} {:>8.2} {:>8.2} {:>7.3} {:>5}",
-            p.k,
-            p.g,
-            n.g,
-            n.f,
-            p.efficiency,
-            if p.feasible { "in" } else { "OUT" }
+            "{:>3} {:>12} {:>10} {:>8} {:>8} {:>7} {:>8} {:>5}",
+            "k", "G(k)", "±95%", "g(k)", "f(k)", "E", "±95%", "band"
         );
+        for (p, n) in curve.points.iter().zip(curve.normalized()) {
+            println!(
+                "{:>3} {:>12.4e} {:>10.2e} {:>8.2} {:>8.2} {:>7.3} {:>8.1e} {:>5}",
+                p.k,
+                p.g,
+                p.g_ci,
+                n.g,
+                n.f,
+                p.efficiency,
+                p.efficiency_ci,
+                if p.feasible { "in" } else { "OUT" }
+            );
+        }
+    } else {
+        println!(
+            "{:>3} {:>12} {:>8} {:>8} {:>7} {:>5}",
+            "k", "G(k)", "g(k)", "f(k)", "E", "band"
+        );
+        for (p, n) in curve.points.iter().zip(curve.normalized()) {
+            println!(
+                "{:>3} {:>12.4e} {:>8.2} {:>8.2} {:>7.3} {:>5}",
+                p.k,
+                p.g,
+                n.g,
+                n.f,
+                p.efficiency,
+                if p.feasible { "in" } else { "OUT" }
+            );
+        }
     }
     let v = curve.verdict();
+    // `?` marks a fragile check: the margin's 95% CI straddles the
+    // Eq. (2) boundary, so the boolean is within replication noise.
     println!(
         "Eq.(2) margins: {:?}",
         v.margins
             .iter()
-            .map(|(k, m)| format!("k={k}:{m:+.2}"))
+            .zip(&v.margin_cis)
+            .zip(&v.confidence)
+            .map(|(((k, m), (_, hw)), (_, c))| format!(
+                "k={k}:{m:+.2}±{hw:.2}{}",
+                if *c == VerdictConfidence::Fragile {
+                    "?"
+                } else {
+                    ""
+                }
+            ))
             .collect::<Vec<_>>()
     );
     println!(

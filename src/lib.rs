@@ -67,9 +67,10 @@ pub mod prelude {
     pub use gridscale_core::sensitivity::{cost_sensitivity, verdict_stability};
     pub use gridscale_core::{
         anneal, anneal_batch, config_for, measure_all, measure_all_with_bench, measure_rms,
-        measure_rms_with_bench, resolve_e0, tune_point, AnnealConfig, BatchAnnealConfig, CaseId,
-        CurvePoint, E0Mode, EnergyPool, IsoefficiencyModel, MeasureOptions, PointBench, Preset,
-        ScalabilityCurve, ScalabilityVerdict, TuningBench,
+        measure_rms_with_bench, probe_replication_speedup, rep_stats, resolve_e0, t_critical_975,
+        tune_point, AnnealConfig, BatchAnnealConfig, CaseId, CurvePoint, E0Mode, EnergyPool,
+        IsoefficiencyModel, MeasureOptions, PointBench, Preset, RepProbe, RepStats,
+        ReplicationMode, ScalabilityCurve, ScalabilityVerdict, TuningBench, VerdictConfidence,
     };
     pub use gridscale_desim::{QueueDiscipline, QueueTelemetry, SimRng, SimTime};
     pub use gridscale_gridsim::{

@@ -128,6 +128,43 @@ fn entry_key_bw(policy: GoldenPolicy, k: usize) -> String {
     format!("{}/k{}/s{}/bw", policy.name(), k, BW_SEED)
 }
 
+/// Scale factor and replication count of the replicated golden
+/// sub-matrix: one point, replicated [`REP_COUNT`]× in each replication
+/// mode. Replication 0 of *either* mode must be byte-identical to the
+/// plain (unreplicated) run, which is what keeps every pre-replication
+/// fixture entry pinning verbatim.
+const REP_K: usize = 4;
+const REP_COUNT: u64 = 4;
+
+fn entry_key_rep(mode: &str, i: u64) -> String {
+    format!("LOWEST/k{REP_K}/s{BW_SEED}/rep-{mode}{i}")
+}
+
+/// Runs replication `i` of the replicated sub-matrix point in the given
+/// mode. `fresh` re-roots a whole new template on the forked seed
+/// `fork(1000 + i)` (the measurement layer's historical per-replication
+/// derivation); `shared` replays the same template with only the
+/// simulation-side streams forked by `i`.
+fn one_rep(mode: &str, i: u64) -> SimReport {
+    let cfg = golden_cfg(GoldenPolicy::Kind(RmsKind::Lowest), REP_K, BW_SEED);
+    let template = SimTemplate::new(&cfg);
+    let mut p = RmsKind::Lowest.build();
+    match mode {
+        "fresh" => {
+            let replica = if i == 0 {
+                template
+            } else {
+                template.fresh_replica(SimRng::new(cfg.seed).fork(1000 + i).seed())
+            };
+            replica.run(cfg.enablers, p.as_mut())
+        }
+        _ => template.run_replicate(cfg.enablers, p.as_mut(), i),
+    }
+}
+
+/// Both replication modes of the replicated sub-matrix.
+const REP_MODES: [&str; 2] = ["fresh", "shared"];
+
 /// Runs one bandwidth-enabled matrix entry through the one-shot path.
 fn one_shot_bw(policy: GoldenPolicy, k: usize) -> SimReport {
     let cfg = golden_bw_cfg(policy, k, BW_SEED);
@@ -157,6 +194,11 @@ fn generate_fixture() -> BTreeMap<String, Value> {
             }
             let r = one_shot_bw(policy, k);
             out.insert(entry_key_bw(policy, k), report_value(&r));
+        }
+    }
+    for mode in REP_MODES {
+        for i in 0..REP_COUNT {
+            out.insert(entry_key_rep(mode, i), report_value(&one_rep(mode, i)));
         }
     }
     out
@@ -210,6 +252,16 @@ fn load_fixture() -> &'static BTreeMap<String, Value> {
                 // keeps pinning verbatim.
                 if let Entry::Vacant(slot) = out.entry(entry_key_bw(policy, k)) {
                     slot.insert(report_value(&one_shot_bw(policy, k)));
+                    grew = true;
+                }
+            }
+        }
+        // Replicated entries are additive in the same way: a fixture from
+        // before replication modes simply gains them.
+        for mode in REP_MODES {
+            for i in 0..REP_COUNT {
+                if let Entry::Vacant(slot) = out.entry(entry_key_rep(mode, i)) {
+                    slot.insert(report_value(&one_rep(mode, i)));
                     grew = true;
                 }
             }
@@ -426,6 +478,38 @@ fn sharded_execution_matches_golden_fixture() {
                 "{key}: shard event counts must sum to the total"
             );
         }
+    }
+}
+
+/// The replicated sub-matrix pins every replication of both modes, and
+/// replication 0 of both modes reproduces the pre-replication golden
+/// entry byte-for-byte — `replications: 1` measurements are untouched by
+/// the replication machinery.
+#[test]
+fn replicated_runs_match_golden_fixture_and_rep0_pins_the_plain_entry() {
+    let fixture = load_fixture();
+    let plain_key = entry_key(GoldenPolicy::Kind(RmsKind::Lowest), REP_K, BW_SEED);
+    for mode in REP_MODES {
+        for i in 0..REP_COUNT {
+            let r = one_rep(mode, i);
+            assert_matches_fixture(&entry_key_rep(mode, i), &report_value(&r), fixture);
+        }
+        // Replication 0 is the plain run: it must match the golden entry
+        // recorded *before* replication modes existed.
+        let r0 = one_rep(mode, 0);
+        assert_matches_fixture(&plain_key, &report_value(&r0), fixture);
+        let plain = one_shot(GoldenPolicy::Kind(RmsKind::Lowest), REP_K, BW_SEED);
+        assert_eq!(
+            serde_json::to_string(&r0).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "{mode}: replication 0 must be byte-identical to the unreplicated run"
+        );
+    }
+    // Distinct replications genuinely sample different event histories.
+    for mode in REP_MODES {
+        let fp0 = one_rep(mode, 0).event_fingerprint;
+        let fp1 = one_rep(mode, 1).event_fingerprint;
+        assert_ne!(fp0, fp1, "{mode}: replications must not repeat history");
     }
 }
 

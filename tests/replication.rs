@@ -1,0 +1,167 @@
+//! Replication-parallel measurement properties: the wave scheduler's
+//! thread/chunking invariance and the `SharedWorld` zero-clone contract
+//! (one `Arc`'d world, per-replication simulation streams).
+
+use gridscale::prelude::*;
+use proptest::prelude::*;
+
+/// Smoke-sized replicated measurement: two scales, short horizons, tiny
+/// SA budget — the full anneal + replication fan-out pipeline in
+/// well under a second per run.
+fn rep_opts(threads: usize, mode: ReplicationMode, replications: usize) -> MeasureOptions {
+    MeasureOptions {
+        ks: vec![1, 2],
+        anneal: AnnealConfig {
+            iterations: 5,
+            ..AnnealConfig::default()
+        },
+        replications,
+        replication_mode: mode,
+        threads,
+        duration_override: Some(SimTime::from_ticks(6_000)),
+        drain_override: Some(SimTime::from_ticks(8_000)),
+        ..MeasureOptions::default()
+    }
+}
+
+/// Everything bit-sensitive about a measured curve, without going
+/// through serde (kept independent of serialization formatting).
+fn curve_bits(curve: &ScalabilityCurve) -> Vec<(u32, u64, u64, u64, u64, u64, u64)> {
+    curve
+        .points
+        .iter()
+        .map(|p| {
+            (
+                p.k,
+                p.g.to_bits(),
+                p.f.to_bits(),
+                p.g_ci.to_bits(),
+                p.efficiency_ci.to_bits(),
+                p.report.event_fingerprint,
+                p.replications as u64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 3,
+        ..ProptestConfig::default()
+    })]
+
+    /// The replication fold is invariant to how the wave scheduler chunks
+    /// its work units across workers: any thread count gives the
+    /// bit-identical curve, in both replication modes.
+    #[test]
+    fn replication_fold_is_thread_and_chunking_invariant(
+        mode in prop_oneof![
+            Just(ReplicationMode::FreshWorld),
+            Just(ReplicationMode::SharedWorld),
+        ],
+        replications in 2usize..4,
+    ) {
+        let base = measure_rms(
+            RmsKind::Lowest,
+            CaseId::NetworkSize,
+            &rep_opts(1, mode, replications),
+        );
+        for threads in [2usize, 8] {
+            let other = measure_rms(
+                RmsKind::Lowest,
+                CaseId::NetworkSize,
+                &rep_opts(threads, mode, replications),
+            );
+            prop_assert_eq!(
+                curve_bits(&base),
+                curve_bits(&other),
+                "mode {:?}, reps {}, threads {} drifted from sequential",
+                mode,
+                replications,
+                threads
+            );
+        }
+    }
+
+    /// `SharedWorld` replications replay one `Arc`-shared world (no
+    /// rebuild — the template pointer is the same) while sampling
+    /// *distinct* event histories per replication index, each of which is
+    /// individually reproducible.
+    #[test]
+    fn shared_world_reps_share_layout_and_differ_in_fingerprints(seed in 0u64..1_000) {
+        let cfg = GridConfig {
+            nodes: 30,
+            schedulers: 3,
+            seed,
+            workload: WorkloadConfig {
+                arrival_rate: 0.02,
+                duration: SimTime::from_ticks(2_000),
+                ..WorkloadConfig::default()
+            },
+            drain: SimTime::from_ticks(3_000),
+            ..GridConfig::default()
+        };
+        let template = SimTemplate::new(&cfg);
+        // Same template ⇒ same world; a fresh replica rebuilds.
+        prop_assert!(template.shares_world_with(&template));
+        prop_assert!(!template.shares_world_with(&template.fresh_replica(seed ^ 1)));
+
+        let mut fps = Vec::new();
+        for rep in 0..3u64 {
+            let mut p = RmsKind::Lowest.build();
+            fps.push(template.run_replicate(cfg.enablers, p.as_mut(), rep).event_fingerprint);
+        }
+        prop_assert_ne!(fps[0], fps[1]);
+        prop_assert_ne!(fps[1], fps[2]);
+        prop_assert_ne!(fps[0], fps[2]);
+
+        let mut p = RmsKind::Lowest.build();
+        let again = template.run_replicate(cfg.enablers, p.as_mut(), 1);
+        prop_assert_eq!(again.event_fingerprint, fps[1], "replication 1 must reproduce");
+    }
+}
+
+/// Replication 0 through `run_replicate` is the plain `run`: the
+/// replication machinery is invisible at `replications: 1`.
+#[test]
+fn replicate_zero_is_the_plain_run() {
+    let cfg = GridConfig {
+        nodes: 40,
+        schedulers: 4,
+        seed: 7,
+        workload: WorkloadConfig {
+            arrival_rate: 0.02,
+            duration: SimTime::from_ticks(3_000),
+            ..WorkloadConfig::default()
+        },
+        drain: SimTime::from_ticks(4_000),
+        ..GridConfig::default()
+    };
+    let template = SimTemplate::new(&cfg);
+    let mut p1 = RmsKind::Lowest.build();
+    let plain = template.run(cfg.enablers, p1.as_mut());
+    let mut p2 = RmsKind::Lowest.build();
+    let rep0 = template.run_replicate(cfg.enablers, p2.as_mut(), 0);
+    assert_eq!(plain.event_fingerprint, rep0.event_fingerprint);
+    assert_eq!(plain.events_processed, rep0.events_processed);
+    assert_eq!(plain.completed, rep0.completed);
+    assert_eq!(plain.g_overhead.to_bits(), rep0.g_overhead.to_bits());
+    assert_eq!(plain.f_work.to_bits(), rep0.f_work.to_bits());
+    assert_eq!(plain.h_overhead.to_bits(), rep0.h_overhead.to_bits());
+    assert_eq!(plain.efficiency.to_bits(), rep0.efficiency.to_bits());
+    assert_eq!(plain.mean_response.to_bits(), rep0.mean_response.to_bits());
+}
+
+/// The verdict of a replicated measurement carries a CI and a confidence
+/// class for every Eq. (2) check.
+#[test]
+fn replicated_verdicts_have_confidence_everywhere() {
+    let opts = rep_opts(4, ReplicationMode::SharedWorld, 4);
+    let curve = measure_rms(RmsKind::Lowest, CaseId::NetworkSize, &opts);
+    let v = curve.verdict();
+    assert_eq!(v.margin_cis.len(), v.condition.len());
+    assert_eq!(v.confidence.len(), v.condition.len());
+    for (p, (_, hw)) in curve.points.iter().skip(1).zip(&v.margin_cis) {
+        assert!(p.g_ci.is_finite() && *hw >= 0.0);
+    }
+}
