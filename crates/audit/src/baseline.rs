@@ -1,0 +1,243 @@
+//! The accepted-findings baseline (`audit-baseline.toml`).
+//!
+//! Growing the analyzer is only deployable if pre-existing findings
+//! don't block CI while *new* regressions do. The baseline file commits
+//! the accepted debt: each entry names a `(rule, file, symbol)` group
+//! and how many findings of that shape are accepted. At audit time, up
+//! to `count` matching violations are suppressed (lowest lines first);
+//! the `count+1`-th is a regression and fails the build.
+//!
+//! Keying on the enclosing symbol instead of the line number keeps the
+//! baseline stable across unrelated edits — inserting a comment above a
+//! function does not invalidate its accepted findings. Stale entries
+//! (groups that no longer produce findings) are ignored silently, so
+//! fixing debt never *breaks* CI; regenerate with `--write-baseline` to
+//! garbage-collect them.
+//!
+//! The format is a hand-rolled TOML subset (`[[accept]]` tables with
+//! string/integer values) — the crate stays dependency-free.
+
+use crate::rules::{Diagnostic, Severity};
+use std::collections::BTreeMap;
+
+/// One accepted finding group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier (`hot-path-panic`, …).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Enclosing symbol (`Type::fn`), or `""` for file-level findings.
+    pub symbol: String,
+    /// How many findings of this shape are accepted.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the `audit-baseline.toml` subset: `[[accept]]` tables
+    /// with `rule`, `file`, `symbol` (strings) and `count` (integer).
+    /// Unknown keys are ignored; malformed lines return an error with
+    /// the 1-based line number.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<BaselineEntry> = None;
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[accept]]" {
+                if let Some(e) = cur.take() {
+                    entries.push(e);
+                }
+                cur = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    symbol: String::new(),
+                    count: 1,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", ln + 1));
+            };
+            let Some(e) = cur.as_mut() else {
+                return Err(format!("line {}: key outside [[accept]] table", ln + 1));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" | "file" | "symbol" => {
+                    let v = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {}: {key} must be a string", ln + 1))?;
+                    match key {
+                        "rule" => e.rule = v.to_string(),
+                        "file" => e.file = v.to_string(),
+                        _ => e.symbol = v.to_string(),
+                    }
+                }
+                "count" => {
+                    e.count = value
+                        .parse()
+                        .map_err(|_| format!("line {}: count must be an integer", ln + 1))?;
+                }
+                _ => {} // forward-compatible: unknown keys ignored
+            }
+        }
+        if let Some(e) = cur.take() {
+            entries.push(e);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of accepted groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no groups are accepted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits `diags` into (kept, suppressed-count). Only violations
+    /// are baselinable — warnings (annotation hygiene) always surface.
+    /// Within a matching group, the lowest-line findings are suppressed
+    /// first, so a *new* finding in an already-indebted function shows
+    /// up as the overflow.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize) {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.rule.clone(), e.file.clone(), e.symbol.clone()))
+                .or_insert(0) += e.count;
+        }
+        let mut kept = Vec::with_capacity(diags.len());
+        let mut suppressed = 0usize;
+        // Input is already sorted by (file, line, rule), so within a
+        // group lower lines are consumed first.
+        for d in diags {
+            if d.severity == Severity::Violation {
+                let key = (d.rule.to_string(), d.file.clone(), d.symbol.clone());
+                if let Some(b) = budget.get_mut(&key) {
+                    if *b > 0 {
+                        *b -= 1;
+                        suppressed += 1;
+                        continue;
+                    }
+                }
+            }
+            kept.push(d);
+        }
+        (kept, suppressed)
+    }
+}
+
+/// Renders the baseline that would accept every violation in `diags`,
+/// grouped by (rule, file, symbol) and sorted — the `--write-baseline`
+/// output. Byte-stable across hosts.
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let mut groups: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for d in diags {
+        if d.severity == Severity::Violation {
+            *groups
+                .entry((d.rule, d.file.as_str(), d.symbol.as_str()))
+                .or_insert(0) += 1;
+        }
+    }
+    let mut s = String::new();
+    s.push_str(
+        "# audit-baseline.toml — accepted pre-existing determinism findings.\n\
+         #\n\
+         # Each [[accept]] group tolerates `count` findings of `rule` inside\n\
+         # `symbol` (in `file`). New findings beyond the count fail CI.\n\
+         # Regenerate with: gridscale audit --write-baseline\n",
+    );
+    for ((rule, file, symbol), count) in groups {
+        s.push_str("\n[[accept]]\n");
+        s.push_str(&format!("rule = \"{rule}\"\n"));
+        s.push_str(&format!("file = \"{file}\"\n"));
+        s.push_str(&format!("symbol = \"{symbol}\"\n"));
+        s.push_str(&format!("count = {count}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_HOT_PATH_PANIC;
+
+    fn diag(rule: &'static str, file: &str, line: u32, symbol: &str) -> Diagnostic {
+        let mut d = Diagnostic::new(rule, Severity::Violation, file, line, "m".into());
+        d.symbol = symbol.to_string();
+        d
+    }
+
+    #[test]
+    fn roundtrip_and_budgeted_suppression() {
+        let diags = vec![
+            diag(RULE_HOT_PATH_PANIC, "a.rs", 3, "A::f"),
+            diag(RULE_HOT_PATH_PANIC, "a.rs", 9, "A::f"),
+        ];
+        let text = render_baseline(&diags);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 1);
+
+        // Exactly covered: everything suppressed.
+        let (kept, n) = base.apply(diags.clone());
+        assert!(kept.is_empty());
+        assert_eq!(n, 2);
+
+        // One new finding in the same fn: the overflow surfaces, and it
+        // is the *highest* line (lowest lines consume the budget).
+        let mut more = diags;
+        more.push(diag(RULE_HOT_PATH_PANIC, "a.rs", 20, "A::f"));
+        let (kept, n) = base.apply(more);
+        assert_eq!(n, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 20);
+    }
+
+    #[test]
+    fn stale_entries_and_unknown_keys_are_ignored() {
+        let text = "[[accept]]\nrule = \"hot-path-panic\"\nfile = \"gone.rs\"\nsymbol = \"X::y\"\ncount = 5\nnote = \"legacy\"\n";
+        let base = Baseline::parse(text).unwrap();
+        let (kept, n) = base.apply(vec![diag(RULE_HOT_PATH_PANIC, "a.rs", 1, "A::f")]);
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn warnings_are_never_baselined() {
+        let text =
+            "[[accept]]\nrule = \"unused-allow\"\nfile = \"a.rs\"\nsymbol = \"\"\ncount = 1\n";
+        let base = Baseline::parse(text).unwrap();
+        let w = Diagnostic::new(
+            crate::rules::RULE_UNUSED_ALLOW,
+            Severity::Warning,
+            "a.rs",
+            1,
+            "m".into(),
+        );
+        let (kept, n) = base.apply(vec![w]);
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert!(Baseline::parse("rule = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[accept]]\ncount = x\n")
+            .unwrap_err()
+            .contains("line 2"));
+    }
+}

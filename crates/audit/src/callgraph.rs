@@ -1,0 +1,221 @@
+//! The conservative intra-workspace call graph.
+//!
+//! Nodes are the indexed `fn` items; an edge runs from caller to every
+//! workspace definition the callee name can resolve to:
+//!
+//! - `Type::name(…)` with a known workspace `impl Type` → only the
+//!   matching methods (`Self` was already resolved by the index);
+//! - `Type::name(…)` with an *unknown* qualifier (`f64::max`,
+//!   `Vec::new`) → no edge: the callee lives outside the workspace;
+//! - bare `name(…)` and `.name(…)` → every workspace `fn name`
+//!   (receiver types are unknown to a lexer, so the graph
+//!   over-approximates rather than miss a path).
+//!
+//! Test-context functions are excluded on both sides: they neither
+//! taint nor get tainted, so `#[cfg(test)]` helpers don't create
+//! phantom paths into the replay hot path.
+//!
+//! Reachability is a BFS that records parent pointers, which is what
+//! lets diagnostics render the *full call chain* from a sink entry
+//! (e.g. `SimTemplate::run`) down to the offending source line.
+
+use crate::index::FileIndex;
+use std::collections::BTreeMap;
+
+/// A function's global id: `(file index, fn index within that file)`.
+pub type FnId = (usize, usize);
+
+/// The workspace call graph over a set of indexed files.
+pub struct CallGraph {
+    /// Adjacency: for each caller, the resolved callee ids (deduped,
+    /// in deterministic order).
+    edges: BTreeMap<FnId, Vec<FnId>>,
+    /// All non-test function ids, in (file, fn) order.
+    nodes: Vec<FnId>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file indexes (parallel to the scanned
+    /// file list).
+    pub fn build(files: &[FileIndex]) -> CallGraph {
+        // Name → candidate definitions (non-test only).
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        // Qualifier type names that have at least one workspace method.
+        let mut known_quals: BTreeMap<&str, ()> = BTreeMap::new();
+        let mut nodes = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                nodes.push((fi, di));
+                by_name.entry(def.name.as_str()).or_default().push((fi, di));
+                if let Some(q) = &def.qual {
+                    known_quals.entry(q.as_str()).or_insert(());
+                }
+            }
+        }
+
+        let mut edges: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (di, def) in file.fns.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                let mut out: Vec<FnId> = Vec::new();
+                for call in &def.calls {
+                    if call.is_macro {
+                        continue;
+                    }
+                    let Some(cands) = by_name.get(call.name.as_str()) else {
+                        continue;
+                    };
+                    match &call.qual {
+                        Some(q) if known_quals.contains_key(q.as_str()) => {
+                            out.extend(cands.iter().filter(|&&(cf, cd)| {
+                                files[cf].fns[cd].qual.as_deref() == Some(q.as_str())
+                            }));
+                        }
+                        Some(_) => {} // foreign qualifier: not ours
+                        None => out.extend(cands.iter()),
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                // Self-loops add nothing to reachability or chains.
+                out.retain(|&id| id != (fi, di));
+                edges.insert((fi, di), out);
+            }
+        }
+        CallGraph { edges, nodes }
+    }
+
+    /// All non-test nodes.
+    pub fn nodes(&self) -> &[FnId] {
+        &self.nodes
+    }
+
+    /// BFS from `entries`; returns, for each reached node, the parent
+    /// it was first discovered through (entries map to themselves).
+    /// Iteration order is deterministic: entries in given order, then
+    /// queue order with sorted adjacency.
+    pub fn reach(&self, entries: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<FnId> = Default::default();
+        for &e in entries {
+            if parent.insert(e, e).is_none() {
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            if let Some(vs) = self.edges.get(&u) {
+                for &v in vs {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(v) {
+                        slot.insert(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the discovery chain from the BFS entry down to `target`
+    /// as `entry → … → target` using each node's symbol.
+    pub fn chain(
+        &self,
+        parent: &BTreeMap<FnId, FnId>,
+        files: &[FileIndex],
+        target: FnId,
+    ) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = target;
+        loop {
+            rev.push(files[cur.0].fns[cur.1].symbol());
+            match parent.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use crate::lexer::scan;
+    use crate::rules::FileCtx;
+
+    fn build(srcs: &[(&str, &str)]) -> (Vec<FileIndex>, CallGraph) {
+        let files: Vec<FileIndex> = srcs
+            .iter()
+            .map(|(p, s)| index_file(&FileCtx::classify(p), &scan(s)))
+            .collect();
+        let graph = CallGraph::build(&files);
+        (files, graph)
+    }
+
+    #[test]
+    fn cross_file_chains_resolve_and_render() {
+        let (files, graph) = build(&[
+            (
+                "crates/gridsim/src/sim.rs",
+                "impl SimTemplate { pub fn run(&self) { mid(); } }",
+            ),
+            ("crates/gridsim/src/a.rs", "pub fn mid() { deep_leaf(); }"),
+            ("crates/topology/src/b.rs", "pub fn deep_leaf() {}"),
+        ]);
+        let entry = (0usize, 0usize);
+        let parent = graph.reach(&[entry]);
+        let leaf = (2usize, 0usize);
+        assert!(parent.contains_key(&leaf));
+        assert_eq!(
+            graph.chain(&parent, &files, leaf),
+            vec!["SimTemplate::run", "mid", "deep_leaf"]
+        );
+    }
+
+    #[test]
+    fn foreign_qualifiers_do_not_edge() {
+        let (_, graph) = build(&[(
+            "crates/core/src/x.rs",
+            "fn max() {} fn f() { f64::max(1.0, 2.0); }",
+        )]);
+        // `f64` is not a workspace impl type: no edge from f to max.
+        let parent = graph.reach(&[(0, 1)]);
+        assert!(!parent.contains_key(&(0, 0)));
+    }
+
+    #[test]
+    fn known_qualifiers_pin_the_method() {
+        let (_, graph) = build(&[(
+            "crates/core/src/x.rs",
+            "impl A { fn go() {} } impl B { fn go() {} } fn f() { A::go(); }",
+        )]);
+        let parent = graph.reach(&[(0, 2)]);
+        assert!(parent.contains_key(&(0, 0)), "A::go reached");
+        assert!(!parent.contains_key(&(0, 1)), "B::go not reached");
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let (_, graph) = build(&[(
+            "crates/core/src/x.rs",
+            "impl A { fn go(&self) {} } fn f(a: &A) { a.go(); }",
+        )]);
+        let parent = graph.reach(&[(0, 1)]);
+        assert!(parent.contains_key(&(0, 0)));
+    }
+
+    #[test]
+    fn test_fns_are_invisible() {
+        let (_, graph) = build(&[(
+            "crates/core/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod t { #[test] fn t1() { prod(); } }",
+        )]);
+        assert_eq!(graph.nodes().len(), 1);
+    }
+}

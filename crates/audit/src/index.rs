@@ -1,0 +1,600 @@
+//! The workspace item index: a lightweight symbol table built on the
+//! hand-rolled lexer.
+//!
+//! One linear pass over each file's token stream recovers exactly the
+//! structure the call-graph and taint rules need — no `syn`, no type
+//! inference:
+//!
+//! - **functions** (`fn` items) with their enclosing `impl` type and
+//!   trait, `#[cfg(test)]` / `#[test]` context, body token span, and
+//!   every call site inside the body (bare calls, `Type::method(…)`
+//!   paths with `Self` resolved, `.method(…)` chains, and `name!(…)`
+//!   macro invocations);
+//! - **structs** with their field-type identifiers (for the Arc-shared
+//!   interior-mutability closure of rule D8);
+//! - the set of type names that appear inside `Arc<…>` anywhere in the
+//!   indexed set (the roots of that closure).
+//!
+//! The index is deliberately *conservative*: it resolves names, not
+//! types. A method call `.run(…)` maps to every workspace `fn run`
+//! unless a path qualifier pins it down. That over-approximation is the
+//! right default for a determinism audit — a missed edge hides a
+//! nondeterminism source, a spurious edge costs one annotation.
+
+use crate::lexer::{FileScan, Tok, TokKind};
+use crate::rules::FileCtx;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee identifier (last path segment; macro name for `name!`).
+    pub name: String,
+    /// Path qualifier (`Type` in `Type::name(…)`), with `Self` already
+    /// resolved to the enclosing impl type. `None` for bare calls and
+    /// method calls.
+    pub qual: Option<String>,
+    /// 1-based source line of the callee identifier.
+    pub line: u32,
+    /// True for `.name(…)` method-call syntax.
+    pub is_method: bool,
+    /// True for `name!(…)` macro invocations.
+    pub is_macro: bool,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type (or trait, for default trait methods).
+    pub qual: Option<String>,
+    /// Trait being implemented, when the enclosing block is
+    /// `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token span of the body (`start..end` indices into the file's
+    /// token stream), empty for bodiless trait declarations.
+    pub body: (usize, usize),
+    /// 1-based line of the body's closing brace (`line` for bodiless
+    /// declarations).
+    pub end_line: u32,
+    /// True inside `#[cfg(test)]` modules, under `#[test]`, or in a
+    /// test-context file (`tests/`, `benches/`, `examples/`).
+    pub is_test: bool,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+impl FnDef {
+    /// `Type::name` or bare `name` — the symbol diagnostics carry.
+    pub fn symbol(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `struct` item with named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// 1-based line of the field block's closing brace.
+    pub end_line: u32,
+    /// Token span of the field block.
+    pub body: (usize, usize),
+    /// Every type identifier mentioned in the field block (the D8
+    /// closure follows these into other workspace structs).
+    pub field_type_idents: Vec<String>,
+}
+
+/// The index of one file.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Functions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Structs with named fields, in source order.
+    pub structs: Vec<StructDef>,
+    /// Type names seen inside `Arc<…>` in this file.
+    pub arc_shared: Vec<String>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: [&str; 10] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "move",
+];
+
+/// What the next `{` opens.
+#[derive(Debug, Clone, PartialEq)]
+enum Pending {
+    None,
+    Mod {
+        test: bool,
+    },
+    Impl {
+        ty: String,
+        trait_name: Option<String>,
+    },
+    Fn {
+        def: usize,
+    },
+    Struct {
+        def: usize,
+    },
+    Trait {
+        name: String,
+    },
+}
+
+/// One entry of the brace-scope stack.
+#[derive(Debug, Clone, PartialEq)]
+enum Scope {
+    Mod {
+        test: bool,
+    },
+    Impl {
+        ty: String,
+        trait_name: Option<String>,
+    },
+    Fn {
+        def: usize,
+    },
+    Struct {
+        def: usize,
+    },
+    Trait {
+        name: String,
+    },
+    Block,
+}
+
+/// Builds the index of one lexed file.
+pub fn index_file(ctx: &FileCtx, scan: &FileScan) -> FileIndex {
+    let toks = &scan.toks;
+    let n = toks.len();
+    let mut out = FileIndex::default();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut pending = Pending::None;
+    // True when the next item carries `#[test]` / `#[cfg(test)]`.
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+
+    // The innermost enclosing impl/trait type on the stack.
+    fn enclosing_qual(stack: &[Scope]) -> (Option<String>, Option<String>) {
+        for s in stack.iter().rev() {
+            match s {
+                Scope::Impl { ty, trait_name } => return (Some(ty.clone()), trait_name.clone()),
+                Scope::Trait { name } => return (Some(name.clone()), None),
+                _ => {}
+            }
+        }
+        (None, None)
+    }
+    fn in_test_scope(stack: &[Scope]) -> bool {
+        stack.iter().any(|s| matches!(s, Scope::Mod { test: true }))
+    }
+    fn enclosing_fn(stack: &[Scope]) -> Option<usize> {
+        stack.iter().rev().find_map(|s| match s {
+            Scope::Fn { def } => Some(*def),
+            _ => None,
+        })
+    }
+
+    while i < n {
+        match &toks[i].kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#[ … ]` (or inner `#![ … ]`). Scan the
+                // bracket group for `test` to classify the next item.
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('!'))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('['))) {
+                    let mut depth = 0usize;
+                    let mut saw_test = false;
+                    while j < n {
+                        match &toks[j].kind {
+                            TokKind::Punct('[') => depth += 1,
+                            TokKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Ident(id) if id == "test" || id == "bench" => saw_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if saw_test {
+                        pending_test_attr = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            TokKind::Ident(kw) if kw == "mod" => {
+                // `mod name { … }` or `mod name;`
+                let test = pending_test_attr;
+                pending_test_attr = false;
+                pending = Pending::Mod { test };
+                i += 1;
+            }
+            TokKind::Ident(kw) if kw == "impl" => {
+                // Only an item header when nothing else is pending:
+                // `impl Fn() -> P` inside a fn signature (or an
+                // `-> impl Iterator` return type) is a bound, not a
+                // block, and must not steal the pending fn's body.
+                if pending == Pending::None {
+                    let (ty, trait_name, next) = parse_impl_header(toks, i + 1);
+                    pending = Pending::Impl { ty, trait_name };
+                    pending_test_attr = false;
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident(kw) if kw == "trait" => {
+                let name = match toks.get(i + 1).map(|t| &t.kind) {
+                    Some(TokKind::Ident(id)) => id.clone(),
+                    _ => String::new(),
+                };
+                pending = Pending::Trait { name };
+                pending_test_attr = false;
+                i += 1;
+            }
+            TokKind::Ident(kw) if kw == "struct" || kw == "union" => {
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    out.structs.push(StructDef {
+                        name: name.clone(),
+                        line: toks[i].line,
+                        end_line: toks[i].line,
+                        body: (0, 0),
+                        field_type_idents: Vec::new(),
+                    });
+                    pending = Pending::Struct {
+                        def: out.structs.len() - 1,
+                    };
+                }
+                pending_test_attr = false;
+                i += 1;
+            }
+            TokKind::Ident(kw) if kw == "fn" => {
+                if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    let (qual, trait_name) = enclosing_qual(&stack);
+                    let is_test = ctx.test_context
+                        || pending_test_attr
+                        || in_test_scope(&stack)
+                        || enclosing_fn(&stack)
+                            .map(|d| out.fns[d].is_test)
+                            .unwrap_or(false);
+                    out.fns.push(FnDef {
+                        name: name.clone(),
+                        qual,
+                        trait_name,
+                        line: toks[i].line,
+                        end_line: toks[i].line,
+                        body: (0, 0),
+                        is_test,
+                        calls: Vec::new(),
+                    });
+                    pending = Pending::Fn {
+                        def: out.fns.len() - 1,
+                    };
+                }
+                pending_test_attr = false;
+                i += 2;
+            }
+            TokKind::Punct(';') => {
+                // A bodiless item (trait method decl, `mod x;`, tuple
+                // struct) closes whatever was pending.
+                pending = Pending::None;
+                i += 1;
+            }
+            TokKind::Punct('{') => {
+                let scope = match std::mem::replace(&mut pending, Pending::None) {
+                    Pending::Mod { test } => Scope::Mod { test },
+                    Pending::Impl { ty, trait_name } => Scope::Impl { ty, trait_name },
+                    Pending::Fn { def } => {
+                        out.fns[def].body.0 = i + 1;
+                        Scope::Fn { def }
+                    }
+                    Pending::Struct { def } => {
+                        out.structs[def].body.0 = i + 1;
+                        Scope::Struct { def }
+                    }
+                    Pending::Trait { name } => Scope::Trait { name },
+                    Pending::None => Scope::Block,
+                };
+                stack.push(scope);
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                match stack.pop() {
+                    Some(Scope::Fn { def }) => {
+                        out.fns[def].body.1 = i;
+                        out.fns[def].end_line = toks[i].line;
+                    }
+                    Some(Scope::Struct { def }) => {
+                        out.structs[def].body.1 = i;
+                        out.structs[def].end_line = toks[i].line;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) if id == "Arc" => {
+                // `Arc<T>` / `Arc :: < T >` — record the first type
+                // identifier inside the angle brackets.
+                let mut j = i + 1;
+                while matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct(':'))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+                    if let Some(TokKind::Ident(inner)) = toks.get(j + 1).map(|t| &t.kind) {
+                        if !out.arc_shared.contains(inner) {
+                            out.arc_shared.push(inner.clone());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Ident(id) => {
+                // Field-type collection inside struct bodies.
+                if let Some(Scope::Struct { def }) = stack.last() {
+                    let first = id.chars().next().unwrap_or('a');
+                    if first.is_ascii_uppercase()
+                        && !out.structs[*def].field_type_idents.contains(id)
+                    {
+                        out.structs[*def].field_type_idents.push(id.clone());
+                    }
+                }
+                // Call-site collection inside fn bodies.
+                if let Some(def) = enclosing_fn(&stack) {
+                    let next = toks.get(i + 1).map(|t| &t.kind);
+                    let is_macro = matches!(next, Some(TokKind::Punct('!')))
+                        && matches!(
+                            toks.get(i + 2).map(|t| &t.kind),
+                            Some(TokKind::Punct('(' | '[' | '{'))
+                        );
+                    let is_call = matches!(next, Some(TokKind::Punct('(')));
+                    if (is_call || is_macro) && !CALL_KEYWORDS.contains(&id.as_str()) {
+                        let prev = i.checked_sub(1).map(|j| &toks[j].kind);
+                        let is_method = matches!(prev, Some(TokKind::Punct('.')));
+                        let mut qual = None;
+                        if !is_method && !is_macro {
+                            // `Seg :: name (` — take the path segment.
+                            if matches!(prev, Some(TokKind::Punct(':')))
+                                && i >= 3
+                                && toks[i - 2].kind == TokKind::Punct(':')
+                            {
+                                if let TokKind::Ident(q) = &toks[i - 3].kind {
+                                    let q = if q == "Self" || q == "self" {
+                                        enclosing_qual(&stack).0.unwrap_or_else(|| q.clone())
+                                    } else {
+                                        q.clone()
+                                    };
+                                    qual = Some(q);
+                                }
+                            }
+                        }
+                        out.fns[def].calls.push(CallSite {
+                            name: id.clone(),
+                            qual,
+                            line: toks[i].line,
+                            is_method,
+                            is_macro,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Unterminated bodies (truncated input): close at EOF.
+    let eof_line = toks.last().map_or(1, |t| t.line);
+    for s in stack {
+        match s {
+            Scope::Fn { def } if out.fns[def].body.1 == 0 => {
+                out.fns[def].body.1 = n;
+                out.fns[def].end_line = eof_line;
+            }
+            Scope::Struct { def } if out.structs[def].body.1 == 0 => {
+                out.structs[def].body.1 = n;
+                out.structs[def].end_line = eof_line;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+impl FileIndex {
+    /// The symbol enclosing `line`: the innermost function whose span
+    /// contains it, else the enclosing struct, else `None`.
+    pub fn symbol_at(&self, line: u32) -> Option<String> {
+        let mut best: Option<(u32, String)> = None;
+        for f in &self.fns {
+            if f.line <= line && line <= f.end_line {
+                match &best {
+                    Some((l, _)) if *l >= f.line => {}
+                    _ => best = Some((f.line, f.symbol())),
+                }
+            }
+        }
+        if best.is_none() {
+            for s in &self.structs {
+                if s.line <= line && line <= s.end_line {
+                    match &best {
+                        Some((l, _)) if *l >= s.line => {}
+                        _ => best = Some((s.line, s.name.clone())),
+                    }
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+}
+
+/// Parses the header after an `impl` keyword: skips the generic
+/// parameter list, then reads `Path [for Path]` up to the opening brace.
+/// Returns `(type_name, trait_name, next_token_index)`.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (String, Option<String>, usize) {
+    let n = toks.len();
+    // Skip `<…>` generics (balanced; `->` cannot appear here).
+    if matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        let mut depth = 0i32;
+        while i < n {
+            match &toks[i].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let (first, mut i) = parse_path_name(toks, i);
+    if matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Ident(id)) if id == "for") {
+        let (second, j) = parse_path_name(toks, i + 1);
+        i = j;
+        (second, Some(first), i)
+    } else {
+        (first, None, i)
+    }
+}
+
+/// Reads one type path (`a::b::Name<…>`), returning its last identifier
+/// and the index just past it (generics skipped, references skipped).
+fn parse_path_name(toks: &[Tok], mut i: usize) -> (String, usize) {
+    let n = toks.len();
+    let mut last = String::new();
+    while i < n {
+        match &toks[i].kind {
+            TokKind::Ident(id) if id == "for" => break,
+            TokKind::Ident(id) if id == "dyn" || id == "mut" => i += 1,
+            TokKind::Ident(id) => {
+                last = id.clone();
+                i += 1;
+            }
+            TokKind::Punct(':') | TokKind::Punct('&') => i += 1,
+            TokKind::Punct('<') => {
+                let mut depth = 0i32;
+                while i < n {
+                    match &toks[i].kind {
+                        TokKind::Punct('<') => depth += 1,
+                        TokKind::Punct('>') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::rules::FileCtx;
+
+    fn index(path: &str, src: &str) -> FileIndex {
+        index_file(&FileCtx::classify(path), &scan(src))
+    }
+
+    #[test]
+    fn fns_get_impl_quals_and_traits() {
+        let src = "
+            impl SimTemplate {
+                pub fn run(&self) { helper(1); self.go(); }
+            }
+            impl Policy for Lowest {
+                fn dispatch(&mut self) { Other::make(); }
+            }
+            fn helper(x: u64) -> u64 { x }
+        ";
+        let ix = index("crates/gridsim/src/sim.rs", src);
+        let syms: Vec<String> = ix.fns.iter().map(|f| f.symbol()).collect();
+        assert_eq!(syms, vec!["SimTemplate::run", "Lowest::dispatch", "helper"]);
+        assert_eq!(ix.fns[1].trait_name.as_deref(), Some("Policy"));
+        let run_calls: Vec<&str> = ix.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(run_calls, vec!["helper", "go"]);
+        assert!(ix.fns[0].calls[1].is_method);
+        assert_eq!(ix.fns[1].calls[0].qual.as_deref(), Some("Other"));
+    }
+
+    #[test]
+    fn self_qualifier_resolves_to_impl_type() {
+        let src = "impl Engine { fn a(&self) { Self::b(); } fn b() {} }";
+        let ix = index("crates/desim/src/engine.rs", src);
+        assert_eq!(ix.fns[0].calls[0].qual.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { prod(); }
+            }
+        ";
+        let ix = index("crates/core/src/x.rs", src);
+        assert!(!ix.fns[0].is_test);
+        assert!(ix.fns[1].is_test);
+        // Whole-file test context (integration tests, benches).
+        let ix = index("crates/gridsim/tests/behavior.rs", "fn helper() {}");
+        assert!(ix.fns[0].is_test);
+    }
+
+    #[test]
+    fn structs_collect_field_types_and_arc_roots() {
+        let src = "
+            pub struct SharedWorld { layout: Layout, n: u64 }
+            pub struct Holder { world: Arc<SharedWorld> }
+        ";
+        let ix = index("crates/gridsim/src/world.rs", src);
+        assert_eq!(ix.structs[0].field_type_idents, vec!["Layout"]);
+        assert_eq!(ix.arc_shared, vec!["SharedWorld"]);
+    }
+
+    #[test]
+    fn macro_calls_are_recorded() {
+        let src = "fn f() { panic!(\"boom\"); }";
+        let ix = index("crates/gridsim/src/x.rs", src);
+        let c = &ix.fns[0].calls[0];
+        assert_eq!(c.name, "panic");
+        assert!(c.is_macro);
+    }
+
+    #[test]
+    fn trait_method_decls_are_bodiless() {
+        let src = "trait Policy { fn name(&self) -> &str; fn init(&mut self) { setup(); } }";
+        let ix = index("crates/gridsim/src/policy.rs", src);
+        assert_eq!(ix.fns.len(), 2);
+        assert_eq!(ix.fns[0].body, (0, 0));
+        assert_eq!(ix.fns[0].qual.as_deref(), Some("Policy"));
+        assert_eq!(ix.fns[1].calls[0].name, "setup");
+    }
+}

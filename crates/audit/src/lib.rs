@@ -1,6 +1,6 @@
 //! # gridscale-audit
 //!
-//! The workspace determinism linter. Every result this repository
+//! The workspace determinism analyzer. Every result this repository
 //! produces — G(k) curves, isoefficiency tunings, golden-report fixtures
 //! — depends on the simulator being *bit-identical* across replay modes,
 //! thread counts, and queue disciplines. This crate machine-checks the
@@ -13,28 +13,46 @@
 //! | D3 | `ambient-entropy` | `thread_rng`, `from_entropy`, `OsRng`, … — randomness must flow through `desim::SimRng` |
 //! | D4 | `par-float-sum` | `par_iter().sum::<f64>()`-style unordered parallel float reductions |
 //! | D5 | `shard-merge` | cross-thread merges of per-shard simulation state outside the blessed, shard-ordered barrier merge |
+//! | D6 | `seq-float-fold` | sequential float folds ordered by a keyed container's iteration (`map.values().sum::<f64>()`) |
+//! | D7 | `hot-path-panic` | `panic!`/`unwrap`/`expect`/`get_unchecked` reachable from `SimTemplate::run*` |
+//! | D8 | `shared-interior-mut` | `Cell`/`RefCell`/`Mutex`/atomics inside the Arc-shared `SharedWorld`/`Layout` closure |
+//! | D9 | `barrier-blocking` | blocking/lock acquisition inside `RoundBarrier` phase functions |
+//! | — | `taint-flow` | nondeterminism sources reached *transitively* from sim-facing sinks (`Policy` impls, kernel dispatch, shard merge, accounting, `SimTemplate::run*`), reported with the full call chain |
+//!
+//! D1–D6 and D9 are per-file lexical rules; D7, D8, and `taint-flow`
+//! run on a workspace item index and a conservative call graph (see
+//! [`index`], [`callgraph`], [`taint`]) and can be switched off with
+//! `--no-call-graph` for the legacy per-file mode.
 //!
 //! Lookup-only hash maps and telemetry clock reads opt out with
-//! annotations the linter *verifies are attached to a real use site*:
+//! annotations the analyzer *verifies are attached to a real use site*:
 //!
 //! ```text
 //! // audit:allow(hash-iter, reason="token-keyed lookups, never iterated")
 //! cache: HashMap<u64, SimReport>,
 //! ```
 //!
-//! Run as `cargo run -p gridscale-audit` or `gridscale audit`. The
-//! runtime half of the contract is the event-stream fingerprint folded by
-//! the simulation kernel (see `gridsim`'s `SimReport::event_fingerprint`).
+//! Accepted pre-existing findings live in `audit-baseline.toml` (see
+//! [`baseline`]): CI fails only on *new* findings. Run as
+//! `cargo run -p gridscale-audit` or `gridscale audit`. The runtime
+//! half of the contract is the event-stream fingerprint folded by the
+//! simulation kernel (see `gridsim`'s `SimReport::event_fingerprint`).
 //!
-//! Deliberately dependency-free (hand-rolled lexer and JSON emitter): the
-//! linter is part of the trust base and must build wherever the
-//! toolchain does, including fully offline environments.
+//! Deliberately dependency-free (hand-rolled lexer, JSON/SARIF emitters,
+//! TOML-subset baseline parser): the analyzer is part of the trust base
+//! and must build wherever the toolchain does, including fully offline
+//! environments.
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod index;
 pub mod lexer;
 pub mod rules;
+pub mod taint;
 
+pub use baseline::Baseline;
 pub use rules::{Diagnostic, FileCtx, Severity, DETERMINISM_RULES};
 
 use std::fs;
@@ -43,11 +61,26 @@ use std::path::{Path, PathBuf};
 /// Directory names never scanned (build output, VCS, CI config).
 const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "results", "node_modules"];
 
-/// Directory suffix excluded from the scan: the linter's own test
+/// Directory suffix excluded from the scan: the analyzer's own test
 /// fixtures under `crates/audit/tests/fixtures` are *intentionally*
 /// violating snippets. Matched as a suffix so the skip holds whether
 /// the scan root is the workspace or the audit crate itself.
 const SKIP_SUFFIX: &str = "tests/fixtures";
+
+/// Default baseline file name, resolved against the scan root.
+pub const BASELINE_FILE: &str = "audit-baseline.toml";
+
+/// Analyzer configuration.
+#[derive(Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Disable the workspace-aware rules (D7, D8, `taint-flow`) and run
+    /// the legacy per-file mode only.
+    pub no_call_graph: bool,
+    /// Accepted pre-existing findings; violations covered by the
+    /// baseline are counted in [`AuditOutcome::baselined`] instead of
+    /// failing the audit.
+    pub baseline: Option<Baseline>,
+}
 
 /// The outcome of auditing a workspace.
 #[derive(Debug, Default)]
@@ -56,6 +89,8 @@ pub struct AuditOutcome {
     pub files_scanned: usize,
     /// All diagnostics, sorted by (file, line, rule).
     pub diagnostics: Vec<Diagnostic>,
+    /// Violations suppressed by the baseline file.
+    pub baselined: usize,
 }
 
 impl AuditOutcome {
@@ -80,15 +115,21 @@ impl AuditOutcome {
 
     /// Serializes the outcome as a machine-readable JSON report.
     ///
+    /// Byte-stable across hosts: diagnostics are sorted by (file, line,
+    /// rule) and every map key is emitted in a fixed order, so CI diffs
+    /// and committed reports are reproducible.
+    ///
     /// Shape:
     /// ```json
     /// {
     ///   "files_scanned": 96,
     ///   "violations": 0,
     ///   "warnings": 0,
-    ///   "rules": ["hash-iter", "wall-clock", "ambient-entropy", "par-float-sum"],
+    ///   "baselined": 12,
+    ///   "rules": ["hash-iter", "wall-clock", "..."],
     ///   "diagnostics": [ {"rule": "...", "severity": "...",
-    ///                     "file": "...", "line": 1, "message": "..."} ]
+    ///                     "file": "...", "line": 1, "symbol": "...",
+    ///                     "chain": ["..."], "message": "..."} ]
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -100,6 +141,7 @@ impl AuditOutcome {
             self.violations().count()
         ));
         s.push_str(&format!("  \"warnings\": {},\n", self.warnings().count()));
+        s.push_str(&format!("  \"baselined\": {},\n", self.baselined));
         s.push_str("  \"rules\": [");
         for (i, r) in DETERMINISM_RULES.iter().enumerate() {
             if i > 0 {
@@ -123,6 +165,15 @@ impl AuditOutcome {
             ));
             s.push_str(&format!("\"file\": \"{}\", ", json_escape(&d.file)));
             s.push_str(&format!("\"line\": {}, ", d.line));
+            s.push_str(&format!("\"symbol\": \"{}\", ", json_escape(&d.symbol)));
+            s.push_str("\"chain\": [");
+            for (j, c) in d.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\"", json_escape(c)));
+            }
+            s.push_str("], ");
             s.push_str(&format!("\"message\": \"{}\"", json_escape(&d.message)));
             s.push('}');
         }
@@ -130,6 +181,58 @@ impl AuditOutcome {
             s.push_str("\n  ");
         }
         s.push_str("]\n}\n");
+        s
+    }
+
+    /// Serializes the outcome as a minimal SARIF 2.1.0 log for GitHub
+    /// code-scanning annotations. Same stable ordering as the JSON
+    /// report.
+    pub fn to_sarif(&self) -> String {
+        let mut s = String::with_capacity(512 + self.diagnostics.len() * 220);
+        s.push_str("{\n");
+        s.push_str("  \"version\": \"2.1.0\",\n");
+        s.push_str(
+            "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+        );
+        s.push_str("  \"runs\": [{\n");
+        s.push_str("    \"tool\": {\"driver\": {\"name\": \"gridscale-audit\", \"rules\": [");
+        for (i, r) in DETERMINISM_RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{{\"id\": \"{r}\"}}"));
+        }
+        s.push_str("]}},\n");
+        s.push_str("    \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n      {");
+            s.push_str(&format!("\"ruleId\": \"{}\", ", d.rule));
+            s.push_str(&format!(
+                "\"level\": \"{}\", ",
+                match d.severity {
+                    Severity::Violation => "error",
+                    Severity::Warning => "warning",
+                }
+            ));
+            s.push_str(&format!(
+                "\"message\": {{\"text\": \"{}\"}}, ",
+                json_escape(&d.message)
+            ));
+            s.push_str(&format!(
+                "\"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]",
+                json_escape(&d.file),
+                d.line
+            ));
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n    ");
+        }
+        s.push_str("]\n  }]\n}\n");
         s
     }
 }
@@ -151,34 +254,106 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Lints a single source text as if it lived at `rel_path` (workspace-
-/// relative, forward slashes). The entry point the fixture tests use.
-pub fn audit_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    let ctx = FileCtx::classify(rel_path);
-    rules::check_file(&ctx, &lexer::scan(src))
+/// Runs the full analyzer over an in-memory file set (`(rel_path,
+/// source)` pairs, workspace-relative forward-slash paths). The entry
+/// point the fixture tests use; [`audit_workspace`] is the same
+/// pipeline fed from disk.
+pub fn analyze_sources(files: &[(&str, &str)], opts: &AnalyzeOptions) -> AuditOutcome {
+    let ctxs: Vec<FileCtx> = files.iter().map(|(p, _)| FileCtx::classify(p)).collect();
+    let scans: Vec<lexer::FileScan> = files.iter().map(|(_, s)| lexer::scan(s)).collect();
+    let indexes: Vec<index::FileIndex> = ctxs
+        .iter()
+        .zip(&scans)
+        .map(|(c, s)| index::index_file(c, s))
+        .collect();
+
+    // Per-file lexical rules (raw, unsuppressed).
+    let mut raw_per_file: Vec<Vec<Diagnostic>> = ctxs
+        .iter()
+        .zip(&scans)
+        .zip(&indexes)
+        .map(|((c, s), ix)| rules::collect_file_raw(c, s, ix))
+        .collect();
+
+    // Workspace-aware rules, routed back to their file's allow ledger.
+    if !opts.no_call_graph {
+        for d in taint::check_workspace(&ctxs, &scans, &indexes) {
+            if let Some(fi) = ctxs.iter().position(|c| c.rel_path == d.file) {
+                raw_per_file[fi].push(d);
+            }
+        }
+    }
+
+    // One allow pass per file over the union, then symbol attribution.
+    let mut diagnostics = Vec::new();
+    for ((ctx, scan), ix) in ctxs.iter().zip(&scans).zip(&indexes) {
+        let fi_diags = raw_per_file.remove(0);
+        for mut d in rules::apply_allows(ctx, scan, fi_diags) {
+            if d.symbol.is_empty() {
+                if let Some(sym) = ix.symbol_at(d.line) {
+                    d.symbol = sym;
+                }
+            }
+            diagnostics.push(d);
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let (diagnostics, baselined) = match &opts.baseline {
+        Some(b) => b.apply(diagnostics),
+        None => (diagnostics, 0),
+    };
+    AuditOutcome {
+        files_scanned: files.len(),
+        diagnostics,
+        baselined,
+    }
 }
 
-/// Walks `root` and lints every `.rs` file, returning the aggregate
-/// outcome. `root` should be the workspace root (the directory holding
-/// the top-level `Cargo.toml`).
-pub fn audit_workspace(root: &Path) -> std::io::Result<AuditOutcome> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut outcome = AuditOutcome::default();
-    for rel in files {
-        let abs = root.join(&rel);
-        let src = fs::read_to_string(&abs)?;
+/// Lints a single source text as if it lived at `rel_path` (workspace-
+/// relative, forward slashes), with the full engine (call-graph rules
+/// included, no baseline).
+pub fn audit_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    analyze_sources(&[(rel_path, src)], &AnalyzeOptions::default()).diagnostics
+}
+
+/// Walks `root` and audits every `.rs` file with the given options,
+/// returning the aggregate outcome. `root` should be the workspace root
+/// (the directory holding the top-level `Cargo.toml`).
+pub fn audit_workspace_with(root: &Path, opts: &AnalyzeOptions) -> std::io::Result<AuditOutcome> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::new();
+    for rel in &paths {
+        let src = fs::read_to_string(root.join(rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        outcome.diagnostics.extend(audit_source(&rel_str, &src));
-        outcome.files_scanned += 1;
+        sources.push((rel_str, src));
     }
-    outcome
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(outcome)
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    Ok(analyze_sources(&refs, opts))
+}
+
+/// [`audit_workspace_with`] under the default configuration CI uses:
+/// call-graph mode on, and the committed `audit-baseline.toml` at the
+/// root applied when present.
+pub fn audit_workspace(root: &Path) -> std::io::Result<AuditOutcome> {
+    let mut opts = AnalyzeOptions::default();
+    let baseline_path = root.join(BASELINE_FILE);
+    if let Ok(text) = fs::read_to_string(&baseline_path) {
+        opts.baseline = Some(Baseline::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", baseline_path.display()),
+            )
+        })?);
+    }
+    audit_workspace_with(root, &opts)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -223,12 +398,32 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Shared driver for the `gridscale-audit` binary and the `gridscale
-/// audit` subcommand. Parses `--root`, `--json`, `--deny-warnings`,
-/// `--quiet` from `args`, prints diagnostics, and returns the process
-/// exit code (0 = clean).
+/// audit` subcommand.
+///
+/// Flags:
+/// - `--root DIR` — workspace root (default: walk up to `[workspace]`)
+/// - `--call-graph` / `--no-call-graph` — workspace-aware rules (D7,
+///   D8, taint-flow); default on
+/// - `--baseline FILE` — accepted-findings file (default:
+///   `audit-baseline.toml` at the root, when present)
+/// - `--no-baseline` — ignore any baseline file
+/// - `--write-baseline` — regenerate the baseline accepting every
+///   current violation, then exit
+/// - `--json REPORT.json` — write the byte-stable JSON report
+/// - `--sarif REPORT.sarif` — write a SARIF 2.1.0 log
+/// - `--deny-warnings` — annotation-hygiene warnings also fail
+/// - `--quiet` — suppress per-diagnostic output
+///
+/// Returns the process exit code (0 = clean, 1 = findings, 2 = usage or
+/// I/O error).
 pub fn run_cli(args: &[String]) -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut no_call_graph = false;
     let mut deny_warnings = false;
     let mut quiet = false;
     let mut i = 0;
@@ -242,12 +437,26 @@ pub fn run_cli(args: &[String]) -> i32 {
                 i += 1;
                 json_path = args.get(i).map(PathBuf::from);
             }
+            "--sarif" => {
+                i += 1;
+                sarif_path = args.get(i).map(PathBuf::from);
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).map(PathBuf::from);
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--call-graph" => no_call_graph = false,
+            "--no-call-graph" => no_call_graph = true,
             "--deny-warnings" => deny_warnings = true,
             "--quiet" => quiet = true,
             other => {
                 eprintln!("gridscale-audit: unknown flag {other}");
                 eprintln!(
-                    "usage: gridscale-audit [--root DIR] [--json REPORT.json] \
+                    "usage: gridscale-audit [--root DIR] [--call-graph | --no-call-graph] \
+                     [--baseline FILE | --no-baseline] [--write-baseline] \
+                     [--json REPORT.json] [--sarif REPORT.sarif] \
                      [--deny-warnings] [--quiet]"
                 );
                 return 2;
@@ -263,13 +472,53 @@ pub fn run_cli(args: &[String]) -> i32 {
         })
         .unwrap_or_else(|| PathBuf::from("."));
 
-    let outcome = match audit_workspace(&root) {
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let mut opts = AnalyzeOptions {
+        no_call_graph,
+        baseline: None,
+    };
+    // A missing baseline file is fine (every finding surfaces); a
+    // malformed one is a hard error, never a silently empty accept-list.
+    if !no_baseline && !write_baseline {
+        if let Ok(text) = fs::read_to_string(&baseline_file) {
+            match Baseline::parse(&text) {
+                Ok(b) => opts.baseline = Some(b),
+                Err(e) => {
+                    eprintln!(
+                        "gridscale-audit: malformed baseline {}: {e}",
+                        baseline_file.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    }
+
+    let outcome = match audit_workspace_with(&root, &opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("gridscale-audit: cannot scan {}: {e}", root.display());
             return 2;
         }
     };
+
+    if write_baseline {
+        let text = baseline::render_baseline(&outcome.diagnostics);
+        if let Err(e) = fs::write(&baseline_file, &text) {
+            eprintln!(
+                "gridscale-audit: cannot write {}: {e}",
+                baseline_file.display()
+            );
+            return 2;
+        }
+        let v = outcome.violations().count();
+        println!(
+            "baseline → {} ({v} violation{} accepted)",
+            baseline_file.display(),
+            if v == 1 { "" } else { "s" },
+        );
+        return 0;
+    }
 
     if !quiet {
         for d in &outcome.diagnostics {
@@ -282,10 +531,11 @@ pub fn run_cli(args: &[String]) -> i32 {
         let v = outcome.violations().count();
         let w = outcome.warnings().count();
         println!(
-            "audit: {} files scanned, {v} violation{}, {w} warning{}",
+            "audit: {} files scanned, {v} violation{}, {w} warning{}, {} baselined",
             outcome.files_scanned,
             if v == 1 { "" } else { "s" },
             if w == 1 { "" } else { "s" },
+            outcome.baselined,
         );
     }
     if let Some(p) = json_path {
@@ -295,6 +545,15 @@ pub fn run_cli(args: &[String]) -> i32 {
         }
         if !quiet {
             println!("audit report → {}", p.display());
+        }
+    }
+    if let Some(p) = sarif_path {
+        if let Err(e) = fs::write(&p, outcome.to_sarif()) {
+            eprintln!("gridscale-audit: cannot write {}: {e}", p.display());
+            return 2;
+        }
+        if !quiet {
+            println!("sarif log → {}", p.display());
         }
     }
     if outcome.is_clean(deny_warnings) {
@@ -308,38 +567,72 @@ pub fn run_cli(args: &[String]) -> i32 {
 mod tests {
     use super::*;
 
+    fn diag(rule: &'static str, sev: Severity) -> Diagnostic {
+        let mut d = Diagnostic::new(
+            rule,
+            sev,
+            "crates/x/src/lib.rs",
+            3,
+            "a \"quoted\" message".into(),
+        );
+        d.symbol = "X::f".into();
+        d.chain = vec!["SimTemplate::run".into(), "X::f".into()];
+        d
+    }
+
     #[test]
     fn json_report_shape() {
         let outcome = AuditOutcome {
             files_scanned: 2,
-            diagnostics: vec![Diagnostic {
-                rule: rules::RULE_WALL_CLOCK,
-                severity: Severity::Violation,
-                file: "crates/x/src/lib.rs".into(),
-                line: 3,
-                message: "a \"quoted\" message".into(),
-            }],
+            diagnostics: vec![diag(rules::RULE_WALL_CLOCK, Severity::Violation)],
+            baselined: 4,
         };
         let json = outcome.to_json();
         assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"baselined\": 4"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"symbol\": \"X::f\""));
+        assert!(json.contains("\"chain\": [\"SimTemplate::run\", \"X::f\"]"));
         assert!(!outcome.is_clean(false));
+    }
+
+    #[test]
+    fn sarif_log_shape() {
+        let outcome = AuditOutcome {
+            files_scanned: 1,
+            diagnostics: vec![diag(rules::RULE_HOT_PATH_PANIC, Severity::Violation)],
+            baselined: 0,
+        };
+        let sarif = outcome.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"hot-path-panic\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(sarif.contains("\"startLine\": 3"));
     }
 
     #[test]
     fn clean_outcome_with_warnings_depends_on_strictness() {
         let outcome = AuditOutcome {
             files_scanned: 1,
-            diagnostics: vec![Diagnostic {
-                rule: rules::RULE_UNUSED_ALLOW,
-                severity: Severity::Warning,
-                file: "src/lib.rs".into(),
-                line: 1,
-                message: "m".into(),
-            }],
+            diagnostics: vec![diag(rules::RULE_UNUSED_ALLOW, Severity::Warning)],
+            baselined: 0,
         };
         assert!(outcome.is_clean(false));
         assert!(!outcome.is_clean(true));
+    }
+
+    #[test]
+    fn analyze_sources_attributes_symbols() {
+        let outcome = analyze_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "fn measure() { let t = Instant::now(); }",
+            )],
+            &AnalyzeOptions::default(),
+        );
+        assert_eq!(outcome.diagnostics.len(), 1);
+        assert_eq!(outcome.diagnostics[0].symbol, "measure");
     }
 }

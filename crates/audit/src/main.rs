@@ -1,7 +1,9 @@
-//! `gridscale-audit` — the standalone determinism-linter binary.
+//! `gridscale-audit` — the standalone determinism-analyzer binary.
 //!
 //! ```text
-//! cargo run -p gridscale-audit -- [--root DIR] [--json REPORT.json]
+//! cargo run -p gridscale-audit -- [--root DIR] [--call-graph | --no-call-graph]
+//!                                 [--baseline FILE | --no-baseline] [--write-baseline]
+//!                                 [--json REPORT.json] [--sarif REPORT.sarif]
 //!                                 [--deny-warnings] [--quiet]
 //! ```
 //!

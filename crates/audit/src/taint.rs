@@ -1,0 +1,548 @@
+//! The workspace-aware rules: taint propagation (cross-file
+//! `taint-flow`), D7 `hot-path-panic`, and D8 `shared-interior-mut`.
+//!
+//! These passes run over the *whole* scanned file set — per-file index
+//! plus the conservative call graph — which is what lets them see a
+//! nondeterminism source three helpers away from the sim hot path:
+//!
+//! - **taint-flow**: nondeterminism *source facts* are collected in
+//!   exactly the files where the per-file rules stand down (hash
+//!   iteration outside the sim-facing crates, wall-clock reads in the
+//!   path-exempt bench code, order-sensitive float folds outside
+//!   sim-facing crates). A fact becomes a finding when its enclosing
+//!   function is reachable from a sim-facing *sink entry* — a `Policy`
+//!   impl, the kernel dispatch, the shard merge primitives, an
+//!   `Accounting` fold, or `SimTemplate::run*`. The diagnostic lands on
+//!   the source line and carries the full sink→source call chain.
+//! - **D7 `hot-path-panic`**: `panic!`-family macros, `.unwrap()`,
+//!   `.expect()`, and `get_unchecked` in any function reachable from
+//!   `SimTemplate::run*`, with the chain that reaches it.
+//! - **D8 `shared-interior-mut`**: the transitive field closure of the
+//!   `Arc`-shared root types (`SharedWorld`, `Layout`, plus every type
+//!   the scan sees inside `Arc<…>`) must be free of interior
+//!   mutability; each `Cell`/`RefCell`/`Mutex`/atomic field in a member
+//!   struct is flagged with the root→struct containment chain.
+//!
+//! Suppression works like everywhere else: an `audit:allow(rule, …)`
+//! annotation on (or above) the flagged line — the engine routes these
+//! diagnostics through the same per-file allow ledger.
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::index::FileIndex;
+use crate::lexer::{FileScan, TokKind};
+use crate::rules::{
+    ident_at, punct_at, wall_clock_sites, ContainerBindings, ContainerKind, Diagnostic, FileCtx,
+    Severity, CHAIN_WINDOW, HASH_ITER_METHODS, KEYED_ITER_METHODS, REDUCERS, RULE_HOT_PATH_PANIC,
+    RULE_SHARED_INTERIOR_MUT, RULE_TAINT_FLOW,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Macros that abort the replay mid-run.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panicking (or UB-on-misuse) method calls D7 flags on the hot path.
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "get_unchecked", "get_unchecked_mut"];
+
+/// Interior-mutability type names D8 forbids inside Arc-shared state.
+const INTERIOR_MUT_IDENTS: [&str; 19] = [
+    "Cell",
+    "RefCell",
+    "Mutex",
+    "RwLock",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// Always-on D8 roots: the shared-world types every replication thread
+/// holds by `Arc`.
+const ARC_ROOT_SEEDS: [&str; 2] = ["SharedWorld", "Layout"];
+
+/// One nondeterminism source fact (a site the per-file rules don't
+/// report in this file, but which must not be reachable from a
+/// sim-facing sink).
+struct SourceFact {
+    line: u32,
+    desc: String,
+}
+
+/// Collects source facts for one file: exactly the gaps the per-file
+/// rules leave open (so taint findings never double-report a D1–D6
+/// diagnostic).
+fn collect_facts(ctx: &FileCtx, scan: &FileScan) -> Vec<SourceFact> {
+    let toks = &scan.toks;
+    let mut out = Vec::new();
+    let bindings = ContainerBindings::collect(toks);
+
+    // Hash iteration outside the sim-facing crates (D1 is silent there).
+    if !ctx.sim_facing {
+        for i in 0..toks.len() {
+            let Some(name) = ident_at(toks, i) else {
+                continue;
+            };
+            if bindings.kind_of(name) == Some(ContainerKind::Hash)
+                && punct_at(toks, i + 1) == Some('.')
+                && ident_at(toks, i + 2).is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && punct_at(toks, i + 3) == Some('(')
+            {
+                out.push(SourceFact {
+                    line: toks[i].line,
+                    desc: format!(
+                        "hash-order iteration `{name}.{}()`",
+                        ident_at(toks, i + 2).unwrap()
+                    ),
+                });
+            }
+            if name == "in" {
+                for j in (i + 1)..(i + 6).min(toks.len()) {
+                    match &toks[j].kind {
+                        TokKind::Ident(id) if bindings.kind_of(id) == Some(ContainerKind::Hash) => {
+                            if punct_at(toks, j + 1) != Some('.') {
+                                out.push(SourceFact {
+                                    line: toks[j].line,
+                                    desc: format!("hash-order iteration `for … in {id}`"),
+                                });
+                            }
+                            break;
+                        }
+                        TokKind::Punct('{') => break,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Wall-clock reads in path-exempt files (D2 is silent there).
+    if ctx.wall_clock_exempt {
+        for (_, (line, _)) in wall_clock_sites(toks) {
+            out.push(SourceFact {
+                line,
+                desc: "wall-clock read (`Instant::now`/`SystemTime`)".to_string(),
+            });
+        }
+    }
+
+    // Keyed-container float folds outside sim-facing crates (D6 is
+    // silent there).
+    if !ctx.sim_facing {
+        for i in 0..toks.len() {
+            let Some(name) = ident_at(toks, i) else {
+                continue;
+            };
+            if bindings.kind_of(name).is_none()
+                || punct_at(toks, i + 1) != Some('.')
+                || !ident_at(toks, i + 2).is_some_and(|m| KEYED_ITER_METHODS.contains(&m))
+                || punct_at(toks, i + 3) != Some('(')
+            {
+                continue;
+            }
+            for j in (i + 4)..(i + 2 * CHAIN_WINDOW).min(toks.len()) {
+                if punct_at(toks, j) == Some(';') {
+                    break;
+                }
+                if punct_at(toks, j) == Some('.') {
+                    if let Some(m) = ident_at(toks, j + 1) {
+                        if REDUCERS.contains(&m) {
+                            out.push(SourceFact {
+                                line: toks[i].line,
+                                desc: format!(
+                                    "keyed-container fold `{name}.{}().…{m}()`",
+                                    ident_at(toks, i + 2).unwrap()
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// The innermost non-test fn in `index` whose span contains `line`.
+fn enclosing_fn(index: &FileIndex, line: u32) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (di, f) in index.fns.iter().enumerate() {
+        if f.is_test || f.line > line || line > f.end_line {
+            continue;
+        }
+        match best {
+            Some(b) if index.fns[b].line >= f.line => {}
+            _ => best = Some(di),
+        }
+    }
+    best
+}
+
+fn render_chain(chain: &[String]) -> String {
+    chain.join(" → ")
+}
+
+/// Sim-facing sink entries: the functions whose transitive callees must
+/// be free of nondeterminism sources.
+fn sink_entries(ctxs: &[FileCtx], indexes: &[FileIndex]) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (fi, index) in indexes.iter().enumerate() {
+        let in_kernel = ctxs[fi].rel_path.ends_with("kernel.rs");
+        for (di, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let is_sink = f.trait_name.as_deref() == Some("Policy")
+                || (in_kernel && ctxs[fi].sim_facing)
+                || f.name == "absorb_shard"
+                || f.name == "merge_shard_core"
+                || f.qual.as_deref() == Some("Accounting")
+                || (f.qual.as_deref() == Some("SimTemplate") && f.name.starts_with("run"));
+            if is_sink {
+                out.push((fi, di));
+            }
+        }
+    }
+    out
+}
+
+/// Replay hot-path entries for D7: `SimTemplate::run*`.
+fn hot_path_entries(indexes: &[FileIndex]) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (fi, index) in indexes.iter().enumerate() {
+        for (di, f) in index.fns.iter().enumerate() {
+            if !f.is_test && f.qual.as_deref() == Some("SimTemplate") && f.name.starts_with("run") {
+                out.push((fi, di));
+            }
+        }
+    }
+    out
+}
+
+/// Cross-file taint: source facts reachable from sim-facing sinks.
+fn check_taint_flow(
+    ctxs: &[FileCtx],
+    scans: &[FileScan],
+    indexes: &[FileIndex],
+    graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let entries = sink_entries(ctxs, indexes);
+    if entries.is_empty() {
+        return;
+    }
+    let parent = graph.reach(&entries);
+    for fi in 0..ctxs.len() {
+        let facts = collect_facts(&ctxs[fi], &scans[fi]);
+        if facts.is_empty() {
+            continue;
+        }
+        for fact in facts {
+            let Some(di) = enclosing_fn(&indexes[fi], fact.line) else {
+                continue; // not inside a fn: unreachable by calls
+            };
+            if !parent.contains_key(&(fi, di)) {
+                continue;
+            }
+            let chain = graph.chain(&parent, indexes, (fi, di));
+            let mut d = Diagnostic::new(
+                RULE_TAINT_FLOW,
+                Severity::Violation,
+                &ctxs[fi].rel_path,
+                fact.line,
+                format!(
+                    "{} is reachable from sim-facing entry `{}` — call chain: {}",
+                    fact.desc,
+                    chain.first().map(String::as_str).unwrap_or("?"),
+                    render_chain(&chain)
+                ),
+            );
+            d.chain = chain;
+            out.push(d);
+        }
+    }
+}
+
+/// D7: panics reachable from the replay hot path.
+fn check_hot_path_panic(
+    ctxs: &[FileCtx],
+    scans: &[FileScan],
+    indexes: &[FileIndex],
+    graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let entries = hot_path_entries(indexes);
+    if entries.is_empty() {
+        return;
+    }
+    let parent = graph.reach(&entries);
+    for (&(fi, di), _) in parent.iter() {
+        let f = &indexes[fi].fns[di];
+        let toks = &scans[fi].toks;
+        let (s, e) = f.body;
+        if e <= s || e > toks.len() {
+            continue;
+        }
+        let mut sites: Vec<(u32, String)> = Vec::new();
+        // Panicking macros come straight off the indexed call sites.
+        for c in &f.calls {
+            if c.is_macro && PANIC_MACROS.contains(&c.name.as_str()) {
+                sites.push((c.line, format!("`{}!`", c.name)));
+            }
+        }
+        // `.unwrap()` / `.expect(` / `get_unchecked` are token scans
+        // over the body span (they are std methods, not indexed calls).
+        let body = &toks[s..e];
+        for i in 0..body.len() {
+            if punct_at(body, i) == Some('.') {
+                if let Some(m) = ident_at(body, i + 1) {
+                    if PANIC_METHODS.contains(&m) && punct_at(body, i + 2) == Some('(') {
+                        sites.push((body[i + 1].line, format!("`.{m}()`")));
+                    }
+                }
+            }
+        }
+        if sites.is_empty() {
+            continue;
+        }
+        let chain = graph.chain(&parent, indexes, (fi, di));
+        sites.sort();
+        sites.dedup();
+        for (line, what) in sites {
+            let mut d = Diagnostic::new(
+                RULE_HOT_PATH_PANIC,
+                Severity::Violation,
+                &ctxs[fi].rel_path,
+                line,
+                format!(
+                    "{what} in `{}` is reachable from the replay hot path — a panic \
+                     mid-replay tears down the sharded run at a scheduling-dependent \
+                     point; return an error/default or annotate the invariant \
+                     (call chain: {})",
+                    f.symbol(),
+                    render_chain(&chain)
+                ),
+            );
+            d.chain = chain.clone();
+            out.push(d);
+        }
+    }
+}
+
+/// D8: interior mutability inside the Arc-shared struct closure.
+fn check_shared_interior_mut(
+    ctxs: &[FileCtx],
+    scans: &[FileScan],
+    indexes: &[FileIndex],
+    out: &mut Vec<Diagnostic>,
+) {
+    // Struct name → definitions, restricted to sim-facing files (the
+    // closure is about the shared world, not arbitrary same-named types
+    // in tooling crates).
+    let mut defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, index) in indexes.iter().enumerate() {
+        if !ctxs[fi].sim_facing {
+            continue;
+        }
+        for (si, st) in index.structs.iter().enumerate() {
+            defs.entry(st.name.as_str()).or_default().push((fi, si));
+        }
+    }
+
+    // Roots: the seeds plus everything seen inside `Arc<…>` anywhere.
+    let mut roots: BTreeSet<String> = ARC_ROOT_SEEDS.iter().map(|s| s.to_string()).collect();
+    for index in indexes {
+        for t in &index.arc_shared {
+            roots.insert(t.clone());
+        }
+    }
+
+    // BFS over the field-type closure, recording each struct's parent
+    // for the containment chain.
+    let mut parent: BTreeMap<String, Option<String>> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for r in &roots {
+        if defs.contains_key(r.as_str()) && !parent.contains_key(r) {
+            parent.insert(r.clone(), None);
+            queue.push_back(r.clone());
+        }
+    }
+    while let Some(name) = queue.pop_front() {
+        let Some(sites) = defs.get(name.as_str()) else {
+            continue;
+        };
+        for &(fi, si) in sites {
+            let st = &indexes[fi].structs[si];
+            let toks = &scans[fi].toks;
+            let (s, e) = st.body;
+            if e <= s || e > toks.len() {
+                continue;
+            }
+            // Flag interior-mut field types in this member struct.
+            for t in &toks[s..e] {
+                if let TokKind::Ident(id) = &t.kind {
+                    if INTERIOR_MUT_IDENTS.contains(&id.as_str()) {
+                        let mut chain = vec![st.name.clone()];
+                        let mut cur = name.clone();
+                        while let Some(Some(p)) = parent.get(&cur) {
+                            chain.push(p.clone());
+                            cur = p.clone();
+                        }
+                        chain.reverse();
+                        let mut d = Diagnostic::new(
+                            RULE_SHARED_INTERIOR_MUT,
+                            Severity::Violation,
+                            &ctxs[fi].rel_path,
+                            t.line,
+                            format!(
+                                "`{id}` field inside `{}`, which is reachable from \
+                                 Arc-shared root `{}` — shared-world state must be \
+                                 deeply immutable during replay (containment: {})",
+                                st.name,
+                                chain.first().map(String::as_str).unwrap_or("?"),
+                                render_chain(&chain)
+                            ),
+                        );
+                        d.symbol = st.name.clone();
+                        d.chain = chain;
+                        out.push(d);
+                    }
+                }
+            }
+            // Follow field types into other workspace structs.
+            for t in &st.field_type_idents {
+                if defs.contains_key(t.as_str()) && !parent.contains_key(t) {
+                    parent.insert(t.clone(), Some(st.name.clone()));
+                    queue.push_back(t.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Runs every workspace-aware rule over the scanned file set. Returned
+/// diagnostics are *raw* (no allow-suppression); the engine merges them
+/// with the per-file raw diagnostics and applies each file's allow
+/// ledger once over the union.
+pub(crate) fn check_workspace(
+    ctxs: &[FileCtx],
+    scans: &[FileScan],
+    indexes: &[FileIndex],
+) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(indexes);
+    let mut out = Vec::new();
+    check_taint_flow(ctxs, scans, indexes, &graph, &mut out);
+    check_hot_path_panic(ctxs, scans, indexes, &graph, &mut out);
+    check_shared_interior_mut(ctxs, scans, indexes, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use crate::lexer::scan;
+
+    fn analyze(srcs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileCtx> = srcs.iter().map(|(p, _)| FileCtx::classify(p)).collect();
+        let scans: Vec<FileScan> = srcs.iter().map(|(_, s)| scan(s)).collect();
+        let indexes: Vec<FileIndex> = ctxs
+            .iter()
+            .zip(&scans)
+            .map(|(c, s)| index_file(c, s))
+            .collect();
+        check_workspace(&ctxs, &scans, &indexes)
+    }
+
+    #[test]
+    fn taint_reaches_across_files_with_full_chain() {
+        let d = analyze(&[
+            (
+                "crates/rms/src/policy.rs",
+                "impl Policy for Lowest { fn dispatch(&mut self) { score_all(); } }",
+            ),
+            (
+                "crates/topology/src/score.rs",
+                "pub fn score_all() { let m: HashMap<u64, f64> = HashMap::new(); for v in m.values() { } }",
+            ),
+        ]);
+        let t: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == RULE_TAINT_FLOW).collect();
+        assert_eq!(t.len(), 1, "{d:?}");
+        assert_eq!(t[0].file, "crates/topology/src/score.rs");
+        assert_eq!(t[0].chain, vec!["Lowest::dispatch", "score_all"]);
+        assert!(t[0].message.contains("Lowest::dispatch → score_all"));
+    }
+
+    #[test]
+    fn unreached_sources_stay_silent() {
+        let d = analyze(&[
+            (
+                "crates/rms/src/policy.rs",
+                "impl Policy for Lowest { fn dispatch(&mut self) {} }",
+            ),
+            (
+                "crates/topology/src/score.rs",
+                "pub fn orphan() { let m: HashMap<u64, f64> = HashMap::new(); for v in m.values() { } }",
+            ),
+        ]);
+        assert!(d.iter().all(|d| d.rule != RULE_TAINT_FLOW), "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_panics_carry_the_chain() {
+        let d = analyze(&[
+            (
+                "crates/gridsim/src/sim.rs",
+                "impl SimTemplate { pub fn run(&self) { step(); } }",
+            ),
+            (
+                "crates/gridsim/src/queue.rs",
+                "pub fn step() { let x: Option<u64> = None; x.unwrap(); }",
+            ),
+        ]);
+        let p: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == RULE_HOT_PATH_PANIC).collect();
+        assert_eq!(p.len(), 1, "{d:?}");
+        assert_eq!(p[0].chain, vec!["SimTemplate::run", "step"]);
+        assert!(p[0].message.contains("`.unwrap()`"));
+    }
+
+    #[test]
+    fn interior_mut_found_through_the_field_closure() {
+        let d = analyze(&[(
+            "crates/gridsim/src/world.rs",
+            "pub struct SharedWorld { layout: Layout }\npub struct Layout { links: LinkTable }\npub struct LinkTable { cache: RefCell<u64> }",
+        )]);
+        let m: Vec<&Diagnostic> = d
+            .iter()
+            .filter(|d| d.rule == RULE_SHARED_INTERIOR_MUT)
+            .collect();
+        assert_eq!(m.len(), 1, "{d:?}");
+        assert_eq!(m[0].symbol, "LinkTable");
+        // `Layout` is itself a seed root, so the containment chain
+        // starts there (roots have no parent).
+        assert_eq!(m[0].chain, vec!["Layout", "LinkTable"]);
+    }
+
+    #[test]
+    fn non_shared_interior_mut_is_fine() {
+        let d = analyze(&[(
+            "crates/gridsim/src/scratch.rs",
+            "pub struct Scratch { pool: Mutex<Vec<u64>> }",
+        )]);
+        assert!(
+            d.iter().all(|d| d.rule != RULE_SHARED_INTERIOR_MUT),
+            "{d:?}"
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! D6 negative fixture: the same folds as `d6_seq_float_fold.rs`, each
+//! carrying its ordering argument as an annotation (plus the stacked D1
+//! allows the hash container needs on its own account).
+
+use std::collections::{BTreeMap, HashMap};
+
+fn total_g_overhead() -> f64 {
+    // audit:allow(hash-iter, reason="fixture: order-insensitive total, summed below")
+    let loads: HashMap<u32, f64> = HashMap::new();
+    // audit:allow(hash-iter, reason="fixture: order-insensitive total")
+    // audit:allow(seq-float-fold, reason="fixture: values sum to an order-insensitive total")
+    let hash_total: f64 = loads.values().sum();
+    let ordered: BTreeMap<u32, f64> = BTreeMap::new();
+    // audit:allow(seq-float-fold, reason="fixture: ascending key order is the stated contract")
+    let btree_total = ordered.values().fold(0.0, |acc, v| acc + v);
+    hash_total + btree_total
+}

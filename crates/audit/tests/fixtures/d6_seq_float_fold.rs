@@ -1,0 +1,13 @@
+//! D6 fixture: sequential float folds ordered by a keyed container's
+//! iteration. The hash root is nondeterministic outright; the BTree
+//! root leans on an unstated "ascending key order" contract.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn total_g_overhead() -> f64 {
+    let loads: HashMap<u32, f64> = HashMap::new();
+    let hash_total: f64 = loads.values().sum();
+    let ordered: BTreeMap<u32, f64> = BTreeMap::new();
+    let btree_total = ordered.values().fold(0.0, |acc, v| acc + v);
+    hash_total + btree_total
+}

@@ -1,0 +1,22 @@
+//! D7 negative fixture: the same reachable panic sites, each carrying
+//! its invariant as an annotation.
+
+struct SimTemplate {
+    seed: u64,
+}
+
+impl SimTemplate {
+    fn run_replay(&self) -> f64 {
+        drain_round(3)
+    }
+}
+
+fn drain_round(k: usize) -> f64 {
+    let slots: Vec<f64> = Vec::with_capacity(k);
+    if slots.is_empty() {
+        // audit:allow(hot-path-panic, reason="fixture: k >= 1 is a constructor invariant")
+        panic!("empty round");
+    }
+    // audit:allow(hot-path-panic, reason="fixture: non-empty checked on the line above")
+    slots.first().copied().unwrap()
+}

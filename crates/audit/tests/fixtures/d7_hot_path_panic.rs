@@ -1,0 +1,20 @@
+//! D7 fixture: panic sites in a helper reachable from the replay hot
+//! path (`SimTemplate::run*`).
+
+struct SimTemplate {
+    seed: u64,
+}
+
+impl SimTemplate {
+    fn run_replay(&self) -> f64 {
+        drain_round(3)
+    }
+}
+
+fn drain_round(k: usize) -> f64 {
+    let slots: Vec<f64> = Vec::with_capacity(k);
+    if slots.is_empty() {
+        panic!("empty round");
+    }
+    slots.first().copied().unwrap()
+}

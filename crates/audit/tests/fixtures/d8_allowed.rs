@@ -1,0 +1,18 @@
+//! D8 negative fixture: the same nested interior-mut field, annotated
+//! with why it cannot race during replay.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+struct WorldFixture {
+    table: RateTable,
+}
+
+struct RateTable {
+    // audit:allow(shared-interior-mut, reason="fixture: scratch is only touched on the sequential tail")
+    scratch: RefCell<Vec<f64>>,
+}
+
+fn share(w: WorldFixture) -> Arc<WorldFixture> {
+    Arc::new(w)
+}

@@ -1,0 +1,18 @@
+//! D8 fixture: interior mutability buried one struct deep under an
+//! Arc-shared root — the closure walk must find it through the field
+//! type, not just on the root itself.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+struct WorldFixture {
+    table: RateTable,
+}
+
+struct RateTable {
+    scratch: RefCell<Vec<f64>>,
+}
+
+fn share(w: WorldFixture) -> Arc<WorldFixture> {
+    Arc::new(w)
+}

@@ -1,0 +1,21 @@
+//! D9 negative fixture: the same blocking sites, each stating its
+//! non-contention argument.
+
+struct RoundBarrier {
+    round: u64,
+}
+
+fn flush_round(barrier: &RoundBarrier, inbox: &std::sync::Mutex<Vec<u64>>) {
+    barrier.wait();
+    // audit:allow(barrier-blocking, reason="fixture: inbox slot is uncontended in this phase")
+    let mut q = inbox.lock().unwrap();
+    q.clear();
+    // audit:allow(barrier-blocking, reason="fixture: paced replay stub, no shard waits on us")
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn drain_round(barrier: &RoundBarrier, handle: std::thread::JoinHandle<()>) {
+    barrier.wait();
+    // audit:allow(barrier-blocking, reason="fixture: worker finished before the barrier tore down")
+    handle.join().unwrap();
+}

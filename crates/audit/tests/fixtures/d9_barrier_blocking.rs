@@ -1,0 +1,18 @@
+//! D9 fixture: blocking calls inside barrier-phase functions. The
+//! barrier's own `wait()` is the synchronization point and exempt.
+
+struct RoundBarrier {
+    round: u64,
+}
+
+fn flush_round(barrier: &RoundBarrier, inbox: &std::sync::Mutex<Vec<u64>>) {
+    barrier.wait();
+    let mut q = inbox.lock().unwrap();
+    q.clear();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn drain_round(barrier: &RoundBarrier, handle: std::thread::JoinHandle<()>) {
+    barrier.wait();
+    handle.join().unwrap();
+}

@@ -1,0 +1,18 @@
+//! Multi-file taint fixture, sink half: a Policy impl whose dispatch
+//! path reaches the hash-order helper in `taint_chain_score.rs` through
+//! an intermediate free function.
+
+struct LowestFixture {
+    held: usize,
+}
+
+impl Policy for LowestFixture {
+    fn on_remote_job(&mut self) {
+        self.held += 1;
+        dispatch_remote();
+    }
+}
+
+fn dispatch_remote() -> f64 {
+    score_all(&Default::default())
+}

@@ -1,0 +1,15 @@
+//! Multi-file taint fixture, source half: a hash-order scoring helper
+//! that is legal where it lives (a non-sim-facing crate, so D1 stands
+//! down) but must not be reachable from a sim-facing sink.
+
+use std::collections::HashMap;
+
+pub fn score_all(loads: &HashMap<u32, f64>) -> f64 {
+    let mut best = 0.0;
+    for (_, &v) in loads.iter() {
+        if v > best {
+            best = v;
+        }
+    }
+    best
+}

@@ -1,0 +1,322 @@
+//! Fixture tests for the call-graph-aware v2 rule families (D6–D9 and
+//! cross-file taint). Unlike `lint_fixtures.rs`, these pin the *exact*
+//! diagnostic text — including the rendered call chain — so message
+//! regressions show up as test diffs, not as churn in CI baselines.
+
+use gridscale_audit::{analyze_sources, audit_source, AnalyzeOptions, Diagnostic};
+
+fn read_fixture(fixture: &str) -> String {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read fixture {path}: {e}"))
+}
+
+fn lint_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    audit_source(as_path, &read_fixture(fixture))
+}
+
+/// `(rule, line, message)` triples of every diagnostic for `rule`.
+fn pins(diags: &[Diagnostic], rule: &str) -> Vec<(u32, String)> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.message.clone()))
+        .collect()
+}
+
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_seq_float_fold_fixture_violates_with_pinned_text() {
+    let diags = lint_fixture("d6_seq_float_fold.rs", "crates/gridsim/src/fixture.rs");
+    assert_eq!(
+        pins(&diags, "seq-float-fold"),
+        vec![
+            (
+                9,
+                "`loads.values().…sum()` accumulates in hash iteration order, \
+                 which varies per process; float folds outside the blessed \
+                 ascending-shard/ascending-rep folds must state their ordering \
+                 argument (`// audit:allow(seq-float-fold, reason=\"…\")`) or \
+                 fold over an explicitly ordered sequence"
+                    .to_string()
+            ),
+            (
+                11,
+                "`ordered.values().…fold()` accumulates in ascending key order \
+                 — stable today, but only by the container's courtesy; float \
+                 folds outside the blessed ascending-shard/ascending-rep folds \
+                 must state their ordering argument \
+                 (`// audit:allow(seq-float-fold, reason=\"…\")`) or fold over \
+                 an explicitly ordered sequence"
+                    .to_string()
+            ),
+        ],
+        "{diags:?}"
+    );
+    // The hash container also trips D1 on its own account (decl + use).
+    assert!(diags.iter().any(|d| d.rule == "hash-iter"), "{diags:?}");
+}
+
+#[test]
+fn d6_allowed_fixture_is_clean() {
+    let diags = lint_fixture("d6_allowed.rs", "crates/gridsim/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d6_is_scoped_to_sim_facing_crates() {
+    // Outside the sim-facing set the fold is only a taint *fact*; with
+    // no sink reaching it, nothing is reported.
+    let diags = lint_fixture("d6_seq_float_fold.rs", "crates/bench/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- D7
+
+#[test]
+fn d7_hot_path_panic_fixture_violates_with_pinned_chain() {
+    let diags = lint_fixture("d7_hot_path_panic.rs", "crates/gridsim/src/fixture.rs");
+    assert_eq!(
+        pins(&diags, "hot-path-panic"),
+        vec![
+            (
+                17,
+                "`panic!` in `drain_round` is reachable from the replay hot \
+                 path — a panic mid-replay tears down the sharded run at a \
+                 scheduling-dependent point; return an error/default or \
+                 annotate the invariant (call chain: SimTemplate::run_replay \
+                 → drain_round)"
+                    .to_string()
+            ),
+            (
+                19,
+                "`.unwrap()` in `drain_round` is reachable from the replay hot \
+                 path — a panic mid-replay tears down the sharded run at a \
+                 scheduling-dependent point; return an error/default or \
+                 annotate the invariant (call chain: SimTemplate::run_replay \
+                 → drain_round)"
+                    .to_string()
+            ),
+        ],
+        "{diags:?}"
+    );
+    // The structured chain rides along for --json consumers.
+    let d = diags.iter().find(|d| d.rule == "hot-path-panic").unwrap();
+    assert_eq!(d.chain, vec!["SimTemplate::run_replay", "drain_round"]);
+    assert_eq!(d.symbol, "drain_round");
+}
+
+#[test]
+fn d7_allowed_fixture_is_clean() {
+    let diags = lint_fixture("d7_allowed.rs", "crates/gridsim/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d7_is_silent_without_call_graph() {
+    let src = read_fixture("d7_hot_path_panic.rs");
+    let outcome = analyze_sources(
+        &[("crates/gridsim/src/fixture.rs", src.as_str())],
+        &AnalyzeOptions {
+            no_call_graph: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != "hot-path-panic"),
+        "{:?}",
+        outcome.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------- D8
+
+#[test]
+fn d8_shared_interior_mut_fixture_violates_with_pinned_containment() {
+    let diags = lint_fixture("d8_shared_interior_mut.rs", "crates/gridsim/src/fixture.rs");
+    assert_eq!(
+        pins(&diags, "shared-interior-mut"),
+        vec![(
+            13,
+            "`RefCell` field inside `RateTable`, which is reachable from \
+             Arc-shared root `WorldFixture` — shared-world state must be \
+             deeply immutable during replay (containment: WorldFixture → \
+             RateTable)"
+                .to_string()
+        )],
+        "{diags:?}"
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "shared-interior-mut")
+        .unwrap();
+    assert_eq!(d.chain, vec!["WorldFixture", "RateTable"]);
+    assert_eq!(d.symbol, "RateTable");
+}
+
+#[test]
+fn d8_allowed_fixture_is_clean() {
+    let diags = lint_fixture("d8_allowed.rs", "crates/gridsim/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d8_is_scoped_to_sim_facing_crates() {
+    // The same shapes in a tooling crate shares nothing across replay
+    // threads that the audit polices.
+    let diags = lint_fixture("d8_shared_interior_mut.rs", "crates/bench/src/fixture.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "shared-interior-mut"),
+        "{diags:?}"
+    );
+}
+
+// ---------------------------------------------------------------- D9
+
+#[test]
+fn d9_barrier_blocking_fixture_violates_with_pinned_text() {
+    let diags = lint_fixture("d9_barrier_blocking.rs", "crates/gridsim/src/fixture.rs");
+    assert_eq!(
+        pins(&diags, "barrier-blocking"),
+        vec![
+            (
+                10,
+                "`.lock()` inside barrier-phase fn `flush_round` — blocking in \
+                 a RoundBarrier round can deadlock the lockstep windows; state \
+                 the non-contention argument with \
+                 `// audit:allow(barrier-blocking, reason=\"…\")`"
+                    .to_string()
+            ),
+            (
+                12,
+                "`sleep()` inside barrier-phase fn `flush_round` — a sleeping \
+                 worker stalls every shard at the next barrier; remove it or \
+                 annotate with `// audit:allow(barrier-blocking, \
+                 reason=\"…\")`"
+                    .to_string()
+            ),
+            (
+                17,
+                "`.join()` inside barrier-phase fn `drain_round` — blocking in \
+                 a RoundBarrier round can deadlock the lockstep windows; state \
+                 the non-contention argument with \
+                 `// audit:allow(barrier-blocking, reason=\"…\")`"
+                    .to_string()
+            ),
+        ],
+        "{diags:?}"
+    );
+    // The barrier's own `.wait()` calls (lines 9, 16) are exempt.
+    assert!(
+        diags.iter().all(|d| d.line != 9 && d.line != 16),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn d9_allowed_fixture_is_clean() {
+    let diags = lint_fixture("d9_allowed.rs", "crates/gridsim/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// -------------------------------------------------- cross-file taint
+
+fn taint_chain_files() -> [(String, String); 2] {
+    [
+        (
+            "crates/bench/src/score.rs".to_string(),
+            read_fixture("taint_chain_score.rs"),
+        ),
+        (
+            "crates/rms/src/lowest_fixture.rs".to_string(),
+            read_fixture("taint_chain_policy.rs"),
+        ),
+    ]
+}
+
+#[test]
+fn taint_chain_across_files_with_pinned_chain() {
+    let files = taint_chain_files();
+    let refs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let outcome = analyze_sources(&refs, &AnalyzeOptions::default());
+    assert_eq!(
+        pins(&outcome.diagnostics, "taint-flow"),
+        vec![(
+            9,
+            "hash-order iteration `loads.iter()` is reachable from sim-facing \
+             entry `LowestFixture::on_remote_job` — call chain: \
+             LowestFixture::on_remote_job → dispatch_remote → score_all"
+                .to_string()
+        )],
+        "{:?}",
+        outcome.diagnostics
+    );
+    let d = outcome
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "taint-flow")
+        .unwrap();
+    // The finding lands at the *source*, in the file where the hash
+    // order is born, not at the sink.
+    assert_eq!(d.file, "crates/bench/src/score.rs");
+    assert_eq!(d.symbol, "score_all");
+    assert_eq!(
+        d.chain,
+        vec![
+            "LowestFixture::on_remote_job",
+            "dispatch_remote",
+            "score_all"
+        ]
+    );
+}
+
+#[test]
+fn taint_chain_is_silent_without_call_graph() {
+    let files = taint_chain_files();
+    let refs: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let outcome = analyze_sources(
+        &refs,
+        &AnalyzeOptions {
+            no_call_graph: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        outcome.diagnostics.iter().all(|d| d.rule != "taint-flow"),
+        "{:?}",
+        outcome.diagnostics
+    );
+}
+
+#[test]
+fn taint_chain_source_alone_is_clean() {
+    // Without the sink file in view there is no sim-facing entry, so
+    // the helper is (correctly) legal on its own.
+    let diags = lint_fixture("taint_chain_score.rs", "crates/bench/src/score.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --------------------------------------------------- output stability
+
+#[test]
+fn json_output_is_byte_stable_across_input_order() {
+    let files = taint_chain_files();
+    let fwd: Vec<(&str, &str)> = files
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let rev: Vec<(&str, &str)> = fwd.iter().rev().copied().collect();
+    let a = analyze_sources(&fwd, &AnalyzeOptions::default());
+    let b = analyze_sources(&rev, &AnalyzeOptions::default());
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_sarif(), b.to_sarif());
+}

@@ -784,6 +784,7 @@ impl SimTemplate {
                 // reset arena is indistinguishable from a new one), or
                 // build one sized to the shard's own partition.
                 let pooled = {
+                    // audit:allow(barrier-blocking, reason="scratch checkout happens before the workers (and the barrier) exist; no round is in flight")
                     let mut pool = self.shard_scratch.lock().unwrap_or_else(|e| e.into_inner());
                     let key = (plan_hash, s as u32);
                     pool.iter()
@@ -892,6 +893,7 @@ impl SimTemplate {
                                         continue;
                                     }
                                     inboxes[dest][src]
+                                        // audit:allow(barrier-blocking, reason="slot (dest, src) is written only by src's owner in phase A; never contended")
                                         .lock()
                                         .unwrap_or_else(|e| e.into_inner())
                                         .append(out);
@@ -904,6 +906,7 @@ impl SimTemplate {
                             // and publish each shard's next event time.
                             for b in owned.iter_mut() {
                                 for slot in &inboxes[b.shard] {
+                                    // audit:allow(barrier-blocking, reason="phase B drains only this worker's own inbox row; the flush barrier already passed")
                                     let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
                                     for (at, seq, ev) in slot.drain(..) {
                                         b.engine.queue_mut().schedule_keyed(at, seq, ev);
@@ -945,6 +948,7 @@ impl SimTemplate {
             handles
                 .into_iter()
                 // audit:allow(shard-merge, reason="gather is re-sorted by shard id below before any state merges")
+                // audit:allow(barrier-blocking, reason="join gathers finished workers after the last round; the barrier is already torn down")
                 .flat_map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
@@ -1003,6 +1007,7 @@ impl SimTemplate {
             );
             // Park the shard's lane-scoped arena for the next run of
             // this exact plan (one-deep per key, bounded pool).
+            // audit:allow(barrier-blocking, reason="arena park runs on the sequential tail after every worker joined")
             let mut pool = self.shard_scratch.lock().unwrap_or_else(|e| e.into_inner());
             let key = (plan_hash, shard as u32);
             if pool.len() < SHARD_SCRATCH_CAP && !pool.iter().any(|(k, _)| *k == key) {
@@ -1028,9 +1033,11 @@ impl SimTemplate {
         self.last_fingerprint
             .store(report.event_fingerprint, Ordering::Relaxed);
         self.queue_summary
+            // audit:allow(barrier-blocking, reason="telemetry fold on the sequential tail; workers and barrier are gone")
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .absorb_sharded(&queue_tel);
+        // audit:allow(barrier-blocking, reason="summary publish on the sequential tail; workers and barrier are gone")
         *self.shard_summary.lock().unwrap_or_else(|e| e.into_inner()) = Some(summary.clone());
         (report, summary)
     }

@@ -123,10 +123,7 @@ impl Policy for Auction {
             return;
         };
         // "Selects the bid from the bidder with the highest load."
-        let winner = book
-            .bids
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let winner = book.bids.iter().max_by(|a, b| a.1.total_cmp(&b.1));
         if let Some(&(bidder, _)) = winner {
             ctx.send_policy(
                 cluster,

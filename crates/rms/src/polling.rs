@@ -138,7 +138,9 @@ impl PollPlacer {
         if p.replies.len() < p.expected {
             return true;
         }
-        let p = self.pending.remove(&token).expect("entry just seen");
+        let Some(p) = self.pending.remove(&token) else {
+            return true;
+        };
         self.decide(ctx, p);
         true
     }
@@ -151,7 +153,7 @@ impl PollPlacer {
                 let best = p
                     .replies
                     .iter()
-                    .min_by(|a, b| a.avg_load.partial_cmp(&b.avg_load).unwrap());
+                    .min_by(|a, b| a.avg_load.total_cmp(&b.avg_load));
                 match best {
                     Some(b) if b.avg_load < local => ctx.transfer(home, b.cluster, p.job),
                     _ => ctx.dispatch_least_loaded(home, p.job),
@@ -172,12 +174,14 @@ impl PollPlacer {
                 let min_att = cands.iter().map(|r| r.att).fold(f64::INFINITY, f64::min);
                 // All candidates within ψ of the optimum; smallest RUS wins
                 // (ties → the earliest listed, i.e. prefer local).
+                // The ψ band always retains the min_att candidate, so the
+                // filter is nonempty; `local` is the defensive fallback.
                 let winner = cands
                     .iter()
                     .filter(|r| r.att <= min_att + psi)
-                    .min_by(|a, b| a.rus.partial_cmp(&b.rus).unwrap())
+                    .min_by(|a, b| a.rus.total_cmp(&b.rus))
                     .copied()
-                    .expect("candidate list is nonempty");
+                    .unwrap_or(local);
                 if winner.cluster == home {
                     ctx.dispatch_least_loaded(home, p.job);
                 } else {

@@ -18,7 +18,9 @@
 //! gridscale trace   [--rate 0.05] [--duration 20000] [--seed 7] [--swf]
 //! gridscale topo    --kind ba|waxman|ts [--nodes 300] [--seed 7]
 //! gridscale models
-//! gridscale audit   [--root DIR] [--json REPORT.json] [--deny-warnings]
+//! gridscale audit   [--root DIR] [--json REPORT.json] [--sarif REPORT.sarif]
+//!                   [--deny-warnings] [--no-call-graph] [--no-baseline]
+//!                   [--baseline FILE] [--write-baseline]
 //! ```
 //!
 //! `run` simulates one configuration; `measure` executes the paper's full
@@ -46,8 +48,11 @@
 //! pair shows how much overhead the legacy constant model hid); `trace`
 //! generates (optionally SWF) workloads; `topo`
 //! generates a topology and prints its structural metrics; `models` lists
-//! the RMS models; `audit` runs the workspace determinism linter
-//! (rules D1–D5, see the `gridscale-audit` crate).
+//! the RMS models; `audit` runs the workspace determinism linter in
+//! call-graph mode (rules D1–D9 plus cross-file taint flow, checked
+//! against the committed `audit-baseline.toml`; `--no-call-graph` for
+//! per-file-only linting — see the `gridscale-audit` crate and
+//! DESIGN.md §6.4).
 
 use gridscale::prelude::*;
 use std::collections::HashMap;
